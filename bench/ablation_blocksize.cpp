@@ -1,0 +1,36 @@
+// Ablation A3 — blocking size sweep.  The paper fixes the blocking size at
+// 64 ("blocking size is set to 64"); this sweep shows the tradeoff that
+// motivates the choice: small blocks expose concurrency but lose BLAS
+// efficiency and multiply tasks/messages; large blocks do the opposite.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace pastix;
+  using namespace pastix::bench;
+  std::cout << "=== Ablation A3: blocking size sweep (paper uses 64) ===\n\n";
+
+  Timer total;
+  for (const auto& prob : small_suite()) {
+    const auto a = make_suite_matrix(prob);
+    std::cout << prob.name << " (n = " << a.n() << "), 16 processors\n";
+    TextTable table({"block size", "cblks", "tasks", "messages",
+                     "simulated (s)"});
+    for (const idx_t bs : {16, 32, 64, 96, 128}) {
+      Config cfg;
+      cfg.nprocs = 16;
+      cfg.block_size = bs;
+      const auto an = analyze(a.pattern, cfg);
+      table.add_row({std::to_string(bs), std::to_string(an.symbol.ncblk),
+                     std::to_string(an.tg.ntask()),
+                     std::to_string(an.sim.messages),
+                     fmt_fixed(an.sim.makespan, 4)});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+  std::cout << "total: " << fmt_fixed(total.seconds(), 1) << " s\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+#pragma once
+//
+// Shared helpers for the experiment binaries: one-stop analysis pipeline
+// producing (symbol, task graph, schedule, simulation) for a given matrix
+// and configuration.
+//
+#include "map/scheduler.hpp"
+#include "order/ordering.hpp"
+#include "simul/simulate.hpp"
+#include "sparse/suite.hpp"
+#include "support/table.hpp"
+#include "symbolic/split.hpp"
+
+namespace pastix::bench {
+
+struct Config {
+  idx_t nprocs = 8;
+  DistPolicy policy = DistPolicy::kMixed;
+  MapStrategy strategy = MapStrategy::kGreedyEarliest;
+  idx_t block_size = 64;
+  /// 2D width threshold; kNone derives it as block_size / 2 so that varying
+  /// the blocking size does not accidentally disable 2D distribution.
+  idx_t min_width_2d = kNone;
+  OrderingOptions ordering;
+  CostModel model = default_cost_model();
+};
+
+struct Analysis {
+  OrderingResult order;
+  SymbolMatrix symbol;
+  CandidateMapping cand;
+  TaskGraph tg;
+  Schedule sched;
+  SimResult sim;
+};
+
+inline Analysis analyze(const SparsePattern& pattern, const Config& cfg) {
+  Analysis a;
+  a.order = compute_ordering(pattern, cfg.ordering);
+  SplitOptions sopt;
+  sopt.block_size = cfg.block_size;
+  a.symbol = split_symbol(
+      block_symbolic_factorization(a.order.permuted, a.order.rangtab), sopt);
+  MappingOptions mopt;
+  mopt.nprocs = cfg.nprocs;
+  mopt.policy = cfg.policy;
+  mopt.min_width_2d =
+      cfg.min_width_2d != kNone ? cfg.min_width_2d : cfg.block_size / 2;
+  a.cand = proportional_mapping(a.symbol, cfg.model, mopt);
+  a.tg = build_task_graph(a.symbol, a.cand, cfg.model);
+  SchedulerOptions sopt2;
+  sopt2.strategy = cfg.strategy;
+  a.sched = static_schedule(a.tg, a.cand, cfg.model, cfg.nprocs, sopt2);
+  a.sim = simulate_schedule(a.tg, a.sched, cfg.model);
+  return a;
+}
+
+} // namespace pastix::bench

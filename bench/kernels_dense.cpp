@@ -1,0 +1,137 @@
+// Dense kernel benchmark (google-benchmark), reproducing the Section 3
+// kernel-level observations:
+//   - GEMM / TRSM / factorization throughput across the block sizes the
+//     solver actually uses,
+//   - the LL^t vs LDL^t comparison at n = 1024 (the paper measures ESSL at
+//     1.07 s vs 1.27 s on a Power2SC — the *ratio* and its sign on our
+//     kernels is printed for EXPERIMENTS.md),
+//   - the quality of the multi-variable polynomial regression model.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dkernel/dense_matrix.hpp"
+#include "dkernel/kernels.hpp"
+#include "model/cost_model.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace pastix;
+
+DenseMatrix<double> random_matrix(idx_t m, idx_t n, std::uint64_t seed) {
+  DenseMatrix<double> a(m, n);
+  Rng rng(seed);
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = 0; i < m; ++i) a(i, j) = rng.next_double() - 0.5;
+  return a;
+}
+
+DenseMatrix<double> random_spd(idx_t n, std::uint64_t seed) {
+  auto a = random_matrix(n, n, seed);
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = 0; i < j; ++i) a(i, j) = a(j, i);
+  for (idx_t i = 0; i < n; ++i) a(i, i) = 4.0 * n;
+  return a;
+}
+
+void BM_GemmNt(benchmark::State& state) {
+  const idx_t s = static_cast<idx_t>(state.range(0));
+  const auto a = random_matrix(s, s, 1);
+  const auto b = random_matrix(s, s, 2);
+  DenseMatrix<double> c(s, s);
+  for (auto _ : state) {
+    gemm_nt<double>(s, s, s, -1.0, a.data(), a.ld(), b.data(), b.ld(),
+                    c.data(), c.ld());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * s * s * s * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNt)->Arg(32)->Arg(64)->Arg(96)->Arg(128)->Arg(256);
+
+void BM_TrsmRight(benchmark::State& state) {
+  const idx_t n = 64, m = static_cast<idx_t>(state.range(0));
+  auto l = random_matrix(n, n, 3);
+  for (idx_t j = 0; j < n; ++j) l(j, j) = 1.0;
+  const auto a0 = random_matrix(m, n, 4);
+  DenseMatrix<double> a = a0;
+  for (auto _ : state) {
+    a = a0;
+    trsm_right_lt_unit<double>(m, n, l.data(), l.ld(), a.data(), a.ld());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      flops_trsm(m, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrsmRight)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DenseLdlt(benchmark::State& state) {
+  const idx_t n = static_cast<idx_t>(state.range(0));
+  const auto a0 = random_spd(n, 5);
+  DenseMatrix<double> a = a0;
+  for (auto _ : state) {
+    a = a0;
+    dense_ldlt<double>(n, a.data(), a.ld());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      flops_factor_ldlt(n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseLdlt)->Arg(64)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_DenseLlt(benchmark::State& state) {
+  const idx_t n = static_cast<idx_t>(state.range(0));
+  const auto a0 = random_spd(n, 6);
+  DenseMatrix<double> a = a0;
+  for (auto _ : state) {
+    a = a0;
+    dense_llt<double>(n, a.data(), a.ld());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      flops_factor_llt(n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DenseLlt)->Arg(64)->Arg(128)->Arg(512)->Arg(1024);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace pastix;
+
+  // --- Section 3 remark: dense 1024 x 1024 LL^t vs LDL^t. -------------------
+  {
+    const idx_t n = 1024;
+    const auto base = random_spd(n, 7);
+    DenseMatrix<double> w = base;
+    Timer t1;
+    dense_llt<double>(n, w.data(), w.ld());
+    const double t_llt = t1.seconds();
+    w = base;
+    Timer t2;
+    dense_ldlt<double>(n, w.data(), w.ld());
+    const double t_ldlt = t2.seconds();
+    std::printf(
+        "[section-3 remark] dense 1024x1024: LL^t %.3f s, LDL^t %.3f s "
+        "(paper/ESSL: 1.07 s vs 1.27 s)\n",
+        t_llt, t_ldlt);
+  }
+
+  // --- Regression model quality. ---------------------------------------------
+  {
+    const CostModel m = calibrate_cost_model({.repetitions = 3});
+    std::printf(
+        "[model] polynomial regression fitted; mean relative error on a "
+        "probe grid: %.1f%%\n",
+        100.0 * model_relative_error(m));
+  }
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

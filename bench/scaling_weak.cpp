@@ -1,0 +1,51 @@
+// Weak scaling: grow the mesh with the machine so the factorization work
+// per processor stays roughly constant (the classic cluster evaluation
+// complementing Table 2's strong scaling).  For a 3D solid, OPC grows like
+// n^2, so n_P ~ n_1 * sqrt(P) keeps work/processor flat.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace pastix;
+  using namespace pastix::bench;
+  std::cout << "=== Weak scaling: 3D solid grown with the processor count ===\n\n";
+
+  TextTable table({"procs", "mesh", "unknowns", "flops/proc", "simulated (s)",
+                   "efficiency"});
+  double t1 = 0, w1 = 0;
+  Timer total;
+  for (const idx_t p : {1, 2, 4, 8, 16, 32}) {
+    // Cube with ~sqrt(P) times the P=1 unknowns (flops/proc ~ constant).
+    const idx_t q = static_cast<idx_t>(
+        std::lround(9.0 * std::pow(static_cast<double>(p), 1.0 / 4.0)));
+    FeMeshSpec spec;
+    spec.nx = q;
+    spec.ny = q;
+    spec.nz = q;
+    spec.dof = 2;
+    spec.seed = 0x3ca1e;
+    const auto a = gen_fe_mesh(spec);
+
+    Config cfg;
+    cfg.nprocs = p;
+    const auto an = analyze(a.pattern, cfg);
+    const double per_proc = an.tg.total_flops() / p;
+    if (p == 1) {
+      t1 = an.sim.makespan;
+      w1 = per_proc;
+    }
+    // Weak-scaling efficiency: ideal keeps time constant at equal work/proc;
+    // normalize for the small drift in the actual work ratio.
+    const double eff = (t1 / an.sim.makespan) * (per_proc / w1);
+    table.add_row({std::to_string(p),
+                   std::to_string(q) + "^3 x" + std::to_string(spec.dof),
+                   std::to_string(a.n()), fmt_sci(per_proc, 2),
+                   fmt_fixed(an.sim.makespan, 3), fmt_fixed(eff, 2)});
+  }
+  table.print();
+  std::cout << "\ntotal: " << fmt_fixed(total.seconds(), 1) << " s\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduction of Table 2 of the paper: factorization time (seconds) and
+// Gflop/s on 1..64 processors, PaStiX (static-scheduled fan-in LDL^t,
+// first line of each matrix) versus the multifrontal LL^t baseline
+// (PSPASES stand-in, second line).
+//
+// Times are produced by the discrete-event simulator under the calibrated
+// cost model — the machine model of the paper's own scheduler — because
+// this host has a single core (see DESIGN.md).  The model is validated
+// against real execution at P = 1: the "seq wall" column shows the
+// measured wall time of the real numerical factorization.
+#include <iostream>
+
+#include "core/pastix.hpp"
+#include "mf/model.hpp"
+#include "mf/multifrontal.hpp"
+#include "sparse/suite.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace pastix;
+  const std::vector<idx_t> procs = {1, 2, 4, 8, 16, 32, 64};
+  const CostModel model = default_cost_model();
+
+  std::cout << "=== Table 2: factorization performance, PaStiX vs "
+               "multifrontal baseline ===\n"
+            << "(per matrix: first line PaStiX, second line baseline; "
+               "cells are time in s (Gflop/s))\n\n";
+
+  std::vector<std::string> header = {"Name", "solver", "seq wall"};
+  for (const idx_t p : procs) header.push_back("P=" + std::to_string(p));
+  TextTable table(header);
+
+  double crossover_wins = 0, comparisons = 0;
+  Timer total;
+  for (const auto& prob : paper_suite()) {
+    const SymSparse<double> a = make_suite_matrix(prob);
+
+    // ---- shared analysis (ordering + block symbolic). ----------------------
+    const OrderingResult order = compute_ordering(a.pattern);
+    const SymSparse<double> permuted = permute(a, order.perm);
+    const SymbolMatrix symbol_mf =
+        block_symbolic_factorization(order.permuted, order.rangtab);
+    const SymbolMatrix symbol_px = split_symbol(symbol_mf, {});
+
+    // ---- real sequential executions validate the model. --------------------
+    double px_wall = 0, mf_wall = 0;
+    {
+      MappingOptions mopt;
+      mopt.nprocs = 1;
+      const auto cand = proportional_mapping(symbol_px, model, mopt);
+      const auto tg = build_task_graph(symbol_px, cand, model);
+      const auto sched = static_schedule(tg, cand, model, 1);
+      FaninSolver<double> solver(permuted, symbol_px, tg, sched);
+      rt::Comm comm(1);
+      px_wall = solver.factorize(comm);
+    }
+    {
+      MultifrontalSolver<double> mf(permuted, symbol_mf);
+      Timer t;
+      mf.factorize();
+      mf_wall = t.seconds();
+    }
+
+    // ---- simulated sweep over processor counts. -----------------------------
+    std::vector<std::string> row_px = {prob.name, "PaStiX",
+                                       fmt_fixed(px_wall, 2)};
+    std::vector<std::string> row_mf = {"", "baseline", fmt_fixed(mf_wall, 2)};
+    for (const idx_t p : procs) {
+      MappingOptions mopt;
+      mopt.nprocs = p;
+      // PaStiX: mixed 1D/2D fan-in.
+      const auto cand_px = proportional_mapping(symbol_px, model, mopt);
+      const auto tg_px = build_task_graph(symbol_px, cand_px, model);
+      const auto sched_px = static_schedule(tg_px, cand_px, model, p);
+      const auto sim_px = simulate_schedule(tg_px, sched_px, model);
+      // Baseline: multifrontal front model.
+      const auto cand_mf = proportional_mapping(symbol_mf, model, mopt);
+      const auto tg_mf = build_mf_task_graph(symbol_mf, cand_mf, model);
+      const auto sched_mf = static_schedule(tg_mf, cand_mf, model, p);
+      const auto sim_mf = simulate_schedule(tg_mf, sched_mf, model);
+
+      row_px.push_back(fmt_fixed(sim_px.makespan, 3) + " (" +
+                       fmt_fixed(sim_px.gflops(tg_px.total_flops()), 2) + ")");
+      row_mf.push_back(fmt_fixed(sim_mf.makespan, 3) + " (" +
+                       fmt_fixed(sim_mf.gflops(tg_mf.total_flops()), 2) + ")");
+      if (p <= 32) {
+        comparisons += 1;
+        if (sim_px.makespan <= sim_mf.makespan) crossover_wins += 1;
+      }
+    }
+    table.add_row(row_px);
+    table.add_row(row_mf);
+  }
+  table.print();
+
+  std::cout << "\nPaStiX is at least as fast as the baseline in "
+            << fmt_fixed(100.0 * crossover_wins / comparisons, 0)
+            << "% of the (matrix, P<=32) cells — the paper reports wins in "
+               "\"almost all cases up to 32 processors\".\n";
+  std::cout << "total bench time: " << fmt_fixed(total.seconds(), 1) << " s\n";
+  return 0;
+}

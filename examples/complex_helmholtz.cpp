@@ -1,0 +1,55 @@
+// Complex-symmetric systems are the reason PaStiX factors LDL^t instead of
+// Cholesky ("we use LDL^t factorization in order to solve sparse systems
+// with complex coefficients", Section 1).  This example assembles a damped
+// 2D Helmholtz-like operator (complex symmetric, *not* Hermitian) and
+// solves it with the same pipeline.
+//
+//   ./complex_helmholtz [nprocs]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pastix.hpp"
+#include "sparse/coo_builder.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pastix;
+  using C = std::complex<double>;
+  const idx_t nprocs = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  // (-Laplace - k^2 + i*damping) u = f on an nx x ny grid.  The absorption
+  // term keeps the operator diagonally dominant, so factoring without
+  // pivoting is stable (the regime the paper targets).
+  const idx_t nx = 60, ny = 60;
+  const double k2 = 0.5, damping = 1.5;
+  CooBuilder<C> builder(nx * ny);
+  auto node = [&](idx_t x, idx_t y) { return y * nx + x; };
+  for (idx_t y = 0; y < ny; ++y)
+    for (idx_t x = 0; x < nx; ++x) {
+      const idx_t u = node(x, y);
+      builder.add(u, u, C(4.0 - k2, damping));
+      if (x + 1 < nx) builder.add(u, node(x + 1, y), C(-1.0, 0.0));
+      if (y + 1 < ny) builder.add(u, node(x, y + 1), C(-1.0, 0.0));
+    }
+  const SymSparse<C> a = builder.build();
+  std::cout << "damped Helmholtz operator: n = " << a.n()
+            << " (complex symmetric)\n";
+
+  SolverOptions opt;
+  opt.nprocs = nprocs;
+  Solver<C> solver(opt);
+  solver.analyze(a);
+  std::cout << "NNZ_L = " << solver.stats().nnz_l << ", tasks = "
+            << solver.stats().ntask << "\n";
+  solver.factorize();
+
+  // A point source in the middle of the domain.
+  std::vector<C> b(static_cast<std::size_t>(a.n()), C(0, 0));
+  b[static_cast<std::size_t>(node(nx / 2, ny / 2))] = C(1.0, 0.0);
+  const std::vector<C> u = solver.solve(b);
+
+  std::cout << "relative residual = " << relative_residual(a, u, b) << "\n";
+  std::cout << "field at source: " << u[static_cast<std::size_t>(
+                                          node(nx / 2, ny / 2))]
+            << ", at corner: " << u[0] << "\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Matrix export tool: generate any suite problem (or a custom FE mesh) and
+// write it in MatrixMarket and/or Harwell-Boeing RSA format, so the
+// synthetic test set can be consumed by other solvers for head-to-head
+// comparisons.
+//
+//   ./gen_matrix <suite-name|custom> [out-prefix]
+//   ./gen_matrix custom nx ny nz dof [out-prefix]
+#include <cstdlib>
+#include <iostream>
+
+#include "sparse/hb_io.hpp"
+#include "sparse/io.hpp"
+#include "sparse/suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pastix;
+  if (argc < 2) {
+    std::cout << "usage: gen_matrix <name> [out-prefix]\n"
+                 "       gen_matrix custom <nx> <ny> <nz> <dof> [out-prefix]\n"
+                 "available suite problems:";
+    for (const auto& p : paper_suite()) std::cout << " " << p.name;
+    std::cout << "\n";
+    return 0;
+  }
+
+  const std::string name = argv[1];
+  SymSparse<double> a;
+  std::string prefix = name;
+  try {
+    if (name == "custom") {
+      if (argc < 6) {
+        std::cerr << "custom requires nx ny nz dof\n";
+        return 1;
+      }
+      FeMeshSpec spec;
+      spec.nx = std::atoi(argv[2]);
+      spec.ny = std::atoi(argv[3]);
+      spec.nz = std::atoi(argv[4]);
+      spec.dof = std::atoi(argv[5]);
+      a = gen_fe_mesh(spec);
+      prefix = argc > 6 ? argv[6] : "custom";
+    } else {
+      a = make_suite_matrix(suite_problem(name));
+      if (argc > 2) prefix = argv[2];
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  const std::string mtx = prefix + ".mtx";
+  const std::string rsa = prefix + ".rsa";
+  save_matrix_market(mtx, a);
+  save_harwell_boeing(rsa, a);
+  std::cout << "wrote " << mtx << " and " << rsa << " (n = " << a.n()
+            << ", nnz = " << a.nnz_offdiag() + a.n() << ")\n";
+  return 0;
+}

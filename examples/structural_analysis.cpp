@@ -1,0 +1,52 @@
+// Structural-mechanics scenario: the workload family the paper's test suite
+// (OILPAN, SHIP003, ...) comes from.  Builds a 3-dof-per-node finite-element
+// shell, runs the full solver on several processor counts and prints the
+// scaling table (simulated parallel times, as on the paper's SP2, plus the
+// real wall time of the runtime execution).
+//
+//   ./structural_analysis [max_procs]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pastix.hpp"
+#include "sparse/suite.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pastix;
+  const idx_t max_procs = argc > 1 ? std::atoi(argv[1]) : 16;
+
+  const SuiteProblem& prob = suite_problem("OILPAN");
+  const SymSparse<double> a = make_suite_matrix(prob);
+  std::cout << "problem: " << prob.name << " (" << prob.family << " mesh), n = "
+            << a.n() << ", " << prob.spec.dof << " dof/node\n\n";
+
+  TextTable table({"procs", "tasks", "2D cblks", "predicted (s)", "speedup",
+                   "Gflop/s", "wall (s)"});
+  double t1 = 0;
+  for (idx_t p = 1; p <= max_procs; p *= 2) {
+    SolverOptions opt;
+    opt.nprocs = p;
+    Solver<double> solver(opt);
+    solver.analyze(a);
+    const double wall = solver.factorize();
+    const SolverStats& st = solver.stats();
+    if (p == 1) t1 = st.predicted_time;
+    table.add_row({std::to_string(p), std::to_string(st.ntask),
+                   std::to_string(st.n_2d_cblks), fmt_fixed(st.predicted_time, 4),
+                   fmt_fixed(t1 / st.predicted_time, 2),
+                   fmt_fixed(st.total_flops / st.predicted_time / 1e9, 2),
+                   fmt_fixed(wall, 3)});
+
+    // Verify the numerical result at every processor count.
+    std::vector<double> b(static_cast<std::size_t>(a.n()), 1.0);
+    const auto x = solver.solve(b);
+    const double res = relative_residual(a, x, b);
+    PASTIX_CHECK(res < 1e-10, "residual check failed");
+  }
+  table.print();
+  std::cout << "\n(\"predicted\" = discrete-event simulation under the "
+               "calibrated cost model;\n \"wall\" = real execution of the "
+               "thread runtime on this host)\n";
+  return 0;
+}

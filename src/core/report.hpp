@@ -1,0 +1,28 @@
+#pragma once
+//
+// Human-readable analysis report: everything the pre-processing chain
+// decided about a matrix, as Markdown — for logging solver behaviour in
+// applications and for regression-diffing analyses across versions.
+//
+#include <iosfwd>
+
+#include "core/pastix.hpp"
+
+namespace pastix {
+
+struct ReportOptions {
+  bool include_distribution_histogram = true;
+  bool include_load_balance = true;
+  bool include_gantt = false;  ///< text Gantt (wide); off by default
+  int gantt_width = 100;
+};
+
+/// Write a Markdown report of an analyzed solver.  Requires analyze() to
+/// have run; factorization/solve sections appear when available.
+template <class T>
+void write_analysis_report(std::ostream& os, const Solver<T>& solver,
+                           const ReportOptions& opt = {});
+
+} // namespace pastix
+
+#include "core/report_impl.hpp"

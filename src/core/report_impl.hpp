@@ -1,0 +1,95 @@
+#pragma once
+//
+// Implementation of the Markdown analysis report (included by report.hpp).
+//
+#include <map>
+#include <ostream>
+
+#include "simul/trace.hpp"
+#include "support/table.hpp"
+
+namespace pastix {
+
+template <class T>
+void write_analysis_report(std::ostream& os, const Solver<T>& solver,
+                           const ReportOptions& opt) {
+  const SolverStats& st = solver.stats();
+  const SymbolMatrix& symbol = solver.symbol();
+  const CandidateMapping& cand = solver.candidates();
+  const TaskGraph& tg = solver.task_graph();
+  const Schedule& sched = solver.schedule();
+  const idx_t nprocs = solver.options().nprocs;
+
+  os << "# PaStiX analysis report\n\n";
+  os << "## Problem\n\n";
+  os << "- unknowns: " << symbol.n << "\n";
+  os << "- scalar type: " << (std::is_same_v<T, double> ? "double" : "complex")
+     << "\n";
+  os << "- processors: " << nprocs << "\n\n";
+
+  os << "## Symbolic factorization\n\n";
+  os << "- NNZ_L (scalar): " << st.nnz_l << "\n";
+  os << "- OPC (scalar): " << fmt_sci(static_cast<double>(st.opc)) << "\n";
+  os << "- stored block entries: " << st.nnz_blocks << " ("
+     << fmt_fixed(100.0 * (static_cast<double>(st.nnz_blocks) - st.nnz_l -
+                           symbol.n) /
+                      static_cast<double>(st.nnz_l + symbol.n),
+                  1)
+     << "% amalgamation fill)\n";
+  os << "- column blocks: " << st.ncblk << ", blocks: " << st.nblok << "\n\n";
+
+  os << "## Mapping and scheduling\n\n";
+  os << "- tasks: " << st.ntask << " (" << st.n_2d_cblks
+     << " supernodes distributed 2D)\n";
+  os << "- block-level flops: " << fmt_sci(st.total_flops) << "\n";
+  os << "- predicted parallel factorization: "
+     << fmt_fixed(st.predicted_time, 4) << " s ("
+     << fmt_fixed(st.total_flops / st.predicted_time / 1e9, 2)
+     << " Gflop/s)\n\n";
+
+  if (opt.include_distribution_histogram) {
+    std::map<idx_t, std::pair<idx_t, idx_t>> by_depth;
+    for (const auto& c : cand.cblk) {
+      auto& slot = by_depth[c.depth];
+      (c.dist == DistType::k2D ? slot.second : slot.first)++;
+    }
+    os << "### 1D/2D distribution by elimination-tree depth\n\n";
+    os << "| depth | 1D | 2D |\n|---|---|---|\n";
+    for (const auto& [depth, counts] : by_depth)
+      os << "| " << depth << " | " << counts.first << " | " << counts.second
+         << " |\n";
+    os << "\n";
+  }
+
+  if (opt.include_load_balance) {
+    const SimResult sim = simulate_schedule(tg, sched, solver.options().model);
+    os << "### Simulated load balance\n\n";
+    os << "| proc | tasks | busy (s) | busy % |\n|---|---|---|---|\n";
+    for (idx_t p = 0; p < nprocs; ++p)
+      os << "| " << p << " | "
+         << sched.kp[static_cast<std::size_t>(p)].size() << " | "
+         << fmt_fixed(sim.busy[static_cast<std::size_t>(p)], 4) << " | "
+         << fmt_fixed(100.0 * sim.busy[static_cast<std::size_t>(p)] /
+                          std::max(sim.makespan, 1e-300),
+                      1)
+         << " |\n";
+    os << "\n- messages: " << sim.messages << ", entries shipped: "
+       << fmt_sci(sim.comm_entries) << "\n\n";
+  }
+
+  if (opt.include_gantt) {
+    const ScheduleTrace trace =
+        trace_schedule(tg, sched, solver.options().model);
+    os << "### Timeline\n\n```\n";
+    render_gantt(os, trace, opt.gantt_width);
+    os << "```\n\n";
+  }
+
+  if (st.factor_seconds > 0) {
+    os << "## Numerical factorization\n\n";
+    os << "- wall time (this host, " << nprocs << " ranks): "
+       << fmt_fixed(st.factor_seconds, 3) << " s\n";
+  }
+}
+
+} // namespace pastix

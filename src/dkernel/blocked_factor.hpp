@@ -1,0 +1,98 @@
+#pragma once
+//
+// Blocked (right-looking) dense factorizations.  The unblocked kernels in
+// kernels.hpp are column-oriented and bandwidth-bound beyond the cache; the
+// blocked variants push the trailing update through GEMM, which is what a
+// production solver (and ESSL in the paper) does.  dense_ldlt_auto /
+// dense_llt_auto dispatch on size.
+//
+#include <vector>
+
+#include "dkernel/kernels.hpp"
+
+namespace pastix {
+
+inline constexpr idx_t kFactorPanel = 48;      ///< panel width
+inline constexpr idx_t kBlockedCutover = 128;  ///< switch to blocked above
+
+/// In-place blocked LDL^t (unit L in the strict lower part, D on the
+/// diagonal).  Semantically identical to dense_ldlt.
+template <class T>
+void dense_ldlt_blocked(idx_t n, T* a, idx_t lda, idx_t nb = kFactorPanel) {
+  std::vector<T> w;  // W = L21 * D1 (the scaled panel used by the update)
+  std::vector<T> d(static_cast<std::size_t>(nb));
+  for (idx_t k0 = 0; k0 < n; k0 += nb) {
+    const idx_t kb = std::min(nb, n - k0);
+    T* diag = a + k0 + static_cast<std::size_t>(k0) * lda;
+    dense_ldlt(kb, diag, lda);
+    const idx_t below = n - k0 - kb;
+    if (below == 0) continue;
+
+    // Panel solve: rows below the diagonal block.  trsm yields W = L21 * D1;
+    // keep a copy, then scale the stored panel down to L21.
+    T* panel = a + (k0 + kb) + static_cast<std::size_t>(k0) * lda;
+    trsm_right_lt_unit(below, kb, diag, lda, panel, lda);
+    w.assign(static_cast<std::size_t>(below) * kb, T{});
+    for (idx_t j = 0; j < kb; ++j)
+      std::copy(panel + static_cast<std::size_t>(j) * lda,
+                panel + static_cast<std::size_t>(j) * lda + below,
+                w.data() + static_cast<std::size_t>(j) * below);
+    for (idx_t j = 0; j < kb; ++j)
+      d[static_cast<std::size_t>(j)] = diag[j + static_cast<std::size_t>(j) * lda];
+    scale_columns(below, kb, panel, lda, d.data(), /*invert=*/true);
+
+    // Trailing update (lower triangle only), one GEMM per column block:
+    // A22[j0:, j0:j0+jb] -= L21[j0:, :] * W[j0:, :]^t.
+    for (idx_t j0 = k0 + kb; j0 < n; j0 += nb) {
+      const idx_t jb = std::min(nb, n - j0);
+      gemm_nt(n - j0, jb, kb, T(-1),
+              a + j0 + static_cast<std::size_t>(k0) * lda, lda,
+              w.data() + (j0 - k0 - kb), below,
+              a + j0 + static_cast<std::size_t>(j0) * lda, lda);
+    }
+  }
+}
+
+/// In-place blocked Cholesky LL^t (lower).  Semantically identical to
+/// dense_llt.
+template <class T>
+void dense_llt_blocked(idx_t n, T* a, idx_t lda, idx_t nb = kFactorPanel) {
+  for (idx_t k0 = 0; k0 < n; k0 += nb) {
+    const idx_t kb = std::min(nb, n - k0);
+    T* diag = a + k0 + static_cast<std::size_t>(k0) * lda;
+    dense_llt(kb, diag, lda);
+    const idx_t below = n - k0 - kb;
+    if (below == 0) continue;
+
+    T* panel = a + (k0 + kb) + static_cast<std::size_t>(k0) * lda;
+    trsm_right_lt(below, kb, diag, lda, panel, lda);
+
+    // A22[j0:, j0:j0+jb] -= L21[j0:, :] * L21[j0:j0+jb, :]^t; both operands
+    // live in the panel columns, rows starting at j0.
+    for (idx_t j0 = k0 + kb; j0 < n; j0 += nb) {
+      const idx_t jb = std::min(nb, n - j0);
+      const T* l21 = a + j0 + static_cast<std::size_t>(k0) * lda;
+      gemm_nt(n - j0, jb, kb, T(-1), l21, lda, l21, lda,
+              a + j0 + static_cast<std::size_t>(j0) * lda, lda);
+    }
+  }
+}
+
+/// Size-dispatching entry points used by the solvers.
+template <class T>
+void dense_ldlt_auto(idx_t n, T* a, idx_t lda) {
+  if (n >= kBlockedCutover)
+    dense_ldlt_blocked(n, a, lda);
+  else
+    dense_ldlt(n, a, lda);
+}
+
+template <class T>
+void dense_llt_auto(idx_t n, T* a, idx_t lda) {
+  if (n >= kBlockedCutover)
+    dense_llt_blocked(n, a, lda);
+  else
+    dense_llt(n, a, lda);
+}
+
+} // namespace pastix

@@ -1,0 +1,51 @@
+#pragma once
+//
+// Small owning column-major dense matrix, used by frontal matrices, test
+// references and workspaces.  Not a linear-algebra type: just storage with
+// a leading dimension equal to the row count.
+//
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace pastix {
+
+template <class T>
+class DenseMatrix {
+public:
+  DenseMatrix() = default;
+  DenseMatrix(idx_t rows, idx_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    PASTIX_CHECK(rows >= 0 && cols >= 0, "negative dimensions");
+  }
+
+  [[nodiscard]] idx_t rows() const { return rows_; }
+  [[nodiscard]] idx_t cols() const { return cols_; }
+  [[nodiscard]] idx_t ld() const { return rows_; }
+
+  T& operator()(idx_t i, idx_t j) {
+    PASTIX_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  const T& operator()(idx_t i, idx_t j) const {
+    PASTIX_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] T* col(idx_t j) { return data() + static_cast<std::size_t>(j) * rows_; }
+  [[nodiscard]] const T* col(idx_t j) const {
+    return data() + static_cast<std::size_t>(j) * rows_;
+  }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+private:
+  idx_t rows_ = 0, cols_ = 0;
+  std::vector<T> data_;
+};
+
+} // namespace pastix

@@ -1,0 +1,266 @@
+#pragma once
+//
+// Dense kernels (the "BLAS" underneath the solver).
+//
+// All kernels are templated on the scalar type (double or complex<double>,
+// the complex path being *symmetric*, never conjugated) and work on
+// column-major storage with an explicit leading dimension.
+//
+// The GEMM uses outer-product register blocking (4 columns x 2 inner
+// iterations) — enough to be compute-bound on one core, and the paper's
+// scheduler only requires a *calibrated time model* of whatever kernels run
+// underneath (src/model fits the same multi-variable polynomial regression
+// the authors fitted on ESSL).
+//
+#include <cmath>
+#include <complex>
+#include <type_traits>
+
+#include "support/check.hpp"
+#include "support/scalar.hpp"
+#include "support/types.hpp"
+
+namespace pastix {
+
+/// C(m x n) += alpha * A(m x k) * B(n x k)^t   — the fan-in update kernel.
+/// B is accessed as B(j, l), i.e. row j of B supplies column j of C.
+template <class T>
+void gemm_nt(idx_t m, idx_t n, idx_t k, T alpha, const T* a, idx_t lda,
+             const T* b, idx_t ldb, T* c, idx_t ldc) {
+  PASTIX_ASSERT(m >= 0 && n >= 0 && k >= 0);
+  idx_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    T* c0 = c + static_cast<std::size_t>(j) * ldc;
+    T* c1 = c0 + ldc;
+    T* c2 = c1 + ldc;
+    T* c3 = c2 + ldc;
+    idx_t l = 0;
+    for (; l + 2 <= k; l += 2) {
+      const T* a0 = a + static_cast<std::size_t>(l) * lda;
+      const T* a1 = a0 + lda;
+      const T b00 = alpha * b[j + static_cast<std::size_t>(l) * ldb];
+      const T b01 = alpha * b[j + static_cast<std::size_t>(l + 1) * ldb];
+      const T b10 = alpha * b[j + 1 + static_cast<std::size_t>(l) * ldb];
+      const T b11 = alpha * b[j + 1 + static_cast<std::size_t>(l + 1) * ldb];
+      const T b20 = alpha * b[j + 2 + static_cast<std::size_t>(l) * ldb];
+      const T b21 = alpha * b[j + 2 + static_cast<std::size_t>(l + 1) * ldb];
+      const T b30 = alpha * b[j + 3 + static_cast<std::size_t>(l) * ldb];
+      const T b31 = alpha * b[j + 3 + static_cast<std::size_t>(l + 1) * ldb];
+      for (idx_t i = 0; i < m; ++i) {
+        const T x0 = a0[i], x1 = a1[i];
+        c0[i] += x0 * b00 + x1 * b01;
+        c1[i] += x0 * b10 + x1 * b11;
+        c2[i] += x0 * b20 + x1 * b21;
+        c3[i] += x0 * b30 + x1 * b31;
+      }
+    }
+    for (; l < k; ++l) {
+      const T* a0 = a + static_cast<std::size_t>(l) * lda;
+      const T b0 = alpha * b[j + static_cast<std::size_t>(l) * ldb];
+      const T b1 = alpha * b[j + 1 + static_cast<std::size_t>(l) * ldb];
+      const T b2 = alpha * b[j + 2 + static_cast<std::size_t>(l) * ldb];
+      const T b3 = alpha * b[j + 3 + static_cast<std::size_t>(l) * ldb];
+      for (idx_t i = 0; i < m; ++i) {
+        const T x = a0[i];
+        c0[i] += x * b0;
+        c1[i] += x * b1;
+        c2[i] += x * b2;
+        c3[i] += x * b3;
+      }
+    }
+  }
+  for (; j < n; ++j) {
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (idx_t l = 0; l < k; ++l) {
+      const T* al = a + static_cast<std::size_t>(l) * lda;
+      const T bjl = alpha * b[j + static_cast<std::size_t>(l) * ldb];
+      for (idx_t i = 0; i < m; ++i) cj[i] += al[i] * bjl;
+    }
+  }
+}
+
+/// C(m x n) += alpha * A(m x k) * B(k x n)   — plain GEMM (solve phase).
+template <class T>
+void gemm_nn(idx_t m, idx_t n, idx_t k, T alpha, const T* a, idx_t lda,
+             const T* b, idx_t ldb, T* c, idx_t ldc) {
+  for (idx_t j = 0; j < n; ++j) {
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
+    const T* bj = b + static_cast<std::size_t>(j) * ldb;
+    for (idx_t l = 0; l < k; ++l) {
+      const T* al = a + static_cast<std::size_t>(l) * lda;
+      const T blj = alpha * bj[l];
+      for (idx_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+    }
+  }
+}
+
+/// C(n x n, lower triangle only) += alpha * A(n x k) * A^t — symmetric rank-k
+/// update used by the multifrontal LL^t baseline.
+template <class T>
+void syrk_lower_nt(idx_t n, idx_t k, T alpha, const T* a, idx_t lda, T* c,
+                   idx_t ldc) {
+  for (idx_t j = 0; j < n; ++j) {
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (idx_t l = 0; l < k; ++l) {
+      const T* al = a + static_cast<std::size_t>(l) * lda;
+      const T ajl = alpha * al[j];
+      for (idx_t i = j; i < n; ++i) cj[i] += al[i] * ajl;
+    }
+  }
+}
+
+/// A(m x n) := A * L^{-t} where L (n x n) is *unit* lower triangular —
+/// the LDL^t panel solve (division by D is applied separately).
+template <class T>
+void trsm_right_lt_unit(idx_t m, idx_t n, const T* l, idx_t ldl, T* a,
+                        idx_t lda) {
+  // Column j of the result depends on columns < j: X(:,j) = A(:,j) -
+  // sum_{p<j} X(:,p) * L(j,p).
+  for (idx_t j = 0; j < n; ++j) {
+    T* aj = a + static_cast<std::size_t>(j) * lda;
+    for (idx_t p = 0; p < j; ++p) {
+      const T ljp = l[j + static_cast<std::size_t>(p) * ldl];
+      const T* ap = a + static_cast<std::size_t>(p) * lda;
+      for (idx_t i = 0; i < m; ++i) aj[i] -= ap[i] * ljp;
+    }
+  }
+}
+
+/// A(m x n) := A * L^{-t} with L non-unit lower triangular (LL^t panel solve).
+template <class T>
+void trsm_right_lt(idx_t m, idx_t n, const T* l, idx_t ldl, T* a, idx_t lda) {
+  for (idx_t j = 0; j < n; ++j) {
+    T* aj = a + static_cast<std::size_t>(j) * lda;
+    for (idx_t p = 0; p < j; ++p) {
+      const T ljp = l[j + static_cast<std::size_t>(p) * ldl];
+      const T* ap = a + static_cast<std::size_t>(p) * lda;
+      for (idx_t i = 0; i < m; ++i) aj[i] -= ap[i] * ljp;
+    }
+    const T inv = T(1) / l[j + static_cast<std::size_t>(j) * ldl];
+    for (idx_t i = 0; i < m; ++i) aj[i] *= inv;
+  }
+}
+
+/// Scale columns: A(:, j) *= d[j] (or /= d[j] with invert = true).
+template <class T>
+void scale_columns(idx_t m, idx_t n, T* a, idx_t lda, const T* d, bool invert) {
+  for (idx_t j = 0; j < n; ++j) {
+    const T s = invert ? T(1) / d[j] : d[j];
+    T* aj = a + static_cast<std::size_t>(j) * lda;
+    for (idx_t i = 0; i < m; ++i) aj[i] *= s;
+  }
+}
+
+/// In-place dense LDL^t without pivoting: on return the strict lower part of
+/// A holds L (unit diagonal implicit) and the diagonal holds D.  Throws on a
+/// (near-)zero pivot — the factorization targets SPD/diagonally dominant
+/// symmetric systems, as in the paper.
+template <class T>
+void dense_ldlt(idx_t n, T* a, idx_t lda) {
+  for (idx_t j = 0; j < n; ++j) {
+    T* aj = a + static_cast<std::size_t>(j) * lda;
+    // Update column j with previous columns: a(j:, j) -= sum_p L(j:,p) d(p) L(j,p).
+    for (idx_t p = 0; p < j; ++p) {
+      const T* ap = a + static_cast<std::size_t>(p) * lda;
+      const T w = ap[j] * ap[p];  // L(j,p) * d(p)
+      for (idx_t i = j; i < n; ++i) aj[i] -= ap[i] * w;
+    }
+    const T d = aj[j];
+    PASTIX_CHECK(abs2(d) > 1e-300, "zero pivot in dense LDL^t");
+    const T inv = T(1) / d;
+    for (idx_t i = j + 1; i < n; ++i) aj[i] *= inv;
+  }
+}
+
+/// In-place dense Cholesky LL^t (lower).  Used by the multifrontal baseline
+/// (PSPASES factors LL^t) and the kernel benchmark of Section 3.
+template <class T>
+void dense_llt(idx_t n, T* a, idx_t lda) {
+  for (idx_t j = 0; j < n; ++j) {
+    T* aj = a + static_cast<std::size_t>(j) * lda;
+    for (idx_t p = 0; p < j; ++p) {
+      const T* ap = a + static_cast<std::size_t>(p) * lda;
+      const T w = ap[j];
+      for (idx_t i = j; i < n; ++i) aj[i] -= ap[i] * w;
+    }
+    T d = aj[j];
+    if constexpr (std::is_same_v<T, double>) {
+      PASTIX_CHECK(d > 0, "non-positive pivot in dense LL^t");
+      d = std::sqrt(d);
+    } else {
+      d = std::sqrt(d);  // principal branch; fine for dominant real parts
+      PASTIX_CHECK(abs2(d) > 1e-300, "zero pivot in dense LL^t");
+    }
+    aj[j] = d;
+    const T inv = T(1) / d;
+    for (idx_t i = j + 1; i < n; ++i) aj[i] *= inv;
+  }
+}
+
+/// y(m) += alpha * A(m x n) * x(n)
+template <class T>
+void gemv_n(idx_t m, idx_t n, T alpha, const T* a, idx_t lda, const T* x,
+            T* y) {
+  for (idx_t j = 0; j < n; ++j) {
+    const T w = alpha * x[j];
+    const T* aj = a + static_cast<std::size_t>(j) * lda;
+    for (idx_t i = 0; i < m; ++i) y[i] += aj[i] * w;
+  }
+}
+
+/// y(n) += alpha * A(m x n)^t * x(m)
+template <class T>
+void gemv_t(idx_t m, idx_t n, T alpha, const T* a, idx_t lda, const T* x,
+            T* y) {
+  for (idx_t j = 0; j < n; ++j) {
+    const T* aj = a + static_cast<std::size_t>(j) * lda;
+    T acc{};
+    for (idx_t i = 0; i < m; ++i) acc += aj[i] * x[i];
+    y[j] += alpha * acc;
+  }
+}
+
+/// Forward solve L x = b in place (L unit lower, n x n).
+template <class T>
+void trsv_lower_unit(idx_t n, const T* l, idx_t ldl, T* x) {
+  for (idx_t j = 0; j < n; ++j) {
+    const T xj = x[j];
+    const T* lj = l + static_cast<std::size_t>(j) * ldl;
+    for (idx_t i = j + 1; i < n; ++i) x[i] -= lj[i] * xj;
+  }
+}
+
+/// Backward solve L^t x = b in place (L unit lower, n x n).
+template <class T>
+void trsv_lower_unit_t(idx_t n, const T* l, idx_t ldl, T* x) {
+  for (idx_t j = n - 1; j >= 0; --j) {
+    const T* lj = l + static_cast<std::size_t>(j) * ldl;
+    T acc = x[j];
+    for (idx_t i = j + 1; i < n; ++i) acc -= lj[i] * x[i];
+    x[j] = acc;
+  }
+}
+
+/// Forward solve L x = b (non-unit lower) in place.
+template <class T>
+void trsv_lower(idx_t n, const T* l, idx_t ldl, T* x) {
+  for (idx_t j = 0; j < n; ++j) {
+    const T* lj = l + static_cast<std::size_t>(j) * ldl;
+    x[j] /= lj[j];
+    const T xj = x[j];
+    for (idx_t i = j + 1; i < n; ++i) x[i] -= lj[i] * xj;
+  }
+}
+
+/// Backward solve L^t x = b (non-unit lower) in place.
+template <class T>
+void trsv_lower_t(idx_t n, const T* l, idx_t ldl, T* x) {
+  for (idx_t j = n - 1; j >= 0; --j) {
+    const T* lj = l + static_cast<std::size_t>(j) * ldl;
+    T acc = x[j];
+    for (idx_t i = j + 1; i < n; ++i) acc -= lj[i] * x[i];
+    x[j] = acc / lj[j];
+  }
+}
+
+} // namespace pastix

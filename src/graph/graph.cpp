@@ -1,0 +1,156 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace pastix {
+
+Graph graph_from_pattern(const SparsePattern& p) {
+  Graph g;
+  g.n = p.n;
+  g.xadj.assign(static_cast<std::size_t>(p.n) + 1, 0);
+  // Each strict-lower entry (i, j) contributes to both adjacency lists.
+  for (idx_t j = 0; j < p.n; ++j)
+    for (idx_t q = p.colptr[j]; q < p.colptr[j + 1]; ++q) {
+      g.xadj[static_cast<std::size_t>(j) + 1]++;
+      g.xadj[static_cast<std::size_t>(p.rowind[q]) + 1]++;
+    }
+  for (idx_t v = 0; v < p.n; ++v)
+    g.xadj[static_cast<std::size_t>(v) + 1] += g.xadj[static_cast<std::size_t>(v)];
+  g.adjncy.resize(static_cast<std::size_t>(g.xadj[p.n]));
+  std::vector<idx_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+  for (idx_t j = 0; j < p.n; ++j)
+    for (idx_t q = p.colptr[j]; q < p.colptr[j + 1]; ++q) {
+      const idx_t i = p.rowind[q];
+      g.adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(j)]++)] = i;
+      g.adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(i)]++)] = j;
+    }
+  for (idx_t v = 0; v < p.n; ++v)
+    std::sort(g.adjncy.begin() + g.xadj[v], g.adjncy.begin() + g.xadj[v + 1]);
+  return g;
+}
+
+namespace {
+bool in_mask(const std::vector<char>& mask, idx_t v) {
+  return mask.empty() || mask[static_cast<std::size_t>(v)];
+}
+} // namespace
+
+BfsLevels bfs_levels(const Graph& g, idx_t start, const std::vector<char>& mask) {
+  PASTIX_CHECK(start >= 0 && start < g.n, "bfs start out of range");
+  PASTIX_CHECK(in_mask(mask, start), "bfs start not in mask");
+  BfsLevels out;
+  out.level.assign(static_cast<std::size_t>(g.n), kNone);
+  out.order.reserve(static_cast<std::size_t>(g.n));
+  out.order.push_back(start);
+  out.level[static_cast<std::size_t>(start)] = 0;
+  std::size_t head = 0;
+  while (head < out.order.size()) {
+    const idx_t v = out.order[head++];
+    const idx_t lv = out.level[static_cast<std::size_t>(v)];
+    for (const idx_t* w = g.adj_begin(v); w != g.adj_end(v); ++w) {
+      if (!in_mask(mask, *w) || out.level[static_cast<std::size_t>(*w)] != kNone)
+        continue;
+      out.level[static_cast<std::size_t>(*w)] = lv + 1;
+      out.order.push_back(*w);
+    }
+  }
+  out.num_levels = out.level[static_cast<std::size_t>(out.order.back())] + 1;
+  return out;
+}
+
+idx_t pseudo_peripheral(const Graph& g, idx_t start, const std::vector<char>& mask) {
+  idx_t best = start;
+  idx_t best_depth = -1;
+  // A handful of sweeps converges in practice (George-Liu heuristic).
+  for (int sweep = 0; sweep < 6; ++sweep) {
+    const BfsLevels levels = bfs_levels(g, best, mask);
+    if (levels.num_levels <= best_depth) break;
+    best_depth = levels.num_levels;
+    // Pick a minimum-degree vertex in the last level.
+    idx_t candidate = levels.order.back();
+    for (auto it = levels.order.rbegin(); it != levels.order.rend(); ++it) {
+      if (levels.level[static_cast<std::size_t>(*it)] != best_depth - 1) break;
+      if (g.degree(*it) < g.degree(candidate)) candidate = *it;
+    }
+    best = candidate;
+  }
+  return best;
+}
+
+idx_t connected_components(const Graph& g, const std::vector<char>& mask,
+                           std::vector<idx_t>& comp) {
+  comp.assign(static_cast<std::size_t>(g.n), kNone);
+  idx_t ncomp = 0;
+  std::vector<idx_t> stack;
+  for (idx_t s = 0; s < g.n; ++s) {
+    if (!in_mask(mask, s) || comp[static_cast<std::size_t>(s)] != kNone) continue;
+    stack.push_back(s);
+    comp[static_cast<std::size_t>(s)] = ncomp;
+    while (!stack.empty()) {
+      const idx_t v = stack.back();
+      stack.pop_back();
+      for (const idx_t* w = g.adj_begin(v); w != g.adj_end(v); ++w)
+        if (in_mask(mask, *w) && comp[static_cast<std::size_t>(*w)] == kNone) {
+          comp[static_cast<std::size_t>(*w)] = ncomp;
+          stack.push_back(*w);
+        }
+    }
+    ++ncomp;
+  }
+  return ncomp;
+}
+
+Subgraph extract_subgraph(const Graph& g, const std::vector<idx_t>& vertices,
+                          bool with_halo) {
+  Subgraph out;
+  out.num_interior = static_cast<idx_t>(vertices.size());
+
+  std::vector<idx_t> local(static_cast<std::size_t>(g.n), kNone);
+  out.orig = vertices;
+  for (idx_t l = 0; l < out.num_interior; ++l)
+    local[static_cast<std::size_t>(vertices[static_cast<std::size_t>(l)])] = l;
+
+  if (with_halo) {
+    for (const idx_t v : vertices)
+      for (const idx_t* w = g.adj_begin(v); w != g.adj_end(v); ++w)
+        if (local[static_cast<std::size_t>(*w)] == kNone) {
+          local[static_cast<std::size_t>(*w)] = static_cast<idx_t>(out.orig.size());
+          out.orig.push_back(*w);
+        }
+  }
+
+  const idx_t nloc = static_cast<idx_t>(out.orig.size());
+  out.g.n = nloc;
+  out.g.xadj.assign(static_cast<std::size_t>(nloc) + 1, 0);
+  // Interior vertices keep all their (mapped) neighbours; halo vertices only
+  // keep edges back into the interior (halo-halo edges do not influence the
+  // minimum-degree behaviour of interior eliminations at first order, and
+  // dropping them keeps extraction linear in the interior size).
+  auto keep = [&](idx_t lu, idx_t lv) {
+    return lu < out.num_interior || lv < out.num_interior;
+  };
+  for (idx_t lu = 0; lu < nloc; ++lu) {
+    const idx_t u = out.orig[static_cast<std::size_t>(lu)];
+    for (const idx_t* w = g.adj_begin(u); w != g.adj_end(u); ++w) {
+      const idx_t lv = local[static_cast<std::size_t>(*w)];
+      if (lv != kNone && keep(lu, lv))
+        out.g.xadj[static_cast<std::size_t>(lu) + 1]++;
+    }
+  }
+  for (idx_t v = 0; v < nloc; ++v)
+    out.g.xadj[static_cast<std::size_t>(v) + 1] +=
+        out.g.xadj[static_cast<std::size_t>(v)];
+  out.g.adjncy.resize(static_cast<std::size_t>(out.g.xadj[nloc]));
+  std::vector<idx_t> cursor(out.g.xadj.begin(), out.g.xadj.end() - 1);
+  for (idx_t lu = 0; lu < nloc; ++lu) {
+    const idx_t u = out.orig[static_cast<std::size_t>(lu)];
+    for (const idx_t* w = g.adj_begin(u); w != g.adj_end(u); ++w) {
+      const idx_t lv = local[static_cast<std::size_t>(*w)];
+      if (lv != kNone && keep(lu, lv))
+        out.g.adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(lu)]++)] = lv;
+    }
+  }
+  return out;
+}
+
+} // namespace pastix

@@ -1,0 +1,67 @@
+#pragma once
+//
+// Undirected adjacency graph of a symmetric sparse matrix, plus the
+// traversal primitives used by the ordering phase (BFS level structures,
+// pseudo-peripheral vertices, subgraph extraction with halo).
+//
+#include <vector>
+
+#include "sparse/sym_sparse.hpp"
+
+namespace pastix {
+
+/// Compressed adjacency of an undirected graph (no self loops).
+struct Graph {
+  idx_t n = 0;
+  std::vector<idx_t> xadj;    ///< size n+1
+  std::vector<idx_t> adjncy;  ///< size xadj[n], both directions stored
+
+  [[nodiscard]] idx_t degree(idx_t v) const { return xadj[v + 1] - xadj[v]; }
+  [[nodiscard]] big_t num_edges() const {
+    return xadj.empty() ? 0 : static_cast<big_t>(xadj[n]) / 2;
+  }
+
+  /// Iterate neighbours of v as a pair of pointers.
+  [[nodiscard]] const idx_t* adj_begin(idx_t v) const {
+    return adjncy.data() + xadj[v];
+  }
+  [[nodiscard]] const idx_t* adj_end(idx_t v) const {
+    return adjncy.data() + xadj[v + 1];
+  }
+};
+
+/// Build the full (both triangles) adjacency graph of a symmetric pattern.
+Graph graph_from_pattern(const SparsePattern& p);
+
+/// Result of a breadth-first level decomposition.
+struct BfsLevels {
+  std::vector<idx_t> level;     ///< per vertex; kNone if unreachable
+  std::vector<idx_t> order;     ///< vertices in visit order
+  idx_t num_levels = 0;
+};
+
+/// BFS from `start` restricted to vertices with mask[v] == true
+/// (mask may be empty meaning "all vertices").
+BfsLevels bfs_levels(const Graph& g, idx_t start, const std::vector<char>& mask);
+
+/// Pseudo-peripheral vertex of the component of `start` (repeated BFS).
+idx_t pseudo_peripheral(const Graph& g, idx_t start, const std::vector<char>& mask);
+
+/// Connected components over masked vertices: returns component id per
+/// vertex (kNone for unmasked) and the number of components.
+idx_t connected_components(const Graph& g, const std::vector<char>& mask,
+                           std::vector<idx_t>& comp);
+
+/// Induced subgraph over `vertices`, optionally extended with its halo
+/// (vertices outside the set adjacent to it).  Interior vertices come first
+/// (in the given order), halo vertices after.
+struct Subgraph {
+  Graph g;
+  std::vector<idx_t> orig;  ///< local -> original vertex id
+  idx_t num_interior = 0;   ///< locals [0, num_interior) are interior
+};
+
+Subgraph extract_subgraph(const Graph& g, const std::vector<idx_t>& vertices,
+                          bool with_halo);
+
+} // namespace pastix

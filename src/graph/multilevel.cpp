@@ -1,0 +1,258 @@
+#include "graph/multilevel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace pastix {
+
+WeightedGraph weighted_from_subgraph(const Graph& g,
+                                     const std::vector<idx_t>& vertices) {
+  WeightedGraph wg;
+  wg.n = static_cast<idx_t>(vertices.size());
+  std::vector<idx_t> local(static_cast<std::size_t>(g.n), kNone);
+  for (idx_t l = 0; l < wg.n; ++l)
+    local[static_cast<std::size_t>(vertices[static_cast<std::size_t>(l)])] = l;
+
+  wg.xadj.assign(static_cast<std::size_t>(wg.n) + 1, 0);
+  for (idx_t l = 0; l < wg.n; ++l) {
+    const idx_t v = vertices[static_cast<std::size_t>(l)];
+    for (const idx_t* w = g.adj_begin(v); w != g.adj_end(v); ++w)
+      if (local[static_cast<std::size_t>(*w)] != kNone)
+        wg.xadj[static_cast<std::size_t>(l) + 1]++;
+  }
+  for (idx_t l = 0; l < wg.n; ++l)
+    wg.xadj[static_cast<std::size_t>(l) + 1] += wg.xadj[static_cast<std::size_t>(l)];
+  wg.adjncy.resize(static_cast<std::size_t>(wg.xadj[wg.n]));
+  wg.ewgt.assign(wg.adjncy.size(), 1);
+  wg.vwgt.assign(static_cast<std::size_t>(wg.n), 1);
+  std::vector<idx_t> cursor(wg.xadj.begin(), wg.xadj.end() - 1);
+  for (idx_t l = 0; l < wg.n; ++l) {
+    const idx_t v = vertices[static_cast<std::size_t>(l)];
+    for (const idx_t* w = g.adj_begin(v); w != g.adj_end(v); ++w) {
+      const idx_t lw = local[static_cast<std::size_t>(*w)];
+      if (lw != kNone)
+        wg.adjncy[static_cast<std::size_t>(cursor[static_cast<std::size_t>(l)]++)] = lw;
+    }
+  }
+  return wg;
+}
+
+namespace {
+
+/// Heavy-edge matching coarsening.  Returns the coarse graph and fills
+/// `coarse_of` (fine vertex -> coarse vertex).
+WeightedGraph coarsen(const WeightedGraph& fine, Rng& rng,
+                      std::vector<idx_t>& coarse_of) {
+  const idx_t n = fine.n;
+  coarse_of.assign(static_cast<std::size_t>(n), kNone);
+  std::vector<idx_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t k = order.size(); k > 1; --k)
+    std::swap(order[k - 1], order[rng.next_below(k)]);
+
+  idx_t ncoarse = 0;
+  for (const idx_t v : order) {
+    if (coarse_of[static_cast<std::size_t>(v)] != kNone) continue;
+    // Match with the unmatched neighbour of maximum edge weight.
+    idx_t best = kNone, best_w = 0;
+    for (idx_t e = fine.xadj[static_cast<std::size_t>(v)];
+         e < fine.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const idx_t u = fine.adjncy[static_cast<std::size_t>(e)];
+      if (u == v || coarse_of[static_cast<std::size_t>(u)] != kNone) continue;
+      if (fine.ewgt[static_cast<std::size_t>(e)] > best_w) {
+        best_w = fine.ewgt[static_cast<std::size_t>(e)];
+        best = u;
+      }
+    }
+    coarse_of[static_cast<std::size_t>(v)] = ncoarse;
+    if (best != kNone) coarse_of[static_cast<std::size_t>(best)] = ncoarse;
+    ++ncoarse;
+  }
+
+  // Build the coarse graph: sum vertex weights; merge parallel edges.
+  WeightedGraph coarse;
+  coarse.n = ncoarse;
+  coarse.vwgt.assign(static_cast<std::size_t>(ncoarse), 0);
+  for (idx_t v = 0; v < n; ++v)
+    coarse.vwgt[static_cast<std::size_t>(coarse_of[static_cast<std::size_t>(v)])] +=
+        fine.vwgt[static_cast<std::size_t>(v)];
+
+  // Accumulate edges with a stamp-based merger, one coarse vertex at a time.
+  std::vector<std::vector<idx_t>> members(static_cast<std::size_t>(ncoarse));
+  for (idx_t v = 0; v < n; ++v)
+    members[static_cast<std::size_t>(coarse_of[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  std::vector<idx_t> stamp(static_cast<std::size_t>(ncoarse), -1);
+  std::vector<idx_t> slot(static_cast<std::size_t>(ncoarse), 0);
+  coarse.xadj.assign(static_cast<std::size_t>(ncoarse) + 1, 0);
+  std::vector<idx_t> nbr;
+  std::vector<idx_t> wsum;
+  for (idx_t c = 0; c < ncoarse; ++c) {
+    nbr.clear();
+    wsum.clear();
+    for (const idx_t v : members[static_cast<std::size_t>(c)]) {
+      for (idx_t e = fine.xadj[static_cast<std::size_t>(v)];
+           e < fine.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+        const idx_t cu =
+            coarse_of[static_cast<std::size_t>(fine.adjncy[static_cast<std::size_t>(e)])];
+        if (cu == c) continue;  // internal edge disappears
+        if (stamp[static_cast<std::size_t>(cu)] != c) {
+          stamp[static_cast<std::size_t>(cu)] = c;
+          slot[static_cast<std::size_t>(cu)] = static_cast<idx_t>(nbr.size());
+          nbr.push_back(cu);
+          wsum.push_back(0);
+        }
+        wsum[static_cast<std::size_t>(slot[static_cast<std::size_t>(cu)])] +=
+            fine.ewgt[static_cast<std::size_t>(e)];
+      }
+    }
+    coarse.xadj[static_cast<std::size_t>(c) + 1] =
+        coarse.xadj[static_cast<std::size_t>(c)] + static_cast<idx_t>(nbr.size());
+    coarse.adjncy.insert(coarse.adjncy.end(), nbr.begin(), nbr.end());
+    coarse.ewgt.insert(coarse.ewgt.end(), wsum.begin(), wsum.end());
+  }
+  return coarse;
+}
+
+/// Weighted FM refinement (hill-climbing passes with balance constraint).
+void refine(const WeightedGraph& wg, std::vector<signed char>& part,
+            const MultilevelOptions& opt, Rng& rng) {
+  const big_t total = wg.total_vweight();
+  const big_t max_side =
+      static_cast<big_t>((1.0 + opt.balance_tolerance) * total / 2.0) + 1;
+  big_t side_w[2] = {0, 0};
+  for (idx_t v = 0; v < wg.n; ++v)
+    side_w[part[static_cast<std::size_t>(v)]] += wg.vwgt[static_cast<std::size_t>(v)];
+
+  std::vector<idx_t> order(static_cast<std::size_t>(wg.n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int pass = 0; pass < opt.refine_passes; ++pass) {
+    for (std::size_t k = order.size(); k > 1; --k)
+      std::swap(order[k - 1], order[rng.next_below(k)]);
+    bool improved = false;
+    for (const idx_t v : order) {
+      const int side = part[static_cast<std::size_t>(v)];
+      const big_t vw = wg.vwgt[static_cast<std::size_t>(v)];
+      if (side_w[1 - side] + vw > max_side || side_w[side] - vw <= 0) continue;
+      idx_t gain = 0;
+      for (idx_t e = wg.xadj[static_cast<std::size_t>(v)];
+           e < wg.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+        const idx_t u = wg.adjncy[static_cast<std::size_t>(e)];
+        gain += (part[static_cast<std::size_t>(u)] != side)
+                    ? wg.ewgt[static_cast<std::size_t>(e)]
+                    : -wg.ewgt[static_cast<std::size_t>(e)];
+      }
+      const bool balance_move =
+          gain == 0 && side_w[side] > side_w[1 - side] + vw;
+      if (gain > 0 || balance_move) {
+        part[static_cast<std::size_t>(v)] = static_cast<signed char>(1 - side);
+        side_w[side] -= vw;
+        side_w[1 - side] += vw;
+        if (gain > 0) improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+/// Initial bisection of the coarsest graph: BFS layering by vertex weight
+/// from a few random seeds, keep the best cut.
+std::vector<signed char> initial_bisection(const WeightedGraph& wg,
+                                           const MultilevelOptions& opt,
+                                           Rng& rng) {
+  std::vector<signed char> best;
+  big_t best_cut = -1;
+  const big_t half = wg.total_vweight() / 2;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    std::vector<signed char> part(static_cast<std::size_t>(wg.n), 1);
+    std::vector<char> seen(static_cast<std::size_t>(wg.n), 0);
+    std::vector<idx_t> queue;
+    const idx_t start =
+        static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(wg.n)));
+    queue.push_back(start);
+    seen[static_cast<std::size_t>(start)] = 1;
+    big_t grabbed = 0;
+    std::size_t head = 0;
+    while (head < queue.size() && grabbed < half) {
+      const idx_t v = queue[head++];
+      part[static_cast<std::size_t>(v)] = 0;
+      grabbed += wg.vwgt[static_cast<std::size_t>(v)];
+      for (idx_t e = wg.xadj[static_cast<std::size_t>(v)];
+           e < wg.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+        const idx_t u = wg.adjncy[static_cast<std::size_t>(e)];
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          queue.push_back(u);
+        }
+      }
+      // Disconnected coarse graph: restart BFS elsewhere.
+      if (head == queue.size() && grabbed < half)
+        for (idx_t u = 0; u < wg.n; ++u)
+          if (!seen[static_cast<std::size_t>(u)]) {
+            seen[static_cast<std::size_t>(u)] = 1;
+            queue.push_back(u);
+            break;
+          }
+    }
+    refine(wg, part, opt, rng);
+    const big_t cut = bisection_cut(wg, part);
+    if (best_cut < 0 || cut < best_cut) {
+      best_cut = cut;
+      best = std::move(part);
+    }
+  }
+  return best;
+}
+
+} // namespace
+
+big_t bisection_cut(const WeightedGraph& wg,
+                    const std::vector<signed char>& part) {
+  big_t cut = 0;
+  for (idx_t v = 0; v < wg.n; ++v)
+    for (idx_t e = wg.xadj[static_cast<std::size_t>(v)];
+         e < wg.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const idx_t u = wg.adjncy[static_cast<std::size_t>(e)];
+      if (u > v && part[static_cast<std::size_t>(u)] !=
+                       part[static_cast<std::size_t>(v)])
+        cut += wg.ewgt[static_cast<std::size_t>(e)];
+    }
+  return cut;
+}
+
+std::vector<signed char> multilevel_bisection(const WeightedGraph& wg,
+                                              const MultilevelOptions& opt) {
+  PASTIX_CHECK(wg.n >= 2, "cannot bisect fewer than two vertices");
+  Rng rng(opt.seed);
+
+  // --- Coarsening phase. -----------------------------------------------------
+  std::vector<WeightedGraph> levels;
+  std::vector<std::vector<idx_t>> maps;  // fine -> coarse per level
+  levels.push_back(wg);
+  while (levels.back().n > opt.coarsen_until) {
+    std::vector<idx_t> coarse_of;
+    WeightedGraph coarse = coarsen(levels.back(), rng, coarse_of);
+    if (coarse.n >= static_cast<idx_t>(opt.min_shrink * levels.back().n))
+      break;  // matching stalled (e.g. star graphs)
+    maps.push_back(std::move(coarse_of));
+    levels.push_back(std::move(coarse));
+  }
+
+  // --- Initial partition on the coarsest level. ------------------------------
+  std::vector<signed char> part = initial_bisection(levels.back(), opt, rng);
+
+  // --- Uncoarsening with refinement. -----------------------------------------
+  for (std::size_t l = maps.size(); l-- > 0;) {
+    const auto& map = maps[l];
+    std::vector<signed char> fine_part(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v)
+      fine_part[v] = part[static_cast<std::size_t>(map[v])];
+    part = std::move(fine_part);
+    refine(levels[l], part, opt, rng);
+  }
+  return part;
+}
+
+} // namespace pastix

@@ -1,0 +1,138 @@
+#include "graph/separator.hpp"
+
+#include "graph/multilevel.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace pastix {
+
+namespace {
+
+// Gain of moving v to the other side = (external - internal) edges.
+idx_t move_gain(const Graph& g, const std::vector<signed char>& part, idx_t v) {
+  const signed char side = part[static_cast<std::size_t>(v)];
+  idx_t gain = 0;
+  for (const idx_t* w = g.adj_begin(v); w != g.adj_end(v); ++w) {
+    const signed char pw = part[static_cast<std::size_t>(*w)];
+    if (pw < 0) continue;
+    gain += (pw != side) ? 1 : -1;
+  }
+  return gain;
+}
+
+} // namespace
+
+SeparatorResult find_vertex_separator(const Graph& g,
+                                      const std::vector<char>& mask,
+                                      const std::vector<idx_t>& vertices,
+                                      const SeparatorOptions& opt) {
+  PASTIX_CHECK(!vertices.empty(), "empty subdomain");
+  const idx_t nsub = static_cast<idx_t>(vertices.size());
+
+  SeparatorResult res;
+  res.part.assign(static_cast<std::size_t>(g.n), -1);
+
+  if (opt.multilevel && nsub > opt.multilevel_threshold) {
+    // --- 1a. Multilevel edge bisection (Scotch-style). ----------------------
+    MultilevelOptions mopt;
+    mopt.balance_tolerance = opt.balance_tolerance;
+    mopt.refine_passes = opt.fm_passes;
+    mopt.seed = opt.seed;
+    const WeightedGraph wg = weighted_from_subgraph(g, vertices);
+    const std::vector<signed char> part = multilevel_bisection(wg, mopt);
+    for (idx_t l = 0; l < nsub; ++l)
+      res.part[static_cast<std::size_t>(vertices[static_cast<std::size_t>(l)])] =
+          part[static_cast<std::size_t>(l)];
+  } else {
+    // --- 1b. BFS level structure + flat FM (small subdomains). --------------
+    const idx_t source = pseudo_peripheral(g, vertices.front(), mask);
+    const BfsLevels levels = bfs_levels(g, source, mask);
+    PASTIX_CHECK(static_cast<idx_t>(levels.order.size()) == nsub,
+                 "subdomain must be connected");
+    for (idx_t k = 0; k < nsub; ++k)
+      res.part[static_cast<std::size_t>(
+          levels.order[static_cast<std::size_t>(k)])] = (k < nsub / 2) ? 0 : 1;
+
+    const idx_t max_side =
+        static_cast<idx_t>((1.0 + opt.balance_tolerance) * nsub / 2.0) + 1;
+    idx_t size0 = nsub / 2, size1 = nsub - size0;
+    Rng rng(opt.seed);
+
+    for (int pass = 0; pass < opt.fm_passes; ++pass) {
+      bool improved = false;
+      // Visit vertices in a randomized order; hill-climb only (strictly
+      // positive gain, or zero-gain moves that improve balance).
+      std::vector<idx_t> order(vertices);
+      for (std::size_t k = order.size(); k > 1; --k)
+        std::swap(order[k - 1], order[rng.next_below(k)]);
+      for (const idx_t v : order) {
+        const signed char side = res.part[static_cast<std::size_t>(v)];
+        idx_t& from = (side == 0) ? size0 : size1;
+        idx_t& to = (side == 0) ? size1 : size0;
+        if (to + 1 > max_side || from - 1 <= 0) continue;
+        const idx_t gain = move_gain(g, res.part, v);
+        const bool balance_move = (gain == 0 && from > to + 1);
+        if (gain > 0 || balance_move) {
+          res.part[static_cast<std::size_t>(v)] =
+              static_cast<signed char>(1 - side);
+          --from;
+          ++to;
+          if (gain > 0) improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  // --- 3. Vertex separator from the edge cut. -------------------------------
+  // Boundary of side s = vertices of s with a neighbour in 1-s.  Take the
+  // smaller boundary as separator.
+  std::vector<idx_t> boundary[2];
+  for (const idx_t v : vertices) {
+    const signed char side = res.part[static_cast<std::size_t>(v)];
+    for (const idx_t* w = g.adj_begin(v); w != g.adj_end(v); ++w) {
+      const signed char pw = res.part[static_cast<std::size_t>(*w)];
+      if (pw >= 0 && pw != side && pw != 2) {
+        boundary[side].push_back(v);
+        break;
+      }
+    }
+  }
+  const int sep_side = (boundary[0].size() <= boundary[1].size()) ? 0 : 1;
+  for (const idx_t v : boundary[sep_side])
+    res.part[static_cast<std::size_t>(v)] = 2;
+
+  // Minimize: a separator vertex whose neighbours all lie in the separator
+  // or one single side can be returned to that side.
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (const idx_t v : boundary[sep_side]) {
+      if (res.part[static_cast<std::size_t>(v)] != 2) continue;
+      bool touches[2] = {false, false};
+      for (const idx_t* w = g.adj_begin(v); w != g.adj_end(v); ++w) {
+        const signed char pw = res.part[static_cast<std::size_t>(*w)];
+        if (pw == 0) touches[0] = true;
+        if (pw == 1) touches[1] = true;
+      }
+      if (!(touches[0] && touches[1])) {
+        res.part[static_cast<std::size_t>(v)] =
+            touches[1] ? 1 : 0;  // isolated-in-sep vertices go to side 0
+        shrunk = true;
+      }
+    }
+  }
+
+  for (const idx_t v : vertices) {
+    switch (res.part[static_cast<std::size_t>(v)]) {
+      case 0: res.size_a++; break;
+      case 1: res.size_b++; break;
+      default: res.size_sep++; break;
+    }
+  }
+  return res;
+}
+
+} // namespace pastix

@@ -1,0 +1,44 @@
+#pragma once
+//
+// Vertex separator computation for nested dissection.
+//
+// Pipeline (a compact version of what Scotch does for ND):
+//   1. pseudo-peripheral BFS level structure -> initial balanced bisection,
+//   2. Fiduccia-Mattheyses-style passes refining the edge cut under a
+//      balance constraint,
+//   3. vertex separator extracted from the edge cut (boundary of the side
+//      with the smaller boundary), then greedily minimized (separator
+//      vertices with all neighbours on one side are given back).
+//
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pastix {
+
+struct SeparatorOptions {
+  double balance_tolerance = 0.2;  ///< |A|,|B| within (1 +- tol) * n/2
+  int fm_passes = 8;               ///< max refinement passes
+  std::uint64_t seed = 1;          ///< tie-break randomization
+  /// Use multilevel (heavy-edge matching) bisection above this subdomain
+  /// size; below it a single BFS + FM pass is both faster and good enough.
+  bool multilevel = true;
+  idx_t multilevel_threshold = 400;
+};
+
+/// Result of a bisection: part[v] in {0, 1} for the two sides, 2 for the
+/// separator.  Only masked vertices are assigned; others keep kNone.
+struct SeparatorResult {
+  std::vector<signed char> part;  ///< size n; 0/1/2 or -1 (not in mask)
+  idx_t size_a = 0, size_b = 0, size_sep = 0;
+};
+
+/// Split the masked subgraph with a vertex separator.  The mask selects the
+/// current ND subdomain inside the full graph (empty mask = whole graph).
+/// The masked subgraph must be connected (callers split components first).
+SeparatorResult find_vertex_separator(const Graph& g,
+                                      const std::vector<char>& mask,
+                                      const std::vector<idx_t>& vertices,
+                                      const SeparatorOptions& opt);
+
+} // namespace pastix

@@ -1,0 +1,119 @@
+#include "map/candidates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pastix {
+
+double cblk_comp1d_cost(const SymbolMatrix& s, idx_t k, const CostModel& m) {
+  const double w = s.cblks[static_cast<std::size_t>(k)].width();
+  const double h = s.cblk_below_rows(k);
+  double cost = m.factor_ldlt_time(w) + (h > 0 ? m.trsm_time(h, w) : 0.0);
+  // One GEMM per off-diagonal blok: rows from that blok downward times the
+  // blok's rows (the compacted update of the COMP1D task).
+  const idx_t first = s.cblks[static_cast<std::size_t>(k)].bloknum + 1;
+  const idx_t last = s.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+  double below = h;
+  for (idx_t b = first; b < last; ++b) {
+    const double rows = s.bloks[static_cast<std::size_t>(b)].nrows();
+    cost += m.gemm_time(below, rows, w);
+    below -= rows;
+  }
+  return cost;
+}
+
+double cblk_comp1d_flops(const SymbolMatrix& s, idx_t k) {
+  const double w = s.cblks[static_cast<std::size_t>(k)].width();
+  const double h = s.cblk_below_rows(k);
+  double flops = flops_factor_ldlt(w) + (h > 0 ? flops_trsm(h, w) : 0.0);
+  const idx_t first = s.cblks[static_cast<std::size_t>(k)].bloknum + 1;
+  const idx_t last = s.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+  double below = h;
+  for (idx_t b = first; b < last; ++b) {
+    const double rows = s.bloks[static_cast<std::size_t>(b)].nrows();
+    flops += flops_gemm(below, rows, w);
+    below -= rows;
+  }
+  return flops;
+}
+
+CandidateMapping proportional_mapping(const SymbolMatrix& s,
+                                      const CostModel& m,
+                                      const MappingOptions& opt) {
+  PASTIX_CHECK(opt.nprocs >= 1, "need at least one processor");
+  const idx_t ncblk = s.ncblk;
+  CandidateMapping cm;
+  cm.cblk.assign(static_cast<std::size_t>(ncblk), {});
+  cm.parent = block_etree(s);
+  cm.subtree_cost.assign(static_cast<std::size_t>(ncblk), 0.0);
+
+  // Subtree costs, bottom-up (children precede parents in postorder).
+  for (idx_t k = 0; k < ncblk; ++k) {
+    cm.subtree_cost[static_cast<std::size_t>(k)] += cblk_comp1d_cost(s, k, m);
+    const idx_t p = cm.parent[static_cast<std::size_t>(k)];
+    if (p != kNone)
+      cm.subtree_cost[static_cast<std::size_t>(p)] +=
+          cm.subtree_cost[static_cast<std::size_t>(k)];
+  }
+
+  // Children lists for the top-down sweep.
+  std::vector<std::vector<idx_t>> children(static_cast<std::size_t>(ncblk));
+  std::vector<idx_t> roots;
+  for (idx_t k = 0; k < ncblk; ++k) {
+    const idx_t p = cm.parent[static_cast<std::size_t>(k)];
+    if (p == kNone)
+      roots.push_back(k);
+    else
+      children[static_cast<std::size_t>(p)].push_back(k);
+  }
+
+  // Distribute a fractional processor interval over a set of subtrees
+  // proportionally to their costs.
+  auto share = [&](const std::vector<idx_t>& subtrees, double f, double l,
+                   idx_t depth, auto&& recurse) -> void {
+    double total = 0;
+    for (const idx_t c : subtrees)
+      total += cm.subtree_cost[static_cast<std::size_t>(c)];
+    double cursor = f;
+    for (std::size_t i = 0; i < subtrees.size(); ++i) {
+      const idx_t c = subtrees[i];
+      const double frac =
+          total > 0 ? cm.subtree_cost[static_cast<std::size_t>(c)] / total
+                    : 1.0 / static_cast<double>(subtrees.size());
+      double next = (i + 1 == subtrees.size()) ? l : cursor + frac * (l - f);
+      recurse(c, cursor, next, depth, recurse);
+      cursor = next;
+    }
+  };
+
+  auto assign = [&](idx_t k, double f, double l, idx_t depth,
+                    auto&& self) -> void {
+    auto& cand = cm.cblk[static_cast<std::size_t>(k)];
+    cand.fcand = f;
+    cand.lcand = l;
+    cand.fproc = static_cast<idx_t>(std::floor(f));
+    // The interval is half open; a processor is candidate if its unit
+    // interval overlaps [f, l).
+    cand.lproc = static_cast<idx_t>(std::ceil(l)) - 1;
+    cand.fproc = std::clamp<idx_t>(cand.fproc, 0, opt.nprocs - 1);
+    cand.lproc = std::clamp<idx_t>(cand.lproc, cand.fproc, opt.nprocs - 1);
+    cand.depth = depth;
+
+    const bool wide = s.cblks[static_cast<std::size_t>(k)].width() >=
+                      opt.min_width_2d;
+    switch (opt.policy) {
+      case DistPolicy::kAll1D: cand.dist = DistType::k1D; break;
+      case DistPolicy::kAll2D: cand.dist = DistType::k2D; break;
+      case DistPolicy::kMixed:
+        cand.dist = (cand.ncand() >= opt.min_cand_2d && wide) ? DistType::k2D
+                                                              : DistType::k1D;
+        break;
+    }
+    share(children[static_cast<std::size_t>(k)], f, l, depth + 1, self);
+  };
+
+  share(roots, 0.0, static_cast<double>(opt.nprocs), 0, assign);
+  return cm;
+}
+
+} // namespace pastix

@@ -1,0 +1,70 @@
+#pragma once
+//
+// Partitioning phase: recursive top-down *proportional mapping* of the block
+// elimination tree (Pothen-Sun), producing per-cblk candidate processor
+// sets, plus the 1D/2D distribution decision.
+//
+// Following the paper: the root supernode is assigned the whole machine;
+// each subtree recursively receives a sub-interval of its parent's
+// processors proportional to its workload.  Intervals are *fractional*, so
+// one processor may be candidate for two sibling subtrees ("we avoid any
+// problem of rounding to integral numbers").  A supernode with enough
+// candidates (and enough columns) is distributed 2D, the others 1D — hence
+// 2D near the root, 1D below.
+//
+#include <vector>
+
+#include "model/cost_model.hpp"
+#include "symbolic/symbol.hpp"
+
+namespace pastix {
+
+/// Distribution of one column block.
+enum class DistType : unsigned char { k1D, k2D };
+
+/// How the 1D/2D switch is decided (ablation bench A1).
+enum class DistPolicy : unsigned char {
+  kMixed,  ///< 2D iff #candidates and width pass the thresholds (paper)
+  kAll1D,  ///< force 1D everywhere (the authors' previous EuroPar'99 scheme)
+  kAll2D,  ///< force 2D everywhere
+};
+
+struct MappingOptions {
+  idx_t nprocs = 4;
+  DistPolicy policy = DistPolicy::kMixed;
+  /// 2D iff the candidate set has at least this many processors...
+  /// (2 — i.e. "2D as soon as a supernode is shared" — measures best under
+  /// the calibrated model; the paper's conclusion notes the 1D/2D switch
+  /// criterion as the main avenue for improvement, see bench/ablation_dist)
+  idx_t min_cand_2d = 2;
+  /// ...and the supernode (pre-split) spans at least this many columns.
+  idx_t min_width_2d = 32;
+};
+
+struct CblkCandidate {
+  double fcand = 0, lcand = 0;  ///< fractional processor interval [fcand, lcand)
+  idx_t fproc = 0, lproc = 0;   ///< integral candidates [fproc, lproc]
+  DistType dist = DistType::k1D;
+  idx_t depth = 0;              ///< depth in the block elimination tree
+
+  [[nodiscard]] idx_t ncand() const { return lproc - fproc + 1; }
+};
+
+/// Per-cblk candidate info + derived tree data.
+struct CandidateMapping {
+  std::vector<CblkCandidate> cblk;   ///< size ncblk
+  std::vector<idx_t> parent;         ///< block elimination tree
+  std::vector<double> subtree_cost;  ///< model seconds of the whole subtree
+};
+
+/// Sequential (1D) cost of the update-and-factor work of one cblk.
+double cblk_comp1d_cost(const SymbolMatrix& s, idx_t k, const CostModel& m);
+
+/// Corresponding exact flop count.
+double cblk_comp1d_flops(const SymbolMatrix& s, idx_t k);
+
+CandidateMapping proportional_mapping(const SymbolMatrix& s,
+                                      const CostModel& m,
+                                      const MappingOptions& opt);
+
+} // namespace pastix

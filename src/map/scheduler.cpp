@@ -1,0 +1,197 @@
+#include "map/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace pastix {
+
+namespace {
+
+struct HeapEntry {
+  idx_t depth;  ///< block elimination tree depth (deeper = lower node)
+  idx_t task;
+  /// "Lowest node first": deeper wins; ties broken by task id for
+  /// reproducibility.
+  bool operator<(const HeapEntry& o) const {
+    return depth != o.depth ? depth < o.depth : task > o.task;
+  }
+};
+
+} // namespace
+
+Schedule static_schedule(const TaskGraph& tg, const CandidateMapping& cm,
+                         const CostModel& m, idx_t nprocs,
+                         const SchedulerOptions& opt) {
+  PASTIX_CHECK(nprocs >= 1, "need at least one processor");
+  const idx_t ntask = tg.ntask();
+
+  Schedule sched;
+  sched.nprocs = nprocs;
+  sched.proc.assign(static_cast<std::size_t>(ntask), kNone);
+  sched.prio.assign(static_cast<std::size_t>(ntask), kNone);
+  sched.start.assign(static_cast<std::size_t>(ntask), 0.0);
+  sched.end.assign(static_cast<std::size_t>(ntask), 0.0);
+  sched.kp.assign(static_cast<std::size_t>(nprocs), {});
+
+  // Dependency counts and reverse edges.
+  std::vector<idx_t> remaining(static_cast<std::size_t>(ntask), 0);
+  std::vector<std::vector<idx_t>> dependents(static_cast<std::size_t>(ntask));
+  for (idx_t t = 0; t < ntask; ++t) {
+    for (const auto& c : tg.inputs[static_cast<std::size_t>(t)]) {
+      remaining[static_cast<std::size_t>(t)]++;
+      dependents[static_cast<std::size_t>(c.source)].push_back(t);
+    }
+    for (const auto& c : tg.prec[static_cast<std::size_t>(t)]) {
+      remaining[static_cast<std::size_t>(t)]++;
+      dependents[static_cast<std::size_t>(c.source)].push_back(t);
+    }
+  }
+
+  // Candidate processors of a task.  BMOD is bundled with BDIV of its row
+  // blok: its only candidate is that task's (already mapped) processor.
+  auto candidates = [&](idx_t t, idx_t* fproc, idx_t* lproc) {
+    const Task& task = tg.tasks[static_cast<std::size_t>(t)];
+    if (task.type == TaskType::kBmod) {
+      const idx_t bdiv_i =
+          tg.blok_task[static_cast<std::size_t>(task.blok)];
+      const idx_t p = sched.proc[static_cast<std::size_t>(bdiv_i)];
+      PASTIX_ASSERT(p != kNone);
+      *fproc = *lproc = p;
+    } else {
+      const auto& cand = cm.cblk[static_cast<std::size_t>(task.cblk)];
+      *fproc = cand.fproc;
+      *lproc = cand.lproc;
+    }
+  };
+
+  std::vector<std::priority_queue<HeapEntry>> heaps(
+      static_cast<std::size_t>(nprocs));
+  auto enqueue = [&](idx_t t) {
+    idx_t f = 0, l = 0;
+    candidates(t, &f, &l);
+    for (idx_t p = f; p <= l; ++p)
+      heaps[static_cast<std::size_t>(p)].push(
+          {tg.depth[static_cast<std::size_t>(t)], t});
+  };
+  for (idx_t t = 0; t < ntask; ++t)
+    if (remaining[static_cast<std::size_t>(t)] == 0) enqueue(t);
+
+  std::vector<double> timer(static_cast<std::size_t>(nprocs), 0.0);
+  // Scratch for grouping contributions by source processor.
+  std::vector<double> src_ready(static_cast<std::size_t>(nprocs), 0.0);
+  std::vector<double> src_entries(static_cast<std::size_t>(nprocs), 0.0);
+  std::vector<idx_t> src_stamp(static_cast<std::size_t>(nprocs), -1);
+  idx_t stamp = 0;
+
+  Rng rng(opt.seed);
+  idx_t mapped_count = 0;
+
+  // Completion time of task t if mapped on processor p.
+  auto completion = [&](idx_t t, idx_t p) {
+    ++stamp;
+    double arrive = timer[static_cast<std::size_t>(p)];
+    double aggregate_entries = 0;
+    std::vector<idx_t> sources;
+    for (const auto& c : tg.inputs[static_cast<std::size_t>(t)]) {
+      const idx_t q = sched.proc[static_cast<std::size_t>(c.source)];
+      PASTIX_ASSERT(q != kNone);
+      if (src_stamp[static_cast<std::size_t>(q)] != stamp) {
+        src_stamp[static_cast<std::size_t>(q)] = stamp;
+        src_ready[static_cast<std::size_t>(q)] = 0;
+        src_entries[static_cast<std::size_t>(q)] = 0;
+        sources.push_back(q);
+      }
+      src_ready[static_cast<std::size_t>(q)] =
+          std::max(src_ready[static_cast<std::size_t>(q)],
+                   sched.end[static_cast<std::size_t>(c.source)]);
+      src_entries[static_cast<std::size_t>(q)] += c.entries;
+    }
+    for (const idx_t q : sources) {
+      // Local contributions are applied directly (one scatter-add); remote
+      // ones pay one extra add (sender-side AUB aggregation, the fan-in
+      // overcost) plus the message transfer.
+      if (q == p) {
+        arrive = std::max(arrive, src_ready[static_cast<std::size_t>(q)]);
+        aggregate_entries += src_entries[static_cast<std::size_t>(q)];
+      } else {
+        arrive = std::max(
+            arrive, src_ready[static_cast<std::size_t>(q)] +
+                        m.comm_time_between(q, p, src_entries[static_cast<std::size_t>(q)]));
+        aggregate_entries += 2 * src_entries[static_cast<std::size_t>(q)];
+      }
+    }
+    for (const auto& c : tg.prec[static_cast<std::size_t>(t)]) {
+      const idx_t q = sched.proc[static_cast<std::size_t>(c.source)];
+      const double e = sched.end[static_cast<std::size_t>(c.source)];
+      arrive = std::max(arrive, q == p || c.entries == 0
+                                    ? e
+                                    : e + m.comm_time_between(q, p, c.entries));
+    }
+    return arrive + m.aggregate_time(aggregate_entries) +
+           tg.tasks[static_cast<std::size_t>(t)].cost;
+  };
+
+  while (mapped_count < ntask) {
+    // Pick the deepest ready task over all heap tops.
+    idx_t best_task = kNone, best_depth = -1;
+    for (idx_t p = 0; p < nprocs; ++p) {
+      auto& h = heaps[static_cast<std::size_t>(p)];
+      while (!h.empty() &&
+             sched.proc[static_cast<std::size_t>(h.top().task)] != kNone)
+        h.pop();  // drop tasks mapped through another heap
+      if (h.empty()) continue;
+      const HeapEntry e = h.top();
+      if (e.depth > best_depth ||
+          (e.depth == best_depth && e.task < best_task)) {
+        best_depth = e.depth;
+        best_task = e.task;
+      }
+    }
+    PASTIX_CHECK(best_task != kNone, "scheduler stalled: cyclic task graph?");
+    const idx_t t = best_task;
+
+    idx_t f = 0, l = 0;
+    candidates(t, &f, &l);
+    idx_t chosen = f;
+    if (f != l) {
+      switch (opt.strategy) {
+        case MapStrategy::kGreedyEarliest: {
+          double best = completion(t, f);
+          for (idx_t p = f + 1; p <= l; ++p) {
+            const double c = completion(t, p);
+            if (c < best) {
+              best = c;
+              chosen = p;
+            }
+          }
+          break;
+        }
+        case MapStrategy::kRoundRobin:
+          chosen = f + (mapped_count % (l - f + 1));
+          break;
+        case MapStrategy::kRandom:
+          chosen = f + static_cast<idx_t>(
+                           rng.next_below(static_cast<std::uint64_t>(l - f + 1)));
+          break;
+      }
+    }
+
+    const double end = completion(t, chosen);
+    sched.proc[static_cast<std::size_t>(t)] = chosen;
+    sched.start[static_cast<std::size_t>(t)] =
+        end - tg.tasks[static_cast<std::size_t>(t)].cost;
+    sched.end[static_cast<std::size_t>(t)] = end;
+    sched.prio[static_cast<std::size_t>(t)] = mapped_count;
+    timer[static_cast<std::size_t>(chosen)] = end;
+    sched.kp[static_cast<std::size_t>(chosen)].push_back(t);
+    ++mapped_count;
+
+    for (const idx_t d : dependents[static_cast<std::size_t>(t)])
+      if (--remaining[static_cast<std::size_t>(d)] == 0) enqueue(d);
+  }
+
+  sched.makespan = *std::max_element(timer.begin(), timer.end());
+  return sched;
+}
+
+} // namespace pastix

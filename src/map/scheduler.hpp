@@ -1,0 +1,56 @@
+#pragma once
+//
+// Scheduling phase: greedy mapping of each task onto one of its candidate
+// processors, driven by a simulation of the parallel factorization (the
+// paper's Section 2):
+//
+//  - one timer per processor and one ready-task heap per processor;
+//  - leaves start (single candidate); a task enters the heaps of its
+//    candidates once all of its contributions have been computed;
+//  - the next task to map is the first task of each ready heap, choosing
+//    the one coming from the *lowest* node of the elimination tree;
+//  - the task is mapped onto the candidate that completes it soonest,
+//    accounting for the processor timer, the times at which contributions
+//    were computed, the fan-in aggregation overcost and the communication
+//    cost model.
+//
+// The result is, per processor, the fully ordered vector K_p of local task
+// numbers that *drives the numerical solver* (and the replay simulator).
+//
+#include "map/task_graph.hpp"
+#include "support/rng.hpp"
+
+namespace pastix {
+
+enum class MapStrategy : unsigned char {
+  kGreedyEarliest,  ///< the paper's earliest-completion greedy mapping
+  kRoundRobin,      ///< ablation: cycle through the candidate set
+  kRandom,          ///< ablation: uniform random candidate
+};
+
+struct SchedulerOptions {
+  MapStrategy strategy = MapStrategy::kGreedyEarliest;
+  std::uint64_t seed = 0x5ced;  ///< used by kRandom
+};
+
+struct Schedule {
+  idx_t nprocs = 1;
+  std::vector<idx_t> proc;   ///< per task
+  std::vector<idx_t> prio;   ///< per task: global mapping rank
+  std::vector<double> start; ///< per task: simulated start time (s)
+  std::vector<double> end;   ///< per task: simulated completion time (s)
+  std::vector<std::vector<idx_t>> kp;  ///< per proc: tasks in priority order
+  double makespan = 0;
+
+  /// Owner of a factor blok = processor of the task that writes it.
+  [[nodiscard]] idx_t blok_owner(const TaskGraph& tg, idx_t blok) const {
+    return proc[static_cast<std::size_t>(
+        tg.blok_task[static_cast<std::size_t>(blok)])];
+  }
+};
+
+Schedule static_schedule(const TaskGraph& tg, const CandidateMapping& cm,
+                         const CostModel& m, idx_t nprocs,
+                         const SchedulerOptions& opt = {});
+
+} // namespace pastix

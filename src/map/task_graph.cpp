@@ -1,0 +1,122 @@
+#include "map/task_graph.hpp"
+
+#include <algorithm>
+
+namespace pastix {
+
+namespace {
+
+/// Emit the contributions of the update C = L_bi * (D L_bj)^t produced by
+/// `source` inside cblk k: the rows of blok bi land in the columns of blok
+/// bj's facing cblk, split across that cblk's bloks.
+void emit_contributions(const SymbolMatrix& s, const TaskGraph& tg,
+                        std::vector<std::vector<Contribution>>& inputs,
+                        idx_t source, idx_t bi, idx_t bj) {
+  const auto& src_i = s.bloks[static_cast<std::size_t>(bi)];
+  const auto& src_j = s.bloks[static_cast<std::size_t>(bj)];
+  const idx_t target_cblk = src_j.fcblknm;
+  const auto targets =
+      s.find_facing_bloks(target_cblk, src_i.frownum, src_i.lrownum);
+  for (const idx_t tb : targets) {
+    const auto& t = s.bloks[static_cast<std::size_t>(tb)];
+    const idx_t rows = std::min(t.lrownum, src_i.lrownum) -
+                       std::max(t.frownum, src_i.frownum) + 1;
+    const idx_t target_task = tg.blok_task[static_cast<std::size_t>(tb)];
+    inputs[static_cast<std::size_t>(target_task)].push_back(
+        {source, static_cast<double>(rows) * src_j.nrows()});
+  }
+}
+
+} // namespace
+
+TaskGraph build_task_graph(const SymbolMatrix& s, const CandidateMapping& cm,
+                           const CostModel& m) {
+  TaskGraph tg;
+  tg.cblk_task.assign(static_cast<std::size_t>(s.ncblk), kNone);
+  tg.blok_task.assign(static_cast<std::size_t>(s.nblok()), kNone);
+
+  // --- Pass 1: create tasks. ------------------------------------------------
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    const auto& cand = cm.cblk[static_cast<std::size_t>(k)];
+    const double w = s.cblks[static_cast<std::size_t>(k)].width();
+    const idx_t first = s.cblks[static_cast<std::size_t>(k)].bloknum;
+    const idx_t last = s.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+
+    if (cand.dist == DistType::k1D) {
+      tg.cblk_task[static_cast<std::size_t>(k)] = tg.ntask();
+      for (idx_t b = first; b < last; ++b)
+        tg.blok_task[static_cast<std::size_t>(b)] = tg.ntask();
+      tg.tasks.push_back({TaskType::kComp1d, k, kNone, kNone,
+                          cblk_comp1d_cost(s, k, m), cblk_comp1d_flops(s, k)});
+    } else {
+      tg.cblk_task[static_cast<std::size_t>(k)] = tg.ntask();
+      tg.blok_task[static_cast<std::size_t>(first)] = tg.ntask();
+      tg.tasks.push_back({TaskType::kFactor, k, first, kNone,
+                          m.factor_ldlt_time(w), flops_factor_ldlt(w)});
+      for (idx_t b = first + 1; b < last; ++b) {
+        const double rows = s.bloks[static_cast<std::size_t>(b)].nrows();
+        tg.blok_task[static_cast<std::size_t>(b)] = tg.ntask();
+        tg.tasks.push_back({TaskType::kBdiv, k, b, kNone, m.trsm_time(rows, w),
+                            flops_trsm(rows, w)});
+      }
+      for (idx_t bj = first + 1; bj < last; ++bj)
+        for (idx_t bi = bj; bi < last; ++bi) {
+          const double mi = s.bloks[static_cast<std::size_t>(bi)].nrows();
+          const double nj = s.bloks[static_cast<std::size_t>(bj)].nrows();
+          tg.tasks.push_back({TaskType::kBmod, k, bi, bj,
+                              m.gemm_time(mi, nj, w), flops_gemm(mi, nj, w)});
+        }
+    }
+  }
+
+  tg.inputs.assign(static_cast<std::size_t>(tg.ntask()), {});
+  tg.prec.assign(static_cast<std::size_t>(tg.ntask()), {});
+  tg.depth.assign(static_cast<std::size_t>(tg.ntask()), 0);
+  for (idx_t t = 0; t < tg.ntask(); ++t)
+    tg.depth[static_cast<std::size_t>(t)] =
+        cm.cblk[static_cast<std::size_t>(tg.tasks[static_cast<std::size_t>(t)]
+                                             .cblk)]
+            .depth;
+
+  // --- Pass 2: contribution and precedence edges. ---------------------------
+  idx_t tid = 0;
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    const auto& cand = cm.cblk[static_cast<std::size_t>(k)];
+    const double w = s.cblks[static_cast<std::size_t>(k)].width();
+    const idx_t first = s.cblks[static_cast<std::size_t>(k)].bloknum;
+    const idx_t last = s.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+
+    if (cand.dist == DistType::k1D) {
+      const idx_t comp = tid++;
+      for (idx_t bj = first + 1; bj < last; ++bj)
+        for (idx_t bi = bj; bi < last; ++bi)
+          emit_contributions(s, tg, tg.inputs, comp, bi, bj);
+    } else {
+      const idx_t factor = tid++;
+      // BDIV(j,k) needs L_kk D_k from FACTOR(k): w*w entries.
+      for (idx_t b = first + 1; b < last; ++b) {
+        const idx_t bdiv = tid++;
+        tg.prec[static_cast<std::size_t>(bdiv)].push_back({factor, w * w});
+      }
+      for (idx_t bj = first + 1; bj < last; ++bj)
+        for (idx_t bi = bj; bi < last; ++bi) {
+          const idx_t bmod = tid++;
+          const idx_t bdiv_i =
+              tg.blok_task[static_cast<std::size_t>(bi)];
+          const idx_t bdiv_j =
+              tg.blok_task[static_cast<std::size_t>(bj)];
+          // F_j^t is sent to the owner of L_ik; L_ik itself is local since
+          // BMOD is bundled with BDIV(i,k) (entries 0 = no transfer).
+          tg.prec[static_cast<std::size_t>(bmod)].push_back({bdiv_i, 0.0});
+          tg.prec[static_cast<std::size_t>(bmod)].push_back(
+              {bdiv_j,
+               w * s.bloks[static_cast<std::size_t>(bj)].nrows()});
+          emit_contributions(s, tg, tg.inputs, bmod, bi, bj);
+        }
+    }
+  }
+  PASTIX_ASSERT(tid == tg.ntask());
+  return tg;
+}
+
+} // namespace pastix

@@ -1,0 +1,73 @@
+#pragma once
+//
+// The task graph of the parallel block factorization (Fig. 1 of the paper).
+//
+// Task types:
+//   COMP1D(k)      — update and compute the whole column block k (1D cblks)
+//   FACTOR(k)      — factor the diagonal block of k (2D cblks)
+//   BDIV(j,k)      — panel-solve off-diagonal blok j of cblk k (2D cblks)
+//   BMOD(i,j,k)    — C = L_ik * (D L_jk)^t contribution (2D cblks); runs on
+//                    the processor owning L_ik (bundled with BDIV(i,k))
+//
+// Contribution edges carry the entry count of the dense update block; the
+// scheduler and the solver both group contributions by (source processor,
+// target task) — this grouping *is* the aggregated update block (AUB) of
+// the fan-in scheme with total local aggregation.
+//
+#include <vector>
+
+#include "map/candidates.hpp"
+
+namespace pastix {
+
+enum class TaskType : unsigned char { kComp1d, kFactor, kBdiv, kBmod };
+
+struct Task {
+  TaskType type;
+  idx_t cblk = kNone;   ///< k
+  idx_t blok = kNone;   ///< BDIV: blok (j,k). BMOD: blok of row range i.
+  idx_t blok2 = kNone;  ///< BMOD: blok (j,k) whose solved panel F_j is used.
+  double cost = 0;      ///< model seconds
+  double flops = 0;
+};
+
+/// A data contribution produced by `source` for the target task: `entries`
+/// dense entries that are either applied locally or aggregated into an AUB.
+struct Contribution {
+  idx_t source = kNone;  ///< producing task
+  double entries = 0;
+};
+
+struct TaskGraph {
+  std::vector<Task> tasks;
+  /// Per task: incoming data contributions (fan-in updates).
+  std::vector<std::vector<Contribution>> inputs;
+  /// Per task: precedence-only predecessors (FACTOR -> BDIV carries L_kk D_k,
+  /// BDIV -> BMOD carries the solved panel F_j; entries counted for comms).
+  std::vector<std::vector<Contribution>> prec;
+  /// Per cblk: COMP1D or FACTOR task id.
+  std::vector<idx_t> cblk_task;
+  /// Per blok: BDIV task id for off-diagonal bloks of 2D cblks, the cblk's
+  /// main task id otherwise (used to find the owner of a factor block).
+  std::vector<idx_t> blok_task;
+  /// Per task: depth of its cblk in the block elimination tree.
+  std::vector<idx_t> depth;
+
+  [[nodiscard]] idx_t ntask() const { return static_cast<idx_t>(tasks.size()); }
+  [[nodiscard]] double total_cost() const {
+    double c = 0;
+    for (const auto& t : tasks) c += t.cost;
+    return c;
+  }
+  [[nodiscard]] double total_flops() const {
+    double f = 0;
+    for (const auto& t : tasks) f += t.flops;
+    return f;
+  }
+};
+
+/// Build the task graph for a symbol matrix under a candidate mapping.
+TaskGraph build_task_graph(const SymbolMatrix& s, const CandidateMapping& cm,
+                           const CostModel& m);
+
+} // namespace pastix

@@ -1,0 +1,75 @@
+#include "mf/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pastix {
+
+double front_cost(const SymbolMatrix& s, idx_t k, const CostModel& m) {
+  const double w = s.cblks[static_cast<std::size_t>(k)].width();
+  const double h = s.cblk_below_rows(k);
+  double cost = m.factor_llt_time(w);
+  if (h > 0) {
+    cost += m.trsm_time(h, w);
+    // Schur complement: lower triangle of an h x h rank-w update — half a
+    // full GEMM.
+    cost += 0.5 * m.gemm_time(h, h, w);
+    // Extend-add assembly of the children updates into the front: one add
+    // per update entry; bounded above by the front's own lower triangle.
+    cost += m.aggregate_time((w + h) * (w + h + 1) / 2);
+  }
+  return cost;
+}
+
+double front_flops(const SymbolMatrix& s, idx_t k) {
+  const double w = s.cblks[static_cast<std::size_t>(k)].width();
+  const double h = s.cblk_below_rows(k);
+  double flops = flops_factor_llt(w);
+  if (h > 0) flops += flops_trsm(h, w) + 0.5 * flops_gemm(h, h, w);
+  return flops;
+}
+
+TaskGraph build_mf_task_graph(const SymbolMatrix& s, const CandidateMapping& cm,
+                              const CostModel& m, const MfModelOptions& opt) {
+  TaskGraph tg;
+  tg.cblk_task.assign(static_cast<std::size_t>(s.ncblk), kNone);
+  tg.blok_task.assign(static_cast<std::size_t>(s.nblok()), kNone);
+
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    const auto& cand = cm.cblk[static_cast<std::size_t>(k)];
+    const double seq = front_cost(s, k, m);
+    const double nc = cand.ncand();
+    double cost = seq;
+    if (nc > 1) {
+      const double speedup = std::min(nc, opt.max_front_speedup);
+      const double w = s.cblks[static_cast<std::size_t>(k)].width();
+      const double steps = std::ceil(w / static_cast<double>(opt.step_block));
+      cost = seq / speedup +
+             steps * opt.sync_latencies_per_step * m.net.latency *
+                 std::log2(nc + 1);
+    }
+    tg.cblk_task[static_cast<std::size_t>(k)] = tg.ntask();
+    for (idx_t b = s.cblks[static_cast<std::size_t>(k)].bloknum;
+         b < s.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+      tg.blok_task[static_cast<std::size_t>(b)] = tg.ntask();
+    tg.tasks.push_back(
+        {TaskType::kComp1d, k, kNone, kNone, cost, front_flops(s, k)});
+  }
+
+  tg.inputs.assign(static_cast<std::size_t>(tg.ntask()), {});
+  tg.prec.assign(static_cast<std::size_t>(tg.ntask()), {});
+  tg.depth.assign(static_cast<std::size_t>(tg.ntask()), 0);
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    tg.depth[static_cast<std::size_t>(k)] =
+        cm.cblk[static_cast<std::size_t>(k)].depth;
+    const idx_t parent = s.cblk_parent(k);
+    if (parent != kNone) {
+      const double h = s.cblk_below_rows(k);
+      tg.inputs[static_cast<std::size_t>(parent)].push_back(
+          {k, h * (h + 1) / 2});  // the update matrix travels to the parent
+    }
+  }
+  return tg;
+}
+
+} // namespace pastix

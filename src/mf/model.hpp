@@ -1,0 +1,44 @@
+#pragma once
+//
+// Parallel performance model of the multifrontal baseline (PSPASES-like).
+//
+// One task per front.  Subtrees are mapped by the same proportional mapping
+// as PaStiX (subtree-to-processor); a front whose candidate set has more
+// than one processor is modeled as a *distributed dense factorization*
+// (PSPASES distributes the top fronts): its time is the sequential front
+// cost divided by the candidate count, plus a per-elimination-step
+// synchronization term.  A child's update matrix travels to the parent's
+// processor when they differ (multifrontal send-to-parent communication).
+//
+// The resulting TaskGraph plugs into the same static scheduler and
+// discrete-event simulator as the fan-in solver, so Table 2 compares the
+// two algorithms under one machine model.
+//
+#include "map/candidates.hpp"
+#include "map/task_graph.hpp"
+
+namespace pastix {
+
+struct MfModelOptions {
+  /// Cap on the parallel speedup of one distributed front (communication
+  /// and pivot broadcasts bound it well below the candidate count).
+  double max_front_speedup = 16.0;
+  /// Synchronization cost per block-column elimination step of a
+  /// distributed front, in network latencies.
+  double sync_latencies_per_step = 1.0;
+  /// Block size used for the per-step synchronization count.
+  idx_t step_block = 64;
+};
+
+/// Sequential cost of front k: assembly + partial dense LL^t.
+double front_cost(const SymbolMatrix& s, idx_t k, const CostModel& m);
+
+/// Exact flop count of the same (factorization flops only).
+double front_flops(const SymbolMatrix& s, idx_t k);
+
+/// Build the one-task-per-front graph with parallel-front cost model.
+TaskGraph build_mf_task_graph(const SymbolMatrix& s, const CandidateMapping& cm,
+                              const CostModel& m,
+                              const MfModelOptions& opt = {});
+
+} // namespace pastix

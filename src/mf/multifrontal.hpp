@@ -1,0 +1,209 @@
+#pragma once
+//
+// Multifrontal Cholesky (LL^t) baseline — the PSPASES stand-in of Table 2.
+//
+// Numeric engine (this header): classic sequential supernodal multifrontal
+// factorization over the same block symbolic structure as the fan-in
+// solver: per supernode, assemble the frontal matrix from the original
+// entries and the children's update matrices (extend-add), factor the
+// leading columns (dense LL^t + panel solve), form the Schur complement
+// update matrix, and pass it to the parent.  Forward/backward solves reuse
+// the stored trapezoids.
+//
+// The *parallel* behaviour of the baseline (subtree-to-processor
+// proportional mapping with distributed top fronts, PSPASES-style) is
+// modeled in mf/model.hpp and evaluated by the discrete-event simulator.
+//
+#include <unordered_map>
+
+#include "dkernel/dense_matrix.hpp"
+#include "dkernel/blocked_factor.hpp"
+#include "sparse/sym_sparse.hpp"
+#include "symbolic/symbol.hpp"
+
+namespace pastix {
+
+template <class T>
+class MultifrontalSolver {
+public:
+  /// `a` must be permuted consistently with `s`.
+  MultifrontalSolver(const SymSparse<T>& a, const SymbolMatrix& s)
+      : a_(a), s_(s) {
+    PASTIX_CHECK(a.n() == s.n, "matrix / symbol size mismatch");
+    build_row_lists();
+  }
+
+  /// Sequential multifrontal numerical factorization (LL^t).
+  void factorize() {
+    const idx_t n = s_.n;
+    std::vector<idx_t> pos(static_cast<std::size_t>(n), kNone);  // row -> front
+    std::unordered_map<idx_t, DenseMatrix<T>> updates;           // cblk -> U
+    factor_.assign(static_cast<std::size_t>(s_.ncblk), {});
+
+    for (idx_t k = 0; k < s_.ncblk; ++k) {
+      const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+      const idx_t w = ck.width();
+      const auto& rows = rows_[static_cast<std::size_t>(k)];  // below rows
+      const idx_t h = static_cast<idx_t>(rows.size());
+      const idx_t nf = w + h;
+
+      // Front row map: cols first, then below rows.
+      for (idx_t i = 0; i < w; ++i)
+        pos[static_cast<std::size_t>(ck.fcolnum + i)] = i;
+      for (idx_t i = 0; i < h; ++i)
+        pos[static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])] = w + i;
+
+      DenseMatrix<T> front(nf, nf);
+      // Assemble original entries (lower triangle of columns of k).
+      for (idx_t j = ck.fcolnum; j <= ck.lcolnum; ++j) {
+        front(pos[static_cast<std::size_t>(j)], pos[static_cast<std::size_t>(j)]) +=
+            a_.diag[static_cast<std::size_t>(j)];
+        for (idx_t q = a_.pattern.colptr[j]; q < a_.pattern.colptr[j + 1]; ++q)
+          front(pos[static_cast<std::size_t>(a_.pattern.rowind[q])],
+                pos[static_cast<std::size_t>(j)]) += a_.val[q];
+      }
+      // Extend-add the children's update matrices.
+      for (const idx_t c : children_[static_cast<std::size_t>(k)]) {
+        auto it = updates.find(c);
+        PASTIX_ASSERT(it != updates.end());
+        const DenseMatrix<T>& u = it->second;
+        const auto& crows = rows_[static_cast<std::size_t>(c)];
+        for (idx_t cj = 0; cj < u.cols(); ++cj) {
+          const idx_t gj = crows[static_cast<std::size_t>(cj)];
+          const idx_t fj = pos[static_cast<std::size_t>(gj)];
+          PASTIX_ASSERT(fj != kNone);
+          for (idx_t ci = cj; ci < u.rows(); ++ci) {
+            const idx_t fi =
+                pos[static_cast<std::size_t>(crows[static_cast<std::size_t>(ci)])];
+            front(fi, fj) += u(ci, cj);
+          }
+        }
+        updates.erase(it);
+      }
+
+      // Partial dense factorization of the leading w columns.
+      dense_llt_auto(w, front.data(), front.ld());
+      if (h > 0) {
+        trsm_right_lt(h, w, front.data(), front.ld(), front.data() + w,
+                      front.ld());
+        // Schur complement: U -= L_below L_below^t (lower triangle).
+        syrk_lower_nt(h, w, T(-1), front.data() + w, front.ld(),
+                      front.data() + w + static_cast<std::size_t>(w) * front.ld(),
+                      front.ld());
+      }
+
+      // Store the factored trapezoid (nf rows x w cols).
+      auto& trap = factor_[static_cast<std::size_t>(k)];
+      trap.resize(static_cast<std::size_t>(nf) * w);
+      for (idx_t j = 0; j < w; ++j)
+        std::copy(front.col(j), front.col(j) + nf,
+                  trap.data() + static_cast<std::size_t>(j) * nf);
+
+      // Keep the update matrix for the parent.
+      if (h > 0) {
+        DenseMatrix<T> u(h, h);
+        for (idx_t j = 0; j < h; ++j)
+          for (idx_t i = j; i < h; ++i)
+            u(i, j) = front(w + i, w + j);
+        updates.emplace(k, std::move(u));
+      }
+
+      for (idx_t i = 0; i < w; ++i)
+        pos[static_cast<std::size_t>(ck.fcolnum + i)] = kNone;
+      for (idx_t i = 0; i < h; ++i)
+        pos[static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])] = kNone;
+    }
+    PASTIX_CHECK(updates.empty(), "unconsumed update matrices");
+    factored_ = true;
+  }
+
+  /// Sequential triangular solves: x with A x = b (permuted frame).
+  [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const {
+    PASTIX_CHECK(factored_, "factorize() must run before solve()");
+    PASTIX_CHECK(static_cast<idx_t>(b.size()) == s_.n, "rhs size mismatch");
+    std::vector<T> x(b);
+    std::vector<T> tmp;
+    // Forward: L y = b.
+    for (idx_t k = 0; k < s_.ncblk; ++k) {
+      const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+      const idx_t w = ck.width();
+      const auto& rows = rows_[static_cast<std::size_t>(k)];
+      const idx_t h = static_cast<idx_t>(rows.size());
+      const T* trap = factor_[static_cast<std::size_t>(k)].data();
+      const idx_t ld = w + h;
+      trsv_lower(w, trap, ld, x.data() + ck.fcolnum);
+      if (h > 0) {
+        tmp.assign(static_cast<std::size_t>(h), T{});
+        gemv_n(h, w, T(1), trap + w, ld, x.data() + ck.fcolnum, tmp.data());
+        for (idx_t i = 0; i < h; ++i)
+          x[static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])] -=
+              tmp[static_cast<std::size_t>(i)];
+      }
+    }
+    // Backward: L^t x = y.
+    for (idx_t k = s_.ncblk - 1; k >= 0; --k) {
+      const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+      const idx_t w = ck.width();
+      const auto& rows = rows_[static_cast<std::size_t>(k)];
+      const idx_t h = static_cast<idx_t>(rows.size());
+      const T* trap = factor_[static_cast<std::size_t>(k)].data();
+      const idx_t ld = w + h;
+      if (h > 0) {
+        tmp.assign(static_cast<std::size_t>(h), T{});
+        for (idx_t i = 0; i < h; ++i)
+          tmp[static_cast<std::size_t>(i)] =
+              x[static_cast<std::size_t>(rows[static_cast<std::size_t>(i)])];
+        std::vector<T> contr(static_cast<std::size_t>(w), T{});
+        gemv_t(h, w, T(1), trap + w, ld, tmp.data(), contr.data());
+        for (idx_t i = 0; i < w; ++i)
+          x[static_cast<std::size_t>(ck.fcolnum + i)] -=
+              contr[static_cast<std::size_t>(i)];
+      }
+      trsv_lower_t(w, trap, ld, x.data() + ck.fcolnum);
+    }
+    return x;
+  }
+
+  /// Factor access for verification: L(i, j) (non-unit diagonal).
+  [[nodiscard]] T factor_entry(idx_t i, idx_t j) const {
+    PASTIX_CHECK(factored_, "no factor yet");
+    const idx_t k = s_.col2cblk[static_cast<std::size_t>(j)];
+    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+    const idx_t w = ck.width();
+    const auto& rows = rows_[static_cast<std::size_t>(k)];
+    const idx_t ld = w + static_cast<idx_t>(rows.size());
+    const T* trap = factor_[static_cast<std::size_t>(k)].data();
+    const idx_t col = j - ck.fcolnum;
+    if (i >= ck.fcolnum && i <= ck.lcolnum)
+      return trap[(i - ck.fcolnum) + static_cast<std::size_t>(col) * ld];
+    const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+    if (it == rows.end() || *it != i) return T{};  // structural zero
+    return trap[w + (it - rows.begin()) + static_cast<std::size_t>(col) * ld];
+  }
+
+private:
+  void build_row_lists() {
+    rows_.assign(static_cast<std::size_t>(s_.ncblk), {});
+    children_.assign(static_cast<std::size_t>(s_.ncblk), {});
+    for (idx_t k = 0; k < s_.ncblk; ++k) {
+      auto& rows = rows_[static_cast<std::size_t>(k)];
+      for (idx_t b = s_.cblks[static_cast<std::size_t>(k)].bloknum + 1;
+           b < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+        for (idx_t r = s_.bloks[static_cast<std::size_t>(b)].frownum;
+             r <= s_.bloks[static_cast<std::size_t>(b)].lrownum; ++r)
+          rows.push_back(r);
+      const idx_t parent = s_.cblk_parent(k);
+      if (parent != kNone)
+        children_[static_cast<std::size_t>(parent)].push_back(k);
+    }
+  }
+
+  const SymSparse<T>& a_;
+  const SymbolMatrix& s_;
+  std::vector<std::vector<idx_t>> rows_;      ///< per cblk: below-diag rows
+  std::vector<std::vector<idx_t>> children_;  ///< block etree children
+  std::vector<std::vector<T>> factor_;        ///< per cblk: (w+h) x w trapezoid
+  bool factored_ = false;
+};
+
+} // namespace pastix

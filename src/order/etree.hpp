@@ -1,0 +1,41 @@
+#pragma once
+//
+// Elimination tree, postordering and factor column counts for a symmetric
+// pattern (strict lower CSC).  These are the scalar symbolic tools behind
+// supernode detection and the Table 1 metrics (NNZ_L, OPC).
+//
+// Algorithms: Liu's elimination tree via path compression, and the
+// Gilbert-Ng-Peyton near-linear column count algorithm.
+//
+#include <vector>
+
+#include "sparse/sym_sparse.hpp"
+
+namespace pastix {
+
+/// parent[j] = elimination tree parent of column j (kNone for roots).
+std::vector<idx_t> elimination_tree(const SparsePattern& p);
+
+/// Topological postorder of an elimination forest: post[k] = k-th column.
+std::vector<idx_t> tree_postorder(const std::vector<idx_t>& parent);
+
+/// Column counts of the Cholesky factor, *including* the diagonal:
+/// counts[j] = |struct(L(:,j))| + 1.  `parent` must come from
+/// elimination_tree(p) and `post` from tree_postorder(parent).
+std::vector<idx_t> factor_column_counts(const SparsePattern& p,
+                                        const std::vector<idx_t>& parent,
+                                        const std::vector<idx_t>& post);
+
+/// Scalar symbolic factorization summary.
+struct ScalarSymbolStats {
+  big_t nnz_l = 0;  ///< off-diagonal nonzeros of L (paper's NNZ_L)
+  big_t opc = 0;    ///< operation count, sum_j cc_j^2 (paper's OPC)
+};
+
+/// Convenience: etree + postorder + counts -> NNZ_L and OPC.
+ScalarSymbolStats scalar_symbol_stats(const SparsePattern& p);
+
+/// Depth of every node (root depth = 0) in an elimination forest.
+std::vector<idx_t> tree_depths(const std::vector<idx_t>& parent);
+
+} // namespace pastix

@@ -1,0 +1,346 @@
+#include "order/min_degree.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace pastix {
+
+namespace {
+
+enum class State : unsigned char {
+  kVariable,  ///< alive principal (super)variable
+  kElement,   ///< eliminated pivot, now an element of the quotient graph
+  kDead,      ///< absorbed element or non-principal merged variable
+};
+
+/// Quotient-graph minimum degree engine.  Clarity-first representation:
+/// explicit vectors per node, lazily pruned.  The leaves handed to this
+/// routine by nested dissection are small, so asymptotic constants matter
+/// less than correctness here.
+class QuotientMd {
+public:
+  QuotientMd(const Graph& g, idx_t ninterior, const MinDegreeOptions& opt)
+      : n_(g.n),
+        ninterior_(ninterior),
+        opt_(opt),
+        state_(static_cast<std::size_t>(n_), State::kVariable),
+        nv_(static_cast<std::size_t>(n_), 1),
+        degree_(static_cast<std::size_t>(n_), 0),
+        avar_(static_cast<std::size_t>(n_)),
+        ael_(static_cast<std::size_t>(n_)),
+        elvars_(static_cast<std::size_t>(n_)),
+        member_next_(static_cast<std::size_t>(n_), kNone),
+        member_tail_(static_cast<std::size_t>(n_)),
+        marker_(static_cast<std::size_t>(n_), 0),
+        wlen_(static_cast<std::size_t>(n_), -1),
+        wseen_(static_cast<std::size_t>(n_), 0) {
+    PASTIX_CHECK(ninterior >= 0 && ninterior <= n_, "bad interior count");
+    for (idx_t v = 0; v < n_; ++v) {
+      avar_[static_cast<std::size_t>(v)].assign(g.adj_begin(v), g.adj_end(v));
+      degree_[static_cast<std::size_t>(v)] = g.degree(v);
+      member_tail_[static_cast<std::size_t>(v)] = v;
+      if (v < ninterior_) heap_.push({g.degree(v), v});
+    }
+  }
+
+  std::vector<idx_t> run() {
+    std::vector<idx_t> order;
+    order.reserve(static_cast<std::size_t>(ninterior_));
+    idx_t remaining = ninterior_;
+    while (remaining > 0) {
+      const idx_t p = pop_pivot();
+      remaining -= eliminate(p, order);
+    }
+    PASTIX_CHECK(static_cast<idx_t>(order.size()) == ninterior_,
+                 "minimum degree lost columns");
+    return order;
+  }
+
+private:
+  struct HeapEntry {
+    idx_t degree, v;
+    bool operator>(const HeapEntry& o) const {
+      return degree != o.degree ? degree > o.degree : v > o.v;
+    }
+  };
+
+  bool is_halo(idx_t v) const { return v >= ninterior_; }
+
+  idx_t pop_pivot() {
+    while (!heap_.empty()) {
+      const HeapEntry e = heap_.top();
+      heap_.pop();
+      if (state_[static_cast<std::size_t>(e.v)] == State::kVariable &&
+          degree_[static_cast<std::size_t>(e.v)] == e.degree)
+        return e.v;
+    }
+    throw Error("minimum degree heap exhausted with interior columns left");
+  }
+
+  /// Remove dead entries in place; returns the pruned list.
+  void prune_vars(std::vector<idx_t>& list) {
+    std::erase_if(list, [this](idx_t v) {
+      return state_[static_cast<std::size_t>(v)] != State::kVariable;
+    });
+  }
+  void prune_elems(std::vector<idx_t>& list) {
+    std::erase_if(list, [this](idx_t e) {
+      return state_[static_cast<std::size_t>(e)] != State::kElement;
+    });
+  }
+
+  /// Emit all original columns represented by supervariable p.
+  idx_t emit_members(idx_t p, std::vector<idx_t>& order) {
+    idx_t count = 0;
+    for (idx_t m = p; m != kNone; m = member_next_[static_cast<std::size_t>(m)]) {
+      order.push_back(m);
+      ++count;
+    }
+    return count;
+  }
+
+  /// Eliminate pivot p; returns the number of interior columns eliminated
+  /// (supervariable members plus mass eliminations).
+  idx_t eliminate(idx_t p, std::vector<idx_t>& order) {
+    current_pivot_ = p;
+    // --- Build Lp = (A_p U union of absorbed element variables) \ {p}. ----
+    ++stamp_;
+    marker_[static_cast<std::size_t>(p)] = stamp_;
+    std::vector<idx_t> lp;
+    auto gather = [&](const std::vector<idx_t>& vars) {
+      for (const idx_t v : vars) {
+        if (state_[static_cast<std::size_t>(v)] != State::kVariable) continue;
+        if (marker_[static_cast<std::size_t>(v)] == stamp_) continue;
+        marker_[static_cast<std::size_t>(v)] = stamp_;
+        lp.push_back(v);
+      }
+    };
+    gather(avar_[static_cast<std::size_t>(p)]);
+    prune_elems(ael_[static_cast<std::size_t>(p)]);
+    for (const idx_t e : ael_[static_cast<std::size_t>(p)]) {
+      gather(elvars_[static_cast<std::size_t>(e)]);
+      state_[static_cast<std::size_t>(e)] = State::kDead;  // absorbed into p
+      elvars_[static_cast<std::size_t>(e)].clear();
+    }
+    avar_[static_cast<std::size_t>(p)].clear();
+    ael_[static_cast<std::size_t>(p)].clear();
+
+    state_[static_cast<std::size_t>(p)] = State::kElement;
+    elvars_[static_cast<std::size_t>(p)] = lp;
+    idx_t eliminated = emit_members(p, order);
+
+    const idx_t lp_weight = weight_of(lp);
+
+    // --- AMD |Le \ Lp| precomputation (wlen_ trick). ----------------------
+    // For every element e adjacent to some i in Lp, wlen_[e] ends up as the
+    // supervariable weight of Le \ Lp.  Entries are reset lazily via wstamp_.
+    ++wstamp_;
+    for (const idx_t i : lp) {
+      prune_elems(ael_[static_cast<std::size_t>(i)]);
+      for (const idx_t e : ael_[static_cast<std::size_t>(i)]) {
+        if (wseen_[static_cast<std::size_t>(e)] != wstamp_) {
+          wseen_[static_cast<std::size_t>(e)] = wstamp_;
+          wlen_[static_cast<std::size_t>(e)] =
+              weight_of(elvars_[static_cast<std::size_t>(e)]);
+        }
+        wlen_[static_cast<std::size_t>(e)] -= nv_[static_cast<std::size_t>(i)];
+      }
+    }
+
+    // --- Per-neighbour update: prune lists, absorb, recompute degree. -----
+    for (const idx_t i : lp) {
+      auto& av = avar_[static_cast<std::size_t>(i)];
+      // Drop dead variables, members of Lp and p itself: those adjacencies
+      // are now represented by element p.
+      std::erase_if(av, [&](idx_t v) {
+        return state_[static_cast<std::size_t>(v)] != State::kVariable ||
+               marker_[static_cast<std::size_t>(v)] == stamp_;
+      });
+      auto& ae = ael_[static_cast<std::size_t>(i)];
+      // Aggressive absorption: an element entirely inside Lp is redundant.
+      std::erase_if(ae, [&](idx_t e) {
+        if (state_[static_cast<std::size_t>(e)] != State::kElement) return true;
+        if (wseen_[static_cast<std::size_t>(e)] == wstamp_ &&
+            wlen_[static_cast<std::size_t>(e)] <= 0) {
+          state_[static_cast<std::size_t>(e)] = State::kDead;
+          elvars_[static_cast<std::size_t>(e)].clear();
+          return true;
+        }
+        return false;
+      });
+      ae.push_back(p);
+
+      degree_[static_cast<std::size_t>(i)] =
+          opt_.approximate_degree ? approx_degree(i, lp_weight) : exact_degree(i);
+    }
+
+    // --- Mass elimination: i with struct(i) subset of Lp U {p}. -----------
+    // Such a variable has no variable neighbours left and only element p;
+    // it can be eliminated right now at no extra fill.
+    for (const idx_t i : lp) {
+      if (is_halo(i)) continue;
+      if (state_[static_cast<std::size_t>(i)] != State::kVariable) continue;
+      if (avar_[static_cast<std::size_t>(i)].empty() &&
+          ael_[static_cast<std::size_t>(i)].size() == 1) {
+        state_[static_cast<std::size_t>(i)] = State::kDead;
+        eliminated += emit_members(i, order);
+      }
+    }
+    std::erase_if(elvars_[static_cast<std::size_t>(p)], [this](idx_t v) {
+      return state_[static_cast<std::size_t>(v)] != State::kVariable;
+    });
+
+    // --- Supervariable detection among the survivors of Lp. ---------------
+    detect_supervariables(elvars_[static_cast<std::size_t>(p)]);
+
+    // --- Requeue updated interior variables. -------------------------------
+    for (const idx_t i : elvars_[static_cast<std::size_t>(p)])
+      if (!is_halo(i) && state_[static_cast<std::size_t>(i)] == State::kVariable)
+        heap_.push({degree_[static_cast<std::size_t>(i)], i});
+
+    return eliminated;
+  }
+
+  idx_t weight_of(const std::vector<idx_t>& vars) const {
+    idx_t w = 0;
+    for (const idx_t v : vars)
+      if (state_[static_cast<std::size_t>(v)] == State::kVariable)
+        w += nv_[static_cast<std::size_t>(v)];
+    return w;
+  }
+
+  /// AMD approximate external degree of i after eliminating the current
+  /// pivot: |A_i| + |Lp \ i| + sum over other adjacent elements of |Le \ Lp|.
+  idx_t approx_degree(idx_t i, idx_t lp_weight) {
+    idx_t d = weight_of(avar_[static_cast<std::size_t>(i)]);
+    d += lp_weight - nv_[static_cast<std::size_t>(i)];
+    for (const idx_t e : ael_[static_cast<std::size_t>(i)]) {
+      if (state_[static_cast<std::size_t>(e)] != State::kElement) continue;
+      if (e == current_pivot_) continue;  // Lp already accounted for above
+      if (wseen_[static_cast<std::size_t>(e)] == wstamp_ &&
+          wlen_[static_cast<std::size_t>(e)] >= 0) {
+        d += wlen_[static_cast<std::size_t>(e)];
+      } else if (!elvars_[static_cast<std::size_t>(e)].empty()) {
+        d += weight_of(elvars_[static_cast<std::size_t>(e)]) -
+             nv_[static_cast<std::size_t>(i)];
+      }
+    }
+    // Never exceed the exact bound "everything else".
+    return std::min<idx_t>(d, n_ - 1);
+  }
+
+  /// Exact external degree (test oracle): |union of A_i and all Le| \ {i}.
+  idx_t exact_degree(idx_t i) {
+    ++stamp2_;
+    if (marker2_.empty()) marker2_.assign(static_cast<std::size_t>(n_), 0);
+    marker2_[static_cast<std::size_t>(i)] = stamp2_;
+    idx_t d = 0;
+    auto visit = [&](idx_t v) {
+      if (state_[static_cast<std::size_t>(v)] != State::kVariable) return;
+      if (marker2_[static_cast<std::size_t>(v)] == stamp2_) return;
+      marker2_[static_cast<std::size_t>(v)] = stamp2_;
+      d += nv_[static_cast<std::size_t>(v)];
+    };
+    for (const idx_t v : avar_[static_cast<std::size_t>(i)]) visit(v);
+    for (const idx_t e : ael_[static_cast<std::size_t>(i)])
+      if (state_[static_cast<std::size_t>(e)] == State::kElement)
+        for (const idx_t v : elvars_[static_cast<std::size_t>(e)]) visit(v);
+    return d;
+  }
+
+  /// Merge indistinguishable variables (equal adjacency, same halo side).
+  void detect_supervariables(std::vector<idx_t>& lp) {
+    // Bucket by a cheap hash of the pruned adjacency.
+    std::vector<std::pair<std::uint64_t, idx_t>> buckets;
+    buckets.reserve(lp.size());
+    for (const idx_t i : lp) {
+      if (state_[static_cast<std::size_t>(i)] != State::kVariable) continue;
+      prune_vars(avar_[static_cast<std::size_t>(i)]);
+      prune_elems(ael_[static_cast<std::size_t>(i)]);
+      std::uint64_t h = 0;
+      for (const idx_t v : avar_[static_cast<std::size_t>(i)])
+        h += static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+      for (const idx_t e : ael_[static_cast<std::size_t>(i)])
+        h += static_cast<std::uint64_t>(e) * 0xc2b2ae3d27d4eb4fULL;
+      buckets.emplace_back(h, i);
+    }
+    std::sort(buckets.begin(), buckets.end());
+    for (std::size_t a = 0; a < buckets.size(); ++a) {
+      const idx_t i = buckets[a].second;
+      if (state_[static_cast<std::size_t>(i)] != State::kVariable) continue;
+      for (std::size_t b = a + 1;
+           b < buckets.size() && buckets[b].first == buckets[a].first; ++b) {
+        const idx_t j = buckets[b].second;
+        if (state_[static_cast<std::size_t>(j)] != State::kVariable) continue;
+        if (is_halo(i) != is_halo(j)) continue;
+        if (!indistinguishable(i, j)) continue;
+        // Merge j into i.
+        nv_[static_cast<std::size_t>(i)] += nv_[static_cast<std::size_t>(j)];
+        member_next_[static_cast<std::size_t>(
+            member_tail_[static_cast<std::size_t>(i)])] = j;
+        member_tail_[static_cast<std::size_t>(i)] =
+            member_tail_[static_cast<std::size_t>(j)];
+        state_[static_cast<std::size_t>(j)] = State::kDead;
+        degree_[static_cast<std::size_t>(i)] -= nv_[static_cast<std::size_t>(j)];
+      }
+    }
+    std::erase_if(lp, [this](idx_t v) {
+      return state_[static_cast<std::size_t>(v)] != State::kVariable;
+    });
+  }
+
+  /// Same pruned variable and element adjacency (ignoring each other)?
+  bool indistinguishable(idx_t i, idx_t j) {
+    const auto& ai = avar_[static_cast<std::size_t>(i)];
+    const auto& aj = avar_[static_cast<std::size_t>(j)];
+    const auto& ei = ael_[static_cast<std::size_t>(i)];
+    const auto& ej = ael_[static_cast<std::size_t>(j)];
+    if (ei.size() != ej.size()) return false;
+    ++stamp2_;
+    if (marker2_.empty()) marker2_.assign(static_cast<std::size_t>(n_), 0);
+    std::size_t count_i = 0;
+    for (const idx_t v : ai)
+      if (v != j) {
+        marker2_[static_cast<std::size_t>(v)] = stamp2_;
+        ++count_i;
+      }
+    std::size_t count_j = 0;
+    for (const idx_t v : aj) {
+      if (v == i) continue;
+      if (marker2_[static_cast<std::size_t>(v)] != stamp2_) return false;
+      ++count_j;
+    }
+    if (count_i != count_j) return false;
+    ++stamp2_;
+    for (const idx_t e : ei) marker2_[static_cast<std::size_t>(e)] = stamp2_;
+    for (const idx_t e : ej)
+      if (marker2_[static_cast<std::size_t>(e)] != stamp2_) return false;
+    return true;
+  }
+
+  idx_t n_, ninterior_;
+  MinDegreeOptions opt_;
+  std::vector<State> state_;
+  std::vector<idx_t> nv_;
+  std::vector<idx_t> degree_;
+  std::vector<std::vector<idx_t>> avar_, ael_, elvars_;
+  std::vector<idx_t> member_next_, member_tail_;
+  std::vector<idx_t> marker_, marker2_;
+  idx_t stamp_ = 0, stamp2_ = 0;
+  std::vector<idx_t> wlen_, wseen_;
+  idx_t wstamp_ = 0;
+  idx_t current_pivot_ = kNone;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+};
+
+} // namespace
+
+std::vector<idx_t> min_degree_order(const Graph& g, idx_t ninterior,
+                                    const MinDegreeOptions& opt) {
+  if (ninterior == 0) return {};
+  return QuotientMd(g, ninterior, opt).run();
+}
+
+} // namespace pastix

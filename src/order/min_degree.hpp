@@ -1,0 +1,31 @@
+#pragma once
+//
+// (Halo) Approximate Minimum Degree ordering.
+//
+// Quotient-graph minimum degree in the style of Amestoy-Davis-Duff AMD:
+// supervariables, element absorption (incl. aggressive absorption), mass
+// elimination, and the AMD approximate external degree (an exact-degree
+// mode is kept for testing).  The *halo* extension of Pellegrini-Roman-
+// Amestoy: the trailing vertices of the input graph are "halo" vertices
+// that participate in adjacency and degrees but are never eliminated —
+// exactly what the hybrid ND+HAMD coupling of the paper requires.
+//
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pastix {
+
+struct MinDegreeOptions {
+  /// Use the AMD approximate external degree (true) or the exact external
+  /// degree (false, slower; used as the test oracle).
+  bool approximate_degree = true;
+};
+
+/// Order the first `ninterior` vertices of `g` (locals [ninterior, n) are
+/// halo).  Returns the elimination sequence: a vector of `ninterior` local
+/// vertex ids, earliest eliminated first.
+std::vector<idx_t> min_degree_order(const Graph& g, idx_t ninterior,
+                                    const MinDegreeOptions& opt = {});
+
+} // namespace pastix

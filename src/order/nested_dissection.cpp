@@ -1,0 +1,127 @@
+#include "order/nested_dissection.hpp"
+
+#include <algorithm>
+
+namespace pastix {
+
+namespace {
+
+/// One pending subdomain: order its vertices into new positions [lo, hi).
+struct WorkItem {
+  std::vector<idx_t> vertices;
+  idx_t lo, hi;
+  int depth;
+};
+
+} // namespace
+
+NdResult nested_dissection(const Graph& g, const NdOptions& opt) {
+  NdResult res;
+  res.perm.perm.assign(static_cast<std::size_t>(g.n), kNone);
+  res.perm.invp.assign(static_cast<std::size_t>(g.n), kNone);
+  res.sep_depth.assign(static_cast<std::size_t>(g.n), kNone);
+
+  auto place = [&](idx_t old_vertex, idx_t new_pos) {
+    PASTIX_ASSERT(res.perm.perm[static_cast<std::size_t>(old_vertex)] == kNone);
+    res.perm.perm[static_cast<std::size_t>(old_vertex)] = new_pos;
+    res.perm.invp[static_cast<std::size_t>(new_pos)] = old_vertex;
+  };
+
+  std::vector<char> mask(static_cast<std::size_t>(g.n), 0);
+  std::vector<idx_t> comp;
+
+  std::vector<WorkItem> stack;
+  {
+    std::vector<idx_t> all(static_cast<std::size_t>(g.n));
+    for (idx_t v = 0; v < g.n; ++v) all[static_cast<std::size_t>(v)] = v;
+    stack.push_back({std::move(all), 0, g.n, 0});
+  }
+
+  while (!stack.empty()) {
+    WorkItem item = std::move(stack.back());
+    stack.pop_back();
+    const idx_t nsub = static_cast<idx_t>(item.vertices.size());
+    PASTIX_ASSERT(item.hi - item.lo == nsub);
+    if (nsub == 0) continue;
+
+    // Leaf: order by (halo) minimum degree.
+    if (nsub <= opt.leaf_size || item.depth >= opt.max_depth) {
+      const Subgraph sub = extract_subgraph(g, item.vertices, opt.halo);
+      const std::vector<idx_t> seq =
+          min_degree_order(sub.g, sub.num_interior, opt.min_degree);
+      for (idx_t k = 0; k < nsub; ++k)
+        place(sub.orig[static_cast<std::size_t>(seq[static_cast<std::size_t>(k)])],
+              item.lo + k);
+      continue;
+    }
+
+    // Split disconnected subdomains into components first.
+    for (const idx_t v : item.vertices) mask[static_cast<std::size_t>(v)] = 1;
+    const idx_t ncomp = connected_components(g, mask, comp);
+    // connected_components numbers *all* masked vertices; components of this
+    // subdomain are those of its own vertices.
+    if (ncomp > 1) {
+      std::vector<std::vector<idx_t>> groups(static_cast<std::size_t>(ncomp));
+      for (const idx_t v : item.vertices)
+        groups[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])]
+            .push_back(v);
+      idx_t lo = item.lo;
+      for (auto& grp : groups) {
+        if (grp.empty()) continue;
+        const idx_t sz = static_cast<idx_t>(grp.size());
+        stack.push_back({std::move(grp), lo, lo + sz, item.depth});
+        lo += sz;
+      }
+      for (const idx_t v : item.vertices) mask[static_cast<std::size_t>(v)] = 0;
+      continue;
+    }
+
+    // Connected: dissect with a vertex separator.
+    SeparatorOptions sep_opt = opt.separator;
+    sep_opt.seed += static_cast<std::uint64_t>(item.lo);  // decorrelate levels
+    const SeparatorResult sep =
+        find_vertex_separator(g, mask, item.vertices, sep_opt);
+    for (const idx_t v : item.vertices) mask[static_cast<std::size_t>(v)] = 0;
+
+    if (sep.size_sep == 0 || sep.size_a == 0 || sep.size_b == 0) {
+      // Degenerate split (e.g. clique-ish subdomain): fall back to a leaf.
+      const Subgraph sub = extract_subgraph(g, item.vertices, opt.halo);
+      const std::vector<idx_t> seq =
+          min_degree_order(sub.g, sub.num_interior, opt.min_degree);
+      for (idx_t k = 0; k < nsub; ++k)
+        place(sub.orig[static_cast<std::size_t>(seq[static_cast<std::size_t>(k)])],
+              item.lo + k);
+      continue;
+    }
+
+    // Separator columns come last in the subdomain's range, in subdomain
+    // vertex order; both parts recurse below them.
+    std::vector<idx_t> part_a, part_b;
+    part_a.reserve(static_cast<std::size_t>(sep.size_a));
+    part_b.reserve(static_cast<std::size_t>(sep.size_b));
+    idx_t sep_pos = item.hi - sep.size_sep;
+    for (const idx_t v : item.vertices) {
+      switch (sep.part[static_cast<std::size_t>(v)]) {
+        case 0: part_a.push_back(v); break;
+        case 1: part_b.push_back(v); break;
+        default:
+          place(v, sep_pos);
+          res.sep_depth[static_cast<std::size_t>(sep_pos)] = item.depth;
+          ++sep_pos;
+          break;
+      }
+    }
+    res.num_separators++;
+    const idx_t mid = item.lo + sep.size_a;
+    stack.push_back({std::move(part_a), item.lo, mid, item.depth + 1});
+    stack.push_back({std::move(part_b), mid, item.hi - sep.size_sep,
+                     item.depth + 1});
+  }
+
+  for (idx_t v = 0; v < g.n; ++v)
+    PASTIX_CHECK(res.perm.perm[static_cast<std::size_t>(v)] != kNone,
+                 "nested dissection failed to place every vertex");
+  return res;
+}
+
+} // namespace pastix

@@ -1,0 +1,33 @@
+#pragma once
+//
+// Nested dissection ordering, hybridized with Halo Approximate Minimum
+// Degree exactly as in the paper: ND recursively splits the graph with
+// vertex separators (separator columns ordered last); once a subdomain is
+// smaller than the leaf threshold it is ordered by minimum degree *with the
+// halo of the subdomain visible* (Pellegrini-Roman-Amestoy coupling).
+//
+#include "graph/separator.hpp"
+#include "order/min_degree.hpp"
+#include "sparse/permute.hpp"
+
+namespace pastix {
+
+struct NdOptions {
+  idx_t leaf_size = 240;   ///< subdomains below this size go to minimum degree
+  int max_depth = 48;      ///< recursion guard
+  bool halo = true;        ///< couple leaves with their halo (paper's HAMD)
+  SeparatorOptions separator;
+  MinDegreeOptions min_degree;
+};
+
+struct NdResult {
+  Permutation perm;            ///< old -> new over the whole graph
+  std::vector<idx_t> sep_depth;///< per NEW column: dissection depth of the
+                               ///< separator it belongs to, kNone for leaf
+                               ///< columns (diagnostics / ablations)
+  idx_t num_separators = 0;
+};
+
+NdResult nested_dissection(const Graph& g, const NdOptions& opt);
+
+} // namespace pastix

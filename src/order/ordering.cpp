@@ -1,0 +1,102 @@
+#include "order/ordering.hpp"
+
+#include <algorithm>
+
+namespace pastix {
+
+SparsePattern permute_pattern(const SparsePattern& p, const Permutation& perm) {
+  PASTIX_CHECK(perm.n() == p.n, "permutation size mismatch");
+  SparsePattern out;
+  out.n = p.n;
+  out.colptr.assign(static_cast<std::size_t>(p.n) + 1, 0);
+
+  // Count entries per new column; an old entry (i, j) lands in column
+  // min(perm[i], perm[j]) of the new strict lower triangle.
+  std::vector<std::pair<idx_t, idx_t>> entries;
+  entries.reserve(p.rowind.size());
+  for (idx_t j = 0; j < p.n; ++j)
+    for (idx_t q = p.colptr[j]; q < p.colptr[j + 1]; ++q) {
+      idx_t ni = perm.perm[static_cast<std::size_t>(p.rowind[q])];
+      idx_t nj = perm.perm[static_cast<std::size_t>(j)];
+      if (ni < nj) std::swap(ni, nj);
+      entries.emplace_back(nj, ni);  // (new column, new row)
+    }
+  std::sort(entries.begin(), entries.end());
+  out.rowind.reserve(entries.size());
+  for (const auto& [col, row] : entries) {
+    out.rowind.push_back(row);
+    out.colptr[static_cast<std::size_t>(col) + 1]++;
+  }
+  for (idx_t j = 0; j < p.n; ++j)
+    out.colptr[static_cast<std::size_t>(j) + 1] +=
+        out.colptr[static_cast<std::size_t>(j)];
+  return out;
+}
+
+OrderingResult compute_ordering(const SparsePattern& pattern,
+                                const OrderingOptions& opt) {
+  pattern.validate();
+  const Graph g = graph_from_pattern(pattern);
+
+  // --- 1. Primary permutation. ---------------------------------------------
+  Permutation primary;
+  switch (opt.method) {
+    case OrderingMethod::kHybridNdHamd: {
+      NdOptions nd = opt.nd;
+      nd.halo = true;
+      primary = nested_dissection(g, nd).perm;
+      break;
+    }
+    case OrderingMethod::kPureNd: {
+      NdOptions nd = opt.nd;
+      nd.halo = false;
+      nd.leaf_size = std::max<idx_t>(32, opt.nd.leaf_size / 2);
+      primary = nested_dissection(g, nd).perm;
+      break;
+    }
+    case OrderingMethod::kMinDegree: {
+      const std::vector<idx_t> seq = min_degree_order(g, g.n, opt.nd.min_degree);
+      std::vector<idx_t> perm(static_cast<std::size_t>(g.n));
+      for (idx_t k = 0; k < g.n; ++k)
+        perm[static_cast<std::size_t>(seq[static_cast<std::size_t>(k)])] = k;
+      primary = Permutation::from_perm(std::move(perm));
+      break;
+    }
+  }
+
+  // --- 2. Postorder the elimination tree (equivalent reordering that makes
+  //        supernodes and subtrees contiguous). ------------------------------
+  OrderingResult res;
+  {
+    const SparsePattern p1 = permute_pattern(pattern, primary);
+    const std::vector<idx_t> parent1 = elimination_tree(p1);
+    const std::vector<idx_t> post = tree_postorder(parent1);
+    std::vector<idx_t> perm2(static_cast<std::size_t>(g.n));
+    for (idx_t k = 0; k < g.n; ++k)
+      perm2[static_cast<std::size_t>(post[static_cast<std::size_t>(k)])] = k;
+    res.perm = Permutation::from_perm(std::move(perm2)).after(primary);
+  }
+  res.permuted = permute_pattern(pattern, res.perm);
+  res.parent = elimination_tree(res.permuted);
+
+  // After postordering, the identity postorder must be valid; counts assume
+  // postorder[k] == k.
+  std::vector<idx_t> ident(static_cast<std::size_t>(g.n));
+  for (idx_t k = 0; k < g.n; ++k) ident[static_cast<std::size_t>(k)] = k;
+  res.counts = factor_column_counts(res.permuted, res.parent, ident);
+
+  res.scalar = ScalarSymbolStats{};
+  for (const idx_t c : res.counts) {
+    res.scalar.nnz_l += c - 1;
+    res.scalar.opc += static_cast<big_t>(c) * c;
+  }
+
+  // --- 3. Supernodes: fundamental + relaxed amalgamation. -------------------
+  const std::vector<idx_t> fundamental =
+      fundamental_supernodes(res.parent, res.counts);
+  res.rangtab = amalgamate_supernodes(fundamental, res.parent, res.counts,
+                                      opt.amalgamation);
+  return res;
+}
+
+} // namespace pastix

@@ -1,0 +1,44 @@
+#pragma once
+//
+// Top-level ordering phase: produces the permutation and the supernode
+// partition consumed by the block symbolic factorization.
+//
+// Methods:
+//  - kHybridNdHamd : Nested Dissection coupled with Halo-AMD leaves — the
+//    paper's (Scotch-like) ordering.
+//  - kPureNd       : ND with plain AMD leaves (no halo), smaller leaves —
+//    stands in for the MeTiS column of Table 1.
+//  - kMinDegree    : AMD on the whole graph (ordering ablation).
+//
+#include "order/etree.hpp"
+#include "order/nested_dissection.hpp"
+#include "order/supernodes.hpp"
+#include "sparse/permute.hpp"
+
+namespace pastix {
+
+enum class OrderingMethod { kHybridNdHamd, kPureNd, kMinDegree };
+
+struct OrderingOptions {
+  OrderingMethod method = OrderingMethod::kHybridNdHamd;
+  NdOptions nd;
+  AmalgamationOptions amalgamation;
+};
+
+/// Everything downstream phases need from the ordering.
+struct OrderingResult {
+  Permutation perm;             ///< old -> new, postordered
+  SparsePattern permuted;       ///< pattern of P A P^t
+  std::vector<idx_t> parent;    ///< scalar elimination tree of `permuted`
+  std::vector<idx_t> counts;    ///< factor column counts (incl. diagonal)
+  std::vector<idx_t> rangtab;   ///< supernode partition (after amalgamation)
+  ScalarSymbolStats scalar;     ///< NNZ_L / OPC of this ordering (Table 1)
+};
+
+OrderingResult compute_ordering(const SparsePattern& pattern,
+                                const OrderingOptions& opt = {});
+
+/// Pattern-only symmetric permutation (values not needed by the analysis).
+SparsePattern permute_pattern(const SparsePattern& p, const Permutation& perm);
+
+} // namespace pastix

@@ -1,0 +1,132 @@
+#include "order/supernodes.hpp"
+
+#include "support/check.hpp"
+
+namespace pastix {
+
+std::vector<idx_t> fundamental_supernodes(const std::vector<idx_t>& parent,
+                                          const std::vector<idx_t>& counts) {
+  const idx_t n = static_cast<idx_t>(parent.size());
+  PASTIX_CHECK(counts.size() == parent.size(), "parent/counts size mismatch");
+  std::vector<idx_t> rangtab;
+  rangtab.push_back(0);
+  for (idx_t j = 1; j < n; ++j) {
+    // Column j continues the supernode of j-1 iff j is the etree parent of
+    // j-1 and struct(j) == struct(j-1) \ {j}, which (given the parent
+    // condition) is equivalent to counts[j] == counts[j-1] - 1.
+    const bool continues = parent[static_cast<std::size_t>(j - 1)] == j &&
+                           counts[static_cast<std::size_t>(j)] ==
+                               counts[static_cast<std::size_t>(j - 1)] - 1;
+    if (!continues) rangtab.push_back(j);
+  }
+  rangtab.push_back(n);
+  return rangtab;
+}
+
+std::vector<idx_t> column_to_supernode(const std::vector<idx_t>& rangtab) {
+  const idx_t ncblk = static_cast<idx_t>(rangtab.size()) - 1;
+  std::vector<idx_t> col2sn(static_cast<std::size_t>(rangtab.back()));
+  for (idx_t k = 0; k < ncblk; ++k)
+    for (idx_t j = rangtab[static_cast<std::size_t>(k)];
+         j < rangtab[static_cast<std::size_t>(k) + 1]; ++j)
+      col2sn[static_cast<std::size_t>(j)] = k;
+  return col2sn;
+}
+
+namespace {
+
+/// Dense storage of a trapezoidal column block: w*(w+1)/2 diagonal part plus
+/// w columns of h sub-diagonal rows.
+double dense_size(double w, double h) { return w * (w + 1) / 2 + w * h; }
+
+} // namespace
+
+std::vector<idx_t> amalgamate_supernodes(const std::vector<idx_t>& rangtab,
+                                         const std::vector<idx_t>& parent,
+                                         const std::vector<idx_t>& counts,
+                                         const AmalgamationOptions& opt) {
+  const idx_t nsn = static_cast<idx_t>(rangtab.size()) - 1;
+  const std::vector<idx_t> col2sn = column_to_supernode(rangtab);
+
+  // Parent supernode: supernode of the etree parent of the last column.
+  auto snode_parent = [&](idx_t s) {
+    const idx_t lastcol = rangtab[static_cast<std::size_t>(s) + 1] - 1;
+    const idx_t p = parent[static_cast<std::size_t>(lastcol)];
+    return p == kNone ? kNone : col2sn[static_cast<std::size_t>(p)];
+  };
+
+  // Groups of merged supernodes are contiguous runs; group state is kept at
+  // the *lowest* supernode of the run and `rep[s]` points to it (path
+  // compressed).  A run [s .. t] means columns of supernodes s..t form one
+  // column block whose sub-diagonal height is that of the run's *top*
+  // supernode.
+  std::vector<idx_t> rep(static_cast<std::size_t>(nsn));
+  std::vector<idx_t> top(static_cast<std::size_t>(nsn));
+  std::vector<double> gwidth(static_cast<std::size_t>(nsn));
+  std::vector<double> gheight(static_cast<std::size_t>(nsn));
+  std::vector<double> gnnz(static_cast<std::size_t>(nsn));
+  for (idx_t s = 0; s < nsn; ++s) {
+    rep[static_cast<std::size_t>(s)] = s;
+    top[static_cast<std::size_t>(s)] = s;
+    const double w = rangtab[static_cast<std::size_t>(s) + 1] -
+                     rangtab[static_cast<std::size_t>(s)];
+    const double h =
+        counts[static_cast<std::size_t>(rangtab[static_cast<std::size_t>(s)])] - w;
+    gwidth[static_cast<std::size_t>(s)] = w;
+    gheight[static_cast<std::size_t>(s)] = h;
+    gnnz[static_cast<std::size_t>(s)] = dense_size(w, h);
+  }
+  auto find = [&](idx_t s) {
+    while (rep[static_cast<std::size_t>(s)] != s) {
+      rep[static_cast<std::size_t>(s)] =
+          rep[static_cast<std::size_t>(rep[static_cast<std::size_t>(s)])];
+      s = rep[static_cast<std::size_t>(s)];
+    }
+    return s;
+  };
+
+  // Bottom-up sweep (supernodes are postordered, so parents come later):
+  // try to merge supernode s into the group that starts at s+1, which is
+  // legal when s's parent supernode already belongs to that group (the
+  // merged column block then covers s's first fill row).
+  for (idx_t s = nsn - 2; s >= 0; --s) {
+    const idx_t par = snode_parent(s);
+    if (par == kNone) continue;
+    const idx_t grp = find(s + 1);
+    if (find(par) != grp) continue;
+
+    const double wc = gwidth[static_cast<std::size_t>(s)];
+    const double hc = gheight[static_cast<std::size_t>(s)];
+    const double wg = gwidth[static_cast<std::size_t>(grp)];
+    const double hg = gheight[static_cast<std::size_t>(grp)];
+    if (opt.max_width > 0 && wc + wg > opt.max_width) continue;
+
+    const double merged = dense_size(wc + wg, hg);
+    const double zeros =
+        merged - (dense_size(wc, hc) + gnnz[static_cast<std::size_t>(grp)]);
+    const bool merge = wc <= opt.always_merge_width ||
+                       zeros <= opt.fill_ratio * merged;
+    if (!merge) continue;
+
+    // Merge: group state moves down to s (new lowest member).
+    rep[static_cast<std::size_t>(grp)] = s;
+    rep[static_cast<std::size_t>(s)] = s;
+    top[static_cast<std::size_t>(s)] = top[static_cast<std::size_t>(grp)];
+    gwidth[static_cast<std::size_t>(s)] = wc + wg;
+    gheight[static_cast<std::size_t>(s)] = hg;
+    gnnz[static_cast<std::size_t>(s)] = merged;
+  }
+
+  std::vector<idx_t> merged_rangtab;
+  merged_rangtab.push_back(0);
+  for (idx_t s = 0; s < nsn;) {
+    const idx_t t = top[static_cast<std::size_t>(find(s))];
+    merged_rangtab.push_back(rangtab[static_cast<std::size_t>(t) + 1]);
+    s = t + 1;
+  }
+  PASTIX_CHECK(merged_rangtab.back() == rangtab.back(),
+               "amalgamation lost columns");
+  return merged_rangtab;
+}
+
+} // namespace pastix

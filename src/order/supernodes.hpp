@@ -1,0 +1,44 @@
+#pragma once
+//
+// Supernode partition: fundamental supernodes from the elimination tree and
+// factor column counts, followed by relaxed amalgamation (merging small
+// supernodes into their parent at a bounded cost in explicit zeros, which
+// is what the paper means by "supernodes amalgamated" — the extra entries
+// become computed zeros, so the solver's operation count exceeds OPC, as
+// Section 3 notes).
+//
+#include <vector>
+
+#include "sparse/sym_sparse.hpp"
+
+namespace pastix {
+
+struct AmalgamationOptions {
+  /// Merge a child whose width is at most this regardless of fill.
+  idx_t always_merge_width = 4;
+  /// Otherwise merge while added-zeros / merged-dense-size <= this ratio.
+  double fill_ratio = 0.10;
+  /// Never grow a column block beyond this width by amalgamation
+  /// (0 = unlimited).  The splitting phase cuts wide blocks anyway.
+  idx_t max_width = 192;
+};
+
+/// Fundamental supernode partition of a postordered pattern.
+/// `parent` / `counts` must come from the etree utilities on this pattern.
+/// Returns rangtab: size ncblk+1, supernode k = columns [rangtab[k],
+/// rangtab[k+1]).
+std::vector<idx_t> fundamental_supernodes(const std::vector<idx_t>& parent,
+                                          const std::vector<idx_t>& counts);
+
+/// Relaxed amalgamation of a supernode partition; returns the merged
+/// rangtab.  Heights are derived from `counts` and parenthood from `parent`
+/// (both scalar, over the same postordered pattern).
+std::vector<idx_t> amalgamate_supernodes(const std::vector<idx_t>& rangtab,
+                                         const std::vector<idx_t>& parent,
+                                         const std::vector<idx_t>& counts,
+                                         const AmalgamationOptions& opt);
+
+/// Map column -> supernode for a given rangtab.
+std::vector<idx_t> column_to_supernode(const std::vector<idx_t>& rangtab);
+
+} // namespace pastix

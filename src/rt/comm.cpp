@@ -1,0 +1,31 @@
+#include "rt/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace pastix::rt {
+
+void run_ranks(int nprocs, const std::function<void(int)>& body) {
+  PASTIX_CHECK(nprocs >= 1, "need at least one rank");
+  if (nprocs == 1) {
+    body(0);  // fast path, keeps single-rank stacks debuggable
+    return;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+} // namespace pastix::rt

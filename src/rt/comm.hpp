@@ -1,0 +1,143 @@
+#pragma once
+//
+// Message-passing runtime — the distributed-memory substrate.
+//
+// The paper runs on an IBM SP2 over MPI; this library reproduces the same
+// programming model in-process: every rank is a thread with *private*
+// solver storage (by discipline: a rank's factor blocks are touched only by
+// its own thread), and ranks exchange data exclusively through tagged,
+// copied messages.  Blocking receives match on (source, tag) like
+// MPI_Recv; sends are buffered and never block.
+//
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace pastix::rt {
+
+/// Message tags: 64-bit, composed of a kind and up to two 24-bit ids.
+enum class MsgKind : std::uint64_t {
+  kAub = 1,    ///< aggregated update block, id1 = target task
+  kDiag = 2,   ///< factored diagonal block (L_kk, D_k), id1 = cblk
+  kPanel = 3,  ///< solved scaled panel W_j = L_jk D_k, id1 = cblk, id2 = blok
+  kSolve = 4,  ///< solve-phase segment/contribution, id1 = phase, id2 = object
+};
+
+constexpr std::uint64_t make_tag(MsgKind kind, std::uint64_t id1,
+                                 std::uint64_t id2 = 0) {
+  PASTIX_ASSERT(id1 < (1ULL << 24) && id2 < (1ULL << 24));
+  return (static_cast<std::uint64_t>(kind) << 48) | (id1 << 24) | id2;
+}
+
+/// A delivered message (payload is an opaque byte copy).
+struct Message {
+  int source = -1;
+  std::uint64_t tag = 0;
+  std::vector<std::byte> payload;
+
+  /// Reinterpret the payload as an array of T (size must divide evenly).
+  template <class T>
+  [[nodiscard]] const T* as() const {
+    PASTIX_ASSERT(payload.size() % sizeof(T) == 0);
+    return reinterpret_cast<const T*>(payload.data());
+  }
+  template <class T>
+  [[nodiscard]] std::size_t count() const {
+    return payload.size() / sizeof(T);
+  }
+};
+
+/// MPI-communicator-like world of `nprocs` ranks.
+class Comm {
+public:
+  explicit Comm(int nprocs) : boxes_(static_cast<std::size_t>(nprocs)) {
+    PASTIX_CHECK(nprocs >= 1, "need at least one rank");
+  }
+
+  [[nodiscard]] int nprocs() const { return static_cast<int>(boxes_.size()); }
+
+  /// Copy `bytes` bytes to rank `to`'s mailbox.  Never blocks.
+  void send(int from, int to, std::uint64_t tag, const void* data,
+            std::size_t bytes) {
+    PASTIX_CHECK(to >= 0 && to < nprocs(), "send to invalid rank");
+    Message m;
+    m.source = from;
+    m.tag = tag;
+    m.payload.resize(bytes);
+    if (bytes > 0) std::memcpy(m.payload.data(), data, bytes);
+    auto& box = boxes_[static_cast<std::size_t>(to)];
+    {
+      const std::lock_guard lock(box.mutex);
+      box.queue.push_back(std::move(m));
+    }
+    box.cv.notify_all();
+  }
+
+  /// Typed convenience send.
+  template <class T>
+  void send_array(int from, int to, std::uint64_t tag, const T* data,
+                  std::size_t count) {
+    send(from, to, tag, data, count * sizeof(T));
+  }
+
+  /// Blocking receive of the first queued message with this tag (any
+  /// source).  Out-of-order arrivals with other tags stay queued.
+  /// Throws if abort() is called while waiting (a peer rank failed).
+  Message recv(int rank, std::uint64_t tag) {
+    auto& box = boxes_[static_cast<std::size_t>(rank)];
+    std::unique_lock lock(box.mutex);
+    for (;;) {
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (it->tag == tag) {
+          Message m = std::move(*it);
+          box.queue.erase(it);
+          return m;
+        }
+      }
+      if (aborted_.load(std::memory_order_relaxed))
+        throw Error("communicator aborted while rank " + std::to_string(rank) +
+                    " was receiving");
+      box.cv.wait(lock);
+    }
+  }
+
+  /// Wake every blocked receiver with an error — called when a rank fails so
+  /// the other ranks do not wait forever on messages that will never come.
+  void abort() {
+    aborted_.store(true, std::memory_order_relaxed);
+    for (auto& box : boxes_) {
+      const std::lock_guard lock(box.mutex);
+      box.cv.notify_all();
+    }
+  }
+
+  /// Number of messages currently queued for `rank` (diagnostics).
+  [[nodiscard]] std::size_t pending(int rank) {
+    auto& box = boxes_[static_cast<std::size_t>(rank)];
+    const std::lock_guard lock(box.mutex);
+    return box.queue.size();
+  }
+
+private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  std::vector<Mailbox> boxes_;
+  std::atomic<bool> aborted_{false};
+};
+
+/// Run `body(rank)` on every rank concurrently (one thread per rank) and
+/// join.  Exceptions thrown by ranks are rethrown on the caller (first one).
+void run_ranks(int nprocs, const std::function<void(int)>& body);
+
+} // namespace pastix::rt

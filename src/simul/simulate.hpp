@@ -1,0 +1,37 @@
+#pragma once
+//
+// Discrete-event replay of a static schedule under the machine model.
+//
+// The greedy scheduler already predicts a makespan while mapping; this
+// module re-executes a *fixed* mapping and task order against a (possibly
+// different) cost model, yielding the performance numbers of the
+// experiment harness: factorization time for any processor count (the host
+// has one core, the paper's SP2 had 64 — see DESIGN.md), per-processor
+// busy/idle breakdowns, and communication statistics.
+//
+#include "map/scheduler.hpp"
+
+namespace pastix {
+
+struct SimResult {
+  double makespan = 0;
+  std::vector<double> busy;        ///< per proc: seconds computing
+  std::vector<double> idle;        ///< per proc: makespan - busy
+  double comm_entries = 0;         ///< total entries shipped between procs
+  big_t messages = 0;              ///< number of inter-proc messages
+  double aggregate_seconds = 0;    ///< fan-in aggregation overcost (summed)
+
+  [[nodiscard]] double gflops(double flops) const {
+    return makespan > 0 ? flops / makespan / 1e9 : 0.0;
+  }
+  [[nodiscard]] double efficiency(double seq_seconds) const {
+    const auto p = static_cast<double>(busy.size());
+    return makespan > 0 ? seq_seconds / (p * makespan) : 0.0;
+  }
+};
+
+/// Replay `sched` (its mapping and K_p orders) under `m`.
+SimResult simulate_schedule(const TaskGraph& tg, const Schedule& sched,
+                            const CostModel& m);
+
+} // namespace pastix

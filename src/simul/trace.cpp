@@ -1,0 +1,126 @@
+#include "simul/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace pastix {
+
+void ScheduleTrace::validate() const {
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const auto& a = events[i - 1];
+    const auto& b = events[i];
+    if (a.proc == b.proc)
+      PASTIX_CHECK(b.start >= a.end - 1e-12,
+                   "overlapping task executions on one processor");
+  }
+}
+
+ScheduleTrace trace_schedule(const TaskGraph& tg, const Schedule& sched,
+                             const CostModel& m) {
+  // Re-run the discrete-event replay, but record per-task times.  The
+  // replay logic is the same as simulate_schedule; we reuse it by
+  // reconstructing events from a fresh pass (the simulator is cheap).
+  const idx_t ntask = tg.ntask();
+  std::vector<double> end(static_cast<std::size_t>(ntask), 0.0);
+  std::vector<double> avail(static_cast<std::size_t>(sched.nprocs), 0.0);
+  std::vector<idx_t> order(static_cast<std::size_t>(ntask));
+  for (idx_t t = 0; t < ntask; ++t)
+    order[static_cast<std::size_t>(sched.prio[static_cast<std::size_t>(t)])] = t;
+
+  ScheduleTrace trace;
+  trace.nprocs = sched.nprocs;
+  trace.events.reserve(static_cast<std::size_t>(ntask));
+
+  std::vector<double> src_ready(static_cast<std::size_t>(sched.nprocs), 0.0);
+  std::vector<double> src_entries(static_cast<std::size_t>(sched.nprocs), 0.0);
+  std::vector<idx_t> src_stamp(static_cast<std::size_t>(sched.nprocs), -1);
+  idx_t stamp = 0;
+
+  for (const idx_t t : order) {
+    const idx_t p = sched.proc[static_cast<std::size_t>(t)];
+    double start = avail[static_cast<std::size_t>(p)];
+    double agg_entries = 0;
+    ++stamp;
+    std::vector<idx_t> sources;
+    for (const auto& c : tg.inputs[static_cast<std::size_t>(t)]) {
+      const idx_t q = sched.proc[static_cast<std::size_t>(c.source)];
+      if (src_stamp[static_cast<std::size_t>(q)] != stamp) {
+        src_stamp[static_cast<std::size_t>(q)] = stamp;
+        src_ready[static_cast<std::size_t>(q)] = 0;
+        src_entries[static_cast<std::size_t>(q)] = 0;
+        sources.push_back(q);
+      }
+      src_ready[static_cast<std::size_t>(q)] =
+          std::max(src_ready[static_cast<std::size_t>(q)],
+                   end[static_cast<std::size_t>(c.source)]);
+      src_entries[static_cast<std::size_t>(q)] += c.entries;
+    }
+    for (const idx_t q : sources) {
+      if (q == p) {
+        start = std::max(start, src_ready[static_cast<std::size_t>(q)]);
+        agg_entries += src_entries[static_cast<std::size_t>(q)];
+      } else {
+        start = std::max(
+            start, src_ready[static_cast<std::size_t>(q)] +
+                       m.comm_time_between(q, p,
+                                           src_entries[static_cast<std::size_t>(q)]));
+        agg_entries += 2 * src_entries[static_cast<std::size_t>(q)];
+      }
+    }
+    for (const auto& c : tg.prec[static_cast<std::size_t>(t)]) {
+      const idx_t q = sched.proc[static_cast<std::size_t>(c.source)];
+      const double e = end[static_cast<std::size_t>(c.source)];
+      start = std::max(start, q == p || c.entries == 0
+                                  ? e
+                                  : e + m.comm_time_between(q, p, c.entries));
+    }
+    const double fin = start + tg.tasks[static_cast<std::size_t>(t)].cost +
+                       m.aggregate_time(agg_entries);
+    end[static_cast<std::size_t>(t)] = fin;
+    avail[static_cast<std::size_t>(p)] = fin;
+    trace.events.push_back({t, p, tg.tasks[static_cast<std::size_t>(t)].type,
+                            tg.tasks[static_cast<std::size_t>(t)].cblk, start,
+                            fin});
+  }
+  trace.makespan = *std::max_element(avail.begin(), avail.end());
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.proc != b.proc ? a.proc < b.proc : a.start < b.start;
+            });
+  trace.validate();
+  return trace;
+}
+
+void write_trace_csv(std::ostream& os, const ScheduleTrace& trace) {
+  static const char* const kNames[] = {"COMP1D", "FACTOR", "BDIV", "BMOD"};
+  os << "task,proc,type,cblk,start,end\n";
+  os.precision(9);
+  for (const auto& e : trace.events)
+    os << e.task << "," << e.proc << "," << kNames[static_cast<int>(e.type)]
+       << "," << e.cblk << "," << e.start << "," << e.end << "\n";
+}
+
+void render_gantt(std::ostream& os, const ScheduleTrace& trace, int width) {
+  PASTIX_CHECK(width > 0, "gantt width must be positive");
+  static const char kGlyph[] = {'1', 'F', 'd', 'm'};
+  const double dt = trace.makespan / width;
+  std::size_t cursor = 0;
+  for (idx_t p = 0; p < trace.nprocs; ++p) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    // Per column, show the type of the task covering the slice midpoint
+    // (last event wins on boundaries).
+    for (; cursor < trace.events.size() && trace.events[cursor].proc == p;
+         ++cursor) {
+      const auto& e = trace.events[cursor];
+      const int c0 = std::clamp(static_cast<int>(e.start / dt), 0, width - 1);
+      const int c1 = std::clamp(static_cast<int>(e.end / dt), c0, width - 1);
+      for (int c = c0; c <= c1; ++c)
+        row[static_cast<std::size_t>(c)] = kGlyph[static_cast<int>(e.type)];
+    }
+    os << "P" << p << (p < 10 ? " " : "") << " |" << row << "|\n";
+  }
+  os << "     legend: 1=COMP1D F=FACTOR d=BDIV m=BMOD .=idle   (0 .. "
+     << trace.makespan << " s)\n";
+}
+
+} // namespace pastix

@@ -1,0 +1,43 @@
+#pragma once
+//
+// Execution-trace export of a simulated schedule: per-task (processor,
+// start, end, type) records, CSV export for external tooling and a compact
+// text Gantt rendering for quick inspection in a terminal.
+//
+#include <iosfwd>
+#include <string>
+
+#include "simul/simulate.hpp"
+
+namespace pastix {
+
+struct TraceEvent {
+  idx_t task = kNone;
+  idx_t proc = 0;
+  TaskType type = TaskType::kComp1d;
+  idx_t cblk = kNone;
+  double start = 0, end = 0;
+};
+
+struct ScheduleTrace {
+  std::vector<TraceEvent> events;  ///< sorted by (proc, start)
+  double makespan = 0;
+  idx_t nprocs = 0;
+
+  /// Invariant check: events of one processor never overlap.
+  void validate() const;
+};
+
+/// Replay the schedule under `m` and record every task execution.
+ScheduleTrace trace_schedule(const TaskGraph& tg, const Schedule& sched,
+                             const CostModel& m);
+
+/// CSV: task,proc,type,cblk,start,end
+void write_trace_csv(std::ostream& os, const ScheduleTrace& trace);
+
+/// Terminal Gantt chart: one row per processor, `width` character columns;
+/// cells show the dominant task type in that time slice
+/// (1 = COMP1D, F = FACTOR, d = BDIV, m = BMOD, '.' = idle).
+void render_gantt(std::ostream& os, const ScheduleTrace& trace, int width = 100);
+
+} // namespace pastix

@@ -1,0 +1,119 @@
+#include "solver/comm_plan.hpp"
+
+#include <algorithm>
+
+namespace pastix {
+
+namespace {
+
+void sort_unique(std::vector<idx_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+} // namespace
+
+CommPlan build_comm_plan(const SymbolMatrix& s, const TaskGraph& tg,
+                         const Schedule& sched, idx_t partial_chunk) {
+  const idx_t ntask = tg.ntask();
+  CommPlan plan;
+  plan.partial_chunk = partial_chunk;
+  plan.expect_aub.assign(static_cast<std::size_t>(ntask), 0);
+  plan.aub_after.assign(static_cast<std::size_t>(ntask), {});
+  plan.aub_countdown.assign(static_cast<std::size_t>(ntask), {});
+  plan.diag_dests.assign(static_cast<std::size_t>(ntask), {});
+  plan.panel_dests.assign(static_cast<std::size_t>(ntask), {});
+
+  // --- AUB bookkeeping: group contributions by (source proc, source task). --
+  for (idx_t sigma = 0; sigma < ntask; ++sigma) {
+    const idx_t owner = sched.proc[static_cast<std::size_t>(sigma)];
+    // Distinct remote source tasks, grouped by proc.
+    std::vector<std::pair<idx_t, idx_t>> remote;  // (source proc, source task)
+    for (const auto& c : tg.inputs[static_cast<std::size_t>(sigma)]) {
+      const idx_t q = sched.proc[static_cast<std::size_t>(c.source)];
+      if (q != owner) remote.emplace_back(q, c.source);
+    }
+    std::sort(remote.begin(), remote.end());
+    remote.erase(std::unique(remote.begin(), remote.end()), remote.end());
+    idx_t nprocs_contributing = 0;
+    for (std::size_t i = 0; i < remote.size();) {
+      const idx_t q = remote[i].first;
+      idx_t count = 0;
+      while (i < remote.size() && remote[i].first == q) {
+        plan.aub_after[static_cast<std::size_t>(remote[i].second)].push_back(
+            sigma);
+        ++count;
+        ++i;
+      }
+      plan.aub_countdown[static_cast<std::size_t>(sigma)].emplace_back(q, count);
+      plan.expect_aub[static_cast<std::size_t>(sigma)] +=
+          aub_messages_for(count, partial_chunk);
+      ++nprocs_contributing;
+    }
+    (void)nprocs_contributing;
+  }
+  for (auto& v : plan.aub_after) sort_unique(v);
+
+  // --- Diagonal block and panel destinations (2D cblks). --------------------
+  for (idx_t t = 0; t < ntask; ++t) {
+    const Task& task = tg.tasks[static_cast<std::size_t>(t)];
+    const idx_t p = sched.proc[static_cast<std::size_t>(t)];
+    const idx_t k = task.cblk;
+    const idx_t first = s.cblks[static_cast<std::size_t>(k)].bloknum;
+    const idx_t last = s.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+    if (task.type == TaskType::kFactor) {
+      auto& dests = plan.diag_dests[static_cast<std::size_t>(t)];
+      for (idx_t b = first + 1; b < last; ++b) {
+        const idx_t q = sched.blok_owner(tg, b);
+        if (q != p) dests.push_back(q);
+      }
+      sort_unique(dests);
+    } else if (task.type == TaskType::kBdiv) {
+      auto& dests = plan.panel_dests[static_cast<std::size_t>(t)];
+      for (idx_t b = task.blok; b < last; ++b) {
+        const idx_t q = sched.blok_owner(tg, b);
+        if (q != p) dests.push_back(q);
+      }
+      sort_unique(dests);
+    }
+  }
+
+  // --- Solve-phase ownership and message sets. -------------------------------
+  plan.diag_owner.assign(static_cast<std::size_t>(s.ncblk), 0);
+  plan.blok_owner.assign(static_cast<std::size_t>(s.nblok()), 0);
+  for (idx_t k = 0; k < s.ncblk; ++k)
+    plan.diag_owner[static_cast<std::size_t>(k)] = sched.proc[
+        static_cast<std::size_t>(tg.cblk_task[static_cast<std::size_t>(k)])];
+  for (idx_t b = 0; b < s.nblok(); ++b)
+    plan.blok_owner[static_cast<std::size_t>(b)] = sched.blok_owner(tg, b);
+
+  plan.fwd_remote_bloks.assign(static_cast<std::size_t>(s.ncblk), {});
+  plan.bwd_remote_bloks.assign(static_cast<std::size_t>(s.ncblk), {});
+  plan.yseg_dests.assign(static_cast<std::size_t>(s.ncblk), {});
+  plan.xseg_dests.assign(static_cast<std::size_t>(s.ncblk), {});
+  const auto facing = facing_bloks_index(s);
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    const idx_t owner = plan.diag_owner[static_cast<std::size_t>(k)];
+    for (const idx_t b : facing[static_cast<std::size_t>(k)]) {
+      const idx_t q = plan.blok_owner[static_cast<std::size_t>(b)];
+      if (q != owner) {
+        plan.fwd_remote_bloks[static_cast<std::size_t>(k)].push_back(b);
+        plan.xseg_dests[static_cast<std::size_t>(k)].push_back(q);
+      }
+    }
+    const idx_t first = s.cblks[static_cast<std::size_t>(k)].bloknum;
+    const idx_t last = s.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+    for (idx_t b = first + 1; b < last; ++b) {
+      const idx_t q = plan.blok_owner[static_cast<std::size_t>(b)];
+      if (q != owner) {
+        plan.bwd_remote_bloks[static_cast<std::size_t>(k)].push_back(b);
+        plan.yseg_dests[static_cast<std::size_t>(k)].push_back(q);
+      }
+    }
+    sort_unique(plan.yseg_dests[static_cast<std::size_t>(k)]);
+    sort_unique(plan.xseg_dests[static_cast<std::size_t>(k)]);
+  }
+  return plan;
+}
+
+} // namespace pastix

@@ -1,0 +1,68 @@
+#pragma once
+//
+// Static communication plan of the fan-in factorization and of the
+// distributed triangular solves.
+//
+// Everything the runtime needs to know about messages — who expects how
+// many aggregated update blocks, when an AUB becomes complete and must be
+// sent, who needs a factored diagonal block or a solved panel — is fully
+// determined by the symbol structure, the task graph and the schedule.
+// Computing it up front is exactly what makes the solver "fully driven by
+// the precomputed scheduling" (the paper's key design point).
+//
+#include "map/scheduler.hpp"
+#include "symbolic/symbol.hpp"
+
+namespace pastix {
+
+struct CommPlan {
+  /// Fan-in / Fan-Both spectrum ("if memory is a critical issue, an
+  /// aggregated update block can be sent with partial aggregation to free
+  /// memory space; this is close to the Fan-Both scheme", Section 2):
+  /// a sender flushes its AUB for a target every `partial_chunk` local
+  /// contributions instead of only once at the end.  0 = total local
+  /// aggregation (pure fan-in, the default).  The message counts below
+  /// already account for the chunking, so the solver stays fully static.
+  idx_t partial_chunk = 0;
+
+  // ---- Factorization ----
+  /// Per task: number of AUB messages to receive before starting.
+  std::vector<idx_t> expect_aub;
+  /// Per task: remote target tasks whose AUB countdown this task decrements
+  /// when it finishes (deduplicated).
+  std::vector<std::vector<idx_t>> aub_after;
+  /// Per target task sigma owned by proc(sigma): initial countdown value for
+  /// each contributing remote proc, as (source proc, #source tasks) pairs.
+  std::vector<std::vector<std::pair<idx_t, idx_t>>> aub_countdown;
+  /// Per FACTOR task: remote procs that need (L_kk, D_k).
+  std::vector<std::vector<idx_t>> diag_dests;
+  /// Per BDIV task: remote procs that need the scaled panel W_j = L_jk D_k.
+  std::vector<std::vector<idx_t>> panel_dests;
+
+  // ---- Triangular solves ----
+  /// Per cblk: owner of the diagonal block (where y_k / x_k live).
+  std::vector<idx_t> diag_owner;
+  /// Per blok: owner (the proc holding this factor block).
+  std::vector<idx_t> blok_owner;
+  /// Per cblk k: bloks facing k whose owner != diag_owner[k] (forward solve
+  /// contributions that arrive as messages).
+  std::vector<std::vector<idx_t>> fwd_remote_bloks;
+  /// Per cblk k: off-diagonal bloks of k whose owner != diag_owner[k]
+  /// (backward solve contributions that arrive as messages).
+  std::vector<std::vector<idx_t>> bwd_remote_bloks;
+  /// Per cblk k: remote procs owning bloks *of* k (need y_k in forward).
+  std::vector<std::vector<idx_t>> yseg_dests;
+  /// Per cblk k: remote procs owning bloks *facing* k (need x_k in backward).
+  std::vector<std::vector<idx_t>> xseg_dests;
+};
+
+CommPlan build_comm_plan(const SymbolMatrix& s, const TaskGraph& tg,
+                         const Schedule& sched, idx_t partial_chunk = 0);
+
+/// Messages a sender with `count` contributing tasks emits for one target.
+inline idx_t aub_messages_for(idx_t count, idx_t partial_chunk) {
+  if (partial_chunk <= 0) return 1;
+  return (count + partial_chunk - 1) / partial_chunk;
+}
+
+} // namespace pastix

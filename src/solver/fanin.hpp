@@ -1,0 +1,623 @@
+#pragma once
+//
+// Distributed supernodal fan-in LDL^t factorization with total local
+// aggregation, fully driven by the precomputed static schedule — the
+// parallel algorithm of Fig. 1 of the paper, plus the distributed forward /
+// diagonal / backward triangular solves.
+//
+// Task kernels:
+//   COMP1D(k)   : receive AUBs for cblk k, factor the diagonal block,
+//                 panel-solve the sub-diagonal rows, and compute the
+//                 contributions C = L_[j] (D L_j^t) for every facing blok j.
+//   FACTOR(k)   : receive AUBs for the diagonal block, factor it, send
+//                 (L_kk, D_k) to the owners of the off-diagonal bloks.
+//   BDIV(j,k)   : receive (L_kk, D_k) and the blok's AUBs, panel-solve,
+//                 send the scaled panel W_j = L_jk D_k to the procs owning
+//                 bloks [j..] of k.
+//   BMOD(i,j,k) : receive W_j (once per proc, cached), compute
+//                 C_i = L_ik W_j^t, apply locally or aggregate into an AUB.
+//
+// Storage: a 1D cblk lives as one dense trapezoid on its owner; a 2D cblk
+// is scattered blok-by-blok across the owners chosen by the scheduler.
+//
+#include <unordered_map>
+
+#include "dkernel/blocked_factor.hpp"
+#include "rt/comm.hpp"
+#include "solver/comm_plan.hpp"
+#include "sparse/sym_sparse.hpp"
+#include "support/timer.hpp"
+
+namespace pastix {
+
+/// Which symmetric factorization the numerical phase computes.
+/// The paper's PaStiX computes LDL^t (to cover complex symmetric systems);
+/// LL^t is provided as well — it is what the PSPASES baseline computes, so
+/// the two solvers can be cross-validated factor-by-factor.
+enum class FactorKind : unsigned char { kLdlt, kLlt };
+
+/// Runtime knobs of the numerical solver.
+struct FaninOptions {
+  FactorKind kind = FactorKind::kLdlt;
+  /// 0 = total local aggregation (pure fan-in).  k > 0 = Fan-Both-style
+  /// partial aggregation: flush each AUB every k local contributions,
+  /// trading messages for peak aggregation memory.
+  idx_t partial_chunk = 0;
+};
+
+/// Per-rank memory footprint after a factorization.
+struct RankMemoryStats {
+  big_t factor_bytes = 0;    ///< owned factor blocks
+  big_t aub_peak_bytes = 0;  ///< peak aggregated-update-block memory
+};
+
+/// Measured wall time per task type of one rank's last factorization
+/// (indexed by TaskType).  Includes the receive waits of each task, so it
+/// is a *model validation* signal only at P = 1 where no rank ever waits.
+struct RankTaskTimes {
+  double seconds[4] = {0, 0, 0, 0};
+  idx_t count[4] = {0, 0, 0, 0};
+};
+
+template <class T>
+class FaninSolver {
+public:
+  /// `a` must already be permuted consistently with `s` (use the ordering's
+  /// permutation).  All of `s`, `tg`, `sched` must describe the same
+  /// analysis; the solver keeps references — keep them alive.
+  FaninSolver(const SymSparse<T>& a, const SymbolMatrix& s, const TaskGraph& tg,
+              const Schedule& sched, const FaninOptions& fopt = {})
+      : a_(a), s_(s), tg_(tg), sched_(sched), kind_(fopt.kind),
+        plan_(build_comm_plan(s, tg, sched, fopt.partial_chunk)),
+        ranks_(static_cast<std::size_t>(sched.nprocs)) {
+    PASTIX_CHECK(a.n() == s.n, "matrix / symbol size mismatch");
+    compute_stack_offsets();
+    allocate_and_fill();
+  }
+
+  /// Run the parallel numerical factorization; returns wall seconds.
+  double factorize(rt::Comm& comm) {
+    PASTIX_CHECK(comm.nprocs() == sched_.nprocs, "comm size mismatch");
+    init_countdowns();
+    Timer timer;
+    rt::run_ranks(sched_.nprocs, [&](int rank) {
+      try {
+        run_factorization(comm, static_cast<idx_t>(rank));
+      } catch (...) {
+        comm.abort();
+        throw;
+      }
+    });
+    factored_ = true;
+    return timer.seconds();
+  }
+
+  /// Distributed triangular solves: returns x with A x = b (permuted frame).
+  std::vector<T> solve(rt::Comm& comm, const std::vector<T>& b) {
+    PASTIX_CHECK(factored_, "factorize() must run before solve()");
+    PASTIX_CHECK(static_cast<idx_t>(b.size()) == s_.n, "rhs size mismatch");
+    std::vector<T> x(b.size());
+    rt::run_ranks(sched_.nprocs, [&](int rank) {
+      try {
+        run_solve(comm, static_cast<idx_t>(rank), b, x);
+      } catch (...) {
+        comm.abort();
+        throw;
+      }
+    });
+    return x;
+  }
+
+  /// Factor access for verification: L(i, j), i > j (unit diagonal implied).
+  [[nodiscard]] T factor_entry(idx_t i, idx_t j) const {
+    PASTIX_CHECK(factored_, "no factor yet");
+    PASTIX_CHECK(i > j && i < s_.n && j >= 0, "want strict lower entry");
+    const idx_t k = s_.col2cblk[static_cast<std::size_t>(j)];
+    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+    const idx_t bloks_first = ck.bloknum;
+    const idx_t bloks_last = s_.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+    for (idx_t b = bloks_first; b < bloks_last; ++b) {
+      const auto& blok = s_.bloks[static_cast<std::size_t>(b)];
+      if (i < blok.frownum || i > blok.lrownum) continue;
+      idx_t ld = 0;
+      const T* ptr = blok_ptr_const(b, &ld);
+      return ptr[(i - blok.frownum) +
+                 static_cast<std::size_t>(j - ck.fcolnum) * ld];
+    }
+    return T{};  // structurally zero
+  }
+
+  /// D(j, j) of the factorization.
+  [[nodiscard]] T diag_entry(idx_t j) const {
+    PASTIX_CHECK(factored_, "no factor yet");
+    const idx_t k = s_.col2cblk[static_cast<std::size_t>(j)];
+    const idx_t b = s_.cblks[static_cast<std::size_t>(k)].bloknum;
+    idx_t ld = 0;
+    const T* ptr = blok_ptr_const(b, &ld);
+    const idx_t o = j - s_.cblks[static_cast<std::size_t>(k)].fcolnum;
+    return ptr[o + static_cast<std::size_t>(o) * ld];
+  }
+
+  [[nodiscard]] const CommPlan& plan() const { return plan_; }
+
+  /// Memory footprint of rank p (valid once construction/factorization ran).
+  [[nodiscard]] RankMemoryStats memory_stats(idx_t p) const {
+    const Rank& r = ranks_[static_cast<std::size_t>(p)];
+    RankMemoryStats ms;
+    for (const auto& [k, store] : r.cblk_store)
+      ms.factor_bytes += static_cast<big_t>(store.size()) * sizeof(T);
+    for (const auto& [b, store] : r.blok_store)
+      ms.factor_bytes += static_cast<big_t>(store.size()) * sizeof(T);
+    ms.aub_peak_bytes = r.aub_peak_bytes;
+    return ms;
+  }
+
+  /// Measured per-task-type wall times of rank p's last factorization.
+  [[nodiscard]] const RankTaskTimes& task_times(idx_t p) const {
+    return ranks_[static_cast<std::size_t>(p)].task_times;
+  }
+
+private:
+  // ---------------------------------------------------------------- layout --
+  bool is_1d(idx_t k) const {
+    return tg_.tasks[static_cast<std::size_t>(
+                         tg_.cblk_task[static_cast<std::size_t>(k)])]
+               .type == TaskType::kComp1d;
+  }
+  idx_t cblk_of_blok(idx_t b) const {
+    return s_.bloks[static_cast<std::size_t>(b)].lcblknm;
+  }
+  idx_t stack_rows(idx_t k) const {
+    return s_.cblks[static_cast<std::size_t>(k)].width() + s_.cblk_below_rows(k);
+  }
+
+  void compute_stack_offsets() {
+    stack_off_.assign(static_cast<std::size_t>(s_.nblok()), 0);
+    for (idx_t k = 0; k < s_.ncblk; ++k) {
+      idx_t off = 0;
+      for (idx_t b = s_.cblks[static_cast<std::size_t>(k)].bloknum;
+           b < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b) {
+        stack_off_[static_cast<std::size_t>(b)] = off;
+        off += s_.bloks[static_cast<std::size_t>(b)].nrows();
+      }
+    }
+  }
+
+  struct Rank {
+    std::unordered_map<idx_t, std::vector<T>> cblk_store;  ///< 1D trapezoids
+    std::unordered_map<idx_t, std::vector<T>> blok_store;  ///< 2D bloks
+    std::unordered_map<idx_t, std::vector<T>> aub;         ///< per target task
+    std::unordered_map<idx_t, idx_t> aub_remaining;        ///< send countdowns
+    std::unordered_map<idx_t, idx_t> aub_initial;          ///< initial counts
+    std::unordered_map<idx_t, std::vector<T>> diag_cache;  ///< cblk -> (L,D)
+    std::unordered_map<idx_t, std::vector<T>> panel_cache; ///< blok -> W
+    std::unordered_map<idx_t, std::vector<T>> seg_cache;   ///< solve segments
+    big_t aub_bytes_now = 0;   ///< live AUB memory (partial-aggregation knob)
+    big_t aub_peak_bytes = 0;
+    RankTaskTimes task_times;  ///< measured per-task-type wall times
+  };
+
+  /// Pointer to the top-left of blok b inside its owner's storage.
+  T* blok_ptr(idx_t b, idx_t* ld) {
+    const idx_t k = cblk_of_blok(b);
+    Rank& r = ranks_[static_cast<std::size_t>(
+        plan_.blok_owner[static_cast<std::size_t>(b)])];
+    if (is_1d(k)) {
+      *ld = stack_rows(k);
+      return r.cblk_store.at(k).data() + stack_off_[static_cast<std::size_t>(b)];
+    }
+    *ld = s_.bloks[static_cast<std::size_t>(b)].nrows();
+    return r.blok_store.at(b).data();
+  }
+  const T* blok_ptr_const(idx_t b, idx_t* ld) const {
+    return const_cast<FaninSolver*>(this)->blok_ptr(b, ld);
+  }
+
+  void allocate_and_fill() {
+    // Allocate owner storage.
+    for (idx_t k = 0; k < s_.ncblk; ++k) {
+      const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+      if (is_1d(k)) {
+        Rank& r = ranks_[static_cast<std::size_t>(
+            plan_.diag_owner[static_cast<std::size_t>(k)])];
+        r.cblk_store[k].assign(
+            static_cast<std::size_t>(stack_rows(k)) * w, T{});
+      } else {
+        for (idx_t b = s_.cblks[static_cast<std::size_t>(k)].bloknum;
+             b < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b) {
+          Rank& r = ranks_[static_cast<std::size_t>(
+              plan_.blok_owner[static_cast<std::size_t>(b)])];
+          r.blok_store[b].assign(
+              static_cast<std::size_t>(
+                  s_.bloks[static_cast<std::size_t>(b)].nrows()) * w, T{});
+        }
+      }
+    }
+    // Scatter A into the block storage.
+    for (idx_t j = 0; j < s_.n; ++j) {
+      const idx_t k = s_.col2cblk[static_cast<std::size_t>(j)];
+      set_entry(k, j, j, a_.diag[static_cast<std::size_t>(j)]);
+      for (idx_t q = a_.pattern.colptr[j]; q < a_.pattern.colptr[j + 1]; ++q)
+        set_entry(k, a_.pattern.rowind[q], j, a_.val[q]);
+    }
+  }
+
+  void set_entry(idx_t k, idx_t i, idx_t j, const T& v) {
+    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+    const auto covering = s_.find_facing_bloks(k, i, i);
+    PASTIX_ASSERT(covering.size() == 1);
+    idx_t ld = 0;
+    T* ptr = blok_ptr(covering[0], &ld);
+    ptr[(i - s_.bloks[static_cast<std::size_t>(covering[0])].frownum) +
+        static_cast<std::size_t>(j - ck.fcolnum) * ld] = v;
+  }
+
+  void init_countdowns() {
+    for (auto& r : ranks_) {
+      r.aub_remaining.clear();
+      r.aub_initial.clear();
+      r.aub.clear();
+      r.diag_cache.clear();
+      r.panel_cache.clear();
+      r.aub_bytes_now = 0;
+      r.aub_peak_bytes = 0;
+    }
+    for (idx_t t = 0; t < tg_.ntask(); ++t) {
+      Rank& r = ranks_[static_cast<std::size_t>(
+          sched_.proc[static_cast<std::size_t>(t)])];
+      for (const idx_t sigma : plan_.aub_after[static_cast<std::size_t>(t)])
+        r.aub_remaining[sigma]++;
+    }
+    for (auto& r : ranks_) r.aub_initial = r.aub_remaining;
+  }
+
+  // -------------------------------------------------------- AUB management --
+  /// Geometry of the AUB buffer of target task sigma (mirrors its storage).
+  struct Region {
+    idx_t rows, cols, base_row;  ///< base_row: global row of buffer row 0
+  };
+  Region aub_region(idx_t sigma) const {
+    const Task& t = tg_.tasks[static_cast<std::size_t>(sigma)];
+    const auto& ck = s_.cblks[static_cast<std::size_t>(t.cblk)];
+    switch (t.type) {
+      case TaskType::kComp1d:
+        return {stack_rows(t.cblk), ck.width(), kNone};
+      case TaskType::kFactor:
+        return {ck.width(), ck.width(), ck.fcolnum};
+      case TaskType::kBdiv:
+        return {s_.bloks[static_cast<std::size_t>(t.blok)].nrows(), ck.width(),
+                s_.bloks[static_cast<std::size_t>(t.blok)].frownum};
+      default:
+        throw Error("BMOD task cannot be an AUB target");
+    }
+  }
+
+  /// Row offset of global row `grow` (inside target blok tb) within the
+  /// storage/AUB layout of target task sigma.
+  idx_t target_row_offset(idx_t sigma, idx_t tb, idx_t grow) const {
+    const Task& t = tg_.tasks[static_cast<std::size_t>(sigma)];
+    if (t.type == TaskType::kComp1d)
+      return stack_off_[static_cast<std::size_t>(tb)] + grow -
+             s_.bloks[static_cast<std::size_t>(tb)].frownum;
+    return grow - aub_region(sigma).base_row;
+  }
+
+  /// Apply (or aggregate) the contribution block C into target blok tb.
+  /// C is `m x n` with leading dimension ldc; its row 0 is global row crow0
+  /// and its column 0 is global column ccol0.  `tri` requests the lower-
+  /// triangle-only application (bi == bj case).
+  void apply_contribution(Rank& me, idx_t my_rank, idx_t tb, const T* c,
+                          idx_t ldc, idx_t m, idx_t n, idx_t crow0, idx_t ccol0,
+                          bool tri) {
+    const auto& blok = s_.bloks[static_cast<std::size_t>(tb)];
+    const idx_t j = blok.lcblknm;  // target cblk (the blok's *owner*)
+    const idx_t sigma = tg_.blok_task[static_cast<std::size_t>(tb)];
+    const idx_t owner = sched_.proc[static_cast<std::size_t>(sigma)];
+    const idx_t fcol = s_.cblks[static_cast<std::size_t>(j)].fcolnum;
+
+    T* dst = nullptr;
+    idx_t ld = 0;
+    T sign{};
+    if (owner == my_rank) {
+      // blok_ptr points at the blok's top-left in either layout.
+      dst = blok_ptr(tb, &ld) + (crow0 - blok.frownum) +
+            static_cast<std::size_t>(ccol0 - fcol) * ld;
+      sign = T(-1);  // apply directly: A -= C
+    } else {
+      auto& buf = me.aub[sigma];
+      const Region reg = aub_region(sigma);
+      if (buf.empty()) {
+        buf.assign(static_cast<std::size_t>(reg.rows) * reg.cols, T{});
+        me.aub_bytes_now += static_cast<big_t>(buf.size()) * sizeof(T);
+        me.aub_peak_bytes = std::max(me.aub_peak_bytes, me.aub_bytes_now);
+      }
+      ld = reg.rows;
+      dst = buf.data() + target_row_offset(sigma, tb, crow0) +
+            static_cast<std::size_t>(ccol0 - fcol) * ld;
+      sign = T(1);  // aggregate: AUB += C; receiver subtracts
+    }
+    PASTIX_ASSERT(crow0 >= blok.frownum && crow0 + m - 1 <= blok.lrownum);
+    PASTIX_ASSERT(ccol0 >= fcol &&
+                  ccol0 + n - 1 <= s_.cblks[static_cast<std::size_t>(j)].lcolnum);
+    for (idx_t col = 0; col < n; ++col) {
+      const idx_t gcol = ccol0 + col;
+      T* d = dst + static_cast<std::size_t>(col) * ld;
+      const T* src = c + static_cast<std::size_t>(col) * ldc;
+      idx_t row0 = 0;
+      if (tri && gcol > crow0) row0 = gcol - crow0;  // skip above-diagonal
+      for (idx_t row = row0; row < m; ++row) d[row] += sign * src[row];
+    }
+  }
+
+  /// Scatter the dense update C (rows of bloks [bi_first..last) x rows of
+  /// bj) into its target bloks; then handle AUB countdowns via caller.
+  void scatter_update(Rank& me, idx_t my_rank, idx_t k, idx_t bj, idx_t bi_first,
+                      const T* c, idx_t ldc, idx_t c_base_row_off) {
+    const auto& src_j = s_.bloks[static_cast<std::size_t>(bj)];
+    const idx_t last = s_.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+    for (idx_t bi = bi_first; bi < last; ++bi) {
+      const auto& src_i = s_.bloks[static_cast<std::size_t>(bi)];
+      const bool tri = (bi == bj);
+      const auto targets = s_.find_facing_bloks(src_j.fcblknm, src_i.frownum,
+                                                src_i.lrownum);
+      for (const idx_t tb : targets) {
+        const auto& t = s_.bloks[static_cast<std::size_t>(tb)];
+        const idx_t r0 = std::max(t.frownum, src_i.frownum);
+        const idx_t r1 = std::min(t.lrownum, src_i.lrownum);
+        const idx_t coff = stack_off_[static_cast<std::size_t>(bi)] +
+                           (r0 - src_i.frownum) - c_base_row_off;
+        apply_contribution(me, my_rank, tb, c + coff, ldc, r1 - r0 + 1,
+                           src_j.nrows(), r0, src_j.frownum, tri);
+      }
+    }
+  }
+
+  void flush_aubs(rt::Comm& comm, Rank& me, idx_t my_rank, idx_t t) {
+    for (const idx_t sigma : plan_.aub_after[static_cast<std::size_t>(t)]) {
+      auto it = me.aub_remaining.find(sigma);
+      PASTIX_ASSERT(it != me.aub_remaining.end() && it->second > 0);
+      --it->second;
+      const idx_t done =
+          me.aub_initial.at(sigma) - it->second;
+      const bool final_send = (it->second == 0);
+      const bool partial_send = !final_send && plan_.partial_chunk > 0 &&
+                                done % plan_.partial_chunk == 0;
+      if (!final_send && !partial_send) continue;
+      auto buf = me.aub.find(sigma);
+      const Region reg = aub_region(sigma);
+      if (buf == me.aub.end()) {
+        // This rank contributed only zeros so far (possible when the region
+        // was fully covered by other contributions); the receiver still
+        // expects the message.
+        me.aub[sigma].assign(static_cast<std::size_t>(reg.rows) * reg.cols,
+                             T{});
+        buf = me.aub.find(sigma);
+      }
+      comm.send_array(
+          static_cast<int>(my_rank),
+          static_cast<int>(sched_.proc[static_cast<std::size_t>(sigma)]),
+          rt::make_tag(rt::MsgKind::kAub, static_cast<std::uint64_t>(sigma)),
+          buf->second.data(), buf->second.size());
+      me.aub_bytes_now -= static_cast<big_t>(buf->second.size()) * sizeof(T);
+      me.aub.erase(buf);  // free the aggregation memory (the point of the
+                          // Fan-Both-style partial sends)
+    }
+  }
+
+  void recv_aubs(rt::Comm& comm, idx_t my_rank, idx_t t, T* dst,
+                 std::size_t count) {
+    for (idx_t r = 0; r < plan_.expect_aub[static_cast<std::size_t>(t)]; ++r) {
+      const rt::Message m = comm.recv(
+          static_cast<int>(my_rank),
+          rt::make_tag(rt::MsgKind::kAub, static_cast<std::uint64_t>(t)));
+      PASTIX_CHECK(m.template count<T>() == count, "AUB size mismatch");
+      const T* src = m.template as<T>();
+      for (std::size_t i = 0; i < count; ++i) dst[i] -= src[i];
+    }
+  }
+
+  // ----------------------------------------------------------- task bodies --
+  void run_factorization(rt::Comm& comm, idx_t rank) {
+    Rank& me = ranks_[static_cast<std::size_t>(rank)];
+    me.task_times = RankTaskTimes{};
+    std::vector<T> wbuf, cbuf, dvec;
+    for (const idx_t t : sched_.kp[static_cast<std::size_t>(rank)]) {
+      const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
+      const Timer timer;
+      switch (task.type) {
+        case TaskType::kComp1d: exec_comp1d(comm, me, rank, t, wbuf, cbuf, dvec); break;
+        case TaskType::kFactor: exec_factor(comm, me, rank, t); break;
+        case TaskType::kBdiv: exec_bdiv(comm, me, rank, t, dvec); break;
+        case TaskType::kBmod: exec_bmod(comm, me, rank, t, cbuf); break;
+      }
+      me.task_times.seconds[static_cast<int>(task.type)] += timer.seconds();
+      me.task_times.count[static_cast<int>(task.type)]++;
+    }
+  }
+
+  void exec_comp1d(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
+                   std::vector<T>& wbuf, std::vector<T>& cbuf,
+                   std::vector<T>& dvec) {
+    const idx_t k = tg_.tasks[static_cast<std::size_t>(t)].cblk;
+    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+    const idx_t w = ck.width();
+    const idx_t rows = stack_rows(k);
+    const idx_t below = rows - w;
+    T* a = me.cblk_store.at(k).data();
+
+    recv_aubs(comm, rank, t, a, static_cast<std::size_t>(rows) * w);
+    if (kind_ == FactorKind::kLdlt)
+      dense_ldlt_auto(w, a, rows);
+    else
+      dense_llt_auto(w, a, rows);
+
+    if (below > 0) {
+      T* sub = a + w;
+      const T* bmat = nullptr;  // B operand of the update GEMMs
+      idx_t ldb = 0;
+      if (kind_ == FactorKind::kLdlt) {
+        // Panel solve: sub := A_below L^{-t}; the result is W = L_below D.
+        trsm_right_lt_unit(below, w, a, rows, sub, rows);
+        wbuf.assign(static_cast<std::size_t>(below) * w, T{});
+        for (idx_t j = 0; j < w; ++j)
+          std::copy(sub + static_cast<std::size_t>(j) * rows,
+                    sub + static_cast<std::size_t>(j) * rows + below,
+                    wbuf.data() + static_cast<std::size_t>(j) * below);
+        dvec.assign(static_cast<std::size_t>(w), T{});
+        for (idx_t j = 0; j < w; ++j)
+          dvec[static_cast<std::size_t>(j)] =
+              a[j + static_cast<std::size_t>(j) * rows];
+        scale_columns(below, w, sub, rows, dvec.data(), /*invert=*/true);
+        bmat = wbuf.data();
+        ldb = below;
+      } else {
+        // LL^t: the final panel L_below is also the GEMM operand
+        // (C = L_i L_j^t), no scaled copy needed.
+        trsm_right_lt(below, w, a, rows, sub, rows);
+        bmat = sub;
+        ldb = rows;
+      }
+
+      // Contributions: for each facing blok bj, one compacted GEMM over all
+      // rows from bj downwards: C = L_[bj..] * W_bj^t.
+      const idx_t first = ck.bloknum + 1;
+      const idx_t last = s_.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+      for (idx_t bj = first; bj < last; ++bj) {
+        const idx_t off = stack_off_[static_cast<std::size_t>(bj)];  // >= w
+        const idx_t m = rows - off;
+        const idx_t n = s_.bloks[static_cast<std::size_t>(bj)].nrows();
+        cbuf.assign(static_cast<std::size_t>(m) * n, T{});
+        gemm_nt(m, n, w, T(1), a + off, rows, bmat + (off - w), ldb,
+                cbuf.data(), m);
+        scatter_update(me, rank, k, bj, bj, cbuf.data(), m, off);
+      }
+    }
+    flush_aubs(comm, me, rank, t);
+  }
+
+  void exec_factor(rt::Comm& comm, Rank& me, idx_t rank, idx_t t) {
+    const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
+    const idx_t k = task.cblk;
+    const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+    T* a = me.blok_store.at(task.blok).data();
+    recv_aubs(comm, rank, t, a, static_cast<std::size_t>(w) * w);
+    if (kind_ == FactorKind::kLdlt)
+      dense_ldlt_auto(w, a, w);
+    else
+      dense_llt_auto(w, a, w);
+    for (const idx_t q : plan_.diag_dests[static_cast<std::size_t>(t)])
+      comm.send_array(static_cast<int>(rank), static_cast<int>(q),
+                      rt::make_tag(rt::MsgKind::kDiag,
+                                   static_cast<std::uint64_t>(k)),
+                      a, static_cast<std::size_t>(w) * w);
+    me.diag_cache[k].assign(a, a + static_cast<std::size_t>(w) * w);
+  }
+
+  void exec_bdiv(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
+                 std::vector<T>& dvec) {
+    const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
+    const idx_t k = task.cblk;
+    const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+    auto diag_it = me.diag_cache.find(k);
+    if (diag_it == me.diag_cache.end()) {
+      const rt::Message m = comm.recv(
+          static_cast<int>(rank),
+          rt::make_tag(rt::MsgKind::kDiag, static_cast<std::uint64_t>(k)));
+      PASTIX_CHECK(m.template count<T>() ==
+                       static_cast<std::size_t>(w) * w,
+                   "diag block size mismatch");
+      diag_it = me.diag_cache
+                    .emplace(k, std::vector<T>(m.template as<T>(),
+                                               m.template as<T>() +
+                                                   m.template count<T>()))
+                    .first;
+    }
+    const T* lkk = diag_it->second.data();
+
+    const idx_t m = s_.bloks[static_cast<std::size_t>(task.blok)].nrows();
+    T* a = me.blok_store.at(task.blok).data();
+    recv_aubs(comm, rank, t, a, static_cast<std::size_t>(m) * w);
+    if (kind_ == FactorKind::kLdlt)
+      trsm_right_lt_unit(m, w, lkk, w, a, m);  // a := W = L D
+    else
+      trsm_right_lt(m, w, lkk, w, a, m);  // a := L (also the GEMM panel)
+
+    auto& panel = me.panel_cache[task.blok];
+    panel.assign(a, a + static_cast<std::size_t>(m) * w);
+    for (const idx_t q : plan_.panel_dests[static_cast<std::size_t>(t)])
+      comm.send_array(static_cast<int>(rank), static_cast<int>(q),
+                      rt::make_tag(rt::MsgKind::kPanel,
+                                   static_cast<std::uint64_t>(k),
+                                   static_cast<std::uint64_t>(task.blok)),
+                      panel.data(), panel.size());
+
+    if (kind_ == FactorKind::kLdlt) {
+      dvec.assign(static_cast<std::size_t>(w), T{});
+      for (idx_t j = 0; j < w; ++j)
+        dvec[static_cast<std::size_t>(j)] =
+            lkk[j + static_cast<std::size_t>(j) * w];
+      scale_columns(m, w, a, m, dvec.data(), /*invert=*/true);  // a := L
+    }
+  }
+
+  void exec_bmod(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
+                 std::vector<T>& cbuf) {
+    const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
+    const idx_t k = task.cblk;
+    const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+    const idx_t bi = task.blok, bj = task.blok2;
+    const idx_t mi = s_.bloks[static_cast<std::size_t>(bi)].nrows();
+    const idx_t nj = s_.bloks[static_cast<std::size_t>(bj)].nrows();
+
+    auto panel_it = me.panel_cache.find(bj);
+    if (panel_it == me.panel_cache.end()) {
+      const rt::Message m = comm.recv(
+          static_cast<int>(rank),
+          rt::make_tag(rt::MsgKind::kPanel, static_cast<std::uint64_t>(k),
+                       static_cast<std::uint64_t>(bj)));
+      PASTIX_CHECK(m.template count<T>() ==
+                       static_cast<std::size_t>(nj) * w,
+                   "panel size mismatch");
+      panel_it = me.panel_cache
+                     .emplace(bj, std::vector<T>(m.template as<T>(),
+                                                 m.template as<T>() +
+                                                     m.template count<T>()))
+                     .first;
+    }
+    const T* l_bi = me.blok_store.at(bi).data();
+    cbuf.assign(static_cast<std::size_t>(mi) * nj, T{});
+    gemm_nt(mi, nj, w, T(1), l_bi, mi, panel_it->second.data(), nj, cbuf.data(),
+            mi);
+    // Scatter just this (bi, bj) product.
+    const auto& src_i = s_.bloks[static_cast<std::size_t>(bi)];
+    const auto& src_j = s_.bloks[static_cast<std::size_t>(bj)];
+    const auto targets =
+        s_.find_facing_bloks(src_j.fcblknm, src_i.frownum, src_i.lrownum);
+    for (const idx_t tb : targets) {
+      const auto& tgt = s_.bloks[static_cast<std::size_t>(tb)];
+      const idx_t r0 = std::max(tgt.frownum, src_i.frownum);
+      const idx_t r1 = std::min(tgt.lrownum, src_i.lrownum);
+      apply_contribution(me, rank, tb, cbuf.data() + (r0 - src_i.frownum), mi,
+                         r1 - r0 + 1, nj, r0, src_j.frownum, bi == bj);
+    }
+    flush_aubs(comm, me, rank, t);
+  }
+
+  // ------------------------------------------------------------- solves -----
+  void run_solve(rt::Comm& comm, idx_t rank, const std::vector<T>& b,
+                 std::vector<T>& x_out);
+
+  const SymSparse<T>& a_;
+  const SymbolMatrix& s_;
+  const TaskGraph& tg_;
+  const Schedule& sched_;
+  FactorKind kind_;
+  CommPlan plan_;
+  std::vector<Rank> ranks_;
+  std::vector<idx_t> stack_off_;
+  bool factored_ = false;
+};
+
+} // namespace pastix
+
+#include "solver/fanin_solve.hpp"

@@ -1,0 +1,193 @@
+#pragma once
+//
+// Distributed triangular solves of the fan-in solver:
+//   forward  L y = b  (block forward substitution, fan-in of blok updates),
+//   diagonal D z = y  (local scaling at the diagonal owners),
+//   backward L^t x = z (block backward substitution).
+//
+// Like the factorization, the solves are fully static: every rank walks its
+// own item list — (cblk, kind) pairs in a global topological order — and
+// all message counts are precomputed in the CommPlan.
+//
+// This header is included at the end of fanin.hpp; it only defines the
+// run_solve member of FaninSolver.
+//
+#include "solver/fanin.hpp"
+
+namespace pastix {
+
+template <class T>
+void FaninSolver<T>::run_solve(rt::Comm& comm, idx_t rank,
+                               const std::vector<T>& b, std::vector<T>& x_out) {
+  const auto solve_tag = [](int phase, idx_t obj) {
+    return rt::make_tag(rt::MsgKind::kSolve, static_cast<std::uint64_t>(phase),
+                        static_cast<std::uint64_t>(obj));
+  };
+
+  std::vector<T> y(b);  // rank-local working vector (own segments are
+                        // authoritative; others are scratch)
+  std::vector<T> tmp;
+  std::unordered_map<idx_t, std::vector<T>> yseg, xseg;
+
+  const auto diag_of = [&](idx_t k, idx_t* ld) {
+    return blok_ptr(s_.cblks[static_cast<std::size_t>(k)].bloknum, ld);
+  };
+
+  // ---------------- forward: L y = b -----------------------------------------
+  for (idx_t k = 0; k < s_.ncblk; ++k) {
+    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+    const idx_t w = ck.width();
+
+    if (plan_.diag_owner[static_cast<std::size_t>(k)] == rank) {
+      // Remote fan-in contributions to this cblk's rows.
+      for (const idx_t rb : plan_.fwd_remote_bloks[static_cast<std::size_t>(k)]) {
+        const rt::Message m =
+            comm.recv(static_cast<int>(rank), solve_tag(2, rb));
+        const auto& blok = s_.bloks[static_cast<std::size_t>(rb)];
+        PASTIX_CHECK(m.template count<T>() ==
+                         static_cast<std::size_t>(blok.nrows()),
+                     "forward contribution size mismatch");
+        const T* src = m.template as<T>();
+        for (idx_t i = 0; i < blok.nrows(); ++i)
+          y[static_cast<std::size_t>(blok.frownum + i)] -= src[i];
+      }
+      idx_t ld = 0;
+      const T* diag = diag_of(k, &ld);
+      if (kind_ == FactorKind::kLdlt)
+        trsv_lower_unit(w, diag, ld, y.data() + ck.fcolnum);
+      else
+        trsv_lower(w, diag, ld, y.data() + ck.fcolnum);
+      for (const idx_t q : plan_.yseg_dests[static_cast<std::size_t>(k)])
+        comm.send_array(static_cast<int>(rank), static_cast<int>(q),
+                        solve_tag(1, k), y.data() + ck.fcolnum,
+                        static_cast<std::size_t>(w));
+    }
+
+    // Update items: bloks of k owned by this rank.
+    for (idx_t bb = ck.bloknum + 1;
+         bb < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++bb) {
+      if (plan_.blok_owner[static_cast<std::size_t>(bb)] != rank) continue;
+      const auto& blok = s_.bloks[static_cast<std::size_t>(bb)];
+      const T* seg = nullptr;
+      if (plan_.diag_owner[static_cast<std::size_t>(k)] == rank) {
+        seg = y.data() + ck.fcolnum;
+      } else {
+        auto it = yseg.find(k);
+        if (it == yseg.end()) {
+          const rt::Message m =
+              comm.recv(static_cast<int>(rank), solve_tag(1, k));
+          PASTIX_CHECK(m.template count<T>() == static_cast<std::size_t>(w),
+                       "y segment size mismatch");
+          it = yseg.emplace(k, std::vector<T>(m.template as<T>(),
+                                              m.template as<T>() +
+                                                  m.template count<T>()))
+                   .first;
+        }
+        seg = it->second.data();
+      }
+      idx_t ld = 0;
+      const T* l = blok_ptr(bb, &ld);
+      tmp.assign(static_cast<std::size_t>(blok.nrows()), T{});
+      gemv_n(blok.nrows(), w, T(1), l, ld, seg, tmp.data());
+      const idx_t j = blok.fcblknm;
+      if (plan_.diag_owner[static_cast<std::size_t>(j)] == rank) {
+        for (idx_t i = 0; i < blok.nrows(); ++i)
+          y[static_cast<std::size_t>(blok.frownum + i)] -= tmp[i];
+      } else {
+        comm.send_array(static_cast<int>(rank),
+                        static_cast<int>(
+                            plan_.diag_owner[static_cast<std::size_t>(j)]),
+                        solve_tag(2, bb), tmp.data(), tmp.size());
+      }
+    }
+  }
+
+  // ---------------- diagonal: z = D^{-1} y (LDL^t only) ----------------------
+  if (kind_ == FactorKind::kLdlt) {
+    for (idx_t k = 0; k < s_.ncblk; ++k) {
+      if (plan_.diag_owner[static_cast<std::size_t>(k)] != rank) continue;
+      const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+      idx_t ld = 0;
+      const T* diag = diag_of(k, &ld);
+      for (idx_t i = 0; i < ck.width(); ++i)
+        y[static_cast<std::size_t>(ck.fcolnum + i)] /=
+            diag[i + static_cast<std::size_t>(i) * ld];
+    }
+  }
+
+  // ---------------- backward: L^t x = z --------------------------------------
+  for (idx_t k = s_.ncblk - 1; k >= 0; --k) {
+    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+    const idx_t w = ck.width();
+
+    // Update items first: bloks of k owned by this rank pull x of their
+    // facing cblk (already final, it is higher in the tree).
+    for (idx_t bb = ck.bloknum + 1;
+         bb < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++bb) {
+      if (plan_.blok_owner[static_cast<std::size_t>(bb)] != rank) continue;
+      const auto& blok = s_.bloks[static_cast<std::size_t>(bb)];
+      const idx_t j = blok.fcblknm;
+      const auto& cj = s_.cblks[static_cast<std::size_t>(j)];
+      const T* seg = nullptr;
+      if (plan_.diag_owner[static_cast<std::size_t>(j)] == rank) {
+        seg = y.data() + cj.fcolnum;
+      } else {
+        auto it = xseg.find(j);
+        if (it == xseg.end()) {
+          const rt::Message m =
+              comm.recv(static_cast<int>(rank), solve_tag(3, j));
+          PASTIX_CHECK(m.template count<T>() ==
+                           static_cast<std::size_t>(cj.width()),
+                       "x segment size mismatch");
+          it = xseg.emplace(j, std::vector<T>(m.template as<T>(),
+                                              m.template as<T>() +
+                                                  m.template count<T>()))
+                   .first;
+        }
+        seg = it->second.data();
+      }
+      idx_t ld = 0;
+      const T* l = blok_ptr(bb, &ld);
+      tmp.assign(static_cast<std::size_t>(w), T{});
+      gemv_t(blok.nrows(), w, T(1), l, ld, seg + (blok.frownum - cj.fcolnum),
+             tmp.data());
+      if (plan_.diag_owner[static_cast<std::size_t>(k)] == rank) {
+        for (idx_t i = 0; i < w; ++i)
+          y[static_cast<std::size_t>(ck.fcolnum + i)] -= tmp[i];
+      } else {
+        comm.send_array(static_cast<int>(rank),
+                        static_cast<int>(
+                            plan_.diag_owner[static_cast<std::size_t>(k)]),
+                        solve_tag(4, bb), tmp.data(), tmp.size());
+      }
+    }
+
+    if (plan_.diag_owner[static_cast<std::size_t>(k)] == rank) {
+      for (const idx_t rb : plan_.bwd_remote_bloks[static_cast<std::size_t>(k)]) {
+        const rt::Message m =
+            comm.recv(static_cast<int>(rank), solve_tag(4, rb));
+        PASTIX_CHECK(m.template count<T>() == static_cast<std::size_t>(w),
+                     "backward contribution size mismatch");
+        const T* src = m.template as<T>();
+        for (idx_t i = 0; i < w; ++i)
+          y[static_cast<std::size_t>(ck.fcolnum + i)] -= src[i];
+      }
+      idx_t ld = 0;
+      const T* diag = diag_of(k, &ld);
+      if (kind_ == FactorKind::kLdlt)
+        trsv_lower_unit_t(w, diag, ld, y.data() + ck.fcolnum);
+      else
+        trsv_lower_t(w, diag, ld, y.data() + ck.fcolnum);
+      for (const idx_t q : plan_.xseg_dests[static_cast<std::size_t>(k)])
+        comm.send_array(static_cast<int>(rank), static_cast<int>(q),
+                        solve_tag(3, k), y.data() + ck.fcolnum,
+                        static_cast<std::size_t>(w));
+      // Gather: each diagonal owner publishes its final segment (disjoint
+      // writes; this is the result collection step).
+      std::copy(y.begin() + ck.fcolnum, y.begin() + ck.lcolnum + 1,
+                x_out.begin() + ck.fcolnum);
+    }
+  }
+}
+
+} // namespace pastix

@@ -1,0 +1,137 @@
+#include "solver/solve_model.hpp"
+
+#include <algorithm>
+
+namespace pastix {
+
+double solve_flops(const SymbolMatrix& s) {
+  double flops = 0;
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    const double w = s.cblks[static_cast<std::size_t>(k)].width();
+    const double h = s.cblk_below_rows(k);
+    // Forward + backward trsv on the diagonal block, two gemv sweeps over
+    // the sub-diagonal rows, plus the diagonal scaling.
+    flops += 2.0 * w * w + 4.0 * h * w + w;
+  }
+  return flops;
+}
+
+SolveModel build_solve_model(const SymbolMatrix& s, const TaskGraph& factor_tg,
+                             const Schedule& factor_sched, const CostModel& m) {
+  const CommPlan plan = build_comm_plan(s, factor_tg, factor_sched);
+  SolveModel sm;
+  TaskGraph& tg = sm.tg;
+
+  // Task id layout: forward diag per cblk, forward update per blok,
+  // backward update per blok, backward diag per cblk.
+  const idx_t nblok = s.nblok();
+  const auto fdiag_id = [&](idx_t k) { return k; };
+  const auto fupd_id = [&](idx_t b) { return s.ncblk + b; };
+  const auto bupd_id = [&](idx_t b) { return s.ncblk + nblok + b; };
+  const auto bdiag_id = [&](idx_t k) { return s.ncblk + 2 * nblok + k; };
+  const idx_t ntask = 2 * s.ncblk + 2 * nblok;
+
+  tg.tasks.assign(static_cast<std::size_t>(ntask), {});
+  tg.inputs.assign(static_cast<std::size_t>(ntask), {});
+  tg.prec.assign(static_cast<std::size_t>(ntask), {});
+  tg.depth.assign(static_cast<std::size_t>(ntask), 0);
+  tg.cblk_task.assign(static_cast<std::size_t>(s.ncblk), kNone);
+  tg.blok_task.assign(static_cast<std::size_t>(nblok), kNone);
+
+  sm.sched.nprocs = factor_sched.nprocs;
+  sm.sched.proc.assign(static_cast<std::size_t>(ntask), 0);
+  sm.sched.prio.assign(static_cast<std::size_t>(ntask), kNone);
+  sm.sched.start.assign(static_cast<std::size_t>(ntask), 0.0);
+  sm.sched.end.assign(static_cast<std::size_t>(ntask), 0.0);
+  sm.sched.kp.assign(static_cast<std::size_t>(factor_sched.nprocs), {});
+
+  // Diagonal bloks (the first of each cblk) carry no solve task of their
+  // own; keep their slots pointing at the diag task for completeness.
+  for (idx_t k = 0; k < s.ncblk; ++k)
+    tg.cblk_task[static_cast<std::size_t>(k)] = fdiag_id(k);
+
+  auto add_task = [&](idx_t id, TaskType type, idx_t k, idx_t blok, double cost,
+                      double flops, idx_t proc) {
+    tg.tasks[static_cast<std::size_t>(id)] = {type, k, blok, kNone, cost, flops};
+    sm.sched.proc[static_cast<std::size_t>(id)] = proc;
+  };
+
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    const double w = s.cblks[static_cast<std::size_t>(k)].width();
+    const idx_t owner = plan.diag_owner[static_cast<std::size_t>(k)];
+    // Forward diag: trsv.  Backward diag: trsv + the diagonal scaling.
+    add_task(fdiag_id(k), TaskType::kFactor, k, kNone, m.trsv_time(w), w * w,
+             owner);
+    add_task(bdiag_id(k), TaskType::kFactor, k, kNone,
+             m.trsv_time(w) + m.aggregate_time(w), w * w + w, owner);
+
+    // The diagonal blok of each cblk has no update items; give its id slots
+    // zero-cost placeholders so the dense id layout stays simulable.
+    const idx_t diag_blok = s.cblks[static_cast<std::size_t>(k)].bloknum;
+    add_task(fupd_id(diag_blok), TaskType::kBdiv, k, diag_blok, 0.0, 0.0, owner);
+    add_task(bupd_id(diag_blok), TaskType::kBdiv, k, diag_blok, 0.0, 0.0, owner);
+
+    const idx_t first = diag_blok + 1;
+    const idx_t last = s.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+    for (idx_t b = first; b < last; ++b) {
+      const auto& blok = s.bloks[static_cast<std::size_t>(b)];
+      const double rows = blok.nrows();
+      const idx_t bowner = plan.blok_owner[static_cast<std::size_t>(b)];
+      add_task(fupd_id(b), TaskType::kBdiv, k, b, m.gemv_time(rows, w),
+               2 * rows * w, bowner);
+      add_task(bupd_id(b), TaskType::kBdiv, k, b, m.gemv_time(rows, w),
+               2 * rows * w, bowner);
+      tg.blok_task[static_cast<std::size_t>(b)] = fupd_id(b);
+
+      // Forward: FUPD needs y_k from FDIAG(k) (w entries if remote), and
+      // contributes rows entries into FDIAG of the facing cblk.
+      tg.prec[static_cast<std::size_t>(fupd_id(b))].push_back(
+          {fdiag_id(k), bowner == owner ? 0.0 : w});
+      tg.inputs[static_cast<std::size_t>(fdiag_id(blok.fcblknm))].push_back(
+          {fupd_id(b), rows});
+
+      // Backward: BUPD needs x of the facing cblk from BDIAG(fcblk), and
+      // contributes w entries into BDIAG(k).
+      const idx_t fowner =
+          plan.diag_owner[static_cast<std::size_t>(blok.fcblknm)];
+      tg.prec[static_cast<std::size_t>(bupd_id(b))].push_back(
+          {bdiag_id(blok.fcblknm),
+           bowner == fowner ? 0.0
+                            : static_cast<double>(
+                                  s.cblks[static_cast<std::size_t>(blok.fcblknm)]
+                                      .width())});
+      tg.inputs[static_cast<std::size_t>(bdiag_id(k))].push_back(
+          {bupd_id(b), w});
+    }
+    // The backward diag of k cannot start before its forward finished.
+    tg.prec[static_cast<std::size_t>(bdiag_id(k))].push_back(
+        {fdiag_id(k), 0.0});
+  }
+
+  // Priorities: forward ascending (diag before its updates), backward
+  // descending (updates before the diag); this is a topological order and
+  // the per-processor execution order of the real solver.
+  idx_t prio = 0;
+  auto place = [&](idx_t id) {
+    sm.sched.prio[static_cast<std::size_t>(id)] = prio++;
+    sm.sched.kp[static_cast<std::size_t>(
+                    sm.sched.proc[static_cast<std::size_t>(id)])]
+        .push_back(id);
+  };
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    place(fdiag_id(k));
+    for (idx_t b = s.cblks[static_cast<std::size_t>(k)].bloknum;
+         b < s.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+      place(fupd_id(b));
+  }
+  for (idx_t k = s.ncblk - 1; k >= 0; --k) {
+    for (idx_t b = s.cblks[static_cast<std::size_t>(k)].bloknum;
+         b < s.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+      place(bupd_id(b));
+    place(bdiag_id(k));
+  }
+  PASTIX_CHECK(prio == ntask, "solve model priority assignment incomplete");
+  return sm;
+}
+
+} // namespace pastix

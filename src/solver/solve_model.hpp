@@ -1,0 +1,32 @@
+#pragma once
+//
+// Performance model of the distributed triangular solves.
+//
+// The solve phase reuses the block mapping chosen for the factorization
+// (every factor block is read where it lives), so there is nothing to
+// schedule: the task order and processor assignment are fixed.  This module
+// builds the corresponding task graph (forward FDIAG/FUPD, backward
+// BUPD/BDIAG items, gemv/trsv costs, segment/contribution messages) and a
+// ready-made Schedule so the discrete-event simulator can predict solve
+// times for any processor count — the solve phase is memory-bound and far
+// less scalable than the factorization, which bench/solve_phase quantifies.
+//
+#include "map/scheduler.hpp"
+#include "solver/comm_plan.hpp"
+
+namespace pastix {
+
+struct SolveModel {
+  TaskGraph tg;     ///< one task per solve item
+  Schedule sched;   ///< fixed mapping + topological priorities
+};
+
+/// Build the solve-phase model for a factorization described by
+/// (symbol, factorization task graph, factorization schedule).
+SolveModel build_solve_model(const SymbolMatrix& s, const TaskGraph& factor_tg,
+                             const Schedule& factor_sched, const CostModel& m);
+
+/// Flops of one full solve (forward + diagonal + backward).
+double solve_flops(const SymbolMatrix& s);
+
+} // namespace pastix

@@ -1,0 +1,78 @@
+#pragma once
+//
+// Incremental builder for symmetric sparse matrices.
+//
+// Accepts (i, j, v) triplets in any order, from either triangle, with
+// duplicates (finite-element assembly style: duplicates are summed), and
+// produces a canonical SymSparse.
+//
+#include <algorithm>
+#include <vector>
+
+#include "sparse/sym_sparse.hpp"
+
+namespace pastix {
+
+template <class T>
+class CooBuilder {
+public:
+  explicit CooBuilder(idx_t n) : n_(n), diag_(static_cast<std::size_t>(n), T{}) {
+    PASTIX_CHECK(n >= 0, "negative matrix order");
+  }
+
+  /// Add v to entry (i, j) (and by symmetry (j, i)).
+  void add(idx_t i, idx_t j, T v) {
+    PASTIX_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_, "entry out of range");
+    if (i == j) {
+      diag_[static_cast<std::size_t>(i)] += v;
+    } else {
+      if (i < j) std::swap(i, j);  // canonicalize to strict lower
+      entries_.push_back({i, j, v});
+    }
+  }
+
+  [[nodiscard]] idx_t n() const { return n_; }
+
+  /// Assemble the canonical matrix.  The builder can be reused afterwards.
+  [[nodiscard]] SymSparse<T> build() const {
+    // Sort by (column, row) then compress duplicates.
+    std::vector<Entry> sorted(entries_);
+    std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+      return a.col != b.col ? a.col < b.col : a.row < b.row;
+    });
+
+    SymSparse<T> m;
+    m.pattern.n = n_;
+    m.pattern.colptr.assign(static_cast<std::size_t>(n_) + 1, 0);
+    m.diag = diag_;
+    m.pattern.rowind.reserve(sorted.size());
+    m.val.reserve(sorted.size());
+
+    std::size_t k = 0;
+    while (k < sorted.size()) {
+      const idx_t col = sorted[k].col, row = sorted[k].row;
+      T sum{};
+      while (k < sorted.size() && sorted[k].col == col && sorted[k].row == row)
+        sum += sorted[k++].v;
+      m.pattern.rowind.push_back(row);
+      m.val.push_back(sum);
+      m.pattern.colptr[static_cast<std::size_t>(col) + 1]++;
+    }
+    for (idx_t j = 0; j < n_; ++j)
+      m.pattern.colptr[static_cast<std::size_t>(j) + 1] +=
+          m.pattern.colptr[static_cast<std::size_t>(j)];
+    m.validate();
+    return m;
+  }
+
+private:
+  struct Entry {
+    idx_t row, col;
+    T v;
+  };
+  idx_t n_;
+  std::vector<T> diag_;
+  std::vector<Entry> entries_;
+};
+
+} // namespace pastix

@@ -1,0 +1,121 @@
+#include "sparse/gen.hpp"
+
+#include <cmath>
+
+#include "sparse/coo_builder.hpp"
+
+namespace pastix {
+
+namespace {
+
+// Symmetric jitter in [0.5, 1.5) so couplings differ but stay bounded.
+double jitter(Rng& rng) { return 0.5 + rng.next_double(); }
+
+} // namespace
+
+SymSparse<double> gen_fe_mesh(const FeMeshSpec& spec) {
+  PASTIX_CHECK(spec.nx > 0 && spec.ny > 0 && spec.nz > 0, "empty grid");
+  PASTIX_CHECK(spec.dof >= 1 && spec.radius >= 1, "bad dof/radius");
+  const idx_t nx = spec.nx, ny = spec.ny, nz = spec.nz;
+  const int d = spec.dof, r = spec.radius;
+  const idx_t nnode = nx * ny * nz;
+  const idx_t n = nnode * d;
+  Rng rng(spec.seed);
+
+  CooBuilder<double> b(n);
+  auto node = [&](idx_t x, idx_t y, idx_t z) { return (z * ny + y) * nx + x; };
+
+  // Track per-unknown accumulated off-diagonal mass to set a dominant diagonal.
+  std::vector<double> rowsum(static_cast<std::size_t>(n), 0.0);
+  auto couple = [&](idx_t u, idx_t v) {
+    // Dense dof x dof symmetric negative coupling between nodes u < v,
+    // plus intra-node coupling when u == v.
+    for (int a = 0; a < d; ++a) {
+      const int bstart = (u == v) ? a + 1 : 0;
+      for (int c = bstart; c < d; ++c) {
+        const idx_t i = u * d + a, j = v * d + c;
+        const double w = -jitter(rng);
+        b.add(i, j, w);
+        rowsum[static_cast<std::size_t>(i)] += std::abs(w);
+        rowsum[static_cast<std::size_t>(j)] += std::abs(w);
+      }
+    }
+  };
+
+  for (idx_t z = 0; z < nz; ++z)
+    for (idx_t y = 0; y < ny; ++y)
+      for (idx_t x = 0; x < nx; ++x) {
+        const idx_t u = node(x, y, z);
+        if (d > 1) couple(u, u);
+        // Enumerate each neighbour pair once: strictly "later" nodes in
+        // lexicographic (z, y, x) order within the coupling radius.
+        for (idx_t dz = 0; dz <= r; ++dz)
+          for (idx_t dy = -r; dy <= r; ++dy)
+            for (idx_t dx = -r; dx <= r; ++dx) {
+              if (dz == 0 && (dy < 0 || (dy == 0 && dx <= 0))) continue;
+              const idx_t x2 = x + dx, y2 = y + dy, z2 = z + dz;
+              if (x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny || z2 < 0 || z2 >= nz)
+                continue;
+              couple(u, node(x2, y2, z2));
+            }
+      }
+
+  for (idx_t i = 0; i < n; ++i)
+    b.add(i, i, rowsum[static_cast<std::size_t>(i)] + 1.0 + rng.next_double());
+  return b.build();
+}
+
+SymSparse<double> gen_grid_laplacian(idx_t nx, idx_t ny, idx_t nz) {
+  PASTIX_CHECK(nx > 0 && ny > 0 && nz > 0, "empty grid");
+  const idx_t n = nx * ny * nz;
+  CooBuilder<double> b(n);
+  auto node = [&](idx_t x, idx_t y, idx_t z) { return (z * ny + y) * nx + x; };
+  for (idx_t z = 0; z < nz; ++z)
+    for (idx_t y = 0; y < ny; ++y)
+      for (idx_t x = 0; x < nx; ++x) {
+        const idx_t u = node(x, y, z);
+        b.add(u, u, (nz > 1 ? 6.0 : 4.0) + 1.0);  // +1: strictly SPD
+        if (x + 1 < nx) b.add(u, node(x + 1, y, z), -1.0);
+        if (y + 1 < ny) b.add(u, node(x, y + 1, z), -1.0);
+        if (z + 1 < nz) b.add(u, node(x, y, z + 1), -1.0);
+      }
+  return b.build();
+}
+
+SymSparse<double> gen_random_spd(idx_t n, int avg_degree, std::uint64_t seed) {
+  PASTIX_CHECK(n > 0 && avg_degree >= 0, "bad random matrix parameters");
+  Rng rng(seed);
+  CooBuilder<double> b(n);
+  std::vector<double> rowsum(static_cast<std::size_t>(n), 0.0);
+  const big_t nedges = static_cast<big_t>(n) * avg_degree / 2;
+  for (big_t e = 0; e < nedges; ++e) {
+    const idx_t i = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const idx_t j = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (i == j) continue;
+    const double w = -jitter(rng);
+    b.add(i, j, w);
+    rowsum[static_cast<std::size_t>(i)] += std::abs(w);
+    rowsum[static_cast<std::size_t>(j)] += std::abs(w);
+  }
+  for (idx_t i = 0; i < n; ++i)
+    b.add(i, i, rowsum[static_cast<std::size_t>(i)] + 1.0 + rng.next_double());
+  return b.build();
+}
+
+SymSparse<std::complex<double>> to_complex_symmetric(const SymSparse<double>& a,
+                                                     double imag_scale,
+                                                     std::uint64_t seed) {
+  PASTIX_CHECK(imag_scale >= 0.0 && imag_scale < 1.0,
+               "imag_scale must stay below 1 to preserve dominance");
+  Rng rng(seed);
+  SymSparse<std::complex<double>> c;
+  c.pattern = a.pattern;
+  c.val.reserve(a.val.size());
+  for (const double v : a.val)
+    c.val.emplace_back(v, imag_scale * v * (2.0 * rng.next_double() - 1.0));
+  c.diag.reserve(a.diag.size());
+  for (const double v : a.diag) c.diag.emplace_back(v, 0.0);
+  return c;
+}
+
+} // namespace pastix

@@ -1,0 +1,68 @@
+#pragma once
+//
+// Synthetic problem generators.
+//
+// The paper's test suite (B5TUER, SHIP003, OILPAN, ...) consists of
+// proprietary PARASOL structural-mechanics matrices that are not freely
+// redistributable.  These generators build finite-element-style symmetric
+// positive definite matrices over 3D node grids with a configurable number
+// of degrees of freedom per node and stencil radius, which reproduces the
+// structural properties that matter for the solver: mesh topology
+// (solid / shell / rod), separator sizes, supernode width distribution and
+// the fill/ops ratios of the original suite.
+//
+#include <complex>
+
+#include "sparse/sym_sparse.hpp"
+#include "support/rng.hpp"
+
+namespace pastix {
+
+/// Parameters of a finite-element-style grid problem.
+struct FeMeshSpec {
+  idx_t nx = 8, ny = 8, nz = 8;  ///< nodes per dimension (nz==1 -> plate)
+  int dof = 1;                   ///< unknowns per node (3 ~ elasticity)
+  int radius = 1;                ///< node coupling radius (Chebyshev distance)
+  std::uint64_t seed = 42;       ///< value jitter seed
+
+  [[nodiscard]] idx_t num_unknowns() const {
+    return nx * ny * nz * static_cast<idx_t>(dof);
+  }
+};
+
+/// FE-style SPD matrix on an nx*ny*nz node grid.  Every pair of nodes within
+/// Chebyshev distance `radius` is coupled by a dense dof x dof symmetric
+/// block with small random entries; diagonal dominance guarantees SPD.
+SymSparse<double> gen_fe_mesh(const FeMeshSpec& spec);
+
+/// Classic 5/7-point Laplacian on a grid (nz == 1 gives the 2D version).
+SymSparse<double> gen_grid_laplacian(idx_t nx, idx_t ny, idx_t nz = 1);
+
+/// Random sparse SPD matrix: n vertices, ~avg_degree random neighbours each
+/// (symmetrized), random values, diagonally dominant.  For property tests.
+SymSparse<double> gen_random_spd(idx_t n, int avg_degree, std::uint64_t seed);
+
+/// Lift a real SPD matrix to a complex *symmetric* diagonally dominant one
+/// with the same pattern: off-diagonals get a random imaginary part of
+/// magnitude <= imag_scale * |real part|; this exercises the LDL^t-with-
+/// complex-coefficients path that motivates the paper's choice of LDL^t.
+SymSparse<std::complex<double>> to_complex_symmetric(const SymSparse<double>& a,
+                                                     double imag_scale,
+                                                     std::uint64_t seed);
+
+/// Deterministic right-hand side such that the exact solution is
+/// x[i] = 1 + i / n (used by tests and examples): b = A x.
+template <class T>
+std::vector<T> reference_rhs(const SymSparse<T>& a, std::vector<T>* x_out = nullptr) {
+  const idx_t n = a.n();
+  std::vector<T> x(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i)
+    x[static_cast<std::size_t>(i)] =
+        T(1.0 + static_cast<double>(i) / static_cast<double>(n));
+  std::vector<T> b(static_cast<std::size_t>(n));
+  spmv(a, x.data(), b.data());
+  if (x_out) *x_out = std::move(x);
+  return b;
+}
+
+} // namespace pastix

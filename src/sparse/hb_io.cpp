@@ -1,0 +1,279 @@
+#include "sparse/hb_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "sparse/coo_builder.hpp"
+
+namespace pastix {
+
+FortranFormat parse_fortran_format(const std::string& descriptor) {
+  // Accepted shapes: "(10I8)", "(4E20.12)", "(1P4D20.12)", "(8F10.3)".
+  // A leading scale factor like "1P" is skipped; the mantissa part after
+  // '.' is irrelevant for fixed-width reading.
+  FortranFormat f;
+  std::string s;
+  for (const char c : descriptor)
+    if (!std::isspace(static_cast<unsigned char>(c)))
+      s += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  PASTIX_CHECK(s.size() >= 4 && s.front() == '(' && s.back() == ')',
+               "malformed FORTRAN format: " + descriptor);
+  s = s.substr(1, s.size() - 2);
+
+  std::size_t i = 0;
+  auto read_int = [&](int fallback) {
+    int v = 0;
+    bool any = false;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      v = v * 10 + (s[i++] - '0');
+      any = true;
+    }
+    return any ? v : fallback;
+  };
+
+  int first = read_int(1);
+  if (i < s.size() && s[i] == 'P') {  // scale factor "1P": skip, re-read
+    ++i;
+    first = read_int(1);
+  }
+  PASTIX_CHECK(i < s.size(), "truncated FORTRAN format: " + descriptor);
+  f.kind = s[i];
+  PASTIX_CHECK(f.kind == 'I' || f.kind == 'E' || f.kind == 'D' ||
+                   f.kind == 'F' || f.kind == 'G',
+               "unsupported FORTRAN edit kind in: " + descriptor);
+  ++i;
+  f.per_line = first;
+  f.width = read_int(0);
+  PASTIX_CHECK(f.per_line > 0 && f.width > 0,
+               "bad FORTRAN repeat/width in: " + descriptor);
+  return f;
+}
+
+namespace {
+
+/// Reads `count` fixed-width numbers laid out `fmt.per_line` per card.
+template <class Out>
+void read_fixed(std::istream& is, const FortranFormat& fmt, big_t count,
+                std::vector<Out>& out) {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  std::string line;
+  while (static_cast<big_t>(out.size()) < count) {
+    PASTIX_CHECK(static_cast<bool>(std::getline(is, line)),
+                 "unexpected end of Harwell-Boeing data section");
+    for (int v = 0; v < fmt.per_line &&
+                    static_cast<big_t>(out.size()) < count;
+         ++v) {
+      const std::size_t pos = static_cast<std::size_t>(v) * fmt.width;
+      if (pos >= line.size()) break;
+      std::string field = line.substr(pos, static_cast<std::size_t>(fmt.width));
+      // FORTRAN D exponents are not understood by strtod.
+      std::replace(field.begin(), field.end(), 'D', 'E');
+      std::replace(field.begin(), field.end(), 'd', 'e');
+      std::istringstream fs(field);
+      Out value{};
+      fs >> value;
+      PASTIX_CHECK(!fs.fail(), "bad numeric field: '" + field + "'");
+      out.push_back(value);
+    }
+  }
+}
+
+struct HbHeader {
+  std::string title, key, mxtype;
+  big_t ptrcrd = 0, indcrd = 0, valcrd = 0, rhscrd = 0;
+  idx_t nrow = 0, ncol = 0;
+  big_t nnzero = 0;
+  FortranFormat ptrfmt, indfmt, valfmt;
+};
+
+HbHeader read_header(std::istream& is) {
+  HbHeader h;
+  std::string line;
+  PASTIX_CHECK(static_cast<bool>(std::getline(is, line)), "empty HB stream");
+  h.title = line.substr(0, std::min<std::size_t>(72, line.size()));
+  if (line.size() > 72) h.key = line.substr(72);
+
+  PASTIX_CHECK(static_cast<bool>(std::getline(is, line)), "missing counts card");
+  {
+    std::istringstream ss(line);
+    big_t totcrd = 0;
+    ss >> totcrd >> h.ptrcrd >> h.indcrd >> h.valcrd >> h.rhscrd;
+    PASTIX_CHECK(!ss.fail() || h.valcrd >= 0, "malformed counts card");
+  }
+
+  PASTIX_CHECK(static_cast<bool>(std::getline(is, line)), "missing type card");
+  {
+    std::istringstream ss(line);
+    big_t nrow = 0, ncol = 0, neltvl = 0;
+    ss >> h.mxtype >> nrow >> ncol >> h.nnzero >> neltvl;
+    PASTIX_CHECK(!ss.fail() || h.nnzero > 0, "malformed type card");
+    h.nrow = static_cast<idx_t>(nrow);
+    h.ncol = static_cast<idx_t>(ncol);
+    PASTIX_CHECK(h.nrow == h.ncol, "matrix is not square");
+  }
+
+  PASTIX_CHECK(static_cast<bool>(std::getline(is, line)), "missing format card");
+  {
+    std::istringstream ss(line);
+    std::string pf, inf, vf;
+    ss >> pf >> inf >> vf;
+    PASTIX_CHECK(!ss.fail() || !vf.empty(), "malformed format card");
+    h.ptrfmt = parse_fortran_format(pf);
+    h.indfmt = parse_fortran_format(inf);
+    h.valfmt = parse_fortran_format(vf);
+  }
+  if (h.rhscrd > 0) {
+    // Skip the RHS format card; right-hand sides are not read.
+    PASTIX_CHECK(static_cast<bool>(std::getline(is, line)), "missing rhs card");
+  }
+  return h;
+}
+
+template <class T>
+SymSparse<T> read_impl(std::istream& is, char expected_type) {
+  const HbHeader h = read_header(is);
+  PASTIX_CHECK(h.mxtype.size() >= 3, "bad MXTYPE");
+  const char vtype =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(h.mxtype[0])));
+  const char stype =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(h.mxtype[1])));
+  PASTIX_CHECK(vtype == expected_type,
+               std::string("expected value type ") + expected_type +
+                   ", file has " + vtype);
+  PASTIX_CHECK(stype == 'S', "only symmetric (xSA) matrices are supported");
+
+  std::vector<big_t> colptr, rowind;
+  read_fixed(is, h.ptrfmt, h.ncol + 1, colptr);
+  read_fixed(is, h.indfmt, h.nnzero, rowind);
+  std::vector<double> values;
+  const big_t nval = expected_type == 'C' ? 2 * h.nnzero : h.nnzero;
+  read_fixed(is, h.valfmt, nval, values);
+
+  CooBuilder<T> b(h.ncol);
+  for (idx_t j = 0; j < h.ncol; ++j) {
+    for (big_t q = colptr[static_cast<std::size_t>(j)] - 1;
+         q < colptr[static_cast<std::size_t>(j) + 1] - 1; ++q) {
+      const idx_t i = static_cast<idx_t>(rowind[static_cast<std::size_t>(q)] - 1);
+      PASTIX_CHECK(i >= j, "RSA stores the lower triangle; found upper entry");
+      if constexpr (std::is_same_v<T, double>) {
+        b.add(i, j, values[static_cast<std::size_t>(q)]);
+      } else {
+        b.add(i, j,
+              T(values[static_cast<std::size_t>(2 * q)],
+                values[static_cast<std::size_t>(2 * q + 1)]));
+      }
+    }
+  }
+  return b.build();
+}
+
+template <class T>
+void write_impl(std::ostream& os, const SymSparse<T>& a,
+                const std::string& title, const std::string& key,
+                const char* mxtype) {
+  constexpr bool kComplex = !std::is_same_v<T, double>;
+  const idx_t n = a.n();
+  const big_t nnz = a.nnz_offdiag() + n;  // lower triangle incl. diagonal
+  const int ptr_per = 8, ind_per = 8, val_per = kComplex ? 2 : 4;
+  const big_t ptrcrd = (n + 1 + ptr_per - 1) / ptr_per;
+  const big_t indcrd = (nnz + ind_per - 1) / ind_per;
+  const big_t nval = kComplex ? 2 * nnz : nnz;
+  const big_t valcrd = (nval + val_per - 1) / val_per;
+
+  os << std::left << std::setw(72) << title.substr(0, 72) << std::setw(8)
+     << key.substr(0, 8) << "\n";
+  os << std::right << std::setw(14) << (ptrcrd + indcrd + valcrd)
+     << std::setw(14) << ptrcrd << std::setw(14) << indcrd << std::setw(14)
+     << valcrd << std::setw(14) << 0 << "\n";
+  os << std::left << std::setw(14) << mxtype << std::right << std::setw(14)
+     << n << std::setw(14) << n << std::setw(14) << nnz << std::setw(14) << 0
+     << "\n";
+  os << std::left << std::setw(16) << "(8I10)" << std::setw(16) << "(8I10)"
+     << std::setw(20) << (kComplex ? "(2E20.12)" : "(4E20.12)") << std::setw(20)
+     << " " << "\n";
+
+  // Column pointers (1-based, diagonal first in every column).
+  auto emit_ints = [&os](const std::vector<big_t>& v, int per) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      os << std::right << std::setw(10) << v[i];
+      if ((i + 1) % static_cast<std::size_t>(per) == 0 || i + 1 == v.size())
+        os << "\n";
+    }
+  };
+  std::vector<big_t> colptr(static_cast<std::size_t>(n) + 1);
+  colptr[0] = 1;
+  for (idx_t j = 0; j < n; ++j)
+    colptr[static_cast<std::size_t>(j) + 1] =
+        colptr[static_cast<std::size_t>(j)] + 1 +
+        (a.pattern.colptr[j + 1] - a.pattern.colptr[j]);
+  emit_ints(colptr, ptr_per);
+
+  std::vector<big_t> rows;
+  rows.reserve(static_cast<std::size_t>(nnz));
+  for (idx_t j = 0; j < n; ++j) {
+    rows.push_back(j + 1);
+    for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q)
+      rows.push_back(a.pattern.rowind[q] + 1);
+  }
+  emit_ints(rows, ind_per);
+
+  os << std::scientific << std::setprecision(12);
+  big_t emitted = 0;
+  auto emit_val = [&](double v) {
+    os << std::setw(20) << v;
+    if (++emitted % val_per == 0 || emitted == nval) os << "\n";
+  };
+  for (idx_t j = 0; j < n; ++j) {
+    if constexpr (kComplex) {
+      emit_val(a.diag[static_cast<std::size_t>(j)].real());
+      emit_val(a.diag[static_cast<std::size_t>(j)].imag());
+      for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q) {
+        emit_val(a.val[q].real());
+        emit_val(a.val[q].imag());
+      }
+    } else {
+      emit_val(a.diag[static_cast<std::size_t>(j)]);
+      for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q)
+        emit_val(a.val[q]);
+    }
+  }
+}
+
+} // namespace
+
+void write_harwell_boeing(std::ostream& os, const SymSparse<double>& a,
+                          const std::string& title, const std::string& key) {
+  write_impl(os, a, title, key, "RSA");
+}
+
+void write_harwell_boeing(std::ostream& os,
+                          const SymSparse<std::complex<double>>& a,
+                          const std::string& title, const std::string& key) {
+  write_impl(os, a, title, key, "CSA");
+}
+
+SymSparse<double> read_harwell_boeing(std::istream& is) {
+  return read_impl<double>(is, 'R');
+}
+
+SymSparse<std::complex<double>> read_harwell_boeing_complex(std::istream& is) {
+  return read_impl<std::complex<double>>(is, 'C');
+}
+
+void save_harwell_boeing(const std::string& path, const SymSparse<double>& a) {
+  std::ofstream os(path);
+  PASTIX_CHECK(os.good(), "cannot open for writing: " + path);
+  write_harwell_boeing(os, a);
+}
+
+SymSparse<double> load_harwell_boeing(const std::string& path) {
+  std::ifstream is(path);
+  PASTIX_CHECK(is.good(), "cannot open for reading: " + path);
+  return read_harwell_boeing(is);
+}
+
+} // namespace pastix

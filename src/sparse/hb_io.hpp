@@ -1,0 +1,50 @@
+#pragma once
+//
+// Harwell-Boeing (RSA) format I/O — the format the paper's experiments
+// read ("a collection of sparse matrices in the RSA format").
+//
+// Supported matrix types: RSA (real symmetric assembled) and CSA (complex
+// symmetric assembled).  The reader parses the fixed-card FORTRAN layout
+// (title card, counts card, type/dimensions card, format card) and honours
+// the embedded FORTRAN edit descriptors (e.g. "(10I8)", "(4E20.12)"); the
+// writer emits standard descriptors.  Values are stored column-wise, lower
+// triangle including the diagonal, 1-based — converted to/from this
+// library's strict-lower + separate-diagonal representation.
+//
+#include <complex>
+#include <iosfwd>
+#include <string>
+
+#include "sparse/sym_sparse.hpp"
+
+namespace pastix {
+
+/// Parse one FORTRAN edit descriptor, e.g. "(10I8)", "(4E20.12)",
+/// "(1P4D20.12)".  Returns per-line repeat count and field width.
+struct FortranFormat {
+  int per_line = 0;   ///< values per card
+  int width = 0;      ///< character width per value
+  char kind = 'I';    ///< I, E, D, F or G
+};
+FortranFormat parse_fortran_format(const std::string& descriptor);
+
+/// Write `a` as an RSA Harwell-Boeing file with the given title/key.
+void write_harwell_boeing(std::ostream& os, const SymSparse<double>& a,
+                          const std::string& title = "pastix-repro matrix",
+                          const std::string& key = "PASTIX");
+void write_harwell_boeing(std::ostream& os,
+                          const SymSparse<std::complex<double>>& a,
+                          const std::string& title = "pastix-repro matrix",
+                          const std::string& key = "PASTIX");
+
+/// Read an RSA file.  Throws pastix::Error on malformed input, a
+/// non-symmetric type, or a pattern-only (PSA) matrix.
+SymSparse<double> read_harwell_boeing(std::istream& is);
+/// Read a CSA (complex symmetric assembled) file.
+SymSparse<std::complex<double>> read_harwell_boeing_complex(std::istream& is);
+
+/// File-path conveniences.
+void save_harwell_boeing(const std::string& path, const SymSparse<double>& a);
+SymSparse<double> load_harwell_boeing(const std::string& path);
+
+} // namespace pastix

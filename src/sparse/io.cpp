@@ -1,0 +1,122 @@
+#include "sparse/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "sparse/coo_builder.hpp"
+
+namespace pastix {
+
+namespace {
+
+struct MmHeader {
+  bool complex_field = false;
+  idx_t rows = 0, cols = 0;
+  big_t entries = 0;
+};
+
+MmHeader parse_header(std::istream& is) {
+  std::string line;
+  PASTIX_CHECK(static_cast<bool>(std::getline(is, line)), "empty stream");
+  std::istringstream banner(line);
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  PASTIX_CHECK(tag == "%%MatrixMarket", "missing MatrixMarket banner");
+  PASTIX_CHECK(object == "matrix" && format == "coordinate",
+               "only coordinate matrices are supported");
+  PASTIX_CHECK(symmetry == "symmetric", "only symmetric matrices are supported");
+  PASTIX_CHECK(field == "real" || field == "complex",
+               "only real/complex fields are supported");
+
+  MmHeader h;
+  h.complex_field = (field == "complex");
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    big_t rows = 0, cols = 0;
+    sizes >> rows >> cols >> h.entries;
+    PASTIX_CHECK(!sizes.fail(), "malformed size line");
+    PASTIX_CHECK(rows == cols, "matrix is not square");
+    h.rows = static_cast<idx_t>(rows);
+    h.cols = static_cast<idx_t>(cols);
+    return h;
+  }
+  throw Error("missing size line");
+}
+
+template <class T>
+void write_impl(std::ostream& os, const SymSparse<T>& a, const char* field) {
+  big_t entries = a.nnz_offdiag() + a.n();
+  os << "%%MatrixMarket matrix coordinate " << field << " symmetric\n";
+  os << "% written by the pastix-repro library\n";
+  os << a.n() << " " << a.n() << " " << entries << "\n";
+  os << std::setprecision(17);
+  auto emit = [&os](idx_t i, idx_t j, const T& v) {
+    os << (i + 1) << " " << (j + 1) << " ";
+    if constexpr (std::is_same_v<T, double>) {
+      os << v << "\n";
+    } else {
+      os << v.real() << " " << v.imag() << "\n";
+    }
+  };
+  for (idx_t j = 0; j < a.n(); ++j) {
+    emit(j, j, a.diag[static_cast<std::size_t>(j)]);
+    for (idx_t p = a.pattern.colptr[j]; p < a.pattern.colptr[j + 1]; ++p)
+      emit(a.pattern.rowind[p], j, a.val[p]);
+  }
+}
+
+template <class T>
+SymSparse<T> read_impl(std::istream& is, bool want_complex) {
+  const MmHeader h = parse_header(is);
+  PASTIX_CHECK(h.complex_field == want_complex,
+               "field of stream does not match requested scalar type");
+  CooBuilder<T> b(h.rows);
+  for (big_t e = 0; e < h.entries; ++e) {
+    big_t i = 0, j = 0;
+    double re = 0, im = 0;
+    is >> i >> j >> re;
+    if (want_complex) is >> im;
+    PASTIX_CHECK(!is.fail(), "truncated or malformed entry");
+    if constexpr (std::is_same_v<T, double>) {
+      b.add(static_cast<idx_t>(i - 1), static_cast<idx_t>(j - 1), re);
+    } else {
+      b.add(static_cast<idx_t>(i - 1), static_cast<idx_t>(j - 1), T(re, im));
+    }
+  }
+  return b.build();
+}
+
+} // namespace
+
+void write_matrix_market(std::ostream& os, const SymSparse<double>& a) {
+  write_impl(os, a, "real");
+}
+
+void write_matrix_market(std::ostream& os,
+                         const SymSparse<std::complex<double>>& a) {
+  write_impl(os, a, "complex");
+}
+
+SymSparse<double> read_matrix_market(std::istream& is) {
+  return read_impl<double>(is, /*want_complex=*/false);
+}
+
+SymSparse<std::complex<double>> read_matrix_market_complex(std::istream& is) {
+  return read_impl<std::complex<double>>(is, /*want_complex=*/true);
+}
+
+void save_matrix_market(const std::string& path, const SymSparse<double>& a) {
+  std::ofstream os(path);
+  PASTIX_CHECK(os.good(), "cannot open for writing: " + path);
+  write_matrix_market(os, a);
+}
+
+SymSparse<double> load_matrix_market(const std::string& path) {
+  std::ifstream is(path);
+  PASTIX_CHECK(is.good(), "cannot open for reading: " + path);
+  return read_matrix_market(is);
+}
+
+} // namespace pastix

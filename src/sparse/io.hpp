@@ -1,0 +1,31 @@
+#pragma once
+//
+// Matrix-Market I/O for symmetric matrices.
+//
+// The paper reads Harwell-Boeing RSA files; Matrix Market is the modern
+// plain-text equivalent and serves as our interchange format (`symmetric
+// real/complex coordinate` headers only).
+//
+#include <complex>
+#include <iosfwd>
+#include <string>
+
+#include "sparse/sym_sparse.hpp"
+
+namespace pastix {
+
+/// Write `a` as a MatrixMarket "coordinate real symmetric" file.
+void write_matrix_market(std::ostream& os, const SymSparse<double>& a);
+void write_matrix_market(std::ostream& os,
+                         const SymSparse<std::complex<double>>& a);
+
+/// Parse a MatrixMarket symmetric coordinate stream.  Throws pastix::Error on
+/// malformed input or on an unsymmetric/array header.
+SymSparse<double> read_matrix_market(std::istream& is);
+SymSparse<std::complex<double>> read_matrix_market_complex(std::istream& is);
+
+/// File-path conveniences.
+void save_matrix_market(const std::string& path, const SymSparse<double>& a);
+SymSparse<double> load_matrix_market(const std::string& path);
+
+} // namespace pastix

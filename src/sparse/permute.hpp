@@ -1,0 +1,94 @@
+#pragma once
+//
+// Symmetric permutation of sparse matrices: B = P A P^t.
+//
+// Convention used everywhere in this library:
+//   perm[old]  = new index of old vertex `old`
+//   invp[new]  = old vertex sitting at new position `new`
+//
+#include <numeric>
+#include <vector>
+
+#include "sparse/coo_builder.hpp"
+#include "sparse/sym_sparse.hpp"
+
+namespace pastix {
+
+/// A permutation with both directions kept consistent.
+struct Permutation {
+  std::vector<idx_t> perm;  ///< old -> new
+  std::vector<idx_t> invp;  ///< new -> old
+
+  [[nodiscard]] idx_t n() const { return static_cast<idx_t>(perm.size()); }
+
+  static Permutation identity(idx_t n) {
+    Permutation p;
+    p.perm.resize(static_cast<std::size_t>(n));
+    std::iota(p.perm.begin(), p.perm.end(), 0);
+    p.invp = p.perm;
+    return p;
+  }
+
+  /// Build from a perm (old -> new) vector, deriving invp; validates bijection.
+  static Permutation from_perm(std::vector<idx_t> perm) {
+    Permutation p;
+    const idx_t n = static_cast<idx_t>(perm.size());
+    p.invp.assign(static_cast<std::size_t>(n), kNone);
+    for (idx_t i = 0; i < n; ++i) {
+      const idx_t t = perm[static_cast<std::size_t>(i)];
+      PASTIX_CHECK(t >= 0 && t < n, "perm target out of range");
+      PASTIX_CHECK(p.invp[static_cast<std::size_t>(t)] == kNone,
+                   "perm is not injective");
+      p.invp[static_cast<std::size_t>(t)] = i;
+    }
+    p.perm = std::move(perm);
+    return p;
+  }
+
+  /// Compose: result maps old -> this(other(old)).
+  [[nodiscard]] Permutation after(const Permutation& other) const {
+    PASTIX_CHECK(n() == other.n(), "composing permutations of different size");
+    std::vector<idx_t> composed(perm.size());
+    for (idx_t i = 0; i < n(); ++i)
+      composed[static_cast<std::size_t>(i)] =
+          perm[static_cast<std::size_t>(other.perm[static_cast<std::size_t>(i)])];
+    return from_perm(std::move(composed));
+  }
+};
+
+/// Apply a symmetric permutation: result(perm[i], perm[j]) = a(i, j).
+template <class T>
+SymSparse<T> permute(const SymSparse<T>& a, const Permutation& p) {
+  PASTIX_CHECK(p.n() == a.n(), "permutation size mismatch");
+  CooBuilder<T> b(a.n());
+  for (idx_t i = 0; i < a.n(); ++i)
+    b.add(p.perm[static_cast<std::size_t>(i)], p.perm[static_cast<std::size_t>(i)],
+          a.diag[static_cast<std::size_t>(i)]);
+  for (idx_t j = 0; j < a.n(); ++j)
+    for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q)
+      b.add(p.perm[static_cast<std::size_t>(a.pattern.rowind[q])],
+            p.perm[static_cast<std::size_t>(j)], a.val[q]);
+  return b.build();
+}
+
+/// Permute a vector into the new numbering: out[perm[i]] = in[i].
+template <class T>
+std::vector<T> permute_vector(const std::vector<T>& in, const Permutation& p) {
+  PASTIX_CHECK(in.size() == p.perm.size(), "vector size mismatch");
+  std::vector<T> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[static_cast<std::size_t>(p.perm[i])] = in[i];
+  return out;
+}
+
+/// Inverse of permute_vector: out[i] = in[perm[i]].
+template <class T>
+std::vector<T> unpermute_vector(const std::vector<T>& in, const Permutation& p) {
+  PASTIX_CHECK(in.size() == p.perm.size(), "vector size mismatch");
+  std::vector<T> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    out[i] = in[static_cast<std::size_t>(p.perm[i])];
+  return out;
+}
+
+} // namespace pastix

@@ -1,0 +1,100 @@
+#pragma once
+//
+// Symmetric sparse matrix storage.
+//
+// The whole library works on symmetric matrices (real SPD or complex
+// symmetric), so only the strict lower triangle is stored, in compressed
+// sparse column (CSC) form with sorted row indices, plus a separate dense
+// diagonal.  This mirrors the RSA/Harwell-Boeing convention used by the
+// paper ("NNZ_A is the number of off-diagonal terms in the triangular part").
+//
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/scalar.hpp"
+#include "support/types.hpp"
+
+namespace pastix {
+
+/// Structure-only view of a symmetric matrix: strict lower triangle, CSC,
+/// row indices sorted increasingly within each column.
+struct SparsePattern {
+  idx_t n = 0;                 ///< order of the matrix
+  std::vector<idx_t> colptr;   ///< size n+1
+  std::vector<idx_t> rowind;   ///< size colptr[n]; entries are > column index
+
+  [[nodiscard]] big_t nnz_offdiag() const {
+    return colptr.empty() ? 0 : static_cast<big_t>(colptr[n]);
+  }
+
+  /// Validate all structural invariants (sorted, strict lower, in range).
+  void validate() const {
+    PASTIX_CHECK(static_cast<idx_t>(colptr.size()) == n + 1, "bad colptr size");
+    PASTIX_CHECK(colptr[0] == 0, "colptr[0] != 0");
+    for (idx_t j = 0; j < n; ++j) {
+      PASTIX_CHECK(colptr[j] <= colptr[j + 1], "colptr not monotone");
+      for (idx_t p = colptr[j]; p < colptr[j + 1]; ++p) {
+        PASTIX_CHECK(rowind[p] > j && rowind[p] < n, "entry not strict lower");
+        if (p > colptr[j])
+          PASTIX_CHECK(rowind[p] > rowind[p - 1], "rows not sorted/unique");
+      }
+    }
+  }
+};
+
+/// Symmetric sparse matrix: pattern + strict-lower values + dense diagonal.
+/// T is `double` or `std::complex<double>` (complex *symmetric*, i.e. the
+/// LDL^t path never conjugates).
+template <class T>
+struct SymSparse {
+  SparsePattern pattern;
+  std::vector<T> val;   ///< aligned with pattern.rowind
+  std::vector<T> diag;  ///< size n
+
+  [[nodiscard]] idx_t n() const { return pattern.n; }
+  [[nodiscard]] big_t nnz_offdiag() const { return pattern.nnz_offdiag(); }
+
+  void validate() const {
+    pattern.validate();
+    PASTIX_CHECK(val.size() == pattern.rowind.size(), "values/pattern mismatch");
+    PASTIX_CHECK(static_cast<idx_t>(diag.size()) == pattern.n, "bad diag size");
+  }
+};
+
+/// Symmetric sparse matrix-vector product y = A x (A given as lower+diag).
+template <class T>
+void spmv(const SymSparse<T>& a, const T* x, T* y) {
+  const idx_t n = a.n();
+  for (idx_t i = 0; i < n; ++i) y[i] = a.diag[i] * x[i];
+  for (idx_t j = 0; j < n; ++j) {
+    const T xj = x[j];
+    T acc{};
+    for (idx_t p = a.pattern.colptr[j]; p < a.pattern.colptr[j + 1]; ++p) {
+      const idx_t i = a.pattern.rowind[p];
+      y[i] += a.val[p] * xj;   // lower part
+      acc += a.val[p] * x[i];  // mirrored upper part
+    }
+    y[j] += acc;
+  }
+}
+
+/// ||A x - b||_2 / ||b||_2 — the residual check used by all solver tests.
+template <class T>
+double relative_residual(const SymSparse<T>& a, const std::vector<T>& x,
+                         const std::vector<T>& b) {
+  PASTIX_CHECK(static_cast<idx_t>(x.size()) == a.n() &&
+                   static_cast<idx_t>(b.size()) == a.n(),
+               "size mismatch");
+  std::vector<T> ax(a.n());
+  spmv(a, x.data(), ax.data());
+  double num = 0, den = 0;
+  for (idx_t i = 0; i < a.n(); ++i) {
+    num += abs2(ax[i] - b[i]);
+    den += abs2(b[i]);
+  }
+  return den == 0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+} // namespace pastix

@@ -1,0 +1,43 @@
+#pragma once
+//
+// Error handling and invariant checking.
+//
+// - PASTIX_CHECK(cond, msg): precondition / input validation; always on,
+//   throws pastix::Error so callers can recover from bad user input.
+// - PASTIX_ASSERT(cond): internal invariant; compiled out in NDEBUG builds.
+//
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pastix {
+
+/// Exception thrown on invalid input or unsatisfiable requests.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+} // namespace detail
+
+} // namespace pastix
+
+#define PASTIX_CHECK(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::pastix::detail::throw_check_failure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PASTIX_ASSERT(cond) ((void)0)
+#else
+#define PASTIX_ASSERT(cond) PASTIX_CHECK(cond, "internal invariant violated")
+#endif

@@ -1,0 +1,16 @@
+#pragma once
+//
+// Scalar helpers shared by real and complex code paths.  The library's
+// complex path is complex *symmetric* (LDL^t with transpose, no conjugate),
+// so the only helpers needed are magnitude checks.
+//
+#include <cmath>
+#include <complex>
+
+namespace pastix {
+
+/// Squared magnitude, usable on both scalar types.
+inline double abs2(double v) { return v * v; }
+inline double abs2(const std::complex<double>& v) { return std::norm(v); }
+
+} // namespace pastix

@@ -1,0 +1,72 @@
+#pragma once
+//
+// Tiny plain-text table formatter used by the experiment harnesses to print
+// paper-style tables (Table 1, Table 2, ablations).
+//
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pastix {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells) {
+    PASTIX_CHECK(cells.size() == header_.size(), "row arity mismatch");
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto line = [&](char fill) {
+      for (std::size_t c = 0; c < width.size(); ++c)
+        os << "+" << std::string(width[c] + 2, fill);
+      os << "+\n";
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c)
+        os << "| " << std::setw(static_cast<int>(width[c])) << row[c] << " ";
+      os << "|\n";
+    };
+
+    line('-');
+    emit(header_);
+    line('=');
+    for (const auto& row : rows_) emit(row);
+    line('-');
+  }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision (fixed notation).
+inline std::string fmt_fixed(double v, int prec = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+/// Format a large count in scientific notation like the paper ("3.14e+07").
+inline std::string fmt_sci(double v, int prec = 2) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(prec) << v;
+  return os.str();
+}
+
+} // namespace pastix

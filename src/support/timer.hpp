@@ -1,0 +1,27 @@
+#pragma once
+//
+// Wall-clock timer used for kernel calibration and benchmark reporting.
+//
+#include <chrono>
+
+namespace pastix {
+
+/// Monotonic wall-clock stopwatch.  Started on construction.
+class Timer {
+public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+} // namespace pastix

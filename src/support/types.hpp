@@ -1,0 +1,23 @@
+#pragma once
+//
+// Fundamental integer types used throughout the library.
+//
+// Matrices handled by this reproduction have fewer than 2^31 rows and
+// structural nonzeros, so column/row/block indices are 32-bit.  Quantities
+// that can overflow 32 bits (factor nonzero counts, operation counts,
+// byte volumes) are 64-bit.
+//
+#include <cstdint>
+
+namespace pastix {
+
+/// Index of a row, column, vertex, column block or block.
+using idx_t = std::int32_t;
+
+/// Large counters: NNZ(L), operation counts, byte volumes.
+using big_t = std::int64_t;
+
+/// Sentinel for "no index" (absent parent, unmapped, ...).
+inline constexpr idx_t kNone = -1;
+
+} // namespace pastix

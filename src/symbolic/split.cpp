@@ -1,0 +1,76 @@
+#include "symbolic/split.hpp"
+
+#include <algorithm>
+
+namespace pastix {
+
+SymbolMatrix split_symbol(const SymbolMatrix& s, const SplitOptions& opt) {
+  PASTIX_CHECK(opt.block_size >= 1, "block size must be positive");
+
+  // --- New column partition: cut wide cblks into near-equal parts. ---------
+  std::vector<idx_t> new_rangtab;
+  new_rangtab.push_back(0);
+  const idx_t cut_above = static_cast<idx_t>(
+      static_cast<double>(opt.block_size) * opt.split_threshold);
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    const idx_t fcol = s.cblks[static_cast<std::size_t>(k)].fcolnum;
+    const idx_t w = s.cblks[static_cast<std::size_t>(k)].width();
+    if (w <= std::max(cut_above, opt.block_size)) {
+      new_rangtab.push_back(fcol + w);
+      continue;
+    }
+    const idx_t parts = (w + opt.block_size - 1) / opt.block_size;
+    for (idx_t p = 1; p <= parts; ++p)
+      new_rangtab.push_back(fcol + static_cast<idx_t>(
+                                       static_cast<big_t>(w) * p / parts));
+  }
+
+  SymbolMatrix out;
+  out.n = s.n;
+  out.ncblk = static_cast<idx_t>(new_rangtab.size()) - 1;
+  out.col2cblk.assign(static_cast<std::size_t>(s.n), 0);
+  for (idx_t k = 0; k < out.ncblk; ++k)
+    for (idx_t j = new_rangtab[static_cast<std::size_t>(k)];
+         j < new_rangtab[static_cast<std::size_t>(k) + 1]; ++j)
+      out.col2cblk[static_cast<std::size_t>(j)] = k;
+
+  // Split a row interval at new-cblk boundaries, emitting one blok per part.
+  auto emit_split = [&](idx_t frow, idx_t lrow, idx_t owner) {
+    idx_t r = frow;
+    while (r <= lrow) {
+      const idx_t fc = out.col2cblk[static_cast<std::size_t>(r)];
+      const idx_t end = std::min(
+          lrow, new_rangtab[static_cast<std::size_t>(fc) + 1] - 1);
+      out.bloks.push_back({r, end, fc, owner});
+      r = end + 1;
+    }
+  };
+
+  out.cblks.reserve(static_cast<std::size_t>(out.ncblk) + 1);
+  for (idx_t nk = 0; nk < out.ncblk; ++nk) {
+    SymbolCblk c;
+    c.fcolnum = new_rangtab[static_cast<std::size_t>(nk)];
+    c.lcolnum = new_rangtab[static_cast<std::size_t>(nk) + 1] - 1;
+    c.bloknum = out.nblok();
+    out.cblks.push_back(c);
+
+    const idx_t old_k = s.col2cblk[static_cast<std::size_t>(c.fcolnum)];
+    const auto& old_c = s.cblks[static_cast<std::size_t>(old_k)];
+
+    out.bloks.push_back({c.fcolnum, c.lcolnum, nk, nk});  // diagonal
+    // Dense rows covering the later parts of the same original supernode.
+    if (c.lcolnum < old_c.lcolnum)
+      emit_split(c.lcolnum + 1, old_c.lcolnum, nk);
+    // Copies of the original off-diagonal bloks (split at new boundaries).
+    const idx_t first = old_c.bloknum + 1;
+    const idx_t last = s.cblks[static_cast<std::size_t>(old_k) + 1].bloknum;
+    for (idx_t b = first; b < last; ++b)
+      emit_split(s.bloks[static_cast<std::size_t>(b)].frownum,
+                 s.bloks[static_cast<std::size_t>(b)].lrownum, nk);
+  }
+  out.cblks.push_back({out.n, out.n - 1, out.nblok()});
+  out.validate();
+  return out;
+}
+
+} // namespace pastix

@@ -1,0 +1,29 @@
+#pragma once
+//
+// Supernode splitting ("block repartitioning" in the paper): column blocks
+// corresponding to large supernodes are split using the blocking size
+// suitable for BLAS efficiency, so that concurrency inside dense block
+// computations can be exploited by the 1D/2D distribution.
+//
+// Splitting is a structure-level transform: every part of a split cblk
+// receives (a) its diagonal block, (b) dense blocks facing the later parts
+// of the same original supernode, and (c) a copy of every original
+// off-diagonal blok; bloks *facing* a split cblk are cut at the new part
+// boundaries.
+//
+#include "symbolic/symbol.hpp"
+
+namespace pastix {
+
+struct SplitOptions {
+  /// Target column width of split parts (the paper uses 64).
+  idx_t block_size = 64;
+  /// Only split cblks wider than block_size * split_threshold (so blocks
+  /// slightly over the target are not cut into slivers).
+  double split_threshold = 1.5;
+};
+
+/// Split wide column blocks; returns a new, valid SymbolMatrix.
+SymbolMatrix split_symbol(const SymbolMatrix& s, const SplitOptions& opt);
+
+} // namespace pastix

@@ -1,0 +1,184 @@
+#include "symbolic/symbol.hpp"
+
+#include <algorithm>
+
+#include "order/supernodes.hpp"
+
+namespace pastix {
+
+idx_t SymbolMatrix::cblk_below_rows(idx_t k) const {
+  idx_t rows = 0;
+  for (idx_t b = cblks[static_cast<std::size_t>(k)].bloknum + 1;
+       b < cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+    rows += bloks[static_cast<std::size_t>(b)].nrows();
+  return rows;
+}
+
+big_t SymbolMatrix::nnz_blocks() const {
+  big_t nnz = 0;
+  for (idx_t k = 0; k < ncblk; ++k) {
+    const big_t w = cblks[static_cast<std::size_t>(k)].width();
+    nnz += w * (w + 1) / 2 + w * cblk_below_rows(k);
+  }
+  return nnz;
+}
+
+std::vector<idx_t> SymbolMatrix::find_facing_bloks(idx_t k, idx_t frow,
+                                                   idx_t lrow) const {
+  PASTIX_ASSERT(frow <= lrow);
+  const idx_t first = cblks[static_cast<std::size_t>(k)].bloknum;
+  const idx_t last = cblks[static_cast<std::size_t>(k) + 1].bloknum;
+  // Binary search for the first blok with lrownum >= frow.
+  idx_t lo = first, hi = last;
+  while (lo < hi) {
+    const idx_t mid = lo + (hi - lo) / 2;
+    if (bloks[static_cast<std::size_t>(mid)].lrownum < frow)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  std::vector<idx_t> out;
+  for (idx_t b = lo; b < last && bloks[static_cast<std::size_t>(b)].frownum <= lrow;
+       ++b)
+    out.push_back(b);
+  PASTIX_ASSERT(!out.empty());
+  return out;
+}
+
+idx_t SymbolMatrix::cblk_parent(idx_t k) const {
+  if (cblk_nblok(k) <= 1) return kNone;
+  return bloks[static_cast<std::size_t>(
+                   cblks[static_cast<std::size_t>(k)].bloknum + 1)]
+      .fcblknm;
+}
+
+void SymbolMatrix::validate() const {
+  PASTIX_CHECK(static_cast<idx_t>(cblks.size()) == ncblk + 1, "bad cblk count");
+  PASTIX_CHECK(cblks[static_cast<std::size_t>(ncblk)].bloknum == nblok(),
+               "sentinel bloknum mismatch");
+  for (idx_t k = 0; k < ncblk; ++k) {
+    const auto& c = cblks[static_cast<std::size_t>(k)];
+    PASTIX_CHECK(c.fcolnum <= c.lcolnum, "empty cblk");
+    if (k > 0)
+      PASTIX_CHECK(c.fcolnum ==
+                       cblks[static_cast<std::size_t>(k) - 1].lcolnum + 1,
+                   "cblks not contiguous");
+    const idx_t first = c.bloknum, last = cblks[static_cast<std::size_t>(k) + 1].bloknum;
+    PASTIX_CHECK(first < last, "cblk without diagonal blok");
+    const auto& diag = bloks[static_cast<std::size_t>(first)];
+    PASTIX_CHECK(diag.frownum == c.fcolnum && diag.lrownum == c.lcolnum &&
+                     diag.fcblknm == k,
+                 "first blok is not the diagonal block");
+    for (idx_t b = first; b < last; ++b) {
+      const auto& blok = bloks[static_cast<std::size_t>(b)];
+      PASTIX_CHECK(blok.lcblknm == k, "blok owner mismatch");
+      PASTIX_CHECK(blok.frownum <= blok.lrownum, "empty blok");
+      const auto& f = cblks[static_cast<std::size_t>(blok.fcblknm)];
+      PASTIX_CHECK(blok.frownum >= f.fcolnum && blok.lrownum <= f.lcolnum,
+                   "blok rows leak outside the facing cblk");
+      if (b > first)
+        PASTIX_CHECK(blok.frownum > bloks[static_cast<std::size_t>(b) - 1].lrownum,
+                     "bloks overlap or are unsorted");
+    }
+  }
+  for (idx_t j = 0; j < n; ++j) {
+    const idx_t k = col2cblk[static_cast<std::size_t>(j)];
+    PASTIX_CHECK(k >= 0 && k < ncblk &&
+                     cblks[static_cast<std::size_t>(k)].fcolnum <= j &&
+                     j <= cblks[static_cast<std::size_t>(k)].lcolnum,
+                 "col2cblk inconsistent");
+  }
+}
+
+SymbolMatrix block_symbolic_factorization(const SparsePattern& pattern,
+                                          const std::vector<idx_t>& rangtab) {
+  const idx_t n = pattern.n;
+  const idx_t ncblk = static_cast<idx_t>(rangtab.size()) - 1;
+  PASTIX_CHECK(rangtab.front() == 0 && rangtab.back() == n,
+               "rangtab does not partition the columns");
+
+  SymbolMatrix s;
+  s.n = n;
+  s.ncblk = ncblk;
+  s.col2cblk = column_to_supernode(rangtab);
+
+  // Row structures (scalar rows strictly below each cblk), built bottom-up:
+  // rows of A in the cblk's columns, merged with every child's structure
+  // clipped below this cblk.  Children are cblks whose first below-diagonal
+  // row falls inside k; since the ordering is postordered, children have
+  // smaller indices and are complete when k is processed.
+  std::vector<std::vector<idx_t>> rowstruct(static_cast<std::size_t>(ncblk));
+  std::vector<std::vector<idx_t>> children(static_cast<std::size_t>(ncblk));
+  std::vector<idx_t> marker(static_cast<std::size_t>(n), -1);
+
+  s.cblks.reserve(static_cast<std::size_t>(ncblk) + 1);
+  for (idx_t k = 0; k < ncblk; ++k) {
+    const idx_t fcol = rangtab[static_cast<std::size_t>(k)];
+    const idx_t lcol = rangtab[static_cast<std::size_t>(k) + 1] - 1;
+    std::vector<idx_t> rows;
+    auto push = [&](idx_t i) {
+      if (i > lcol && marker[static_cast<std::size_t>(i)] != k) {
+        marker[static_cast<std::size_t>(i)] = k;
+        rows.push_back(i);
+      }
+    };
+    for (idx_t j = fcol; j <= lcol; ++j)
+      for (idx_t q = pattern.colptr[j]; q < pattern.colptr[j + 1]; ++q)
+        push(pattern.rowind[q]);
+    for (const idx_t c : children[static_cast<std::size_t>(k)]) {
+      for (const idx_t i : rowstruct[static_cast<std::size_t>(c)]) push(i);
+      rowstruct[static_cast<std::size_t>(c)].clear();
+      rowstruct[static_cast<std::size_t>(c)].shrink_to_fit();
+    }
+    std::sort(rows.begin(), rows.end());
+    if (!rows.empty()) {
+      const idx_t parent = s.col2cblk[static_cast<std::size_t>(rows.front())];
+      PASTIX_ASSERT(parent > k);
+      children[static_cast<std::size_t>(parent)].push_back(k);
+    }
+
+    // Emit this cblk's bloks now (rows -> maximal runs in one facing cblk),
+    // before the structure is consumed by the parent's merge.
+    SymbolCblk c;
+    c.fcolnum = fcol;
+    c.lcolnum = lcol;
+    c.bloknum = s.nblok();
+    s.cblks.push_back(c);
+    s.bloks.push_back({fcol, lcol, k, k});  // diagonal block
+    for (std::size_t q = 0; q < rows.size();) {
+      const idx_t frow = rows[q];
+      const idx_t fc = s.col2cblk[static_cast<std::size_t>(frow)];
+      idx_t lrow = frow;
+      while (q + 1 < rows.size() && rows[q + 1] == lrow + 1 &&
+             s.col2cblk[static_cast<std::size_t>(rows[q + 1])] == fc) {
+        ++lrow;
+        ++q;
+      }
+      ++q;
+      s.bloks.push_back({frow, lrow, fc, k});
+    }
+    rowstruct[static_cast<std::size_t>(k)] = std::move(rows);
+  }
+  s.cblks.push_back({n, n - 1, s.nblok()});  // sentinel
+  s.validate();
+  return s;
+}
+
+std::vector<idx_t> block_etree(const SymbolMatrix& s) {
+  std::vector<idx_t> parent(static_cast<std::size_t>(s.ncblk));
+  for (idx_t k = 0; k < s.ncblk; ++k)
+    parent[static_cast<std::size_t>(k)] = s.cblk_parent(k);
+  return parent;
+}
+
+std::vector<std::vector<idx_t>> facing_bloks_index(const SymbolMatrix& s) {
+  std::vector<std::vector<idx_t>> facing(static_cast<std::size_t>(s.ncblk));
+  for (idx_t b = 0; b < s.nblok(); ++b) {
+    const auto& blok = s.bloks[static_cast<std::size_t>(b)];
+    if (blok.fcblknm != blok.lcblknm)
+      facing[static_cast<std::size_t>(blok.fcblknm)].push_back(b);
+  }
+  return facing;
+}
+
+} // namespace pastix

@@ -1,0 +1,85 @@
+#pragma once
+//
+// Block symbolic factorization.
+//
+// From the permuted pattern and the supernode partition (rangtab), computes
+// the block data structure of the factor L exactly as the paper describes:
+// N column blocks (cblk), each holding one dense diagonal block and a set of
+// dense off-diagonal blocks (blok), in quasi-linear time by merging child
+// row structures up the block elimination tree (Charrier-Roman).
+//
+// Layout follows PaStiX: bloks are stored contiguously per cblk, sorted by
+// first row, and the first blok of every cblk is its diagonal block.
+//
+#include <vector>
+
+#include "sparse/sym_sparse.hpp"
+
+namespace pastix {
+
+/// One dense block of the factor.
+struct SymbolBlok {
+  idx_t frownum = 0;  ///< first row (global scalar index)
+  idx_t lrownum = 0;  ///< last row (inclusive)
+  idx_t fcblknm = 0;  ///< facing column block (the cblk these rows belong to)
+  idx_t lcblknm = 0;  ///< owning column block (the cblk whose columns these are)
+
+  [[nodiscard]] idx_t nrows() const { return lrownum - frownum + 1; }
+};
+
+/// One column block (supernode) of the factor.
+struct SymbolCblk {
+  idx_t fcolnum = 0;  ///< first column
+  idx_t lcolnum = 0;  ///< last column (inclusive)
+  idx_t bloknum = 0;  ///< index of the first blok (the diagonal block)
+
+  [[nodiscard]] idx_t width() const { return lcolnum - fcolnum + 1; }
+};
+
+/// The block structure of L.
+struct SymbolMatrix {
+  idx_t n = 0;      ///< scalar order
+  idx_t ncblk = 0;  ///< number of column blocks
+  std::vector<SymbolCblk> cblks;  ///< size ncblk + 1 (sentinel holds nblok)
+  std::vector<SymbolBlok> bloks;
+  std::vector<idx_t> col2cblk;    ///< size n: scalar column -> cblk
+
+  [[nodiscard]] idx_t nblok() const { return static_cast<idx_t>(bloks.size()); }
+  [[nodiscard]] idx_t cblk_nblok(idx_t k) const {
+    return cblks[static_cast<std::size_t>(k) + 1].bloknum -
+           cblks[static_cast<std::size_t>(k)].bloknum;
+  }
+  /// Sum of off-diagonal blok heights of cblk k (rows below the diagonal).
+  [[nodiscard]] idx_t cblk_below_rows(idx_t k) const;
+
+  /// Total stored factor entries (dense blocks, diagonal included).
+  [[nodiscard]] big_t nnz_blocks() const;
+
+  /// Bloks of cblk k whose row interval intersects [frow, lrow]; returns
+  /// blok indices (ascending).  Used by contribution enumeration: a source
+  /// block row range always lands on whole rows of the target bloks.
+  [[nodiscard]] std::vector<idx_t> find_facing_bloks(idx_t k, idx_t frow,
+                                                     idx_t lrow) const;
+
+  /// First off-diagonal blok's facing cblk = block elimination tree parent
+  /// (kNone for roots).
+  [[nodiscard]] idx_t cblk_parent(idx_t k) const;
+
+  /// Validate all structural invariants (ordering, nesting, facing info).
+  void validate() const;
+};
+
+/// Compute the block symbolic factorization of `pattern` (already permuted,
+/// postordered) for the supernode partition `rangtab`.
+SymbolMatrix block_symbolic_factorization(const SparsePattern& pattern,
+                                          const std::vector<idx_t>& rangtab);
+
+/// Block elimination tree parent vector (per cblk).
+std::vector<idx_t> block_etree(const SymbolMatrix& s);
+
+/// For each cblk j: the indices of bloks (owned by other cblks) facing j.
+/// This is BStruct(L_j*) of the paper — the cblks that update cblk j are the
+/// owners of these bloks.
+std::vector<std::vector<idx_t>> facing_bloks_index(const SymbolMatrix& s);
+
+} // namespace pastix

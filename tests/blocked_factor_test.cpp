@@ -1,0 +1,118 @@
+// Tests for the blocked dense factorizations: bit-level agreement with the
+// unblocked kernels is not required (different summation order), but
+// reconstruction accuracy must match at every size, including non-multiples
+// of the panel width and the dispatch cutover.
+#include <gtest/gtest.h>
+
+#include "dkernel/blocked_factor.hpp"
+#include "dkernel/dense_matrix.hpp"
+#include "support/rng.hpp"
+
+namespace pastix {
+namespace {
+
+using C = std::complex<double>;
+
+template <class T>
+DenseMatrix<T> random_spd(idx_t n, std::uint64_t seed) {
+  DenseMatrix<T> a(n, n);
+  Rng rng(seed);
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = 0; i <= j; ++i) {
+      const double v = rng.next_double() - 0.5;
+      a(j, i) = T(v);
+      a(i, j) = T(v);
+    }
+  for (idx_t i = 0; i < n; ++i) a(i, i) = T(4.0 * n);
+  return a;
+}
+
+template <class T>
+double ldlt_reconstruction_error(const DenseMatrix<T>& a,
+                                 const DenseMatrix<T>& f) {
+  const idx_t n = a.rows();
+  double err = 0;
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = j; i < n; ++i) {
+      T acc{};
+      for (idx_t p = 0; p <= j; ++p) {
+        const T lip = (i == p) ? T(1) : (i > p ? f(i, p) : T(0));
+        const T ljp = (j == p) ? T(1) : (j > p ? f(j, p) : T(0));
+        acc += lip * f(p, p) * ljp;
+      }
+      err = std::max(err, std::sqrt(abs2(acc - a(i, j))));
+    }
+  return err;
+}
+
+template <class T>
+double llt_reconstruction_error(const DenseMatrix<T>& a,
+                                const DenseMatrix<T>& f) {
+  const idx_t n = a.rows();
+  double err = 0;
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = j; i < n; ++i) {
+      T acc{};
+      for (idx_t p = 0; p <= j; ++p) acc += f(i, p) * f(j, p);
+      err = std::max(err, std::sqrt(abs2(acc - a(i, j))));
+    }
+  return err;
+}
+
+class BlockedSizes : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(BlockedSizes, LdltBlockedReconstructs) {
+  const idx_t n = GetParam();
+  const auto a = random_spd<double>(n, 11);
+  DenseMatrix<double> f = a;
+  dense_ldlt_blocked(n, f.data(), f.ld());
+  EXPECT_LT(ldlt_reconstruction_error(a, f), 1e-9 * n);
+}
+
+TEST_P(BlockedSizes, LltBlockedReconstructs) {
+  const idx_t n = GetParam();
+  const auto a = random_spd<double>(n, 12);
+  DenseMatrix<double> f = a;
+  dense_llt_blocked(n, f.data(), f.ld());
+  EXPECT_LT(llt_reconstruction_error(a, f), 1e-9 * n);
+}
+
+TEST_P(BlockedSizes, BlockedAgreesWithUnblockedToRounding) {
+  const idx_t n = GetParam();
+  const auto a = random_spd<double>(n, 13);
+  DenseMatrix<double> f1 = a, f2 = a;
+  dense_ldlt(n, f1.data(), f1.ld());
+  dense_ldlt_blocked(n, f2.data(), f2.ld());
+  double err = 0;
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = j; i < n; ++i) err = std::max(err, std::abs(f1(i, j) - f2(i, j)));
+  EXPECT_LT(err, 1e-10);
+}
+
+// Sizes straddle panel boundaries (48), the cutover (128) and ragged tails.
+INSTANTIATE_TEST_SUITE_P(PanelBoundaries, BlockedSizes,
+                         ::testing::Values(1, 5, 47, 48, 49, 96, 100, 127, 128,
+                                           129, 200, 256));
+
+TEST(BlockedFactor, ComplexSymmetricBlockedWorks) {
+  const idx_t n = 150;
+  auto a = random_spd<C>(n, 14);
+  DenseMatrix<C> f = a;
+  dense_ldlt_blocked(n, f.data(), f.ld());
+  EXPECT_LT(ldlt_reconstruction_error(a, f), 1e-8 * n);
+}
+
+TEST(BlockedFactor, AutoDispatchIsTransparent) {
+  for (const idx_t n : {64, 200}) {
+    const auto a = random_spd<double>(n, 15);
+    DenseMatrix<double> f = a;
+    dense_ldlt_auto(n, f.data(), f.ld());
+    EXPECT_LT(ldlt_reconstruction_error(a, f), 1e-9 * n) << n;
+    DenseMatrix<double> g = a;
+    dense_llt_auto(n, g.data(), g.ld());
+    EXPECT_LT(llt_reconstruction_error(a, g), 1e-9 * n) << n;
+  }
+}
+
+} // namespace
+} // namespace pastix

@@ -1,0 +1,152 @@
+// Direct tests of the static communication plan: AUB expectations match the
+// countdown bookkeeping, destination sets point at real consumers, and the
+// solve-phase ownership sets are mutually consistent.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "order/ordering.hpp"
+#include "solver/comm_plan.hpp"
+#include "sparse/gen.hpp"
+#include "symbolic/split.hpp"
+
+namespace pastix {
+namespace {
+
+struct Pipeline {
+  OrderingResult order;
+  SymbolMatrix symbol;
+  CostModel model = default_cost_model();
+  CandidateMapping cand;
+  TaskGraph tg;
+  Schedule sched;
+};
+
+Pipeline run(idx_t nprocs, DistPolicy policy = DistPolicy::kMixed) {
+  Pipeline pl;
+  const auto a = gen_fe_mesh({9, 9, 4, 2, 1, 13});
+  pl.order = compute_ordering(a.pattern);
+  SplitOptions sopt;
+  sopt.block_size = 24;
+  pl.symbol = split_symbol(
+      block_symbolic_factorization(pl.order.permuted, pl.order.rangtab), sopt);
+  MappingOptions mopt;
+  mopt.nprocs = nprocs;
+  mopt.policy = policy;
+  mopt.min_width_2d = 12;
+  pl.cand = proportional_mapping(pl.symbol, pl.model, mopt);
+  pl.tg = build_task_graph(pl.symbol, pl.cand, pl.model);
+  pl.sched = static_schedule(pl.tg, pl.cand, pl.model, nprocs);
+  return pl;
+}
+
+TEST(CommPlan, ExpectationsMatchCountdowns) {
+  const auto pl = run(6);
+  const auto plan = build_comm_plan(pl.symbol, pl.tg, pl.sched);
+  for (idx_t sigma = 0; sigma < pl.tg.ntask(); ++sigma) {
+    // One AUB per contributing remote proc under pure fan-in.
+    EXPECT_EQ(plan.expect_aub[static_cast<std::size_t>(sigma)],
+              static_cast<idx_t>(
+                  plan.aub_countdown[static_cast<std::size_t>(sigma)].size()));
+    for (const auto& [q, count] :
+         plan.aub_countdown[static_cast<std::size_t>(sigma)]) {
+      EXPECT_NE(q, pl.sched.proc[static_cast<std::size_t>(sigma)])
+          << "local contributions must not appear in the countdown";
+      EXPECT_GT(count, 0);
+    }
+  }
+}
+
+TEST(CommPlan, AubAfterListsAreConsistentWithCountdowns) {
+  const auto pl = run(5);
+  const auto plan = build_comm_plan(pl.symbol, pl.tg, pl.sched);
+  // Sum of per-proc countdowns for sigma == number of (source task -> sigma)
+  // entries across all aub_after lists.
+  std::vector<idx_t> seen(static_cast<std::size_t>(pl.tg.ntask()), 0);
+  for (idx_t t = 0; t < pl.tg.ntask(); ++t)
+    for (const idx_t sigma : plan.aub_after[static_cast<std::size_t>(t)])
+      seen[static_cast<std::size_t>(sigma)]++;
+  for (idx_t sigma = 0; sigma < pl.tg.ntask(); ++sigma) {
+    idx_t total = 0;
+    for (const auto& [q, count] :
+         plan.aub_countdown[static_cast<std::size_t>(sigma)])
+      total += count;
+    EXPECT_EQ(seen[static_cast<std::size_t>(sigma)], total) << sigma;
+  }
+}
+
+TEST(CommPlan, PartialChunkScalesExpectations) {
+  const auto pl = run(6);
+  const auto fanin = build_comm_plan(pl.symbol, pl.tg, pl.sched, 0);
+  const auto eager = build_comm_plan(pl.symbol, pl.tg, pl.sched, 1);
+  idx_t fanin_total = 0, eager_total = 0;
+  for (idx_t t = 0; t < pl.tg.ntask(); ++t) {
+    fanin_total += fanin.expect_aub[static_cast<std::size_t>(t)];
+    eager_total += eager.expect_aub[static_cast<std::size_t>(t)];
+    EXPECT_GE(eager.expect_aub[static_cast<std::size_t>(t)],
+              fanin.expect_aub[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_GT(eager_total, fanin_total);
+}
+
+TEST(CommPlan, DiagAndPanelDestinationsAreRealConsumers) {
+  const auto pl = run(8, DistPolicy::kAll2D);
+  const auto plan = build_comm_plan(pl.symbol, pl.tg, pl.sched);
+  for (idx_t t = 0; t < pl.tg.ntask(); ++t) {
+    const Task& task = pl.tg.tasks[static_cast<std::size_t>(t)];
+    const idx_t p = pl.sched.proc[static_cast<std::size_t>(t)];
+    if (task.type == TaskType::kFactor) {
+      // Every dest owns at least one off-diagonal blok of this cblk.
+      for (const idx_t q : plan.diag_dests[static_cast<std::size_t>(t)]) {
+        EXPECT_NE(q, p);
+        bool owns = false;
+        for (idx_t b = pl.symbol.cblks[static_cast<std::size_t>(task.cblk)]
+                           .bloknum + 1;
+             b < pl.symbol.cblks[static_cast<std::size_t>(task.cblk) + 1]
+                     .bloknum;
+             ++b)
+          owns |= (plan.blok_owner[static_cast<std::size_t>(b)] == q);
+        EXPECT_TRUE(owns);
+      }
+    } else if (task.type == TaskType::kBdiv) {
+      for (const idx_t q : plan.panel_dests[static_cast<std::size_t>(t)])
+        EXPECT_NE(q, p);
+    }
+  }
+}
+
+TEST(CommPlan, SolveSetsAreDisjointLocalVsRemote) {
+  const auto pl = run(7);
+  const auto plan = build_comm_plan(pl.symbol, pl.tg, pl.sched);
+  for (idx_t k = 0; k < pl.symbol.ncblk; ++k) {
+    const idx_t owner = plan.diag_owner[static_cast<std::size_t>(k)];
+    for (const idx_t b : plan.fwd_remote_bloks[static_cast<std::size_t>(k)])
+      EXPECT_NE(plan.blok_owner[static_cast<std::size_t>(b)], owner);
+    for (const idx_t b : plan.bwd_remote_bloks[static_cast<std::size_t>(k)]) {
+      EXPECT_NE(plan.blok_owner[static_cast<std::size_t>(b)], owner);
+      EXPECT_EQ(pl.symbol.bloks[static_cast<std::size_t>(b)].lcblknm, k);
+    }
+    for (const idx_t q : plan.yseg_dests[static_cast<std::size_t>(k)])
+      EXPECT_NE(q, owner);
+    for (const idx_t q : plan.xseg_dests[static_cast<std::size_t>(k)])
+      EXPECT_NE(q, owner);
+  }
+}
+
+TEST(CommPlan, SingleProcPlanIsEmpty) {
+  const auto pl = run(1);
+  const auto plan = build_comm_plan(pl.symbol, pl.tg, pl.sched);
+  for (idx_t t = 0; t < pl.tg.ntask(); ++t) {
+    EXPECT_EQ(plan.expect_aub[static_cast<std::size_t>(t)], 0);
+    EXPECT_TRUE(plan.aub_after[static_cast<std::size_t>(t)].empty());
+    EXPECT_TRUE(plan.diag_dests[static_cast<std::size_t>(t)].empty());
+    EXPECT_TRUE(plan.panel_dests[static_cast<std::size_t>(t)].empty());
+  }
+  for (idx_t k = 0; k < pl.symbol.ncblk; ++k) {
+    EXPECT_TRUE(plan.fwd_remote_bloks[static_cast<std::size_t>(k)].empty());
+    EXPECT_TRUE(plan.yseg_dests[static_cast<std::size_t>(k)].empty());
+  }
+}
+
+} // namespace
+} // namespace pastix

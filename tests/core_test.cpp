@@ -1,0 +1,132 @@
+// End-to-end tests of the public pastix::Solver API, including the
+// cross-check between the fan-in solver and the multifrontal baseline.
+#include <gtest/gtest.h>
+
+#include "core/pastix.hpp"
+#include "mf/multifrontal.hpp"
+#include "sparse/gen.hpp"
+#include "sparse/suite.hpp"
+
+namespace pastix {
+namespace {
+
+TEST(CoreSolver, EndToEndOriginalNumbering) {
+  const auto a = gen_fe_mesh({8, 8, 3, 2, 1, 42});
+  SolverOptions opt;
+  opt.nprocs = 4;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  // Known solution in *original* numbering.
+  std::vector<double> x_ref(static_cast<std::size_t>(a.n()));
+  for (idx_t i = 0; i < a.n(); ++i)
+    x_ref[static_cast<std::size_t>(i)] = std::cos(0.01 * i);
+  std::vector<double> b(static_cast<std::size_t>(a.n()));
+  spmv(a, x_ref.data(), b.data());
+  const auto x = solver.solve(b);
+  double err = 0;
+  for (idx_t i = 0; i < a.n(); ++i)
+    err = std::max(err, std::abs(x[static_cast<std::size_t>(i)] -
+                                 x_ref[static_cast<std::size_t>(i)]));
+  EXPECT_LT(err, 1e-9);
+  EXPECT_LT(relative_residual(a, x, b), 1e-12);
+}
+
+TEST(CoreSolver, StatsArePopulated) {
+  const auto a = gen_grid_laplacian(16, 16);
+  SolverOptions opt;
+  opt.nprocs = 8;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  const auto& st = solver.stats();
+  EXPECT_GT(st.nnz_l, a.nnz_offdiag());
+  EXPECT_GT(st.opc, 0);
+  EXPECT_GE(st.nnz_blocks, st.nnz_l + a.n());
+  EXPECT_GT(st.ncblk, 0);
+  EXPECT_GT(st.ntask, 0);
+  EXPECT_GT(st.predicted_time, 0);
+  EXPECT_GT(st.total_flops, 0);
+  solver.factorize();
+  EXPECT_GT(solver.stats().factor_seconds, 0);
+}
+
+TEST(CoreSolver, MisuseThrows) {
+  Solver<double> solver;
+  EXPECT_THROW(solver.factorize(), Error);
+  std::vector<double> b(10, 1.0);
+  EXPECT_THROW((void)solver.solve(b), Error);
+  SolverOptions bad;
+  bad.nprocs = 0;
+  EXPECT_THROW(Solver<double>{bad}, Error);
+}
+
+TEST(CoreSolver, ComplexEndToEnd) {
+  const auto a = to_complex_symmetric(gen_grid_laplacian(10, 10), 0.4, 7);
+  SolverOptions opt;
+  opt.nprocs = 3;
+  Solver<std::complex<double>> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  std::vector<std::complex<double>> b(static_cast<std::size_t>(a.n()),
+                                      {1.0, -0.5});
+  const auto x = solver.solve(b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-12);
+}
+
+TEST(CoreSolver, FaninAndMultifrontalAgree) {
+  const auto a = gen_fe_mesh({6, 6, 4, 2, 1, 77});
+  SolverOptions opt;
+  opt.nprocs = 4;
+  Solver<double> fanin(opt);
+  fanin.analyze(a);
+  fanin.factorize();
+
+  auto order = compute_ordering(a.pattern);
+  const auto permuted = permute(a, order.perm);
+  const auto symbol =
+      block_symbolic_factorization(order.permuted, order.rangtab);
+  MultifrontalSolver<double> mf(permuted, symbol);
+  mf.factorize();
+
+  std::vector<double> b(static_cast<std::size_t>(a.n()));
+  for (idx_t i = 0; i < a.n(); ++i)
+    b[static_cast<std::size_t>(i)] = 1.0 / (1.0 + i);
+  const auto x1 = fanin.solve(b);
+  const auto pb = permute_vector(b, order.perm);
+  const auto x2p = mf.solve(pb);
+  const auto x2 = unpermute_vector(x2p, order.perm);
+  for (idx_t i = 0; i < a.n(); ++i)
+    EXPECT_NEAR(x1[static_cast<std::size_t>(i)],
+                x2[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(CoreSolver, SuiteProblemSmokeTest) {
+  // THREAD is the smallest suite problem; run it end to end on 4 procs.
+  const auto a = make_suite_matrix(suite_problem("THREAD"));
+  SolverOptions opt;
+  opt.nprocs = 4;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  std::vector<double> b(static_cast<std::size_t>(a.n()), 1.0);
+  const auto x = solver.solve(b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-11);
+}
+
+TEST(CoreSolver, PredictedTimeShrinksWithProcs) {
+  const auto a = gen_fe_mesh({10, 10, 4, 2, 1, 3});
+  double prev = 0;
+  for (const idx_t p : {1, 4}) {
+    SolverOptions opt;
+    opt.nprocs = p;
+    Solver<double> solver(opt);
+    solver.analyze(a);
+    if (p == 1)
+      prev = solver.stats().predicted_time;
+    else
+      EXPECT_LT(solver.stats().predicted_time, prev);
+  }
+}
+
+} // namespace
+} // namespace pastix

@@ -1,0 +1,238 @@
+// Tests for the dense kernels: GEMM/TRSM/SYRK against naive references,
+// LDL^t and LL^t factorizations against reconstruction, triangular solves,
+// real and complex instantiations.
+#include <gtest/gtest.h>
+
+#include "dkernel/dense_matrix.hpp"
+#include "dkernel/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace pastix {
+namespace {
+
+using C = std::complex<double>;
+
+template <class T>
+DenseMatrix<T> random_matrix(idx_t m, idx_t n, std::uint64_t seed) {
+  DenseMatrix<T> a(m, n);
+  Rng rng(seed);
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = 0; i < m; ++i) {
+      if constexpr (std::is_same_v<T, double>) {
+        a(i, j) = 2.0 * rng.next_double() - 1.0;
+      } else {
+        a(i, j) = T(2.0 * rng.next_double() - 1.0, 2.0 * rng.next_double() - 1.0);
+      }
+    }
+  return a;
+}
+
+/// Symmetric positive definite (real) or diagonally dominant symmetric
+/// (complex) dense test matrix.
+template <class T>
+DenseMatrix<T> random_spd(idx_t n, std::uint64_t seed) {
+  auto a = random_matrix<T>(n, n, seed);
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = 0; i < j; ++i) a(i, j) = a(j, i);  // symmetrize
+  for (idx_t i = 0; i < n; ++i) a(i, i) = T(2.0 * n);
+  return a;
+}
+
+template <class T>
+double max_abs_diff(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  double m = 0;
+  for (idx_t j = 0; j < a.cols(); ++j)
+    for (idx_t i = 0; i < a.rows(); ++i)
+      m = std::max(m, std::sqrt(abs2(a(i, j) - b(i, j))));
+  return m;
+}
+
+template <class T>
+class KernelsTyped : public ::testing::Test {};
+using Scalars = ::testing::Types<double, C>;
+TYPED_TEST_SUITE(KernelsTyped, Scalars);
+
+TYPED_TEST(KernelsTyped, GemmNtMatchesNaive) {
+  using T = TypeParam;
+  for (const auto [m, n, k] :
+       {std::tuple<idx_t, idx_t, idx_t>{7, 5, 9}, {1, 1, 1}, {16, 16, 16},
+        {33, 12, 3}, {4, 31, 17}, {8, 3, 0}}) {
+    const auto a = random_matrix<T>(m, k, 1);
+    const auto b = random_matrix<T>(n, k, 2);
+    DenseMatrix<T> c0 = random_matrix<T>(m, n, 3);
+    DenseMatrix<T> c1 = c0;
+    const T alpha = T(-1.0);
+    gemm_nt(m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(), c0.data(),
+            c0.ld());
+    for (idx_t j = 0; j < n; ++j)
+      for (idx_t i = 0; i < m; ++i)
+        for (idx_t l = 0; l < k; ++l) c1(i, j) += alpha * a(i, l) * b(j, l);
+    EXPECT_LT(max_abs_diff(c0, c1), 1e-12) << m << "x" << n << "x" << k;
+  }
+}
+
+TYPED_TEST(KernelsTyped, GemmNnMatchesNaive) {
+  using T = TypeParam;
+  const idx_t m = 9, n = 7, k = 11;
+  const auto a = random_matrix<T>(m, k, 4);
+  const auto b = random_matrix<T>(k, n, 5);
+  DenseMatrix<T> c0 = random_matrix<T>(m, n, 6);
+  DenseMatrix<T> c1 = c0;
+  gemm_nn(m, n, k, T(2.0), a.data(), a.ld(), b.data(), b.ld(), c0.data(),
+          c0.ld());
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = 0; i < m; ++i)
+      for (idx_t l = 0; l < k; ++l) c1(i, j) += T(2.0) * a(i, l) * b(l, j);
+  EXPECT_LT(max_abs_diff(c0, c1), 1e-12);
+}
+
+TYPED_TEST(KernelsTyped, SyrkMatchesGemmOnLowerTriangle) {
+  using T = TypeParam;
+  const idx_t n = 13, k = 8;
+  const auto a = random_matrix<T>(n, k, 7);
+  DenseMatrix<T> c0(n, n), c1(n, n);
+  syrk_lower_nt(n, k, T(-1.0), a.data(), a.ld(), c0.data(), c0.ld());
+  gemm_nt(n, n, k, T(-1.0), a.data(), a.ld(), a.data(), a.ld(), c1.data(),
+          c1.ld());
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = j; i < n; ++i)
+      EXPECT_LT(std::sqrt(abs2(c0(i, j) - c1(i, j))), 1e-12);
+}
+
+TYPED_TEST(KernelsTyped, LdltReconstructs) {
+  using T = TypeParam;
+  const idx_t n = 24;
+  const auto a = random_spd<T>(n, 8);
+  DenseMatrix<T> f = a;
+  dense_ldlt(n, f.data(), f.ld());
+  // Reconstruct A = L D L^t (unit L, D on the diagonal of f).
+  DenseMatrix<T> r(n, n);
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = j; i < n; ++i) {
+      T acc{};
+      for (idx_t p = 0; p <= j; ++p) {
+        const T lip = (i == p) ? T(1) : (i > p ? f(i, p) : T(0));
+        const T ljp = (j == p) ? T(1) : (j > p ? f(j, p) : T(0));
+        acc += lip * f(p, p) * ljp;
+      }
+      r(i, j) = acc;
+    }
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = j; i < n; ++i)
+      EXPECT_LT(std::sqrt(abs2(r(i, j) - a(i, j))), 1e-9);
+}
+
+TYPED_TEST(KernelsTyped, LltReconstructs) {
+  using T = TypeParam;
+  const idx_t n = 20;
+  const auto a = random_spd<T>(n, 9);
+  DenseMatrix<T> f = a;
+  dense_llt(n, f.data(), f.ld());
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = j; i < n; ++i) {
+      T acc{};
+      for (idx_t p = 0; p <= j; ++p) acc += f(i, p) * f(j, p);
+      EXPECT_LT(std::sqrt(abs2(acc - a(i, j))), 1e-9);
+    }
+}
+
+TYPED_TEST(KernelsTyped, TrsmRightUnitSolves) {
+  using T = TypeParam;
+  const idx_t m = 10, n = 6;
+  auto l = random_matrix<T>(n, n, 10);
+  for (idx_t j = 0; j < n; ++j) l(j, j) = T(1);
+  const auto a = random_matrix<T>(m, n, 11);
+  DenseMatrix<T> x = a;
+  trsm_right_lt_unit(m, n, l.data(), l.ld(), x.data(), x.ld());
+  // Check X * L^t == A: (X L^t)(i,j) = sum_{p<=j} X(i,p) L(j,p).
+  DenseMatrix<T> r(m, n);
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = 0; i < m; ++i) {
+      T acc{};
+      for (idx_t p = 0; p <= j; ++p)
+        acc += x(i, p) * (p == j ? T(1) : l(j, p));
+      r(i, j) = acc;
+    }
+  EXPECT_LT(max_abs_diff(r, a), 1e-10);
+}
+
+TYPED_TEST(KernelsTyped, TrsmRightNonUnitSolves) {
+  using T = TypeParam;
+  const idx_t m = 8, n = 5;
+  auto l = random_matrix<T>(n, n, 12);
+  for (idx_t j = 0; j < n; ++j) l(j, j) = T(3.0);
+  const auto a = random_matrix<T>(m, n, 13);
+  DenseMatrix<T> x = a;
+  trsm_right_lt(m, n, l.data(), l.ld(), x.data(), x.ld());
+  DenseMatrix<T> r(m, n);
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = 0; i < m; ++i) {
+      T acc{};
+      for (idx_t p = 0; p <= j; ++p) acc += x(i, p) * l(j, p);
+      r(i, j) = acc;
+    }
+  EXPECT_LT(max_abs_diff(r, a), 1e-10);
+}
+
+TYPED_TEST(KernelsTyped, TriangularSolvesInvertFactorization) {
+  using T = TypeParam;
+  const idx_t n = 16;
+  const auto a = random_spd<T>(n, 14);
+  DenseMatrix<T> f = a;
+  dense_ldlt(n, f.data(), f.ld());
+  // Solve A x = b via L, D, L^t and compare with a known x.
+  std::vector<T> x_ref(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) x_ref[static_cast<std::size_t>(i)] = T(1.0 + i);
+  std::vector<T> b(static_cast<std::size_t>(n), T{});
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t i = 0; i < n; ++i)
+      b[static_cast<std::size_t>(i)] +=
+          (i >= j ? a(i, j) : a(j, i)) * x_ref[static_cast<std::size_t>(j)];
+  trsv_lower_unit(n, f.data(), f.ld(), b.data());
+  for (idx_t i = 0; i < n; ++i) b[static_cast<std::size_t>(i)] /= f(i, i);
+  trsv_lower_unit_t(n, f.data(), f.ld(), b.data());
+  for (idx_t i = 0; i < n; ++i)
+    EXPECT_LT(std::sqrt(abs2(b[static_cast<std::size_t>(i)] -
+                             x_ref[static_cast<std::size_t>(i)])),
+              1e-8);
+}
+
+TYPED_TEST(KernelsTyped, GemvBothTransposes) {
+  using T = TypeParam;
+  const idx_t m = 7, n = 4;
+  const auto a = random_matrix<T>(m, n, 15);
+  std::vector<T> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(m), T{});
+  for (idx_t j = 0; j < n; ++j) x[static_cast<std::size_t>(j)] = T(1.0 + j);
+  gemv_n(m, n, T(1), a.data(), a.ld(), x.data(), y.data());
+  for (idx_t i = 0; i < m; ++i) {
+    T acc{};
+    for (idx_t j = 0; j < n; ++j) acc += a(i, j) * x[static_cast<std::size_t>(j)];
+    EXPECT_LT(std::sqrt(abs2(acc - y[static_cast<std::size_t>(i)])), 1e-12);
+  }
+  std::vector<T> z(static_cast<std::size_t>(n), T{});
+  gemv_t(m, n, T(1), a.data(), a.ld(), y.data(), z.data());
+  for (idx_t j = 0; j < n; ++j) {
+    T acc{};
+    for (idx_t i = 0; i < m; ++i) acc += a(i, j) * y[static_cast<std::size_t>(i)];
+    EXPECT_LT(std::sqrt(abs2(acc - z[static_cast<std::size_t>(j)])), 1e-12);
+  }
+}
+
+TEST(Kernels, LdltRejectsSingular) {
+  DenseMatrix<double> a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0;  // Schur complement is exactly 0
+  EXPECT_THROW(dense_ldlt(2, a.data(), a.ld()), Error);
+}
+
+TEST(Kernels, LltRejectsIndefinite) {
+  DenseMatrix<double> a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // Schur complement -3 < 0
+  EXPECT_THROW(dense_llt(2, a.data(), a.ld()), Error);
+}
+
+} // namespace
+} // namespace pastix

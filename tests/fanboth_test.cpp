@@ -1,0 +1,87 @@
+// Tests for Fan-Both-style partial aggregation (Section 2: "an aggregated
+// update block can be sent with partial aggregation to free memory space")
+// and the per-rank memory statistics.
+#include <gtest/gtest.h>
+
+#include "core/pastix.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+SymSparse<double> test_matrix() { return gen_fe_mesh({7, 7, 4, 2, 1, 99}); }
+
+std::vector<double> solve_with_chunk(const SymSparse<double>& a, idx_t chunk,
+                                     const std::vector<double>& b,
+                                     big_t* aub_peak = nullptr,
+                                     idx_t* messages = nullptr) {
+  SolverOptions opt;
+  opt.nprocs = 4;
+  opt.fanin.partial_chunk = chunk;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  if (aub_peak) {
+    *aub_peak = 0;
+    for (idx_t p = 0; p < 4; ++p)
+      *aub_peak += solver.numeric().memory_stats(p).aub_peak_bytes;
+  }
+  if (messages) {
+    *messages = 0;
+    for (const idx_t e : solver.numeric().plan().expect_aub) *messages += e;
+  }
+  return solver.solve(b);
+}
+
+TEST(FanBoth, AllChunkSizesGiveTheSameSolution) {
+  const auto a = test_matrix();
+  std::vector<double> b(static_cast<std::size_t>(a.n()));
+  for (idx_t i = 0; i < a.n(); ++i)
+    b[static_cast<std::size_t>(i)] = std::sin(0.3 * i);
+  const auto x_fanin = solve_with_chunk(a, 0, b);
+  for (const idx_t chunk : {1, 2, 3, 8}) {
+    const auto x = solve_with_chunk(a, chunk, b);
+    double err = 0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      err = std::max(err, std::abs(x[i] - x_fanin[i]));
+    EXPECT_LT(err, 1e-11) << "chunk " << chunk;
+    EXPECT_LT(relative_residual(a, x, b), 1e-12) << "chunk " << chunk;
+  }
+}
+
+TEST(FanBoth, SmallerChunksNeverIncreasePeakAubMemory) {
+  const auto a = test_matrix();
+  std::vector<double> b(static_cast<std::size_t>(a.n()), 1.0);
+  big_t peak_fanin = 0, peak_eager = 0;
+  idx_t msgs_fanin = 0, msgs_eager = 0;
+  (void)solve_with_chunk(a, 0, b, &peak_fanin, &msgs_fanin);
+  (void)solve_with_chunk(a, 1, b, &peak_eager, &msgs_eager);
+  EXPECT_LE(peak_eager, peak_fanin);
+  EXPECT_GE(msgs_eager, msgs_fanin);
+  EXPECT_GT(peak_fanin, 0);
+}
+
+TEST(FanBoth, MessageCountsFollowTheChunkFormula) {
+  EXPECT_EQ(aub_messages_for(5, 0), 1);   // pure fan-in: one AUB
+  EXPECT_EQ(aub_messages_for(5, 1), 5);   // eager: one message per task
+  EXPECT_EQ(aub_messages_for(5, 2), 3);
+  EXPECT_EQ(aub_messages_for(6, 2), 3);
+  EXPECT_EQ(aub_messages_for(1, 4), 1);
+}
+
+TEST(FanBoth, MemoryStatsAccountForFactorStorage) {
+  const auto a = test_matrix();
+  SolverOptions opt;
+  opt.nprocs = 3;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  big_t factor_total = 0;
+  for (idx_t p = 0; p < 3; ++p)
+    factor_total += solver.numeric().memory_stats(p).factor_bytes;
+  // Factor storage must cover at least the block entries (8 bytes each).
+  EXPECT_GE(factor_total, solver.stats().nnz_blocks * 8);
+}
+
+} // namespace
+} // namespace pastix

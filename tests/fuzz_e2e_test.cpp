@@ -1,0 +1,70 @@
+// Randomized end-to-end property harness: sweep mesh geometry, degrees of
+// freedom, coupling radius, random-graph structure, factorization kind and
+// aggregation chunking through the complete pipeline, checking the solve
+// residual every time.  This is the broad net behind the targeted unit
+// tests — structural corner cases (degenerate meshes, dense-ish leaves,
+// disconnected graphs) all funnel through here.
+#include <gtest/gtest.h>
+
+#include "core/pastix.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+struct FuzzCase {
+  const char* name;
+  FeMeshSpec spec;   // used when n_random == 0
+  idx_t n_random;    // > 0: random SPD instead
+  int degree;
+  idx_t nprocs;
+  FactorKind kind;
+  idx_t chunk;
+};
+
+class FuzzE2e : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzE2e, FactorizeSolveResidual) {
+  const FuzzCase& fc = GetParam();
+  const SymSparse<double> a =
+      fc.n_random > 0
+          ? gen_random_spd(fc.n_random, fc.degree, fc.spec.seed)
+          : gen_fe_mesh(fc.spec);
+  SolverOptions opt;
+  opt.nprocs = fc.nprocs;
+  opt.fanin.kind = fc.kind;
+  opt.fanin.partial_chunk = fc.chunk;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  std::vector<double> b(static_cast<std::size_t>(a.n()));
+  for (idx_t i = 0; i < a.n(); ++i)
+    b[static_cast<std::size_t>(i)] = std::sin(0.7 * i) + 1.5;
+  const auto x = solver.solve(b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-10) << fc.name;
+}
+
+// FeMeshSpec: {nx, ny, nz, dof, radius, seed}.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FuzzE2e,
+    ::testing::Values(
+        FuzzCase{"pencil_1d", {40, 1, 1, 1, 1, 1}, 0, 0, 3, FactorKind::kLdlt, 0},
+        FuzzCase{"pencil_dof3", {30, 2, 1, 3, 1, 2}, 0, 0, 4, FactorKind::kLdlt, 0},
+        FuzzCase{"plate", {16, 16, 1, 2, 1, 3}, 0, 0, 4, FactorKind::kLdlt, 0},
+        FuzzCase{"plate_llt", {16, 16, 1, 2, 1, 4}, 0, 0, 4, FactorKind::kLlt, 0},
+        FuzzCase{"shell_radius2", {10, 10, 2, 2, 2, 5}, 0, 0, 5, FactorKind::kLdlt, 0},
+        FuzzCase{"cube_dof1", {9, 9, 9, 1, 1, 6}, 0, 0, 6, FactorKind::kLdlt, 0},
+        FuzzCase{"cube_dof2_llt", {7, 7, 7, 2, 1, 7}, 0, 0, 7, FactorKind::kLlt, 0},
+        FuzzCase{"cube_chunked", {7, 7, 7, 2, 1, 8}, 0, 0, 4, FactorKind::kLdlt, 2},
+        FuzzCase{"tiny_2x2x2", {2, 2, 2, 1, 1, 9}, 0, 0, 2, FactorKind::kLdlt, 0},
+        FuzzCase{"single_vertex", {1, 1, 1, 1, 1, 10}, 0, 0, 1, FactorKind::kLdlt, 0},
+        FuzzCase{"single_node_dof4", {1, 1, 1, 4, 1, 11}, 0, 0, 2, FactorKind::kLdlt, 0},
+        FuzzCase{"random_sparse", {0, 0, 0, 0, 0, 12}, 300, 4, 5, FactorKind::kLdlt, 0},
+        FuzzCase{"random_denser", {0, 0, 0, 0, 0, 13}, 200, 14, 6, FactorKind::kLlt, 0},
+        FuzzCase{"random_chunked", {0, 0, 0, 0, 0, 14}, 250, 6, 7, FactorKind::kLdlt, 1},
+        FuzzCase{"random_degree0", {0, 0, 0, 0, 0, 15}, 50, 0, 3, FactorKind::kLdlt, 0},
+        FuzzCase{"many_procs_small", {5, 5, 2, 1, 1, 16}, 0, 0, 12, FactorKind::kLdlt, 0}),
+    [](const auto& info) { return info.param.name; });
+
+} // namespace
+} // namespace pastix

@@ -1,0 +1,138 @@
+// Tests for the graph substrate: adjacency construction, BFS levels,
+// pseudo-peripheral search, components, halo subgraph extraction, and the
+// vertex separator used by nested dissection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "graph/separator.hpp"
+#include "sparse/coo_builder.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+Graph path_graph(idx_t n) {
+  CooBuilder<double> b(n);
+  for (idx_t i = 0; i < n; ++i) b.add(i, i, 2.0);
+  for (idx_t i = 0; i + 1 < n; ++i) b.add(i + 1, i, -1.0);
+  return graph_from_pattern(b.build().pattern);
+}
+
+TEST(Graph, FromPatternBuildsBothDirections) {
+  const auto g = path_graph(5);
+  EXPECT_EQ(g.n, 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_EQ(*g.adj_begin(2), 1);
+  EXPECT_EQ(*(g.adj_begin(2) + 1), 3);
+}
+
+TEST(Graph, BfsLevelsOnPath) {
+  const auto g = path_graph(6);
+  const auto levels = bfs_levels(g, 0, {});
+  EXPECT_EQ(levels.num_levels, 6);
+  for (idx_t v = 0; v < 6; ++v) EXPECT_EQ(levels.level[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Graph, BfsRespectsMask) {
+  const auto g = path_graph(6);
+  std::vector<char> mask(6, 1);
+  mask[3] = 0;  // cut the path at vertex 3
+  const auto levels = bfs_levels(g, 0, mask);
+  EXPECT_EQ(levels.order.size(), 3u);
+  EXPECT_EQ(levels.level[4], kNone);
+}
+
+TEST(Graph, PseudoPeripheralFindsPathEnd) {
+  const auto g = path_graph(9);
+  const idx_t v = pseudo_peripheral(g, 4, {});
+  EXPECT_TRUE(v == 0 || v == 8);
+}
+
+TEST(Graph, ConnectedComponents) {
+  CooBuilder<double> b(6);
+  for (idx_t i = 0; i < 6; ++i) b.add(i, i, 1.0);
+  b.add(1, 0, -1.0);
+  b.add(3, 2, -1.0);
+  b.add(4, 3, -1.0);
+  const auto g = graph_from_pattern(b.build().pattern);
+  std::vector<idx_t> comp;
+  EXPECT_EQ(connected_components(g, {}, comp), 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[5], comp[0]);
+}
+
+TEST(Graph, SubgraphExtractionWithHalo) {
+  // 3x3 grid; extract the left column with halo.
+  const auto a = gen_grid_laplacian(3, 3);
+  const auto g = graph_from_pattern(a.pattern);
+  const std::vector<idx_t> left = {0, 3, 6};
+  const auto sub = extract_subgraph(g, left, /*with_halo=*/true);
+  EXPECT_EQ(sub.num_interior, 3);
+  // Halo = middle column {1, 4, 7}.
+  EXPECT_EQ(static_cast<idx_t>(sub.orig.size()), 6);
+  for (idx_t h = sub.num_interior; h < static_cast<idx_t>(sub.orig.size()); ++h) {
+    const idx_t orig = sub.orig[static_cast<std::size_t>(h)];
+    EXPECT_TRUE(orig == 1 || orig == 4 || orig == 7);
+  }
+}
+
+TEST(Graph, SubgraphWithoutHaloKeepsOnlyInterior) {
+  const auto a = gen_grid_laplacian(3, 3);
+  const auto g = graph_from_pattern(a.pattern);
+  const auto sub = extract_subgraph(g, {0, 3, 6}, /*with_halo=*/false);
+  EXPECT_EQ(static_cast<idx_t>(sub.orig.size()), 3);
+  EXPECT_EQ(sub.g.num_edges(), 2);  // the path 0-3-6
+}
+
+TEST(Separator, SplitsGridIntoBalancedParts) {
+  const auto a = gen_grid_laplacian(12, 12);
+  const auto g = graph_from_pattern(a.pattern);
+  std::vector<char> mask(static_cast<std::size_t>(g.n), 1);
+  std::vector<idx_t> all(static_cast<std::size_t>(g.n));
+  for (idx_t v = 0; v < g.n; ++v) all[static_cast<std::size_t>(v)] = v;
+  const auto sep = find_vertex_separator(g, mask, all, {});
+  EXPECT_GT(sep.size_a, 0);
+  EXPECT_GT(sep.size_b, 0);
+  EXPECT_EQ(sep.size_a + sep.size_b + sep.size_sep, g.n);
+  // A 12x12 grid has a size-12 line separator; allow some slack.
+  EXPECT_LE(sep.size_sep, 30);
+  // Balance within the tolerance used by the default options.
+  EXPECT_LT(std::abs(sep.size_a - sep.size_b), g.n / 2);
+}
+
+TEST(Separator, SeparatorActuallySeparates) {
+  const auto a = gen_grid_laplacian(10, 10);
+  const auto g = graph_from_pattern(a.pattern);
+  std::vector<char> mask(static_cast<std::size_t>(g.n), 1);
+  std::vector<idx_t> all(static_cast<std::size_t>(g.n));
+  for (idx_t v = 0; v < g.n; ++v) all[static_cast<std::size_t>(v)] = v;
+  const auto sep = find_vertex_separator(g, mask, all, {});
+  // No edge may connect side 0 with side 1 directly.
+  for (idx_t v = 0; v < g.n; ++v) {
+    if (sep.part[static_cast<std::size_t>(v)] != 0) continue;
+    for (const idx_t* w = g.adj_begin(v); w != g.adj_end(v); ++w)
+      EXPECT_NE(sep.part[static_cast<std::size_t>(*w)], 1)
+          << "edge " << v << "-" << *w << " crosses the separator";
+  }
+}
+
+TEST(Separator, WorksOn3dMesh) {
+  const auto a = gen_grid_laplacian(6, 6, 6);
+  const auto g = graph_from_pattern(a.pattern);
+  std::vector<char> mask(static_cast<std::size_t>(g.n), 1);
+  std::vector<idx_t> all(static_cast<std::size_t>(g.n));
+  for (idx_t v = 0; v < g.n; ++v) all[static_cast<std::size_t>(v)] = v;
+  const auto sep = find_vertex_separator(g, mask, all, {});
+  EXPECT_GT(sep.size_a, 30);
+  EXPECT_GT(sep.size_b, 30);
+  EXPECT_LE(sep.size_sep, 100);  // ideal plane is 36
+}
+
+} // namespace
+} // namespace pastix

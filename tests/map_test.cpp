@@ -1,0 +1,255 @@
+// Tests for the partitioning & mapping phase: proportional mapping,
+// 1D/2D distribution policies, task graph construction and the greedy
+// simulation-driven static scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "map/scheduler.hpp"
+#include "order/ordering.hpp"
+#include "sparse/gen.hpp"
+#include "symbolic/split.hpp"
+
+namespace pastix {
+namespace {
+
+struct Pipeline {
+  OrderingResult order;
+  SymbolMatrix symbol;
+  CostModel model = default_cost_model();
+  CandidateMapping cand;
+  TaskGraph tg;
+};
+
+Pipeline analyze(const SparsePattern& p, MappingOptions mopt,
+                 idx_t block_size = 32) {
+  Pipeline pl;
+  pl.order = compute_ordering(p);
+  SplitOptions sopt;
+  sopt.block_size = block_size;
+  pl.symbol = split_symbol(
+      block_symbolic_factorization(pl.order.permuted, pl.order.rangtab), sopt);
+  pl.cand = proportional_mapping(pl.symbol, pl.model, mopt);
+  pl.tg = build_task_graph(pl.symbol, pl.cand, pl.model);
+  return pl;
+}
+
+SparsePattern test_mesh() {
+  return gen_fe_mesh({12, 12, 6, 2, 1, 3}).pattern;
+}
+
+TEST(ProportionalMapping, RootOwnsAllProcessorsLeavesFew) {
+  MappingOptions mopt;
+  mopt.nprocs = 8;
+  const auto pl = analyze(test_mesh(), mopt);
+  // Find a root cblk (no parent).
+  const auto parent = block_etree(pl.symbol);
+  for (idx_t k = 0; k < pl.symbol.ncblk; ++k) {
+    const auto& c = pl.cand.cblk[static_cast<std::size_t>(k)];
+    EXPECT_GE(c.fproc, 0);
+    EXPECT_LT(c.lproc, 8);
+    EXPECT_LE(c.fproc, c.lproc);
+    if (parent[static_cast<std::size_t>(k)] == kNone) {
+      EXPECT_EQ(c.fproc, 0);
+      EXPECT_EQ(c.lproc, 7);
+    }
+  }
+}
+
+TEST(ProportionalMapping, ChildIntervalsNestInParent) {
+  MappingOptions mopt;
+  mopt.nprocs = 16;
+  const auto pl = analyze(test_mesh(), mopt);
+  const auto parent = block_etree(pl.symbol);
+  for (idx_t k = 0; k < pl.symbol.ncblk; ++k) {
+    const idx_t p = parent[static_cast<std::size_t>(k)];
+    if (p == kNone) continue;
+    const auto& ck = pl.cand.cblk[static_cast<std::size_t>(k)];
+    const auto& cp = pl.cand.cblk[static_cast<std::size_t>(p)];
+    EXPECT_GE(ck.fcand, cp.fcand - 1e-9);
+    EXPECT_LE(ck.lcand, cp.lcand + 1e-9);
+    EXPECT_EQ(ck.depth, cp.depth + 1);
+  }
+}
+
+TEST(ProportionalMapping, MixedPolicyGives2dNearRootOnly) {
+  MappingOptions mopt;
+  mopt.nprocs = 16;
+  mopt.min_cand_2d = 4;
+  mopt.min_width_2d = 16;
+  const auto pl = analyze(test_mesh(), mopt);
+  idx_t n2d = 0, n1d = 0;
+  double depth2d = 0, depth1d = 0;
+  for (idx_t k = 0; k < pl.symbol.ncblk; ++k) {
+    const auto& c = pl.cand.cblk[static_cast<std::size_t>(k)];
+    if (c.dist == DistType::k2D) {
+      ++n2d;
+      depth2d += c.depth;
+      EXPECT_GE(c.ncand(), 4);
+    } else {
+      ++n1d;
+      depth1d += c.depth;
+    }
+  }
+  ASSERT_GT(n2d, 0) << "expected some 2D supernodes on 16 procs";
+  ASSERT_GT(n1d, 0) << "expected some 1D supernodes";
+  // 2D supernodes are the *uppermost* ones: shallower on average than 1D.
+  EXPECT_LT(depth2d / n2d, depth1d / n1d);
+}
+
+TEST(ProportionalMapping, PoliciesForceDistributions) {
+  MappingOptions mopt;
+  mopt.nprocs = 8;
+  mopt.policy = DistPolicy::kAll1D;
+  auto pl = analyze(test_mesh(), mopt);
+  for (const auto& c : pl.cand.cblk) EXPECT_EQ(c.dist, DistType::k1D);
+  mopt.policy = DistPolicy::kAll2D;
+  pl = analyze(test_mesh(), mopt);
+  for (const auto& c : pl.cand.cblk) EXPECT_EQ(c.dist, DistType::k2D);
+}
+
+TEST(TaskGraph, All1dHasOneTaskPerCblk) {
+  MappingOptions mopt;
+  mopt.nprocs = 4;
+  mopt.policy = DistPolicy::kAll1D;
+  const auto pl = analyze(test_mesh(), mopt);
+  EXPECT_EQ(pl.tg.ntask(), pl.symbol.ncblk);
+  for (const auto& t : pl.tg.tasks) EXPECT_EQ(t.type, TaskType::kComp1d);
+}
+
+TEST(TaskGraph, TwoDCblkTaskCountsMatchBlokCombinatorics) {
+  MappingOptions mopt;
+  mopt.nprocs = 8;
+  mopt.policy = DistPolicy::kAll2D;
+  const auto pl = analyze(test_mesh(), mopt);
+  idx_t expected = 0;
+  for (idx_t k = 0; k < pl.symbol.ncblk; ++k) {
+    const idx_t nb = pl.symbol.cblk_nblok(k) - 1;  // off-diagonal bloks
+    expected += 1 + nb + nb * (nb + 1) / 2;        // FACTOR + BDIVs + BMODs
+  }
+  EXPECT_EQ(pl.tg.ntask(), expected);
+}
+
+TEST(TaskGraph, FlopsIndependentOfDistribution) {
+  MappingOptions m1;
+  m1.nprocs = 8;
+  m1.policy = DistPolicy::kAll1D;
+  MappingOptions m2 = m1;
+  m2.policy = DistPolicy::kAll2D;
+  const auto p1 = analyze(test_mesh(), m1);
+  const auto p2 = analyze(test_mesh(), m2);
+  EXPECT_NEAR(p1.tg.total_flops() / p2.tg.total_flops(), 1.0, 1e-9);
+}
+
+TEST(TaskGraph, ContributionsComeFromEarlierCblks) {
+  MappingOptions mopt;
+  mopt.nprocs = 8;
+  const auto pl = analyze(test_mesh(), mopt);
+  for (idx_t t = 0; t < pl.tg.ntask(); ++t)
+    for (const auto& c : pl.tg.inputs[static_cast<std::size_t>(t)]) {
+      EXPECT_LT(pl.tg.tasks[static_cast<std::size_t>(c.source)].cblk,
+                pl.tg.tasks[static_cast<std::size_t>(t)].cblk);
+      EXPECT_GT(c.entries, 0);
+    }
+}
+
+TEST(Scheduler, EveryTaskMappedToACandidate) {
+  MappingOptions mopt;
+  mopt.nprocs = 8;
+  const auto pl = analyze(test_mesh(), mopt);
+  const auto sched = static_schedule(pl.tg, pl.cand, pl.model, 8);
+  std::set<idx_t> seen;
+  for (idx_t p = 0; p < 8; ++p)
+    for (const idx_t t : sched.kp[static_cast<std::size_t>(p)]) {
+      EXPECT_EQ(sched.proc[static_cast<std::size_t>(t)], p);
+      EXPECT_TRUE(seen.insert(t).second) << "task in two K_p vectors";
+    }
+  EXPECT_EQ(static_cast<idx_t>(seen.size()), pl.tg.ntask());
+  for (idx_t t = 0; t < pl.tg.ntask(); ++t) {
+    const auto& task = pl.tg.tasks[static_cast<std::size_t>(t)];
+    if (task.type == TaskType::kBmod) continue;  // bundled with its BDIV
+    const auto& c = pl.cand.cblk[static_cast<std::size_t>(task.cblk)];
+    EXPECT_GE(sched.proc[static_cast<std::size_t>(t)], c.fproc);
+    EXPECT_LE(sched.proc[static_cast<std::size_t>(t)], c.lproc);
+  }
+}
+
+TEST(Scheduler, PrioritiesRespectDependencies) {
+  MappingOptions mopt;
+  mopt.nprocs = 8;
+  const auto pl = analyze(test_mesh(), mopt);
+  const auto sched = static_schedule(pl.tg, pl.cand, pl.model, 8);
+  for (idx_t t = 0; t < pl.tg.ntask(); ++t) {
+    for (const auto& c : pl.tg.inputs[static_cast<std::size_t>(t)])
+      EXPECT_LT(sched.prio[static_cast<std::size_t>(c.source)],
+                sched.prio[static_cast<std::size_t>(t)]);
+    for (const auto& c : pl.tg.prec[static_cast<std::size_t>(t)])
+      EXPECT_LT(sched.prio[static_cast<std::size_t>(c.source)],
+                sched.prio[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(Scheduler, BmodRunsOnItsBdivProcessor) {
+  MappingOptions mopt;
+  mopt.nprocs = 8;
+  mopt.policy = DistPolicy::kAll2D;
+  const auto pl = analyze(test_mesh(), mopt);
+  const auto sched = static_schedule(pl.tg, pl.cand, pl.model, 8);
+  for (idx_t t = 0; t < pl.tg.ntask(); ++t) {
+    const auto& task = pl.tg.tasks[static_cast<std::size_t>(t)];
+    if (task.type != TaskType::kBmod) continue;
+    const idx_t bdiv_i =
+        pl.tg.blok_task[static_cast<std::size_t>(task.blok)];
+    EXPECT_EQ(sched.proc[static_cast<std::size_t>(t)],
+              sched.proc[static_cast<std::size_t>(bdiv_i)]);
+  }
+}
+
+TEST(Scheduler, OneProcMakespanEqualsTotalWorkPlusAggregation) {
+  MappingOptions mopt;
+  mopt.nprocs = 1;
+  const auto pl = analyze(test_mesh(), mopt);
+  const auto sched = static_schedule(pl.tg, pl.cand, pl.model, 1);
+  EXPECT_GE(sched.makespan, pl.tg.total_cost() * 0.999);
+  // No communication on one proc; only local scatter-adds on top of work.
+  EXPECT_LE(sched.makespan, pl.tg.total_cost() * 1.5);
+}
+
+TEST(Scheduler, MakespanShrinksWithMoreProcessors) {
+  std::vector<double> makespans;
+  for (const idx_t p : {1, 2, 4, 8}) {
+    MappingOptions mopt;
+    mopt.nprocs = p;
+    const auto pl = analyze(test_mesh(), mopt);
+    makespans.push_back(static_schedule(pl.tg, pl.cand, pl.model, p).makespan);
+  }
+  EXPECT_LT(makespans[1], makespans[0]);
+  EXPECT_LT(makespans[2], makespans[1]);
+  EXPECT_LT(makespans[3], makespans[2] * 1.05);  // may saturate but not blow up
+}
+
+TEST(Scheduler, GreedyBeatsRandomMapping) {
+  MappingOptions mopt;
+  mopt.nprocs = 8;
+  const auto pl = analyze(test_mesh(), mopt);
+  const auto greedy = static_schedule(pl.tg, pl.cand, pl.model, 8);
+  SchedulerOptions r;
+  r.strategy = MapStrategy::kRandom;
+  const auto random = static_schedule(pl.tg, pl.cand, pl.model, 8, r);
+  EXPECT_LT(greedy.makespan, random.makespan * 1.1);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  MappingOptions mopt;
+  mopt.nprocs = 4;
+  const auto pl = analyze(test_mesh(), mopt);
+  const auto s1 = static_schedule(pl.tg, pl.cand, pl.model, 4);
+  const auto s2 = static_schedule(pl.tg, pl.cand, pl.model, 4);
+  EXPECT_EQ(s1.proc, s2.proc);
+  EXPECT_EQ(s1.prio, s2.prio);
+  EXPECT_DOUBLE_EQ(s1.makespan, s2.makespan);
+}
+
+} // namespace
+} // namespace pastix

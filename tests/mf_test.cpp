@@ -1,0 +1,138 @@
+// Tests for the multifrontal LL^t baseline: factor values against the dense
+// Cholesky oracle, solve residuals, agreement with the fan-in solver, and
+// the parallel front model.
+#include <gtest/gtest.h>
+
+#include "dkernel/dense_matrix.hpp"
+#include "mf/model.hpp"
+#include "mf/multifrontal.hpp"
+#include "order/ordering.hpp"
+#include "simul/simulate.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+struct Setup {
+  SymSparse<double> permuted;
+  OrderingResult order;
+  SymbolMatrix symbol;
+};
+
+Setup prepare(const SymSparse<double>& a) {
+  Setup st;
+  st.order = compute_ordering(a.pattern);
+  st.permuted = permute(a, st.order.perm);
+  st.symbol = block_symbolic_factorization(st.order.permuted, st.order.rangtab);
+  return st;
+}
+
+TEST(Multifrontal, FactorMatchesDenseCholeskyOracle) {
+  const auto a = gen_grid_laplacian(9, 9);
+  const auto st = prepare(a);
+  MultifrontalSolver<double> mf(st.permuted, st.symbol);
+  mf.factorize();
+
+  DenseMatrix<double> d(a.n(), a.n());
+  for (idx_t j = 0; j < a.n(); ++j) {
+    d(j, j) = st.permuted.diag[static_cast<std::size_t>(j)];
+    for (idx_t q = st.permuted.pattern.colptr[j];
+         q < st.permuted.pattern.colptr[j + 1]; ++q)
+      d(st.permuted.pattern.rowind[q], j) = st.permuted.val[q];
+  }
+  dense_llt(a.n(), d.data(), d.ld());
+
+  double max_err = 0;
+  for (idx_t j = 0; j < a.n(); ++j)
+    for (idx_t i = j; i < a.n(); ++i)
+      max_err = std::max(max_err, std::abs(mf.factor_entry(i, j) - d(i, j)));
+  EXPECT_LT(max_err, 1e-10);
+}
+
+TEST(Multifrontal, SolveResidualsAcrossMatrices) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto a = gen_random_spd(140, 6, seed);
+    const auto st = prepare(a);
+    MultifrontalSolver<double> mf(st.permuted, st.symbol);
+    mf.factorize();
+    const auto b = reference_rhs(st.permuted);
+    const auto x = mf.solve(b);
+    EXPECT_LT(relative_residual(st.permuted, x, b), 1e-11) << "seed " << seed;
+  }
+}
+
+TEST(Multifrontal, ComplexSymmetricWorks) {
+  const auto a = to_complex_symmetric(gen_grid_laplacian(8, 8), 0.3, 5);
+  auto order = compute_ordering(a.pattern);
+  const auto permuted = permute(a, order.perm);
+  const auto symbol =
+      block_symbolic_factorization(order.permuted, order.rangtab);
+  MultifrontalSolver<std::complex<double>> mf(permuted, symbol);
+  mf.factorize();
+  const auto b = reference_rhs(permuted);
+  const auto x = mf.solve(b);
+  EXPECT_LT(relative_residual(permuted, x, b), 1e-11);
+}
+
+TEST(Multifrontal, AgreesWithFeMeshProblems) {
+  const auto a = gen_fe_mesh({7, 7, 3, 2, 1, 13});
+  const auto st = prepare(a);
+  MultifrontalSolver<double> mf(st.permuted, st.symbol);
+  mf.factorize();
+  const auto b = reference_rhs(st.permuted);
+  const auto x = mf.solve(b);
+  EXPECT_LT(relative_residual(st.permuted, x, b), 1e-11);
+}
+
+TEST(MfModel, OneTaskPerFrontWithParentEdges) {
+  const auto a = gen_grid_laplacian(12, 12);
+  const auto st = prepare(a);
+  const auto model = default_cost_model();
+  MappingOptions mopt;
+  mopt.nprocs = 4;
+  const auto cand = proportional_mapping(st.symbol, model, mopt);
+  const auto tg = build_mf_task_graph(st.symbol, cand, model);
+  EXPECT_EQ(tg.ntask(), st.symbol.ncblk);
+  // Every non-root front contributes its update matrix to its parent.
+  idx_t edges = 0;
+  for (const auto& in : tg.inputs) edges += static_cast<idx_t>(in.size());
+  idx_t roots = 0;
+  for (idx_t k = 0; k < st.symbol.ncblk; ++k)
+    if (st.symbol.cblk_parent(k) == kNone) ++roots;
+  EXPECT_EQ(edges, st.symbol.ncblk - roots);
+}
+
+TEST(MfModel, DistributedFrontsAreCheaperThanSequential) {
+  const auto a = gen_fe_mesh({8, 8, 4, 2, 1, 9});
+  const auto st = prepare(a);
+  const auto model = default_cost_model();
+  MappingOptions mopt;
+  mopt.nprocs = 16;
+  const auto cand = proportional_mapping(st.symbol, model, mopt);
+  const auto tg = build_mf_task_graph(st.symbol, cand, model);
+  for (idx_t k = 0; k < st.symbol.ncblk; ++k) {
+    const double seq = front_cost(st.symbol, k, model);
+    EXPECT_LE(tg.tasks[static_cast<std::size_t>(k)].cost, seq * 1.5 + 1e-3)
+        << "front " << k;
+  }
+}
+
+TEST(MfModel, SimulatedBaselineScalesWithProcs) {
+  const auto a = gen_fe_mesh({12, 12, 6, 2, 1, 3});
+  const auto st = prepare(a);
+  const auto model = default_cost_model();
+  std::vector<double> t;
+  for (const idx_t p : {1, 4, 16}) {
+    MappingOptions mopt;
+    mopt.nprocs = p;
+    const auto cand = proportional_mapping(st.symbol, model, mopt);
+    const auto tg = build_mf_task_graph(st.symbol, cand, model);
+    const auto sched = static_schedule(tg, cand, model, p);
+    t.push_back(simulate_schedule(tg, sched, model).makespan);
+  }
+  EXPECT_LT(t[1], t[0]);
+  EXPECT_LE(t[2], t[1] * 1.05);
+}
+
+} // namespace
+} // namespace pastix

@@ -1,0 +1,111 @@
+// Tests for the multilevel bisection engine (heavy-edge matching
+// coarsening, coarsest-level partition, refined uncoarsening).
+#include <gtest/gtest.h>
+
+#include "graph/multilevel.hpp"
+#include "graph/separator.hpp"
+#include "sparse/coo_builder.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+WeightedGraph grid_weighted(idx_t nx, idx_t ny, idx_t nz = 1) {
+  const auto a = gen_grid_laplacian(nx, ny, nz);
+  const auto g = graph_from_pattern(a.pattern);
+  std::vector<idx_t> all(static_cast<std::size_t>(g.n));
+  for (idx_t v = 0; v < g.n; ++v) all[static_cast<std::size_t>(v)] = v;
+  return weighted_from_subgraph(g, all);
+}
+
+TEST(Multilevel, WeightedSubgraphPreservesStructure) {
+  const auto a = gen_grid_laplacian(5, 5);
+  const auto g = graph_from_pattern(a.pattern);
+  const std::vector<idx_t> verts = {0, 1, 2, 5, 6, 7};  // 3x2 corner
+  const auto wg = weighted_from_subgraph(g, verts);
+  EXPECT_EQ(wg.n, 6);
+  // 3x2 grid: 7 edges, stored in both directions.
+  EXPECT_EQ(wg.xadj.back(), 14);
+  for (const idx_t w : wg.vwgt) EXPECT_EQ(w, 1);
+  for (const idx_t w : wg.ewgt) EXPECT_EQ(w, 1);
+}
+
+TEST(Multilevel, BisectionIsBalancedOnGrids) {
+  const auto wg = grid_weighted(30, 30);
+  const auto part = multilevel_bisection(wg, {});
+  big_t w0 = 0, w1 = 0;
+  for (idx_t v = 0; v < wg.n; ++v)
+    (part[static_cast<std::size_t>(v)] == 0 ? w0 : w1) +=
+        wg.vwgt[static_cast<std::size_t>(v)];
+  const big_t total = w0 + w1;
+  EXPECT_EQ(total, wg.total_vweight());
+  EXPECT_GT(w0, total / 3);
+  EXPECT_GT(w1, total / 3);
+}
+
+TEST(Multilevel, CutQualityNearOptimalOnGrid) {
+  // A 32x32 grid has an optimal bisection cut of 32; multilevel should land
+  // within a small factor.
+  const auto wg = grid_weighted(32, 32);
+  const auto part = multilevel_bisection(wg, {});
+  EXPECT_LE(bisection_cut(wg, part), 32 * 3);
+}
+
+TEST(Multilevel, BeatsOrMatchesFlatFmOnLargeGraphs) {
+  const auto a = gen_fe_mesh({14, 14, 4, 1, 1, 5});
+  const auto g = graph_from_pattern(a.pattern);
+  std::vector<idx_t> all(static_cast<std::size_t>(g.n));
+  for (idx_t v = 0; v < g.n; ++v) all[static_cast<std::size_t>(v)] = v;
+  std::vector<char> mask(static_cast<std::size_t>(g.n), 1);
+
+  SeparatorOptions with_ml;
+  SeparatorOptions without_ml;
+  without_ml.multilevel = false;
+  const auto sep_ml = find_vertex_separator(g, mask, all, with_ml);
+  const auto sep_flat = find_vertex_separator(g, mask, all, without_ml);
+  EXPECT_LE(sep_ml.size_sep, sep_flat.size_sep * 1.3 + 5);
+}
+
+TEST(Multilevel, HandlesCliqueWithoutStalling) {
+  // Cliques cannot be coarsened well (matching collapses them 2:1 but the
+  // coarse graph stays dense); the stall guard must terminate.
+  CooBuilder<double> b(64);
+  for (idx_t i = 0; i < 64; ++i) b.add(i, i, 64.0);
+  for (idx_t j = 0; j < 64; ++j)
+    for (idx_t i = j + 1; i < 64; ++i) b.add(i, j, -0.1);
+  const auto g = graph_from_pattern(b.build().pattern);
+  std::vector<idx_t> all(static_cast<std::size_t>(g.n));
+  for (idx_t v = 0; v < g.n; ++v) all[static_cast<std::size_t>(v)] = v;
+  const auto wg = weighted_from_subgraph(g, all);
+  MultilevelOptions opt;
+  opt.coarsen_until = 8;
+  const auto part = multilevel_bisection(wg, opt);
+  idx_t n0 = 0;
+  for (const auto p : part) n0 += (p == 0);
+  EXPECT_GT(n0, 0);
+  EXPECT_LT(n0, 64);
+}
+
+TEST(Multilevel, DeterministicForFixedSeed) {
+  const auto wg = grid_weighted(20, 20);
+  const auto p1 = multilevel_bisection(wg, {});
+  const auto p2 = multilevel_bisection(wg, {});
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(Multilevel, CoarseningRespectsVertexWeights) {
+  // Weighted vertices: one heavy vertex must not unbalance the bisection.
+  auto wg = grid_weighted(16, 16);
+  wg.vwgt[0] = 40;
+  const auto part = multilevel_bisection(wg, {});
+  big_t w0 = 0, w1 = 0;
+  for (idx_t v = 0; v < wg.n; ++v)
+    (part[static_cast<std::size_t>(v)] == 0 ? w0 : w1) +=
+        wg.vwgt[static_cast<std::size_t>(v)];
+  const double ratio = static_cast<double>(std::max(w0, w1)) /
+                       static_cast<double>(wg.total_vweight());
+  EXPECT_LT(ratio, 0.62);
+}
+
+} // namespace
+} // namespace pastix

@@ -1,0 +1,262 @@
+// Tests for the ordering phase: elimination tree, column counts, minimum
+// degree (incl. halo mode and the exact-degree oracle), nested dissection
+// and the supernode partition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "order/ordering.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+// Brute-force reference: column counts via explicit symbolic elimination.
+// struct(j) = rows of A(:,j) below j, merged with struct(c) \ {j} for every
+// child c whose first below-diagonal row is j.
+std::vector<idx_t> reference_counts(const SparsePattern& p) {
+  const idx_t n = p.n;
+  std::vector<std::vector<idx_t>> strct(static_cast<std::size_t>(n));
+  std::vector<idx_t> counts(static_cast<std::size_t>(n));
+  for (idx_t j = 0; j < n; ++j) {
+    std::vector<idx_t> rows(p.rowind.begin() + p.colptr[j],
+                            p.rowind.begin() + p.colptr[j + 1]);
+    for (idx_t c = 0; c < j; ++c)
+      if (!strct[static_cast<std::size_t>(c)].empty() &&
+          strct[static_cast<std::size_t>(c)].front() == j)
+        rows.insert(rows.end(), strct[static_cast<std::size_t>(c)].begin() + 1,
+                    strct[static_cast<std::size_t>(c)].end());
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    strct[static_cast<std::size_t>(j)] = std::move(rows);
+    counts[static_cast<std::size_t>(j)] =
+        static_cast<idx_t>(strct[static_cast<std::size_t>(j)].size()) + 1;
+  }
+  return counts;
+}
+
+std::vector<idx_t> reference_parent(const SparsePattern& p) {
+  const auto counts = reference_counts(p);
+  (void)counts;
+  // Recompute structures to read parents (first below-diagonal row).
+  const idx_t n = p.n;
+  std::vector<std::vector<idx_t>> strct(static_cast<std::size_t>(n));
+  std::vector<idx_t> parent(static_cast<std::size_t>(n), kNone);
+  for (idx_t j = 0; j < n; ++j) {
+    std::vector<idx_t> rows(p.rowind.begin() + p.colptr[j],
+                            p.rowind.begin() + p.colptr[j + 1]);
+    for (idx_t c = 0; c < j; ++c)
+      if (!strct[static_cast<std::size_t>(c)].empty() &&
+          strct[static_cast<std::size_t>(c)].front() == j)
+        rows.insert(rows.end(), strct[static_cast<std::size_t>(c)].begin() + 1,
+                    strct[static_cast<std::size_t>(c)].end());
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    if (!rows.empty()) parent[static_cast<std::size_t>(j)] = rows.front();
+    strct[static_cast<std::size_t>(j)] = std::move(rows);
+  }
+  return parent;
+}
+
+TEST(Etree, MatchesBruteForceOnRandomMatrices) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto a = gen_random_spd(60, 5, seed);
+    const auto parent = elimination_tree(a.pattern);
+    const auto expected = reference_parent(a.pattern);
+    EXPECT_EQ(parent, expected) << "seed " << seed;
+  }
+}
+
+TEST(Etree, PostorderIsAValidPostorder) {
+  const auto a = gen_random_spd(80, 4, 3);
+  const auto parent = elimination_tree(a.pattern);
+  const auto post = tree_postorder(parent);
+  std::vector<idx_t> position(post.size());
+  for (idx_t k = 0; k < static_cast<idx_t>(post.size()); ++k)
+    position[static_cast<std::size_t>(post[static_cast<std::size_t>(k)])] = k;
+  // Children must appear before parents.
+  for (idx_t v = 0; v < a.n(); ++v) {
+    if (parent[static_cast<std::size_t>(v)] == kNone) continue;
+    EXPECT_LT(position[static_cast<std::size_t>(v)],
+              position[static_cast<std::size_t>(
+                  parent[static_cast<std::size_t>(v)])]);
+  }
+}
+
+TEST(ColumnCounts, MatchBruteForceOnRandomMatrices) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto a = gen_random_spd(70, 5, seed + 10);
+    const auto parent = elimination_tree(a.pattern);
+    const auto post = tree_postorder(parent);
+    const auto counts = factor_column_counts(a.pattern, parent, post);
+    EXPECT_EQ(counts, reference_counts(a.pattern)) << "seed " << seed;
+  }
+}
+
+TEST(ColumnCounts, DiagonalMatrixHasUnitCounts) {
+  CooBuilder<double> b(5);
+  for (idx_t i = 0; i < 5; ++i) b.add(i, i, 1.0);
+  const auto a = b.build();
+  const auto s = scalar_symbol_stats(a.pattern);
+  EXPECT_EQ(s.nnz_l, 0);
+  EXPECT_EQ(s.opc, 5);
+}
+
+TEST(TreeDepths, PathTree) {
+  // parent chain 0 -> 1 -> 2 -> 3 (root).
+  const std::vector<idx_t> parent = {1, 2, 3, kNone};
+  const auto d = tree_depths(parent);
+  EXPECT_EQ(d, (std::vector<idx_t>{3, 2, 1, 0}));
+}
+
+// Fill of an ordering = NNZ_L of the permuted pattern.
+big_t fill_of(const SparsePattern& p, const Permutation& perm) {
+  return scalar_symbol_stats(permute_pattern(p, perm)).nnz_l;
+}
+
+TEST(MinDegree, ProducesValidEliminationSequence) {
+  const auto a = gen_random_spd(100, 6, 21);
+  const auto g = graph_from_pattern(a.pattern);
+  const auto seq = min_degree_order(g, g.n);
+  std::vector<idx_t> sorted(seq);
+  std::sort(sorted.begin(), sorted.end());
+  for (idx_t v = 0; v < g.n; ++v) EXPECT_EQ(sorted[static_cast<std::size_t>(v)], v);
+}
+
+TEST(MinDegree, BeatsNaturalOrderOnGrids) {
+  const auto a = gen_grid_laplacian(15, 15);
+  const auto g = graph_from_pattern(a.pattern);
+  const auto seq = min_degree_order(g, g.n);
+  std::vector<idx_t> perm(seq.size());
+  for (idx_t k = 0; k < static_cast<idx_t>(seq.size()); ++k)
+    perm[static_cast<std::size_t>(seq[static_cast<std::size_t>(k)])] = k;
+  const big_t md_fill = fill_of(a.pattern, Permutation::from_perm(perm));
+  const big_t natural_fill = scalar_symbol_stats(a.pattern).nnz_l;
+  EXPECT_LT(md_fill, natural_fill);
+}
+
+TEST(MinDegree, ApproximateTracksExactDegreeQuality) {
+  // AMD's approximation may differ, but resulting fill should be in the
+  // same ballpark as the exact-degree version.
+  const auto a = gen_grid_laplacian(12, 12);
+  const auto g = graph_from_pattern(a.pattern);
+  auto fill_for = [&](bool approx) {
+    MinDegreeOptions opt;
+    opt.approximate_degree = approx;
+    const auto seq = min_degree_order(g, g.n, opt);
+    std::vector<idx_t> perm(seq.size());
+    for (idx_t k = 0; k < static_cast<idx_t>(seq.size()); ++k)
+      perm[static_cast<std::size_t>(seq[static_cast<std::size_t>(k)])] = k;
+    return fill_of(a.pattern, Permutation::from_perm(perm));
+  };
+  const big_t fa = fill_for(true), fe = fill_for(false);
+  EXPECT_LT(fa, fe * 2);
+  EXPECT_LT(fe, fa * 2);
+}
+
+TEST(MinDegree, HaloVerticesAreNeverEliminated) {
+  const auto a = gen_grid_laplacian(8, 8);
+  const auto g = graph_from_pattern(a.pattern);
+  const idx_t ninterior = 40;
+  const auto seq = min_degree_order(g, ninterior);
+  EXPECT_EQ(static_cast<idx_t>(seq.size()), ninterior);
+  for (const idx_t v : seq) EXPECT_LT(v, ninterior);
+}
+
+TEST(NestedDissection, ValidPermutationOnMeshes) {
+  const auto a = gen_grid_laplacian(20, 20);
+  const auto g = graph_from_pattern(a.pattern);
+  const auto nd = nested_dissection(g, {});
+  std::vector<idx_t> sorted(nd.perm.perm);
+  std::sort(sorted.begin(), sorted.end());
+  for (idx_t v = 0; v < g.n; ++v) EXPECT_EQ(sorted[static_cast<std::size_t>(v)], v);
+  EXPECT_GT(nd.num_separators, 0);
+}
+
+TEST(NestedDissection, HandlesDisconnectedGraphs) {
+  CooBuilder<double> b(600);
+  for (idx_t i = 0; i < 600; ++i) b.add(i, i, 2.0);
+  for (idx_t i = 0; i + 1 < 300; ++i) b.add(i + 1, i, -1.0);       // path A
+  for (idx_t i = 300; i + 1 < 600; ++i) b.add(i + 1, i, -1.0);     // path B
+  const auto g = graph_from_pattern(b.build().pattern);
+  NdOptions opt;
+  opt.leaf_size = 50;
+  const auto nd = nested_dissection(g, opt);
+  std::vector<idx_t> sorted(nd.perm.perm);
+  std::sort(sorted.begin(), sorted.end());
+  for (idx_t v = 0; v < 600; ++v) EXPECT_EQ(sorted[static_cast<std::size_t>(v)], v);
+}
+
+TEST(NestedDissection, ReducesFillVsNaturalOn3d) {
+  const auto a = gen_grid_laplacian(8, 8, 8);
+  const auto g = graph_from_pattern(a.pattern);
+  NdOptions opt;
+  opt.leaf_size = 60;
+  const auto nd = nested_dissection(g, opt);
+  EXPECT_LT(fill_of(a.pattern, nd.perm),
+            scalar_symbol_stats(a.pattern).nnz_l);
+}
+
+TEST(Supernodes, FundamentalPartitionCoversAllColumns) {
+  const auto a = gen_grid_laplacian(10, 10);
+  const auto res = compute_ordering(a.pattern);
+  EXPECT_EQ(res.rangtab.front(), 0);
+  EXPECT_EQ(res.rangtab.back(), a.n());
+  for (std::size_t k = 0; k + 1 < res.rangtab.size(); ++k)
+    EXPECT_LT(res.rangtab[k], res.rangtab[k + 1]);
+}
+
+TEST(Supernodes, FundamentalCriterionHoldsInsideBlocks) {
+  const auto a = gen_grid_laplacian(10, 10);
+  OrderingOptions opt;
+  opt.amalgamation.always_merge_width = 0;  // disable amalgamation
+  opt.amalgamation.fill_ratio = 0.0;
+  const auto res = compute_ordering(a.pattern, opt);
+  for (std::size_t k = 0; k + 1 < res.rangtab.size(); ++k)
+    for (idx_t j = res.rangtab[k] + 1; j < res.rangtab[k + 1]; ++j) {
+      EXPECT_EQ(res.parent[static_cast<std::size_t>(j - 1)], j);
+      EXPECT_EQ(res.counts[static_cast<std::size_t>(j)],
+                res.counts[static_cast<std::size_t>(j - 1)] - 1);
+    }
+}
+
+TEST(Supernodes, AmalgamationReducesBlockCount) {
+  const auto a = gen_grid_laplacian(16, 16);
+  OrderingOptions strict;
+  strict.amalgamation.always_merge_width = 0;
+  strict.amalgamation.fill_ratio = 0.0;
+  OrderingOptions relaxed;  // defaults merge
+  const auto rs = compute_ordering(a.pattern, strict);
+  const auto rr = compute_ordering(a.pattern, relaxed);
+  EXPECT_LT(rr.rangtab.size(), rs.rangtab.size());
+  EXPECT_EQ(rr.scalar.nnz_l, rs.scalar.nnz_l);  // scalar metrics unaffected
+}
+
+TEST(Ordering, HybridBeatsPureNdOrTiesOnShells) {
+  FeMeshSpec spec;
+  spec.nx = 16;
+  spec.ny = 16;
+  spec.nz = 2;
+  spec.dof = 2;
+  const auto a = gen_fe_mesh(spec);
+  OrderingOptions hybrid;
+  OrderingOptions pure;
+  pure.method = OrderingMethod::kPureNd;
+  const auto rh = compute_ordering(a.pattern, hybrid);
+  const auto rp = compute_ordering(a.pattern, pure);
+  // Hybrid HAMD leaves should not be dramatically worse; typically better.
+  EXPECT_LT(rh.scalar.nnz_l, static_cast<big_t>(1.5 * rp.scalar.nnz_l));
+}
+
+TEST(Ordering, MinDegreeMethodWorksEndToEnd) {
+  const auto a = gen_grid_laplacian(12, 12);
+  OrderingOptions opt;
+  opt.method = OrderingMethod::kMinDegree;
+  const auto res = compute_ordering(a.pattern, opt);
+  EXPECT_EQ(res.rangtab.back(), a.n());
+  EXPECT_GT(res.scalar.nnz_l, 0);
+}
+
+} // namespace
+} // namespace pastix

@@ -1,0 +1,105 @@
+// Tests for the discrete-event replay simulator: consistency with the
+// scheduler's own makespan, scaling behaviour, sensitivity to the network
+// model, and bookkeeping invariants.
+#include <gtest/gtest.h>
+
+#include "map/scheduler.hpp"
+#include "order/ordering.hpp"
+#include "simul/simulate.hpp"
+#include "sparse/gen.hpp"
+#include "symbolic/split.hpp"
+
+namespace pastix {
+namespace {
+
+struct Pipeline {
+  OrderingResult order;
+  SymbolMatrix symbol;
+  CostModel model = default_cost_model();
+  CandidateMapping cand;
+  TaskGraph tg;
+  Schedule sched;
+};
+
+Pipeline run(idx_t nprocs, DistPolicy policy = DistPolicy::kMixed) {
+  Pipeline pl;
+  const auto a = gen_fe_mesh({12, 12, 6, 2, 1, 3});
+  pl.order = compute_ordering(a.pattern);
+  SplitOptions sopt;
+  sopt.block_size = 32;
+  pl.symbol = split_symbol(
+      block_symbolic_factorization(pl.order.permuted, pl.order.rangtab), sopt);
+  MappingOptions mopt;
+  mopt.nprocs = nprocs;
+  mopt.policy = policy;
+  pl.cand = proportional_mapping(pl.symbol, pl.model, mopt);
+  pl.tg = build_task_graph(pl.symbol, pl.cand, pl.model);
+  pl.sched = static_schedule(pl.tg, pl.cand, pl.model, nprocs);
+  return pl;
+}
+
+TEST(Simulator, MatchesSchedulerEstimate) {
+  // The replay uses the same machine model as the greedy mapper, so the
+  // makespans must agree tightly.
+  for (const idx_t p : {1, 4, 8}) {
+    const auto pl = run(p);
+    const auto sim = simulate_schedule(pl.tg, pl.sched, pl.model);
+    EXPECT_NEAR(sim.makespan, pl.sched.makespan, 0.05 * pl.sched.makespan)
+        << "P=" << p;
+  }
+}
+
+TEST(Simulator, BusyPlusIdleEqualsMakespan) {
+  const auto pl = run(6);
+  const auto sim = simulate_schedule(pl.tg, pl.sched, pl.model);
+  for (idx_t p = 0; p < 6; ++p)
+    EXPECT_NEAR(sim.busy[static_cast<std::size_t>(p)] +
+                    sim.idle[static_cast<std::size_t>(p)],
+                sim.makespan, 1e-12);
+}
+
+TEST(Simulator, SequentialRunHasNoCommunication) {
+  const auto pl = run(1);
+  const auto sim = simulate_schedule(pl.tg, pl.sched, pl.model);
+  EXPECT_EQ(sim.messages, 0);
+  EXPECT_DOUBLE_EQ(sim.comm_entries, 0.0);
+  EXPECT_NEAR(sim.idle[0], 0.0, 1e-12);
+}
+
+TEST(Simulator, SpeedupIsMonotoneThenSaturates) {
+  std::vector<double> t;
+  for (const idx_t p : {1, 2, 4, 8, 16}) {
+    const auto pl = run(p);
+    t.push_back(simulate_schedule(pl.tg, pl.sched, pl.model).makespan);
+  }
+  EXPECT_LT(t[1], t[0]);
+  EXPECT_LT(t[2], t[1]);
+  EXPECT_LT(t[3], t[2] * 1.1);
+  // Speedup never exceeds P.
+  EXPECT_GT(t[4], t[0] / 16.0 * 0.99);
+}
+
+TEST(Simulator, SlowerNetworkNeverHelps) {
+  const auto pl = run(8);
+  CostModel slow = pl.model;
+  slow.net.latency *= 100;
+  slow.net.per_byte *= 100;
+  const auto fast_sim = simulate_schedule(pl.tg, pl.sched, pl.model);
+  const auto slow_sim = simulate_schedule(pl.tg, pl.sched, slow);
+  EXPECT_GE(slow_sim.makespan, fast_sim.makespan);
+}
+
+TEST(Simulator, GflopsAndEfficiencyAreConsistent) {
+  const auto pl = run(4);
+  const auto sim = simulate_schedule(pl.tg, pl.sched, pl.model);
+  const double flops = pl.tg.total_flops();
+  EXPECT_GT(sim.gflops(flops), 0.0);
+  const auto seq = run(1);
+  const auto seq_sim = simulate_schedule(seq.tg, seq.sched, seq.model);
+  const double eff = sim.efficiency(seq_sim.makespan);
+  EXPECT_GT(eff, 0.05);
+  EXPECT_LE(eff, 1.05);
+}
+
+} // namespace
+} // namespace pastix

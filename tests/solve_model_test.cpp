@@ -1,0 +1,89 @@
+// Tests for the solve-phase performance model: structural invariants,
+// consistency with the simulator, and the memory-bound scaling shape.
+#include <gtest/gtest.h>
+
+#include "order/ordering.hpp"
+#include "simul/simulate.hpp"
+#include "solver/solve_model.hpp"
+#include "sparse/gen.hpp"
+#include "symbolic/split.hpp"
+
+namespace pastix {
+namespace {
+
+struct Pipeline {
+  OrderingResult order;
+  SymbolMatrix symbol;
+  CostModel model = default_cost_model();
+  CandidateMapping cand;
+  TaskGraph tg;
+  Schedule sched;
+  SolveModel solve;
+};
+
+Pipeline run(idx_t nprocs) {
+  Pipeline pl;
+  const auto a = gen_fe_mesh({10, 10, 5, 2, 1, 3});
+  pl.order = compute_ordering(a.pattern);
+  pl.symbol = split_symbol(
+      block_symbolic_factorization(pl.order.permuted, pl.order.rangtab), {});
+  MappingOptions mopt;
+  mopt.nprocs = nprocs;
+  pl.cand = proportional_mapping(pl.symbol, pl.model, mopt);
+  pl.tg = build_task_graph(pl.symbol, pl.cand, pl.model);
+  pl.sched = static_schedule(pl.tg, pl.cand, pl.model, nprocs);
+  pl.solve = build_solve_model(pl.symbol, pl.tg, pl.sched, pl.model);
+  return pl;
+}
+
+TEST(SolveModel, TaskLayoutAndPriorities) {
+  const auto pl = run(4);
+  const idx_t expected = 2 * pl.symbol.ncblk + 2 * pl.symbol.nblok();
+  EXPECT_EQ(pl.solve.tg.ntask(), expected);
+  // Priorities are a permutation and respect all dependencies.
+  for (idx_t t = 0; t < pl.solve.tg.ntask(); ++t) {
+    for (const auto& c : pl.solve.tg.inputs[static_cast<std::size_t>(t)])
+      EXPECT_LT(pl.solve.sched.prio[static_cast<std::size_t>(c.source)],
+                pl.solve.sched.prio[static_cast<std::size_t>(t)]);
+    for (const auto& c : pl.solve.tg.prec[static_cast<std::size_t>(t)])
+      EXPECT_LT(pl.solve.sched.prio[static_cast<std::size_t>(c.source)],
+                pl.solve.sched.prio[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST(SolveModel, SimulatesWithoutCommunicationOnOneProc) {
+  const auto pl = run(1);
+  const auto sim = simulate_schedule(pl.solve.tg, pl.solve.sched, pl.model);
+  EXPECT_EQ(sim.messages, 0);
+  EXPECT_GT(sim.makespan, 0);
+  EXPECT_NEAR(sim.makespan, pl.solve.tg.total_cost(), 0.5 * sim.makespan);
+}
+
+TEST(SolveModel, SolveIsMuchCheaperThanFactorization) {
+  const auto pl = run(1);
+  const auto fact = simulate_schedule(pl.tg, pl.sched, pl.model);
+  const auto solve = simulate_schedule(pl.solve.tg, pl.solve.sched, pl.model);
+  EXPECT_LT(solve.makespan, fact.makespan / 5);
+}
+
+TEST(SolveModel, SolveScalesWorseThanFactorization) {
+  const auto p1 = run(1);
+  const auto p16 = run(16);
+  const double fact_speedup =
+      simulate_schedule(p1.tg, p1.sched, p1.model).makespan /
+      simulate_schedule(p16.tg, p16.sched, p16.model).makespan;
+  const double solve_speedup =
+      simulate_schedule(p1.solve.tg, p1.solve.sched, p1.model).makespan /
+      simulate_schedule(p16.solve.tg, p16.solve.sched, p16.model).makespan;
+  EXPECT_GT(fact_speedup, 2.0);  // small mesh saturates early
+  EXPECT_LT(solve_speedup, fact_speedup);
+}
+
+TEST(SolveModel, FlopsMatchTaskGraphTotals) {
+  const auto pl = run(2);
+  EXPECT_NEAR(pl.solve.tg.total_flops(), solve_flops(pl.symbol),
+              0.01 * solve_flops(pl.symbol));
+}
+
+} // namespace
+} // namespace pastix

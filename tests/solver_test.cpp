@@ -1,0 +1,225 @@
+// Tests for the distributed fan-in LDL^t solver: factor values against a
+// dense reference, residuals of the full solve, agreement across processor
+// counts and distribution policies, real and complex scalars.
+#include <gtest/gtest.h>
+
+#include "dkernel/dense_matrix.hpp"
+#include "order/ordering.hpp"
+#include "solver/fanin.hpp"
+#include "sparse/gen.hpp"
+#include "symbolic/split.hpp"
+
+namespace pastix {
+namespace {
+
+using C = std::complex<double>;
+
+template <class T>
+struct Setup {
+  SymSparse<T> permuted;
+  OrderingResult order;
+  SymbolMatrix symbol;
+  CostModel model = default_cost_model();
+  CandidateMapping cand;
+  TaskGraph tg;
+  Schedule sched;
+};
+
+template <class T>
+Setup<T> prepare(const SymSparse<T>& a, idx_t nprocs, DistPolicy policy,
+                 idx_t block_size = 16) {
+  Setup<T> st;
+  st.order = compute_ordering(a.pattern);
+  st.permuted = permute(a, st.order.perm);
+  SplitOptions sopt;
+  sopt.block_size = block_size;
+  st.symbol = split_symbol(
+      block_symbolic_factorization(st.order.permuted, st.order.rangtab), sopt);
+  MappingOptions mopt;
+  mopt.nprocs = nprocs;
+  mopt.policy = policy;
+  mopt.min_cand_2d = 2;
+  mopt.min_width_2d = 8;
+  st.cand = proportional_mapping(st.symbol, st.model, mopt);
+  st.tg = build_task_graph(st.symbol, st.cand, st.model);
+  st.sched = static_schedule(st.tg, st.cand, st.model, nprocs);
+  return st;
+}
+
+/// Dense LDL^t of the permuted matrix — the factor-value oracle.
+template <class T>
+DenseMatrix<T> dense_oracle(const SymSparse<T>& permuted) {
+  const idx_t n = permuted.n();
+  DenseMatrix<T> d(n, n);
+  for (idx_t j = 0; j < n; ++j) {
+    d(j, j) = permuted.diag[static_cast<std::size_t>(j)];
+    for (idx_t q = permuted.pattern.colptr[j]; q < permuted.pattern.colptr[j + 1];
+         ++q)
+      d(permuted.pattern.rowind[q], j) = permuted.val[q];
+  }
+  dense_ldlt(n, d.data(), d.ld());
+  return d;
+}
+
+template <class T>
+void expect_factor_matches_oracle(const SymSparse<T>& a, idx_t nprocs,
+                                  DistPolicy policy) {
+  auto st = prepare(a, nprocs, policy);
+  FaninSolver<T> solver(st.permuted, st.symbol, st.tg, st.sched);
+  rt::Comm comm(static_cast<int>(nprocs));
+  solver.factorize(comm);
+  const auto oracle = dense_oracle(st.permuted);
+  const idx_t n = a.n();
+  double max_err = 0;
+  for (idx_t j = 0; j < n; ++j) {
+    max_err = std::max(max_err,
+                       std::sqrt(abs2(solver.diag_entry(j) - oracle(j, j))));
+    for (idx_t i = j + 1; i < n; ++i) {
+      const T mine = solver.factor_entry(i, j);
+      // Structural zeros inside amalgamated blocks must compute to ~0; the
+      // oracle has exact values everywhere.
+      max_err = std::max(max_err, std::sqrt(abs2(mine - oracle(i, j))));
+    }
+  }
+  EXPECT_LT(max_err, 1e-9) << "nprocs=" << nprocs;
+}
+
+TEST(FaninSolver, FactorMatchesDenseOracleSequential) {
+  expect_factor_matches_oracle(gen_grid_laplacian(9, 9), 1, DistPolicy::kMixed);
+}
+
+TEST(FaninSolver, FactorMatchesDenseOracle1dParallel) {
+  expect_factor_matches_oracle(gen_grid_laplacian(10, 10), 4,
+                               DistPolicy::kAll1D);
+}
+
+TEST(FaninSolver, FactorMatchesDenseOracle2dParallel) {
+  expect_factor_matches_oracle(gen_grid_laplacian(10, 10), 4,
+                               DistPolicy::kAll2D);
+}
+
+TEST(FaninSolver, FactorMatchesDenseOracleMixed) {
+  expect_factor_matches_oracle(gen_fe_mesh({5, 5, 3, 2, 1, 7}), 6,
+                               DistPolicy::kMixed);
+}
+
+TEST(FaninSolver, ComplexSymmetricFactorMatchesOracle) {
+  const auto a =
+      to_complex_symmetric(gen_grid_laplacian(8, 8), 0.4, 11);
+  expect_factor_matches_oracle(a, 3, DistPolicy::kMixed);
+}
+
+// Property sweep: P x policy x matrix family, checked via solve residuals.
+struct SweepParam {
+  idx_t nprocs;
+  DistPolicy policy;
+};
+
+class SolverSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SolverSweep, ResidualIsTiny) {
+  const auto [nprocs, policy] = GetParam();
+  const auto a = gen_fe_mesh({6, 6, 4, 2, 1, 21});
+  auto st = prepare(a, nprocs, policy);
+  FaninSolver<double> solver(st.permuted, st.symbol, st.tg, st.sched);
+  rt::Comm comm(static_cast<int>(nprocs));
+  solver.factorize(comm);
+  const auto b = reference_rhs(st.permuted);
+  const auto x = solver.solve(comm, b);
+  EXPECT_LT(relative_residual(st.permuted, x, b), 1e-11)
+      << "nprocs=" << nprocs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProcsAndPolicies, SolverSweep,
+    ::testing::Values(SweepParam{1, DistPolicy::kMixed},
+                      SweepParam{2, DistPolicy::kMixed},
+                      SweepParam{3, DistPolicy::kMixed},
+                      SweepParam{4, DistPolicy::kMixed},
+                      SweepParam{7, DistPolicy::kMixed},
+                      SweepParam{8, DistPolicy::kMixed},
+                      SweepParam{2, DistPolicy::kAll1D},
+                      SweepParam{5, DistPolicy::kAll1D},
+                      SweepParam{8, DistPolicy::kAll1D},
+                      SweepParam{2, DistPolicy::kAll2D},
+                      SweepParam{5, DistPolicy::kAll2D},
+                      SweepParam{8, DistPolicy::kAll2D}),
+    [](const auto& info) {
+      const char* pol =
+          info.param.policy == DistPolicy::kMixed
+              ? "Mixed"
+              : (info.param.policy == DistPolicy::kAll1D ? "All1D" : "All2D");
+      return std::string(pol) + "P" + std::to_string(info.param.nprocs);
+    });
+
+// Random SPD matrices across seeds (structure fuzzing).
+class SolverRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverRandom, RandomSpdResiduals) {
+  const auto a = gen_random_spd(150, 6, static_cast<std::uint64_t>(GetParam()));
+  auto st = prepare(a, 4, DistPolicy::kMixed);
+  FaninSolver<double> solver(st.permuted, st.symbol, st.tg, st.sched);
+  rt::Comm comm(4);
+  solver.factorize(comm);
+  const auto b = reference_rhs(st.permuted);
+  const auto x = solver.solve(comm, b);
+  EXPECT_LT(relative_residual(st.permuted, x, b), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverRandom, ::testing::Range(1, 9));
+
+TEST(FaninSolver, ParallelFactorIdenticalAcrossProcCounts) {
+  // No pivoting, deterministic schedule: the factors for P=1 and P=6 may
+  // differ only by floating-point summation order.
+  const auto a = gen_grid_laplacian(12, 12);
+  auto s1 = prepare(a, 1, DistPolicy::kMixed);
+  auto s6 = prepare(a, 6, DistPolicy::kMixed);
+  FaninSolver<double> f1(s1.permuted, s1.symbol, s1.tg, s1.sched);
+  FaninSolver<double> f6(s6.permuted, s6.symbol, s6.tg, s6.sched);
+  rt::Comm c1(1), c6(6);
+  f1.factorize(c1);
+  f6.factorize(c6);
+  double max_diff = 0;
+  for (idx_t j = 0; j < a.n(); ++j)
+    max_diff = std::max(max_diff,
+                        std::abs(f1.diag_entry(j) - f6.diag_entry(j)));
+  EXPECT_LT(max_diff, 1e-10);
+}
+
+TEST(FaninSolver, ComplexSolveResidual) {
+  const auto a = to_complex_symmetric(gen_fe_mesh({6, 6, 3, 2, 1, 5}), 0.3, 17);
+  auto st = prepare(a, 4, DistPolicy::kMixed);
+  FaninSolver<C> solver(st.permuted, st.symbol, st.tg, st.sched);
+  rt::Comm comm(4);
+  solver.factorize(comm);
+  const auto b = reference_rhs(st.permuted);
+  const auto x = solver.solve(comm, b);
+  EXPECT_LT(relative_residual(st.permuted, x, b), 1e-11);
+}
+
+TEST(FaninSolver, SolveBeforeFactorizeThrows) {
+  const auto a = gen_grid_laplacian(5, 5);
+  auto st = prepare(a, 1, DistPolicy::kMixed);
+  FaninSolver<double> solver(st.permuted, st.symbol, st.tg, st.sched);
+  rt::Comm comm(1);
+  std::vector<double> b(static_cast<std::size_t>(a.n()), 1.0);
+  EXPECT_THROW(solver.solve(comm, b), Error);
+}
+
+TEST(FaninSolver, MultipleRhsSolvesReuseFactor) {
+  const auto a = gen_grid_laplacian(8, 8);
+  auto st = prepare(a, 3, DistPolicy::kMixed);
+  FaninSolver<double> solver(st.permuted, st.symbol, st.tg, st.sched);
+  rt::Comm comm(3);
+  solver.factorize(comm);
+  for (int rhs = 0; rhs < 3; ++rhs) {
+    std::vector<double> b(static_cast<std::size_t>(a.n()));
+    for (idx_t i = 0; i < a.n(); ++i)
+      b[static_cast<std::size_t>(i)] = std::sin(0.1 * i + rhs);
+    const auto x = solver.solve(comm, b);
+    EXPECT_LT(relative_residual(st.permuted, x, b), 1e-11) << "rhs " << rhs;
+  }
+}
+
+} // namespace
+} // namespace pastix

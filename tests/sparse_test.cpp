@@ -1,0 +1,224 @@
+// Unit tests for the sparse-matrix substrate: COO assembly, SpMV, symmetric
+// permutation, MatrixMarket round trips, generators and the named suite.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/coo_builder.hpp"
+#include "sparse/gen.hpp"
+#include "sparse/io.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/suite.hpp"
+
+namespace pastix {
+namespace {
+
+TEST(CooBuilder, AssemblesCanonicalLowerTriangle) {
+  CooBuilder<double> b(4);
+  b.add(0, 0, 2.0);
+  b.add(1, 1, 3.0);
+  b.add(2, 2, 4.0);
+  b.add(3, 3, 5.0);
+  b.add(0, 2, -1.0);  // upper entry, must be mirrored to (2,0)
+  b.add(3, 1, -2.0);
+  const auto m = b.build();
+  EXPECT_EQ(m.n(), 4);
+  EXPECT_EQ(m.nnz_offdiag(), 2);
+  EXPECT_EQ(m.pattern.rowind[m.pattern.colptr[0]], 2);
+  EXPECT_DOUBLE_EQ(m.val[m.pattern.colptr[0]], -1.0);
+  EXPECT_EQ(m.pattern.rowind[m.pattern.colptr[1]], 3);
+  EXPECT_DOUBLE_EQ(m.diag[2], 4.0);
+}
+
+TEST(CooBuilder, SumsDuplicates) {
+  CooBuilder<double> b(3);
+  b.add(1, 0, 1.0);
+  b.add(0, 1, 2.5);  // same symmetric entry
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.0);
+  const auto m = b.build();
+  EXPECT_EQ(m.nnz_offdiag(), 1);
+  EXPECT_DOUBLE_EQ(m.val[0], 3.5);
+  EXPECT_DOUBLE_EQ(m.diag[0], 3.0);
+}
+
+TEST(CooBuilder, RejectsOutOfRange) {
+  CooBuilder<double> b(3);
+  EXPECT_THROW(b.add(3, 0, 1.0), Error);
+  EXPECT_THROW(b.add(0, -1, 1.0), Error);
+}
+
+TEST(Spmv, MatchesDenseReference) {
+  CooBuilder<double> b(3);
+  b.add(0, 0, 4.0);
+  b.add(1, 1, 5.0);
+  b.add(2, 2, 6.0);
+  b.add(1, 0, 1.0);
+  b.add(2, 0, 2.0);
+  b.add(2, 1, 3.0);
+  const auto m = b.build();
+  // Dense: [4 1 2; 1 5 3; 2 3 6] * [1 2 3]^t = [12, 20, 26]
+  const std::vector<double> x = {1, 2, 3};
+  std::vector<double> y(3);
+  spmv(m, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 20.0);
+  EXPECT_DOUBLE_EQ(y[2], 26.0);
+}
+
+TEST(Spmv, ComplexSymmetricDoesNotConjugate) {
+  using C = std::complex<double>;
+  CooBuilder<C> b(2);
+  b.add(0, 0, C(1, 0));
+  b.add(1, 1, C(1, 0));
+  b.add(1, 0, C(0, 1));  // A(0,1) = A(1,0) = i, not -i
+  const auto m = b.build();
+  const std::vector<C> x = {C(1, 0), C(0, 0)};
+  std::vector<C> y(2);
+  spmv(m, x.data(), y.data());
+  EXPECT_EQ(y[1], C(0, 1));
+}
+
+TEST(Permutation, RoundTripsAndComposes) {
+  const auto p = Permutation::from_perm({2, 0, 1});
+  EXPECT_EQ(p.invp[2], 0);
+  EXPECT_EQ(p.invp[0], 1);
+  const auto id = p.after(Permutation::from_perm({1, 2, 0}));
+  // id(old) = p(other(old)): other(0)=1 -> p(1)=0, so id(0)=0 etc.
+  EXPECT_EQ(id.perm[0], 0);
+  EXPECT_EQ(id.perm[1], 1);
+  EXPECT_EQ(id.perm[2], 2);
+}
+
+TEST(Permutation, RejectsNonBijection) {
+  EXPECT_THROW(Permutation::from_perm({0, 0, 1}), Error);
+  EXPECT_THROW(Permutation::from_perm({0, 3, 1}), Error);
+}
+
+TEST(Permute, PreservesSpmv) {
+  const auto a = gen_random_spd(50, 6, 7);
+  const auto p = Permutation::from_perm([] {
+    std::vector<idx_t> v(50);
+    for (idx_t i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = (i * 7) % 50;
+    return v;
+  }());
+  const auto b = permute(a, p);
+  std::vector<double> x(50), ax(50), bx(50);
+  for (idx_t i = 0; i < 50; ++i) x[static_cast<std::size_t>(i)] = 1.0 + i;
+  spmv(a, x.data(), ax.data());
+  const auto px = permute_vector(x, p);
+  spmv(b, px.data(), bx.data());
+  const auto back = unpermute_vector(bx, p);
+  for (idx_t i = 0; i < 50; ++i)
+    EXPECT_NEAR(back[static_cast<std::size_t>(i)], ax[static_cast<std::size_t>(i)],
+                1e-12);
+}
+
+TEST(Generators, GridLaplacianShape) {
+  const auto a = gen_grid_laplacian(4, 4, 1);
+  EXPECT_EQ(a.n(), 16);
+  // 2D 4x4 grid: 2*4*3 = 24 edges.
+  EXPECT_EQ(a.nnz_offdiag(), 24);
+  EXPECT_DOUBLE_EQ(a.diag[0], 5.0);
+}
+
+TEST(Generators, FeMeshIsDiagonallyDominant) {
+  FeMeshSpec spec;
+  spec.nx = 4;
+  spec.ny = 3;
+  spec.nz = 2;
+  spec.dof = 3;
+  const auto a = gen_fe_mesh(spec);
+  EXPECT_EQ(a.n(), spec.num_unknowns());
+  std::vector<double> offsum(static_cast<std::size_t>(a.n()), 0.0);
+  for (idx_t j = 0; j < a.n(); ++j)
+    for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q) {
+      offsum[static_cast<std::size_t>(j)] += std::abs(a.val[q]);
+      offsum[static_cast<std::size_t>(a.pattern.rowind[q])] += std::abs(a.val[q]);
+    }
+  for (idx_t i = 0; i < a.n(); ++i)
+    EXPECT_GT(a.diag[static_cast<std::size_t>(i)],
+              offsum[static_cast<std::size_t>(i)]);
+}
+
+TEST(Generators, DeterministicForFixedSeed) {
+  FeMeshSpec spec;
+  spec.seed = 123;
+  const auto a = gen_fe_mesh(spec);
+  const auto b = gen_fe_mesh(spec);
+  EXPECT_EQ(a.val, b.val);
+  EXPECT_EQ(a.pattern.rowind, b.pattern.rowind);
+}
+
+TEST(Generators, ComplexLiftKeepsPatternAndDominance) {
+  const auto a = gen_random_spd(40, 5, 3);
+  const auto c = to_complex_symmetric(a, 0.3, 9);
+  EXPECT_EQ(c.pattern.rowind, a.pattern.rowind);
+  for (std::size_t k = 0; k < c.val.size(); ++k)
+    EXPECT_LE(std::abs(c.val[k].imag()), 0.3 * std::abs(c.val[k].real()) + 1e-15);
+}
+
+TEST(MatrixMarket, RealRoundTrip) {
+  const auto a = gen_random_spd(30, 4, 11);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto b = read_matrix_market(ss);
+  EXPECT_EQ(a.pattern.colptr, b.pattern.colptr);
+  EXPECT_EQ(a.pattern.rowind, b.pattern.rowind);
+  for (std::size_t k = 0; k < a.val.size(); ++k)
+    EXPECT_DOUBLE_EQ(a.val[k], b.val[k]);
+}
+
+TEST(MatrixMarket, ComplexRoundTrip) {
+  const auto a = to_complex_symmetric(gen_random_spd(20, 4, 5), 0.2, 6);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto b = read_matrix_market_complex(ss);
+  for (std::size_t k = 0; k < a.val.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.val[k].real(), b.val[k].real());
+    EXPECT_DOUBLE_EQ(a.val[k].imag(), b.val[k].imag());
+  }
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(Suite, AllProblemsGenerateAndValidate) {
+  for (const auto& p : paper_suite()) {
+    const auto a = make_suite_matrix(p);
+    EXPECT_GT(a.n(), 1000) << p.name;
+    EXPECT_NO_THROW(a.validate()) << p.name;
+  }
+}
+
+TEST(Suite, LookupByName) {
+  EXPECT_EQ(suite_problem("OILPAN").family, "shell");
+  EXPECT_THROW(suite_problem("NOPE"), Error);
+}
+
+
+TEST(Suite, FullsizeSpecsMatchPaperColumnCounts) {
+  // Column counts of the paper's matrices, same order as the suite.
+  const idx_t paper_cols[] = {162610, 148770, 97578, 73752, 59122,
+                              34920,  121728, 179860, 29736, 108384};
+  const auto& suite = paper_suite_fullsize();
+  ASSERT_EQ(suite.size(), 10u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const double ours = suite[i].spec.num_unknowns();
+    const double target = paper_cols[i];
+    EXPECT_GT(ours, 0.85 * target) << suite[i].name;
+    EXPECT_LT(ours, 1.15 * target) << suite[i].name;
+  }
+}
+
+TEST(ReferenceRhs, ResidualOfExactSolutionIsZero) {
+  const auto a = gen_grid_laplacian(6, 6);
+  std::vector<double> x;
+  const auto b = reference_rhs(a, &x);
+  EXPECT_LT(relative_residual(a, x, b), 1e-14);
+}
+
+} // namespace
+} // namespace pastix

@@ -1,0 +1,109 @@
+// Suite-wide integration tests: every named problem of the paper's Table 1
+// goes through the full analysis chain with structural invariants checked,
+// and the smaller ones through a complete parallel factorization + solve.
+// This is the coverage net that catches mesh-family-specific regressions
+// (rods, shells and solids stress very different parts of the ordering and
+// mapping heuristics).
+#include <gtest/gtest.h>
+
+#include "core/pastix.hpp"
+#include "mf/multifrontal.hpp"
+#include "sparse/suite.hpp"
+
+namespace pastix {
+namespace {
+
+class SuiteAnalysis : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteAnalysis, FullAnalysisInvariants) {
+  const auto& prob = suite_problem(GetParam());
+  const auto a = make_suite_matrix(prob);
+  SolverOptions opt;
+  opt.nprocs = 16;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+
+  const auto& st = solver.stats();
+  const auto& symbol = solver.symbol();
+  const auto& sched = solver.schedule();
+  const auto& tg = solver.task_graph();
+
+  // Structure invariants.
+  EXPECT_NO_THROW(symbol.validate());
+  EXPECT_EQ(symbol.n, a.n());
+  EXPECT_GE(st.nnz_blocks, st.nnz_l + a.n());  // amalgamation only adds
+  // Fill is nontrivial but bounded (sanity band for the mesh families).
+  EXPECT_GT(st.nnz_l, a.nnz_offdiag());
+  EXPECT_LT(st.nnz_l, static_cast<big_t>(a.n()) * a.n() / 2);
+
+  // Schedule invariants: K_p partitions all tasks; priorities topological.
+  idx_t total = 0;
+  for (const auto& kp : sched.kp) total += static_cast<idx_t>(kp.size());
+  EXPECT_EQ(total, tg.ntask());
+  for (idx_t t = 0; t < tg.ntask(); ++t)
+    for (const auto& c : tg.inputs[static_cast<std::size_t>(t)])
+      EXPECT_LT(sched.prio[static_cast<std::size_t>(c.source)],
+                sched.prio[static_cast<std::size_t>(t)]);
+
+  // The predicted parallel time must beat the sequential work estimate.
+  EXPECT_LT(st.predicted_time, tg.total_cost());
+  EXPECT_GT(st.predicted_time, tg.total_cost() / 16.0 * 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProblems, SuiteAnalysis,
+    ::testing::Values("B5TUER", "BMWCRA1", "MT1", "OILPAN", "QUER", "SHIP001",
+                      "SHIP003", "SHIPSEC5", "THREAD", "X104"),
+    [](const auto& info) { return info.param; });
+
+class SuiteNumeric : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteNumeric, FactorizeAndSolveOnFourRanks) {
+  const auto& prob = suite_problem(GetParam());
+  const auto a = make_suite_matrix(prob);
+  SolverOptions opt;
+  opt.nprocs = 4;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  std::vector<double> b(static_cast<std::size_t>(a.n()));
+  for (idx_t i = 0; i < a.n(); ++i)
+    b[static_cast<std::size_t>(i)] = 1.0 + std::sin(0.01 * i);
+  const auto x = solver.solve(b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-10) << prob.name;
+}
+
+// The smaller problems keep the full-suite numeric run under a few seconds.
+INSTANTIATE_TEST_SUITE_P(SmallerProblems, SuiteNumeric,
+                         ::testing::Values("THREAD", "QUER", "SHIP001",
+                                           "OILPAN"),
+                         [](const auto& info) { return info.param; });
+
+TEST(LdltVsLlt, DiagonalsRelateOnSpdInput) {
+  // For SPD A: LDL^t's D(j) equals LL^t's L(j,j)^2 — a cross-factorization
+  // consistency check between the fan-in solver and the baseline.
+  const auto a = make_suite_matrix(suite_problem("QUER"));
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> fanin(opt);
+  fanin.analyze(a);
+  fanin.factorize();
+
+  const auto& order = fanin.ordering();
+  const auto permuted = permute(a, order.perm);
+  const auto symbol =
+      block_symbolic_factorization(order.permuted, order.rangtab);
+  MultifrontalSolver<double> mf(permuted, symbol);
+  mf.factorize();
+
+  double max_rel = 0;
+  for (idx_t j = 0; j < a.n(); j += 97) {  // sampled columns
+    const double d = fanin.numeric().diag_entry(j);
+    const double l = mf.factor_entry(j, j);
+    max_rel = std::max(max_rel, std::abs(d - l * l) / std::abs(d));
+  }
+  EXPECT_LT(max_rel, 1e-10);
+}
+
+} // namespace
+} // namespace pastix

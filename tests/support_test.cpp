@@ -1,0 +1,94 @@
+// Tests for the support layer: checks, RNG, timer, text tables, and the
+// file-path MatrixMarket helpers (stream variants are covered in
+// sparse_test).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "sparse/gen.hpp"
+#include "sparse/io.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace pastix {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    PASTIX_CHECK(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAndWellDistributed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+  // Crude uniformity check on [0,1).
+  Rng r(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i * 0.5;
+  EXPECT_GT(t.seconds(), 0.0);
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before);
+}
+
+TEST(TextTable, AlignsAndValidatesArity) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"1", "2"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("+==="), std::string::npos);
+}
+
+TEST(Formatting, FixedAndScientific) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(MatrixMarketFiles, SaveAndLoadByPath) {
+  const auto a = gen_random_spd(25, 4, 3);
+  const std::string path = "/tmp/pastix_io_test.mtx";
+  save_matrix_market(path, a);
+  const auto b = load_matrix_market(path);
+  EXPECT_EQ(a.pattern.rowind, b.pattern.rowind);
+  for (std::size_t k = 0; k < a.val.size(); ++k)
+    EXPECT_DOUBLE_EQ(a.val[k], b.val[k]);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarketFiles, MissingFileThrows) {
+  EXPECT_THROW(load_matrix_market("/nonexistent/nope.mtx"), Error);
+}
+
+} // namespace
+} // namespace pastix

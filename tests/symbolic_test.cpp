@@ -1,0 +1,176 @@
+// Tests for the block symbolic factorization and supernode splitting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "order/ordering.hpp"
+#include "sparse/gen.hpp"
+#include "symbolic/split.hpp"
+#include "symbolic/symbol.hpp"
+
+namespace pastix {
+namespace {
+
+struct Analysis {
+  OrderingResult order;
+  SymbolMatrix symbol;
+};
+
+Analysis analyze(const SparsePattern& p, OrderingOptions opt = {}) {
+  Analysis a;
+  a.order = compute_ordering(p, opt);
+  a.symbol = block_symbolic_factorization(a.order.permuted, a.order.rangtab);
+  return a;
+}
+
+TEST(BlockSymbol, FundamentalBlocksMatchScalarNnzExactly) {
+  // With amalgamation disabled the block structure stores exactly the
+  // scalar factor: nnz(blocks) == NNZ_L + n (diagonal included).
+  OrderingOptions opt;
+  opt.amalgamation.always_merge_width = 0;
+  opt.amalgamation.fill_ratio = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto m = gen_random_spd(120, 5, seed);
+    const auto a = analyze(m.pattern, opt);
+    EXPECT_EQ(a.symbol.nnz_blocks(), a.order.scalar.nnz_l + m.n())
+        << "seed " << seed;
+  }
+}
+
+TEST(BlockSymbol, AmalgamationOnlyAddsEntries) {
+  const auto m = gen_grid_laplacian(14, 14);
+  OrderingOptions strict;
+  strict.amalgamation.always_merge_width = 0;
+  strict.amalgamation.fill_ratio = 0.0;
+  const auto a_strict = analyze(m.pattern, strict);
+  const auto a_relaxed = analyze(m.pattern);
+  EXPECT_GE(a_relaxed.symbol.nnz_blocks(), a_strict.symbol.nnz_blocks());
+  EXPECT_LE(a_relaxed.symbol.ncblk, a_strict.symbol.ncblk);
+}
+
+TEST(BlockSymbol, StructureIsASupersetOfTheMatrix) {
+  // Every off-diagonal entry of the permuted matrix must be covered by a
+  // blok of its column's cblk.
+  const auto m = gen_fe_mesh({6, 6, 6, 2, 1, 9});
+  const auto a = analyze(m.pattern);
+  const auto& p = a.order.permuted;
+  for (idx_t j = 0; j < p.n; ++j) {
+    const idx_t k = a.symbol.col2cblk[static_cast<std::size_t>(j)];
+    for (idx_t q = p.colptr[j]; q < p.colptr[j + 1]; ++q) {
+      const idx_t i = p.rowind[q];
+      if (i <= a.symbol.cblks[static_cast<std::size_t>(k)].lcolnum)
+        continue;  // inside the diagonal block
+      const auto covering = a.symbol.find_facing_bloks(k, i, i);
+      ASSERT_EQ(covering.size(), 1u) << "entry (" << i << "," << j << ")";
+      const auto& b = a.symbol.bloks[static_cast<std::size_t>(covering[0])];
+      EXPECT_TRUE(b.frownum <= i && i <= b.lrownum);
+    }
+  }
+}
+
+TEST(BlockSymbol, FillPathClosure) {
+  // Block fill property used by contribution enumeration: for any blok of
+  // cblk i facing cblk k, every row of any *later* blok of i is covered by
+  // the bloks of cblk k.
+  const auto m = gen_grid_laplacian(12, 12, 3);
+  const auto a = analyze(m.pattern);
+  const auto& s = a.symbol;
+  for (idx_t k = 0; k < s.ncblk; ++k) {
+    const idx_t first = s.cblks[static_cast<std::size_t>(k)].bloknum + 1;
+    const idx_t last = s.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+    for (idx_t b = first; b < last; ++b) {
+      const idx_t target = s.bloks[static_cast<std::size_t>(b)].fcblknm;
+      for (idx_t b2 = b; b2 < last; ++b2) {
+        const auto& src = s.bloks[static_cast<std::size_t>(b2)];
+        // Rows of b2 must be fully covered by bloks of `target`.
+        const auto covering =
+            s.find_facing_bloks(target, src.frownum, src.lrownum);
+        idx_t covered = 0;
+        for (const idx_t cb : covering) {
+          const auto& t = s.bloks[static_cast<std::size_t>(cb)];
+          covered += std::min(t.lrownum, src.lrownum) -
+                     std::max(t.frownum, src.frownum) + 1;
+        }
+        EXPECT_EQ(covered, src.nrows())
+            << "cblk " << k << " blok " << b << " vs " << b2;
+      }
+    }
+  }
+}
+
+TEST(BlockSymbol, BlockEtreeMatchesScalarEtreeStructure) {
+  const auto m = gen_grid_laplacian(10, 10);
+  const auto a = analyze(m.pattern);
+  const auto parent = block_etree(a.symbol);
+  // Parent must be a later cblk; roots allowed.
+  for (idx_t k = 0; k < a.symbol.ncblk; ++k)
+    if (parent[static_cast<std::size_t>(k)] != kNone)
+      EXPECT_GT(parent[static_cast<std::size_t>(k)], k);
+}
+
+TEST(BlockSymbol, FacingIndexIsConsistent) {
+  const auto m = gen_grid_laplacian(10, 10);
+  const auto a = analyze(m.pattern);
+  const auto facing = facing_bloks_index(a.symbol);
+  idx_t total = 0;
+  for (idx_t j = 0; j < a.symbol.ncblk; ++j) {
+    for (const idx_t b : facing[static_cast<std::size_t>(j)])
+      EXPECT_EQ(a.symbol.bloks[static_cast<std::size_t>(b)].fcblknm, j);
+    total += static_cast<idx_t>(facing[static_cast<std::size_t>(j)].size());
+  }
+  EXPECT_EQ(total, a.symbol.nblok() - a.symbol.ncblk);
+}
+
+TEST(Split, PreservesNnzAndCoverage) {
+  const auto m = gen_fe_mesh({8, 8, 8, 2, 1, 4});
+  const auto a = analyze(m.pattern);
+  SplitOptions opt;
+  opt.block_size = 16;
+  const auto split = split_symbol(a.symbol, opt);
+  EXPECT_EQ(split.nnz_blocks(), a.symbol.nnz_blocks());
+  EXPECT_GE(split.ncblk, a.symbol.ncblk);
+  // No cblk wider than ~1.5x the blocking size.
+  for (idx_t k = 0; k < split.ncblk; ++k)
+    EXPECT_LE(split.cblks[static_cast<std::size_t>(k)].width(),
+              static_cast<idx_t>(16 * 1.5) + 1);
+}
+
+TEST(Split, NoopWhenBlocksAlreadySmall) {
+  const auto m = gen_grid_laplacian(8, 8);
+  const auto a = analyze(m.pattern);
+  SplitOptions opt;
+  opt.block_size = 1024;
+  const auto split = split_symbol(a.symbol, opt);
+  EXPECT_EQ(split.ncblk, a.symbol.ncblk);
+  EXPECT_EQ(split.nblok(), a.symbol.nblok());
+}
+
+TEST(Split, DenseMatrixSplitsIntoChainOfParts) {
+  // A fully dense 64x64 matrix is one supernode; splitting at 16 gives 4
+  // parts where part p faces all later parts.
+  CooBuilder<double> b(64);
+  for (idx_t i = 0; i < 64; ++i) b.add(i, i, 64.0);
+  for (idx_t j = 0; j < 64; ++j)
+    for (idx_t i = j + 1; i < 64; ++i) b.add(i, j, -0.5);
+  const auto a = analyze(b.build().pattern);
+  ASSERT_EQ(a.symbol.ncblk, 1);
+  SplitOptions opt;
+  opt.block_size = 16;
+  const auto split = split_symbol(a.symbol, opt);
+  EXPECT_EQ(split.ncblk, 4);
+  // Part k has 1 diagonal + (3 - k) facing bloks.
+  for (idx_t k = 0; k < 4; ++k) EXPECT_EQ(split.cblk_nblok(k), 4 - k);
+}
+
+TEST(Split, ValidatesAfterSplittingSuiteProblem) {
+  const auto m = gen_fe_mesh({10, 10, 4, 3, 1, 77});
+  const auto a = analyze(m.pattern);
+  SplitOptions opt;
+  opt.block_size = 32;
+  const auto split = split_symbol(a.symbol, opt);
+  EXPECT_NO_THROW(split.validate());
+  EXPECT_EQ(split.nnz_blocks(), a.symbol.nnz_blocks());
+}
+
+} // namespace
+} // namespace pastix

@@ -1,0 +1,83 @@
+// Tests for the schedule trace export: consistency with the simulator,
+// non-overlap invariant, CSV shape and Gantt rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "order/ordering.hpp"
+#include "simul/trace.hpp"
+#include "sparse/gen.hpp"
+#include "symbolic/split.hpp"
+
+namespace pastix {
+namespace {
+
+struct Pipeline {
+  OrderingResult order;
+  SymbolMatrix symbol;
+  CostModel model = default_cost_model();
+  CandidateMapping cand;
+  TaskGraph tg;
+  Schedule sched;
+};
+
+Pipeline run(idx_t nprocs) {
+  Pipeline pl;
+  const auto a = gen_fe_mesh({8, 8, 3, 2, 1, 3});
+  pl.order = compute_ordering(a.pattern);
+  pl.symbol = split_symbol(
+      block_symbolic_factorization(pl.order.permuted, pl.order.rangtab), {});
+  MappingOptions mopt;
+  mopt.nprocs = nprocs;
+  pl.cand = proportional_mapping(pl.symbol, pl.model, mopt);
+  pl.tg = build_task_graph(pl.symbol, pl.cand, pl.model);
+  pl.sched = static_schedule(pl.tg, pl.cand, pl.model, nprocs);
+  return pl;
+}
+
+TEST(Trace, MatchesSimulatorMakespan) {
+  const auto pl = run(6);
+  const auto trace = trace_schedule(pl.tg, pl.sched, pl.model);
+  const auto sim = simulate_schedule(pl.tg, pl.sched, pl.model);
+  EXPECT_NEAR(trace.makespan, sim.makespan, 1e-12);
+  EXPECT_EQ(static_cast<idx_t>(trace.events.size()), pl.tg.ntask());
+}
+
+TEST(Trace, EventsNeverOverlapPerProcessor) {
+  const auto pl = run(8);
+  const auto trace = trace_schedule(pl.tg, pl.sched, pl.model);
+  EXPECT_NO_THROW(trace.validate());
+  for (const auto& e : trace.events) {
+    EXPECT_GE(e.start, 0.0);
+    EXPECT_GT(e.end, e.start);
+    EXPECT_LE(e.end, trace.makespan + 1e-12);
+  }
+}
+
+TEST(Trace, CsvHasHeaderAndOneLinePerTask) {
+  const auto pl = run(4);
+  const auto trace = trace_schedule(pl.tg, pl.sched, pl.model);
+  std::stringstream ss;
+  write_trace_csv(ss, trace);
+  std::string line;
+  ASSERT_TRUE(std::getline(ss, line));
+  EXPECT_EQ(line, "task,proc,type,cblk,start,end");
+  idx_t lines = 0;
+  while (std::getline(ss, line)) ++lines;
+  EXPECT_EQ(lines, pl.tg.ntask());
+}
+
+TEST(Trace, GanttRendersOneRowPerProcessor) {
+  const auto pl = run(5);
+  const auto trace = trace_schedule(pl.tg, pl.sched, pl.model);
+  std::stringstream ss;
+  render_gantt(ss, trace, 60);
+  std::string line;
+  idx_t rows = 0;
+  while (std::getline(ss, line))
+    if (!line.empty() && line[0] == 'P') ++rows;
+  EXPECT_EQ(rows, 5);
+}
+
+} // namespace
+} // namespace pastix
