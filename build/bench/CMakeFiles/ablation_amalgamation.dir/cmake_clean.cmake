@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_amalgamation.dir/ablation_amalgamation.cpp.o"
+  "CMakeFiles/ablation_amalgamation.dir/ablation_amalgamation.cpp.o.d"
+  "ablation_amalgamation"
+  "ablation_amalgamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_amalgamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

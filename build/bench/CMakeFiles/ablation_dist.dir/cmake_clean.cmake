@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dist.dir/ablation_dist.cpp.o"
+  "CMakeFiles/ablation_dist.dir/ablation_dist.cpp.o.d"
+  "ablation_dist"
+  "ablation_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fanboth.dir/ablation_fanboth.cpp.o"
+  "CMakeFiles/ablation_fanboth.dir/ablation_fanboth.cpp.o.d"
+  "ablation_fanboth"
+  "ablation_fanboth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fanboth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_dense.dir/kernels_dense.cpp.o"
+  "CMakeFiles/kernels_dense.dir/kernels_dense.cpp.o.d"
+  "kernels_dense"
+  "kernels_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

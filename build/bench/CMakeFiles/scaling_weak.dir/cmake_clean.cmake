@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_weak.dir/scaling_weak.cpp.o"
+  "CMakeFiles/scaling_weak.dir/scaling_weak.cpp.o.d"
+  "scaling_weak"
+  "scaling_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

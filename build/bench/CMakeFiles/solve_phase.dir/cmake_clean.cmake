@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_phase.dir/solve_phase.cpp.o"
+  "CMakeFiles/solve_phase.dir/solve_phase.cpp.o.d"
+  "solve_phase"
+  "solve_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

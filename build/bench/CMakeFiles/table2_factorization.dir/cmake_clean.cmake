@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_factorization.dir/table2_factorization.cpp.o"
+  "CMakeFiles/table2_factorization.dir/table2_factorization.cpp.o.d"
+  "table2_factorization"
+  "table2_factorization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_factorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_helmholtz.dir/complex_helmholtz.cpp.o"
+  "CMakeFiles/complex_helmholtz.dir/complex_helmholtz.cpp.o.d"
+  "complex_helmholtz"
+  "complex_helmholtz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_helmholtz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_matrix.dir/gen_matrix.cpp.o"
+  "CMakeFiles/gen_matrix.dir/gen_matrix.cpp.o.d"
+  "gen_matrix"
+  "gen_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_analysis.dir/structural_analysis.cpp.o"
+  "CMakeFiles/structural_analysis.dir/structural_analysis.cpp.o.d"
+  "structural_analysis"
+  "structural_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

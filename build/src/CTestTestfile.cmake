@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sparse")
+subdirs("graph")
+subdirs("order")
+subdirs("symbolic")
+subdirs("dkernel")
+subdirs("model")
+subdirs("map")
+subdirs("simul")
+subdirs("rt")
+subdirs("solver")
+subdirs("mf")
+subdirs("core")

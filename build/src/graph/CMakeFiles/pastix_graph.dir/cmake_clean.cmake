@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_graph.dir/graph.cpp.o"
+  "CMakeFiles/pastix_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/pastix_graph.dir/multilevel.cpp.o"
+  "CMakeFiles/pastix_graph.dir/multilevel.cpp.o.d"
+  "CMakeFiles/pastix_graph.dir/separator.cpp.o"
+  "CMakeFiles/pastix_graph.dir/separator.cpp.o.d"
+  "libpastix_graph.a"
+  "libpastix_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_map.dir/candidates.cpp.o"
+  "CMakeFiles/pastix_map.dir/candidates.cpp.o.d"
+  "CMakeFiles/pastix_map.dir/scheduler.cpp.o"
+  "CMakeFiles/pastix_map.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pastix_map.dir/task_graph.cpp.o"
+  "CMakeFiles/pastix_map.dir/task_graph.cpp.o.d"
+  "libpastix_map.a"
+  "libpastix_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_mf.dir/model.cpp.o"
+  "CMakeFiles/pastix_mf.dir/model.cpp.o.d"
+  "libpastix_mf.a"
+  "libpastix_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

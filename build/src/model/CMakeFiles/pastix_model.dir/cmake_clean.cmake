@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_model.dir/cost_model.cpp.o"
+  "CMakeFiles/pastix_model.dir/cost_model.cpp.o.d"
+  "libpastix_model.a"
+  "libpastix_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/order/etree.cpp" "src/order/CMakeFiles/pastix_order.dir/etree.cpp.o" "gcc" "src/order/CMakeFiles/pastix_order.dir/etree.cpp.o.d"
+  "/root/repo/src/order/min_degree.cpp" "src/order/CMakeFiles/pastix_order.dir/min_degree.cpp.o" "gcc" "src/order/CMakeFiles/pastix_order.dir/min_degree.cpp.o.d"
+  "/root/repo/src/order/nested_dissection.cpp" "src/order/CMakeFiles/pastix_order.dir/nested_dissection.cpp.o" "gcc" "src/order/CMakeFiles/pastix_order.dir/nested_dissection.cpp.o.d"
+  "/root/repo/src/order/ordering.cpp" "src/order/CMakeFiles/pastix_order.dir/ordering.cpp.o" "gcc" "src/order/CMakeFiles/pastix_order.dir/ordering.cpp.o.d"
+  "/root/repo/src/order/supernodes.cpp" "src/order/CMakeFiles/pastix_order.dir/supernodes.cpp.o" "gcc" "src/order/CMakeFiles/pastix_order.dir/supernodes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/pastix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/pastix_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

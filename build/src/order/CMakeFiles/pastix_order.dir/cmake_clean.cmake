@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_order.dir/etree.cpp.o"
+  "CMakeFiles/pastix_order.dir/etree.cpp.o.d"
+  "CMakeFiles/pastix_order.dir/min_degree.cpp.o"
+  "CMakeFiles/pastix_order.dir/min_degree.cpp.o.d"
+  "CMakeFiles/pastix_order.dir/nested_dissection.cpp.o"
+  "CMakeFiles/pastix_order.dir/nested_dissection.cpp.o.d"
+  "CMakeFiles/pastix_order.dir/ordering.cpp.o"
+  "CMakeFiles/pastix_order.dir/ordering.cpp.o.d"
+  "CMakeFiles/pastix_order.dir/supernodes.cpp.o"
+  "CMakeFiles/pastix_order.dir/supernodes.cpp.o.d"
+  "libpastix_order.a"
+  "libpastix_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

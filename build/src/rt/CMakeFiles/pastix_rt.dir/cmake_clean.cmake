@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_rt.dir/comm.cpp.o"
+  "CMakeFiles/pastix_rt.dir/comm.cpp.o.d"
+  "libpastix_rt.a"
+  "libpastix_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simul/simulate.cpp" "src/simul/CMakeFiles/pastix_simul.dir/simulate.cpp.o" "gcc" "src/simul/CMakeFiles/pastix_simul.dir/simulate.cpp.o.d"
+  "/root/repo/src/simul/trace.cpp" "src/simul/CMakeFiles/pastix_simul.dir/trace.cpp.o" "gcc" "src/simul/CMakeFiles/pastix_simul.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/map/CMakeFiles/pastix_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/pastix_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/pastix_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pastix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/pastix_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pastix_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

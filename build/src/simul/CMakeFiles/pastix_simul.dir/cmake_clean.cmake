@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_simul.dir/simulate.cpp.o"
+  "CMakeFiles/pastix_simul.dir/simulate.cpp.o.d"
+  "CMakeFiles/pastix_simul.dir/trace.cpp.o"
+  "CMakeFiles/pastix_simul.dir/trace.cpp.o.d"
+  "libpastix_simul.a"
+  "libpastix_simul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_simul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pastix_simul.
+# This may be replaced when dependencies are built.

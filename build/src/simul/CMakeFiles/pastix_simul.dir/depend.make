@@ -1,0 +1,2 @@
+# Empty dependencies file for pastix_simul.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_solver.dir/comm_plan.cpp.o"
+  "CMakeFiles/pastix_solver.dir/comm_plan.cpp.o.d"
+  "CMakeFiles/pastix_solver.dir/solve_model.cpp.o"
+  "CMakeFiles/pastix_solver.dir/solve_model.cpp.o.d"
+  "libpastix_solver.a"
+  "libpastix_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

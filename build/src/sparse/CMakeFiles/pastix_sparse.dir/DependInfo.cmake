@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/gen.cpp" "src/sparse/CMakeFiles/pastix_sparse.dir/gen.cpp.o" "gcc" "src/sparse/CMakeFiles/pastix_sparse.dir/gen.cpp.o.d"
+  "/root/repo/src/sparse/hb_io.cpp" "src/sparse/CMakeFiles/pastix_sparse.dir/hb_io.cpp.o" "gcc" "src/sparse/CMakeFiles/pastix_sparse.dir/hb_io.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/sparse/CMakeFiles/pastix_sparse.dir/io.cpp.o" "gcc" "src/sparse/CMakeFiles/pastix_sparse.dir/io.cpp.o.d"
+  "/root/repo/src/sparse/suite.cpp" "src/sparse/CMakeFiles/pastix_sparse.dir/suite.cpp.o" "gcc" "src/sparse/CMakeFiles/pastix_sparse.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_sparse.dir/gen.cpp.o"
+  "CMakeFiles/pastix_sparse.dir/gen.cpp.o.d"
+  "CMakeFiles/pastix_sparse.dir/hb_io.cpp.o"
+  "CMakeFiles/pastix_sparse.dir/hb_io.cpp.o.d"
+  "CMakeFiles/pastix_sparse.dir/io.cpp.o"
+  "CMakeFiles/pastix_sparse.dir/io.cpp.o.d"
+  "CMakeFiles/pastix_sparse.dir/suite.cpp.o"
+  "CMakeFiles/pastix_sparse.dir/suite.cpp.o.d"
+  "libpastix_sparse.a"
+  "libpastix_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpastix_sparse.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pastix_symbolic.dir/split.cpp.o"
+  "CMakeFiles/pastix_symbolic.dir/split.cpp.o.d"
+  "CMakeFiles/pastix_symbolic.dir/symbol.cpp.o"
+  "CMakeFiles/pastix_symbolic.dir/symbol.cpp.o.d"
+  "libpastix_symbolic.a"
+  "libpastix_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pastix_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

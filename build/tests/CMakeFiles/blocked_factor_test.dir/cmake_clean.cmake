@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_factor_test.dir/blocked_factor_test.cpp.o"
+  "CMakeFiles/blocked_factor_test.dir/blocked_factor_test.cpp.o.d"
+  "blocked_factor_test"
+  "blocked_factor_test.pdb"
+  "blocked_factor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_factor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dkernel_test.dir/dkernel_test.cpp.o"
+  "CMakeFiles/dkernel_test.dir/dkernel_test.cpp.o.d"
+  "dkernel_test"
+  "dkernel_test.pdb"
+  "dkernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dkernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

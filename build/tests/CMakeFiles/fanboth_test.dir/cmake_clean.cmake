@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanboth_test.dir/fanboth_test.cpp.o"
+  "CMakeFiles/fanboth_test.dir/fanboth_test.cpp.o.d"
+  "fanboth_test"
+  "fanboth_test.pdb"
+  "fanboth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanboth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

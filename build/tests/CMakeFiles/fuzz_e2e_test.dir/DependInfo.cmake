@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_e2e_test.cpp" "tests/CMakeFiles/fuzz_e2e_test.dir/fuzz_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/fuzz_e2e_test.dir/fuzz_e2e_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simul/CMakeFiles/pastix_simul.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/pastix_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/pastix_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/pastix_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/pastix_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/order/CMakeFiles/pastix_order.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pastix_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pastix_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pastix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/pastix_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_e2e_test.dir/fuzz_e2e_test.cpp.o"
+  "CMakeFiles/fuzz_e2e_test.dir/fuzz_e2e_test.cpp.o.d"
+  "fuzz_e2e_test"
+  "fuzz_e2e_test.pdb"
+  "fuzz_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

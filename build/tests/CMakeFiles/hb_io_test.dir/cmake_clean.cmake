@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_io_test.dir/hb_io_test.cpp.o"
+  "CMakeFiles/hb_io_test.dir/hb_io_test.cpp.o.d"
+  "hb_io_test"
+  "hb_io_test.pdb"
+  "hb_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llt_fanin_test.dir/llt_fanin_test.cpp.o"
+  "CMakeFiles/llt_fanin_test.dir/llt_fanin_test.cpp.o.d"
+  "llt_fanin_test"
+  "llt_fanin_test.pdb"
+  "llt_fanin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llt_fanin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_test.dir/mf_test.cpp.o"
+  "CMakeFiles/mf_test.dir/mf_test.cpp.o.d"
+  "mf_test"
+  "mf_test.pdb"
+  "mf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

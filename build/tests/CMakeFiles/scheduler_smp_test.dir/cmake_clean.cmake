@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_smp_test.dir/scheduler_smp_test.cpp.o"
+  "CMakeFiles/scheduler_smp_test.dir/scheduler_smp_test.cpp.o.d"
+  "scheduler_smp_test"
+  "scheduler_smp_test.pdb"
+  "scheduler_smp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_smp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

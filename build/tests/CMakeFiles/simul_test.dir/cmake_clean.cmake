@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simul_test.dir/simul_test.cpp.o"
+  "CMakeFiles/simul_test.dir/simul_test.cpp.o.d"
+  "simul_test"
+  "simul_test.pdb"
+  "simul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

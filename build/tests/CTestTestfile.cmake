@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/order_test[1]_include.cmake")
+include("/root/repo/build/tests/symbolic_test[1]_include.cmake")
+include("/root/repo/build/tests/dkernel_test[1]_include.cmake")
+include("/root/repo/build/tests/map_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/simul_test[1]_include.cmake")
+include("/root/repo/build/tests/mf_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/fanboth_test[1]_include.cmake")
+include("/root/repo/build/tests/blocked_factor_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/suite_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/multilevel_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/llt_fanin_test[1]_include.cmake")
+include("/root/repo/build/tests/hb_io_test[1]_include.cmake")
+include("/root/repo/build/tests/solve_model_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_smp_test[1]_include.cmake")
