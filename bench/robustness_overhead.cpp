@@ -1,0 +1,74 @@
+// Overhead of the graceful-degradation layer on the dense factorization
+// kernels: the pivot admission test (admit_pivot) runs once per column and
+// the NaN/Inf panel guards scan every entry once, so the cost must vanish
+// against the O(n^3) elimination.  Run with --benchmark_filter=... to
+// isolate one kernel.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dkernel/blocked_factor.hpp"
+#include "dkernel/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pastix;
+
+std::vector<double> make_spd(idx_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (idx_t j = 0; j < n; ++j) {
+    a[static_cast<std::size_t>(j) * n + j] = n + 1.0;
+    for (idx_t i = j + 1; i < n; ++i)
+      a[static_cast<std::size_t>(j) * n + i] = rng.next_double() - 0.5;
+  }
+  return a;
+}
+
+void BM_LdltHardFail(benchmark::State& state) {
+  const idx_t n = static_cast<idx_t>(state.range(0));
+  const std::vector<double> orig = make_spd(n, 42);
+  std::vector<double> a;
+  for (auto _ : state) {
+    a = orig;
+    dense_ldlt_auto(n, a.data(), n);  // no context: historical behaviour
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_LdltPerturbing(benchmark::State& state) {
+  const idx_t n = static_cast<idx_t>(state.range(0));
+  const std::vector<double> orig = make_spd(n, 42);
+  std::vector<double> a;
+  FactorStatus st;
+  for (auto _ : state) {
+    a = orig;
+    st = FactorStatus{};
+    PivotContext pc{1e-12 * (n + 1.0), 0, &st};
+    dense_ldlt_auto(n, a.data(), n, &pc);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PanelFiniteGuard(benchmark::State& state) {
+  const idx_t n = static_cast<idx_t>(state.range(0));
+  const std::vector<double> a = make_spd(n, 7);
+  FactorStatus st;
+  for (auto _ : state) {
+    check_block_finite(a.data(), n, n, n, 0, "bench panel", &st);
+    benchmark::DoNotOptimize(&st);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n) *
+                          n * static_cast<std::int64_t>(sizeof(double)));
+}
+
+BENCHMARK(BM_LdltHardFail)->Arg(64)->Arg(192)->Arg(512);
+BENCHMARK(BM_LdltPerturbing)->Arg(64)->Arg(192)->Arg(512);
+BENCHMARK(BM_PanelFiniteGuard)->Arg(64)->Arg(192)->Arg(512);
+
+} // namespace
+
+BENCHMARK_MAIN();

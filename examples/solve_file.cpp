@@ -61,7 +61,21 @@ int main(int argc, char** argv) {
                  fmt_fixed(st.total_flops / st.predicted_time / 1e9, 2)});
   table.print();
 
+  if (!st.factor_status.clean())
+    std::cout << "warning: degraded factorization ("
+              << st.factor_status.to_string()
+              << ") — solving via adaptive refinement\n";
+
   std::vector<double> b(static_cast<std::size_t>(a.n()), 1.0);
+  if (!st.factor_status.clean()) {
+    const auto res = solver.solve_adaptive(b);
+    std::cout << "adaptive solve: " << res.steps << " refinement steps, "
+              << (res.converged ? "converged" : "stalled")
+              << ", componentwise backward error = " << res.backward_error
+              << "\nrelative residual: " << relative_residual(a, res.x, b)
+              << "\n";
+    return 0;
+  }
   const std::vector<double> x =
       refine ? solver.solve_refined(b, 2) : solver.solve(b);
   std::cout << "relative residual" << (refine ? " (2 refinement steps)" : "")

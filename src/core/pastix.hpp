@@ -18,6 +18,8 @@
 #include "solver/fanin.hpp"
 #include "symbolic/split.hpp"
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -42,6 +44,19 @@ struct SolverStats {
   double total_flops = 0;   ///< block-level flops actually performed
   double predicted_time = 0;///< simulated parallel factorization seconds
   double factor_seconds = 0;///< wall time of the last factorize()
+  FactorStatus factor_status;  ///< structured outcome of the last factorize()
+};
+
+/// Outcome of Solver::solve_adaptive — the solution plus how refinement
+/// went, so callers can distinguish "clean", "recovered by perturb+refine",
+/// and "structurally reported failure" without parsing exceptions.
+template <class T>
+struct AdaptiveSolveResult {
+  std::vector<T> x;            ///< best iterate found (lowest backward error)
+  double backward_error = std::numeric_limits<double>::infinity();
+  int steps = 0;               ///< refinement corrections applied
+  bool converged = false;      ///< backward_error reached the target
+  bool diverged = false;       ///< refinement made things worse and stopped
 };
 
 template <class T>
@@ -85,9 +100,20 @@ public:
   }
 
   /// Parallel numerical factorization; returns (and records) wall seconds.
+  /// stats().factor_status carries the structured outcome — perturbation
+  /// counts and breakdown locations, in the caller's *original* numbering —
+  /// even when this throws.
   double factorize() {
     PASTIX_CHECK(analyzed_, "analyze() must run before factorize()");
-    stats_.factor_seconds = numeric_->factorize(*comm_);
+    try {
+      stats_.factor_seconds = numeric_->factorize(*comm_);
+    } catch (...) {
+      stats_.factor_status = numeric_->factor_status();
+      localize_status(stats_.factor_status);
+      throw;
+    }
+    stats_.factor_status = numeric_->factor_status();
+    localize_status(stats_.factor_status);
     return stats_.factor_seconds;
   }
 
@@ -99,24 +125,83 @@ public:
     return unpermute_vector(px, order_.perm);
   }
 
-  /// Solve with `steps` rounds of iterative refinement (x += A^{-1}(b-Ax)
-  /// using the existing factor), sharpening the residual on matrices where
-  /// amalgamation fill and summation order cost a few digits.
+  /// Solve with up to `steps` rounds of iterative refinement
+  /// (x += A^{-1}(b-Ax) using the existing factor), sharpening the residual
+  /// on matrices where amalgamation fill and summation order cost a few
+  /// digits.  The whole iteration runs in the permuted frame (b is permuted
+  /// once, not once per step) and exits early as soon as the residual stops
+  /// improving.
   [[nodiscard]] std::vector<T> solve_refined(const std::vector<T>& b,
                                              int steps = 1) {
-    std::vector<T> x = solve(b);
-    std::vector<T> ax(b.size());
+    PASTIX_CHECK(analyzed_, "analyze() must run before solve()");
+    const std::vector<T> pb = permute_vector(b, order_.perm);
+    std::vector<T> px = numeric_->solve(*comm_, pb);
+    std::vector<T> ax(pb.size()), pr(pb.size());
+    double prev_norm = std::numeric_limits<double>::infinity();
     for (int s = 0; s < steps; ++s) {
-      // r = b - A x in the permuted frame (the permuted copy is on hand).
-      const std::vector<T> pxv = permute_vector(x, order_.perm);
-      spmv(permuted_, pxv.data(), ax.data());
-      std::vector<T> pr = permute_vector(b, order_.perm);
-      for (std::size_t i = 0; i < pr.size(); ++i) pr[i] -= ax[i];
+      spmv(permuted_, px.data(), ax.data());
+      double rnorm = 0;
+      for (std::size_t i = 0; i < pr.size(); ++i) {
+        pr[i] = pb[i] - ax[i];
+        rnorm += abs2(pr[i]);
+      }
+      rnorm = std::sqrt(rnorm);
+      if (rnorm == 0 || rnorm >= prev_norm) break;  // converged or stalled
+      prev_norm = rnorm;
       const std::vector<T> pdx = numeric_->solve(*comm_, pr);
-      const std::vector<T> dx = unpermute_vector(pdx, order_.perm);
-      for (std::size_t i = 0; i < x.size(); ++i) x[i] += dx[i];
+      for (std::size_t i = 0; i < px.size(); ++i) px[i] += pdx[i];
     }
-    return x;
+    return unpermute_vector(px, order_.perm);
+  }
+
+  /// Robust solve: iterative refinement driven to a componentwise backward
+  /// error target, with divergence detection and automatic escalation of
+  /// the step budget when the factorization needed pivot perturbations
+  /// (a perturbed factor is a preconditioner for the true A, so more — not
+  /// fewer — corrections are expected).  Never throws on stagnation: the
+  /// structured result reports how close it got.
+  [[nodiscard]] AdaptiveSolveResult<T> solve_adaptive(
+      const std::vector<T>& b, double target = 1e-12) {
+    PASTIX_CHECK(analyzed_, "analyze() must run before solve()");
+    const bool perturbed = stats_.factor_status.perturbations > 0;
+    const int max_steps = perturbed ? 40 : 8;
+
+    const std::vector<T> pb = permute_vector(b, order_.perm);
+    std::vector<T> px = numeric_->solve(*comm_, pb);
+    std::vector<T> ax(pb.size()), pr(pb.size());
+
+    AdaptiveSolveResult<T> res;
+    std::vector<T> best_px = px;
+    int stagnant = 0;
+    for (int s = 0; s <= max_steps; ++s) {
+      const double berr =
+          componentwise_backward_error(permuted_, px, pb);
+      if (berr < res.backward_error) {
+        res.backward_error = berr;
+        best_px = px;
+        stagnant = 0;
+      } else {
+        // Diverging (clearly worse) or stagnating (no progress): stop after
+        // a couple of non-improving steps and keep the best iterate.
+        if (berr > 2 * res.backward_error) {
+          res.diverged = true;
+          break;
+        }
+        if (++stagnant >= 2) break;
+      }
+      if (res.backward_error <= target) {
+        res.converged = true;
+        break;
+      }
+      if (s == max_steps) break;
+      spmv(permuted_, px.data(), ax.data());
+      for (std::size_t i = 0; i < pr.size(); ++i) pr[i] = pb[i] - ax[i];
+      const std::vector<T> pdx = numeric_->solve(*comm_, pr);
+      for (std::size_t i = 0; i < px.size(); ++i) px[i] += pdx[i];
+      res.steps = s + 1;
+    }
+    res.x = unpermute_vector(best_px, order_.perm);
+    return res;
   }
 
   /// Solve for several right-hand sides, reusing the factorization.
@@ -140,8 +225,29 @@ public:
     PASTIX_CHECK(analyzed_, "analyze() must run first");
     return *numeric_;
   }
+  /// The underlying communicator — exposed so tests and chaos harnesses can
+  /// arm fault injection / receive deadlines on the real pipeline.
+  [[nodiscard]] rt::Comm& comm() {
+    PASTIX_CHECK(analyzed_, "analyze() must run first");
+    return *comm_;
+  }
 
 private:
+  /// The factorization records breakdown columns in the permuted numbering
+  /// it works in; translate them back so users can find the offending
+  /// unknowns in their own matrix.  "First" stays first-in-elimination-order.
+  void localize_status(FactorStatus& fs) const {
+    const auto& invp = order_.perm.invp;
+    const auto back = [&](idx_t c) {
+      return (c == kNone || c >= static_cast<idx_t>(invp.size()))
+                 ? c
+                 : invp[static_cast<std::size_t>(c)];
+    };
+    fs.first_breakdown = back(fs.first_breakdown);
+    fs.nonfinite_at = back(fs.nonfinite_at);
+    for (auto& e : fs.events) e.column = back(e.column);
+  }
+
   SolverOptions opt_;
   OrderingResult order_;
   SymSparse<T> permuted_;

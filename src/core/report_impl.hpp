@@ -89,6 +89,22 @@ void write_analysis_report(std::ostream& os, const Solver<T>& solver,
     os << "## Numerical factorization\n\n";
     os << "- wall time (this host, " << nprocs << " ranks): "
        << fmt_fixed(st.factor_seconds, 3) << " s\n";
+    os << "- numerical status: "
+       << (st.factor_status.clean() ? "clean (no pivot perturbation)"
+                                    : st.factor_status.to_string())
+       << "\n";
+    if (st.factor_status.perturbations > 0) {
+      os << "- statically perturbed pivots: " << st.factor_status.perturbations
+         << " (first at column " << st.factor_status.first_breakdown
+         << "); run solve_adaptive() to refine against the perturbed "
+            "factor\n";
+      if (!st.factor_status.events.empty()) {
+        os << "\n| column | |pivot| before |\n|---|---|\n";
+        for (const auto& e : st.factor_status.events)
+          os << "| " << e.column << " | " << fmt_sci(e.before_abs) << " |\n";
+        os << "\n";
+      }
+    }
   }
 }
 

@@ -18,13 +18,21 @@ inline constexpr idx_t kBlockedCutover = 128;  ///< switch to blocked above
 /// In-place blocked LDL^t (unit L in the strict lower part, D on the
 /// diagonal).  Semantically identical to dense_ldlt.
 template <class T>
-void dense_ldlt_blocked(idx_t n, T* a, idx_t lda, idx_t nb = kFactorPanel) {
+void dense_ldlt_blocked(idx_t n, T* a, idx_t lda, idx_t nb = kFactorPanel,
+                        PivotContext* pc = nullptr) {
   std::vector<T> w;  // W = L21 * D1 (the scaled panel used by the update)
   std::vector<T> d(static_cast<std::size_t>(nb));
   for (idx_t k0 = 0; k0 < n; k0 += nb) {
     const idx_t kb = std::min(nb, n - k0);
     T* diag = a + k0 + static_cast<std::size_t>(k0) * lda;
-    dense_ldlt(kb, diag, lda);
+    PivotContext sub;  // shift the global column base to this panel
+    PivotContext* psub = nullptr;
+    if (pc) {
+      sub = *pc;
+      sub.base_column += k0;
+      psub = &sub;
+    }
+    dense_ldlt(kb, diag, lda, psub);
     const idx_t below = n - k0 - kb;
     if (below == 0) continue;
 
@@ -56,11 +64,19 @@ void dense_ldlt_blocked(idx_t n, T* a, idx_t lda, idx_t nb = kFactorPanel) {
 /// In-place blocked Cholesky LL^t (lower).  Semantically identical to
 /// dense_llt.
 template <class T>
-void dense_llt_blocked(idx_t n, T* a, idx_t lda, idx_t nb = kFactorPanel) {
+void dense_llt_blocked(idx_t n, T* a, idx_t lda, idx_t nb = kFactorPanel,
+                       PivotContext* pc = nullptr) {
   for (idx_t k0 = 0; k0 < n; k0 += nb) {
     const idx_t kb = std::min(nb, n - k0);
     T* diag = a + k0 + static_cast<std::size_t>(k0) * lda;
-    dense_llt(kb, diag, lda);
+    PivotContext sub;
+    PivotContext* psub = nullptr;
+    if (pc) {
+      sub = *pc;
+      sub.base_column += k0;
+      psub = &sub;
+    }
+    dense_llt(kb, diag, lda, psub);
     const idx_t below = n - k0 - kb;
     if (below == 0) continue;
 
@@ -80,19 +96,19 @@ void dense_llt_blocked(idx_t n, T* a, idx_t lda, idx_t nb = kFactorPanel) {
 
 /// Size-dispatching entry points used by the solvers.
 template <class T>
-void dense_ldlt_auto(idx_t n, T* a, idx_t lda) {
+void dense_ldlt_auto(idx_t n, T* a, idx_t lda, PivotContext* pc = nullptr) {
   if (n >= kBlockedCutover)
-    dense_ldlt_blocked(n, a, lda);
+    dense_ldlt_blocked(n, a, lda, kFactorPanel, pc);
   else
-    dense_ldlt(n, a, lda);
+    dense_ldlt(n, a, lda, pc);
 }
 
 template <class T>
-void dense_llt_auto(idx_t n, T* a, idx_t lda) {
+void dense_llt_auto(idx_t n, T* a, idx_t lda, PivotContext* pc = nullptr) {
   if (n >= kBlockedCutover)
-    dense_llt_blocked(n, a, lda);
+    dense_llt_blocked(n, a, lda, kFactorPanel, pc);
   else
-    dense_llt(n, a, lda);
+    dense_llt(n, a, lda, pc);
 }
 
 } // namespace pastix

@@ -16,6 +16,7 @@
 #include <complex>
 #include <type_traits>
 
+#include "dkernel/pivot.hpp"
 #include "support/check.hpp"
 #include "support/scalar.hpp"
 #include "support/types.hpp"
@@ -152,11 +153,13 @@ void scale_columns(idx_t m, idx_t n, T* a, idx_t lda, const T* d, bool invert) {
 }
 
 /// In-place dense LDL^t without pivoting: on return the strict lower part of
-/// A holds L (unit diagonal implicit) and the diagonal holds D.  Throws on a
-/// (near-)zero pivot — the factorization targets SPD/diagonally dominant
-/// symmetric systems, as in the paper.
+/// A holds L (unit diagonal implicit) and the diagonal holds D.  With a null
+/// pivot context (or threshold 0) a (near-)zero pivot throws — the
+/// factorization targets SPD/diagonally dominant symmetric systems, as in
+/// the paper; with a context carrying a positive threshold, tiny pivots are
+/// statically perturbed to sign(d) * threshold and recorded (see pivot.hpp).
 template <class T>
-void dense_ldlt(idx_t n, T* a, idx_t lda) {
+void dense_ldlt(idx_t n, T* a, idx_t lda, PivotContext* pc = nullptr) {
   for (idx_t j = 0; j < n; ++j) {
     T* aj = a + static_cast<std::size_t>(j) * lda;
     // Update column j with previous columns: a(j:, j) -= sum_p L(j:,p) d(p) L(j,p).
@@ -165,17 +168,19 @@ void dense_ldlt(idx_t n, T* a, idx_t lda) {
       const T w = ap[j] * ap[p];  // L(j,p) * d(p)
       for (idx_t i = j; i < n; ++i) aj[i] -= ap[i] * w;
     }
-    const T d = aj[j];
-    PASTIX_CHECK(abs2(d) > 1e-300, "zero pivot in dense LDL^t");
+    const T d = admit_pivot(aj[j], j, pc, "dense LDL^t");
+    aj[j] = d;
     const T inv = T(1) / d;
     for (idx_t i = j + 1; i < n; ++i) aj[i] *= inv;
   }
 }
 
 /// In-place dense Cholesky LL^t (lower).  Used by the multifrontal baseline
-/// (PSPASES factors LL^t) and the kernel benchmark of Section 3.
+/// (PSPASES factors LL^t) and the kernel benchmark of Section 3.  Pivot
+/// admission follows dense_ldlt: non-positive pivots throw without a
+/// context, or are lifted to the perturbation threshold with one.
 template <class T>
-void dense_llt(idx_t n, T* a, idx_t lda) {
+void dense_llt(idx_t n, T* a, idx_t lda, PivotContext* pc = nullptr) {
   for (idx_t j = 0; j < n; ++j) {
     T* aj = a + static_cast<std::size_t>(j) * lda;
     for (idx_t p = 0; p < j; ++p) {
@@ -183,13 +188,12 @@ void dense_llt(idx_t n, T* a, idx_t lda) {
       const T w = ap[j];
       for (idx_t i = j; i < n; ++i) aj[i] -= ap[i] * w;
     }
-    T d = aj[j];
+    T d;
     if constexpr (std::is_same_v<T, double>) {
-      PASTIX_CHECK(d > 0, "non-positive pivot in dense LL^t");
-      d = std::sqrt(d);
+      d = std::sqrt(admit_pivot_llt(aj[j], j, pc, "dense LL^t"));
     } else {
-      d = std::sqrt(d);  // principal branch; fine for dominant real parts
-      PASTIX_CHECK(abs2(d) > 1e-300, "zero pivot in dense LL^t");
+      // principal branch; fine for dominant real parts
+      d = std::sqrt(admit_pivot(aj[j], j, pc, "dense LL^t"));
     }
     aj[j] = d;
     const T inv = T(1) / d;

@@ -1,31 +1,107 @@
 #include "rt/comm.hpp"
 
 #include <exception>
+#include <sstream>
 #include <thread>
 
 namespace pastix::rt {
 
-void run_ranks(int nprocs, const std::function<void(int)>& body) {
+std::string describe_tag(std::uint64_t tag) {
+  const auto kind = static_cast<MsgKind>(tag >> (2 * kTagIdBits));
+  const std::uint64_t id1 = (tag >> kTagIdBits) & ((1ULL << kTagIdBits) - 1);
+  const std::uint64_t id2 = tag & ((1ULL << kTagIdBits) - 1);
+  const char* name = "?";
+  switch (kind) {
+    case MsgKind::kAub: name = "AUB"; break;
+    case MsgKind::kDiag: name = "DIAG"; break;
+    case MsgKind::kPanel: name = "PANEL"; break;
+    case MsgKind::kSolve: name = "SOLVE"; break;
+  }
+  std::ostringstream os;
+  os << name << "(" << id1;
+  if (id2 != 0 || kind == MsgKind::kPanel || kind == MsgKind::kSolve)
+    os << ", " << id2;
+  os << ")";
+  return os.str();
+}
+
+std::string Comm::deadline_diagnostic(int rank, std::uint64_t wanted,
+                                      long deadline_ms) {
+  constexpr std::size_t kMaxListed = 16;
+  std::ostringstream os;
+  os << "receive deadline (" << deadline_ms << " ms) expired: rank " << rank
+     << " is waiting for " << describe_tag(wanted)
+     << " which was never sent.";
+  for (int r = 0; r < nprocs(); ++r) {
+    const auto queued = pending_tags(r);
+    os << "\n  rank " << r << ": " << queued.size() << " pending message"
+       << (queued.size() == 1 ? "" : "s");
+    std::size_t listed = 0;
+    for (const auto& [src, tag] : queued) {
+      if (listed++ >= kMaxListed) {
+        os << " ...";
+        break;
+      }
+      os << (listed == 1 ? " [" : ", ") << "from " << src << " "
+         << describe_tag(tag);
+    }
+    if (listed > 0) os << "]";
+  }
+  os << "\n(a peer rank is stuck, dead, or the communication plan is "
+        "inconsistent)";
+  return os.str();
+}
+
+namespace {
+
+void run_ranks_impl(int nprocs, const std::function<void(int)>& body,
+                    Comm* comm) {
   PASTIX_CHECK(nprocs >= 1, "need at least one rank");
   if (nprocs == 1) {
-    body(0);  // fast path, keeps single-rank stacks debuggable
+    try {
+      body(0);  // fast path, keeps single-rank stacks debuggable
+    } catch (...) {
+      if (comm) comm->abort();
+      throw;
+    }
     return;
   }
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  std::vector<char> secondary(static_cast<std::size_t>(nprocs), 0);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
     threads.emplace_back([&, r] {
       try {
         body(r);
+      } catch (const AbortError&) {
+        // A *different* rank failed first and aborted the communicator;
+        // this is a consequence, not a cause.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        secondary[static_cast<std::size_t>(r)] = 1;
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        if (comm) comm->abort();
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Prefer a root-cause exception over the secondary abort wakeups.
+  for (std::size_t r = 0; r < errors.size(); ++r)
+    if (errors[r] && !secondary[r]) std::rethrow_exception(errors[r]);
   for (const auto& e : errors)
     if (e) std::rethrow_exception(e);
+}
+
+} // namespace
+
+void run_ranks(int nprocs, const std::function<void(int)>& body) {
+  run_ranks_impl(nprocs, body, nullptr);
+}
+
+void run_ranks(Comm& comm, int nprocs, const std::function<void(int)>& body) {
+  PASTIX_CHECK(comm.nprocs() >= nprocs, "comm smaller than rank count");
+  run_ranks_impl(nprocs, body, &comm);
 }
 
 } // namespace pastix::rt

@@ -9,7 +9,17 @@
 // copied messages.  Blocking receives match on (source, tag) like
 // MPI_Recv; sends are buffered and never block.
 //
+// Failure semantics (the part MPI leaves to the application):
+//   - abort() wakes every blocked receiver with an AbortError, so one
+//     failing rank cannot leave its siblings waiting forever;
+//   - an optional receive deadline turns a hang into a diagnostic Error
+//     listing what the rank was waiting for and what is actually queued;
+//   - a seeded fault-injection mode (message delay / reorder / duplicate)
+//     lets tests drive the protocol through adversarial delivery orders
+//     deterministically.
+//
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -19,11 +29,12 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/rng.hpp"
 #include "support/types.hpp"
 
 namespace pastix::rt {
 
-/// Message tags: 64-bit, composed of a kind and up to two 24-bit ids.
+/// Message tags: 64-bit, composed of a kind and up to two 28-bit ids.
 enum class MsgKind : std::uint64_t {
   kAub = 1,    ///< aggregated update block, id1 = target task
   kDiag = 2,   ///< factored diagonal block (L_kk, D_k), id1 = cblk
@@ -31,11 +42,30 @@ enum class MsgKind : std::uint64_t {
   kSolve = 4,  ///< solve-phase segment/contribution, id1 = phase, id2 = object
 };
 
+inline constexpr int kTagIdBits = 28;  ///< bits per id (cblk/blok/task index)
+
+/// Pack (kind, id1, id2) into one tag.  The range check is always on —
+/// a silently wrapped id would mis-match messages on large problems, which
+/// is strictly worse than failing loudly (ids are task/cblk/blok indices,
+/// so 2^28 covers any problem the 32-bit idx_t pipeline can produce).
 constexpr std::uint64_t make_tag(MsgKind kind, std::uint64_t id1,
                                  std::uint64_t id2 = 0) {
-  PASTIX_ASSERT(id1 < (1ULL << 24) && id2 < (1ULL << 24));
-  return (static_cast<std::uint64_t>(kind) << 48) | (id1 << 24) | id2;
+  PASTIX_CHECK(id1 < (1ULL << kTagIdBits) && id2 < (1ULL << kTagIdBits),
+               "message id overflows the tag packing");
+  return (static_cast<std::uint64_t>(kind) << (2 * kTagIdBits)) |
+         (id1 << kTagIdBits) | id2;
 }
+
+/// Human-readable tag decomposition for diagnostics.
+std::string describe_tag(std::uint64_t tag);
+
+/// Thrown by recv() when the communicator was aborted by a *different*
+/// failing rank — distinct from Error so error reporting can prefer the
+/// root cause over the secondary wakeups.
+class AbortError : public Error {
+public:
+  explicit AbortError(const std::string& what) : Error(what) {}
+};
 
 /// A delivered message (payload is an opaque byte copy).
 struct Message {
@@ -55,6 +85,21 @@ struct Message {
   }
 };
 
+/// Deterministic, seeded delivery-fault model (chaos harness).  Each
+/// delivery draws once from the destination mailbox's own RNG stream, so a
+/// given per-box arrival order always produces the same faults.
+struct FaultInjection {
+  std::uint64_t seed = 0x5eed;
+  double delay_prob = 0;      ///< stash; released only when the receiver
+                              ///< would otherwise block (max adversarial lag)
+  double reorder_prob = 0;    ///< deliver at the *front* of the queue
+  double duplicate_prob = 0;  ///< deliver two copies
+
+  [[nodiscard]] bool enabled() const {
+    return delay_prob > 0 || reorder_prob > 0 || duplicate_prob > 0;
+  }
+};
+
 /// MPI-communicator-like world of `nprocs` ranks.
 class Comm {
 public:
@@ -63,6 +108,26 @@ public:
   }
 
   [[nodiscard]] int nprocs() const { return static_cast<int>(boxes_.size()); }
+
+  /// Arm the delivery-fault model.  Call before any rank starts
+  /// communicating; the per-mailbox RNG streams are reseeded here.
+  void set_fault_injection(const FaultInjection& f) {
+    PASTIX_CHECK(f.delay_prob + f.reorder_prob + f.duplicate_prob <= 1.0,
+                 "fault probabilities must sum to <= 1");
+    faults_ = f;
+    for (std::size_t i = 0; i < boxes_.size(); ++i) {
+      std::uint64_t s = f.seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+      boxes_[i].rng_state = splitmix64(s);
+    }
+  }
+
+  /// Deadline for every blocking recv(); zero (the default) waits forever.
+  /// On expiry recv throws a diagnostic Error listing the wanted tag and
+  /// the pending (source, tag) pairs — a hang becomes an actionable report.
+  void set_recv_deadline(std::chrono::milliseconds deadline) {
+    recv_deadline_ms_.store(static_cast<long>(deadline.count()),
+                            std::memory_order_relaxed);
+  }
 
   /// Copy `bytes` bytes to rank `to`'s mailbox.  Never blocks.
   void send(int from, int to, std::uint64_t tag, const void* data,
@@ -76,7 +141,7 @@ public:
     auto& box = boxes_[static_cast<std::size_t>(to)];
     {
       const std::lock_guard lock(box.mutex);
-      box.queue.push_back(std::move(m));
+      deliver_locked(box, std::move(m));
     }
     box.cv.notify_all();
   }
@@ -89,10 +154,14 @@ public:
   }
 
   /// Blocking receive of the first queued message with this tag (any
-  /// source).  Out-of-order arrivals with other tags stay queued.
-  /// Throws if abort() is called while waiting (a peer rank failed).
+  /// source).  Out-of-order arrivals with other tags stay queued.  Throws
+  /// AbortError if abort() is called while waiting (a peer rank failed) and
+  /// a diagnostic Error when the receive deadline expires.
   Message recv(int rank, std::uint64_t tag) {
     auto& box = boxes_[static_cast<std::size_t>(rank)];
+    const long deadline_ms = recv_deadline_ms_.load(std::memory_order_relaxed);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
     std::unique_lock lock(box.mutex);
     for (;;) {
       for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
@@ -102,10 +171,32 @@ public:
           return m;
         }
       }
+      // No match: before blocking, release one artificially delayed message
+      // — injected delays stretch delivery order maximally without ever
+      // making a message undeliverable.
+      if (!box.delayed.empty()) {
+        box.queue.push_back(std::move(box.delayed.front()));
+        box.delayed.pop_front();
+        continue;
+      }
       if (aborted_.load(std::memory_order_relaxed))
-        throw Error("communicator aborted while rank " + std::to_string(rank) +
-                    " was receiving");
-      box.cv.wait(lock);
+        throw AbortError("communicator aborted while rank " +
+                         std::to_string(rank) + " was receiving " +
+                         describe_tag(tag));
+      if (deadline_ms <= 0) {
+        box.cv.wait(lock);
+      } else if (box.cv.wait_until(lock, deadline) ==
+                 std::cv_status::timeout) {
+        // Re-scan once: the notifier may have delivered right at expiry.
+        bool found = false;
+        for (const auto& q : box.queue) found |= (q.tag == tag);
+        if (!found && box.delayed.empty()) {
+          // Build the diagnostic without holding our own mailbox lock so the
+          // per-rank snapshots below never nest two box mutexes.
+          lock.unlock();
+          throw Error(deadline_diagnostic(rank, tag, deadline_ms));
+        }
+      }
     }
   }
 
@@ -119,11 +210,28 @@ public:
     }
   }
 
-  /// Number of messages currently queued for `rank` (diagnostics).
+  [[nodiscard]] bool aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of messages currently queued for `rank` (diagnostics; includes
+  /// artificially delayed messages).
   [[nodiscard]] std::size_t pending(int rank) {
     auto& box = boxes_[static_cast<std::size_t>(rank)];
     const std::lock_guard lock(box.mutex);
-    return box.queue.size();
+    return box.queue.size() + box.delayed.size();
+  }
+
+  /// Snapshot of the (source, tag) pairs queued for `rank` (diagnostics).
+  [[nodiscard]] std::vector<std::pair<int, std::uint64_t>> pending_tags(
+      int rank) {
+    auto& box = boxes_[static_cast<std::size_t>(rank)];
+    const std::lock_guard lock(box.mutex);
+    std::vector<std::pair<int, std::uint64_t>> out;
+    out.reserve(box.queue.size() + box.delayed.size());
+    for (const auto& m : box.queue) out.emplace_back(m.source, m.tag);
+    for (const auto& m : box.delayed) out.emplace_back(m.source, m.tag);
+    return out;
   }
 
 private:
@@ -131,13 +239,48 @@ private:
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<Message> queue;
+    std::deque<Message> delayed;   ///< fault-injected held-back messages
+    std::uint64_t rng_state = 0;   ///< per-box fault RNG (under mutex)
   };
+
+  void deliver_locked(Mailbox& box, Message&& m) {
+    if (!faults_.enabled()) {
+      box.queue.push_back(std::move(m));
+      return;
+    }
+    const double u =
+        static_cast<double>(splitmix64(box.rng_state) >> 11) * 0x1.0p-53;
+    if (u < faults_.delay_prob) {
+      box.delayed.push_back(std::move(m));
+    } else if (u < faults_.delay_prob + faults_.reorder_prob) {
+      box.queue.push_front(std::move(m));
+    } else if (u < faults_.delay_prob + faults_.reorder_prob +
+                       faults_.duplicate_prob) {
+      box.queue.push_back(m);
+      box.queue.push_back(std::move(m));
+    } else {
+      box.queue.push_back(std::move(m));
+    }
+  }
+
+  std::string deadline_diagnostic(int rank, std::uint64_t wanted,
+                                  long deadline_ms);
+
   std::vector<Mailbox> boxes_;
   std::atomic<bool> aborted_{false};
+  std::atomic<long> recv_deadline_ms_{0};
+  FaultInjection faults_;
 };
 
 /// Run `body(rank)` on every rank concurrently (one thread per rank) and
 /// join.  Exceptions thrown by ranks are rethrown on the caller (first one).
 void run_ranks(int nprocs, const std::function<void(int)>& body);
+
+/// Abort-aware variant: any rank that throws first calls comm.abort(), so
+/// sibling ranks blocked in recv() unblock deterministically instead of
+/// waiting for messages that will never come.  The *root cause* exception
+/// is rethrown in preference to the secondary AbortErrors of the woken
+/// siblings.
+void run_ranks(Comm& comm, int nprocs, const std::function<void(int)>& body);
 
 } // namespace pastix::rt

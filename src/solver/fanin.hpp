@@ -43,6 +43,9 @@ struct FaninOptions {
   /// partial aggregation: flush each AUB every k local contributions,
   /// trading messages for peak aggregation memory.
   idx_t partial_chunk = 0;
+  /// Graceful degradation on indefinite / near-singular input: static pivot
+  /// perturbation thresholds and breakdown recording (see dkernel/pivot.hpp).
+  PivotOptions pivot;
 };
 
 /// Per-rank memory footprint after a factorization.
@@ -67,27 +70,42 @@ public:
   /// analysis; the solver keeps references — keep them alive.
   FaninSolver(const SymSparse<T>& a, const SymbolMatrix& s, const TaskGraph& tg,
               const Schedule& sched, const FaninOptions& fopt = {})
-      : a_(a), s_(s), tg_(tg), sched_(sched), kind_(fopt.kind),
+      : a_(a), s_(s), tg_(tg), sched_(sched), kind_(fopt.kind), popt_(fopt.pivot),
         plan_(build_comm_plan(s, tg, sched, fopt.partial_chunk)),
         ranks_(static_cast<std::size_t>(sched.nprocs)) {
     PASTIX_CHECK(a.n() == s.n, "matrix / symbol size mismatch");
     compute_stack_offsets();
     allocate_and_fill();
+    // Static pivot admission threshold: eps_rel relative to max|A| (a zero
+    // matrix still gets a usable absolute floor).
+    double anorm = 0;
+    for (const T& v : a_.diag) anorm = std::max(anorm, std::sqrt(abs2(v)));
+    for (const T& v : a_.val) anorm = std::max(anorm, std::sqrt(abs2(v)));
+    pivot_threshold_ =
+        popt_.perturb ? popt_.eps_rel * (anorm > 0 ? anorm : 1.0) : 0.0;
   }
 
-  /// Run the parallel numerical factorization; returns wall seconds.
+  /// Run the parallel numerical factorization; returns wall seconds.  The
+  /// structured outcome (perturbation counts, breakdown locations) is
+  /// available from factor_status() afterwards — also when this throws.
   double factorize(rt::Comm& comm) {
     PASTIX_CHECK(comm.nprocs() == sched_.nprocs, "comm size mismatch");
     init_countdowns();
+    status_ = FactorStatus{};
+    for (auto& r : ranks_) {
+      r.status = FactorStatus{};
+      r.status.max_recorded = popt_.max_recorded;
+    }
     Timer timer;
-    rt::run_ranks(sched_.nprocs, [&](int rank) {
-      try {
+    try {
+      rt::run_ranks(comm, sched_.nprocs, [&](int rank) {
         run_factorization(comm, static_cast<idx_t>(rank));
-      } catch (...) {
-        comm.abort();
-        throw;
-      }
-    });
+      });
+    } catch (...) {
+      collect_status();
+      throw;
+    }
+    collect_status();
     factored_ = true;
     return timer.seconds();
   }
@@ -97,16 +115,17 @@ public:
     PASTIX_CHECK(factored_, "factorize() must run before solve()");
     PASTIX_CHECK(static_cast<idx_t>(b.size()) == s_.n, "rhs size mismatch");
     std::vector<T> x(b.size());
-    rt::run_ranks(sched_.nprocs, [&](int rank) {
-      try {
-        run_solve(comm, static_cast<idx_t>(rank), b, x);
-      } catch (...) {
-        comm.abort();
-        throw;
-      }
+    rt::run_ranks(comm, sched_.nprocs, [&](int rank) {
+      run_solve(comm, static_cast<idx_t>(rank), b, x);
     });
     return x;
   }
+
+  /// Structured outcome of the last factorize() (merged across ranks).
+  [[nodiscard]] const FactorStatus& factor_status() const { return status_; }
+
+  /// Absolute pivot admission threshold used by factorize() (0 = hard fail).
+  [[nodiscard]] double pivot_threshold() const { return pivot_threshold_; }
 
   /// Factor access for verification: L(i, j), i > j (unit diagonal implied).
   [[nodiscard]] T factor_entry(idx_t i, idx_t j) const {
@@ -195,6 +214,7 @@ private:
     big_t aub_bytes_now = 0;   ///< live AUB memory (partial-aggregation knob)
     big_t aub_peak_bytes = 0;
     RankTaskTimes task_times;  ///< measured per-task-type wall times
+    FactorStatus status;       ///< this rank's pivot/breakdown record
   };
 
   /// Pointer to the top-left of blok b inside its owner's storage.
@@ -269,6 +289,12 @@ private:
         r.aub_remaining[sigma]++;
     }
     for (auto& r : ranks_) r.aub_initial = r.aub_remaining;
+  }
+
+  void collect_status() {
+    status_ = FactorStatus{};
+    status_.max_recorded = popt_.max_recorded;
+    for (const auto& r : ranks_) status_.merge(r.status);
   }
 
   // -------------------------------------------------------- AUB management --
@@ -446,10 +472,13 @@ private:
     T* a = me.cblk_store.at(k).data();
 
     recv_aubs(comm, rank, t, a, static_cast<std::size_t>(rows) * w);
+    PivotContext pctx{pivot_threshold_, ck.fcolnum, &me.status};
     if (kind_ == FactorKind::kLdlt)
-      dense_ldlt_auto(w, a, rows);
+      dense_ldlt_auto(w, a, rows, &pctx);
     else
-      dense_llt_auto(w, a, rows);
+      dense_llt_auto(w, a, rows, &pctx);
+    check_block_finite(a, w, w, rows, ck.fcolnum, "COMP1D diagonal block",
+                       &me.status);
 
     if (below > 0) {
       T* sub = a + w;
@@ -477,6 +506,10 @@ private:
         bmat = sub;
         ldb = rows;
       }
+      // Panel boundary guard: stop a NaN/Inf here, before the GEMMs below
+      // smear it across every facing block of the elimination tree.
+      check_block_finite(a + w, below, w, rows, ck.fcolnum, "COMP1D panel",
+                         &me.status);
 
       // Contributions: for each facing blok bj, one compacted GEMM over all
       // rows from bj downwards: C = L_[bj..] * W_bj^t.
@@ -501,10 +534,15 @@ private:
     const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
     T* a = me.blok_store.at(task.blok).data();
     recv_aubs(comm, rank, t, a, static_cast<std::size_t>(w) * w);
+    PivotContext pctx{pivot_threshold_,
+                      s_.cblks[static_cast<std::size_t>(k)].fcolnum,
+                      &me.status};
     if (kind_ == FactorKind::kLdlt)
-      dense_ldlt_auto(w, a, w);
+      dense_ldlt_auto(w, a, w, &pctx);
     else
-      dense_llt_auto(w, a, w);
+      dense_llt_auto(w, a, w, &pctx);
+    check_block_finite(a, w, w, w, pctx.base_column, "FACTOR diagonal block",
+                       &me.status);
     for (const idx_t q : plan_.diag_dests[static_cast<std::size_t>(t)])
       comm.send_array(static_cast<int>(rank), static_cast<int>(q),
                       rt::make_tag(rt::MsgKind::kDiag,
@@ -541,6 +579,9 @@ private:
       trsm_right_lt_unit(m, w, lkk, w, a, m);  // a := W = L D
     else
       trsm_right_lt(m, w, lkk, w, a, m);  // a := L (also the GEMM panel)
+    check_block_finite(a, m, w, m,
+                       s_.cblks[static_cast<std::size_t>(k)].fcolnum,
+                       "BDIV panel", &me.status);
 
     auto& panel = me.panel_cache[task.blok];
     panel.assign(a, a + static_cast<std::size_t>(m) * w);
@@ -612,9 +653,12 @@ private:
   const TaskGraph& tg_;
   const Schedule& sched_;
   FactorKind kind_;
+  PivotOptions popt_;
+  double pivot_threshold_ = 0;
   CommPlan plan_;
   std::vector<Rank> ranks_;
   std::vector<idx_t> stack_off_;
+  FactorStatus status_;
   bool factored_ = false;
 };
 

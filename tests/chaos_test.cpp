@@ -1,0 +1,301 @@
+// Chaos / graceful-degradation harness: drive adversarial inputs and
+// adversarial message delivery through the full analyze -> factorize ->
+// solve pipeline at 1-8 ranks, and assert that every run ends in one of the
+// two sanctioned outcomes — a structured FactorStatus / pastix::Error, or a
+// perturb+refine recovery with a small backward error.  No hang, no bare
+// crash, no silent NaN.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/pastix.hpp"
+#include "sparse/coo_builder.hpp"
+#include "sparse/gen.hpp"
+#include "support/rng.hpp"
+
+namespace pastix {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Backstop: any blocked recv turns into a diagnostic error instead of a
+// hang, so a protocol bug fails the test instead of timing it out.
+constexpr auto kDeadline = 10000ms;
+
+// ------------------------------------------------------------ generators --
+
+/// Diagonally dominant but *indefinite*: random SPD with a random subset of
+/// diagonal signs flipped.  LDL^t without pivoting stays stable (no pivot
+/// can come near zero), so this must factor cleanly and solve accurately.
+SymSparse<double> gen_indefinite(idx_t n, int degree, std::uint64_t seed) {
+  SymSparse<double> a = gen_random_spd(n, degree, seed);
+  Rng rng(seed ^ 0xdefaced);
+  for (idx_t i = 0; i < n; ++i)
+    if (rng.next_double() < 0.4) a.diag[static_cast<std::size_t>(i)] *= -1.0;
+  return a;
+}
+
+/// Exactly singular: one vertex's row/column (including the diagonal) is
+/// zeroed out — the pivot at that unknown is bit-exact zero.
+SymSparse<double> gen_singular_zero_row(idx_t n, int degree,
+                                        std::uint64_t seed) {
+  const SymSparse<double> s = gen_random_spd(n, degree, seed);
+  const idx_t dead = static_cast<idx_t>(seed % static_cast<std::uint64_t>(n));
+  CooBuilder<double> b(n);
+  for (idx_t j = 0; j < n; ++j) {
+    if (j != dead) b.add(j, j, s.diag[static_cast<std::size_t>(j)]);
+    for (idx_t q = s.pattern.colptr[j]; q < s.pattern.colptr[j + 1]; ++q) {
+      const idx_t i = s.pattern.rowind[q];
+      if (i == dead || j == dead) continue;
+      b.add(i, j, s.val[q]);
+    }
+  }
+  return b.build();
+}
+
+/// Near-singular: a few diagonal entries scaled down to ~1e-16 of the
+/// matrix norm, producing pivots below the admission threshold's magnitude
+/// neighbourhood without exact zeros.
+SymSparse<double> gen_near_singular(idx_t n, int degree, std::uint64_t seed) {
+  SymSparse<double> a = gen_random_spd(n, degree, seed);
+  Rng rng(seed ^ 0xabcdef);
+  for (int hits = 0; hits < 3; ++hits) {
+    const idx_t i = static_cast<idx_t>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    a.diag[static_cast<std::size_t>(i)] *= 1e-16;
+  }
+  return a;
+}
+
+/// Duplicate-entry assembly: every structural entry added twice with half
+/// the value (finite-element style), must be bit-identical to the clean
+/// build after CooBuilder compression.
+SymSparse<double> gen_duplicate_entries(idx_t n, int degree,
+                                        std::uint64_t seed) {
+  const SymSparse<double> s = gen_random_spd(n, degree, seed);
+  CooBuilder<double> b(n);
+  for (idx_t j = 0; j < n; ++j) {
+    b.add(j, j, s.diag[static_cast<std::size_t>(j)] / 2);
+    b.add(j, j, s.diag[static_cast<std::size_t>(j)] / 2);
+    for (idx_t q = s.pattern.colptr[j]; q < s.pattern.colptr[j + 1]; ++q) {
+      // Add from both triangles — CooBuilder canonicalizes.
+      b.add(s.pattern.rowind[q], j, s.val[q] / 2);
+      b.add(j, s.pattern.rowind[q], s.val[q] / 2);
+    }
+  }
+  return b.build();
+}
+
+// ------------------------------------------------------- property sweep ---
+
+enum class Scenario { kIndefinite, kSingular, kNearSingular, kDuplicates };
+
+struct ChaosCase {
+  const char* name;
+  Scenario scenario;
+  idx_t n;
+  int degree;
+  idx_t nprocs;
+  std::uint64_t seed;
+};
+
+class ChaosPipeline : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosPipeline, StructuredOutcomeOrRecovery) {
+  const ChaosCase& cc = GetParam();
+  SymSparse<double> a;
+  switch (cc.scenario) {
+    case Scenario::kIndefinite:
+      a = gen_indefinite(cc.n, cc.degree, cc.seed);
+      break;
+    case Scenario::kSingular:
+      a = gen_singular_zero_row(cc.n, cc.degree, cc.seed);
+      break;
+    case Scenario::kNearSingular:
+      a = gen_near_singular(cc.n, cc.degree, cc.seed);
+      break;
+    case Scenario::kDuplicates:
+      a = gen_duplicate_entries(cc.n, cc.degree, cc.seed);
+      break;
+  }
+
+  SolverOptions opt;
+  opt.nprocs = cc.nprocs;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.comm().set_recv_deadline(kDeadline);
+
+  try {
+    solver.factorize();
+  } catch (const Error& e) {
+    // Sanctioned outcome 1: a structured error (located breakdown), never a
+    // hang — reaching this catch at all proves every rank unwound.
+    EXPECT_NE(solver.stats().factor_status.first_breakdown, kNone)
+        << cc.name << ": error without a located breakdown: " << e.what();
+    return;
+  }
+
+  const FactorStatus& fs = solver.stats().factor_status;
+  const std::vector<double> b = reference_rhs(a);
+  const auto res = solver.solve_adaptive(b, 1e-12);
+
+  if (res.converged) {
+    // Sanctioned outcome 2: recovery — clean or perturbed+refined — with a
+    // small backward error.
+    EXPECT_LE(res.backward_error, 1e-10) << cc.name;
+  } else {
+    // Sanctioned outcome 1 again, in report form: refinement could not
+    // reach the target (e.g. truly singular A), so the factorization must
+    // say why — perturbed pivots on record.
+    EXPECT_FALSE(fs.clean())
+        << cc.name << ": refinement stalled at backward error "
+        << res.backward_error << " but the factorization claims it was clean";
+  }
+
+  // Scenario-specific structure of the report.
+  if (cc.scenario == Scenario::kSingular) {
+    EXPECT_GE(fs.perturbations, 1) << cc.name;
+    EXPECT_NE(fs.first_breakdown, kNone) << cc.name;
+    EXPECT_LE(fs.min_pivot_abs, solver.numeric().pivot_threshold()) << cc.name;
+  }
+  if (cc.scenario == Scenario::kIndefinite ||
+      cc.scenario == Scenario::kDuplicates) {
+    EXPECT_TRUE(fs.clean()) << cc.name << ": " << fs.to_string();
+    EXPECT_TRUE(res.converged) << cc.name << ": backward error "
+                               << res.backward_error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Degradation, ChaosPipeline,
+    ::testing::Values(
+        ChaosCase{"indefinite_p1", Scenario::kIndefinite, 120, 5, 1, 21},
+        ChaosCase{"indefinite_p3", Scenario::kIndefinite, 150, 6, 3, 22},
+        ChaosCase{"indefinite_p8", Scenario::kIndefinite, 200, 5, 8, 23},
+        ChaosCase{"singular_p1", Scenario::kSingular, 90, 5, 1, 31},
+        ChaosCase{"singular_p2", Scenario::kSingular, 120, 4, 2, 32},
+        ChaosCase{"singular_p5", Scenario::kSingular, 150, 6, 5, 33},
+        ChaosCase{"singular_p8", Scenario::kSingular, 170, 5, 8, 34},
+        ChaosCase{"near_singular_p1", Scenario::kNearSingular, 100, 5, 1, 41},
+        ChaosCase{"near_singular_p4", Scenario::kNearSingular, 140, 5, 4, 42},
+        ChaosCase{"near_singular_p7", Scenario::kNearSingular, 160, 4, 7, 43},
+        ChaosCase{"duplicates_p1", Scenario::kDuplicates, 110, 5, 1, 51},
+        ChaosCase{"duplicates_p6", Scenario::kDuplicates, 130, 5, 6, 52}),
+    [](const auto& info) { return info.param.name; });
+
+// --------------------------------------------- fault-injected deliveries --
+
+// The static communication plan must tolerate adversarial delivery order:
+// delayed and front-inserted messages exercise the out-of-order tag
+// matching on every (source, tag) stream of the real pipeline.
+TEST(ChaosComm, PipelineSurvivesDelayAndReorderInjection) {
+  const SymSparse<double> a = gen_fe_mesh({8, 8, 3, 1, 1, 77});
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    SolverOptions opt;
+    opt.nprocs = 4;
+    Solver<double> solver(opt);
+    solver.analyze(a);
+    solver.comm().set_recv_deadline(kDeadline);
+    rt::FaultInjection faults;
+    faults.seed = seed;
+    faults.delay_prob = 0.15;
+    faults.reorder_prob = 0.25;
+    solver.comm().set_fault_injection(faults);
+    solver.factorize();
+    EXPECT_TRUE(solver.stats().factor_status.clean());
+    const std::vector<double> b = reference_rhs(a);
+    const auto x = solver.solve(b);
+    EXPECT_LT(relative_residual(a, x, b), 1e-10) << "seed " << seed;
+  }
+}
+
+// A deliberately failing rank must unblock every peer within the receive
+// deadline, and the *root cause* must be what the caller sees.
+TEST(ChaosComm, FailingRankUnblocksPeersWithRootCause) {
+  rt::Comm comm(4);
+  comm.set_recv_deadline(kDeadline);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    rt::run_ranks(comm, 4, [&](int rank) {
+      if (rank == 2) throw Error("deliberate failure on rank 2");
+      // Everyone else blocks on a message that will never come.
+      (void)comm.recv(rank, rt::make_tag(rt::MsgKind::kDiag, 7));
+    });
+    FAIL() << "run_ranks must rethrow";
+  } catch (const rt::AbortError&) {
+    FAIL() << "secondary abort wakeup must not mask the root cause";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deliberate failure"),
+              std::string::npos);
+  }
+  // Peers unblocked via abort(), far before the recv deadline.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, kDeadline);
+}
+
+// A receive that can never be satisfied must turn into a diagnostic listing
+// the wanted tag and the pending (source, tag) pairs — not a hang.
+TEST(ChaosComm, RecvDeadlineReportsPendingTags) {
+  rt::Comm comm(2);
+  comm.set_recv_deadline(200ms);
+  // Queue something unrelated first so the diagnostic has a pending entry;
+  // single-threaded on purpose — the send is in the box before the recv.
+  const double v = 1.0;
+  comm.send_array(1, 0, rt::make_tag(rt::MsgKind::kPanel, 3, 4), &v, 1);
+  std::string diag;
+  try {
+    (void)comm.recv(0, rt::make_tag(rt::MsgKind::kDiag, 42));
+    FAIL() << "recv must not succeed";
+  } catch (const Error& e) {
+    diag = e.what();
+  }
+  EXPECT_NE(diag.find("deadline"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("DIAG(42)"), std::string::npos) << diag;      // wanted
+  EXPECT_NE(diag.find("PANEL(3, 4)"), std::string::npos) << diag;   // pending
+  EXPECT_NE(diag.find("from 1"), std::string::npos) << diag;        // source
+}
+
+// NaN input must be caught at a panel boundary with a located, structured
+// error on every rank count — never propagated into the factor or hung on.
+TEST(ChaosPipelineNonFinite, NanInputIsCaughtStructurally) {
+  for (const idx_t nprocs : {1, 3, 6}) {
+    SymSparse<double> a = gen_random_spd(80, 5, 99);
+    a.diag[17] = std::numeric_limits<double>::quiet_NaN();
+    SolverOptions opt;
+    opt.nprocs = nprocs;
+    Solver<double> solver(opt);
+    solver.analyze(a);
+    solver.comm().set_recv_deadline(kDeadline);
+    try {
+      solver.factorize();
+      FAIL() << "NaN input must not factor";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+          << e.what();
+    }
+    EXPECT_NE(solver.stats().factor_status.nonfinite_at, kNone);
+  }
+}
+
+// solve_adaptive on a clean SPD problem: converged, tiny backward error,
+// and the step count stays modest (no perturbation means no escalation).
+TEST(AdaptiveSolve, CleanProblemConvergesFast) {
+  const SymSparse<double> a = gen_fe_mesh({10, 10, 2, 2, 1, 5});
+  SolverOptions opt;
+  opt.nprocs = 3;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  EXPECT_TRUE(solver.stats().factor_status.clean());
+  const std::vector<double> b = reference_rhs(a);
+  const auto res = solver.solve_adaptive(b);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.backward_error, 1e-12);
+  EXPECT_LE(res.steps, 8);
+  EXPECT_FALSE(res.diverged);
+  EXPECT_LT(relative_residual(a, res.x, b), 1e-12);
+}
+
+} // namespace
+} // namespace pastix

@@ -3,6 +3,10 @@
 // real and complex instantiations.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "dkernel/blocked_factor.hpp"
 #include "dkernel/dense_matrix.hpp"
 #include "dkernel/kernels.hpp"
 #include "support/rng.hpp"
@@ -232,6 +236,122 @@ TEST(Kernels, LltRejectsIndefinite) {
   a(1, 0) = 2.0;
   a(1, 1) = 1.0;  // Schur complement -3 < 0
   EXPECT_THROW(dense_llt(2, a.data(), a.ld()), Error);
+}
+
+TEST(Pivot, LdltPerturbsAndRecordsTinyPivot) {
+  // Same exactly-singular 2x2 as LdltRejectsSingular, but with a pivot
+  // context: the zero Schur pivot is replaced by +threshold and recorded.
+  DenseMatrix<double> a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0;
+  FactorStatus st;
+  PivotContext pc{1e-10, 0, &st};
+  EXPECT_NO_THROW(dense_ldlt(2, a.data(), a.ld(), &pc));
+  EXPECT_EQ(st.perturbations, 1);
+  EXPECT_EQ(st.first_breakdown, 1);
+  ASSERT_EQ(st.events.size(), 1u);
+  EXPECT_EQ(st.events[0].column, 1);
+  EXPECT_DOUBLE_EQ(st.events[0].before_abs, 0.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 1e-10);  // the perturbed D entry
+  EXPECT_FALSE(st.clean());
+}
+
+TEST(Pivot, NegativePivotKeepsItsSign) {
+  // sign(d) * tau, not |tau|: a tiny *negative* pivot stays negative so the
+  // inertia of the perturbed factor tracks the original.
+  DenseMatrix<double> a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0 - 1e-14;  // Schur pivot computes to ~ -1e-14
+  FactorStatus st;
+  PivotContext pc{1e-10, 0, &st};
+  dense_ldlt(2, a.data(), a.ld(), &pc);
+  EXPECT_EQ(st.perturbations, 1);
+  EXPECT_LT(a(1, 1), 0.0);
+  EXPECT_NEAR(a(1, 1), -1e-10, 1e-16);
+}
+
+TEST(Pivot, LltLiftsNonPositivePivot) {
+  DenseMatrix<double> a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // Schur complement -3: inadmissible under LL^t
+  FactorStatus st;
+  PivotContext pc{1e-8, 0, &st};
+  EXPECT_NO_THROW(dense_llt(2, a.data(), a.ld(), &pc));
+  EXPECT_EQ(st.perturbations, 1);
+  EXPECT_DOUBLE_EQ(a(1, 1), std::sqrt(1e-8));
+}
+
+TEST(Pivot, BlockedVariantReportsGlobalColumns) {
+  // Build an SPD matrix, then poison the diagonal inside a *later* panel;
+  // the blocked factorization must report the perturbed column in the
+  // caller's global numbering (base_column + panel offset + local index).
+  const idx_t n = 2 * kFactorPanel;  // exactly two panels
+  DenseMatrix<double> a(n, n);
+  Rng rng(77);
+  for (idx_t j = 0; j < n; ++j) {
+    a(j, j) = 100.0 + rng.next_double();
+    for (idx_t i = j + 1; i < n; ++i) a(i, j) = 0.1 * rng.next_double();
+  }
+  const idx_t poisoned = kFactorPanel + 3;  // second panel, local column 3
+  a(poisoned, poisoned) = 0.0;  // Schur pivot ~ -1e-2 vs healthy ~ 100
+  FactorStatus st;
+  PivotContext pc{1.0, 1000, &st};  // caller's block starts at column 1000
+  dense_ldlt_blocked(n, a.data(), a.ld(), kFactorPanel, &pc);
+  EXPECT_EQ(st.perturbations, 1);
+  ASSERT_EQ(st.events.size(), 1u);
+  EXPECT_EQ(st.events[0].column, 1000 + poisoned);
+  EXPECT_EQ(st.first_breakdown, 1000 + poisoned);
+}
+
+TEST(Pivot, NonFinitePivotThrowsLocatedError) {
+  DenseMatrix<double> a(2, 2);
+  a(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  FactorStatus st;
+  PivotContext pc{1e-10, 40, &st};
+  try {
+    dense_ldlt(2, a.data(), a.ld(), &pc);
+    FAIL() << "NaN pivot must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("column 40"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(st.nonfinite_at, 40);
+  EXPECT_FALSE(st.clean());
+}
+
+TEST(Pivot, CheckBlockFiniteLocatesBadEntry) {
+  DenseMatrix<double> a(3, 2);
+  a(0, 0) = 1.0;
+  a(2, 1) = std::numeric_limits<double>::infinity();
+  FactorStatus st;
+  try {
+    check_block_finite(a.data(), 3, 2, a.ld(), 10, "test panel", &st);
+    FAIL() << "Inf must be caught";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("(2, 11)"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(st.nonfinite_at, 11);
+}
+
+TEST(Pivot, StatusMergeFoldsRanks) {
+  FactorStatus a, b;
+  a.note_pivot(0.5);
+  a.note_perturbation(30, 1e-20);
+  b.note_pivot(0.25);
+  b.note_perturbation(12, 0.0);
+  b.note_nonfinite(44);
+  a.merge(b);
+  EXPECT_EQ(a.perturbations, 2);
+  EXPECT_DOUBLE_EQ(a.min_pivot_abs, 0.25);
+  EXPECT_EQ(a.first_breakdown, 12);
+  EXPECT_EQ(a.nonfinite_at, 44);
+  EXPECT_EQ(a.events.size(), 2u);
 }
 
 } // namespace

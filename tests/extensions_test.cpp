@@ -124,14 +124,12 @@ TEST(CostModel, PredictionsArePositiveAndMonotone) {
   EXPECT_GT(m.comm_time(1e6), m.comm_time(10));
 }
 
-TEST(FailureInjection, SingularMatrixAbortsAllRanksCleanly) {
-  // The pure graph Laplacian (diag = degree, no shift) annihilates the
-  // constant vector, so the very last pivot of the factorization is exactly
-  // zero.  The failing rank must abort the communicator and every rank must
-  // unwind (no hang), with the error propagating to the caller.
-  // A healthy 14x14 grid keeps every rank busy, plus a disconnected pair of
-  // vertices whose 2x2 block [1 1; 1 1] is *exactly* singular in floating
-  // point (the second pivot computes to 1 - 1*1*1 = 0.0 bit-exactly).
+// The pure graph Laplacian (diag = degree, no shift) annihilates the
+// constant vector, so the factorization hits an exact zero pivot.  A healthy
+// 14x14 grid keeps every rank busy, plus a disconnected pair of vertices
+// whose 2x2 block [1 1; 1 1] is *exactly* singular in floating point (the
+// second pivot computes to 1 - 1*1*1 = 0.0 bit-exactly).
+SymSparse<double> exactly_singular_matrix() {
   const auto grid = gen_grid_laplacian(14, 14);
   const idx_t n = grid.n();
   CooBuilder<double> b(n + 2);
@@ -143,12 +141,38 @@ TEST(FailureInjection, SingularMatrixAbortsAllRanksCleanly) {
   b.add(n, n, 1.0);
   b.add(n + 1, n + 1, 1.0);
   b.add(n + 1, n, 1.0);
-  const auto a = b.build();
+  return b.build();
+}
+
+TEST(FailureInjection, SingularMatrixAbortsAllRanksCleanly) {
+  // With static pivot perturbation disabled, the failing rank must abort the
+  // communicator and every rank must unwind (no hang), with the error
+  // propagating to the caller.
+  const auto a = exactly_singular_matrix();
+  SolverOptions opt;
+  opt.nprocs = 4;
+  opt.fanin.pivot.perturb = false;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  EXPECT_THROW(solver.factorize(), Error);
+  // The structured report survives the throw and locates the breakdown.
+  EXPECT_NE(solver.stats().factor_status.first_breakdown, kNone);
+}
+
+TEST(FailureInjection, SingularMatrixPerturbsUnderDefaultOptions) {
+  // Default graceful degradation: the same exactly singular matrix factors
+  // to completion, with every replaced pivot counted and located.
+  const auto a = exactly_singular_matrix();
   SolverOptions opt;
   opt.nprocs = 4;
   Solver<double> solver(opt);
   solver.analyze(a);
-  EXPECT_THROW(solver.factorize(), Error);
+  EXPECT_NO_THROW(solver.factorize());
+  const FactorStatus& fs = solver.stats().factor_status;
+  EXPECT_GE(fs.perturbations, 1);
+  EXPECT_NE(fs.first_breakdown, kNone);
+  EXPECT_FALSE(fs.clean());
+  EXPECT_FALSE(fs.events.empty());
 }
 
 } // namespace

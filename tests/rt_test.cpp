@@ -98,5 +98,115 @@ TEST(RunRanks, PropagatesExceptions) {
                Error);
 }
 
+TEST(Comm, MakeTagRejectsOverflowingIds) {
+  // The range check must be on in every build (a silently wrapped id would
+  // mis-route messages), not just under assertions.
+  EXPECT_NO_THROW(make_tag(MsgKind::kAub, (1ULL << kTagIdBits) - 1));
+  EXPECT_THROW(make_tag(MsgKind::kAub, 1ULL << kTagIdBits), Error);
+  EXPECT_THROW(make_tag(MsgKind::kPanel, 0, 1ULL << kTagIdBits), Error);
+}
+
+TEST(Comm, DescribeTagNamesKindAndIds) {
+  EXPECT_EQ(describe_tag(make_tag(MsgKind::kDiag, 42)), "DIAG(42)");
+  EXPECT_EQ(describe_tag(make_tag(MsgKind::kPanel, 3, 4)), "PANEL(3, 4)");
+  EXPECT_EQ(describe_tag(make_tag(MsgKind::kAub, 9)), "AUB(9)");
+}
+
+TEST(Comm, RunRanksWithCommUnblocksSiblingsOnThrow) {
+  // One rank throws without ever sending; the sibling is blocked on a recv
+  // that will never be satisfied.  The abort-aware run_ranks must wake it
+  // and rethrow the root cause, not the sibling's secondary AbortError.
+  Comm comm(2);
+  try {
+    run_ranks(comm, 2, [&](int rank) {
+      if (rank == 1) throw Error("rank 1 died");
+      (void)comm.recv(0, make_tag(MsgKind::kDiag, 1));
+    });
+    FAIL() << "must rethrow the failing rank's error";
+  } catch (const AbortError&) {
+    FAIL() << "secondary AbortError must not mask the root cause";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1 died"), std::string::npos);
+  }
+  EXPECT_TRUE(comm.aborted());
+}
+
+TEST(Comm, ReorderInjectionStillMatchesTags) {
+  // Under heavy front-insertion the per-tag streams arrive scrambled, but
+  // tag matching must hand every receiver exactly its own messages.
+  Comm comm(1);
+  FaultInjection f;
+  f.seed = 7;
+  f.reorder_prob = 0.9;
+  comm.set_fault_injection(f);
+  for (int i = 0; i < 50; ++i)
+    comm.send_array(0, 0, make_tag(MsgKind::kDiag,
+                                   static_cast<std::uint64_t>(i)),
+                    &i, 1);
+  // Receive in sending order even though the queue is scrambled.
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(*comm.recv(0, make_tag(MsgKind::kDiag,
+                                     static_cast<std::uint64_t>(i)))
+                   .as<int>(),
+              i);
+  EXPECT_EQ(comm.pending(0), 0u);
+}
+
+TEST(Comm, DelayInjectionReleasesWhenReceiverBlocks) {
+  // With delay_prob == 1 every message is stashed; recv must promote stashed
+  // messages instead of deadlocking, so nothing is ever undeliverable.
+  Comm comm(1);
+  FaultInjection f;
+  f.seed = 11;
+  f.delay_prob = 1.0;
+  comm.set_fault_injection(f);
+  const int a = 5, b = 6;
+  comm.send_array(0, 0, make_tag(MsgKind::kAub, 1), &a, 1);
+  comm.send_array(0, 0, make_tag(MsgKind::kAub, 2), &b, 1);
+  EXPECT_EQ(comm.pending(0), 2u);  // both held back
+  EXPECT_EQ(*comm.recv(0, make_tag(MsgKind::kAub, 2)).as<int>(), 6);
+  EXPECT_EQ(*comm.recv(0, make_tag(MsgKind::kAub, 1)).as<int>(), 5);
+}
+
+TEST(Comm, DuplicateInjectionDeliversTwoCopies) {
+  Comm comm(1);
+  FaultInjection f;
+  f.seed = 3;
+  f.duplicate_prob = 1.0;
+  comm.set_fault_injection(f);
+  const int v = 9;
+  comm.send_array(0, 0, make_tag(MsgKind::kDiag, 4), &v, 1);
+  EXPECT_EQ(comm.pending(0), 2u);
+  EXPECT_EQ(*comm.recv(0, make_tag(MsgKind::kDiag, 4)).as<int>(), 9);
+  EXPECT_EQ(*comm.recv(0, make_tag(MsgKind::kDiag, 4)).as<int>(), 9);
+}
+
+TEST(Comm, FaultInjectionIsDeterministicPerSeed) {
+  // Same seed + same arrival order => same delivery decisions.
+  auto trace = [](std::uint64_t seed) {
+    Comm comm(1);
+    FaultInjection f;
+    f.seed = seed;
+    f.reorder_prob = 0.5;
+    comm.set_fault_injection(f);
+    for (int i = 0; i < 16; ++i)
+      comm.send_array(0, 0, make_tag(MsgKind::kAub, 1), &i, 1);
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+      order.push_back(*comm.recv(0, make_tag(MsgKind::kAub, 1)).as<int>());
+    return order;
+  };
+  EXPECT_EQ(trace(123), trace(123));
+  EXPECT_NE(trace(123), trace(456));  // and the seed actually matters
+}
+
+TEST(Comm, RejectsInvalidFaultProbabilities) {
+  Comm comm(1);
+  FaultInjection f;
+  f.delay_prob = 0.6;
+  f.reorder_prob = 0.6;
+  EXPECT_THROW(comm.set_fault_injection(f), Error);
+}
+
 } // namespace
 } // namespace pastix::rt
