@@ -3,24 +3,45 @@
 // report analysis statistics and the residual — the adoption path for a
 // user with their own matrices.
 //
-//   ./solve_file <matrix.mtx> [nprocs] [--refine]
+//   ./solve_file <matrix.mtx> [nprocs] [--refine] [--plan <file>]
+//
+// --plan <file> persists the analysis: if <file> exists and matches the
+// matrix pattern it is loaded (skipping ordering/symbolic/scheduling
+// entirely); otherwise the analysis runs once and is saved there for the
+// next invocation.
 //
 // Without arguments, writes a demo matrix to ./demo.mtx and solves it, so
 // the example is runnable out of the box.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "core/pastix.hpp"
+#include "core/plan_io.hpp"
 #include "sparse/gen.hpp"
 #include "sparse/io.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace pastix;
-  std::string path = argc > 1 ? argv[1] : "";
-  const idx_t nprocs = argc > 2 ? std::atoi(argv[2]) : 4;
-  const bool refine =
-      argc > 3 && std::strcmp(argv[3], "--refine") == 0;
+  std::string path;
+  std::string plan_path;
+  idx_t nprocs = 4;
+  bool refine = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--refine") == 0) {
+      refine = true;
+    } else if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
+      plan_path = argv[++i];
+    } else if (positional == 0) {
+      path = argv[i];
+      positional++;
+    } else if (positional == 1) {
+      nprocs = std::atoi(argv[i]);
+      positional++;
+    }
+  }
 
   if (path.empty()) {
     path = "demo.mtx";
@@ -42,8 +63,30 @@ int main(int argc, char** argv) {
   SolverOptions opt;
   opt.nprocs = nprocs;
   Solver<double> solver(opt);
+
+  // Warm-start from a saved plan when one is given and still valid for this
+  // matrix pattern and processor count; fall back to a fresh analysis (and
+  // refresh the plan file) otherwise.
   Timer t_analyze;
-  solver.analyze(a);
+  bool plan_loaded = false;
+  if (!plan_path.empty() && std::ifstream(plan_path).good()) {
+    try {
+      PlanPtr plan = load_plan(plan_path);
+      solver.analyze(a, std::move(plan));
+      plan_loaded = true;
+      std::cout << "analysis loaded from " << plan_path << "\n";
+    } catch (const Error& e) {
+      std::cout << "saved plan not usable (" << e.what()
+                << "); re-analyzing\n";
+    }
+  }
+  if (!plan_loaded) {
+    solver.analyze(a);
+    if (!plan_path.empty()) {
+      save_plan(*solver.plan(), plan_path);
+      std::cout << "analysis saved to " << plan_path << "\n";
+    }
+  }
   const double analyze_s = t_analyze.seconds();
   const double factor_s = solver.factorize();
 
@@ -54,7 +97,8 @@ int main(int argc, char** argv) {
   table.add_row({"column blocks", std::to_string(st.ncblk)});
   table.add_row({"tasks", std::to_string(st.ntask)});
   table.add_row({"2D supernodes", std::to_string(st.n_2d_cblks)});
-  table.add_row({"analysis time (s)", fmt_fixed(analyze_s, 3)});
+  table.add_row({plan_loaded ? "analysis load time (s)" : "analysis time (s)",
+                 fmt_fixed(analyze_s, 3)});
   table.add_row({"factorization wall (s)", fmt_fixed(factor_s, 3)});
   table.add_row({"predicted parallel (s)", fmt_fixed(st.predicted_time, 4)});
   table.add_row({"effective Gflop/s",

@@ -1,0 +1,59 @@
+//
+// Free-function analysis pipeline producing the shareable AnalysisPlan.
+//
+#include "core/analysis.hpp"
+
+namespace pastix {
+
+PatternFingerprint fingerprint_pattern(const SparsePattern& p) {
+  PatternFingerprint f;
+  f.n = p.n;
+  f.nnz = p.nnz_offdiag();
+  // FNV-1a over the index arrays, one 64-bit word per index.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(p.n));
+  for (const idx_t v : p.colptr) mix(static_cast<std::uint64_t>(v));
+  for (const idx_t v : p.rowind) mix(static_cast<std::uint64_t>(v));
+  f.hash = h;
+  return f;
+}
+
+PlanPtr analyze(const SparsePattern& pattern, const SolverOptions& opt) {
+  PASTIX_CHECK(opt.nprocs >= 1, "nprocs must be positive");
+  pattern.validate();
+
+  auto plan = std::make_shared<AnalysisPlan>();
+  AnalysisPlan& p = *plan;
+  p.options = opt;
+  p.options.mapping.nprocs = opt.nprocs;
+  p.fingerprint = fingerprint_pattern(pattern);
+
+  p.order = compute_ordering(pattern, opt.ordering);
+  p.symbol = split_symbol(
+      block_symbolic_factorization(p.order.permuted, p.order.rangtab),
+      opt.split);
+  p.cand = proportional_mapping(p.symbol, opt.model, p.options.mapping);
+  p.tg = build_task_graph(p.symbol, p.cand, opt.model);
+  p.sched = static_schedule(p.tg, p.cand, opt.model, opt.nprocs,
+                            opt.scheduler);
+  p.sim = simulate_schedule(p.tg, p.sched, opt.model);
+  p.comm = build_comm_plan(p.symbol, p.tg, p.sched, opt.fanin.partial_chunk);
+
+  p.stats.nnz_l = p.order.scalar.nnz_l;
+  p.stats.opc = p.order.scalar.opc;
+  p.stats.nnz_blocks = p.symbol.nnz_blocks();
+  p.stats.ncblk = p.symbol.ncblk;
+  p.stats.nblok = p.symbol.nblok();
+  p.stats.ntask = p.tg.ntask();
+  for (const auto& c : p.cand.cblk)
+    if (c.dist == DistType::k2D) p.stats.n_2d_cblks++;
+  p.stats.total_flops = p.tg.total_flops();
+  p.stats.predicted_time = p.sim.makespan;
+  return plan;
+}
+
+} // namespace pastix

@@ -1,0 +1,95 @@
+#pragma once
+//
+// The analysis layer: everything the pre-processing chain computes from the
+// matrix *pattern* alone — ordering, block symbolic factorization, supernode
+// splitting, proportional mapping, task graph, static schedule, simulation
+// and the precomputed communication plan — bundled into one immutable,
+// shareable value.
+//
+// The paper's whole pipeline up to the numerical factorization is static:
+// none of it depends on the matrix values.  An AnalysisPlan is therefore
+// computed once per sparsity pattern (free function analyze()) and reused by
+// any number of NumericFactor / Solver instances, threads, or future runs
+// (see core/plan_io.hpp for on-disk persistence).  Plans are handed around
+// as shared_ptr<const AnalysisPlan>; nothing mutates a plan after analyze()
+// returns.
+//
+#include <cstdint>
+#include <memory>
+
+#include "map/scheduler.hpp"
+#include "model/cost_model.hpp"
+#include "order/ordering.hpp"
+#include "simul/simulate.hpp"
+#include "solver/comm_plan.hpp"
+#include "solver/fanin.hpp"
+#include "symbolic/split.hpp"
+
+namespace pastix {
+
+struct SolverOptions {
+  idx_t nprocs = 1;               ///< ranks of the message-passing runtime
+  OrderingOptions ordering;       ///< hybrid ND + Halo-AMD by default
+  SplitOptions split;             ///< blocking size 64 (the paper's setting)
+  MappingOptions mapping;         ///< 1D/2D policy and thresholds
+  SchedulerOptions scheduler;     ///< greedy earliest-completion mapping
+  FaninOptions fanin;             ///< fan-in / fan-both aggregation knob
+  CostModel model = default_cost_model();
+};
+
+/// Cheap identity of a sparsity pattern: order, nonzero count and a 64-bit
+/// content hash of (colptr, rowind).  Two matrices with equal fingerprints
+/// share every analysis artifact; refactorize() uses this to decide whether
+/// a plan is reusable.  (Hash collisions are possible in principle; n and
+/// nnz are compared exactly, and a collision additionally requires two
+/// different patterns with identical FNV-1a digests — not a realistic
+/// failure mode for solver reuse.)
+struct PatternFingerprint {
+  idx_t n = 0;
+  big_t nnz = 0;
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const PatternFingerprint&,
+                         const PatternFingerprint&) = default;
+};
+
+[[nodiscard]] PatternFingerprint fingerprint_pattern(const SparsePattern& p);
+
+/// Analysis-time summary numbers (the pattern-only part of SolverStats).
+struct AnalysisStats {
+  big_t nnz_l = 0;          ///< scalar factor off-diagonal entries (Table 1)
+  big_t opc = 0;            ///< scalar operation count (Table 1)
+  big_t nnz_blocks = 0;     ///< stored entries incl. amalgamation fill
+  idx_t ncblk = 0, nblok = 0, ntask = 0;
+  idx_t n_2d_cblks = 0;     ///< supernodes distributed 2D
+  double total_flops = 0;   ///< block-level flops of the task graph
+  double predicted_time = 0;///< simulated parallel factorization seconds
+};
+
+/// The immutable product of the pre-processing chain.  Value-type struct;
+/// share it as shared_ptr<const AnalysisPlan> (the alias PlanPtr) so many
+/// solvers can hold references into it concurrently.
+struct AnalysisPlan {
+  SolverOptions options;          ///< options the plan was built with
+  PatternFingerprint fingerprint; ///< identity of the analyzed pattern
+  OrderingResult order;           ///< permutation + supernode partition
+  SymbolMatrix symbol;            ///< split block structure of L
+  CandidateMapping cand;          ///< proportional mapping + 1D/2D decisions
+  TaskGraph tg;                   ///< COMP1D/FACTOR/BDIV/BMOD tasks
+  Schedule sched;                 ///< static mapping + per-proc orders K_p
+  SimResult sim;                  ///< discrete-event replay of the schedule
+  CommPlan comm;                  ///< precomputed message counts/destinations
+  AnalysisStats stats;            ///< summary numbers
+
+  [[nodiscard]] idx_t nprocs() const { return sched.nprocs; }
+};
+
+using PlanPtr = std::shared_ptr<const AnalysisPlan>;
+
+/// Run the full pattern-only pre-processing chain: ordering -> block
+/// symbolic factorization -> splitting -> proportional mapping -> task
+/// graph -> static scheduling -> simulation -> communication plan.
+[[nodiscard]] PlanPtr analyze(const SparsePattern& pattern,
+                              const SolverOptions& opt = {});
+
+} // namespace pastix

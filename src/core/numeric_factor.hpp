@@ -1,0 +1,128 @@
+#pragma once
+//
+// The numeric layer: value-dependent state of one factorization, built on a
+// shared immutable AnalysisPlan.
+//
+// A NumericFactor owns everything refactorize() reuses across value
+// refreshes of a fixed sparsity pattern:
+//   - the permuted copy of the matrix plus a precomputed value-scatter map,
+//     so later refills move values without re-running the symbolic permute;
+//   - the FaninSolver's per-rank factor storage and AUB arenas, allocated
+//     once from the plan's structure;
+//   - a persistent rt::Comm sized to the plan's processor count.
+//
+// refill(A) is a values-only operation: it checks A's pattern fingerprint
+// against the plan and rewrites the block storage in place.  No ordering,
+// symbolic factorization, mapping, scheduling or allocation happens after
+// construction — that is the whole point of the plan/factor split.
+//
+#include <algorithm>
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "sparse/permute.hpp"
+
+namespace pastix {
+
+template <class T>
+class NumericFactor {
+public:
+  explicit NumericFactor(PlanPtr plan, const FaninOptions& fopt = {})
+      : plan_(std::move(plan)),
+        fanin_(checked(plan_)->symbol, plan_->tg, plan_->sched, plan_->comm,
+               fopt),
+        comm_(std::make_unique<rt::Comm>(static_cast<int>(plan_->nprocs()))) {}
+
+  NumericFactor(const NumericFactor&) = delete;
+  NumericFactor& operator=(const NumericFactor&) = delete;
+
+  /// Values-only refresh from a matrix in the caller's *original*
+  /// numbering.  The pattern must match the plan's fingerprint exactly.
+  void refill(const SymSparse<T>& a) {
+    PASTIX_CHECK(fingerprint_pattern(a.pattern) == plan_->fingerprint,
+                 "refill: matrix pattern does not match the analysis plan");
+    if (!permuted_built_)
+      build_permuted(a);
+    else
+      refresh_permuted_values(a);
+    fanin_.refill(permuted_);
+  }
+
+  /// Parallel numerical factorization over the persistent communicator;
+  /// returns wall seconds.  A communicator aborted by a previous failed
+  /// factorization is reset first, so a NumericFactor stays usable after a
+  /// breakdown (e.g. refactorize with better values).
+  double factorize() {
+    if (comm_->aborted()) comm_->reset();
+    return fanin_.factorize(*comm_);
+  }
+
+  /// refill + factorize in one numeric-only step (the time-stepping path).
+  double refactorize(const SymSparse<T>& a) {
+    refill(a);
+    return factorize();
+  }
+
+  [[nodiscard]] const AnalysisPlan& plan() const { return *plan_; }
+  [[nodiscard]] const PlanPtr& plan_ptr() const { return plan_; }
+  [[nodiscard]] const SymSparse<T>& permuted() const { return permuted_; }
+  [[nodiscard]] FaninSolver<T>& fanin() { return fanin_; }
+  [[nodiscard]] const FaninSolver<T>& fanin() const { return fanin_; }
+  [[nodiscard]] rt::Comm& comm() { return *comm_; }
+  [[nodiscard]] const rt::Comm& comm() const { return *comm_; }
+
+private:
+  static const PlanPtr& checked(const PlanPtr& plan) {
+    PASTIX_CHECK(plan != nullptr, "null analysis plan");
+    return plan;
+  }
+
+  /// First fill: compute the permuted matrix and remember, per original
+  /// entry, where its value lands in the permuted CSC — so every later
+  /// refill is a pure value scatter.
+  void build_permuted(const SymSparse<T>& a) {
+    const Permutation& p = plan_->order.perm;
+    permuted_ = permute(a, p);
+    val_map_.resize(a.val.size());
+    const SparsePattern& pp = permuted_.pattern;
+    for (idx_t j = 0; j < a.n(); ++j) {
+      const idx_t pj = p.perm[static_cast<std::size_t>(j)];
+      for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q) {
+        const idx_t pi = p.perm[static_cast<std::size_t>(a.pattern.rowind[q])];
+        const idx_t col = std::min(pi, pj);
+        const idx_t row = std::max(pi, pj);
+        const auto first = pp.rowind.begin() + pp.colptr[col];
+        const auto last = pp.rowind.begin() + pp.colptr[col + 1];
+        const auto it = std::lower_bound(first, last, row);
+        PASTIX_CHECK(it != last && *it == row,
+                     "permuted pattern is missing an entry");
+        val_map_[static_cast<std::size_t>(q)] =
+            static_cast<idx_t>(it - pp.rowind.begin());
+      }
+    }
+    permuted_built_ = true;
+  }
+
+  void refresh_permuted_values(const SymSparse<T>& a) {
+    const Permutation& p = plan_->order.perm;
+    // Accumulate (+=) after zeroing, mirroring the duplicate-summing
+    // semantics of the assembly path used by build_permuted.
+    std::fill(permuted_.val.begin(), permuted_.val.end(), T{});
+    std::fill(permuted_.diag.begin(), permuted_.diag.end(), T{});
+    for (idx_t i = 0; i < a.n(); ++i)
+      permuted_.diag[static_cast<std::size_t>(
+          p.perm[static_cast<std::size_t>(i)])] +=
+          a.diag[static_cast<std::size_t>(i)];
+    for (std::size_t q = 0; q < a.val.size(); ++q)
+      permuted_.val[static_cast<std::size_t>(val_map_[q])] += a.val[q];
+  }
+
+  PlanPtr plan_;
+  SymSparse<T> permuted_;       ///< P A P^t, values refreshed in place
+  std::vector<idx_t> val_map_;  ///< original entry -> permuted entry
+  bool permuted_built_ = false;
+  FaninSolver<T> fanin_;
+  std::unique_ptr<rt::Comm> comm_;
+};
+
+} // namespace pastix

@@ -1,22 +1,27 @@
 #pragma once
 //
-// Public API — the PaStiX pipeline as one object.
+// Public API — a thin facade over the two-layer architecture:
 //
 //   pastix::Solver<double> solver(options);
-//   solver.analyze(A);      // ordering -> block symbolic -> split ->
-//                           // proportional mapping -> static scheduling
-//   solver.factorize();     // parallel fan-in LDL^t over the rt runtime
+//   solver.analyze(A);        // build (or adopt) an immutable AnalysisPlan
+//   solver.factorize();       // parallel fan-in LDL^t over the rt runtime
 //   auto x = solver.solve(b);
+//   ...                       // time stepping / Newton loop:
+//   solver.refactorize(A2);   // same pattern -> values-only refresh, reuses
+//                             // ordering, schedule and every allocation
+//
+// The analysis artifacts live in a shared AnalysisPlan (core/analysis.hpp):
+// produce one with the free function pastix::analyze(pattern, options) and
+// hand it to any number of solvers via solver.analyze(A, plan), or persist
+// it across runs with core/plan_io.hpp.  The value-dependent state lives in
+// a NumericFactor (core/numeric_factor.hpp).
 //
 // The solver works in the user's original numbering; permutations are
 // applied internally.  T is double or std::complex<double>.
 //
-#include "map/scheduler.hpp"
-#include "model/cost_model.hpp"
-#include "order/ordering.hpp"
-#include "simul/simulate.hpp"
-#include "solver/fanin.hpp"
-#include "symbolic/split.hpp"
+#include "core/analysis.hpp"
+#include "core/numeric_factor.hpp"
+#include "support/timer.hpp"
 
 #include <cmath>
 #include <limits>
@@ -24,16 +29,6 @@
 #include <optional>
 
 namespace pastix {
-
-struct SolverOptions {
-  idx_t nprocs = 1;               ///< ranks of the message-passing runtime
-  OrderingOptions ordering;       ///< hybrid ND + Halo-AMD by default
-  SplitOptions split;             ///< blocking size 64 (the paper's setting)
-  MappingOptions mapping;         ///< 1D/2D policy and thresholds
-  SchedulerOptions scheduler;     ///< greedy earliest-completion mapping
-  FaninOptions fanin;             ///< fan-in / fan-both aggregation knob
-  CostModel model = default_cost_model();
-};
 
 struct SolverStats {
   big_t nnz_l = 0;          ///< scalar factor off-diagonal entries (Table 1)
@@ -45,6 +40,8 @@ struct SolverStats {
   double predicted_time = 0;///< simulated parallel factorization seconds
   double factor_seconds = 0;///< wall time of the last factorize()
   FactorStatus factor_status;  ///< structured outcome of the last factorize()
+  idx_t solve_many_rhs = 0; ///< right-hand sides of the last solve_many()
+  double solve_many_seconds = 0;  ///< wall time of the last solve_many()
 };
 
 /// Outcome of Solver::solve_adaptive — the solution plus how refinement
@@ -67,36 +64,21 @@ public:
     opt_.mapping.nprocs = opt_.nprocs;
   }
 
-  /// Pre-processing chain.  Keeps a permuted copy of the matrix.
+  /// Pre-processing chain: runs the free analyze() on A's pattern and
+  /// attaches the numeric layer.
   void analyze(const SymSparse<T>& a) {
     a.validate();
-    order_ = compute_ordering(a.pattern, opt_.ordering);
-    permuted_ = permute(a, order_.perm);
-    symbol_ = split_symbol(
-        block_symbolic_factorization(order_.permuted, order_.rangtab),
-        opt_.split);
-    cand_ = proportional_mapping(symbol_, opt_.model, opt_.mapping);
-    tg_ = build_task_graph(symbol_, cand_, opt_.model);
-    sched_ = static_schedule(tg_, cand_, opt_.model, opt_.nprocs,
-                             opt_.scheduler);
-    const SimResult sim = simulate_schedule(tg_, sched_, opt_.model);
+    attach(pastix::analyze(a.pattern, opt_), a);
+  }
 
-    stats_ = SolverStats{};
-    stats_.nnz_l = order_.scalar.nnz_l;
-    stats_.opc = order_.scalar.opc;
-    stats_.nnz_blocks = symbol_.nnz_blocks();
-    stats_.ncblk = symbol_.ncblk;
-    stats_.nblok = symbol_.nblok();
-    stats_.ntask = tg_.ntask();
-    for (const auto& c : cand_.cblk)
-      if (c.dist == DistType::k2D) stats_.n_2d_cblks++;
-    stats_.total_flops = tg_.total_flops();
-    stats_.predicted_time = sim.makespan;
-
-    numeric_ = std::make_unique<FaninSolver<T>>(permuted_, symbol_, tg_,
-                                                sched_, opt_.fanin);
-    comm_ = std::make_unique<rt::Comm>(static_cast<int>(opt_.nprocs));
-    analyzed_ = true;
+  /// Adopt a precomputed plan (from pastix::analyze, another solver, or
+  /// load_plan) instead of re-running the analysis.  A's pattern must match
+  /// the plan's fingerprint, and the solver's nprocs and fan-in
+  /// partial_chunk must match what the plan was built for.
+  void analyze(const SymSparse<T>& a, PlanPtr plan) {
+    a.validate();
+    PASTIX_CHECK(plan != nullptr, "null analysis plan");
+    attach(std::move(plan), a);
   }
 
   /// Parallel numerical factorization; returns (and records) wall seconds.
@@ -106,52 +88,63 @@ public:
   double factorize() {
     PASTIX_CHECK(analyzed_, "analyze() must run before factorize()");
     try {
-      stats_.factor_seconds = numeric_->factorize(*comm_);
+      stats_.factor_seconds = numeric_->factorize();
     } catch (...) {
-      stats_.factor_status = numeric_->factor_status();
+      stats_.factor_status = numeric_->fanin().factor_status();
       localize_status(stats_.factor_status);
       throw;
     }
-    stats_.factor_status = numeric_->factor_status();
+    stats_.factor_status = numeric_->fanin().factor_status();
     localize_status(stats_.factor_status);
     return stats_.factor_seconds;
+  }
+
+  /// Numeric-only refactorization: when A has the pattern this solver was
+  /// analyzed for (fingerprint check), refresh the values in place and
+  /// factorize — no ordering, symbolic factorization, scheduling or
+  /// allocation.  Falls back to a full analyze() when the pattern changed
+  /// (or nothing was analyzed yet).  Returns factorization wall seconds.
+  double refactorize(const SymSparse<T>& a) {
+    if (!analyzed_ || fingerprint_pattern(a.pattern) != plan_->fingerprint) {
+      analyze(a);
+    } else {
+      PASTIX_CHECK(opt_.nprocs == plan_->nprocs(),
+                   "refactorize: solver nprocs does not match the analysis "
+                   "plan — rebuild the plan for this processor count");
+      a.validate();
+      numeric_->refill(a);
+    }
+    return factorize();
   }
 
   /// Solve A x = b in the caller's original numbering.
   [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) {
     PASTIX_CHECK(analyzed_, "analyze() must run before solve()");
-    const std::vector<T> pb = permute_vector(b, order_.perm);
-    const std::vector<T> px = numeric_->solve(*comm_, pb);
-    return unpermute_vector(px, order_.perm);
+    const std::vector<T> pb = permute_vector(b, perm());
+    const std::vector<T> px = numeric_->fanin().solve(numeric_->comm(), pb);
+    return unpermute_vector(px, perm());
   }
 
   /// Solve with up to `steps` rounds of iterative refinement
   /// (x += A^{-1}(b-Ax) using the existing factor), sharpening the residual
   /// on matrices where amalgamation fill and summation order cost a few
   /// digits.  The whole iteration runs in the permuted frame (b is permuted
-  /// once, not once per step) and exits early as soon as the residual stops
-  /// improving.
+  /// once, not once per step), exits early as soon as the residual stops
+  /// improving, and returns the lowest-residual iterate found.
   [[nodiscard]] std::vector<T> solve_refined(const std::vector<T>& b,
                                              int steps = 1) {
     PASTIX_CHECK(analyzed_, "analyze() must run before solve()");
-    const std::vector<T> pb = permute_vector(b, order_.perm);
-    std::vector<T> px = numeric_->solve(*comm_, pb);
-    std::vector<T> ax(pb.size()), pr(pb.size());
-    double prev_norm = std::numeric_limits<double>::infinity();
-    for (int s = 0; s < steps; ++s) {
-      spmv(permuted_, px.data(), ax.data());
-      double rnorm = 0;
-      for (std::size_t i = 0; i < pr.size(); ++i) {
-        pr[i] = pb[i] - ax[i];
-        rnorm += abs2(pr[i]);
-      }
-      rnorm = std::sqrt(rnorm);
-      if (rnorm == 0 || rnorm >= prev_norm) break;  // converged or stalled
-      prev_norm = rnorm;
-      const std::vector<T> pdx = numeric_->solve(*comm_, pr);
-      for (std::size_t i = 0; i < px.size(); ++i) px[i] += pdx[i];
-    }
-    return unpermute_vector(px, order_.perm);
+    const std::vector<T> pb = permute_vector(b, perm());
+    std::vector<T> px = numeric_->fanin().solve(numeric_->comm(), pb);
+    const auto r = refine_driver(
+        pb, std::move(px), steps, /*target=*/0.0, /*stagnant_limit=*/1,
+        /*diverge_factor=*/0.0,
+        [](const std::vector<T>&, const std::vector<T>& pr) {
+          double rnorm = 0;
+          for (const T& v : pr) rnorm += abs2(v);
+          return std::sqrt(rnorm);
+        });
+    return unpermute_vector(r.px, perm());
   }
 
   /// Robust solve: iterative refinement driven to a componentwise backward
@@ -166,78 +159,179 @@ public:
     const bool perturbed = stats_.factor_status.perturbations > 0;
     const int max_steps = perturbed ? 40 : 8;
 
-    const std::vector<T> pb = permute_vector(b, order_.perm);
-    std::vector<T> px = numeric_->solve(*comm_, pb);
-    std::vector<T> ax(pb.size()), pr(pb.size());
+    const std::vector<T> pb = permute_vector(b, perm());
+    std::vector<T> px = numeric_->fanin().solve(numeric_->comm(), pb);
+    const SymSparse<T>& pa = numeric_->permuted();
+    const auto r = refine_driver(
+        pb, std::move(px), max_steps, target, /*stagnant_limit=*/2,
+        /*diverge_factor=*/2.0,
+        [&](const std::vector<T>& x, const std::vector<T>& pr) {
+          return componentwise_backward_error(pa, x, pb, pr);
+        });
 
     AdaptiveSolveResult<T> res;
-    std::vector<T> best_px = px;
-    int stagnant = 0;
-    for (int s = 0; s <= max_steps; ++s) {
-      const double berr =
-          componentwise_backward_error(permuted_, px, pb);
-      if (berr < res.backward_error) {
-        res.backward_error = berr;
-        best_px = px;
-        stagnant = 0;
-      } else {
-        // Diverging (clearly worse) or stagnating (no progress): stop after
-        // a couple of non-improving steps and keep the best iterate.
-        if (berr > 2 * res.backward_error) {
-          res.diverged = true;
-          break;
-        }
-        if (++stagnant >= 2) break;
-      }
-      if (res.backward_error <= target) {
-        res.converged = true;
-        break;
-      }
-      if (s == max_steps) break;
-      spmv(permuted_, px.data(), ax.data());
-      for (std::size_t i = 0; i < pr.size(); ++i) pr[i] = pb[i] - ax[i];
-      const std::vector<T> pdx = numeric_->solve(*comm_, pr);
-      for (std::size_t i = 0; i < px.size(); ++i) px[i] += pdx[i];
-      res.steps = s + 1;
-    }
-    res.x = unpermute_vector(best_px, order_.perm);
+    res.x = unpermute_vector(r.px, perm());
+    res.backward_error = r.error;
+    res.steps = r.steps;
+    res.converged = r.converged;
+    res.diverged = r.diverged;
     return res;
   }
 
-  /// Solve for several right-hand sides, reusing the factorization.
+  /// Solve for several right-hand sides, reusing the factorization and one
+  /// set of permutation/solve buffers across the whole batch.
   [[nodiscard]] std::vector<std::vector<T>> solve_many(
       const std::vector<std::vector<T>>& rhs) {
-    std::vector<std::vector<T>> xs;
-    xs.reserve(rhs.size());
-    for (const auto& b : rhs) xs.push_back(solve(b));
+    PASTIX_CHECK(analyzed_, "analyze() must run before solve()");
+    Timer timer;
+    std::vector<std::vector<T>> xs(rhs.size());
+    std::vector<T> pb, px;
+    for (std::size_t r = 0; r < rhs.size(); ++r) {
+      permute_vector_into(rhs[r], perm(), pb);
+      numeric_->fanin().solve(numeric_->comm(), pb, px);
+      unpermute_vector_into(px, perm(), xs[r]);
+    }
+    stats_.solve_many_rhs = static_cast<idx_t>(rhs.size());
+    stats_.solve_many_seconds = timer.seconds();
     return xs;
   }
 
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
   [[nodiscard]] const SolverOptions& options() const { return opt_; }
-  [[nodiscard]] const OrderingResult& ordering() const { return order_; }
-  [[nodiscard]] const SymbolMatrix& symbol() const { return symbol_; }
-  [[nodiscard]] const CandidateMapping& candidates() const { return cand_; }
-  [[nodiscard]] const TaskGraph& task_graph() const { return tg_; }
-  [[nodiscard]] const Schedule& schedule() const { return sched_; }
-  [[nodiscard]] const SymSparse<T>& permuted_matrix() const { return permuted_; }
+  /// The (shared) analysis plan this solver is attached to.
+  [[nodiscard]] const PlanPtr& plan() const {
+    PASTIX_CHECK(analyzed_, "analyze() must run first");
+    return plan_;
+  }
+  [[nodiscard]] const OrderingResult& ordering() const {
+    return checked_plan().order;
+  }
+  [[nodiscard]] const SymbolMatrix& symbol() const {
+    return checked_plan().symbol;
+  }
+  [[nodiscard]] const CandidateMapping& candidates() const {
+    return checked_plan().cand;
+  }
+  [[nodiscard]] const TaskGraph& task_graph() const {
+    return checked_plan().tg;
+  }
+  [[nodiscard]] const Schedule& schedule() const {
+    return checked_plan().sched;
+  }
+  [[nodiscard]] const SymSparse<T>& permuted_matrix() const {
+    PASTIX_CHECK(analyzed_, "analyze() must run first");
+    return numeric_->permuted();
+  }
   [[nodiscard]] const FaninSolver<T>& numeric() const {
     PASTIX_CHECK(analyzed_, "analyze() must run first");
-    return *numeric_;
+    return numeric_->fanin();
   }
   /// The underlying communicator — exposed so tests and chaos harnesses can
-  /// arm fault injection / receive deadlines on the real pipeline.
+  /// arm fault injection / receive deadlines on the real pipeline.  It is
+  /// persistent: refactorize() reuses it across value refreshes.
   [[nodiscard]] rt::Comm& comm() {
     PASTIX_CHECK(analyzed_, "analyze() must run first");
-    return *comm_;
+    return numeric_->comm();
+  }
+  [[nodiscard]] const rt::Comm& comm() const {
+    PASTIX_CHECK(analyzed_, "analyze() must run first");
+    return numeric_->comm();
   }
 
 private:
+  [[nodiscard]] const Permutation& perm() const { return plan_->order.perm; }
+
+  [[nodiscard]] const AnalysisPlan& checked_plan() const {
+    PASTIX_CHECK(analyzed_, "analyze() must run first");
+    return *plan_;
+  }
+
+  /// Bind this solver to `plan` and fill the numeric layer from `a`.
+  void attach(PlanPtr plan, const SymSparse<T>& a) {
+    PASTIX_CHECK(fingerprint_pattern(a.pattern) == plan->fingerprint,
+                 "matrix pattern does not match the analysis plan");
+    PASTIX_CHECK(opt_.nprocs == plan->nprocs(),
+                 "solver nprocs does not match the analysis plan");
+    PASTIX_CHECK(opt_.fanin.partial_chunk == plan->comm.partial_chunk,
+                 "fanin.partial_chunk does not match the plan's "
+                 "communication plan");
+    plan_ = std::move(plan);
+    numeric_ = std::make_unique<NumericFactor<T>>(plan_, opt_.fanin);
+    numeric_->refill(a);
+
+    stats_ = SolverStats{};
+    const AnalysisStats& as = plan_->stats;
+    stats_.nnz_l = as.nnz_l;
+    stats_.opc = as.opc;
+    stats_.nnz_blocks = as.nnz_blocks;
+    stats_.ncblk = as.ncblk;
+    stats_.nblok = as.nblok;
+    stats_.ntask = as.ntask;
+    stats_.n_2d_cblks = as.n_2d_cblks;
+    stats_.total_flops = as.total_flops;
+    stats_.predicted_time = as.predicted_time;
+    analyzed_ = true;
+  }
+
+  /// Shared iterative-refinement driver of solve_refined / solve_adaptive.
+  /// Each round computes the permuted residual pr = pb - A px, evaluates
+  /// `metric(px, pr)` (the stopping quantity), keeps the best iterate, and
+  /// applies one correction px += A^{-1} pr.  Stops on: metric <= target
+  /// (converged), `stagnant_limit` consecutive non-improving rounds,
+  /// metric > diverge_factor * best (diverged; 0 disables), or the step
+  /// budget.
+  struct RefineResult {
+    std::vector<T> px;      ///< best iterate (lowest metric seen)
+    double error = std::numeric_limits<double>::infinity();
+    int steps = 0;          ///< corrections applied
+    bool converged = false;
+    bool diverged = false;
+  };
+
+  template <class Metric>
+  RefineResult refine_driver(const std::vector<T>& pb, std::vector<T> px,
+                             int max_steps, double target, int stagnant_limit,
+                             double diverge_factor, Metric&& metric) {
+    const SymSparse<T>& pa = numeric_->permuted();
+    FaninSolver<T>& fanin = numeric_->fanin();
+    rt::Comm& comm = numeric_->comm();
+
+    RefineResult res;
+    res.px = px;
+    std::vector<T> ax(pb.size()), pr(pb.size()), pdx;
+    int stagnant = 0;
+    for (int s = 0; s <= max_steps; ++s) {
+      spmv(pa, px.data(), ax.data());
+      for (std::size_t i = 0; i < pr.size(); ++i) pr[i] = pb[i] - ax[i];
+      const double e = metric(px, pr);
+      if (e < res.error) {
+        res.error = e;
+        res.px = px;
+        stagnant = 0;
+      } else {
+        if (diverge_factor > 0 && e > diverge_factor * res.error) {
+          res.diverged = true;
+          break;
+        }
+        if (++stagnant >= stagnant_limit) break;
+      }
+      if (res.error <= target) {
+        res.converged = true;
+        break;
+      }
+      if (s == max_steps) break;
+      fanin.solve(comm, pr, pdx);
+      for (std::size_t i = 0; i < px.size(); ++i) px[i] += pdx[i];
+      res.steps = s + 1;
+    }
+    return res;
+  }
+
   /// The factorization records breakdown columns in the permuted numbering
   /// it works in; translate them back so users can find the offending
   /// unknowns in their own matrix.  "First" stays first-in-elimination-order.
   void localize_status(FactorStatus& fs) const {
-    const auto& invp = order_.perm.invp;
+    const auto& invp = perm().invp;
     const auto back = [&](idx_t c) {
       return (c == kNone || c >= static_cast<idx_t>(invp.size()))
                  ? c
@@ -249,15 +343,9 @@ private:
   }
 
   SolverOptions opt_;
-  OrderingResult order_;
-  SymSparse<T> permuted_;
-  SymbolMatrix symbol_;
-  CandidateMapping cand_;
-  TaskGraph tg_;
-  Schedule sched_;
+  PlanPtr plan_;
+  std::unique_ptr<NumericFactor<T>> numeric_;
   SolverStats stats_;
-  std::unique_ptr<FaninSolver<T>> numeric_;
-  std::unique_ptr<rt::Comm> comm_;
   bool analyzed_ = false;
 };
 

@@ -1,0 +1,339 @@
+//
+// Binary (de)serialization of AnalysisPlan.  See plan_io.hpp for the format
+// contract.
+//
+#include "core/plan_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+
+namespace pastix {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'S', 'T', 'X', 'P', 'L', 'A', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+// ---- primitive writers/readers --------------------------------------------
+
+void put_bytes(std::ostream& os, const void* data, std::size_t bytes) {
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(bytes));
+  PASTIX_CHECK(os.good(), "plan write failed");
+}
+
+void get_bytes(std::istream& is, void* data, std::size_t bytes) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  PASTIX_CHECK(is.good(), "plan file truncated or unreadable");
+}
+
+template <class T>
+void put_raw(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_bytes(os, &v, sizeof v);
+}
+
+template <class T>
+void get_raw(std::istream& is, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  get_bytes(is, &v, sizeof v);
+}
+
+template <class T>
+void put_vec(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_raw(os, static_cast<std::uint64_t>(v.size()));
+  if (!v.empty()) put_bytes(os, v.data(), v.size() * sizeof(T));
+}
+
+// An element count no saved plan can legitimately reach (the 32-bit idx_t
+// pipeline tops out well below this) — bounds allocations when the length
+// field itself is corrupted, so a bad file throws instead of bad_alloc.
+constexpr std::uint64_t kMaxElems = 1ULL << 33;
+
+template <class T>
+void get_vec(std::istream& is, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint64_t size = 0;
+  get_raw(is, size);
+  PASTIX_CHECK(size <= kMaxElems, "plan file corrupt: absurd vector length");
+  v.resize(static_cast<std::size_t>(size));
+  if (size > 0) get_bytes(is, v.data(), v.size() * sizeof(T));
+}
+
+template <class T>
+void put_vecvec(std::ostream& os, const std::vector<std::vector<T>>& v) {
+  put_raw(os, static_cast<std::uint64_t>(v.size()));
+  for (const auto& inner : v) put_vec(os, inner);
+}
+
+template <class T>
+void get_vecvec(std::istream& is, std::vector<std::vector<T>>& v) {
+  std::uint64_t size = 0;
+  get_raw(is, size);
+  PASTIX_CHECK(size <= kMaxElems, "plan file corrupt: absurd vector length");
+  v.resize(static_cast<std::size_t>(size));
+  for (auto& inner : v) get_vec(is, inner);
+}
+
+// std::pair's layout/triviality is not guaranteed portable — write the two
+// halves explicitly.
+void put_pairs(std::ostream& os,
+               const std::vector<std::vector<std::pair<idx_t, idx_t>>>& v) {
+  put_raw(os, static_cast<std::uint64_t>(v.size()));
+  for (const auto& inner : v) {
+    put_raw(os, static_cast<std::uint64_t>(inner.size()));
+    for (const auto& [a, b] : inner) {
+      put_raw(os, a);
+      put_raw(os, b);
+    }
+  }
+}
+
+void get_pairs(std::istream& is,
+               std::vector<std::vector<std::pair<idx_t, idx_t>>>& v) {
+  std::uint64_t size = 0;
+  get_raw(is, size);
+  PASTIX_CHECK(size <= kMaxElems, "plan file corrupt: absurd vector length");
+  v.resize(static_cast<std::size_t>(size));
+  for (auto& inner : v) {
+    std::uint64_t isize = 0;
+    get_raw(is, isize);
+    PASTIX_CHECK(isize <= kMaxElems, "plan file corrupt: absurd vector length");
+    inner.resize(static_cast<std::size_t>(isize));
+    for (auto& [a, b] : inner) {
+      get_raw(is, a);
+      get_raw(is, b);
+    }
+  }
+}
+
+// ---- layout header ---------------------------------------------------------
+//
+// The raw-serialized structs are plain aggregates of integers/doubles/enums;
+// their sizes pin down the build's layout well enough to reject plans from
+// an incompatible compiler/ABI/format revision before touching the payload.
+
+struct LayoutHeader {
+  std::uint32_t version = kVersion;
+  std::uint32_t sizeof_idx = sizeof(idx_t);
+  std::uint32_t sizeof_big = sizeof(big_t);
+  std::uint32_t sizeof_options = sizeof(SolverOptions);
+  std::uint32_t sizeof_task = sizeof(Task);
+  std::uint32_t sizeof_contribution = sizeof(Contribution);
+  std::uint32_t sizeof_symbol_cblk = sizeof(SymbolCblk);
+  std::uint32_t sizeof_symbol_blok = sizeof(SymbolBlok);
+  std::uint32_t sizeof_candidate = sizeof(CblkCandidate);
+  std::uint32_t sizeof_fingerprint = sizeof(PatternFingerprint);
+  std::uint32_t sizeof_scalar_stats = sizeof(ScalarSymbolStats);
+  std::uint32_t sizeof_analysis_stats = sizeof(AnalysisStats);
+
+  friend bool operator==(const LayoutHeader&, const LayoutHeader&) = default;
+};
+
+static_assert(std::is_trivially_copyable_v<SolverOptions>,
+              "SolverOptions must stay raw-serializable; if a member grows a "
+              "vector/string, give plan_io a field-wise codec and bump "
+              "kVersion");
+static_assert(std::is_trivially_copyable_v<PatternFingerprint>);
+static_assert(std::is_trivially_copyable_v<ScalarSymbolStats>);
+static_assert(std::is_trivially_copyable_v<AnalysisStats>);
+static_assert(std::is_trivially_copyable_v<Task>);
+static_assert(std::is_trivially_copyable_v<Contribution>);
+static_assert(std::is_trivially_copyable_v<SymbolCblk>);
+static_assert(std::is_trivially_copyable_v<SymbolBlok>);
+static_assert(std::is_trivially_copyable_v<CblkCandidate>);
+
+void put_pattern(std::ostream& os, const SparsePattern& p) {
+  put_raw(os, p.n);
+  put_vec(os, p.colptr);
+  put_vec(os, p.rowind);
+}
+
+void get_pattern(std::istream& is, SparsePattern& p) {
+  get_raw(is, p.n);
+  get_vec(is, p.colptr);
+  get_vec(is, p.rowind);
+}
+
+} // namespace
+
+void save_plan(const AnalysisPlan& plan, std::ostream& out) {
+  put_bytes(out, kMagic, sizeof kMagic);
+  put_raw(out, LayoutHeader{});
+
+  put_raw(out, plan.options);
+  put_raw(out, plan.fingerprint);
+
+  // Ordering.
+  put_vec(out, plan.order.perm.perm);
+  put_vec(out, plan.order.perm.invp);
+  put_pattern(out, plan.order.permuted);
+  put_vec(out, plan.order.parent);
+  put_vec(out, plan.order.counts);
+  put_vec(out, plan.order.rangtab);
+  put_raw(out, plan.order.scalar);
+
+  // Symbol structure.
+  put_raw(out, plan.symbol.n);
+  put_raw(out, plan.symbol.ncblk);
+  put_vec(out, plan.symbol.cblks);
+  put_vec(out, plan.symbol.bloks);
+  put_vec(out, plan.symbol.col2cblk);
+
+  // Candidate mapping.
+  put_vec(out, plan.cand.cblk);
+  put_vec(out, plan.cand.parent);
+  put_vec(out, plan.cand.subtree_cost);
+
+  // Task graph.
+  put_vec(out, plan.tg.tasks);
+  put_vecvec(out, plan.tg.inputs);
+  put_vecvec(out, plan.tg.prec);
+  put_vec(out, plan.tg.cblk_task);
+  put_vec(out, plan.tg.blok_task);
+  put_vec(out, plan.tg.depth);
+
+  // Schedule.
+  put_raw(out, plan.sched.nprocs);
+  put_vec(out, plan.sched.proc);
+  put_vec(out, plan.sched.prio);
+  put_vec(out, plan.sched.start);
+  put_vec(out, plan.sched.end);
+  put_vecvec(out, plan.sched.kp);
+  put_raw(out, plan.sched.makespan);
+
+  // Simulation numbers.
+  put_raw(out, plan.sim.makespan);
+  put_vec(out, plan.sim.busy);
+  put_vec(out, plan.sim.idle);
+  put_raw(out, plan.sim.comm_entries);
+  put_raw(out, plan.sim.messages);
+  put_raw(out, plan.sim.aggregate_seconds);
+
+  // Communication plan.
+  put_raw(out, plan.comm.partial_chunk);
+  put_vec(out, plan.comm.expect_aub);
+  put_vecvec(out, plan.comm.aub_after);
+  put_pairs(out, plan.comm.aub_countdown);
+  put_vecvec(out, plan.comm.diag_dests);
+  put_vecvec(out, plan.comm.panel_dests);
+  put_vec(out, plan.comm.diag_owner);
+  put_vec(out, plan.comm.blok_owner);
+  put_vecvec(out, plan.comm.fwd_remote_bloks);
+  put_vecvec(out, plan.comm.bwd_remote_bloks);
+  put_vecvec(out, plan.comm.yseg_dests);
+  put_vecvec(out, plan.comm.xseg_dests);
+
+  put_raw(out, plan.stats);
+  out.flush();
+  PASTIX_CHECK(out.good(), "plan write failed");
+}
+
+void save_plan(const AnalysisPlan& plan, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PASTIX_CHECK(out.is_open(), "cannot open plan file for writing: " + path);
+  save_plan(plan, out);
+}
+
+PlanPtr load_plan(std::istream& in) {
+  char magic[sizeof kMagic];
+  get_bytes(in, magic, sizeof magic);
+  PASTIX_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+               "not a pastix plan file (bad magic)");
+  LayoutHeader header;
+  get_raw(in, header);
+  PASTIX_CHECK(header.version == kVersion,
+               "plan file format version mismatch");
+  PASTIX_CHECK(header == LayoutHeader{},
+               "plan file was written by an incompatible build "
+               "(struct layout mismatch)");
+
+  auto plan = std::make_shared<AnalysisPlan>();
+  AnalysisPlan& p = *plan;
+
+  get_raw(in, p.options);
+  get_raw(in, p.fingerprint);
+
+  get_vec(in, p.order.perm.perm);
+  get_vec(in, p.order.perm.invp);
+  get_pattern(in, p.order.permuted);
+  get_vec(in, p.order.parent);
+  get_vec(in, p.order.counts);
+  get_vec(in, p.order.rangtab);
+  get_raw(in, p.order.scalar);
+
+  get_raw(in, p.symbol.n);
+  get_raw(in, p.symbol.ncblk);
+  get_vec(in, p.symbol.cblks);
+  get_vec(in, p.symbol.bloks);
+  get_vec(in, p.symbol.col2cblk);
+
+  get_vec(in, p.cand.cblk);
+  get_vec(in, p.cand.parent);
+  get_vec(in, p.cand.subtree_cost);
+
+  get_vec(in, p.tg.tasks);
+  get_vecvec(in, p.tg.inputs);
+  get_vecvec(in, p.tg.prec);
+  get_vec(in, p.tg.cblk_task);
+  get_vec(in, p.tg.blok_task);
+  get_vec(in, p.tg.depth);
+
+  get_raw(in, p.sched.nprocs);
+  get_vec(in, p.sched.proc);
+  get_vec(in, p.sched.prio);
+  get_vec(in, p.sched.start);
+  get_vec(in, p.sched.end);
+  get_vecvec(in, p.sched.kp);
+  get_raw(in, p.sched.makespan);
+
+  get_raw(in, p.sim.makespan);
+  get_vec(in, p.sim.busy);
+  get_vec(in, p.sim.idle);
+  get_raw(in, p.sim.comm_entries);
+  get_raw(in, p.sim.messages);
+  get_raw(in, p.sim.aggregate_seconds);
+
+  get_raw(in, p.comm.partial_chunk);
+  get_vec(in, p.comm.expect_aub);
+  get_vecvec(in, p.comm.aub_after);
+  get_pairs(in, p.comm.aub_countdown);
+  get_vecvec(in, p.comm.diag_dests);
+  get_vecvec(in, p.comm.panel_dests);
+  get_vec(in, p.comm.diag_owner);
+  get_vec(in, p.comm.blok_owner);
+  get_vecvec(in, p.comm.fwd_remote_bloks);
+  get_vecvec(in, p.comm.bwd_remote_bloks);
+  get_vecvec(in, p.comm.yseg_dests);
+  get_vecvec(in, p.comm.xseg_dests);
+
+  get_raw(in, p.stats);
+
+  // Re-validate structural invariants so a corrupted payload fails here,
+  // not deep inside a factorization.
+  p.order.permuted.validate();
+  PASTIX_CHECK(p.order.perm.n() == p.order.permuted.n,
+               "plan file corrupt: permutation/pattern size mismatch");
+  p.symbol.validate();
+  PASTIX_CHECK(p.symbol.n == p.order.permuted.n,
+               "plan file corrupt: symbol/pattern order mismatch");
+  p.sched.validate(p.tg.ntask());
+  PASTIX_CHECK(static_cast<idx_t>(p.comm.blok_owner.size()) ==
+                   p.symbol.nblok(),
+               "plan file corrupt: comm plan / symbol mismatch");
+  PASTIX_CHECK(p.comm.partial_chunk == p.options.fanin.partial_chunk,
+               "plan file corrupt: comm plan partial_chunk mismatch");
+  PASTIX_CHECK(p.fingerprint.n == p.order.permuted.n,
+               "plan file corrupt: fingerprint order mismatch");
+  return plan;
+}
+
+PlanPtr load_plan(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PASTIX_CHECK(in.is_open(), "cannot open plan file: " + path);
+  return load_plan(in);
+}
+
+} // namespace pastix

@@ -1,0 +1,37 @@
+#pragma once
+//
+// On-disk persistence of AnalysisPlan — the expensive, pattern-only half of
+// the solver.  A plan saved once (e.g. by a pre-processing job) can be
+// loaded by any later run on the same pattern and fed straight to
+// Solver::analyze(a, plan) or NumericFactor, skipping ordering, symbolic
+// factorization, mapping and scheduling entirely.
+//
+// Format: a little-endian versioned binary stream.  A fixed header (magic,
+// format version, and the sizes of every raw-serialized struct) rejects
+// files from incompatible builds up front; the payload is the full plan —
+// options, fingerprint, ordering, symbol structure, candidate mapping, task
+// graph, schedule, simulation numbers and the communication plan — so a
+// loaded plan is bit-identical to the analyze() product, including task
+// numbering.  load_plan() re-validates the structural invariants
+// (symbol.validate(), Schedule::validate()) so a corrupted file fails with
+// a diagnostic instead of corrupting a factorization.
+//
+#include <iosfwd>
+#include <string>
+
+#include "core/analysis.hpp"
+
+namespace pastix {
+
+/// Serialize `plan` to a binary stream / file.  Throws pastix::Error on
+/// write failure.
+void save_plan(const AnalysisPlan& plan, std::ostream& out);
+void save_plan(const AnalysisPlan& plan, const std::string& path);
+
+/// Deserialize a plan saved by save_plan.  Throws pastix::Error on a bad
+/// magic/version/layout header, a truncated stream, or a payload that fails
+/// structural validation.
+[[nodiscard]] PlanPtr load_plan(std::istream& in);
+[[nodiscard]] PlanPtr load_plan(const std::string& path);
+
+} // namespace pastix

@@ -106,6 +106,16 @@ void write_analysis_report(std::ostream& os, const Solver<T>& solver,
       }
     }
   }
+
+  if (st.solve_many_rhs > 0) {
+    os << "## Batched solves\n\n";
+    os << "- right-hand sides: " << st.solve_many_rhs << "\n";
+    os << "- wall time: " << fmt_fixed(st.solve_many_seconds, 3) << " s ("
+       << fmt_fixed(st.solve_many_seconds /
+                        static_cast<double>(st.solve_many_rhs) * 1e3,
+                    3)
+       << " ms per solve, factorization and buffers reused)\n";
+  }
 }
 
 } // namespace pastix

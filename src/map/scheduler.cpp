@@ -5,6 +5,30 @@
 
 namespace pastix {
 
+void Schedule::validate(idx_t ntask) const {
+  PASTIX_CHECK(nprocs >= 1, "schedule has no processors");
+  const auto nt = static_cast<std::size_t>(ntask);
+  PASTIX_CHECK(proc.size() == nt && prio.size() == nt && start.size() == nt &&
+                   end.size() == nt,
+               "schedule arrays do not match the task count");
+  PASTIX_CHECK(static_cast<idx_t>(kp.size()) == nprocs,
+               "schedule K_p count does not match nprocs");
+  std::vector<char> seen(nt, 0);
+  for (idx_t p = 0; p < nprocs; ++p) {
+    for (const idx_t t : kp[static_cast<std::size_t>(p)]) {
+      PASTIX_CHECK(t >= 0 && t < ntask, "K_p task id out of range");
+      PASTIX_CHECK(!seen[static_cast<std::size_t>(t)],
+                   "task appears twice in the K_p orders");
+      seen[static_cast<std::size_t>(t)] = 1;
+      PASTIX_CHECK(proc[static_cast<std::size_t>(t)] == p,
+                   "task's processor does not match its K_p");
+    }
+  }
+  for (idx_t t = 0; t < ntask; ++t)
+    PASTIX_CHECK(seen[static_cast<std::size_t>(t)],
+                 "task missing from the K_p orders");
+}
+
 namespace {
 
 struct HeapEntry {

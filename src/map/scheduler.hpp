@@ -47,6 +47,12 @@ struct Schedule {
     return proc[static_cast<std::size_t>(
         tg.blok_task[static_cast<std::size_t>(blok)])];
   }
+
+  /// Validate internal consistency for a graph of `ntask` tasks: array
+  /// sizes, processor ids in range, and the per-processor orders K_p forming
+  /// a partition of the task set.  Used after deserializing a plan, where
+  /// the arrays come from outside the scheduler.
+  void validate(idx_t ntask) const;
 };
 
 Schedule static_schedule(const TaskGraph& tg, const CandidateMapping& cm,

@@ -214,6 +214,20 @@ public:
     return aborted_.load(std::memory_order_relaxed);
   }
 
+  /// Return the communicator to a clean state: drain every mailbox
+  /// (including fault-injected held-back messages) and clear the aborted
+  /// flag.  Call only while no rank is communicating — e.g. between a
+  /// failed factorization and a refactorize() retry on a persistent Comm.
+  /// Fault-injection settings and receive deadlines are kept armed.
+  void reset() {
+    for (auto& box : boxes_) {
+      const std::lock_guard lock(box.mutex);
+      box.queue.clear();
+      box.delayed.clear();
+    }
+    aborted_.store(false, std::memory_order_relaxed);
+  }
+
   /// Number of messages currently queued for `rank` (diagnostics; includes
   /// artificially delayed messages).
   [[nodiscard]] std::size_t pending(int rank) {

@@ -20,6 +20,7 @@
 // Storage: a 1D cblk lives as one dense trapezoid on its owner; a 2D cblk
 // is scattered blok-by-blok across the owners chosen by the scheduler.
 //
+#include <memory>
 #include <unordered_map>
 
 #include "dkernel/blocked_factor.hpp"
@@ -65,24 +66,67 @@ struct RankTaskTimes {
 template <class T>
 class FaninSolver {
 public:
-  /// `a` must already be permuted consistently with `s` (use the ordering's
-  /// permutation).  All of `s`, `tg`, `sched` must describe the same
-  /// analysis; the solver keeps references — keep them alive.
+  /// Structure-only constructor: allocates the per-rank factor storage
+  /// (trapezoids / bloks, zero-filled) for an externally computed
+  /// communication plan — typically the one owned by an AnalysisPlan, so
+  /// many solvers can share a single plan.  Values must be supplied with
+  /// refill() before factorize().  The solver keeps references to all of
+  /// `s`, `tg`, `sched`, `plan` — keep them alive.
+  FaninSolver(const SymbolMatrix& s, const TaskGraph& tg, const Schedule& sched,
+              const CommPlan& plan, const FaninOptions& fopt = {})
+      : s_(s), tg_(tg), sched_(sched), kind_(fopt.kind), popt_(fopt.pivot),
+        plan_(plan), ranks_(static_cast<std::size_t>(sched.nprocs)) {
+    PASTIX_CHECK(static_cast<idx_t>(plan.blok_owner.size()) == s.nblok(),
+                 "comm plan / symbol mismatch");
+    PASTIX_CHECK(plan.partial_chunk == fopt.partial_chunk,
+                 "comm plan was built for a different partial_chunk");
+    compute_stack_offsets();
+    allocate_storage();
+  }
+
+  /// Convenience constructor: builds its own communication plan and fills
+  /// the values of `a` (which must already be permuted consistently with
+  /// `s` — use the ordering's permutation).
   FaninSolver(const SymSparse<T>& a, const SymbolMatrix& s, const TaskGraph& tg,
               const Schedule& sched, const FaninOptions& fopt = {})
-      : a_(a), s_(s), tg_(tg), sched_(sched), kind_(fopt.kind), popt_(fopt.pivot),
-        plan_(build_comm_plan(s, tg, sched, fopt.partial_chunk)),
-        ranks_(static_cast<std::size_t>(sched.nprocs)) {
-    PASTIX_CHECK(a.n() == s.n, "matrix / symbol size mismatch");
+      : s_(s), tg_(tg), sched_(sched), kind_(fopt.kind), popt_(fopt.pivot),
+        owned_plan_(std::make_unique<CommPlan>(
+            build_comm_plan(s, tg, sched, fopt.partial_chunk))),
+        plan_(*owned_plan_), ranks_(static_cast<std::size_t>(sched.nprocs)) {
     compute_stack_offsets();
-    allocate_and_fill();
+    allocate_storage();
+    refill(a);
+  }
+
+  /// Values-only refresh: scatter the entries of `a` (same pattern as the
+  /// original fill, already permuted) into the allocated block storage,
+  /// overwriting any previous values or factor, and rearm the pivot
+  /// admission threshold.  Allocations, comm plan and schedule are reused —
+  /// this is the numeric half of a refactorization.
+  void refill(const SymSparse<T>& a) {
+    PASTIX_CHECK(a.n() == s_.n, "matrix / symbol size mismatch");
+    for (auto& r : ranks_) {
+      for (auto& [k, store] : r.cblk_store)
+        std::fill(store.begin(), store.end(), T{});
+      for (auto& [b, store] : r.blok_store)
+        std::fill(store.begin(), store.end(), T{});
+    }
+    for (idx_t j = 0; j < s_.n; ++j) {
+      const idx_t k = s_.col2cblk[static_cast<std::size_t>(j)];
+      set_entry(k, j, j, a.diag[static_cast<std::size_t>(j)]);
+      for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q)
+        set_entry(k, a.pattern.rowind[q], j, a.val[q]);
+    }
     // Static pivot admission threshold: eps_rel relative to max|A| (a zero
     // matrix still gets a usable absolute floor).
     double anorm = 0;
-    for (const T& v : a_.diag) anorm = std::max(anorm, std::sqrt(abs2(v)));
-    for (const T& v : a_.val) anorm = std::max(anorm, std::sqrt(abs2(v)));
+    for (const T& v : a.diag) anorm = std::max(anorm, std::sqrt(abs2(v)));
+    for (const T& v : a.val) anorm = std::max(anorm, std::sqrt(abs2(v)));
     pivot_threshold_ =
         popt_.perturb ? popt_.eps_rel * (anorm > 0 ? anorm : 1.0) : 0.0;
+    status_ = FactorStatus{};
+    filled_ = true;
+    factored_ = false;
   }
 
   /// Run the parallel numerical factorization; returns wall seconds.  The
@@ -90,6 +134,7 @@ public:
   /// available from factor_status() afterwards — also when this throws.
   double factorize(rt::Comm& comm) {
     PASTIX_CHECK(comm.nprocs() == sched_.nprocs, "comm size mismatch");
+    PASTIX_CHECK(filled_, "refill() must run before factorize()");
     init_countdowns();
     status_ = FactorStatus{};
     for (auto& r : ranks_) {
@@ -112,13 +157,20 @@ public:
 
   /// Distributed triangular solves: returns x with A x = b (permuted frame).
   std::vector<T> solve(rt::Comm& comm, const std::vector<T>& b) {
+    std::vector<T> x;
+    solve(comm, b, x);
+    return x;
+  }
+
+  /// Buffer-reusing variant: writes the solution into `x` (resized as
+  /// needed), so batched solves do not re-allocate per right-hand side.
+  void solve(rt::Comm& comm, const std::vector<T>& b, std::vector<T>& x) {
     PASTIX_CHECK(factored_, "factorize() must run before solve()");
     PASTIX_CHECK(static_cast<idx_t>(b.size()) == s_.n, "rhs size mismatch");
-    std::vector<T> x(b.size());
+    x.assign(b.size(), T{});
     rt::run_ranks(comm, sched_.nprocs, [&](int rank) {
       run_solve(comm, static_cast<idx_t>(rank), b, x);
     });
-    return x;
   }
 
   /// Structured outcome of the last factorize() (merged across ranks).
@@ -233,8 +285,9 @@ private:
     return const_cast<FaninSolver*>(this)->blok_ptr(b, ld);
   }
 
-  void allocate_and_fill() {
-    // Allocate owner storage.
+  /// One-time structure-driven allocation of the per-rank factor storage
+  /// (zero-filled).  Values arrive separately via refill().
+  void allocate_storage() {
     for (idx_t k = 0; k < s_.ncblk; ++k) {
       const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
       if (is_1d(k)) {
@@ -252,13 +305,6 @@ private:
                   s_.bloks[static_cast<std::size_t>(b)].nrows()) * w, T{});
         }
       }
-    }
-    // Scatter A into the block storage.
-    for (idx_t j = 0; j < s_.n; ++j) {
-      const idx_t k = s_.col2cblk[static_cast<std::size_t>(j)];
-      set_entry(k, j, j, a_.diag[static_cast<std::size_t>(j)]);
-      for (idx_t q = a_.pattern.colptr[j]; q < a_.pattern.colptr[j + 1]; ++q)
-        set_entry(k, a_.pattern.rowind[q], j, a_.val[q]);
     }
   }
 
@@ -648,17 +694,18 @@ private:
   void run_solve(rt::Comm& comm, idx_t rank, const std::vector<T>& b,
                  std::vector<T>& x_out);
 
-  const SymSparse<T>& a_;
   const SymbolMatrix& s_;
   const TaskGraph& tg_;
   const Schedule& sched_;
   FactorKind kind_;
   PivotOptions popt_;
   double pivot_threshold_ = 0;
-  CommPlan plan_;
+  std::unique_ptr<const CommPlan> owned_plan_;  ///< convenience ctor only
+  const CommPlan& plan_;  ///< shared (AnalysisPlan's) or owned_plan_
   std::vector<Rank> ranks_;
   std::vector<idx_t> stack_off_;
   FactorStatus status_;
+  bool filled_ = false;
   bool factored_ = false;
 };
 

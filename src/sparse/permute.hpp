@@ -72,22 +72,37 @@ SymSparse<T> permute(const SymSparse<T>& a, const Permutation& p) {
 }
 
 /// Permute a vector into the new numbering: out[perm[i]] = in[i].
+/// Buffer-reusing variant for batched solves; `out` must not alias `in`.
 template <class T>
-std::vector<T> permute_vector(const std::vector<T>& in, const Permutation& p) {
+void permute_vector_into(const std::vector<T>& in, const Permutation& p,
+                         std::vector<T>& out) {
   PASTIX_CHECK(in.size() == p.perm.size(), "vector size mismatch");
-  std::vector<T> out(in.size());
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i)
     out[static_cast<std::size_t>(p.perm[i])] = in[i];
+}
+
+template <class T>
+std::vector<T> permute_vector(const std::vector<T>& in, const Permutation& p) {
+  std::vector<T> out;
+  permute_vector_into(in, p, out);
   return out;
 }
 
-/// Inverse of permute_vector: out[i] = in[perm[i]].
+/// Inverse of permute_vector: out[i] = in[perm[i]]; `out` must not alias `in`.
 template <class T>
-std::vector<T> unpermute_vector(const std::vector<T>& in, const Permutation& p) {
+void unpermute_vector_into(const std::vector<T>& in, const Permutation& p,
+                           std::vector<T>& out) {
   PASTIX_CHECK(in.size() == p.perm.size(), "vector size mismatch");
-  std::vector<T> out(in.size());
+  out.resize(in.size());
   for (std::size_t i = 0; i < in.size(); ++i)
     out[i] = in[static_cast<std::size_t>(p.perm[i])];
+}
+
+template <class T>
+std::vector<T> unpermute_vector(const std::vector<T>& in, const Permutation& p) {
+  std::vector<T> out;
+  unpermute_vector_into(in, p, out);
   return out;
 }
 

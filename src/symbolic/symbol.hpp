@@ -25,6 +25,8 @@ struct SymbolBlok {
   idx_t lcblknm = 0;  ///< owning column block (the cblk whose columns these are)
 
   [[nodiscard]] idx_t nrows() const { return lrownum - frownum + 1; }
+
+  friend bool operator==(const SymbolBlok&, const SymbolBlok&) = default;
 };
 
 /// One column block (supernode) of the factor.
@@ -34,6 +36,8 @@ struct SymbolCblk {
   idx_t bloknum = 0;  ///< index of the first blok (the diagonal block)
 
   [[nodiscard]] idx_t width() const { return lcolnum - fcolnum + 1; }
+
+  friend bool operator==(const SymbolCblk&, const SymbolCblk&) = default;
 };
 
 /// The block structure of L.
@@ -67,6 +71,8 @@ struct SymbolMatrix {
 
   /// Validate all structural invariants (ordering, nesting, facing info).
   void validate() const;
+
+  friend bool operator==(const SymbolMatrix&, const SymbolMatrix&) = default;
 };
 
 /// Compute the block symbolic factorization of `pattern` (already permuted,

@@ -1,0 +1,283 @@
+// Tests of the plan/factor split: shareable AnalysisPlan, numeric-only
+// refactorize(), and plan serialization round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/pastix.hpp"
+#include "core/plan_io.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+/// Same pattern, different values: scale everything deterministically in a
+/// way that keeps the matrix SPD (diagonal grows, off-diagonal shrinks).
+SymSparse<double> rescaled(const SymSparse<double>& a, double dscale,
+                           double oscale) {
+  SymSparse<double> b = a;
+  for (auto& d : b.diag) d *= dscale;
+  for (auto& v : b.val) v *= oscale;
+  return b;
+}
+
+std::string temp_plan_path(const std::string& stem) {
+  return testing::TempDir() + stem + ".plan";
+}
+
+class RefactorizeNprocs : public testing::TestWithParam<idx_t> {};
+
+TEST_P(RefactorizeNprocs, MatchesFreshAnalyzeFactorize) {
+  const auto a1 = gen_fe_mesh({7, 7, 3, 2, 1, 11});
+  const auto a2 = rescaled(a1, 1.7, 0.6);
+  SolverOptions opt;
+  opt.nprocs = GetParam();
+
+  Solver<double> reusing(opt);
+  reusing.analyze(a1);
+  reusing.factorize();
+  const AnalysisPlan* plan_before = reusing.plan().get();
+
+  std::vector<double> x_ref(static_cast<std::size_t>(a2.n()));
+  for (idx_t i = 0; i < a2.n(); ++i)
+    x_ref[static_cast<std::size_t>(i)] = std::sin(0.03 * i + 1.0);
+  std::vector<double> b(static_cast<std::size_t>(a2.n()));
+  spmv(a2, x_ref.data(), b.data());
+
+  reusing.refactorize(a2);
+  // Same pattern: the plan (and with it ordering/schedule) must be reused.
+  EXPECT_EQ(reusing.plan().get(), plan_before);
+  const auto x_reused = reusing.solve(b);
+
+  Solver<double> fresh(opt);
+  fresh.analyze(a2);
+  fresh.factorize();
+  const auto x_fresh = fresh.solve(b);
+
+  // The reused path runs the same schedule over the same values, so the two
+  // solutions are bitwise equal — identical floating-point operations in an
+  // identical (statically scheduled) order.
+  ASSERT_EQ(x_reused.size(), x_fresh.size());
+  for (std::size_t i = 0; i < x_reused.size(); ++i)
+    EXPECT_EQ(x_reused[i], x_fresh[i]) << "at " << i;
+  EXPECT_LT(relative_residual(a2, x_reused, b), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlanReuse, RefactorizeNprocs,
+                         testing::Values<idx_t>(1, 2, 4));
+
+TEST(PlanReuse, RefactorizeFallsBackOnPatternChange) {
+  const auto a1 = gen_grid_laplacian(14, 14);
+  const auto a2 = gen_grid_laplacian(15, 15);  // different pattern
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(a1);
+  solver.factorize();
+  const AnalysisPlan* plan_before = solver.plan().get();
+
+  solver.refactorize(a2);
+  EXPECT_NE(solver.plan().get(), plan_before);
+  std::vector<double> b(static_cast<std::size_t>(a2.n()), 1.0);
+  const auto x = solver.solve(b);
+  EXPECT_LT(relative_residual(a2, x, b), 1e-12);
+}
+
+TEST(PlanReuse, SharedPlanTwoSolvers) {
+  const auto a = gen_fe_mesh({6, 6, 3, 2, 1, 33});
+  SolverOptions opt;
+  opt.nprocs = 3;
+  const PlanPtr plan = analyze(a.pattern, opt);
+
+  Solver<double> s1(opt), s2(opt);
+  s1.analyze(a, plan);
+  s2.analyze(a, plan);
+  // Literally the same analysis objects, not equal copies.
+  EXPECT_EQ(&s1.schedule(), &s2.schedule());
+  EXPECT_EQ(&s1.symbol(), &s2.symbol());
+  EXPECT_EQ(s1.plan().get(), plan.get());
+
+  s1.factorize();
+  s2.factorize();
+  std::vector<double> b(static_cast<std::size_t>(a.n()), 1.0);
+  const auto x1 = s1.solve(b);
+  const auto x2 = s2.solve(b);
+  for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_EQ(x1[i], x2[i]);
+  EXPECT_LT(relative_residual(a, x1, b), 1e-12);
+}
+
+TEST(PlanReuse, FactorStatusResetsBetweenRefactorizations) {
+  // An indefinite first matrix forces static pivot perturbations; the
+  // healthy refactorize afterwards must report a *clean* status, not the
+  // stale one.
+  auto bad = gen_random_spd(90, 5, 321);
+  for (std::size_t i = 0; i < bad.diag.size(); i += 7) bad.diag[i] = 1e-18;
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(bad);
+  solver.factorize();
+  ASSERT_GT(solver.stats().factor_status.perturbations, 0);
+
+  const auto good = gen_random_spd(90, 5, 321);
+  ASSERT_EQ(fingerprint_pattern(good.pattern),
+            fingerprint_pattern(bad.pattern));
+  solver.refactorize(good);
+  EXPECT_TRUE(solver.stats().factor_status.clean());
+  EXPECT_EQ(solver.stats().factor_status.perturbations, 0);
+
+  std::vector<double> b(static_cast<std::size_t>(good.n()), 1.0);
+  const auto x = solver.solve(b);
+  EXPECT_LT(relative_residual(good, x, b), 1e-10);
+}
+
+TEST(PlanReuse, RecoversAfterFailedFactorize) {
+  // With perturbation off, a singular matrix makes factorize() throw and
+  // abort the communicator; a refactorize() with good values on the same
+  // solver must reset the comm and succeed.
+  auto bad = gen_random_spd(80, 4, 99);
+  for (auto& d : bad.diag) d = 0.0;
+  for (auto& v : bad.val) v = 0.0;
+  SolverOptions opt;
+  opt.nprocs = 2;
+  opt.fanin.pivot.perturb = false;
+  Solver<double> solver(opt);
+  solver.analyze(bad);
+  EXPECT_THROW(solver.factorize(), Error);
+
+  const auto good = gen_random_spd(80, 4, 99);
+  solver.refactorize(good);
+  std::vector<double> b(static_cast<std::size_t>(good.n()), 1.0);
+  const auto x = solver.solve(b);
+  EXPECT_LT(relative_residual(good, x, b), 1e-10);
+}
+
+TEST(PlanReuse, SolveManyMatchesIndividualSolves) {
+  const auto a = gen_grid_laplacian(12, 12);
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+
+  std::vector<std::vector<double>> rhs;
+  for (int r = 0; r < 4; ++r) {
+    std::vector<double> b(static_cast<std::size_t>(a.n()));
+    for (idx_t i = 0; i < a.n(); ++i)
+      b[static_cast<std::size_t>(i)] = std::cos(0.1 * i + r);
+    rhs.push_back(std::move(b));
+  }
+  const auto xs = solver.solve_many(rhs);
+  ASSERT_EQ(xs.size(), rhs.size());
+  EXPECT_EQ(solver.stats().solve_many_rhs, 4);
+  for (std::size_t r = 0; r < rhs.size(); ++r) {
+    const auto x = solver.solve(rhs[r]);
+    for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(xs[r][i], x[i]);
+  }
+}
+
+TEST(PlanIo, SaveLoadFactorizeRoundTrip) {
+  const auto a = gen_fe_mesh({6, 6, 3, 2, 1, 55});
+  SolverOptions opt;
+  opt.nprocs = 3;
+  const PlanPtr plan = analyze(a.pattern, opt);
+
+  const std::string path = temp_plan_path("roundtrip");
+  save_plan(*plan, path);
+  const PlanPtr loaded = load_plan(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded->fingerprint, plan->fingerprint);
+  EXPECT_EQ(loaded->symbol, plan->symbol);
+  EXPECT_EQ(loaded->sched.proc, plan->sched.proc);
+  EXPECT_EQ(loaded->sched.kp, plan->sched.kp);
+  EXPECT_EQ(loaded->comm.expect_aub, plan->comm.expect_aub);
+  EXPECT_EQ(loaded->options.nprocs, plan->options.nprocs);
+  EXPECT_EQ(loaded->stats.ntask, plan->stats.ntask);
+
+  Solver<double> solver(opt);
+  solver.analyze(a, loaded);
+  solver.factorize();
+  std::vector<double> b(static_cast<std::size_t>(a.n()), 1.0);
+  const auto x = solver.solve(b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-12);
+
+  // And the loaded plan drives the exact same computation as the original.
+  Solver<double> original(opt);
+  original.analyze(a, plan);
+  original.factorize();
+  const auto x0 = original.solve(b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], x0[i]);
+}
+
+TEST(PlanIo, RejectsGarbageAndTruncation) {
+  const std::string garbage_path = temp_plan_path("garbage");
+  {
+    std::ofstream out(garbage_path, std::ios::binary);
+    out << "definitely not a plan file, but long enough to read headers from";
+  }
+  EXPECT_THROW((void)load_plan(garbage_path), Error);
+  std::remove(garbage_path.c_str());
+
+  const auto a = gen_grid_laplacian(10, 10);
+  SolverOptions opt;
+  opt.nprocs = 2;
+  const PlanPtr plan = analyze(a.pattern, opt);
+  const std::string trunc_path = temp_plan_path("truncated");
+  save_plan(*plan, trunc_path);
+  {
+    std::ifstream in(trunc_path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(trunc_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW((void)load_plan(trunc_path), Error);
+  std::remove(trunc_path.c_str());
+
+  EXPECT_THROW((void)load_plan("/nonexistent/dir/nope.plan"), Error);
+}
+
+TEST(PlanReuse, MismatchedPlanIsRejected) {
+  const auto a = gen_grid_laplacian(12, 12);
+  SolverOptions opt2;
+  opt2.nprocs = 2;
+  const PlanPtr plan = analyze(a.pattern, opt2);
+
+  // Processor-count mismatch.
+  SolverOptions opt3 = opt2;
+  opt3.nprocs = 3;
+  Solver<double> wrong_procs(opt3);
+  EXPECT_THROW(wrong_procs.analyze(a, plan), Error);
+
+  // Pattern mismatch.
+  const auto other = gen_grid_laplacian(13, 13);
+  Solver<double> wrong_pattern(opt2);
+  EXPECT_THROW(wrong_pattern.analyze(other, plan), Error);
+
+  // Fan-in chunking mismatch (the comm plan is chunk-specific).
+  SolverOptions chunked = opt2;
+  chunked.fanin.partial_chunk = 4;
+  Solver<double> wrong_chunk(chunked);
+  EXPECT_THROW(wrong_chunk.analyze(a, plan), Error);
+
+  // Null plan.
+  Solver<double> null_plan(opt2);
+  EXPECT_THROW(null_plan.analyze(a, PlanPtr{}), Error);
+}
+
+TEST(PlanReuse, FingerprintDistinguishesPatterns) {
+  const auto a = gen_grid_laplacian(10, 10);
+  const auto b = gen_grid_laplacian(10, 11);
+  EXPECT_EQ(fingerprint_pattern(a.pattern), fingerprint_pattern(a.pattern));
+  EXPECT_NE(fingerprint_pattern(a.pattern), fingerprint_pattern(b.pattern));
+  // Values do not affect the fingerprint.
+  EXPECT_EQ(fingerprint_pattern(rescaled(a, 2.0, 0.5).pattern),
+            fingerprint_pattern(a.pattern));
+}
+
+} // namespace
+} // namespace pastix
