@@ -4,11 +4,17 @@
 // user with their own matrices.
 //
 //   ./solve_file <matrix.mtx> [nprocs] [--refine] [--plan <file>]
+//                [--trace <out.json>]
 //
 // --plan <file> persists the analysis: if <file> exists and matches the
 // matrix pattern it is loaded (skipping ordering/symbolic/scheduling
 // entirely); otherwise the analysis runs once and is saved there for the
 // next invocation.
+//
+// --trace <out.json> records the runtime execution timeline of the
+// factorization and solve, writes it as Chrome trace-event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev), and prints the
+// predicted-vs-actual schedule comparison.
 //
 // Without arguments, writes a demo matrix to ./demo.mtx and solves it, so
 // the example is runnable out of the box.
@@ -26,6 +32,7 @@ int main(int argc, char** argv) {
   using namespace pastix;
   std::string path;
   std::string plan_path;
+  std::string trace_path;
   idx_t nprocs = 4;
   bool refine = false;
   int positional = 0;
@@ -34,6 +41,8 @@ int main(int argc, char** argv) {
       refine = true;
     } else if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
       plan_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (positional == 0) {
       path = argv[i];
       positional++;
@@ -88,6 +97,7 @@ int main(int argc, char** argv) {
     }
   }
   const double analyze_s = t_analyze.seconds();
+  if (!trace_path.empty()) solver.enable_tracing(true);
   const double factor_s = solver.factorize();
 
   const auto& st = solver.stats();
@@ -110,6 +120,19 @@ int main(int argc, char** argv) {
               << st.factor_status.to_string()
               << ") — solving via adaptive refinement\n";
 
+  const auto dump_trace = [&]() {
+    if (trace_path.empty()) return;
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write trace to " << trace_path << "\n";
+      return;
+    }
+    write_chrome_trace(out, solver.runtime_trace());
+    std::cout << "execution trace written to " << trace_path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n"
+              << "schedule validation: " << st.trace.to_string() << "\n";
+  };
+
   std::vector<double> b(static_cast<std::size_t>(a.n()), 1.0);
   if (!st.factor_status.clean()) {
     const auto res = solver.solve_adaptive(b);
@@ -118,11 +141,14 @@ int main(int argc, char** argv) {
               << ", componentwise backward error = " << res.backward_error
               << "\nrelative residual: " << relative_residual(a, res.x, b)
               << "\n";
+    dump_trace();
     return 0;
   }
   const std::vector<double> x =
       refine ? solver.solve_refined(b, 2) : solver.solve(b);
   std::cout << "relative residual" << (refine ? " (2 refinement steps)" : "")
             << ": " << relative_residual(a, x, b) << "\n";
+
+  dump_trace();
   return 0;
 }

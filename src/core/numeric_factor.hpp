@@ -54,7 +54,28 @@ public:
   /// breakdown (e.g. refactorize with better values).
   double factorize() {
     if (comm_->aborted()) comm_->reset();
+    if (tracer_ && tracer_->enabled()) tracer_->clear();
     return fanin_.factorize(*comm_);
+  }
+
+  /// Toggle runtime execution tracing (DESIGN.md §9).  The recorder is
+  /// created lazily on first enable and kept across factorizations; each
+  /// traced factorize() restarts it, so tracer() afterwards holds exactly
+  /// the last run.  Disabled (the default) costs one branch per event site.
+  void enable_tracing(bool on) {
+    if (on && !tracer_) {
+      tracer_ = std::make_unique<rt::TraceRecorder>(
+          static_cast<int>(plan_->nprocs()));
+      fanin_.set_tracer(tracer_.get());
+      comm_->set_tracer(tracer_.get());
+    }
+    if (tracer_) tracer_->set_enabled(on);
+  }
+
+  /// The event recorder of the last traced run (null if tracing was never
+  /// enabled).  Read it only between parallel phases.
+  [[nodiscard]] const rt::TraceRecorder* tracer() const {
+    return tracer_.get();
   }
 
   /// refill + factorize in one numeric-only step (the time-stepping path).
@@ -123,6 +144,7 @@ private:
   bool permuted_built_ = false;
   FaninSolver<T> fanin_;
   std::unique_ptr<rt::Comm> comm_;
+  std::unique_ptr<rt::TraceRecorder> tracer_;  ///< lazily created
 };
 
 } // namespace pastix

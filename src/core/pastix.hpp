@@ -21,6 +21,8 @@
 //
 #include "core/analysis.hpp"
 #include "core/numeric_factor.hpp"
+#include "simul/runtime_trace.hpp"
+#include "simul/trace.hpp"
 #include "support/timer.hpp"
 
 #include <cmath>
@@ -42,6 +44,8 @@ struct SolverStats {
   FactorStatus factor_status;  ///< structured outcome of the last factorize()
   idx_t solve_many_rhs = 0; ///< right-hand sides of the last solve_many()
   double solve_many_seconds = 0;  ///< wall time of the last solve_many()
+  bool traced = false;      ///< the last factorize() ran with tracing on
+  TraceComparison trace;    ///< predicted-vs-actual report (when traced)
 };
 
 /// Outcome of Solver::solve_adaptive — the solution plus how refinement
@@ -96,7 +100,33 @@ public:
     }
     stats_.factor_status = numeric_->fanin().factor_status();
     localize_status(stats_.factor_status);
+    update_trace_stats();
     return stats_.factor_seconds;
+  }
+
+  /// Toggle runtime execution tracing (DESIGN.md §9).  While enabled, every
+  /// factorize() records a per-rank event timeline, and stats().trace holds
+  /// the predicted-vs-actual comparison afterwards.  Off by default; off
+  /// costs one branch per event site.
+  void enable_tracing(bool on) {
+    PASTIX_CHECK(analyzed_, "analyze() must run before enable_tracing()");
+    numeric_->enable_tracing(on);
+  }
+
+  /// The measured execution timeline of the last traced factorize() (plus
+  /// any solves that followed it).  Requires enable_tracing(true) first.
+  [[nodiscard]] RuntimeTrace runtime_trace() const {
+    PASTIX_CHECK(analyzed_, "analyze() must run first");
+    const rt::TraceRecorder* rec = numeric_->tracer();
+    PASTIX_CHECK(rec != nullptr, "enable_tracing(true) must run first");
+    return build_runtime_trace(*rec);
+  }
+
+  /// The simulated timeline the static schedule predicts — the reference
+  /// side of the predicted-vs-actual comparison.
+  [[nodiscard]] ScheduleTrace predicted_trace() const {
+    const AnalysisPlan& p = checked_plan();
+    return trace_schedule(p.tg, p.sched, p.options.model);
   }
 
   /// Numeric-only refactorization: when A has the pattern this solver was
@@ -325,6 +355,17 @@ private:
       res.steps = s + 1;
     }
     return res;
+  }
+
+  /// Refresh the predicted-vs-actual report after a factorize().  Runs only
+  /// when the run was actually traced; kept out of the failure path (a
+  /// thrown factorize has no complete timeline to compare).
+  void update_trace_stats() {
+    stats_.traced = false;
+    const rt::TraceRecorder* rec = numeric_->tracer();
+    if (!rec || !rec->enabled()) return;
+    stats_.trace = compare_traces(predicted_trace(), build_runtime_trace(*rec));
+    stats_.traced = true;
   }
 
   /// The factorization records breakdown columns in the permuted numbering

@@ -5,6 +5,7 @@
 #include <map>
 #include <ostream>
 
+#include "simul/runtime_trace.hpp"
 #include "simul/trace.hpp"
 #include "support/table.hpp"
 
@@ -105,6 +106,11 @@ void write_analysis_report(std::ostream& os, const Solver<T>& solver,
         os << "\n";
       }
     }
+  }
+
+  if (st.traced) {
+    os << "## Runtime trace (predicted vs actual)\n\n";
+    write_trace_comparison(os, st.trace);
   }
 
   if (st.solve_many_rhs > 0) {

@@ -69,6 +69,66 @@ double time_min_of(int reps, const auto& fn) {
   return best;
 }
 
+/// Recalibrate one polynomial family against measured samples: keep the
+/// best of the current fit, a uniformly rescaled fit, and (when the corpus
+/// is large enough to be well-posed) a full ridge refit — judged by the
+/// same mean-relative-error metric kernel_sample_mean_rel_error reports,
+/// so recalibration can only improve the reported fidelity.
+template <std::size_t N, class FeatFn>
+void refit_family(std::array<double, N>& coeffs,
+                  const std::vector<KernelSample>& ss, FeatFn&& feats) {
+  if (ss.empty()) return;
+  const auto eval = [&](const std::array<double, N>& w) {
+    double err = 0;
+    for (const auto& s : ss)
+      err += std::abs(eval_poly(w, feats(s)) - s.seconds) /
+             std::max(s.seconds, 1e-12);
+    return err / static_cast<double>(ss.size());
+  };
+  std::array<double, N> best = coeffs;
+  double best_err = eval(best);
+
+  double meas = 0, pred = 0;
+  for (const auto& s : ss) {
+    meas += s.seconds;
+    pred += eval_poly(coeffs, feats(s));
+  }
+  if (pred > 0 && meas > 0) {
+    std::array<double, N> scaled = coeffs;
+    for (double& w : scaled) w *= meas / pred;
+    if (const double e = eval(scaled); e < best_err) {
+      best = scaled;
+      best_err = e;
+    }
+  }
+
+  if (ss.size() >= 4 * N) {
+    std::vector<std::array<double, N>> xs;
+    std::vector<double> ys;
+    xs.reserve(ss.size());
+    ys.reserve(ss.size());
+    for (const auto& s : ss) {
+      xs.push_back(feats(s));
+      ys.push_back(s.seconds);
+    }
+    try {
+      const std::array<double, N> refit = fit(xs, ys);
+      bool finite = true;
+      for (const double w : refit) finite &= std::isfinite(w);
+      if (finite) {
+        if (const double e = eval(refit); e < best_err) {
+          best = refit;
+          best_err = e;
+        }
+      }
+    } catch (const Error&) {
+      // Degenerate corpus (e.g. every sample the same shape): the normal
+      // equations are singular even with ridge — keep the other candidates.
+    }
+  }
+  coeffs = best;
+}
+
 } // namespace
 
 double CostModel::gemm_time(double m, double n, double k) const {
@@ -91,6 +151,76 @@ double CostModel::gemv_time(double m, double n) const {
 }
 double CostModel::trsv_time(double n) const {
   return kernel.gemv_per_entry * n * n / 2;
+}
+
+double CostModel::predict(const KernelSample& s) const {
+  switch (s.op) {
+    case KernelOp::kGemm: return gemm_time(s.m, s.n, s.k);
+    case KernelOp::kTrsm: return trsm_time(s.m, s.n);
+    case KernelOp::kFactorLdlt: return factor_ldlt_time(s.m);
+    case KernelOp::kFactorLlt: return factor_llt_time(s.m);
+    case KernelOp::kAxpy: return aggregate_time(s.m);
+  }
+  return 0;
+}
+
+CostModel CostModel::recalibrated(const KernelSampleSet& samples) const {
+  std::vector<KernelSample> gemm, trsm, ldlt, llt, axpy;
+  for (const KernelSample& s : samples.samples) {
+    if (!(std::isfinite(s.seconds) && s.seconds >= 0)) continue;
+    switch (s.op) {
+      case KernelOp::kGemm: gemm.push_back(s); break;
+      case KernelOp::kTrsm: trsm.push_back(s); break;
+      case KernelOp::kFactorLdlt: ldlt.push_back(s); break;
+      case KernelOp::kFactorLlt: llt.push_back(s); break;
+      case KernelOp::kAxpy: axpy.push_back(s); break;
+    }
+  }
+  CostModel out = *this;
+  refit_family(out.kernel.gemm, gemm, [](const KernelSample& s) {
+    return gemm_features(s.m, s.n, s.k);
+  });
+  refit_family(out.kernel.trsm, trsm, [](const KernelSample& s) {
+    return trsm_features(s.m, s.n);
+  });
+  refit_family(out.kernel.factor_ldlt, ldlt, [](const KernelSample& s) {
+    return factor_features(s.m);
+  });
+  refit_family(out.kernel.factor_llt, llt, [](const KernelSample& s) {
+    return factor_features(s.m);
+  });
+  if (!axpy.empty()) {
+    double entries = 0, meas = 0;
+    for (const KernelSample& s : axpy) {
+      entries += s.m;
+      meas += s.seconds;
+    }
+    if (entries > 0) {
+      const auto mre = [&](double per_entry) {
+        double err = 0;
+        for (const KernelSample& s : axpy)
+          err += std::abs(per_entry * s.m - s.seconds) /
+                 std::max(s.seconds, 1e-12);
+        return err / static_cast<double>(axpy.size());
+      };
+      const double scaled = meas / entries;
+      if (mre(scaled) < mre(out.kernel.axpy_per_entry))
+        out.kernel.axpy_per_entry = scaled;
+    }
+  }
+  return out;
+}
+
+double kernel_sample_mean_rel_error(const CostModel& m,
+                                    const KernelSampleSet& samples) {
+  double err = 0;
+  idx_t n = 0;
+  for (const KernelSample& s : samples.samples) {
+    if (!(std::isfinite(s.seconds) && s.seconds > 0)) continue;
+    err += std::abs(m.predict(s) - s.seconds) / s.seconds;
+    ++n;
+  }
+  return n > 0 ? err / n : 0.0;
 }
 
 double flops_gemm(double m, double n, double k) { return 2.0 * m * n * k; }

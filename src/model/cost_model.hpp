@@ -54,6 +54,33 @@ struct NetworkModel {
   }
 };
 
+/// Kernel families the runtime tracer samples (one code per fitted model).
+enum class KernelOp : unsigned char {
+  kGemm,        ///< gemm_nt(m, n, k)
+  kTrsm,        ///< trsm_right_lt[_unit](m, n)
+  kFactorLdlt,  ///< dense_ldlt_auto(n)
+  kFactorLlt,   ///< dense_llt_auto(n)
+  kAxpy,        ///< AUB aggregation, m = entries
+};
+
+/// One measured kernel execution: operand shape + wall seconds.  Unused
+/// dimensions are zero (trsm: k; factor: n, k; axpy: n, k).
+struct KernelSample {
+  KernelOp op = KernelOp::kGemm;
+  double m = 0, n = 0, k = 0;
+  double seconds = 0;
+};
+
+/// The measured-span corpus a RuntimeTrace collects for recalibration.
+struct KernelSampleSet {
+  std::vector<KernelSample> samples;
+
+  void add(KernelOp op, double m, double n, double k, double seconds) {
+    samples.push_back({op, m, n, k, seconds});
+  }
+  [[nodiscard]] bool empty() const { return samples.empty(); }
+};
+
 /// Complete machine model used by mapping, scheduling and simulation.
 struct CostModel {
   KernelModel kernel;
@@ -79,7 +106,24 @@ struct CostModel {
       return net.intra_latency + entries * net.scalar_bytes * net.intra_per_byte;
     return comm_time(entries);
   }
+
+  /// Predicted seconds for one measured sample's shape.
+  [[nodiscard]] double predict(const KernelSample& s) const;
+
+  /// Refit the per-kernel coefficients against spans the runtime tracer
+  /// actually measured (the recalibration loop of DESIGN.md §9).  Per
+  /// kernel family the best of {current fit, uniformly rescaled fit, full
+  /// ridge refit (when samples suffice)} on the sample corpus is kept, so
+  /// the result never reproduces the measurements worse than `*this`.
+  /// Families without samples keep their coefficients; the network model
+  /// is untouched.
+  [[nodiscard]] CostModel recalibrated(const KernelSampleSet& samples) const;
 };
+
+/// Mean relative error of `m`'s predictions over a measured sample corpus
+/// (the fidelity number tests and benches report for recalibration).
+double kernel_sample_mean_rel_error(const CostModel& m,
+                                    const KernelSampleSet& samples);
 
 /// Exact floating-point operation counts (used for Gflop/s reporting).
 double flops_gemm(double m, double n, double k);

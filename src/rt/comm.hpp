@@ -28,6 +28,7 @@
 #include <mutex>
 #include <vector>
 
+#include "rt/trace.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/types.hpp"
@@ -129,10 +130,21 @@ public:
                             std::memory_order_relaxed);
   }
 
+  /// Attach (or detach, with nullptr) a runtime event recorder.  Call only
+  /// while no rank is communicating.  When attached and enabled, every
+  /// send and every blocking receive is recorded on the calling rank's
+  /// lane — sends as an instantaneous copy span, receives as the full
+  /// blocked interval (entry to matched delivery) with tag, bytes and
+  /// source.  Detached or disabled, the cost is one branch per call.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
   /// Copy `bytes` bytes to rank `to`'s mailbox.  Never blocks.
   void send(int from, int to, std::uint64_t tag, const void* data,
             std::size_t bytes) {
     PASTIX_CHECK(to >= 0 && to < nprocs(), "send to invalid rank");
+    const bool tracing =
+        tracer_ && tracer_->enabled() && from >= 0 && from < nprocs();
+    const double t0 = tracing ? tracer_->now() : 0.0;
     Message m;
     m.source = from;
     m.tag = tag;
@@ -144,6 +156,16 @@ public:
       deliver_locked(box, std::move(m));
     }
     box.cv.notify_all();
+    if (tracing) {
+      TraceRecord r;
+      r.kind = TraceKind::kSend;
+      r.peer = to;
+      r.tag = tag;
+      r.bytes = bytes;
+      r.start = t0;
+      r.end = tracer_->now();
+      tracer_->record(from, r);
+    }
   }
 
   /// Typed convenience send.
@@ -159,6 +181,8 @@ public:
   /// a diagnostic Error when the receive deadline expires.
   Message recv(int rank, std::uint64_t tag) {
     auto& box = boxes_[static_cast<std::size_t>(rank)];
+    const bool tracing = tracer_ && tracer_->enabled();
+    const double t0 = tracing ? tracer_->now() : 0.0;
     const long deadline_ms = recv_deadline_ms_.load(std::memory_order_relaxed);
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(deadline_ms);
@@ -168,6 +192,16 @@ public:
         if (it->tag == tag) {
           Message m = std::move(*it);
           box.queue.erase(it);
+          if (tracing) {
+            TraceRecord r;
+            r.kind = TraceKind::kRecv;
+            r.peer = m.source;
+            r.tag = tag;
+            r.bytes = m.payload.size();
+            r.start = t0;
+            r.end = tracer_->now();
+            tracer_->record(rank, r);
+          }
           return m;
         }
       }
@@ -284,6 +318,7 @@ private:
   std::atomic<bool> aborted_{false};
   std::atomic<long> recv_deadline_ms_{0};
   FaultInjection faults_;
+  TraceRecorder* tracer_ = nullptr;  ///< optional runtime event recorder
 };
 
 /// Run `body(rank)` on every rank concurrently (one thread per rank) and

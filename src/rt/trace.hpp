@@ -1,0 +1,120 @@
+#pragma once
+//
+// Low-overhead runtime event recorder — the measurement substrate of the
+// execution tracer (DESIGN.md §9).
+//
+// One record lane per rank: a lane is appended to *only* by its own rank
+// thread (the same single-writer discipline the solver uses for factor
+// blocks), so recording needs no locks and no atomics on the hot path.
+// The lanes are read only after rt::run_ranks joined, which gives the
+// reader a happens-before edge through the thread join.
+//
+// Toggling: when disabled (the default), every instrumentation site reduces
+// to one pointer/flag test — no clock reads, no allocation, no record.
+//
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pastix::rt {
+
+/// What a record describes.
+enum class TraceKind : std::uint8_t {
+  kTask,    ///< one scheduled task execution (subtype = TaskType)
+  kKernel,  ///< one dense kernel call inside a task (subtype = KernelOp)
+  kSend,    ///< Comm::send — tag, bytes, peer = destination
+  kRecv,    ///< Comm::recv — span covers the blocked wait; peer = source
+  kPhase,   ///< solve-phase section (subtype: 0 fwd, 1 diag, 2 bwd)
+};
+
+/// One recorded span.  Interpretation of the id fields depends on `kind`:
+/// kTask: id1 = task, id2 = cblk; kKernel: id1/id2/id3 = operand dims.
+struct TraceRecord {
+  TraceKind kind = TraceKind::kTask;
+  std::uint8_t subtype = 0;
+  std::int32_t id1 = -1, id2 = -1, id3 = -1;
+  std::int32_t peer = -1;
+  std::uint64_t tag = 0;
+  std::uint64_t bytes = 0;
+  double start = 0, end = 0;  ///< seconds since the recorder epoch
+};
+
+/// Per-rank, single-writer event recorder.
+class TraceRecorder {
+public:
+  explicit TraceRecorder(int nranks)
+      : lanes_(static_cast<std::size_t>(nranks)) {
+    PASTIX_CHECK(nranks >= 1, "tracer needs at least one rank");
+    clear();
+  }
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(lanes_.size()); }
+
+  /// Arm / disarm recording.  Call only while no rank is running.
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Drop every recorded event and restart the clock epoch.  Call only
+  /// while no rank is running (e.g. at the start of a factorization).
+  void clear() {
+    for (auto& lane : lanes_) lane.events.clear();
+    epoch_ = Clock::now();
+  }
+
+  /// Seconds since the last clear().
+  [[nodiscard]] double now() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  /// Append a record to `rank`'s lane.  Must be called from the thread
+  /// that owns the rank (single-writer discipline).
+  void record(int rank, const TraceRecord& r) {
+    lanes_[static_cast<std::size_t>(rank)].events.push_back(r);
+  }
+
+  /// Read a rank's lane (only after the rank threads joined).
+  [[nodiscard]] const std::vector<TraceRecord>& events(int rank) const {
+    return lanes_[static_cast<std::size_t>(rank)].events;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Cache-line padded so concurrent appends on different lanes never
+  /// false-share.
+  struct alignas(64) Lane {
+    std::vector<TraceRecord> events;
+  };
+
+  std::vector<Lane> lanes_;
+  Clock::time_point epoch_;
+  bool enabled_ = false;
+};
+
+/// RAII span: stamps `start` on construction and records the completed
+/// span on destruction.  With a null or disabled recorder the constructor
+/// is a single branch and the destructor a no-op — the zero-cost-off path.
+class ScopedSpan {
+public:
+  ScopedSpan(TraceRecorder* rec, int rank, const TraceRecord& proto)
+      : rec_(rec && rec->enabled() ? rec : nullptr), rank_(rank), r_(proto) {
+    if (rec_) r_.start = rec_->now();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (rec_) {
+      r_.end = rec_->now();
+      rec_->record(rank_, r_);
+    }
+  }
+
+private:
+  TraceRecorder* rec_;
+  int rank_;
+  TraceRecord r_;
+};
+
+} // namespace pastix::rt

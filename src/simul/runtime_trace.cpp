@@ -1,0 +1,300 @@
+#include "simul/runtime_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "rt/comm.hpp"
+#include "support/table.hpp"
+
+namespace pastix {
+
+namespace {
+
+const char* const kTypeNames[] = {"COMP1D", "FACTOR", "BDIV", "BMOD"};
+const char kTypeGlyphs[] = {'1', 'F', 'd', 'm'};
+const char* const kPhaseNames[] = {"forward-solve", "diagonal-solve",
+                                   "backward-solve"};
+const char kPhaseGlyphs[] = {'f', 'D', 'b'};
+
+} // namespace
+
+RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
+  RuntimeTrace out;
+  out.nprocs = rec.nranks();
+  for (int rank = 0; rank < rec.nranks(); ++rank) {
+    // Inner spans (kernels, receive waits) are recorded *before* their
+    // enclosing task span finishes, so a forward sweep with running
+    // accumulators attributes them to the right task.
+    double kern_acc = 0, wait_acc = 0;
+    for (const rt::TraceRecord& r : rec.events(rank)) {
+      switch (r.kind) {
+        case rt::TraceKind::kTask: {
+          RuntimeTaskEvent e;
+          e.task = r.id1;
+          e.proc = rank;
+          e.type = static_cast<TaskType>(r.subtype);
+          e.cblk = r.id2;
+          e.start = r.start;
+          e.end = r.end;
+          e.kernel_seconds = kern_acc;
+          e.recv_wait_seconds = wait_acc;
+          out.tasks.push_back(e);
+          kern_acc = wait_acc = 0;
+          break;
+        }
+        case rt::TraceKind::kKernel:
+          kern_acc += r.end - r.start;
+          out.kernels.add(static_cast<KernelOp>(r.subtype), r.id1, r.id2,
+                          r.id3, r.end - r.start);
+          break;
+        case rt::TraceKind::kSend:
+        case rt::TraceKind::kRecv: {
+          RuntimeCommEvent e;
+          e.proc = rank;
+          e.is_send = (r.kind == rt::TraceKind::kSend);
+          e.peer = r.peer;
+          e.tag = r.tag;
+          e.bytes = r.bytes;
+          e.start = r.start;
+          e.end = r.end;
+          out.comm.push_back(e);
+          if (!e.is_send) wait_acc += r.end - r.start;
+          break;
+        }
+        case rt::TraceKind::kPhase:
+          out.phases.push_back(
+              {static_cast<idx_t>(rank), r.subtype, r.start, r.end});
+          break;
+      }
+    }
+  }
+
+  // Shift the origin to the first task start so traces are comparable to
+  // the simulated timeline (which starts at 0).
+  double origin = 0;
+  bool have_origin = false;
+  for (const auto& t : out.tasks)
+    if (!have_origin || t.start < origin) {
+      origin = t.start;
+      have_origin = true;
+    }
+  if (have_origin) {
+    for (auto& t : out.tasks) {
+      t.start -= origin;
+      t.end -= origin;
+      out.makespan = std::max(out.makespan, t.end);
+    }
+    for (auto& c : out.comm) {
+      c.start -= origin;
+      c.end -= origin;
+    }
+    for (auto& p : out.phases) {
+      p.start -= origin;
+      p.end -= origin;
+    }
+  }
+
+  const auto by_proc_start = [](const auto& a, const auto& b) {
+    if (a.proc != b.proc) return a.proc < b.proc;
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  };
+  std::sort(out.tasks.begin(), out.tasks.end(), by_proc_start);
+  std::sort(out.comm.begin(), out.comm.end(), by_proc_start);
+  return out;
+}
+
+void RuntimeTrace::validate() const {
+  std::vector<TimelineEvent> tl;
+  tl.reserve(tasks.size());
+  for (const RuntimeTaskEvent& e : tasks)
+    tl.push_back({e.proc, e.start, e.end, '.', {}, {}, {}});
+  validate_timeline(tl, "runtime trace");
+}
+
+void RuntimeTrace::validate_against(const Schedule& sched) const {
+  validate();
+  PASTIX_CHECK(nprocs == sched.nprocs,
+               "runtime trace / schedule processor count mismatch");
+  // tasks is sorted by (proc, start): per rank the executed task ids must
+  // be exactly K_p, in K_p's order.
+  std::size_t cursor = 0;
+  for (idx_t p = 0; p < sched.nprocs; ++p) {
+    const auto& kp = sched.kp[static_cast<std::size_t>(p)];
+    for (const idx_t want : kp) {
+      PASTIX_CHECK(cursor < tasks.size() && tasks[cursor].proc == p &&
+                       tasks[cursor].task == want,
+                   "runtime trace deviates from the static schedule order "
+                   "(K_" + std::to_string(p) + ", task " +
+                       std::to_string(want) + ")");
+      ++cursor;
+    }
+  }
+  PASTIX_CHECK(cursor == tasks.size(),
+               "runtime trace contains tasks not in the schedule");
+}
+
+std::vector<TimelineEvent> RuntimeTrace::to_timeline() const {
+  std::vector<TimelineEvent> tl;
+  tl.reserve(tasks.size() + comm.size() + phases.size());
+  for (const RuntimeTaskEvent& e : tasks) {
+    TimelineEvent t;
+    t.lane = e.proc;
+    t.start = e.start;
+    t.end = e.end;
+    t.glyph = kTypeGlyphs[static_cast<int>(e.type)];
+    t.name = kTypeNames[static_cast<int>(e.type)];
+    t.cat = "task";
+    std::ostringstream args;
+    args << "\"task\":" << e.task << ",\"cblk\":" << e.cblk
+         << ",\"kernel_s\":" << e.kernel_seconds
+         << ",\"recv_wait_s\":" << e.recv_wait_seconds;
+    t.args = args.str();
+    tl.push_back(std::move(t));
+  }
+  for (const RuntimeCommEvent& e : comm) {
+    TimelineEvent t;
+    t.lane = e.proc;
+    t.start = e.start;
+    t.end = e.end;
+    t.glyph = e.is_send ? 's' : 'r';
+    t.name = e.is_send ? "send" : "recv";
+    t.cat = "comm";
+    std::ostringstream args;
+    args << "\"tag\":\"" << rt::describe_tag(e.tag) << "\",\"bytes\":"
+         << e.bytes << ",\"peer\":" << e.peer;
+    t.args = args.str();
+    tl.push_back(std::move(t));
+  }
+  for (const RuntimePhaseEvent& e : phases) {
+    TimelineEvent t;
+    t.lane = e.proc;
+    t.start = e.start;
+    t.end = e.end;
+    t.glyph = kPhaseGlyphs[e.phase % 3];
+    t.name = kPhaseNames[e.phase % 3];
+    t.cat = "solve";
+    tl.push_back(std::move(t));
+  }
+  sort_timeline(tl);
+  return tl;
+}
+
+void write_chrome_trace(std::ostream& os, const RuntimeTrace& trace) {
+  write_chrome_trace_json(os, trace.to_timeline());
+}
+
+void write_runtime_trace_csv(std::ostream& os, const RuntimeTrace& trace) {
+  os << "task,proc,type,cblk,start,end,kernel_s,recv_wait_s\n";
+  os.precision(9);
+  for (const RuntimeTaskEvent& e : trace.tasks)
+    os << e.task << "," << e.proc << "," << kTypeNames[static_cast<int>(e.type)]
+       << "," << e.cblk << "," << e.start << "," << e.end << ","
+       << e.kernel_seconds << "," << e.recv_wait_seconds << "\n";
+}
+
+TraceComparison compare_traces(const ScheduleTrace& predicted,
+                               const RuntimeTrace& actual) {
+  TraceComparison cmp;
+  cmp.predicted_makespan = predicted.makespan;
+  cmp.actual_makespan = actual.makespan;
+  cmp.makespan_ratio =
+      actual.makespan / std::max(predicted.makespan, 1e-300);
+  cmp.tasks_predicted = static_cast<idx_t>(predicted.events.size());
+  cmp.tasks_actual = static_cast<idx_t>(actual.tasks.size());
+
+  idx_t ntask = 0;
+  for (const auto& e : predicted.events) ntask = std::max(ntask, e.task + 1);
+  for (const auto& e : actual.tasks) ntask = std::max(ntask, e.task + 1);
+  std::vector<double> pred(static_cast<std::size_t>(ntask), -1.0);
+  std::vector<double> act(static_cast<std::size_t>(ntask), -1.0);
+  for (const auto& e : predicted.events)
+    pred[static_cast<std::size_t>(e.task)] = e.end - e.start;
+  for (const auto& e : actual.tasks)
+    act[static_cast<std::size_t>(e.task)] = e.work_seconds();
+
+  cmp.task_ratio.assign(static_cast<std::size_t>(ntask), 0.0);
+  bool sets_match = cmp.tasks_predicted == cmp.tasks_actual;
+  for (idx_t t = 0; t < ntask; ++t) {
+    const double p = pred[static_cast<std::size_t>(t)];
+    const double a = act[static_cast<std::size_t>(t)];
+    if (p < 0 || a < 0) {
+      sets_match &= (p < 0 && a < 0);
+      continue;
+    }
+    ++cmp.tasks_matched;
+    cmp.total_predicted_seconds += p;
+    cmp.total_actual_work_seconds += a;
+    const double ratio = a / std::max(p, 1e-300);
+    cmp.task_ratio[static_cast<std::size_t>(t)] = ratio;
+    cmp.mean_task_ratio += ratio;
+    cmp.mean_abs_log10_ratio +=
+        std::abs(std::log10(std::max(ratio, 1e-9)));
+  }
+  cmp.task_sets_match = sets_match;
+  if (cmp.tasks_matched > 0) {
+    cmp.mean_task_ratio /= cmp.tasks_matched;
+    cmp.mean_abs_log10_ratio /= cmp.tasks_matched;
+  }
+
+  const idx_t nprocs = std::max(predicted.nprocs, actual.nprocs);
+  cmp.per_rank.assign(static_cast<std::size_t>(nprocs), {});
+  for (const auto& e : predicted.events)
+    cmp.per_rank[static_cast<std::size_t>(e.proc)].predicted_busy +=
+        e.end - e.start;
+  for (const auto& e : actual.tasks) {
+    auto& row = cmp.per_rank[static_cast<std::size_t>(e.proc)];
+    ++row.tasks;
+    row.busy += e.end - e.start;
+    row.recv_wait += e.recv_wait_seconds;
+    cmp.total_recv_wait_seconds += e.recv_wait_seconds;
+  }
+  for (auto& row : cmp.per_rank)
+    row.idle = std::max(0.0, actual.makespan - row.busy);
+  return cmp;
+}
+
+std::string TraceComparison::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "makespan " << actual_makespan << " s measured vs "
+     << predicted_makespan << " s predicted (ratio " << makespan_ratio
+     << "); tasks matched " << tasks_matched << "/" << tasks_predicted
+     << (task_sets_match ? "" : " [TASK SET MISMATCH]")
+     << "; mean per-task actual/predicted " << mean_task_ratio
+     << "; mean |log10 ratio| " << mean_abs_log10_ratio
+     << "; total recv wait " << total_recv_wait_seconds << " s";
+  return os.str();
+}
+
+void write_trace_comparison(std::ostream& os, const TraceComparison& cmp) {
+  os << "- makespan: measured " << fmt_fixed(cmp.actual_makespan, 4)
+     << " s vs predicted " << fmt_fixed(cmp.predicted_makespan, 4)
+     << " s (ratio " << fmt_fixed(cmp.makespan_ratio, 2) << ")\n";
+  os << "- tasks: " << cmp.tasks_matched << " matched of "
+     << cmp.tasks_predicted << " scheduled"
+     << (cmp.task_sets_match ? "" : " — TASK SET MISMATCH") << "\n";
+  os << "- per-task work vs prediction: mean ratio "
+     << fmt_fixed(cmp.mean_task_ratio, 2) << ", mean |log10 ratio| "
+     << fmt_fixed(cmp.mean_abs_log10_ratio, 3) << "\n";
+  os << "- total receive-blocked time: "
+     << fmt_fixed(cmp.total_recv_wait_seconds, 4) << " s\n\n";
+  os << "| rank | tasks | predicted busy (s) | busy (s) | recv wait (s) | "
+        "idle (s) |\n|---|---|---|---|---|---|\n";
+  for (std::size_t p = 0; p < cmp.per_rank.size(); ++p) {
+    const auto& r = cmp.per_rank[p];
+    os << "| " << p << " | " << r.tasks << " | "
+       << fmt_fixed(r.predicted_busy, 4) << " | " << fmt_fixed(r.busy, 4)
+       << " | " << fmt_fixed(r.recv_wait, 4) << " | " << fmt_fixed(r.idle, 4)
+       << " |\n";
+  }
+  os << "\n";
+}
+
+CostModel recalibrate(const CostModel& base, const RuntimeTrace& trace) {
+  return base.recalibrated(trace.kernels);
+}
+
+} // namespace pastix

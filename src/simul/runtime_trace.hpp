@@ -1,0 +1,138 @@
+#pragma once
+//
+// Measured execution timeline of a parallel factorization — the runtime
+// counterpart of the simulated ScheduleTrace, built from the per-rank
+// event lanes the rt::TraceRecorder collected (rt/trace.hpp).
+//
+// This is the paper's missing validation loop: the static schedule is a
+// *prediction* produced by replaying the calibrated cost model; the
+// runtime trace is what the threaded ranks actually did.  compare_traces()
+// quantifies the gap per task and per rank, and the recorded kernel spans
+// feed CostModel::recalibrated() so a re-analyze produces a schedule
+// informed by the machine the solver actually ran on (DESIGN.md §9).
+//
+#include <iosfwd>
+
+#include "model/cost_model.hpp"
+#include "rt/trace.hpp"
+#include "simul/trace.hpp"
+
+namespace pastix {
+
+/// One executed task: wall span plus the measured breakdown inside it.
+struct RuntimeTaskEvent {
+  idx_t task = kNone;
+  idx_t proc = 0;
+  TaskType type = TaskType::kComp1d;
+  idx_t cblk = kNone;
+  double start = 0, end = 0;       ///< seconds since the trace origin
+  double kernel_seconds = 0;       ///< dense kernel time inside the task
+  double recv_wait_seconds = 0;    ///< blocked in Comm::recv inside the task
+
+  /// Task wall time with the receive waits removed — the number a
+  /// cost-model prediction is comparable to.
+  [[nodiscard]] double work_seconds() const {
+    return std::max(0.0, (end - start) - recv_wait_seconds);
+  }
+};
+
+/// One message endpoint event (send or blocking receive).
+struct RuntimeCommEvent {
+  idx_t proc = 0;
+  bool is_send = false;
+  int peer = -1;            ///< destination (send) / source (recv)
+  std::uint64_t tag = 0;
+  std::uint64_t bytes = 0;
+  double start = 0, end = 0;  ///< recv: the full blocked interval
+};
+
+/// One solve-phase section of a rank (forward / diagonal / backward).
+struct RuntimePhaseEvent {
+  idx_t proc = 0;
+  int phase = 0;  ///< 0 = forward, 1 = diagonal, 2 = backward
+  double start = 0, end = 0;
+};
+
+/// The merged, time-shifted (origin = first task start) runtime trace.
+struct RuntimeTrace {
+  std::vector<RuntimeTaskEvent> tasks;   ///< sorted by (proc, start)
+  std::vector<RuntimeCommEvent> comm;    ///< sorted by (proc, start)
+  std::vector<RuntimePhaseEvent> phases; ///< solve sections, if any ran
+  KernelSampleSet kernels;               ///< measured spans for recalibration
+  double makespan = 0;                   ///< last task end - first task start
+  idx_t nprocs = 0;
+
+  /// Shared-timeline invariant: task spans of one rank never overlap.
+  void validate() const;
+
+  /// Full property check against the plan: the overlap invariant, plus
+  /// "every scheduled task of K_p appears exactly once and in schedule
+  /// order" on every rank.
+  void validate_against(const Schedule& sched) const;
+
+  /// Lower tasks + comm + phases to the shared timeline representation.
+  [[nodiscard]] std::vector<TimelineEvent> to_timeline() const;
+};
+
+/// Merge the recorder's per-rank lanes into a RuntimeTrace (call after the
+/// factorization joined its rank threads).
+RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec);
+
+/// Chrome trace-event JSON of the measured timeline (chrome://tracing /
+/// Perfetto), alongside the ScheduleTrace overload in simul/trace.hpp.
+void write_chrome_trace(std::ostream& os, const RuntimeTrace& trace);
+
+/// CSV: task,proc,type,cblk,start,end,kernel_s,recv_wait_s.
+void write_runtime_trace_csv(std::ostream& os, const RuntimeTrace& trace);
+
+// ------------------------------------------------------------------------
+// Predicted-vs-actual schedule validation
+// ------------------------------------------------------------------------
+
+/// The gap between the simulated schedule and the measured execution.
+struct TraceComparison {
+  double predicted_makespan = 0;   ///< simulated seconds
+  double actual_makespan = 0;      ///< measured seconds
+  double makespan_ratio = 0;       ///< actual / predicted
+
+  idx_t tasks_predicted = 0, tasks_actual = 0, tasks_matched = 0;
+  bool task_sets_match = false;    ///< same task ids on both sides
+
+  double total_predicted_seconds = 0;  ///< sum of simulated task spans
+  double total_actual_work_seconds = 0;///< sum of measured work (waits removed)
+  double mean_task_ratio = 0;          ///< mean of per-task actual/predicted
+  double mean_abs_log10_ratio = 0;     ///< fidelity: 0 = perfect prediction
+  double total_recv_wait_seconds = 0;  ///< blocked time across all ranks
+
+  /// Per-task actual-work / predicted-time ratio, indexed by task id
+  /// (0 for tasks missing on either side).
+  std::vector<double> task_ratio;
+
+  struct RankRow {
+    idx_t tasks = 0;
+    double predicted_busy = 0;  ///< simulated task seconds on this rank
+    double busy = 0;            ///< measured task-span seconds
+    double recv_wait = 0;       ///< blocked in recv (inside tasks)
+    double idle = 0;            ///< actual makespan - busy
+  };
+  std::vector<RankRow> per_rank;
+
+  /// One-paragraph summary for logs.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compare the simulated timeline against the measured one.  Both sides
+/// must come from the same schedule; the comparison is meaningful also
+/// when a run degraded (pivot perturbation changes values, not tasks).
+TraceComparison compare_traces(const ScheduleTrace& predicted,
+                               const RuntimeTrace& actual);
+
+/// Markdown table block of the comparison (used by the analysis report).
+void write_trace_comparison(std::ostream& os, const TraceComparison& cmp);
+
+/// Refit `base`'s kernel coefficients from the trace's measured spans —
+/// sugar for base.recalibrated(trace.kernels).
+[[nodiscard]] CostModel recalibrate(const CostModel& base,
+                                    const RuntimeTrace& trace);
+
+} // namespace pastix

@@ -1,0 +1,92 @@
+#include "simul/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace pastix {
+
+void sort_timeline(std::vector<TimelineEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              if (a.lane != b.lane) return a.lane < b.lane;
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+}
+
+void validate_timeline(const std::vector<TimelineEvent>& events,
+                       const char* what) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TimelineEvent& e = events[i];
+    PASTIX_CHECK(e.end >= e.start - 1e-12,
+                 std::string(what) + ": event ends before it starts");
+    if (i == 0) continue;
+    const TimelineEvent& p = events[i - 1];
+    PASTIX_CHECK(p.lane <= e.lane,
+                 std::string(what) + ": events not sorted by lane");
+    if (p.lane != e.lane) continue;
+    PASTIX_CHECK(p.start <= e.start,
+                 std::string(what) + ": events not sorted by start time");
+    PASTIX_CHECK(e.start >= p.end - 1e-12,
+                 std::string(what) + ": overlapping events on one lane");
+  }
+}
+
+void render_timeline_gantt(std::ostream& os,
+                           const std::vector<TimelineEvent>& events,
+                           idx_t nlanes, double makespan, int width,
+                           const std::string& legend) {
+  PASTIX_CHECK(width > 0, "gantt width must be positive");
+  const double dt = makespan > 0 ? makespan / width : 0;
+  std::size_t cursor = 0;
+  for (idx_t lane = 0; lane < nlanes; ++lane) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    // Per column, show the glyph of the span covering the slice (last event
+    // wins on boundaries).  With a degenerate makespan every row is idle.
+    for (; cursor < events.size() && events[cursor].lane == lane; ++cursor) {
+      if (dt <= 0) continue;
+      const TimelineEvent& e = events[cursor];
+      const int c0 = std::clamp(static_cast<int>(e.start / dt), 0, width - 1);
+      const int c1 = std::clamp(static_cast<int>(e.end / dt), c0, width - 1);
+      for (int c = c0; c <= c1; ++c)
+        row[static_cast<std::size_t>(c)] = e.glyph;
+    }
+    os << "P" << lane << (lane < 10 ? " " : "") << " |" << row << "|\n";
+  }
+  os << "     legend: " << legend << "   (0 .. " << makespan << " s)\n";
+}
+
+namespace {
+
+void json_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+} // namespace
+
+void write_chrome_trace_json(std::ostream& os,
+                             const std::vector<TimelineEvent>& events) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os.precision(9);
+  bool first = true;
+  for (const TimelineEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"";
+    json_escaped(os, e.name.empty() ? std::string(1, e.glyph) : e.name);
+    os << "\",\"cat\":\"";
+    json_escaped(os, e.cat.empty() ? "event" : e.cat);
+    os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.lane
+       << ",\"ts\":" << e.start * 1e6 << ",\"dur\":" << (e.end - e.start) * 1e6;
+    if (!e.args.empty()) os << ",\"args\":{" << e.args << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+} // namespace pastix

@@ -1,0 +1,53 @@
+#pragma once
+//
+// Shared event/timeline substrate of the two trace types — the simulated
+// ScheduleTrace (simul/trace.hpp) and the measured RuntimeTrace
+// (simul/runtime_trace.hpp) both lower to this representation, so the
+// overlap invariant, the terminal Gantt renderer and the Chrome
+// trace-event JSON writer exist exactly once.
+//
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace pastix {
+
+/// One span on one lane (lane = processor/rank).  Zero-duration events are
+/// legal (instantaneous markers); `name`/`cat`/`args` feed the Chrome
+/// exporter and stay empty for validation-only uses.
+struct TimelineEvent {
+  idx_t lane = 0;
+  double start = 0, end = 0;
+  char glyph = '.';   ///< Gantt cell character
+  std::string name;   ///< Chrome event name (e.g. "COMP1D")
+  std::string cat;    ///< Chrome category (e.g. "task", "comm")
+  std::string args;   ///< extra Chrome args as a JSON-object body
+};
+
+/// Sort by (lane, start, end) — the order every consumer below expects.
+void sort_timeline(std::vector<TimelineEvent>& events);
+
+/// Invariant check shared by both trace types: events must be sorted by
+/// (lane, start), every span needs end >= start (zero duration allowed),
+/// and spans of one lane must not overlap (back-to-back is allowed, with a
+/// 1e-12 tolerance for replay arithmetic).  Throws Error mentioning `what`.
+void validate_timeline(const std::vector<TimelineEvent>& events,
+                       const char* what);
+
+/// Terminal Gantt chart over `nlanes` rows and `width` columns; cells show
+/// the glyph of the covering span ('.' = idle).  A zero/negative makespan
+/// renders all-idle rows instead of dividing by zero.
+void render_timeline_gantt(std::ostream& os,
+                           const std::vector<TimelineEvent>& events,
+                           idx_t nlanes, double makespan, int width,
+                           const std::string& legend);
+
+/// Chrome trace-event JSON ("X" complete events, microsecond timestamps):
+/// open the file in chrome://tracing or https://ui.perfetto.dev.  One pid,
+/// one tid per lane.
+void write_chrome_trace_json(std::ostream& os,
+                             const std::vector<TimelineEvent>& events);
+
+} // namespace pastix

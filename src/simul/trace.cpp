@@ -5,14 +5,37 @@
 
 namespace pastix {
 
+namespace {
+
+const char* const kTypeNames[] = {"COMP1D", "FACTOR", "BDIV", "BMOD"};
+const char kTypeGlyphs[] = {'1', 'F', 'd', 'm'};
+
+} // namespace
+
 void ScheduleTrace::validate() const {
-  for (std::size_t i = 1; i < events.size(); ++i) {
-    const auto& a = events[i - 1];
-    const auto& b = events[i];
-    if (a.proc == b.proc)
-      PASTIX_CHECK(b.start >= a.end - 1e-12,
-                   "overlapping task executions on one processor");
+  std::vector<TimelineEvent> tl;
+  tl.reserve(events.size());
+  for (const TraceEvent& e : events)
+    tl.push_back({e.proc, e.start, e.end, '.', {}, {}, {}});
+  validate_timeline(tl, "schedule trace");
+}
+
+std::vector<TimelineEvent> ScheduleTrace::to_timeline() const {
+  std::vector<TimelineEvent> tl;
+  tl.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    TimelineEvent t;
+    t.lane = e.proc;
+    t.start = e.start;
+    t.end = e.end;
+    t.glyph = kTypeGlyphs[static_cast<int>(e.type)];
+    t.name = kTypeNames[static_cast<int>(e.type)];
+    t.cat = "task";
+    t.args = "\"task\":" + std::to_string(e.task) +
+             ",\"cblk\":" + std::to_string(e.cblk);
+    tl.push_back(std::move(t));
   }
+  return tl;
 }
 
 ScheduleTrace trace_schedule(const TaskGraph& tg, const Schedule& sched,
@@ -92,35 +115,20 @@ ScheduleTrace trace_schedule(const TaskGraph& tg, const Schedule& sched,
 }
 
 void write_trace_csv(std::ostream& os, const ScheduleTrace& trace) {
-  static const char* const kNames[] = {"COMP1D", "FACTOR", "BDIV", "BMOD"};
   os << "task,proc,type,cblk,start,end\n";
   os.precision(9);
   for (const auto& e : trace.events)
-    os << e.task << "," << e.proc << "," << kNames[static_cast<int>(e.type)]
+    os << e.task << "," << e.proc << "," << kTypeNames[static_cast<int>(e.type)]
        << "," << e.cblk << "," << e.start << "," << e.end << "\n";
 }
 
 void render_gantt(std::ostream& os, const ScheduleTrace& trace, int width) {
-  PASTIX_CHECK(width > 0, "gantt width must be positive");
-  static const char kGlyph[] = {'1', 'F', 'd', 'm'};
-  const double dt = trace.makespan / width;
-  std::size_t cursor = 0;
-  for (idx_t p = 0; p < trace.nprocs; ++p) {
-    std::string row(static_cast<std::size_t>(width), '.');
-    // Per column, show the type of the task covering the slice midpoint
-    // (last event wins on boundaries).
-    for (; cursor < trace.events.size() && trace.events[cursor].proc == p;
-         ++cursor) {
-      const auto& e = trace.events[cursor];
-      const int c0 = std::clamp(static_cast<int>(e.start / dt), 0, width - 1);
-      const int c1 = std::clamp(static_cast<int>(e.end / dt), c0, width - 1);
-      for (int c = c0; c <= c1; ++c)
-        row[static_cast<std::size_t>(c)] = kGlyph[static_cast<int>(e.type)];
-    }
-    os << "P" << p << (p < 10 ? " " : "") << " |" << row << "|\n";
-  }
-  os << "     legend: 1=COMP1D F=FACTOR d=BDIV m=BMOD .=idle   (0 .. "
-     << trace.makespan << " s)\n";
+  render_timeline_gantt(os, trace.to_timeline(), trace.nprocs, trace.makespan,
+                        width, "1=COMP1D F=FACTOR d=BDIV m=BMOD .=idle");
+}
+
+void write_chrome_trace(std::ostream& os, const ScheduleTrace& trace) {
+  write_chrome_trace_json(os, trace.to_timeline());
 }
 
 } // namespace pastix

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "simul/simulate.hpp"
+#include "simul/timeline.hpp"
 
 namespace pastix {
 
@@ -24,8 +25,12 @@ struct ScheduleTrace {
   double makespan = 0;
   idx_t nprocs = 0;
 
-  /// Invariant check: events of one processor never overlap.
+  /// Invariant check (shared timeline path): events of one processor never
+  /// overlap; zero-duration and back-to-back events are legal.
   void validate() const;
+
+  /// Lower to the shared timeline representation (simul/timeline.hpp).
+  [[nodiscard]] std::vector<TimelineEvent> to_timeline() const;
 };
 
 /// Replay the schedule under `m` and record every task execution.
@@ -39,5 +44,10 @@ void write_trace_csv(std::ostream& os, const ScheduleTrace& trace);
 /// cells show the dominant task type in that time slice
 /// (1 = COMP1D, F = FACTOR, d = BDIV, m = BMOD, '.' = idle).
 void render_gantt(std::ostream& os, const ScheduleTrace& trace, int width = 100);
+
+/// Chrome trace-event JSON of the *simulated* timeline (open in
+/// chrome://tracing or Perfetto) — same format the runtime tracer exports,
+/// so predicted and measured timelines can be eyeballed side by side.
+void write_chrome_trace(std::ostream& os, const ScheduleTrace& trace);
 
 } // namespace pastix

@@ -24,6 +24,7 @@
 #include <unordered_map>
 
 #include "dkernel/blocked_factor.hpp"
+#include "model/cost_model.hpp"
 #include "rt/comm.hpp"
 #include "solver/comm_plan.hpp"
 #include "sparse/sym_sparse.hpp"
@@ -227,6 +228,11 @@ public:
   [[nodiscard]] const RankTaskTimes& task_times(idx_t p) const {
     return ranks_[static_cast<std::size_t>(p)].task_times;
   }
+
+  /// Attach (or detach, with nullptr) a runtime event recorder.  Call only
+  /// while no factorize()/solve() is running.  With no recorder — or a
+  /// disabled one — every instrumentation site is a single branch.
+  void set_tracer(rt::TraceRecorder* tracer) { tracer_ = tracer; }
 
 private:
   // ---------------------------------------------------------------- layout --
@@ -484,8 +490,29 @@ private:
           rt::make_tag(rt::MsgKind::kAub, static_cast<std::uint64_t>(t)));
       PASTIX_CHECK(m.template count<T>() == count, "AUB size mismatch");
       const T* src = m.template as<T>();
+      const auto span =
+          kernel_span(my_rank, KernelOp::kAxpy, static_cast<idx_t>(count));
       for (std::size_t i = 0; i < count; ++i) dst[i] -= src[i];
     }
+  }
+
+  // -------------------------------------------------------------- tracing --
+  /// Span for one dense kernel call; id1/id2/id3 carry the operand dims so
+  /// the span doubles as a cost-model calibration sample.
+  [[nodiscard]] rt::ScopedSpan kernel_span(idx_t rank, KernelOp op, idx_t m,
+                                           idx_t n = 0, idx_t k = 0) const {
+    rt::TraceRecord r;
+    r.kind = rt::TraceKind::kKernel;
+    r.subtype = static_cast<std::uint8_t>(op);
+    r.id1 = static_cast<std::int32_t>(m);
+    r.id2 = static_cast<std::int32_t>(n);
+    r.id3 = static_cast<std::int32_t>(k);
+    return rt::ScopedSpan(tracer_, static_cast<int>(rank), r);
+  }
+
+  [[nodiscard]] KernelOp factor_op() const {
+    return kind_ == FactorKind::kLdlt ? KernelOp::kFactorLdlt
+                                      : KernelOp::kFactorLlt;
   }
 
   // ----------------------------------------------------------- task bodies --
@@ -496,11 +523,19 @@ private:
     for (const idx_t t : sched_.kp[static_cast<std::size_t>(rank)]) {
       const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
       const Timer timer;
-      switch (task.type) {
-        case TaskType::kComp1d: exec_comp1d(comm, me, rank, t, wbuf, cbuf, dvec); break;
-        case TaskType::kFactor: exec_factor(comm, me, rank, t); break;
-        case TaskType::kBdiv: exec_bdiv(comm, me, rank, t, dvec); break;
-        case TaskType::kBmod: exec_bmod(comm, me, rank, t, cbuf); break;
+      {
+        rt::TraceRecord rec;
+        rec.kind = rt::TraceKind::kTask;
+        rec.subtype = static_cast<std::uint8_t>(task.type);
+        rec.id1 = static_cast<std::int32_t>(t);
+        rec.id2 = static_cast<std::int32_t>(task.cblk);
+        const rt::ScopedSpan span(tracer_, static_cast<int>(rank), rec);
+        switch (task.type) {
+          case TaskType::kComp1d: exec_comp1d(comm, me, rank, t, wbuf, cbuf, dvec); break;
+          case TaskType::kFactor: exec_factor(comm, me, rank, t); break;
+          case TaskType::kBdiv: exec_bdiv(comm, me, rank, t, dvec); break;
+          case TaskType::kBmod: exec_bmod(comm, me, rank, t, cbuf); break;
+        }
       }
       me.task_times.seconds[static_cast<int>(task.type)] += timer.seconds();
       me.task_times.count[static_cast<int>(task.type)]++;
@@ -519,10 +554,13 @@ private:
 
     recv_aubs(comm, rank, t, a, static_cast<std::size_t>(rows) * w);
     PivotContext pctx{pivot_threshold_, ck.fcolnum, &me.status};
-    if (kind_ == FactorKind::kLdlt)
-      dense_ldlt_auto(w, a, rows, &pctx);
-    else
-      dense_llt_auto(w, a, rows, &pctx);
+    {
+      const auto span = kernel_span(rank, factor_op(), w);
+      if (kind_ == FactorKind::kLdlt)
+        dense_ldlt_auto(w, a, rows, &pctx);
+      else
+        dense_llt_auto(w, a, rows, &pctx);
+    }
     check_block_finite(a, w, w, rows, ck.fcolnum, "COMP1D diagonal block",
                        &me.status);
 
@@ -532,7 +570,10 @@ private:
       idx_t ldb = 0;
       if (kind_ == FactorKind::kLdlt) {
         // Panel solve: sub := A_below L^{-t}; the result is W = L_below D.
-        trsm_right_lt_unit(below, w, a, rows, sub, rows);
+        {
+          const auto span = kernel_span(rank, KernelOp::kTrsm, below, w);
+          trsm_right_lt_unit(below, w, a, rows, sub, rows);
+        }
         wbuf.assign(static_cast<std::size_t>(below) * w, T{});
         for (idx_t j = 0; j < w; ++j)
           std::copy(sub + static_cast<std::size_t>(j) * rows,
@@ -548,7 +589,10 @@ private:
       } else {
         // LL^t: the final panel L_below is also the GEMM operand
         // (C = L_i L_j^t), no scaled copy needed.
-        trsm_right_lt(below, w, a, rows, sub, rows);
+        {
+          const auto span = kernel_span(rank, KernelOp::kTrsm, below, w);
+          trsm_right_lt(below, w, a, rows, sub, rows);
+        }
         bmat = sub;
         ldb = rows;
       }
@@ -566,8 +610,11 @@ private:
         const idx_t m = rows - off;
         const idx_t n = s_.bloks[static_cast<std::size_t>(bj)].nrows();
         cbuf.assign(static_cast<std::size_t>(m) * n, T{});
-        gemm_nt(m, n, w, T(1), a + off, rows, bmat + (off - w), ldb,
-                cbuf.data(), m);
+        {
+          const auto span = kernel_span(rank, KernelOp::kGemm, m, n, w);
+          gemm_nt(m, n, w, T(1), a + off, rows, bmat + (off - w), ldb,
+                  cbuf.data(), m);
+        }
         scatter_update(me, rank, k, bj, bj, cbuf.data(), m, off);
       }
     }
@@ -583,10 +630,13 @@ private:
     PivotContext pctx{pivot_threshold_,
                       s_.cblks[static_cast<std::size_t>(k)].fcolnum,
                       &me.status};
-    if (kind_ == FactorKind::kLdlt)
-      dense_ldlt_auto(w, a, w, &pctx);
-    else
-      dense_llt_auto(w, a, w, &pctx);
+    {
+      const auto span = kernel_span(rank, factor_op(), w);
+      if (kind_ == FactorKind::kLdlt)
+        dense_ldlt_auto(w, a, w, &pctx);
+      else
+        dense_llt_auto(w, a, w, &pctx);
+    }
     check_block_finite(a, w, w, w, pctx.base_column, "FACTOR diagonal block",
                        &me.status);
     for (const idx_t q : plan_.diag_dests[static_cast<std::size_t>(t)])
@@ -621,10 +671,13 @@ private:
     const idx_t m = s_.bloks[static_cast<std::size_t>(task.blok)].nrows();
     T* a = me.blok_store.at(task.blok).data();
     recv_aubs(comm, rank, t, a, static_cast<std::size_t>(m) * w);
-    if (kind_ == FactorKind::kLdlt)
-      trsm_right_lt_unit(m, w, lkk, w, a, m);  // a := W = L D
-    else
-      trsm_right_lt(m, w, lkk, w, a, m);  // a := L (also the GEMM panel)
+    {
+      const auto span = kernel_span(rank, KernelOp::kTrsm, m, w);
+      if (kind_ == FactorKind::kLdlt)
+        trsm_right_lt_unit(m, w, lkk, w, a, m);  // a := W = L D
+      else
+        trsm_right_lt(m, w, lkk, w, a, m);  // a := L (also the GEMM panel)
+    }
     check_block_finite(a, m, w, m,
                        s_.cblks[static_cast<std::size_t>(k)].fcolnum,
                        "BDIV panel", &me.status);
@@ -673,8 +726,11 @@ private:
     }
     const T* l_bi = me.blok_store.at(bi).data();
     cbuf.assign(static_cast<std::size_t>(mi) * nj, T{});
-    gemm_nt(mi, nj, w, T(1), l_bi, mi, panel_it->second.data(), nj, cbuf.data(),
-            mi);
+    {
+      const auto span = kernel_span(rank, KernelOp::kGemm, mi, nj, w);
+      gemm_nt(mi, nj, w, T(1), l_bi, mi, panel_it->second.data(), nj,
+              cbuf.data(), mi);
+    }
     // Scatter just this (bi, bj) product.
     const auto& src_i = s_.bloks[static_cast<std::size_t>(bi)];
     const auto& src_j = s_.bloks[static_cast<std::size_t>(bj)];
@@ -703,6 +759,7 @@ private:
   std::unique_ptr<const CommPlan> owned_plan_;  ///< convenience ctor only
   const CommPlan& plan_;  ///< shared (AnalysisPlan's) or owned_plan_
   std::vector<Rank> ranks_;
+  rt::TraceRecorder* tracer_ = nullptr;  ///< optional, not owned
   std::vector<idx_t> stack_off_;
   FactorStatus status_;
   bool filled_ = false;

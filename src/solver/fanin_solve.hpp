@@ -33,7 +33,16 @@ void FaninSolver<T>::run_solve(rt::Comm& comm, idx_t rank,
     return blok_ptr(s_.cblks[static_cast<std::size_t>(k)].bloknum, ld);
   };
 
+  const auto phase_span = [&](int phase) {
+    rt::TraceRecord rec;
+    rec.kind = rt::TraceKind::kPhase;
+    rec.subtype = static_cast<std::uint8_t>(phase);
+    return rt::ScopedSpan(tracer_, static_cast<int>(rank), rec);
+  };
+
   // ---------------- forward: L y = b -----------------------------------------
+  {
+  const auto fwd_span = phase_span(0);
   for (idx_t k = 0; k < s_.ncblk; ++k) {
     const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
     const idx_t w = ck.width();
@@ -101,9 +110,11 @@ void FaninSolver<T>::run_solve(rt::Comm& comm, idx_t rank,
       }
     }
   }
+  }
 
   // ---------------- diagonal: z = D^{-1} y (LDL^t only) ----------------------
   if (kind_ == FactorKind::kLdlt) {
+    const auto diag_span = phase_span(1);
     for (idx_t k = 0; k < s_.ncblk; ++k) {
       if (plan_.diag_owner[static_cast<std::size_t>(k)] != rank) continue;
       const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
@@ -116,6 +127,8 @@ void FaninSolver<T>::run_solve(rt::Comm& comm, idx_t rank,
   }
 
   // ---------------- backward: L^t x = z --------------------------------------
+  {
+  const auto bwd_span = phase_span(2);
   for (idx_t k = s_.ncblk - 1; k >= 0; --k) {
     const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
     const idx_t w = ck.width();
@@ -187,6 +200,7 @@ void FaninSolver<T>::run_solve(rt::Comm& comm, idx_t rank,
       std::copy(y.begin() + ck.fcolnum, y.begin() + ck.lcolnum + 1,
                 x_out.begin() + ck.fcolnum);
     }
+  }
   }
 }
 

@@ -6,11 +6,15 @@
 // crash, no silent NaN.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <thread>
 
 #include "core/pastix.hpp"
+#include "simul/runtime_trace.hpp"
 #include "sparse/coo_builder.hpp"
 #include "sparse/gen.hpp"
 #include "support/rng.hpp"
@@ -209,6 +213,130 @@ TEST(ChaosComm, PipelineSurvivesDelayAndReorderInjection) {
     const auto x = solver.solve(b);
     EXPECT_LT(relative_residual(a, x, b), 1e-10) << "seed " << seed;
   }
+}
+
+// Tracing under chaos: fault-injected deliveries must not change what the
+// trace *records* — the event stream is protocol-determined.  Per-tag
+// send/recv counts and bytes are identical to a clean run, the timeline
+// invariants hold, the K_p execution order is exact, and the whole thing is
+// deterministic under a fixed seed.
+TEST(ChaosTrace, FaultInjectedRunsStillPassTraceValidation) {
+  const SymSparse<double> a = gen_fe_mesh({8, 8, 3, 1, 1, 77});
+
+  // Per-tag (sends, recvs, send_bytes, recv_bytes) signature of one run.
+  using TagSig = std::map<std::uint64_t, std::array<std::uint64_t, 4>>;
+  const auto traced_run = [&](std::uint64_t seed) {
+    SolverOptions opt;
+    opt.nprocs = 4;
+    Solver<double> solver(opt);
+    solver.analyze(a);
+    solver.comm().set_recv_deadline(kDeadline);
+    if (seed != 0) {
+      rt::FaultInjection faults;
+      faults.seed = seed;
+      faults.delay_prob = 0.15;
+      faults.reorder_prob = 0.25;
+      solver.comm().set_fault_injection(faults);
+    }
+    solver.enable_tracing(true);
+    solver.factorize();
+    EXPECT_TRUE(solver.stats().factor_status.clean());
+
+    const RuntimeTrace tr = solver.runtime_trace();
+    EXPECT_NO_THROW(tr.validate_against(solver.schedule())) << "seed " << seed;
+    EXPECT_TRUE(solver.stats().trace.task_sets_match) << "seed " << seed;
+
+    TagSig sig;
+    for (const auto& e : tr.comm) {
+      auto& s = sig[e.tag];
+      s[e.is_send ? 0 : 1]++;
+      s[e.is_send ? 2 : 3] += e.bytes;
+    }
+    for (const auto& [tag, s] : sig) {
+      EXPECT_EQ(s[0], s[1]) << rt::describe_tag(tag) << " seed " << seed;
+      EXPECT_EQ(s[2], s[3]) << rt::describe_tag(tag) << " seed " << seed;
+    }
+
+    // The numbers must still be right under injected chaos.
+    const std::vector<double> b = reference_rhs(a);
+    const auto x = solver.solve(b);
+    EXPECT_LT(relative_residual(a, x, b), 1e-10) << "seed " << seed;
+    return sig;
+  };
+
+  const TagSig clean = traced_run(0);
+  const TagSig faulted = traced_run(7);
+  const TagSig faulted_again = traced_run(7);
+  EXPECT_EQ(faulted, faulted_again);  // deterministic under a fixed seed
+  EXPECT_EQ(clean, faulted);          // protocol-determined, fault-free view
+}
+
+// Duplicate injection copies messages at *delivery*; the send side is
+// untouched and every recv() still consumes exactly one copy, so the traced
+// event stream stays protocol-shaped: one send record, one recv record per
+// recv() call.
+TEST(ChaosTrace, DuplicateInjectionKeepsEventStreamProtocolShaped) {
+  rt::Comm comm(2);
+  rt::TraceRecorder rec(2);
+  rec.set_enabled(true);
+  comm.set_tracer(&rec);
+  rt::FaultInjection f;
+  f.seed = 3;
+  f.duplicate_prob = 1.0;
+  comm.set_fault_injection(f);
+
+  const auto tag = rt::make_tag(rt::MsgKind::kDiag, 9);
+  const double v = 2.25;
+  comm.send_array(1, 0, tag, &v, 1);
+  EXPECT_EQ(comm.pending(0), 2u);  // two delivered copies of one send
+  (void)comm.recv(0, tag);
+
+  idx_t sends = 0;
+  for (const auto& r : rec.events(1))
+    if (r.kind == rt::TraceKind::kSend) ++sends;
+  idx_t recvs = 0;
+  for (const auto& r : rec.events(0))
+    if (r.kind == rt::TraceKind::kRecv) ++recvs;
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(recvs, 1);
+}
+
+// Injected delivery delay shows up where the schedule comparison reports
+// it: as receive-blocked time attributed to the waiting task, not as task
+// work.  A sender that stalls 50 ms pins the lower bound.
+TEST(ChaosTrace, InjectedDelayIsAttributedToRecvBlockedTime) {
+  rt::Comm comm(2);
+  rt::TraceRecorder rec(2);
+  rec.set_enabled(true);
+  comm.set_tracer(&rec);
+  rt::FaultInjection f;
+  f.seed = 5;
+  f.delay_prob = 1.0;  // every delivery is stashed until the receiver blocks
+  comm.set_fault_injection(f);
+
+  const auto tag = rt::make_tag(rt::MsgKind::kAub, 3);
+  rt::run_ranks(comm, 2, [&](int rank) {
+    if (rank == 1) {
+      std::this_thread::sleep_for(50ms);
+      const double v = 1.0;
+      comm.send_array(1, 0, tag, &v, 1);
+    } else {
+      rt::TraceRecord task;
+      task.kind = rt::TraceKind::kTask;
+      task.id1 = 0;
+      task.id2 = 0;
+      const rt::ScopedSpan span(&rec, 0, task);
+      (void)comm.recv(0, tag);
+    }
+  });
+
+  const RuntimeTrace tr = build_runtime_trace(rec);
+  ASSERT_EQ(tr.tasks.size(), 1u);
+  EXPECT_GE(tr.tasks[0].recv_wait_seconds, 0.040);
+  // The wait is carved out of the span, not double-counted as work.
+  EXPECT_LE(tr.tasks[0].work_seconds(),
+            (tr.tasks[0].end - tr.tasks[0].start) -
+                tr.tasks[0].recv_wait_seconds + 1e-9);
 }
 
 // A deliberately failing rank must unblock every peer within the receive

@@ -1,0 +1,347 @@
+// Runtime execution tracing: per-rank timeline invariants (no overlap,
+// exact K_p order, byte-conserving messaging), predicted-vs-actual schedule
+// validation, recalibration of the cost model from measured kernel spans,
+// and the zero-cost-off contract of the recorder.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "core/pastix.hpp"
+#include "core/report.hpp"
+#include "simul/runtime_trace.hpp"
+#include "sparse/coo_builder.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// The bundled grid problem every trace test runs on.
+SymSparse<double> grid_problem() { return gen_fe_mesh({9, 9, 3, 2, 1, 7}); }
+
+Solver<double> traced_solver(const SymSparse<double>& a, idx_t nprocs) {
+  SolverOptions opt;
+  opt.nprocs = nprocs;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.comm().set_recv_deadline(10000ms);
+  solver.enable_tracing(true);
+  return solver;
+}
+
+// ------------------------------------------------------ timeline properties
+
+TEST(RuntimeTrace, TaskSpansNeverOverlapPerRank) {
+  const auto a = grid_problem();
+  for (const idx_t nprocs : {1, 2, 4}) {
+    auto solver = traced_solver(a, nprocs);
+    solver.factorize();
+    const RuntimeTrace tr = solver.runtime_trace();
+    EXPECT_EQ(tr.nprocs, nprocs);
+    EXPECT_NO_THROW(tr.validate()) << "nprocs " << nprocs;
+    for (const auto& e : tr.tasks) {
+      EXPECT_GE(e.start, 0.0);
+      EXPECT_GE(e.end, e.start);
+      EXPECT_GE(e.kernel_seconds, 0.0);
+      EXPECT_GE(e.recv_wait_seconds, 0.0);
+      // Inner attribution can never exceed the task's wall span.
+      EXPECT_LE(e.kernel_seconds + e.recv_wait_seconds,
+                (e.end - e.start) + 1e-9);
+    }
+  }
+}
+
+TEST(RuntimeTrace, EveryScheduledTaskExactlyOnceInScheduleOrder) {
+  const auto a = grid_problem();
+  for (const idx_t nprocs : {1, 2, 4}) {
+    auto solver = traced_solver(a, nprocs);
+    solver.factorize();
+    const RuntimeTrace tr = solver.runtime_trace();
+    EXPECT_EQ(static_cast<idx_t>(tr.tasks.size()),
+              solver.task_graph().ntask());
+    EXPECT_NO_THROW(tr.validate_against(solver.schedule()))
+        << "nprocs " << nprocs;
+  }
+}
+
+TEST(RuntimeTrace, SendBytesEqualRecvBytesPerTag) {
+  const auto a = grid_problem();
+  for (const idx_t nprocs : {2, 4}) {
+    auto solver = traced_solver(a, nprocs);
+    solver.factorize();
+    const RuntimeTrace tr = solver.runtime_trace();
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> by_tag;
+    std::map<std::uint64_t, std::pair<idx_t, idx_t>> count_by_tag;
+    for (const auto& e : tr.comm) {
+      auto& bytes = by_tag[e.tag];
+      auto& count = count_by_tag[e.tag];
+      (e.is_send ? bytes.first : bytes.second) += e.bytes;
+      (e.is_send ? count.first : count.second)++;
+    }
+    EXPECT_FALSE(by_tag.empty()) << "nprocs " << nprocs;
+    for (const auto& [tag, bytes] : by_tag) {
+      EXPECT_EQ(bytes.first, bytes.second)
+          << rt::describe_tag(tag) << " at nprocs " << nprocs;
+      EXPECT_EQ(count_by_tag[tag].first, count_by_tag[tag].second)
+          << rt::describe_tag(tag) << " at nprocs " << nprocs;
+    }
+  }
+}
+
+TEST(RuntimeTrace, SolvePhasesAreRecordedPerRank) {
+  const auto a = grid_problem();
+  auto solver = traced_solver(a, 3);
+  solver.factorize();
+  const std::vector<double> b = reference_rhs(a);
+  (void)solver.solve(b);
+  const RuntimeTrace tr = solver.runtime_trace();
+  // LDL^t: forward + diagonal + backward sections on every rank.
+  EXPECT_EQ(tr.phases.size(), 9u);
+  int seen[3] = {0, 0, 0};
+  for (const auto& p : tr.phases) {
+    ASSERT_GE(p.phase, 0);
+    ASSERT_LT(p.phase, 3);
+    seen[p.phase]++;
+    EXPECT_GE(p.end, p.start);
+  }
+  EXPECT_EQ(seen[0], 3);
+  EXPECT_EQ(seen[1], 3);
+  EXPECT_EQ(seen[2], 3);
+}
+
+// ------------------------------------------------------ zero-cost-off path
+
+TEST(RuntimeTrace, TracingIsOffByDefault) {
+  const auto a = grid_problem();
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  EXPECT_FALSE(solver.stats().traced);
+  EXPECT_THROW((void)solver.runtime_trace(), Error);
+}
+
+TEST(RuntimeTrace, DisableStopsRecordingButKeepsLastTrace) {
+  const auto a = grid_problem();
+  auto solver = traced_solver(a, 2);
+  solver.factorize();
+  EXPECT_TRUE(solver.stats().traced);
+  const std::size_t traced_tasks = solver.runtime_trace().tasks.size();
+  EXPECT_GT(traced_tasks, 0u);
+  solver.enable_tracing(false);
+  solver.refactorize(a);
+  EXPECT_FALSE(solver.stats().traced);
+  // The recorder still holds the last traced run, untouched.
+  EXPECT_EQ(solver.runtime_trace().tasks.size(), traced_tasks);
+}
+
+// ---------------------------------------------------- predicted vs actual
+
+TEST(RuntimeTrace, CompareTracesReportsFiniteRatiosAndMatchedSets) {
+  const auto a = grid_problem();
+  auto solver = traced_solver(a, 4);
+  solver.factorize();
+  ASSERT_TRUE(solver.stats().traced);
+  const TraceComparison& cmp = solver.stats().trace;
+
+  EXPECT_TRUE(cmp.task_sets_match);
+  EXPECT_EQ(cmp.tasks_matched, solver.task_graph().ntask());
+  EXPECT_EQ(cmp.tasks_predicted, cmp.tasks_actual);
+  EXPECT_TRUE(std::isfinite(cmp.makespan_ratio));
+  EXPECT_GT(cmp.makespan_ratio, 0.0);
+  EXPECT_GT(cmp.predicted_makespan, 0.0);
+  EXPECT_GT(cmp.actual_makespan, 0.0);
+  EXPECT_TRUE(std::isfinite(cmp.mean_task_ratio));
+  EXPECT_TRUE(std::isfinite(cmp.mean_abs_log10_ratio));
+  for (const double r : cmp.task_ratio) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+  }
+
+  // Per-rank rows are a partition of the task set, and busy <= makespan.
+  ASSERT_EQ(static_cast<idx_t>(cmp.per_rank.size()), 4);
+  idx_t total = 0;
+  for (const auto& row : cmp.per_rank) {
+    total += row.tasks;
+    EXPECT_GE(row.idle, 0.0);
+    EXPECT_LE(row.busy, cmp.actual_makespan + 1e-9);
+  }
+  EXPECT_EQ(total, cmp.tasks_actual);
+
+  EXPECT_FALSE(cmp.to_string().empty());
+}
+
+TEST(RuntimeTrace, ComparisonSurvivesPivotPerturbation) {
+  // An exactly singular matrix (one row/column zeroed, pivot bit-exact 0)
+  // deterministically trips the static pivot perturbation; the run must
+  // still produce a full, valid trace and comparison (a perturbed
+  // factorization changes values, not the task set).
+  const SymSparse<double> spd = gen_random_spd(140, 5, 42);
+  const idx_t dead = 57;
+  CooBuilder<double> builder(spd.n());
+  for (idx_t j = 0; j < spd.n(); ++j) {
+    if (j != dead) builder.add(j, j, spd.diag[static_cast<std::size_t>(j)]);
+    for (idx_t q = spd.pattern.colptr[j]; q < spd.pattern.colptr[j + 1]; ++q) {
+      const idx_t i = spd.pattern.rowind[q];
+      if (i != dead && j != dead) builder.add(i, j, spd.val[q]);
+    }
+  }
+  const SymSparse<double> a = builder.build();
+
+  auto solver = traced_solver(a, 3);
+  solver.factorize();
+  ASSERT_GE(solver.stats().factor_status.perturbations, 1)
+      << "generator no longer trips the pivot perturbation";
+
+  ASSERT_TRUE(solver.stats().traced);
+  const TraceComparison& cmp = solver.stats().trace;
+  EXPECT_TRUE(cmp.task_sets_match);
+  EXPECT_TRUE(std::isfinite(cmp.makespan_ratio));
+  const RuntimeTrace tr = solver.runtime_trace();
+  EXPECT_NO_THROW(tr.validate_against(solver.schedule()));
+
+  // The analysis report must render the trace section for the degraded run.
+  std::ostringstream report;
+  write_analysis_report(report, solver, {});
+  EXPECT_NE(report.str().find("Runtime trace (predicted vs actual)"),
+            std::string::npos);
+  EXPECT_NE(report.str().find("statically perturbed pivots"),
+            std::string::npos);
+}
+
+TEST(RuntimeTrace, ReportContainsPerRankTable) {
+  const auto a = grid_problem();
+  auto solver = traced_solver(a, 2);
+  solver.factorize();
+  std::ostringstream report;
+  write_analysis_report(report, solver, {});
+  const std::string s = report.str();
+  EXPECT_NE(s.find("Runtime trace (predicted vs actual)"), std::string::npos);
+  EXPECT_NE(s.find("| rank | tasks |"), std::string::npos);
+  EXPECT_NE(s.find("receive-blocked time"), std::string::npos);
+}
+
+// -------------------------------------------------------------- exporters
+
+TEST(RuntimeTrace, ChromeTraceJsonHasOneCompleteEventPerSpan) {
+  const auto a = grid_problem();
+  auto solver = traced_solver(a, 2);
+  solver.factorize();
+  const RuntimeTrace tr = solver.runtime_trace();
+  std::ostringstream os;
+  write_chrome_trace(os, tr);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  std::size_t events = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++events;
+    pos += 8;
+  }
+  EXPECT_EQ(events, tr.tasks.size() + tr.comm.size() + tr.phases.size());
+}
+
+TEST(RuntimeTrace, CsvHasHeaderAndOneLinePerTask) {
+  const auto a = grid_problem();
+  auto solver = traced_solver(a, 2);
+  solver.factorize();
+  const RuntimeTrace tr = solver.runtime_trace();
+  std::stringstream ss;
+  write_runtime_trace_csv(ss, tr);
+  std::string line;
+  ASSERT_TRUE(std::getline(ss, line));
+  EXPECT_EQ(line, "task,proc,type,cblk,start,end,kernel_s,recv_wait_s");
+  std::size_t lines = 0;
+  while (std::getline(ss, line)) ++lines;
+  EXPECT_EQ(lines, tr.tasks.size());
+}
+
+// ---------------------------------------------------------- recalibration
+
+TEST(RuntimeTrace, RecalibratedModelIsNoWorseOnMeasuredSamples) {
+  const auto a = grid_problem();
+  auto solver = traced_solver(a, 2);
+  solver.factorize();
+  const RuntimeTrace tr = solver.runtime_trace();
+  ASSERT_FALSE(tr.kernels.empty());
+
+  const CostModel base = default_cost_model();
+  const CostModel fitted = recalibrate(base, tr);
+  const double base_err = kernel_sample_mean_rel_error(base, tr.kernels);
+  const double fitted_err = kernel_sample_mean_rel_error(fitted, tr.kernels);
+  EXPECT_TRUE(std::isfinite(base_err));
+  EXPECT_TRUE(std::isfinite(fitted_err));
+  // By construction the recalibration keeps the base coefficients unless a
+  // candidate strictly improves the reported metric.
+  EXPECT_LE(fitted_err, base_err + 1e-12);
+}
+
+TEST(RuntimeTrace, RecalibratedModelStillSchedules) {
+  // A recalibrated model must remain usable by the analysis chain: strictly
+  // positive predictions and a finite simulated makespan.
+  const auto a = grid_problem();
+  auto solver = traced_solver(a, 2);
+  solver.factorize();
+  const CostModel fitted =
+      recalibrate(default_cost_model(), solver.runtime_trace());
+  for (const auto& s : solver.runtime_trace().kernels.samples)
+    EXPECT_GT(fitted.predict(s), 0.0);
+
+  SolverOptions opt;
+  opt.nprocs = 2;
+  opt.model = fitted;
+  Solver<double> resolver(opt);
+  resolver.analyze(a);
+  EXPECT_GT(resolver.stats().predicted_time, 0.0);
+  EXPECT_TRUE(std::isfinite(resolver.stats().predicted_time));
+  resolver.factorize();
+  const std::vector<double> b = reference_rhs(a);
+  EXPECT_LT(relative_residual(a, resolver.solve(b), b), 1e-10);
+}
+
+// -------------------------------------------------- blocked-time attribution
+
+TEST(RuntimeTrace, RecvSpanCoversSenderImposedWait) {
+  // A sender that sleeps before sending must show up as recv-blocked time
+  // in the receiver's lane — the signal the idle/wait breakdown reports.
+  rt::Comm comm(2);
+  rt::TraceRecorder rec(2);
+  rec.set_enabled(true);
+  comm.set_tracer(&rec);
+  const auto tag = rt::make_tag(rt::MsgKind::kDiag, 1);
+  rt::run_ranks(comm, 2, [&](int rank) {
+    if (rank == 1) {
+      std::this_thread::sleep_for(50ms);
+      const double v = 3.5;
+      comm.send_array(1, 0, tag, &v, 1);
+    } else {
+      (void)comm.recv(0, tag);
+    }
+  });
+
+  double recv_blocked = 0;
+  for (const auto& r : rec.events(0))
+    if (r.kind == rt::TraceKind::kRecv) {
+      EXPECT_EQ(r.peer, 1);
+      EXPECT_EQ(r.bytes, sizeof(double));
+      EXPECT_EQ(r.tag, tag);
+      recv_blocked += r.end - r.start;
+    }
+  EXPECT_GE(recv_blocked, 0.040);
+  bool sender_recorded = false;
+  for (const auto& r : rec.events(1))
+    if (r.kind == rt::TraceKind::kSend) {
+      sender_recorded = true;
+      EXPECT_EQ(r.peer, 0);
+      EXPECT_EQ(r.bytes, sizeof(double));
+    }
+  EXPECT_TRUE(sender_recorded);
+}
+
+} // namespace
+} // namespace pastix

@@ -67,6 +67,83 @@ TEST(Trace, CsvHasHeaderAndOneLinePerTask) {
   EXPECT_EQ(lines, pl.tg.ntask());
 }
 
+// ------------------------------------------- shared timeline path (both
+// trace types validate and export through simul/timeline.hpp)
+
+TEST(Timeline, ZeroDurationAndBackToBackEventsAreLegal) {
+  std::vector<TimelineEvent> tl;
+  tl.push_back({0, 0.0, 0.0, 'a', "zero", "t", ""});     // zero duration
+  tl.push_back({0, 0.0, 1.0, 'b', "first", "t", ""});    // starts at same time
+  tl.push_back({0, 1.0, 2.0, 'c', "backtoback", "t", ""});  // end == next start
+  tl.push_back({1, 5.0, 5.0, 'd', "zero2", "t", ""});
+  sort_timeline(tl);
+  EXPECT_NO_THROW(validate_timeline(tl, "test timeline"));
+}
+
+TEST(Timeline, OverlappingEventsOnOneLaneThrow) {
+  std::vector<TimelineEvent> tl;
+  tl.push_back({0, 0.0, 2.0, 'a', "", "", ""});
+  tl.push_back({0, 1.0, 3.0, 'b', "", "", ""});
+  EXPECT_THROW(validate_timeline(tl, "test timeline"), Error);
+  // Same spans on different lanes are fine.
+  tl[1].lane = 1;
+  EXPECT_NO_THROW(validate_timeline(tl, "test timeline"));
+}
+
+TEST(Timeline, UnsortedEventsThrow) {
+  std::vector<TimelineEvent> tl;
+  tl.push_back({0, 2.0, 3.0, 'a', "", "", ""});
+  tl.push_back({0, 0.0, 1.0, 'b', "", "", ""});
+  EXPECT_THROW(validate_timeline(tl, "test timeline"), Error);
+  sort_timeline(tl);
+  EXPECT_NO_THROW(validate_timeline(tl, "test timeline"));
+}
+
+TEST(Timeline, ZeroMakespanGanttRendersAllIdle) {
+  // Regression: a degenerate (all zero-duration) timeline must render as
+  // idle rows instead of dividing by a zero makespan.
+  std::vector<TimelineEvent> tl;
+  tl.push_back({0, 0.0, 0.0, 'x', "", "", ""});
+  std::stringstream ss;
+  EXPECT_NO_THROW(render_timeline_gantt(ss, tl, 2, 0.0, 40, "x=zero"));
+  std::string line;
+  idx_t rows = 0;
+  while (std::getline(ss, line))
+    if (!line.empty() && line[0] == 'P') {
+      ++rows;
+      EXPECT_EQ(line.find('x'), std::string::npos);
+    }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(Timeline, ChromeJsonEscapesAndScalesToMicroseconds) {
+  std::vector<TimelineEvent> tl;
+  tl.push_back({0, 0.001, 0.002, 'a', "name\"quoted\"", "cat",
+                "\"k\":1"});
+  std::stringstream ss;
+  write_chrome_trace_json(ss, tl);
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"name\":\"name\\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"k\":1}"), std::string::npos);
+}
+
+TEST(Trace, ScheduleTraceExportsChromeJson) {
+  const auto pl = run(3);
+  const auto trace = trace_schedule(pl.tg, pl.sched, pl.model);
+  std::stringstream ss;
+  write_chrome_trace(ss, trace);
+  const std::string json = ss.str();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  std::size_t events = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++events;
+    pos += 8;
+  }
+  EXPECT_EQ(events, trace.events.size());
+}
+
 TEST(Trace, GanttRendersOneRowPerProcessor) {
   const auto pl = run(5);
   const auto trace = trace_schedule(pl.tg, pl.sched, pl.model);
