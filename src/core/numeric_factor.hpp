@@ -84,6 +84,15 @@ public:
     return factorize();
   }
 
+  /// Arm (or disarm) rank-crash recovery for subsequent factorize() calls
+  /// (DESIGN.md §10).  The checkpoint store is owned here and kept across
+  /// factorizations — the per-rank entries are overwritten each run.
+  void set_resilience(const rt::ResilienceOptions& opt) {
+    if (opt.enabled && !checkpoints_)
+      checkpoints_ = std::make_unique<rt::Checkpoint>();
+    fanin_.set_resilience(opt, checkpoints_.get());
+  }
+
   [[nodiscard]] const AnalysisPlan& plan() const { return *plan_; }
   [[nodiscard]] const PlanPtr& plan_ptr() const { return plan_; }
   [[nodiscard]] const SymSparse<T>& permuted() const { return permuted_; }
@@ -145,6 +154,7 @@ private:
   FaninSolver<T> fanin_;
   std::unique_ptr<rt::Comm> comm_;
   std::unique_ptr<rt::TraceRecorder> tracer_;  ///< lazily created
+  std::unique_ptr<rt::Checkpoint> checkpoints_;  ///< lazily created
 };
 
 } // namespace pastix

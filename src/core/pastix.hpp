@@ -46,6 +46,13 @@ struct SolverStats {
   double solve_many_seconds = 0;  ///< wall time of the last solve_many()
   bool traced = false;      ///< the last factorize() ran with tracing on
   TraceComparison trace;    ///< predicted-vs-actual report (when traced)
+  // Crash-recovery cost of the last factorize() (zero when resilience was
+  // off or no rank died) — see DESIGN.md §10.
+  idx_t restarts = 0;            ///< rank restarts survived
+  big_t replayed_tasks = 0;      ///< K_p entries re-executed after restores
+  big_t replayed_messages = 0;   ///< messages re-delivered from sender logs
+  big_t checkpoint_bytes = 0;    ///< live checkpoint footprint at end of run
+  std::vector<rt::RestartRecord> restart_events;  ///< per-restart detail
 };
 
 /// Outcome of Solver::solve_adaptive — the solution plus how refinement
@@ -100,8 +107,19 @@ public:
     }
     stats_.factor_status = numeric_->fanin().factor_status();
     localize_status(stats_.factor_status);
+    update_recovery_stats();
     update_trace_stats();
     return stats_.factor_seconds;
+  }
+
+  /// Arm (or disarm) rank-crash recovery for subsequent factorize() calls
+  /// (DESIGN.md §10): periodic per-rank checkpoints plus sender-side
+  /// message logging, so a rank killed mid-factorization restarts from its
+  /// last checkpoint and the recovered factor is bitwise identical to a
+  /// fault-free run.  stats() reports restarts / replayed work afterwards.
+  void set_resilience(const rt::ResilienceOptions& opt) {
+    PASTIX_CHECK(analyzed_, "analyze() must run before set_resilience()");
+    numeric_->set_resilience(opt);
   }
 
   /// Toggle runtime execution tracing (DESIGN.md §9).  While enabled, every
@@ -355,6 +373,16 @@ private:
       res.steps = s + 1;
     }
     return res;
+  }
+
+  /// Surface the crash-recovery cost of the last factorize().
+  void update_recovery_stats() {
+    const rt::RecoveryReport& rec = numeric_->fanin().recovery();
+    stats_.restarts = static_cast<idx_t>(rec.restarts);
+    stats_.replayed_tasks = static_cast<big_t>(rec.replayed_tasks);
+    stats_.replayed_messages = static_cast<big_t>(rec.replayed_messages);
+    stats_.checkpoint_bytes = static_cast<big_t>(rec.checkpoint_bytes);
+    stats_.restart_events = rec.events;
   }
 
   /// Refresh the predicted-vs-actual report after a factorize().  Runs only

@@ -1,0 +1,236 @@
+#pragma once
+//
+// Checkpoint store for rank-failure recovery (DESIGN.md §10).
+//
+// A checkpoint is everything a restarted rank needs to resume its fully
+// static schedule K_p mid-stream and still produce a factor bitwise
+// identical to a fault-free run:
+//
+//   - `position`: the index in K_p the rank will execute next — every task
+//     before it has fully taken effect in the payload below;
+//   - `payload`: the solver's serialized numeric state (factored column
+//     blocks owned so far, live AUB accumulators, cached diagonals/panels,
+//     pivot status) — opaque bytes to this layer;
+//   - `comm`: the rank's message-sequencing state (send counters per
+//     destination, consumed sequence numbers per source), so replayed
+//     sends reuse their original sequence numbers and replayed deliveries
+//     are duplicate-suppressed (rt/comm.hpp).
+//
+// The store is in-memory by default; set_directory() additionally mirrors
+// every save to one binary file per rank, surviving the Checkpoint object
+// itself (a process-level restart could reload from disk).  Each rank gets
+// its own slot with its own mutex: saves happen concurrently from rank
+// threads (and a global lock would serialize full-state serialization,
+// stalling healthy ranks); loads happen from the recovery supervisor while
+// the saving rank is dead, so a slot is never saved and loaded at once.
+//
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rt/comm.hpp"
+#include "support/check.hpp"
+
+namespace pastix::rt {
+
+class Checkpoint {
+public:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t position = 0;       ///< next K_p index to execute
+    std::vector<std::byte> payload;   ///< opaque solver state
+    CommSeqState comm;                ///< message-sequencing state
+
+    [[nodiscard]] std::uint64_t bytes() const {
+      return payload.size() + comm.bytes() + sizeof(position);
+    }
+  };
+
+  /// Mirror every save to `<dir>/rank<r>.ckpt` (empty string disables).
+  /// The directory must already exist; file errors surface as pastix::Error
+  /// at save time (a checkpoint that silently failed to persist is worse
+  /// than a loud one).
+  void set_directory(std::string dir) {
+    const std::lock_guard lock(mutex_);
+    dir_ = std::move(dir);
+  }
+
+  /// Store `rank`'s checkpoint, replacing any previous one.  `fill(payload)`
+  /// serializes the opaque solver state directly into the slot's buffer,
+  /// whose capacity is reused across saves — periodic checkpoints sit on the
+  /// rank's critical path, so neither an extra payload copy nor a fresh
+  /// allocation per save is affordable.
+  template <class Fn>
+  void save_with(int rank, std::uint64_t position, CommSeqState comm,
+                 Fn&& fill) {
+    Slot& s = slot(rank);
+    std::string dir;
+    {
+      const std::lock_guard lock(mutex_);
+      dir = dir_;
+      saves_++;
+    }
+    const std::lock_guard lock(s.m);
+    fill(s.entry.payload);
+    s.entry.position = position;
+    s.entry.comm = std::move(comm);
+    s.entry.valid = true;
+    if (!dir.empty()) write_file(rank, s.entry, dir);
+  }
+
+  /// Copy-in convenience over save_with (tests, callers with a ready buffer).
+  void save(int rank, std::uint64_t position,
+            const std::vector<std::byte>& payload, CommSeqState comm) {
+    save_with(rank, position, std::move(comm),
+              [&](std::vector<std::byte>& out) { out = payload; });
+  }
+
+  [[nodiscard]] bool has(int rank) const {
+    const Slot* s = find(rank);
+    if (s == nullptr) return false;
+    const std::lock_guard lock(s->m);
+    return s->entry.valid;
+  }
+
+  /// Copy out `rank`'s checkpoint (throws if none was saved).
+  [[nodiscard]] Entry load(int rank) const {
+    const Slot* s = find(rank);
+    if (s != nullptr) {
+      const std::lock_guard lock(s->m);
+      if (s->entry.valid) return s->entry;
+    }
+    throw Error("no checkpoint saved for rank " + std::to_string(rank));
+  }
+
+  /// Drop every checkpoint (call at the start of a factorization so a stale
+  /// entry from a previous run can never be restored).  Invalidates the
+  /// entries but keeps the payload buffers' capacity: a refactorization
+  /// loop would otherwise re-fault megabytes of freshly allocated pages on
+  /// every run's first save.  Not thread-safe against in-flight saves —
+  /// call between runs, never during one.
+  void clear() {
+    const std::lock_guard lock(mutex_);
+    for (auto& p : slots_) {
+      if (!p) continue;
+      const std::lock_guard slot_lock(p->m);
+      p->entry.valid = false;
+      p->entry.payload.clear();
+      p->entry.comm = CommSeqState{};
+    }
+    saves_ = 0;
+  }
+
+  /// Total bytes currently held across all ranks' checkpoints.
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::vector<const Slot*> all;
+    {
+      const std::lock_guard lock(mutex_);
+      for (const auto& p : slots_)
+        if (p) all.push_back(p.get());
+    }
+    std::uint64_t b = 0;
+    for (const Slot* s : all) {
+      const std::lock_guard lock(s->m);
+      if (s->entry.valid) b += s->entry.bytes();
+    }
+    return b;
+  }
+
+  /// Number of save() calls since the last clear().
+  [[nodiscard]] std::uint64_t saves() const {
+    const std::lock_guard lock(mutex_);
+    return saves_;
+  }
+
+  /// Read one rank's file-backed checkpoint back in (process-restart path;
+  /// also the round-trip check used by tests).
+  [[nodiscard]] static Entry read_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    PASTIX_CHECK(f != nullptr, "cannot open checkpoint file " + path);
+    bool ok = true;
+    const auto get_u64 = [&]() -> std::uint64_t {
+      std::uint64_t v = 0;
+      ok = ok && std::fread(&v, sizeof(v), 1, f) == 1;
+      return v;
+    };
+    Entry e;
+    const std::uint64_t magic = get_u64();
+    PASTIX_CHECK(!ok || magic == 0x70617374636b7031ULL,
+                 "not a checkpoint file: " + path);
+    e.position = get_u64();
+    e.payload.resize(get_u64());
+    if (!e.payload.empty())
+      ok = ok && std::fread(e.payload.data(), 1, e.payload.size(), f) ==
+                     e.payload.size();
+    e.comm.next_seq.resize(get_u64());
+    for (auto& v : e.comm.next_seq) v = get_u64();
+    e.comm.consumed.resize(get_u64());
+    for (auto& c : e.comm.consumed) {
+      c.resize(get_u64());
+      for (auto& v : c) v = get_u64();
+    }
+    std::fclose(f);
+    PASTIX_CHECK(ok, "truncated checkpoint file " + path);
+    e.valid = true;
+    return e;
+  }
+
+private:
+  // One rank's checkpoint plus the mutex that covers it.  Held by pointer so
+  // growing slots_ never moves (or re-creates) a mutex another thread holds.
+  struct Slot {
+    mutable std::mutex m;
+    Entry entry;
+  };
+
+  Slot& slot(int rank) {
+    const std::lock_guard lock(mutex_);
+    if (slots_.size() <= static_cast<std::size_t>(rank))
+      slots_.resize(static_cast<std::size_t>(rank) + 1);
+    auto& p = slots_[static_cast<std::size_t>(rank)];
+    if (!p) p = std::make_unique<Slot>();
+    return *p;
+  }
+
+  [[nodiscard]] const Slot* find(int rank) const {
+    const std::lock_guard lock(mutex_);
+    return static_cast<std::size_t>(rank) < slots_.size()
+               ? slots_[static_cast<std::size_t>(rank)].get()
+               : nullptr;
+  }
+
+  static void write_file(int rank, const Entry& e, const std::string& dir) {
+    const std::string path = dir + "/rank" + std::to_string(rank) + ".ckpt";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    PASTIX_CHECK(f != nullptr, "cannot open checkpoint file " + path);
+    bool ok = true;
+    const auto put_u64 = [&](std::uint64_t v) {
+      ok = ok && std::fwrite(&v, sizeof(v), 1, f) == 1;
+    };
+    put_u64(0x70617374636b7031ULL);  // "pastckp1"
+    put_u64(e.position);
+    put_u64(e.payload.size());
+    if (!e.payload.empty())
+      ok = ok && std::fwrite(e.payload.data(), 1, e.payload.size(), f) ==
+                     e.payload.size();
+    put_u64(e.comm.next_seq.size());
+    for (const std::uint64_t v : e.comm.next_seq) put_u64(v);
+    put_u64(e.comm.consumed.size());
+    for (const auto& c : e.comm.consumed) {
+      put_u64(c.size());
+      for (const std::uint64_t v : c) put_u64(v);
+    }
+    ok = std::fclose(f) == 0 && ok;
+    PASTIX_CHECK(ok, "short write to checkpoint file " + path);
+  }
+
+  mutable std::mutex mutex_;  ///< guards slots_'s shape, dir_, saves_
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::string dir_;
+  std::uint64_t saves_ = 0;
+};
+
+} // namespace pastix::rt

@@ -1,5 +1,6 @@
 #include "rt/comm.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <sstream>
 #include <thread>
@@ -25,32 +26,262 @@ std::string describe_tag(std::uint64_t tag) {
   return os.str();
 }
 
+// ---------------------------------------------------------- resilient mode --
+
+void Comm::sequence_and_log(int from, int to, Message& m) {
+  auto& s = senders_[static_cast<std::size_t>(from)];
+  const std::lock_guard lock(s.mutex);
+  const auto n = static_cast<std::size_t>(nprocs());
+  if (s.next_seq.size() < n) {
+    s.next_seq.resize(n, 1);  // seq 0 is the "unsequenced" sentinel
+    s.max_logged.resize(n, 0);
+    s.max_dropped.resize(n, 0);
+  }
+  const auto dest = static_cast<std::size_t>(to);
+  m.seq = s.next_seq[dest]++;
+  // A replaying rank re-executes its schedule with rewound counters, so it
+  // re-sends messages it already logged; only genuinely new sequence
+  // numbers are appended (the log holds one copy per (dest, seq)).
+  if (m.seq <= s.max_logged[dest]) return;
+  s.max_logged[dest] = m.seq;
+  LogEntry e;
+  e.to = to;
+  e.tag = m.tag;
+  e.seq = m.seq;
+  e.payload = m.payload;
+  s.log_bytes += e.payload.size();
+  s.log.push_back(std::move(e));
+  while (log_limit_ > 0 && s.log_bytes > log_limit_ && s.log.size() > 1) {
+    const LogEntry& old = s.log.front();
+    auto& dropped = s.max_dropped[static_cast<std::size_t>(old.to)];
+    dropped = std::max(dropped, old.seq);
+    s.log_bytes -= old.payload.size();
+    s.log.pop_front();
+  }
+}
+
+bool Comm::push_checked(Mailbox& box, Message&& m, bool front) {
+  if (m.seq != 0) {
+    if (per_source(box.consumed, m.source).count(m.seq) != 0 ||
+        per_source(box.queued_seq, m.source).count(m.seq) != 0) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    per_source(box.queued_seq, m.source).insert(m.seq);
+  }
+  box.queued_bytes += m.payload.size();
+  if (front)
+    box.queue.push_front(std::move(m));
+  else
+    box.queue.push_back(std::move(m));
+  return true;
+}
+
+CommSeqState Comm::snapshot_seq_state(int rank) {
+  const auto n = static_cast<std::size_t>(nprocs());
+  CommSeqState state;
+  state.next_seq.assign(n, 1);
+  state.consumed.resize(n);
+  {
+    auto& s = senders_[static_cast<std::size_t>(rank)];
+    const std::lock_guard lock(s.mutex);
+    for (std::size_t q = 0; q < s.next_seq.size(); ++q)
+      state.next_seq[q] = s.next_seq[q];
+  }
+  {
+    auto& box = boxes_[static_cast<std::size_t>(rank)];
+    const std::lock_guard lock(box.mutex);
+    for (std::size_t src = 0; src < box.consumed.size(); ++src) {
+      state.consumed[src].assign(box.consumed[src].begin(),
+                                 box.consumed[src].end());
+      std::sort(state.consumed[src].begin(), state.consumed[src].end());
+    }
+  }
+  return state;
+}
+
+void Comm::rollback_rank(int rank, const CommSeqState& state) {
+  const auto n = static_cast<std::size_t>(nprocs());
+  {
+    // The rank's thread is dead, so nobody is blocked in its recv(); drop
+    // everything queued — the senders' logs are the single source of truth
+    // for what must be visible after the rollback (re-delivered below).
+    auto& box = boxes_[static_cast<std::size_t>(rank)];
+    const std::lock_guard lock(box.mutex);
+    box.queue.clear();
+    box.delayed.clear();
+    box.queued_bytes = 0;
+    box.queued_seq.clear();
+    box.consumed.assign(n, {});
+    for (std::size_t src = 0; src < state.consumed.size() && src < n; ++src)
+      box.consumed[src].insert(state.consumed[src].begin(),
+                               state.consumed[src].end());
+  }
+  {
+    // Rewind the send counters so re-executed sends reuse their original
+    // sequence numbers and get suppressed by the survivors' consumed sets.
+    // max_logged is deliberately NOT rewound: the log already holds those
+    // messages and must not accumulate duplicates during replay.
+    auto& s = senders_[static_cast<std::size_t>(rank)];
+    const std::lock_guard lock(s.mutex);
+    if (s.next_seq.size() < n) {
+      s.next_seq.resize(n, 1);
+      s.max_logged.resize(n, 0);
+      s.max_dropped.resize(n, 0);
+    }
+    for (std::size_t q = 0; q < n; ++q)
+      s.next_seq[q] = q < state.next_seq.size() ? state.next_seq[q] : 1;
+  }
+}
+
+std::size_t Comm::replay_log_to(int rank) {
+  auto& box = boxes_[static_cast<std::size_t>(rank)];
+  std::size_t delivered = 0;
+  for (int sr = 0; sr < nprocs(); ++sr) {
+    std::vector<LogEntry> entries;
+    std::uint64_t dropped = 0;
+    {
+      auto& s = senders_[static_cast<std::size_t>(sr)];
+      const std::lock_guard lock(s.mutex);
+      if (static_cast<std::size_t>(rank) < s.max_dropped.size())
+        dropped = s.max_dropped[static_cast<std::size_t>(rank)];
+      for (const auto& e : s.log)
+        if (e.to == rank) entries.push_back(e);
+    }
+    const std::lock_guard lock(box.mutex);
+    if (dropped > 0) {
+      // The pruned entries are exactly seq 1..dropped (per-dest sequence
+      // numbers increase along the FIFO log).  Recovery is only sound if
+      // the restarted rank consumed all of them before its checkpoint.
+      std::uint64_t have = 0;
+      for (const std::uint64_t seq : per_source(box.consumed, sr))
+        if (seq <= dropped) ++have;
+      if (have < dropped)
+        throw Error(
+            "message-log truncation: rank " + std::to_string(sr) +
+            " pruned " + std::to_string(dropped - have) +
+            " unconsumed message(s) for rank " + std::to_string(rank) +
+            " past the log byte cap; recovery needs a larger "
+            "message_log_bytes or a shorter checkpoint interval");
+    }
+    for (auto& e : entries) {
+      Message m;
+      m.source = sr;
+      m.tag = e.tag;
+      m.seq = e.seq;
+      m.payload = std::move(e.payload);
+      // Replay bypasses the fault ladder and the send-buffer cap: recovery
+      // delivery must be deterministic and must not be re-lost.
+      if (push_checked(box, std::move(m), /*front=*/false)) ++delivered;
+    }
+  }
+  box.cv.notify_all();
+  return delivered;
+}
+
+// ------------------------------------------------------------- diagnostics --
+
+void Comm::throw_send_buffer_overflow(Mailbox& box, int to, std::uint64_t tag,
+                                      std::size_t bytes) {
+  // Aggregate queued bytes per tag so the report names the actual hogs,
+  // not just the unlucky message that tripped the cap.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_tag;  // (tag, bytes)
+  const auto account = [&](const Message& m) {
+    for (auto& [t, b] : by_tag)
+      if (t == m.tag) {
+        b += m.payload.size();
+        return;
+      }
+    by_tag.emplace_back(m.tag, m.payload.size());
+  };
+  for (const auto& m : box.queue) account(m);
+  for (const auto& m : box.delayed) account(m);
+  std::sort(by_tag.begin(), by_tag.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::ostringstream os;
+  os << "send buffer limit (" << send_buffer_limit_ << " bytes) exceeded: "
+     << bytes << "-byte " << describe_tag(tag) << " for rank " << to
+     << " would overflow its mailbox (" << box.queued_bytes
+     << " bytes queued in " << (box.queue.size() + box.delayed.size())
+     << " messages).";
+  constexpr std::size_t kMaxListed = 5;
+  if (!by_tag.empty()) {
+    os << " Worst queued tags:";
+    for (std::size_t i = 0; i < by_tag.size() && i < kMaxListed; ++i)
+      os << (i == 0 ? " " : ", ") << describe_tag(by_tag[i].first) << " ("
+         << by_tag[i].second << " bytes)";
+    if (by_tag.size() > kMaxListed) os << ", ...";
+  }
+  os << "\n(the receiver is falling behind; raise the limit with "
+        "set_send_buffer_limit or rebalance the schedule)";
+  throw Error(os.str());
+}
+
 std::string Comm::deadline_diagnostic(int rank, std::uint64_t wanted,
-                                      long deadline_ms) {
+                                      long deadline_ms, long waited_ms) {
   constexpr std::size_t kMaxListed = 16;
   std::ostringstream os;
-  os << "receive deadline (" << deadline_ms << " ms) expired: rank " << rank
-     << " is waiting for " << describe_tag(wanted)
-     << " which was never sent.";
+  os << "receive deadline (" << deadline_ms << " ms) expired after "
+     << waited_ms << " ms: rank " << rank << " is waiting for "
+     << describe_tag(wanted) << " which was never sent.";
+  std::uint64_t lost_matching = 0;
+  std::uint64_t lost_total = 0;
   for (int r = 0; r < nprocs(); ++r) {
-    const auto queued = pending_tags(r);
-    os << "\n  rank " << r << ": " << queued.size() << " pending message"
-       << (queued.size() == 1 ? "" : "s");
-    std::size_t listed = 0;
-    for (const auto& [src, tag] : queued) {
-      if (listed++ >= kMaxListed) {
-        os << " ...";
-        break;
-      }
-      os << (listed == 1 ? " [" : ", ") << "from " << src << " "
-         << describe_tag(tag);
+    auto& box = boxes_[static_cast<std::size_t>(r)];
+    // Snapshot under the box lock; the message text is composed outside any
+    // two-lock nesting (our own mailbox lock was released by the caller).
+    std::vector<std::pair<int, std::uint64_t>> queued;
+    std::vector<std::pair<int, std::uint64_t>> delayed;
+    std::vector<std::pair<int, std::uint64_t>> lost;
+    std::uint64_t lost_count = 0;
+    {
+      const std::lock_guard lock(box.mutex);
+      for (const auto& m : box.queue) queued.emplace_back(m.source, m.tag);
+      for (const auto& m : box.delayed) delayed.emplace_back(m.source, m.tag);
+      lost = box.lost;
+      lost_count = box.lost_count;
     }
-    if (listed > 0) os << "]";
+    if (r == rank) {
+      for (const auto& [src, tag] : lost)
+        if (tag == wanted) ++lost_matching;
+    }
+    lost_total += lost_count;
+    os << "\n  rank " << r << ": " << (queued.size() + delayed.size())
+       << " pending message" << (queued.size() + delayed.size() == 1 ? "" : "s");
+    std::size_t listed = 0;
+    const auto list = [&](const std::vector<std::pair<int, std::uint64_t>>& v,
+                          const char* mark) {
+      for (const auto& [src, tag] : v) {
+        if (listed >= kMaxListed) return;
+        os << (listed == 0 ? " [" : ", ") << "from " << src << " "
+           << describe_tag(tag) << mark;
+        ++listed;
+      }
+    };
+    list(queued, "");
+    // Injection-delayed messages are pending-but-held-back: they WILL be
+    // released when their receiver blocks, so they are marked rather than
+    // hidden — a delayed message must not read as a lost one.
+    list(delayed, " (delayed by fault injection)");
+    if (listed > 0) {
+      if (queued.size() + delayed.size() > listed) os << ", ...";
+      os << "]";
+    }
   }
+  if (lost_matching > 0)
+    os << "\n  " << lost_matching << " message(s) with the wanted tag were "
+       << "DROPPED by loss injection into rank " << rank
+       << " — the message is gone, not late.";
+  else if (lost_total > 0)
+    os << "\n  " << lost_total
+       << " message(s) dropped by loss injection world-wide (none matching "
+          "the wanted tag).";
   os << "\n(a peer rank is stuck, dead, or the communication plan is "
         "inconsistent)";
   return os.str();
 }
+
+// --------------------------------------------------------------- run_ranks --
 
 namespace {
 

@@ -1,0 +1,178 @@
+#include "rt/resilient.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pastix::rt {
+
+namespace {
+
+enum class SlotState {
+  kRunning,
+  kDone,       ///< body returned normally
+  kDead,       ///< RankKilledError — recoverable crash, awaiting supervisor
+  kFailed,     ///< any other exception — root cause, aborts the world
+  kSecondary,  ///< AbortError — woken by someone else's failure
+};
+
+struct Slot {
+  std::thread thread;
+  SlotState state = SlotState::kRunning;
+  std::exception_ptr error;
+  std::string cause;
+};
+
+} // namespace
+
+RecoveryReport run_ranks_resilient(
+    Comm& comm, int nprocs, const std::function<void(int, bool)>& body,
+    Checkpoint& store, const ResilienceOptions& opt) {
+  PASTIX_CHECK(nprocs >= 1, "need at least one rank");
+  PASTIX_CHECK(comm.nprocs() >= nprocs, "comm smaller than rank count");
+  // checkpoint_interval <= 0 means auto: each body resolves it against its
+  // own K_p length (FaninSolver picks ~4 checkpoints per rank).
+  PASTIX_CHECK(opt.max_restarts >= 0, "max_restarts must be non-negative");
+
+  store.clear();
+  store.set_directory(opt.checkpoint_dir);
+  comm.set_resilient_mode(true);
+  comm.set_message_log_limit(opt.message_log_bytes);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Slot> slots(static_cast<std::size_t>(nprocs));
+  RecoveryReport report;
+
+  // Spawn (or respawn) rank r.  The slot state is written before the thread
+  // starts; the thread only ever writes its own terminal state, under the
+  // supervisor mutex.
+  const auto launch = [&](int r, bool restarted) {
+    auto& slot = slots[static_cast<std::size_t>(r)];
+    slot.state = SlotState::kRunning;
+    slot.error = nullptr;
+    slot.thread = std::thread([&, r, restarted] {
+      SlotState next = SlotState::kDone;
+      std::exception_ptr err;
+      std::string cause;
+      try {
+        body(r, restarted);
+      } catch (const RankKilledError& e) {
+        next = SlotState::kDead;
+        err = std::current_exception();
+        cause = e.what();
+      } catch (const AbortError&) {
+        next = SlotState::kSecondary;
+        err = std::current_exception();
+      } catch (const std::exception& e) {
+        next = SlotState::kFailed;
+        err = std::current_exception();
+        cause = e.what();
+        comm.abort();
+      } catch (...) {
+        next = SlotState::kFailed;
+        err = std::current_exception();
+        comm.abort();
+      }
+      {
+        const std::lock_guard lock(mutex);
+        auto& s = slots[static_cast<std::size_t>(r)];
+        s.state = next;
+        s.error = err;
+        s.cause = cause;
+      }
+      cv.notify_all();
+    });
+  };
+
+  for (int r = 0; r < nprocs; ++r) launch(r, /*restarted=*/false);
+
+  // Supervisor loop: react to crashes as they surface; exit when no rank is
+  // running and no crash is pending.
+  int exhausted_rank = -1;
+  std::string exhausted_cause;
+  {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      int dead = -1;
+      bool any_running = false;
+      for (int r = 0; r < nprocs; ++r) {
+        if (slots[static_cast<std::size_t>(r)].state == SlotState::kDead) {
+          dead = r;
+          break;
+        }
+        if (slots[static_cast<std::size_t>(r)].state == SlotState::kRunning)
+          any_running = true;
+      }
+      if (dead >= 0) {
+        auto& slot = slots[static_cast<std::size_t>(dead)];
+        const std::string cause = slot.cause;
+        lock.unlock();
+        slot.thread.join();  // the crashed thread has fully unwound
+        const bool budget_left = report.restarts < opt.max_restarts;
+        const bool already_aborted = comm.aborted();
+        if (!budget_left || already_aborted || !store.has(dead)) {
+          // Unrecoverable: out of restarts, the world already aborted for a
+          // different root cause, or (a body bug) no checkpoint ever saved.
+          // When someone else's failure is the root cause, stay quiet — it
+          // is rethrown below from that slot.
+          comm.abort();
+          if (exhausted_rank < 0 && !already_aborted) {
+            exhausted_rank = dead;
+            exhausted_cause = budget_left
+                                  ? "no checkpoint was saved before the crash"
+                                  : cause;
+          }
+          lock.lock();
+          slot.state = SlotState::kFailed;
+          continue;
+        }
+        const Checkpoint::Entry entry = store.load(dead);
+        const std::uint64_t at_death = comm.progress(dead);
+        comm.rollback_rank(dead, entry.comm);
+        const std::size_t redelivered = comm.replay_log_to(dead);
+        if (opt.restart_backoff.count() > 0)
+          std::this_thread::sleep_for(opt.restart_backoff);
+        report.restarts++;
+        if (at_death > entry.position)
+          report.replayed_tasks += at_death - entry.position;
+        report.replayed_messages += redelivered;
+        RestartRecord ev;
+        ev.rank = dead;
+        ev.resumed_at = entry.position;
+        ev.progress_at_death = at_death;
+        ev.replayed_messages = redelivered;
+        ev.cause = cause;
+        report.events.push_back(std::move(ev));
+        lock.lock();
+        launch(dead, /*restarted=*/true);
+        continue;
+      }
+      if (!any_running) break;
+      cv.wait(lock);
+    }
+  }
+  for (auto& slot : slots)
+    if (slot.thread.joinable()) slot.thread.join();
+
+  report.duplicates_suppressed = comm.duplicates_suppressed();
+  report.checkpoints_saved = store.saves();
+  report.checkpoint_bytes = store.total_bytes();
+  comm.set_resilient_mode(false);
+
+  if (exhausted_rank >= 0)
+    throw Error("rank " + std::to_string(exhausted_rank) +
+                " could not be recovered after " +
+                std::to_string(report.restarts) + " restart(s) (max_restarts " +
+                std::to_string(opt.max_restarts) + "): " + exhausted_cause);
+  // Mirror run_ranks: prefer a root-cause exception over secondary wakeups.
+  for (const auto& slot : slots)
+    if (slot.error && slot.state == SlotState::kFailed)
+      std::rethrow_exception(slot.error);
+  for (const auto& slot : slots)
+    if (slot.error) std::rethrow_exception(slot.error);
+  return report;
+}
+
+} // namespace pastix::rt

@@ -1,0 +1,81 @@
+#pragma once
+//
+// Rank-failure recovery supervisor (DESIGN.md §10).
+//
+// run_ranks_resilient() is the fault-tolerant sibling of rt::run_ranks:
+// instead of aborting the world when a rank dies, it quarantines the crash
+// (RankKilledError from a fault point), rolls the rank's communication
+// state back to its last checkpoint, re-delivers the logged messages the
+// rank lost, and restarts it with `restarted = true` so the body resumes
+// from the checkpoint.  Survivors never stop — at worst they block in
+// recv() until the restarted rank works its way back to the send they are
+// waiting on.  Everything rests on the paper's fully static schedule: the
+// restarted rank re-executes the same K_p suffix, re-sends the same
+// messages (suppressed as duplicates by sequence numbers where already
+// consumed), and re-receives the same messages in a canonical order, so
+// the recovered factor is bitwise identical to a fault-free run.
+//
+// Non-recoverable failures (any exception other than RankKilledError)
+// abort exactly like run_ranks — resilience narrows the blast radius of
+// crashes, it does not mask genuine numerical or logic errors.
+//
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rt/checkpoint.hpp"
+#include "rt/comm.hpp"
+
+namespace pastix::rt {
+
+/// Knobs of the recovery layer (plumbed through Solver / NumericFactor).
+struct ResilienceOptions {
+  bool enabled = false;         ///< master switch (off = plain run_ranks)
+  int checkpoint_interval = 0;  ///< tasks between periodic checkpoints;
+                                ///< <= 0 = auto (~3 per rank across its K_p)
+  int max_restarts = 3;         ///< total restart budget for one run
+  std::chrono::milliseconds restart_backoff{0};  ///< pause before relaunch
+  std::string checkpoint_dir;   ///< non-empty: mirror checkpoints to files
+  std::size_t message_log_bytes = 0;  ///< sender-log soft cap (0 = unbounded)
+};
+
+/// One restart, as it happened.
+struct RestartRecord {
+  int rank = -1;
+  std::uint64_t resumed_at = 0;         ///< K_p index restored from
+  std::uint64_t progress_at_death = 0;  ///< K_p index reached when killed
+  std::uint64_t replayed_messages = 0;  ///< re-delivered from survivor logs
+  std::string cause;                    ///< what killed the rank
+};
+
+/// What recovery cost — surfaced through SolverStats and the report.
+struct RecoveryReport {
+  int restarts = 0;
+  std::uint64_t replayed_tasks = 0;     ///< sum of (death - checkpoint) gaps
+  std::uint64_t replayed_messages = 0;  ///< re-delivered from logs
+  std::uint64_t duplicates_suppressed = 0;  ///< dropped by sequence dedup
+  std::uint64_t checkpoints_saved = 0;
+  std::uint64_t checkpoint_bytes = 0;   ///< live bytes at end of run
+  std::vector<RestartRecord> events;
+};
+
+/// Run `body(rank, restarted)` on every rank, surviving RankKilledError
+/// crashes: the dead rank is rolled back to its checkpoint in `store`,
+/// lost messages are re-delivered from the survivors' logs, and the rank
+/// is relaunched with restarted = true (the body must then restore from
+/// the checkpoint and resume).  The body MUST save a checkpoint before
+/// executing its first task (position 0), so even a crash at task 0 is
+/// recoverable.  Arms the communicator's resilient mode for the duration
+/// of the call and disarms it on the way out.
+///
+/// Throws (after all ranks unwound, preferring the root cause):
+///   - Error when the restart budget is exhausted or a needed logged
+///     message was pruned past the log cap;
+///   - whatever a rank threw for any non-crash failure (the plain
+///     run_ranks semantics — abort() wakes the siblings).
+RecoveryReport run_ranks_resilient(
+    Comm& comm, int nprocs, const std::function<void(int, bool)>& body,
+    Checkpoint& store, const ResilienceOptions& opt);
+
+} // namespace pastix::rt

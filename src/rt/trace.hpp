@@ -27,6 +27,7 @@ enum class TraceKind : std::uint8_t {
   kSend,    ///< Comm::send — tag, bytes, peer = destination
   kRecv,    ///< Comm::recv — span covers the blocked wait; peer = source
   kPhase,   ///< solve-phase section (subtype: 0 fwd, 1 diag, 2 bwd)
+  kRestart, ///< rank restarted from a checkpoint; id1 = resumed K_p index
 };
 
 /// One recorded span.  Interpretation of the id fields depends on `kind`:

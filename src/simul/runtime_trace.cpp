@@ -28,6 +28,13 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
     // enclosing task span finishes, so a forward sweep with running
     // accumulators attributes them to the right task.
     double kern_acc = 0, wait_acc = 0;
+    // Lane-local task list so a kRestart marker can splice out the dead
+    // attempt's records: the restarted rank re-executes everything from its
+    // resume position, so those re-executions (flagged `replayed` up to the
+    // dead attempt's reach) replace the originals and the merged lane holds
+    // exactly one execution of K_p.
+    std::vector<RuntimeTaskEvent> lane;
+    std::size_t replay_until = 0;
     for (const rt::TraceRecord& r : rec.events(rank)) {
       switch (r.kind) {
         case rt::TraceKind::kTask: {
@@ -40,7 +47,19 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
           e.end = r.end;
           e.kernel_seconds = kern_acc;
           e.recv_wait_seconds = wait_acc;
-          out.tasks.push_back(e);
+          e.replayed = lane.size() < replay_until;
+          lane.push_back(e);
+          kern_acc = wait_acc = 0;
+          break;
+        }
+        case rt::TraceKind::kRestart: {
+          const auto resume = static_cast<std::size_t>(r.id1);
+          replay_until = std::max(replay_until, lane.size());
+          if (resume < lane.size()) lane.resize(resume);
+          out.restarts.push_back(
+              {static_cast<idx_t>(rank), static_cast<idx_t>(r.id1), r.start});
+          // The killed task never recorded its span; drop its orphaned
+          // kernel/wait accumulation instead of billing the next task.
           kern_acc = wait_acc = 0;
           break;
         }
@@ -69,6 +88,7 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
           break;
       }
     }
+    out.tasks.insert(out.tasks.end(), lane.begin(), lane.end());
   }
 
   // Shift the origin to the first task start so traces are comparable to
@@ -94,6 +114,7 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
       p.start -= origin;
       p.end -= origin;
     }
+    for (auto& r : out.restarts) r.at -= origin;
   }
 
   const auto by_proc_start = [](const auto& a, const auto& b) {
@@ -146,11 +167,24 @@ std::vector<TimelineEvent> RuntimeTrace::to_timeline() const {
     t.end = e.end;
     t.glyph = kTypeGlyphs[static_cast<int>(e.type)];
     t.name = kTypeNames[static_cast<int>(e.type)];
-    t.cat = "task";
+    t.cat = e.replayed ? "task-replay" : "task";
     std::ostringstream args;
     args << "\"task\":" << e.task << ",\"cblk\":" << e.cblk
          << ",\"kernel_s\":" << e.kernel_seconds
-         << ",\"recv_wait_s\":" << e.recv_wait_seconds;
+         << ",\"recv_wait_s\":" << e.recv_wait_seconds
+         << ",\"replayed\":" << (e.replayed ? "true" : "false");
+    t.args = args.str();
+    tl.push_back(std::move(t));
+  }
+  for (const RuntimeRestartEvent& e : restarts) {
+    TimelineEvent t;
+    t.lane = e.proc;
+    t.start = t.end = e.at;
+    t.glyph = 'R';
+    t.name = "restart";
+    t.cat = "recovery";
+    std::ostringstream args;
+    args << "\"resumed_at\":" << e.position;
     t.args = args.str();
     tl.push_back(std::move(t));
   }
@@ -187,12 +221,13 @@ void write_chrome_trace(std::ostream& os, const RuntimeTrace& trace) {
 }
 
 void write_runtime_trace_csv(std::ostream& os, const RuntimeTrace& trace) {
-  os << "task,proc,type,cblk,start,end,kernel_s,recv_wait_s\n";
+  os << "task,proc,type,cblk,start,end,kernel_s,recv_wait_s,replayed\n";
   os.precision(9);
   for (const RuntimeTaskEvent& e : trace.tasks)
     os << e.task << "," << e.proc << "," << kTypeNames[static_cast<int>(e.type)]
        << "," << e.cblk << "," << e.start << "," << e.end << ","
-       << e.kernel_seconds << "," << e.recv_wait_seconds << "\n";
+       << e.kernel_seconds << "," << e.recv_wait_seconds << ","
+       << (e.replayed ? 1 : 0) << "\n";
 }
 
 TraceComparison compare_traces(const ScheduleTrace& predicted,

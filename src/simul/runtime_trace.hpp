@@ -28,6 +28,7 @@ struct RuntimeTaskEvent {
   double start = 0, end = 0;       ///< seconds since the trace origin
   double kernel_seconds = 0;       ///< dense kernel time inside the task
   double recv_wait_seconds = 0;    ///< blocked in Comm::recv inside the task
+  bool replayed = false;           ///< re-executed after a crash recovery
 
   /// Task wall time with the receive waits removed — the number a
   /// cost-model prediction is comparable to.
@@ -53,14 +54,37 @@ struct RuntimePhaseEvent {
   double start = 0, end = 0;
 };
 
+/// One crash recovery: a rank restarted from its checkpoint (DESIGN.md §10).
+struct RuntimeRestartEvent {
+  idx_t proc = 0;
+  idx_t position = 0;  ///< K_p index the rank resumed from
+  double at = 0;       ///< when the restarted rank came back up
+};
+
 /// The merged, time-shifted (origin = first task start) runtime trace.
+///
+/// Crash recovery and the merge: a restarted rank records a kRestart marker
+/// carrying its resume position.  The lane's task records beyond that
+/// position belong to the dead attempt — the restarted rank re-executes
+/// them — so build_runtime_trace drops the dead attempt's records and keeps
+/// the re-executions, marked `replayed`.  The merged task list is therefore
+/// exactly one execution of K_p per rank, and validate_against(Schedule)
+/// holds on a recovered run just as on a fault-free one.
 struct RuntimeTrace {
   std::vector<RuntimeTaskEvent> tasks;   ///< sorted by (proc, start)
   std::vector<RuntimeCommEvent> comm;    ///< sorted by (proc, start)
   std::vector<RuntimePhaseEvent> phases; ///< solve sections, if any ran
+  std::vector<RuntimeRestartEvent> restarts;  ///< crash recoveries, if any
   KernelSampleSet kernels;               ///< measured spans for recalibration
   double makespan = 0;                   ///< last task end - first task start
   idx_t nprocs = 0;
+
+  /// Tasks re-executed after checkpoint restores (0 on a fault-free run).
+  [[nodiscard]] idx_t replayed_count() const {
+    idx_t n = 0;
+    for (const auto& t : tasks) n += t.replayed ? 1 : 0;
+    return n;
+  }
 
   /// Shared-timeline invariant: task spans of one rank never overlap.
   void validate() const;

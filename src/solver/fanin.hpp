@@ -26,6 +26,7 @@
 #include "dkernel/blocked_factor.hpp"
 #include "model/cost_model.hpp"
 #include "rt/comm.hpp"
+#include "rt/resilient.hpp"
 #include "solver/comm_plan.hpp"
 #include "sparse/sym_sparse.hpp"
 #include "support/timer.hpp"
@@ -104,6 +105,9 @@ public:
   /// overwriting any previous values or factor, and rearm the pivot
   /// admission threshold.  Allocations, comm plan and schedule are reused —
   /// this is the numeric half of a refactorization.
+  /// The matrix must outlive the solver's factorizations: crash recovery
+  /// re-derives a rank's pristine state from it instead of serializing a
+  /// full position-0 checkpoint (restore_pristine below).
   void refill(const SymSparse<T>& a) {
     PASTIX_CHECK(a.n() == s_.n, "matrix / symbol size mismatch");
     for (auto& r : ranks_) {
@@ -112,12 +116,8 @@ public:
       for (auto& [b, store] : r.blok_store)
         std::fill(store.begin(), store.end(), T{});
     }
-    for (idx_t j = 0; j < s_.n; ++j) {
-      const idx_t k = s_.col2cblk[static_cast<std::size_t>(j)];
-      set_entry(k, j, j, a.diag[static_cast<std::size_t>(j)]);
-      for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q)
-        set_entry(k, a.pattern.rowind[q], j, a.val[q]);
-    }
+    scatter_values(a, kNone);
+    refilled_from_ = &a;
     // Static pivot admission threshold: eps_rel relative to max|A| (a zero
     // matrix still gets a usable absolute floor).
     double anorm = 0;
@@ -133,20 +133,35 @@ public:
   /// Run the parallel numerical factorization; returns wall seconds.  The
   /// structured outcome (perturbation counts, breakdown locations) is
   /// available from factor_status() afterwards — also when this throws.
+  ///
+  /// With resilience armed (set_resilience), rank crashes injected through
+  /// Comm::fault_point are survived: the dead rank restarts from its last
+  /// checkpoint and replays its K_p suffix; recovery() reports the cost.
   double factorize(rt::Comm& comm) {
     PASTIX_CHECK(comm.nprocs() == sched_.nprocs, "comm size mismatch");
     PASTIX_CHECK(filled_, "refill() must run before factorize()");
     init_countdowns();
     status_ = FactorStatus{};
+    recovery_ = rt::RecoveryReport{};
     for (auto& r : ranks_) {
       r.status = FactorStatus{};
       r.status.max_recorded = popt_.max_recorded;
     }
     Timer timer;
     try {
-      rt::run_ranks(comm, sched_.nprocs, [&](int rank) {
-        run_factorization(comm, static_cast<idx_t>(rank));
-      });
+      if (ropt_.enabled && checkpoints_ != nullptr) {
+        recovery_ = rt::run_ranks_resilient(
+            comm, sched_.nprocs,
+            [&](int rank, bool restarted) {
+              run_factorization(comm, static_cast<idx_t>(rank), restarted);
+            },
+            *checkpoints_, ropt_);
+      } else {
+        rt::run_ranks(comm, sched_.nprocs, [&](int rank) {
+          run_factorization(comm, static_cast<idx_t>(rank),
+                            /*restarted=*/false);
+        });
+      }
     } catch (...) {
       collect_status();
       throw;
@@ -154,6 +169,46 @@ public:
     collect_status();
     factored_ = true;
     return timer.seconds();
+  }
+
+  /// Arm (or disarm, with opt.enabled = false or store = nullptr) crash
+  /// recovery for subsequent factorize() calls.  The store holds the
+  /// per-rank checkpoints; it must outlive the solver's factorizations.
+  void set_resilience(const rt::ResilienceOptions& opt,
+                      rt::Checkpoint* store) {
+    ropt_ = opt;
+    checkpoints_ = store;
+  }
+
+  /// What the last factorize() spent on crash recovery (zeroed when no
+  /// restart happened or resilience was off).
+  [[nodiscard]] const rt::RecoveryReport& recovery() const {
+    return recovery_;
+  }
+
+  /// Order-independent FNV-1a digest of the full factor (every blok's
+  /// values walked in symbol order, independent of which rank owns what) —
+  /// the bitwise-identity check of the recovery tests: a recovered factor
+  /// must hash equal to a fault-free run's.
+  [[nodiscard]] std::uint64_t factor_digest() const {
+    PASTIX_CHECK(factored_, "no factor yet");
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](const void* p, std::size_t nbytes) {
+      const auto* c = static_cast<const unsigned char*>(p);
+      for (std::size_t i = 0; i < nbytes; ++i)
+        h = (h ^ c[i]) * 1099511628211ULL;
+    };
+    for (idx_t b = 0; b < s_.nblok(); ++b) {
+      const idx_t k = cblk_of_blok(b);
+      const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+      const idx_t rows = s_.bloks[static_cast<std::size_t>(b)].nrows();
+      idx_t ld = 0;
+      const T* p = blok_ptr_const(b, &ld);
+      for (idx_t j = 0; j < w; ++j)
+        mix(p + static_cast<std::size_t>(j) * ld,
+            static_cast<std::size_t>(rows) * sizeof(T));
+    }
+    return h;
   }
 
   /// Distributed triangular solves: returns x with A x = b (permuted frame).
@@ -314,10 +369,32 @@ private:
     }
   }
 
-  void set_entry(idx_t k, idx_t i, idx_t j, const T& v) {
+  /// Scatter the entries of `a` into the block storage; `only_rank` other
+  /// than kNone restricts the writes to that rank's blocks (the re-fill
+  /// path of a position-0 restart — the scatter order is identical to a
+  /// full refill, so the re-derived values are bitwise those of a fresh
+  /// run).
+  void scatter_values(const SymSparse<T>& a, idx_t only_rank) {
+    for (idx_t j = 0; j < s_.n; ++j) {
+      const idx_t k = s_.col2cblk[static_cast<std::size_t>(j)];
+      set_entry(k, j, j, a.diag[static_cast<std::size_t>(j)], only_rank);
+      for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q)
+        set_entry(k, a.pattern.rowind[q], j, a.val[q], only_rank);
+    }
+  }
+
+  [[nodiscard]] idx_t entry_owner(idx_t k, idx_t b) const {
+    return is_1d(k) ? plan_.diag_owner[static_cast<std::size_t>(k)]
+                    : plan_.blok_owner[static_cast<std::size_t>(b)];
+  }
+
+  void set_entry(idx_t k, idx_t i, idx_t j, const T& v,
+                 idx_t only_rank = kNone) {
     const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
     const auto covering = s_.find_facing_bloks(k, i, i);
     PASTIX_ASSERT(covering.size() == 1);
+    if (only_rank != kNone && entry_owner(k, covering[0]) != only_rank)
+      return;
     idx_t ld = 0;
     T* ptr = blok_ptr(covering[0], &ld);
     ptr[(i - s_.bloks[static_cast<std::size_t>(covering[0])].frownum) +
@@ -484,11 +561,29 @@ private:
 
   void recv_aubs(rt::Comm& comm, idx_t my_rank, idx_t t, T* dst,
                  std::size_t count) {
-    for (idx_t r = 0; r < plan_.expect_aub[static_cast<std::size_t>(t)]; ++r) {
-      const rt::Message m = comm.recv(
+    const idx_t expect = plan_.expect_aub[static_cast<std::size_t>(t)];
+    if (expect == 0) return;
+    // Gather every expected message FIRST, then apply in canonical order
+    // (by source rank; per-source send order is preserved by the mailbox
+    // FIFO).  Floating-point addition is not associative, so applying in
+    // arrival order would make the factor depend on thread timing — this
+    // ordering is what makes a crash-recovered run bitwise identical to a
+    // fault-free one (DESIGN.md §10).
+    std::vector<rt::Message> msgs;
+    msgs.reserve(static_cast<std::size_t>(expect));
+    for (idx_t r = 0; r < expect; ++r) {
+      rt::Message m = comm.recv(
           static_cast<int>(my_rank),
           rt::make_tag(rt::MsgKind::kAub, static_cast<std::uint64_t>(t)));
       PASTIX_CHECK(m.template count<T>() == count, "AUB size mismatch");
+      msgs.push_back(std::move(m));
+    }
+    std::stable_sort(
+        msgs.begin(), msgs.end(),
+        [](const rt::Message& a, const rt::Message& b) {
+          return a.source < b.source;
+        });
+    for (const rt::Message& m : msgs) {
       const T* src = m.template as<T>();
       const auto span =
           kernel_span(my_rank, KernelOp::kAxpy, static_cast<idx_t>(count));
@@ -516,11 +611,61 @@ private:
   }
 
   // ----------------------------------------------------------- task bodies --
-  void run_factorization(rt::Comm& comm, idx_t rank) {
+  void run_factorization(rt::Comm& comm, idx_t rank, bool restarted) {
     Rank& me = ranks_[static_cast<std::size_t>(rank)];
-    me.task_times = RankTaskTimes{};
+    const auto& kp = sched_.kp[static_cast<std::size_t>(rank)];
+    const bool resilient = ropt_.enabled && checkpoints_ != nullptr;
+    // interval <= 0 = auto: a few evenly spaced checkpoints across this
+    // rank's K_p, so the (full-state) serialization cost stays a small
+    // fraction of the factorization regardless of problem size.
+    const std::size_t interval =
+        ropt_.checkpoint_interval > 0
+            ? static_cast<std::size_t>(ropt_.checkpoint_interval)
+            : std::max<std::size_t>(1, kp.size() / 3);
+    std::size_t start = 0;
+    if (restarted) {
+      // Resume: restore the numeric state and the K_p position from the
+      // last checkpoint; the supervisor already rolled the comm state back
+      // and re-delivered the logged messages.
+      const rt::Checkpoint::Entry entry =
+          checkpoints_->load(static_cast<int>(rank));
+      if (entry.position == 0)
+        restore_pristine(me, rank);
+      else
+        restore_rank(me, entry.payload);
+      start = static_cast<std::size_t>(entry.position);
+      if (tracer_ && tracer_->enabled()) {
+        rt::TraceRecord rec;
+        rec.kind = rt::TraceKind::kRestart;
+        rec.id1 = static_cast<std::int32_t>(entry.position);
+        rec.start = rec.end = tracer_->now();
+        tracer_->record(static_cast<int>(rank), rec);
+      }
+    } else {
+      me.task_times = RankTaskTimes{};
+      // Checkpoint 0: the factorization is in-place, so a crash before the
+      // first periodic checkpoint must still be recoverable.  But the
+      // pristine state is exactly what refill() scattered from the retained
+      // input matrix, so instead of serializing megabytes that the solver
+      // can re-derive, save a zero-byte marker; restore_pristine() re-fills
+      // on restart.
+      if (resilient) {
+        checkpoints_->save_with(
+            static_cast<int>(rank), 0,
+            comm.snapshot_seq_state(static_cast<int>(rank)),
+            [](std::vector<std::byte>& out) { out.clear(); });
+      }
+    }
     std::vector<T> wbuf, cbuf, dvec;
-    for (const idx_t t : sched_.kp[static_cast<std::size_t>(rank)]) {
+    for (std::size_t pos = start; pos < kp.size(); ++pos) {
+      // The fault point sits at the task boundary, before the task's trace
+      // span opens: a killed rank has fully applied `pos` tasks and records
+      // no partial span.  It also heartbeats the rank's progress, armed or
+      // not — and fires in the non-resilient path too, where the kill
+      // simply aborts the world (the PR 1 loud-failure behaviour).
+      comm.fault_point(static_cast<int>(rank),
+                       static_cast<std::uint64_t>(pos));
+      const idx_t t = kp[pos];
       const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
       const Timer timer;
       {
@@ -539,7 +684,168 @@ private:
       }
       me.task_times.seconds[static_cast<int>(task.type)] += timer.seconds();
       me.task_times.count[static_cast<int>(task.type)]++;
+      if (resilient && pos + 1 < kp.size() && (pos + 1) % interval == 0)
+        save_checkpoint(comm, rank, me, pos + 1);
     }
+  }
+
+  // ------------------------------------------------ checkpoint (de)serialize --
+  // The payload is everything exec_* reads or mutates between two task
+  // boundaries: factor storage, live AUB accumulators and countdowns,
+  // received-diagonal/panel caches, memory accounting, task timings and the
+  // pivot record.  aub_initial is rebuilt by init_countdowns() before the
+  // ranks start and never changes afterwards, so it is not saved.
+  static void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    out.insert(out.end(), p, p + sizeof(v));
+  }
+  static void put_raw(std::vector<std::byte>& out, const void* p,
+                      std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    out.insert(out.end(), b, b + n);
+  }
+  static void put_vec(std::vector<std::byte>& out, const std::vector<T>& v) {
+    put_u64(out, v.size());
+    put_raw(out, v.data(), v.size() * sizeof(T));
+  }
+  static void put_map(std::vector<std::byte>& out,
+                      const std::unordered_map<idx_t, std::vector<T>>& m) {
+    put_u64(out, m.size());
+    for (const auto& [k, v] : m) {
+      put_u64(out, static_cast<std::uint64_t>(k));
+      put_vec(out, v);
+    }
+  }
+
+  struct Cursor {
+    const std::byte* p;
+    const std::byte* end;
+    std::uint64_t u64() {
+      PASTIX_CHECK(p + sizeof(std::uint64_t) <= end, "truncated checkpoint");
+      std::uint64_t v = 0;
+      std::memcpy(&v, p, sizeof(v));
+      p += sizeof(v);
+      return v;
+    }
+    void raw(void* dst, std::size_t n) {
+      PASTIX_CHECK(p + n <= end, "truncated checkpoint");
+      std::memcpy(dst, p, n);
+      p += n;
+    }
+    void vec(std::vector<T>& v) {
+      v.resize(u64());
+      raw(v.data(), v.size() * sizeof(T));
+    }
+    void map(std::unordered_map<idx_t, std::vector<T>>& m) {
+      m.clear();
+      const std::uint64_t n = u64();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const auto k = static_cast<idx_t>(u64());
+        vec(m[k]);
+      }
+    }
+  };
+
+  static std::uint64_t map_bytes(
+      const std::unordered_map<idx_t, std::vector<T>>& m) {
+    std::uint64_t b = 8;
+    for (const auto& [k, v] : m) b += 16 + v.size() * sizeof(T);
+    return b;
+  }
+
+  /// Serialize into `out`, reusing its capacity — periodic checkpoints are
+  /// on the rank's critical path, so the buffer must not be re-faulted-in
+  /// from the allocator every interval.
+  void serialize_rank(const Rank& me, std::vector<std::byte>& out) const {
+    out.clear();
+    out.reserve(map_bytes(me.cblk_store) + map_bytes(me.blok_store) +
+                map_bytes(me.aub) + 8 + me.aub_remaining.size() * 16 +
+                map_bytes(me.diag_cache) + map_bytes(me.panel_cache) + 64 +
+                sizeof(me.task_times) + 64 + me.status.events.size() * 16);
+    put_map(out, me.cblk_store);
+    put_map(out, me.blok_store);
+    put_map(out, me.aub);
+    put_u64(out, me.aub_remaining.size());
+    for (const auto& [sigma, left] : me.aub_remaining) {
+      put_u64(out, static_cast<std::uint64_t>(sigma));
+      put_u64(out, static_cast<std::uint64_t>(left));
+    }
+    put_map(out, me.diag_cache);
+    put_map(out, me.panel_cache);
+    put_u64(out, static_cast<std::uint64_t>(me.aub_bytes_now));
+    put_u64(out, static_cast<std::uint64_t>(me.aub_peak_bytes));
+    put_raw(out, &me.task_times, sizeof(me.task_times));
+    const FactorStatus& st = me.status;
+    put_u64(out, static_cast<std::uint64_t>(st.perturbations));
+    put_raw(out, &st.min_pivot_abs, sizeof(st.min_pivot_abs));
+    put_u64(out, static_cast<std::uint64_t>(st.first_breakdown));
+    put_u64(out, static_cast<std::uint64_t>(st.nonfinite_at));
+    put_u64(out, static_cast<std::uint64_t>(st.max_recorded));
+    put_u64(out, st.events.size());
+    for (const PivotEvent& e : st.events) {
+      put_u64(out, static_cast<std::uint64_t>(e.column));
+      put_raw(out, &e.before_abs, sizeof(e.before_abs));
+    }
+  }
+
+  void restore_rank(Rank& me, const std::vector<std::byte>& payload) {
+    Cursor c{payload.data(), payload.data() + payload.size()};
+    c.map(me.cblk_store);
+    c.map(me.blok_store);
+    c.map(me.aub);
+    me.aub_remaining.clear();
+    const std::uint64_t n = c.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto sigma = static_cast<idx_t>(c.u64());
+      me.aub_remaining[sigma] = static_cast<idx_t>(c.u64());
+    }
+    c.map(me.diag_cache);
+    c.map(me.panel_cache);
+    me.aub_bytes_now = static_cast<big_t>(c.u64());
+    me.aub_peak_bytes = static_cast<big_t>(c.u64());
+    c.raw(&me.task_times, sizeof(me.task_times));
+    FactorStatus& st = me.status;
+    st.perturbations = static_cast<idx_t>(c.u64());
+    c.raw(&st.min_pivot_abs, sizeof(st.min_pivot_abs));
+    st.first_breakdown = static_cast<idx_t>(c.u64());
+    st.nonfinite_at = static_cast<idx_t>(c.u64());
+    st.max_recorded = static_cast<idx_t>(c.u64());
+    st.events.resize(c.u64());
+    for (PivotEvent& e : st.events) {
+      e.column = static_cast<idx_t>(c.u64());
+      c.raw(&e.before_abs, sizeof(e.before_abs));
+    }
+    PASTIX_CHECK(c.p == c.end, "checkpoint payload has trailing bytes");
+  }
+
+  /// Position-0 restore: the checkpoint is a zero-byte marker — the state
+  /// it stands for is re-derived by re-running the refill scatter for this
+  /// rank's blocks, bitwise identical to what a fresh run starts from.
+  void restore_pristine(Rank& me, idx_t rank) {
+    PASTIX_CHECK(refilled_from_ != nullptr,
+                 "no retained matrix to re-fill from");
+    for (auto& [k, store] : me.cblk_store)
+      std::fill(store.begin(), store.end(), T{});
+    for (auto& [b, store] : me.blok_store)
+      std::fill(store.begin(), store.end(), T{});
+    scatter_values(*refilled_from_, rank);
+    me.aub.clear();
+    me.aub_remaining = me.aub_initial;
+    me.diag_cache.clear();
+    me.panel_cache.clear();
+    me.aub_bytes_now = 0;
+    me.aub_peak_bytes = 0;
+    me.task_times = RankTaskTimes{};
+    me.status = FactorStatus{};
+    me.status.max_recorded = popt_.max_recorded;
+  }
+
+  void save_checkpoint(rt::Comm& comm, idx_t rank, const Rank& me,
+                       std::size_t position) {
+    checkpoints_->save_with(
+        static_cast<int>(rank), static_cast<std::uint64_t>(position),
+        comm.snapshot_seq_state(static_cast<int>(rank)),
+        [&](std::vector<std::byte>& out) { serialize_rank(me, out); });
   }
 
   void exec_comp1d(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
@@ -760,6 +1066,13 @@ private:
   const CommPlan& plan_;  ///< shared (AnalysisPlan's) or owned_plan_
   std::vector<Rank> ranks_;
   rt::TraceRecorder* tracer_ = nullptr;  ///< optional, not owned
+  rt::ResilienceOptions ropt_;           ///< crash-recovery knobs
+  rt::Checkpoint* checkpoints_ = nullptr;  ///< optional, not owned
+  /// Matrix of the last refill(), not owned — the position-0 restore
+  /// re-derives a restarted rank's pristine state from it (caller keeps it
+  /// alive across factorizations; NumericFactor's permuted_ copy does).
+  const SymSparse<T>* refilled_from_ = nullptr;
+  rt::RecoveryReport recovery_;          ///< cost of the last recovery
   std::vector<idx_t> stack_off_;
   FactorStatus status_;
   bool filled_ = false;

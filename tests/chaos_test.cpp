@@ -215,6 +215,38 @@ TEST(ChaosComm, PipelineSurvivesDelayAndReorderInjection) {
   }
 }
 
+// Fan-Both partial aggregation under chaos: with partial_chunk > 0 a
+// sender flushes several partial AUB messages per target, so adversarial
+// delivery order exercises the multi-message-per-(source, tag) matching
+// that total aggregation never produces.  Sweep the flush cadence across
+// both rank counts the recovery tests use.
+TEST(ChaosComm, FanBothPartialAggregationSurvivesInjection) {
+  const SymSparse<double> a = gen_fe_mesh({8, 8, 3, 1, 1, 77});
+  const std::vector<double> b = reference_rhs(a);
+  for (const idx_t chunk : {idx_t{1}, idx_t{2}, idx_t{4}}) {
+    for (const idx_t nprocs : {idx_t{2}, idx_t{4}}) {
+      SolverOptions opt;
+      opt.nprocs = nprocs;
+      opt.fanin.partial_chunk = chunk;
+      Solver<double> solver(opt);
+      solver.analyze(a);
+      solver.comm().set_recv_deadline(kDeadline);
+      rt::FaultInjection faults;
+      faults.seed = 7 * static_cast<std::uint64_t>(chunk) +
+                    static_cast<std::uint64_t>(nprocs);
+      faults.delay_prob = 0.15;
+      faults.reorder_prob = 0.25;
+      solver.comm().set_fault_injection(faults);
+      solver.factorize();
+      EXPECT_TRUE(solver.stats().factor_status.clean())
+          << "chunk " << chunk << " nprocs " << nprocs;
+      const auto x = solver.solve(b);
+      EXPECT_LT(relative_residual(a, x, b), 1e-10)
+          << "chunk " << chunk << " nprocs " << nprocs;
+    }
+  }
+}
+
 // Tracing under chaos: fault-injected deliveries must not change what the
 // trace *records* — the event stream is protocol-determined.  Per-tag
 // send/recv counts and bytes are identical to a clean run, the timeline

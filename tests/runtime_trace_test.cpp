@@ -255,7 +255,7 @@ TEST(RuntimeTrace, CsvHasHeaderAndOneLinePerTask) {
   write_runtime_trace_csv(ss, tr);
   std::string line;
   ASSERT_TRUE(std::getline(ss, line));
-  EXPECT_EQ(line, "task,proc,type,cblk,start,end,kernel_s,recv_wait_s");
+  EXPECT_EQ(line, "task,proc,type,cblk,start,end,kernel_s,recv_wait_s,replayed");
   std::size_t lines = 0;
   while (std::getline(ss, line)) ++lines;
   EXPECT_EQ(lines, tr.tasks.size());
