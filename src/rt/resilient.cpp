@@ -37,6 +37,11 @@ RecoveryReport run_ranks_resilient(
 
   store.clear();
   store.set_directory(opt.checkpoint_dir);
+  // Drop any resilient state left by a previous run on this communicator:
+  // sequence counters, sender logs and consumed sets must start fresh or
+  // they grow without bound across refactorize() iterations (and stale
+  // counters would mis-suppress this run's messages).
+  comm.clear_resilience();
   comm.set_resilient_mode(true);
   comm.set_message_log_limit(opt.message_log_bytes);
 
@@ -92,6 +97,7 @@ RecoveryReport run_ranks_resilient(
   // running and no crash is pending.
   int exhausted_rank = -1;
   std::string exhausted_cause;
+  std::exception_ptr recovery_error;  ///< store.load/rollback/replay failure
   {
     std::unique_lock lock(mutex);
     for (;;) {
@@ -112,6 +118,7 @@ RecoveryReport run_ranks_resilient(
         slot.thread.join();  // the crashed thread has fully unwound
         const bool budget_left = report.restarts < opt.max_restarts;
         const bool already_aborted = comm.aborted();
+        bool relaunch = false;
         if (!budget_left || already_aborted || !store.has(dead)) {
           // Unrecoverable: out of restarts, the world already aborted for a
           // different root cause, or (a body bug) no checkpoint ever saved.
@@ -124,29 +131,47 @@ RecoveryReport run_ranks_resilient(
                                   ? "no checkpoint was saved before the crash"
                                   : cause;
           }
-          lock.lock();
-          slot.state = SlotState::kFailed;
-          continue;
+        } else {
+          try {
+            const Checkpoint::Entry entry = store.load(dead);
+            const std::uint64_t at_death = comm.progress(dead);
+            comm.rollback_rank(dead, entry.comm);
+            const std::size_t redelivered = comm.replay_log_to(dead);
+            if (opt.restart_backoff.count() > 0)
+              std::this_thread::sleep_for(opt.restart_backoff);
+            report.restarts++;
+            if (at_death > entry.position)
+              report.replayed_tasks += at_death - entry.position;
+            report.replayed_messages += redelivered;
+            RestartRecord ev;
+            ev.rank = dead;
+            ev.resumed_at = entry.position;
+            ev.progress_at_death = at_death;
+            ev.replayed_messages = redelivered;
+            ev.cause = cause;
+            report.events.push_back(std::move(ev));
+            relaunch = true;
+          } catch (...) {
+            // Recovery machinery failed (e.g. the replay needs a message
+            // pruned past the log cap, or a checkpoint mirror is unreadable)
+            // while survivor ranks are still running.  Abort so they unwind,
+            // keep draining the loop until every rank has joined, and only
+            // then rethrow — the header's "after all ranks unwound" promise.
+            comm.abort();
+            if (!recovery_error) recovery_error = std::current_exception();
+          }
         }
-        const Checkpoint::Entry entry = store.load(dead);
-        const std::uint64_t at_death = comm.progress(dead);
-        comm.rollback_rank(dead, entry.comm);
-        const std::size_t redelivered = comm.replay_log_to(dead);
-        if (opt.restart_backoff.count() > 0)
-          std::this_thread::sleep_for(opt.restart_backoff);
-        report.restarts++;
-        if (at_death > entry.position)
-          report.replayed_tasks += at_death - entry.position;
-        report.replayed_messages += redelivered;
-        RestartRecord ev;
-        ev.rank = dead;
-        ev.resumed_at = entry.position;
-        ev.progress_at_death = at_death;
-        ev.replayed_messages = redelivered;
-        ev.cause = cause;
-        report.events.push_back(std::move(ev));
         lock.lock();
-        launch(dead, /*restarted=*/true);
+        if (relaunch) {
+          launch(dead, /*restarted=*/true);
+        } else {
+          // Terminal: drop the victim's RankKilledError so the root-cause
+          // rethrow below cannot pick it over the rank that actually failed
+          // (this path's own cause is carried by recovery_error /
+          // exhausted_rank instead).
+          slot.state = SlotState::kFailed;
+          slot.error = nullptr;
+        }
         continue;
       }
       if (!any_running) break;
@@ -161,6 +186,7 @@ RecoveryReport run_ranks_resilient(
   report.checkpoint_bytes = store.total_bytes();
   comm.set_resilient_mode(false);
 
+  if (recovery_error) std::rethrow_exception(recovery_error);
   if (exhausted_rank >= 0)
     throw Error("rank " + std::to_string(exhausted_rank) +
                 " could not be recovered after " +

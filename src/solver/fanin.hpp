@@ -563,19 +563,26 @@ private:
                  std::size_t count) {
     const idx_t expect = plan_.expect_aub[static_cast<std::size_t>(t)];
     if (expect == 0) return;
+    Rank& me = ranks_[static_cast<std::size_t>(my_rank)];
     // Gather every expected message FIRST, then apply in canonical order
     // (by source rank; per-source send order is preserved by the mailbox
     // FIFO).  Floating-point addition is not associative, so applying in
     // arrival order would make the factor depend on thread timing — this
     // ordering is what makes a crash-recovered run bitwise identical to a
-    // fault-free one (DESIGN.md §10).
+    // fault-free one (DESIGN.md §10).  Buffering multiplies this task's
+    // transient footprint by its fan-in, so the held payloads count toward
+    // the AUB memory accounting for the duration of the gather.
     std::vector<rt::Message> msgs;
     msgs.reserve(static_cast<std::size_t>(expect));
+    big_t held = 0;
     for (idx_t r = 0; r < expect; ++r) {
       rt::Message m = comm.recv(
           static_cast<int>(my_rank),
           rt::make_tag(rt::MsgKind::kAub, static_cast<std::uint64_t>(t)));
       PASTIX_CHECK(m.template count<T>() == count, "AUB size mismatch");
+      held += static_cast<big_t>(m.payload.size());
+      me.aub_bytes_now += static_cast<big_t>(m.payload.size());
+      me.aub_peak_bytes = std::max(me.aub_peak_bytes, me.aub_bytes_now);
       msgs.push_back(std::move(m));
     }
     std::stable_sort(
@@ -589,6 +596,7 @@ private:
           kernel_span(my_rank, KernelOp::kAxpy, static_cast<idx_t>(count));
       for (std::size_t i = 0; i < count; ++i) dst[i] -= src[i];
     }
+    me.aub_bytes_now -= held;
   }
 
   // -------------------------------------------------------------- tracing --

@@ -110,6 +110,46 @@ TEST(ResilientComm, LogTruncationPastTheCapIsDetected) {
   }
 }
 
+TEST(ResilientComm, SupervisorSurfacesTruncationAfterAllRanksUnwind) {
+  // The replay itself can fail (a double fault past the log budget).  That
+  // Error fires inside the supervisor loop while rank 0 is still running
+  // and blocked in recv(): the supervisor must abort the world, drain every
+  // rank, and only then rethrow — not std::terminate on a joinable thread,
+  // and not leave the survivor blocked forever.
+  rt::Comm comm(2);
+  comm.set_recv_deadline(kDeadline);
+  rt::Checkpoint store;
+  rt::ResilienceOptions opt;
+  opt.enabled = true;
+  opt.message_log_bytes = 100;  // holds ~2 of the 48-byte payloads
+
+  const auto body = [&](int rank, bool restarted) {
+    EXPECT_FALSE(restarted) << "a failed replay must not relaunch the rank";
+    store.save(rank, 0, {}, comm.snapshot_seq_state(rank));
+    if (rank == 0) {
+      double payload[6] = {1, 2, 3, 4, 5, 6};
+      for (int i = 0; i < 5; ++i)
+        comm.send_array(0, 1, tag_of(30 + i), payload, 6);
+      // Never satisfied: only the supervisor's abort can unblock this.
+      (void)comm.recv(0, tag_of(99));
+    } else {
+      // Wait for the last send, so the first log entries are already pruned
+      // past the cap when the crash (and the supervisor's replay) happens.
+      (void)comm.recv(1, tag_of(34));
+      throw rt::RankKilledError("rank 1 killed by test");
+    }
+  };
+  try {
+    rt::run_ranks_resilient(comm, 2, body, store, opt);
+    FAIL() << "expected the truncated replay to fail the run";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("message-log truncation"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(comm.aborted());
+}
+
 TEST(ResilientComm, SendBufferCapNamesTheWorstTags) {
   rt::Comm comm(2);
   comm.set_send_buffer_limit(190);
@@ -407,6 +447,33 @@ TEST(Recovery, ArmedButCrashFreeRunIsUnperturbed) {
   EXPECT_GT(solver.stats().checkpoint_bytes, 0);
   EXPECT_EQ(solver.numeric().factor_digest(), want)
       << "checkpointing alone must not change the factor";
+}
+
+TEST(Recovery, ResilientStateIsClearedBetweenRuns) {
+  const SymSparse<double> a = gen_fe_mesh({12, 12, 4, 1, 1, 77});
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.comm().set_recv_deadline(kDeadline);
+  rt::ResilienceOptions ropt;
+  ropt.enabled = true;
+  ropt.checkpoint_interval = 4;
+  solver.set_resilience(ropt);
+  solver.factorize();
+  const std::size_t logs =
+      solver.comm().log_bytes(0) + solver.comm().log_bytes(1);
+  EXPECT_GT(logs, 0u);
+  const std::uint64_t want = solver.numeric().factor_digest();
+  // Time-stepping: every resilient refactorize() must start from fresh
+  // sequence state, or the sender logs and consumed sets grow without bound
+  // across iterations (the default message_log_bytes is unbounded).
+  for (int step = 0; step < 3; ++step) {
+    solver.refactorize(a);
+    EXPECT_EQ(solver.comm().log_bytes(0) + solver.comm().log_bytes(1), logs)
+        << "sender logs accumulated across refactorize " << step;
+    EXPECT_EQ(solver.numeric().factor_digest(), want);
+  }
 }
 
 TEST(Recovery, FileBackedCheckpointsSurviveOnDisk) {
