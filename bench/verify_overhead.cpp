@@ -1,0 +1,96 @@
+// Cost of the static plan verifier (DESIGN.md §11) on the paper-scale
+// problem: run analysis and verification back to back on the n=9600 mesh
+// and report verification as a fraction of analysis time.  The budget:
+// full verification — symbolic soundness, task-graph re-derivation,
+// happens-before acyclicity, communication diff, and the per-rank memory
+// replay — stays under 5% of the analysis it guards.  Numbers land in
+// BENCH_verify.json.
+//
+// Usage: verify_overhead [nprocs] [repeats]
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pastix.hpp"
+#include "sparse/gen.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "verify/verify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pastix;
+  const idx_t nprocs = argc > 1 ? std::stoi(argv[1]) : 4;
+  const int repeats = argc > 2 ? std::stoi(argv[2]) : 7;
+
+  // The paper-scale mesh: verifier passes are O(edges + messages) like the
+  // analysis passes that build them, so the ratio measured here is the one
+  // a production matrix would see; a toy mesh would overstate fixed costs.
+  const auto a = gen_fe_mesh({20, 20, 8, 3, 1, 7});
+  SolverOptions opt;
+  opt.nprocs = nprocs;
+
+  // Interleave analyze and verify within each repeat so clock ramp-up and
+  // machine drift hit both sides equally; best-of is the estimator least
+  // polluted by descheduled ranks.
+  std::vector<double> analyze_times, verify_times;
+  PlanPtr plan;
+  verify::Report rep;
+  for (int r = 0; r < repeats + 1; ++r) {
+    const bool warmup = r < 1;
+    Timer t_analyze;
+    plan = analyze(a.pattern, opt);
+    const double analyze_s = t_analyze.seconds();
+    Timer t_verify;
+    rep = verify::check_plan(*plan);
+    const double verify_s = t_verify.seconds();
+    if (!rep.ok()) {
+      std::cerr << "verifier rejected a fresh analysis:\n" << rep.to_string();
+      return 1;
+    }
+    if (warmup) continue;
+    analyze_times.push_back(analyze_s);
+    verify_times.push_back(verify_s);
+  }
+  const auto best = [](const std::vector<double>& v) {
+    return *std::min_element(v.begin(), v.end());
+  };
+  const double analyze_s = best(analyze_times);
+  const double verify_s = best(verify_times);
+  const double overhead_pct = 100.0 * verify_s / analyze_s;
+
+  big_t peak_bytes = 0;
+  for (const big_t e : rep.rank_peak_aub_entries)
+    peak_bytes = std::max(peak_bytes,
+                          e * static_cast<big_t>(sizeof(double)));
+
+  std::cout << "=== static plan verification overhead (" << repeats
+            << " runs, best-of) ===\n\n";
+  TextTable table({"phase", "time (s)", "% of analysis"});
+  table.add_row({"analysis", fmt_fixed(analyze_s, 4), "-"});
+  table.add_row({"verification", fmt_fixed(verify_s, 4),
+                 fmt_fixed(overhead_pct, 2)});
+  table.print();
+  std::cout << "\nplan: n = " << a.n() << ", " << plan->stats.ntask
+            << " tasks, " << plan->stats.n_2d_cblks
+            << " 2D supernodes; static peak AUB memory " << peak_bytes
+            << " bytes/rank max\nbudget: verification <= 5% of analysis — "
+            << (overhead_pct <= 5.0 ? "met" : "EXCEEDED") << "\n";
+
+  std::ofstream json("BENCH_verify.json");
+  json << "{\n"
+       << "  \"n\": " << a.n() << ",\n"
+       << "  \"nprocs\": " << nprocs << ",\n"
+       << "  \"repeats\": " << repeats << ",\n"
+       << "  \"ntask\": " << plan->stats.ntask << ",\n"
+       << "  \"n_2d_cblks\": " << plan->stats.n_2d_cblks << ",\n"
+       << "  \"analyze_seconds\": " << analyze_s << ",\n"
+       << "  \"verify_seconds\": " << verify_s << ",\n"
+       << "  \"verify_pct_of_analyze\": " << overhead_pct << ",\n"
+       << "  \"static_peak_aub_bytes_per_rank_max\": " << peak_bytes << ",\n"
+       << "  \"budget_met\": " << (overhead_pct <= 5.0 ? "true" : "false")
+       << "\n}\n";
+  std::cout << "\nwrote BENCH_verify.json\n";
+  return 0;
+}

@@ -4,7 +4,7 @@
 // user with their own matrices.
 //
 //   ./solve_file <matrix.mtx> [nprocs] [--refine] [--plan <file>]
-//                [--trace <out.json>]
+//                [--trace <out.json>] [--verify]
 //
 // --plan <file> persists the analysis: if <file> exists and matches the
 // matrix pattern it is loaded (skipping ordering/symbolic/scheduling
@@ -15,6 +15,10 @@
 // factorization and solve, writes it as Chrome trace-event JSON (open in
 // chrome://tracing or https://ui.perfetto.dev), and prints the
 // predicted-vs-actual schedule comparison.
+//
+// --verify runs the static plan verifier (deadlock/race/communication
+// soundness, see DESIGN.md §11) on the analysis before any numeric work,
+// prints its report and cost, and aborts if the plan is unsound.
 //
 // Without arguments, writes a demo matrix to ./demo.mtx and solves it, so
 // the example is runnable out of the box.
@@ -35,10 +39,13 @@ int main(int argc, char** argv) {
   std::string trace_path;
   idx_t nprocs = 4;
   bool refine = false;
+  bool verify_plan = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--refine") == 0) {
       refine = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify_plan = true;
     } else if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
       plan_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -97,6 +104,26 @@ int main(int argc, char** argv) {
     }
   }
   const double analyze_s = t_analyze.seconds();
+
+  if (verify_plan) {
+    Timer t_verify;
+    const verify::Report rep = verify::check_plan(*solver.plan());
+    const double verify_s = t_verify.seconds();
+    std::cout << rep.to_string();
+    big_t peak_entries = 0;
+    for (const big_t e : rep.rank_peak_aub_entries)
+      peak_entries = std::max(peak_entries, e);
+    std::cout << "verification time: " << fmt_fixed(verify_s, 3) << " s ("
+              << fmt_fixed(100.0 * verify_s / std::max(analyze_s, 1e-12), 1)
+              << "% of analysis), static peak AUB memory: "
+              << peak_entries * static_cast<big_t>(sizeof(double))
+              << " bytes/rank max\n";
+    if (!rep.ok()) {
+      std::cerr << "plan is unsound; refusing to factorize\n";
+      return 1;
+    }
+  }
+
   if (!trace_path.empty()) solver.enable_tracing(true);
   const double factor_s = solver.factorize();
 

@@ -3,6 +3,8 @@
 //
 #include "core/analysis.hpp"
 
+#include "verify/verify.hpp"
+
 namespace pastix {
 
 PatternFingerprint fingerprint_pattern(const SparsePattern& p) {
@@ -53,6 +55,7 @@ PlanPtr analyze(const SparsePattern& pattern, const SolverOptions& opt) {
     if (c.dist == DistType::k2D) p.stats.n_2d_cblks++;
   p.stats.total_flops = p.tg.total_flops();
   p.stats.predicted_time = p.sim.makespan;
+  if (opt.verify_plan) verify::require_valid(p, "analyze");
   return plan;
 }
 

@@ -35,6 +35,10 @@ struct SolverOptions {
   SchedulerOptions scheduler;     ///< greedy earliest-completion mapping
   FaninOptions fanin;             ///< fan-in / fan-both aggregation knob
   CostModel model = default_cost_model();
+  /// Strict mode: run the static plan verifier (verify::check_plan) on every
+  /// plan this solver builds or adopts, and refuse unsound ones.  Loading
+  /// through plan_io always verifies regardless of this flag.
+  bool verify_plan = false;
 };
 
 /// Cheap identity of a sparsity pattern: order, nonzero count and a 64-bit

@@ -21,6 +21,7 @@
 //
 #include "core/analysis.hpp"
 #include "core/numeric_factor.hpp"
+#include "verify/verify.hpp"
 #include "simul/runtime_trace.hpp"
 #include "simul/trace.hpp"
 #include "support/timer.hpp"
@@ -89,6 +90,11 @@ public:
   void analyze(const SymSparse<T>& a, PlanPtr plan) {
     a.validate();
     PASTIX_CHECK(plan != nullptr, "null analysis plan");
+    // Strict mode: an adopted plan comes from outside this solver (another
+    // solver, a file, a refactored scheduler) — prove it safe before any
+    // numeric work trusts its schedule.  The fresh-analysis overload
+    // verifies inside the free analyze() instead.
+    if (opt_.verify_plan) verify::require_valid(*plan, "Solver::analyze");
     attach(std::move(plan), a);
   }
 

@@ -6,14 +6,18 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <type_traits>
+
+#include "verify/verify.hpp"
 
 namespace pastix {
 
 namespace {
 
 constexpr char kMagic[8] = {'P', 'S', 'T', 'X', 'P', 'L', 'A', 'N'};
-constexpr std::uint32_t kVersion = 1;
+// v2: SolverOptions grew the verify_plan strict-mode flag.
+constexpr std::uint32_t kVersion = 2;
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -23,21 +27,10 @@ void put_bytes(std::ostream& os, const void* data, std::size_t bytes) {
   PASTIX_CHECK(os.good(), "plan write failed");
 }
 
-void get_bytes(std::istream& is, void* data, std::size_t bytes) {
-  is.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  PASTIX_CHECK(is.good(), "plan file truncated or unreadable");
-}
-
 template <class T>
 void put_raw(std::ostream& os, const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   put_bytes(os, &v, sizeof v);
-}
-
-template <class T>
-void get_raw(std::istream& is, T& v) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  get_bytes(is, &v, sizeof v);
 }
 
 template <class T>
@@ -52,14 +45,61 @@ void put_vec(std::ostream& os, const std::vector<T>& v) {
 // field itself is corrupted, so a bad file throws instead of bad_alloc.
 constexpr std::uint64_t kMaxElems = 1ULL << 33;
 
+/// Byte-budgeted reading: every length field is checked against the bytes
+/// actually left in the stream *before* anything is allocated, so a
+/// corrupted length throws a clean Error instead of a multi-gigabyte
+/// resize + bad_alloc (or a silent short read).  Falls back to plain
+/// read-failure detection on non-seekable streams.
+class Reader {
+public:
+  explicit Reader(std::istream& is) : is_(is) {
+    const auto cur = is.tellg();
+    if (cur == std::streampos(-1)) return;  // non-seekable
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    is.seekg(cur);
+    if (end != std::streampos(-1) && end >= cur)
+      remaining_ = static_cast<std::uint64_t>(end - cur);
+  }
+
+  [[nodiscard]] std::uint64_t remaining() const { return remaining_; }
+
+  void bytes(void* data, std::size_t n) {
+    PASTIX_CHECK(n <= remaining_,
+                 "plan file truncated: payload extends past end of stream");
+    is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    PASTIX_CHECK(is_.good(), "plan file truncated or unreadable");
+    remaining_ -= n;
+  }
+
+private:
+  std::istream& is_;
+  std::uint64_t remaining_ = std::numeric_limits<std::uint64_t>::max();
+};
+
 template <class T>
-void get_vec(std::istream& is, std::vector<T>& v) {
+void get_raw(Reader& in, T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
+  in.bytes(&v, sizeof v);
+}
+
+/// Read and bound a length field: capped both by the format's hard limit
+/// and by what could possibly fit in the stream's remaining bytes.
+std::uint64_t get_len(Reader& in, std::size_t elem_bytes) {
   std::uint64_t size = 0;
-  get_raw(is, size);
+  get_raw(in, size);
   PASTIX_CHECK(size <= kMaxElems, "plan file corrupt: absurd vector length");
+  PASTIX_CHECK(size <= in.remaining() / elem_bytes,
+               "plan file corrupt: vector length exceeds remaining bytes");
+  return size;
+}
+
+template <class T>
+void get_vec(Reader& in, std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint64_t size = get_len(in, sizeof(T));
   v.resize(static_cast<std::size_t>(size));
-  if (size > 0) get_bytes(is, v.data(), v.size() * sizeof(T));
+  if (size > 0) in.bytes(v.data(), v.size() * sizeof(T));
 }
 
 template <class T>
@@ -69,12 +109,11 @@ void put_vecvec(std::ostream& os, const std::vector<std::vector<T>>& v) {
 }
 
 template <class T>
-void get_vecvec(std::istream& is, std::vector<std::vector<T>>& v) {
-  std::uint64_t size = 0;
-  get_raw(is, size);
-  PASTIX_CHECK(size <= kMaxElems, "plan file corrupt: absurd vector length");
+void get_vecvec(Reader& in, std::vector<std::vector<T>>& v) {
+  // Each inner vector costs at least its 8-byte length field.
+  const std::uint64_t size = get_len(in, sizeof(std::uint64_t));
   v.resize(static_cast<std::size_t>(size));
-  for (auto& inner : v) get_vec(is, inner);
+  for (auto& inner : v) get_vec(in, inner);
 }
 
 // std::pair's layout/triviality is not guaranteed portable — write the two
@@ -91,20 +130,16 @@ void put_pairs(std::ostream& os,
   }
 }
 
-void get_pairs(std::istream& is,
+void get_pairs(Reader& in,
                std::vector<std::vector<std::pair<idx_t, idx_t>>>& v) {
-  std::uint64_t size = 0;
-  get_raw(is, size);
-  PASTIX_CHECK(size <= kMaxElems, "plan file corrupt: absurd vector length");
+  const std::uint64_t size = get_len(in, sizeof(std::uint64_t));
   v.resize(static_cast<std::size_t>(size));
   for (auto& inner : v) {
-    std::uint64_t isize = 0;
-    get_raw(is, isize);
-    PASTIX_CHECK(isize <= kMaxElems, "plan file corrupt: absurd vector length");
+    const std::uint64_t isize = get_len(in, 2 * sizeof(idx_t));
     inner.resize(static_cast<std::size_t>(isize));
     for (auto& [a, b] : inner) {
-      get_raw(is, a);
-      get_raw(is, b);
+      get_raw(in, a);
+      get_raw(in, b);
     }
   }
 }
@@ -151,10 +186,10 @@ void put_pattern(std::ostream& os, const SparsePattern& p) {
   put_vec(os, p.rowind);
 }
 
-void get_pattern(std::istream& is, SparsePattern& p) {
-  get_raw(is, p.n);
-  get_vec(is, p.colptr);
-  get_vec(is, p.rowind);
+void get_pattern(Reader& in, SparsePattern& p) {
+  get_raw(in, p.n);
+  get_vec(in, p.colptr);
+  get_vec(in, p.rowind);
 }
 
 } // namespace
@@ -237,9 +272,10 @@ void save_plan(const AnalysisPlan& plan, const std::string& path) {
   save_plan(plan, out);
 }
 
-PlanPtr load_plan(std::istream& in) {
+PlanPtr load_plan(std::istream& stream) {
+  Reader in(stream);
   char magic[sizeof kMagic];
-  get_bytes(in, magic, sizeof magic);
+  in.bytes(magic, sizeof magic);
   PASTIX_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
                "not a pastix plan file (bad magic)");
   LayoutHeader header;
@@ -311,22 +347,24 @@ PlanPtr load_plan(std::istream& in) {
 
   get_raw(in, p.stats);
 
-  // Re-validate structural invariants so a corrupted payload fails here,
-  // not deep inside a factorization.
-  p.order.permuted.validate();
+  // The permutation vectors are the one structure the static verifier does
+  // not re-derive; check them here.
   PASTIX_CHECK(p.order.perm.n() == p.order.permuted.n,
                "plan file corrupt: permutation/pattern size mismatch");
-  p.symbol.validate();
-  PASTIX_CHECK(p.symbol.n == p.order.permuted.n,
-               "plan file corrupt: symbol/pattern order mismatch");
-  p.sched.validate(p.tg.ntask());
-  PASTIX_CHECK(static_cast<idx_t>(p.comm.blok_owner.size()) ==
-                   p.symbol.nblok(),
-               "plan file corrupt: comm plan / symbol mismatch");
-  PASTIX_CHECK(p.comm.partial_chunk == p.options.fanin.partial_chunk,
-               "plan file corrupt: comm plan partial_chunk mismatch");
-  PASTIX_CHECK(p.fingerprint.n == p.order.permuted.n,
-               "plan file corrupt: fingerprint order mismatch");
+  // Full static verification: a corrupted payload is rejected with a named
+  // diagnostic here, instead of undefined behavior deep inside a
+  // factorization driven by the broken schedule.
+  const verify::Report rep = verify::check_plan(p);
+  if (!rep.ok()) {
+    const char* name = "unknown";
+    for (const auto& d : rep.diagnostics)
+      if (d.severity == verify::Severity::kError) {
+        name = verify::code_name(d.code);
+        break;
+      }
+    throw Error(std::string("plan file rejected by static verification [") +
+                name + "]: " + rep.summary());
+  }
   return plan;
 }
 

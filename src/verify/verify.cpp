@@ -1,0 +1,1107 @@
+//
+// Static plan verification (see verify.hpp for the contract).
+//
+// The checker runs in gated phases: shape checks first (array sizes and id
+// ranges), because every deeper check indexes through those arrays; then
+// symbolic structure, task-graph re-derivation, schedule/candidate checks,
+// communication-plan re-derivation, happens-before analysis, and finally
+// the memory replay.  A phase that finds the plan structurally unusable
+// stops the pipeline — diagnostics beyond that point would be noise (or
+// out-of-bounds reads).
+//
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+namespace pastix::verify {
+
+const char* code_name(Code c) {
+  switch (c) {
+    case Code::kShapeMismatch: return "shape-mismatch";
+    case Code::kPartitionGap: return "partition-gap";
+    case Code::kPartitionOverlap: return "partition-overlap";
+    case Code::kSymbolInvalid: return "symbol-invalid";
+    case Code::kBlokOutsideFacing: return "blok-outside-facing";
+    case Code::kStructMissing: return "struct-missing";
+    case Code::kStructNotClosed: return "struct-not-closed";
+    case Code::kTaskInvalid: return "task-invalid";
+    case Code::kTaskMapInconsistent: return "task-map-inconsistent";
+    case Code::kGraphCycle: return "graph-cycle";
+    case Code::kDependencyMissing: return "dependency-missing";
+    case Code::kDependencySpurious: return "dependency-spurious";
+    case Code::kScheduleInvalid: return "schedule-invalid";
+    case Code::kTaskOutsideCandidates: return "task-outside-candidates";
+    case Code::kUnorderedWrite: return "unordered-write";
+    case Code::kHappensBeforeCycle: return "happens-before-cycle";
+    case Code::kAubCountMismatch: return "aub-count-mismatch";
+    case Code::kOrphanSend: return "orphan-send";
+    case Code::kStarvedReceive: return "starved-receive";
+    case Code::kOwnerMismatch: return "owner-mismatch";
+    case Code::kTagCollision: return "tag-collision";
+    case Code::kOptionsMismatch: return "options-mismatch";
+    case Code::kStatsStale: return "stats-stale";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << (severity == Severity::kError ? "error" : "warning") << " ["
+     << code_name(code) << "]";
+  if (task != kNone) os << " task " << task;
+  if (cblk != kNone) os << " cblk " << cblk;
+  if (blok != kNone) os << " blok " << blok;
+  if (rank != kNone) os << " rank " << rank;
+  os << ": " << message;
+  return os.str();
+}
+
+bool Report::ok() const { return errors() == 0; }
+
+std::size_t Report::errors() const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics)
+    if (d.severity == Severity::kError) ++n;
+  return n;
+}
+
+std::size_t Report::warnings() const {
+  return diagnostics.size() - errors();
+}
+
+bool Report::has(Code c) const {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [c](const Diagnostic& d) { return d.code == c; });
+}
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << errors() << " error(s), " << warnings() << " warning(s)";
+  if (truncated) os << " (truncated)";
+  if (!diagnostics.empty()) os << "; first: " << diagnostics.front().to_string();
+  return os.str();
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  os << "plan verification: " << (ok() ? "OK" : "FAILED") << " — "
+     << errors() << " error(s), " << warnings() << " warning(s)\n";
+  for (const auto& d : diagnostics) os << "  " << d.to_string() << "\n";
+  if (truncated) os << "  ... (diagnostic limit reached)\n";
+  return os.str();
+}
+
+namespace {
+
+inline std::size_t uz(idx_t v) { return static_cast<std::size_t>(v); }
+
+/// Thrown internally when the diagnostic limit is reached; unwinds straight
+/// out of whatever phase was running.
+struct DiagnosticLimit {};
+
+class Checker {
+public:
+  Checker(const AnalysisPlan& plan, const VerifyOptions& opt)
+      : p_(plan), opt_(opt) {}
+
+  Report run() {
+    try {
+      if (!check_shapes()) return finish();
+      const bool symbol_usable = check_symbol();
+      if (opt_.check_struct && symbol_usable) check_struct();
+      if (!symbol_usable) return finish();
+      if (!check_task_list()) return finish();
+      check_graph_edges();
+      check_graph_acyclic();
+      if (!check_kp_partition()) return finish();
+      check_candidates();
+      check_comm_plan();
+      check_tags();
+      check_order_and_deadlock();
+      check_stats();
+      if (opt_.check_memory && rep_.errors() == 0) replay_memory();
+    } catch (const DiagnosticLimit&) {
+      rep_.truncated = true;
+    } catch (const Error& e) {
+      // Defensive backstop: no phase should throw on input the shape checks
+      // admitted, but a verifier must never take the process down.
+      rep_.diagnostics.push_back({Code::kShapeMismatch, Severity::kError,
+                                  kNone, kNone, kNone, kNone,
+                                  std::string("verifier aborted: ") + e.what()});
+    }
+    return finish();
+  }
+
+private:
+  const AnalysisPlan& p_;
+  const VerifyOptions& opt_;
+  Report rep_;
+
+  Report finish() { return std::move(rep_); }
+
+  void add(Code code, std::string msg, idx_t task = kNone, idx_t cblk = kNone,
+           idx_t blok = kNone, idx_t rank = kNone,
+           Severity sev = Severity::kError) {
+    if (rep_.diagnostics.size() >= opt_.max_diagnostics) throw DiagnosticLimit{};
+    rep_.diagnostics.push_back(
+        {code, sev, task, cblk, blok, rank, std::move(msg)});
+  }
+
+  // ------------------------------------------------------- phase 0: shapes --
+  // Every array length and every stored id, checked before anything indexes
+  // through them.  Returns false (gating all later phases) on any finding.
+  bool check_shapes() {
+    const std::size_t before = rep_.diagnostics.size();
+    const SymbolMatrix& s = p_.symbol;
+    const TaskGraph& tg = p_.tg;
+    const Schedule& sc = p_.sched;
+    const CommPlan& cm = p_.comm;
+
+    auto shape = [&](bool okv, const char* what) {
+      if (!okv) add(Code::kShapeMismatch, what);
+    };
+    shape(s.n >= 0 && s.ncblk >= 0, "symbol order/cblk count negative");
+    shape(s.cblks.size() == uz(s.ncblk) + 1,
+          "symbol cblk array is not ncblk + 1 entries");
+    shape(s.col2cblk.size() == uz(s.n), "col2cblk does not cover the columns");
+    if (rep_.diagnostics.size() != before) return false;
+    shape(s.cblks.back().bloknum == s.nblok(),
+          "cblk sentinel does not close the blok array");
+
+    shape(p_.order.permuted.n == s.n, "permuted pattern order != symbol order");
+    try {
+      p_.order.permuted.validate();  // check_struct walks colptr/rowind
+    } catch (const Error& e) {
+      add(Code::kShapeMismatch,
+          std::string("permuted pattern invalid: ") + e.what());
+    }
+    shape(p_.fingerprint.n == s.n, "fingerprint order != symbol order");
+    shape(static_cast<idx_t>(p_.cand.cblk.size()) == s.ncblk,
+          "candidate mapping does not cover the cblks");
+
+    const idx_t ntask = tg.ntask();
+    shape(tg.inputs.size() == uz(ntask) && tg.prec.size() == uz(ntask) &&
+              tg.depth.size() == uz(ntask),
+          "task graph edge arrays do not match the task count");
+    shape(static_cast<idx_t>(tg.cblk_task.size()) == s.ncblk,
+          "cblk_task does not cover the cblks");
+    shape(static_cast<idx_t>(tg.blok_task.size()) == s.nblok(),
+          "blok_task does not cover the bloks");
+
+    shape(sc.nprocs >= 1, "schedule has no processors");
+    shape(sc.proc.size() == uz(ntask) && sc.prio.size() == uz(ntask) &&
+              sc.start.size() == uz(ntask) && sc.end.size() == uz(ntask),
+          "schedule arrays do not match the task count");
+    shape(static_cast<idx_t>(sc.kp.size()) == sc.nprocs,
+          "K_p count does not match nprocs");
+
+    shape(cm.expect_aub.size() == uz(ntask) &&
+              cm.aub_after.size() == uz(ntask) &&
+              cm.aub_countdown.size() == uz(ntask) &&
+              cm.diag_dests.size() == uz(ntask) &&
+              cm.panel_dests.size() == uz(ntask),
+          "comm plan factorization arrays do not match the task count");
+    shape(static_cast<idx_t>(cm.diag_owner.size()) == s.ncblk &&
+              static_cast<idx_t>(cm.fwd_remote_bloks.size()) == s.ncblk &&
+              static_cast<idx_t>(cm.bwd_remote_bloks.size()) == s.ncblk &&
+              static_cast<idx_t>(cm.yseg_dests.size()) == s.ncblk &&
+              static_cast<idx_t>(cm.xseg_dests.size()) == s.ncblk,
+          "comm plan solve arrays do not match the cblk count");
+    shape(static_cast<idx_t>(cm.blok_owner.size()) == s.nblok(),
+          "blok_owner does not cover the bloks");
+    if (rep_.diagnostics.size() != before) return false;
+
+    if (p_.options.nprocs != sc.nprocs)
+      add(Code::kOptionsMismatch, "options.nprocs != schedule nprocs");
+    if (cm.partial_chunk != p_.options.fanin.partial_chunk)
+      add(Code::kOptionsMismatch,
+          "comm plan partial_chunk != options.fanin.partial_chunk");
+    if (cm.partial_chunk < 0)
+      add(Code::kOptionsMismatch, "negative partial_chunk");
+
+    // Stored ids.  Range violations gate later phases like size mismatches.
+    for (idx_t t = 0; t < ntask; ++t) {
+      const Task& task = tg.tasks[uz(t)];
+      if (task.cblk < 0 || task.cblk >= s.ncblk) {
+        add(Code::kTaskInvalid, "task cblk id out of range", t);
+        continue;
+      }
+      if (task.type != TaskType::kComp1d &&
+          (task.blok < 0 || task.blok >= s.nblok()))
+        add(Code::kTaskInvalid, "task blok id out of range", t, task.cblk);
+      if (task.type == TaskType::kBmod &&
+          (task.blok2 < 0 || task.blok2 >= s.nblok()))
+        add(Code::kTaskInvalid, "task blok2 id out of range", t, task.cblk);
+    }
+    auto task_ids = [&](const std::vector<idx_t>& v, const char* what) {
+      for (const idx_t t : v)
+        if (t < 0 || t >= ntask) {
+          add(Code::kShapeMismatch,
+              std::string(what) + " holds a task id out of range");
+          return;
+        }
+    };
+    task_ids(tg.cblk_task, "cblk_task");
+    task_ids(tg.blok_task, "blok_task");
+    for (idx_t t = 0; t < ntask; ++t) {
+      for (const auto& c : tg.inputs[uz(t)])
+        if (c.source < 0 || c.source >= ntask)
+          add(Code::kShapeMismatch, "input edge source out of range", t);
+      for (const auto& c : tg.prec[uz(t)])
+        if (c.source < 0 || c.source >= ntask)
+          add(Code::kShapeMismatch, "precedence edge source out of range", t);
+      if (sc.proc[uz(t)] < 0 || sc.proc[uz(t)] >= sc.nprocs)
+        add(Code::kScheduleInvalid, "task mapped to a rank out of range", t);
+      task_ids(cm.aub_after[uz(t)], "aub_after");
+      for (const auto& [q, cnt] : cm.aub_countdown[uz(t)])
+        if (q < 0 || q >= sc.nprocs || cnt <= 0)
+          add(Code::kAubCountMismatch,
+              "countdown entry with bad rank or non-positive count", t);
+      for (const idx_t q : cm.diag_dests[uz(t)])
+        if (q < 0 || q >= sc.nprocs)
+          add(Code::kShapeMismatch, "diag destination rank out of range", t);
+      for (const idx_t q : cm.panel_dests[uz(t)])
+        if (q < 0 || q >= sc.nprocs)
+          add(Code::kShapeMismatch, "panel destination rank out of range", t);
+    }
+    for (const auto& order : sc.kp) task_ids(order, "K_p");
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      const auto& c = p_.cand.cblk[uz(k)];
+      if (c.fproc < 0 || c.lproc < c.fproc || c.lproc >= sc.nprocs)
+        add(Code::kShapeMismatch, "candidate interval out of range", kNone, k);
+    }
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      if (cm.diag_owner[uz(k)] < 0 || cm.diag_owner[uz(k)] >= sc.nprocs)
+        add(Code::kOwnerMismatch, "diag owner out of range", kNone, k);
+      for (const auto* v : {&cm.fwd_remote_bloks[uz(k)],
+                            &cm.bwd_remote_bloks[uz(k)]})
+        for (const idx_t b : *v)
+          if (b < 0 || b >= s.nblok())
+            add(Code::kShapeMismatch, "solve blok id out of range", kNone, k);
+      for (const auto* v : {&cm.yseg_dests[uz(k)], &cm.xseg_dests[uz(k)]})
+        for (const idx_t q : *v)
+          if (q < 0 || q >= sc.nprocs)
+            add(Code::kShapeMismatch, "solve destination out of range", kNone,
+                k);
+    }
+    for (idx_t b = 0; b < s.nblok(); ++b)
+      if (cm.blok_owner[uz(b)] < 0 || cm.blok_owner[uz(b)] >= sc.nprocs)
+        add(Code::kOwnerMismatch, "blok owner out of range", kNone, kNone, b);
+
+    return rep_.diagnostics.size() == before;
+  }
+
+  // ------------------------------------------- phase 1: symbolic soundness --
+  // Returns false when the block structure itself is unusable (gates the
+  // graph phases, which walk bloks per cblk).
+  bool check_symbol() {
+    const std::size_t before = rep_.diagnostics.size();
+    const SymbolMatrix& s = p_.symbol;
+
+    // Supernode partition tiles [0, n) exactly.
+    idx_t expected_col = 0;
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      const auto& ck = s.cblks[uz(k)];
+      if (ck.lcolnum < ck.fcolnum) {
+        add(Code::kSymbolInvalid, "cblk with empty column range", kNone, k);
+        return false;
+      }
+      if (ck.fcolnum > expected_col)
+        add(Code::kPartitionGap,
+            "columns " + std::to_string(expected_col) + ".." +
+                std::to_string(ck.fcolnum - 1) + " belong to no supernode",
+            kNone, k);
+      else if (ck.fcolnum < expected_col)
+        add(Code::kPartitionOverlap,
+            "column " + std::to_string(ck.fcolnum) +
+                " is covered by two supernodes",
+            kNone, k);
+      expected_col = ck.lcolnum + 1;
+    }
+    if (s.ncblk > 0 && expected_col != s.n)
+      add(expected_col < s.n ? Code::kPartitionGap : Code::kPartitionOverlap,
+          "supernode partition ends at column " + std::to_string(expected_col) +
+              ", order is " + std::to_string(s.n));
+    if (rep_.diagnostics.size() != before) return false;
+
+    for (idx_t j = 0; j < s.n; ++j) {
+      const idx_t k = s.col2cblk[uz(j)];
+      if (k < 0 || k >= s.ncblk || j < s.cblks[uz(k)].fcolnum ||
+          j > s.cblks[uz(k)].lcolnum) {
+        add(Code::kSymbolInvalid, "col2cblk points a column at the wrong cblk",
+            kNone, k >= 0 && k < s.ncblk ? k : kNone);
+        return false;
+      }
+    }
+
+    // Blok layout: contiguous per cblk, diagonal first, sorted, contained.
+    bool usable = true;
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      const auto& ck = s.cblks[uz(k)];
+      const idx_t first = ck.bloknum, last = s.cblks[uz(k) + 1].bloknum;
+      if (first < 0 || last < first || last > s.nblok()) {
+        add(Code::kSymbolInvalid, "cblk blok range is not increasing", kNone, k);
+        return false;
+      }
+      if (first == last) {
+        add(Code::kSymbolInvalid, "cblk without a diagonal blok", kNone, k);
+        usable = false;
+        continue;
+      }
+      const auto& diag = s.bloks[uz(first)];
+      if (diag.frownum != ck.fcolnum || diag.lrownum != ck.lcolnum ||
+          diag.fcblknm != k) {
+        add(Code::kSymbolInvalid, "first blok is not the diagonal block", kNone,
+            k, first);
+        usable = false;
+      }
+      idx_t prev_last = kNone;
+      for (idx_t b = first; b < last; ++b) {
+        const auto& blok = s.bloks[uz(b)];
+        if (blok.lcblknm != k) {
+          add(Code::kSymbolInvalid, "blok does not name its owning cblk", kNone,
+              k, b);
+          usable = false;
+          continue;
+        }
+        if (blok.frownum > blok.lrownum) {
+          add(Code::kSymbolInvalid, "blok with empty row range", kNone, k, b);
+          usable = false;
+          continue;
+        }
+        if (blok.fcblknm < 0 || blok.fcblknm >= s.ncblk ||
+            (b > first && blok.fcblknm <= k)) {
+          add(Code::kSymbolInvalid, "blok faces an impossible cblk", kNone, k,
+              b);
+          usable = false;
+          continue;
+        }
+        const auto& face = s.cblks[uz(blok.fcblknm)];
+        if (blok.frownum < face.fcolnum || blok.lrownum > face.lcolnum) {
+          add(Code::kBlokOutsideFacing,
+              "rows " + std::to_string(blok.frownum) + ".." +
+                  std::to_string(blok.lrownum) +
+                  " leak outside facing cblk " + std::to_string(blok.fcblknm),
+              kNone, k, b);
+          usable = false;
+        }
+        if (b > first && prev_last != kNone && blok.frownum <= prev_last) {
+          add(Code::kSymbolInvalid, "bloks out of order or overlapping", kNone,
+              k, b);
+          usable = false;
+        }
+        if (b > first) prev_last = blok.lrownum;
+      }
+    }
+    return usable;
+  }
+
+  // struct(L) ⊇ struct(PAP^t): every strict-lower entry of the permuted
+  // pattern has a covering blok; and closure: every block update the task
+  // graph will scatter lands on rows fully covered by the target's bloks.
+  void check_struct() {
+    const SymbolMatrix& s = p_.symbol;
+    const SparsePattern& a = p_.order.permuted;
+
+    for (idx_t j = 0; j < a.n; ++j) {
+      const idx_t k = s.col2cblk[uz(j)];
+      const idx_t first = s.cblks[uz(k)].bloknum;
+      const idx_t last = s.cblks[uz(k) + 1].bloknum;
+      // Column entries and bloks are both row-sorted: one merge-style walk
+      // per column instead of a binary search per entry.
+      idx_t b = first;
+      for (big_t e = a.colptr[uz(j)]; e < a.colptr[uz(j) + 1]; ++e) {
+        const idx_t i = a.rowind[static_cast<std::size_t>(e)];
+        while (b < last && s.bloks[uz(b)].lrownum < i) ++b;
+        if (b >= last || s.bloks[uz(b)].frownum > i)
+          add(Code::kStructMissing,
+              "pattern entry (" + std::to_string(i) + "," + std::to_string(j) +
+                  ") of PAP^t has no factor blok",
+              kNone, k);
+      }
+    }
+
+    // Closure under block updates: for every pair of bloks (bj, bi >= bj) of
+    // a cblk, the rows of bi must be covered by bloks of bj's facing cblk —
+    // otherwise scatter_update would silently drop part of a contribution.
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      const idx_t first = s.cblks[uz(k)].bloknum;
+      const idx_t last = s.cblks[uz(k) + 1].bloknum;
+      for (idx_t bj = first + 1; bj < last; ++bj) {
+        const idx_t target = s.bloks[uz(bj)].fcblknm;
+        const idx_t tfirst = s.cblks[uz(target)].bloknum;
+        const idx_t tlast = s.cblks[uz(target) + 1].bloknum;
+        for (idx_t bi = bj; bi < last; ++bi) {
+          const auto& src = s.bloks[uz(bi)];
+          // In-place facing walk (find_facing_bloks without the vector).
+          idx_t lo = tfirst, hi = tlast;
+          while (lo < hi) {
+            const idx_t mid = lo + (hi - lo) / 2;
+            if (s.bloks[uz(mid)].lrownum < src.frownum) lo = mid + 1;
+            else hi = mid;
+          }
+          idx_t next_row = src.frownum;
+          for (idx_t tb = lo;
+               tb < tlast && s.bloks[uz(tb)].frownum <= src.lrownum; ++tb) {
+            const auto& t = s.bloks[uz(tb)];
+            if (t.frownum > next_row) break;
+            next_row = std::max(next_row, t.lrownum + 1);
+          }
+          if (next_row <= src.lrownum)
+            add(Code::kStructNotClosed,
+                "update rows " + std::to_string(next_row) + ".." +
+                    std::to_string(src.lrownum) + " of blok " +
+                    std::to_string(bi) + " have no covering blok in cblk " +
+                    std::to_string(target),
+                kNone, k, bi);
+        }
+      }
+    }
+  }
+
+  // --------------------------------------- phase 2: task-graph re-derivation
+  /// BMOD task id per (bi, bj) pair; filled by check_task_list.
+  std::unordered_map<std::uint64_t, idx_t> bmod_of_;
+  static std::uint64_t pair_key(idx_t bi, idx_t bj) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(bi)) << 32) |
+           static_cast<std::uint32_t>(bj);
+  }
+
+  // The task list must realize the 1D/2D decisions exactly: one COMP1D per
+  // 1D cblk; one FACTOR + one BDIV per off-diagonal blok + one BMOD per
+  // ordered blok pair for 2D cblks — with cblk_task/blok_task naming them.
+  bool check_task_list() {
+    const std::size_t before = rep_.diagnostics.size();
+    const SymbolMatrix& s = p_.symbol;
+    const TaskGraph& tg = p_.tg;
+    std::vector<char> explained(uz(tg.ntask()), 0);
+
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      const auto& cand = p_.cand.cblk[uz(k)];
+      const idx_t first = s.cblks[uz(k)].bloknum;
+      const idx_t last = s.cblks[uz(k) + 1].bloknum;
+      const idx_t main = tg.cblk_task[uz(k)];
+      const Task& mt = tg.tasks[uz(main)];
+
+      if (cand.dist == DistType::k1D) {
+        if (mt.type != TaskType::kComp1d || mt.cblk != k) {
+          add(Code::kTaskMapInconsistent,
+              "cblk_task of a 1D cblk is not its COMP1D task", main, k);
+          continue;
+        }
+        explained[uz(main)] = 1;
+        for (idx_t b = first; b < last; ++b)
+          if (tg.blok_task[uz(b)] != main)
+            add(Code::kTaskMapInconsistent,
+                "blok of a 1D cblk not owned by its COMP1D task", main, k, b);
+      } else {
+        if (mt.type != TaskType::kFactor || mt.cblk != k || mt.blok != first) {
+          add(Code::kTaskMapInconsistent,
+              "cblk_task of a 2D cblk is not its FACTOR task", main, k);
+          continue;
+        }
+        explained[uz(main)] = 1;
+        if (tg.blok_task[uz(first)] != main)
+          add(Code::kTaskMapInconsistent,
+              "diagonal blok not owned by the FACTOR task", main, k, first);
+        for (idx_t b = first + 1; b < last; ++b) {
+          const idx_t bd = tg.blok_task[uz(b)];
+          const Task& bt = tg.tasks[uz(bd)];
+          if (bt.type != TaskType::kBdiv || bt.cblk != k || bt.blok != b) {
+            add(Code::kTaskMapInconsistent,
+                "blok_task of an off-diagonal blok is not its BDIV task", bd, k,
+                b);
+            continue;
+          }
+          explained[uz(bd)] = 1;
+        }
+      }
+    }
+
+    // Sweep the task list: everything must have been named by the maps above
+    // (except BMODs, which are claimed per blok pair here), and no expected
+    // slot may be claimed twice — a duplicate FACTOR or BDIV would put two
+    // senders on one (kDiag, cblk) / (kPanel, cblk, blok) message tag.
+    for (idx_t t = 0; t < tg.ntask(); ++t) {
+      if (explained[uz(t)]) continue;
+      const Task& task = tg.tasks[uz(t)];
+      const auto& cand = p_.cand.cblk[uz(task.cblk)];
+      const idx_t first = s.cblks[uz(task.cblk)].bloknum;
+      const idx_t last = s.cblks[uz(task.cblk) + 1].bloknum;
+      switch (task.type) {
+        case TaskType::kComp1d:
+          add(Code::kTaskMapInconsistent,
+              "extra COMP1D task not referenced by cblk_task", t, task.cblk);
+          break;
+        case TaskType::kFactor:
+          add(Code::kTagCollision,
+              "second FACTOR task for one cblk: both would send the "
+              "(kDiag, cblk) message tag",
+              t, task.cblk);
+          break;
+        case TaskType::kBdiv:
+          add(Code::kTagCollision,
+              "second BDIV task for one blok: both would send the "
+              "(kPanel, cblk, blok) message tag",
+              t, task.cblk, task.blok);
+          break;
+        case TaskType::kBmod: {
+          if (cand.dist != DistType::k2D || task.blok2 <= first ||
+              task.blok2 > task.blok || task.blok >= last) {
+            add(Code::kTaskInvalid, "BMOD blok pair outside its 2D cblk", t,
+                task.cblk);
+            break;
+          }
+          const auto [it, inserted] =
+              bmod_of_.emplace(pair_key(task.blok, task.blok2), t);
+          if (!inserted)
+            add(Code::kTaskMapInconsistent,
+                "duplicate BMOD task for one blok pair", t, task.cblk,
+                task.blok);
+          break;
+        }
+      }
+    }
+
+    // Completeness of the BMOD set per 2D cblk.
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      if (p_.cand.cblk[uz(k)].dist != DistType::k2D) continue;
+      const idx_t first = s.cblks[uz(k)].bloknum;
+      const idx_t last = s.cblks[uz(k) + 1].bloknum;
+      for (idx_t bj = first + 1; bj < last; ++bj)
+        for (idx_t bi = bj; bi < last; ++bi)
+          if (!bmod_of_.count(pair_key(bi, bj)))
+            add(Code::kTaskMapInconsistent,
+                "missing BMOD task for blok pair (" + std::to_string(bi) +
+                    ", " + std::to_string(bj) + ")",
+                kNone, k, bi);
+    }
+    return rep_.diagnostics.size() == before;
+  }
+
+  /// Mirror of task_graph.cpp's emit_contributions, against the re-derived
+  /// task identities.  Walks the facing bloks in place (the equivalent of
+  /// find_facing_bloks without materializing the index vector — this runs
+  /// once per blok pair and the allocations would dominate the phase).
+  void emit_expected(std::vector<std::vector<Contribution>>& inputs,
+                     idx_t source, idx_t bi, idx_t bj) const {
+    const SymbolMatrix& s = p_.symbol;
+    const auto& src_i = s.bloks[uz(bi)];
+    const auto& src_j = s.bloks[uz(bj)];
+    const idx_t k = src_j.fcblknm;
+    const idx_t first = s.cblks[uz(k)].bloknum;
+    const idx_t last = s.cblks[uz(k) + 1].bloknum;
+    idx_t lo = first, hi = last;  // first blok with lrownum >= src_i.frownum
+    while (lo < hi) {
+      const idx_t mid = lo + (hi - lo) / 2;
+      if (s.bloks[uz(mid)].lrownum < src_i.frownum) lo = mid + 1;
+      else hi = mid;
+    }
+    for (idx_t tb = lo; tb < last && s.bloks[uz(tb)].frownum <= src_i.lrownum;
+         ++tb) {
+      const auto& t = s.bloks[uz(tb)];
+      const idx_t rows = std::min(t.lrownum, src_i.lrownum) -
+                         std::max(t.frownum, src_i.frownum) + 1;
+      inputs[uz(p_.tg.blok_task[uz(tb)])].push_back(
+          {source, static_cast<double>(rows) * src_j.nrows()});
+    }
+  }
+
+  // Re-enumerate every contribution and precedence edge from the block
+  // structure and diff against the plan's.  A missing input is an update the
+  // runtime would never apply; a spurious one has no producer.
+  void check_graph_edges() {
+    const SymbolMatrix& s = p_.symbol;
+    const TaskGraph& tg = p_.tg;
+    std::vector<std::vector<Contribution>> inputs(uz(tg.ntask()));
+    std::vector<std::vector<Contribution>> prec(uz(tg.ntask()));
+    // On a clean plan the re-derived edge counts match the stored ones
+    // exactly — reserving from them makes the hot (fault-free) path
+    // allocation-minimal without a separate counting pass.
+    for (idx_t t = 0; t < tg.ntask(); ++t) {
+      inputs[uz(t)].reserve(tg.inputs[uz(t)].size());
+      prec[uz(t)].reserve(tg.prec[uz(t)].size());
+    }
+
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      const idx_t first = s.cblks[uz(k)].bloknum;
+      const idx_t last = s.cblks[uz(k) + 1].bloknum;
+      if (p_.cand.cblk[uz(k)].dist == DistType::k1D) {
+        const idx_t comp = tg.cblk_task[uz(k)];
+        for (idx_t bj = first + 1; bj < last; ++bj)
+          for (idx_t bi = bj; bi < last; ++bi)
+            emit_expected(inputs, comp, bi, bj);
+      } else {
+        const idx_t factor = tg.cblk_task[uz(k)];
+        const double w = s.cblks[uz(k)].width();
+        for (idx_t b = first + 1; b < last; ++b)
+          prec[uz(tg.blok_task[uz(b)])].push_back({factor, w * w});
+        for (idx_t bj = first + 1; bj < last; ++bj)
+          for (idx_t bi = bj; bi < last; ++bi) {
+            const idx_t bmod = bmod_of_.at(pair_key(bi, bj));
+            prec[uz(bmod)].push_back({tg.blok_task[uz(bi)], 0.0});
+            prec[uz(bmod)].push_back(
+                {tg.blok_task[uz(bj)],
+                 w * s.bloks[uz(bj)].nrows()});
+            emit_expected(inputs, bmod, bi, bj);
+          }
+      }
+    }
+
+    // Scratch reused across all 2·ntask diffs: most tasks have few edges and
+    // per-call vector construction would dominate the whole phase.
+    std::vector<std::pair<idx_t, double>> a, b;
+    auto diff = [&](const std::vector<Contribution>& plan_edges,
+                    const std::vector<Contribution>& expect_edges, idx_t t,
+                    const char* what) {
+      if (plan_edges.empty() && expect_edges.empty()) return;
+      auto key = [](const Contribution& c) {
+        return std::make_pair(c.source, c.entries);
+      };
+      a.clear();
+      b.clear();
+      for (const auto& c : plan_edges) a.push_back(key(c));
+      for (const auto& c : expect_edges) b.push_back(key(c));
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      if (a == b) return;
+      // First divergence, reported once per task to keep the noise down.
+      std::size_t i = 0, j = 0;
+      while (i < a.size() && j < b.size() && a[i] == b[j]) ++i, ++j;
+      if (j < b.size() && (i >= a.size() || b[j] < a[i]))
+        add(Code::kDependencyMissing,
+            std::string(what) + " edge from task " +
+                std::to_string(b[j].first) + " (" +
+                std::to_string(b[j].second) + " entries) is absent",
+            t, tg.tasks[uz(t)].cblk);
+      else
+        add(Code::kDependencySpurious,
+            std::string(what) + " edge from task " +
+                std::to_string(a[i].first) +
+                " is not derivable from the block structure",
+            t, tg.tasks[uz(t)].cblk);
+    };
+    for (idx_t t = 0; t < tg.ntask(); ++t) {
+      diff(tg.inputs[uz(t)], inputs[uz(t)], t, "contribution");
+      diff(tg.prec[uz(t)], prec[uz(t)], t, "precedence");
+    }
+  }
+
+  // Kahn topological sort over the plan's own edges (inputs + prec).
+  void check_graph_acyclic() {
+    const TaskGraph& tg = p_.tg;
+    const std::size_t n = uz(tg.ntask());
+    std::vector<idx_t> indeg(n, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      for (const auto& c : tg.inputs[t]) (void)c, ++indeg[t];
+      for (const auto& c : tg.prec[t]) (void)c, ++indeg[t];
+    }
+    // Successor lists (edges point source -> consumer).
+    std::vector<std::vector<idx_t>> succ(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      for (const auto& c : tg.inputs[t]) succ[uz(c.source)].push_back(
+          static_cast<idx_t>(t));
+      for (const auto& c : tg.prec[t]) succ[uz(c.source)].push_back(
+          static_cast<idx_t>(t));
+    }
+    std::vector<idx_t> stack;
+    for (std::size_t t = 0; t < n; ++t)
+      if (indeg[t] == 0) stack.push_back(static_cast<idx_t>(t));
+    std::size_t seen = 0;
+    while (!stack.empty()) {
+      const idx_t t = stack.back();
+      stack.pop_back();
+      ++seen;
+      for (const idx_t nxt : succ[uz(t)])
+        if (--indeg[uz(nxt)] == 0) stack.push_back(nxt);
+    }
+    if (seen != n) {
+      idx_t witness = kNone;
+      for (std::size_t t = 0; t < n; ++t)
+        if (indeg[t] > 0) { witness = static_cast<idx_t>(t); break; }
+      add(Code::kGraphCycle,
+          std::to_string(n - seen) +
+              " task(s) are trapped on a dependency cycle",
+          witness, witness != kNone ? p_.tg.tasks[uz(witness)].cblk : kNone);
+    }
+  }
+
+  // --------------------------------------------- phase 3: schedule/mapping --
+  /// Per task: (rank, position in that rank's K_p); valid after
+  /// check_kp_partition succeeds.
+  std::vector<idx_t> pos_;
+
+  bool check_kp_partition() {
+    const std::size_t before = rep_.diagnostics.size();
+    const Schedule& sc = p_.sched;
+    const idx_t ntask = p_.tg.ntask();
+    pos_.assign(uz(ntask), kNone);
+    for (idx_t p = 0; p < sc.nprocs; ++p) {
+      const auto& order = sc.kp[uz(p)];
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const idx_t t = order[i];
+        if (pos_[uz(t)] != kNone) {
+          add(Code::kScheduleInvalid, "task appears twice in the K_p orders", t,
+              kNone, kNone, p);
+          continue;
+        }
+        pos_[uz(t)] = static_cast<idx_t>(i);
+        if (sc.proc[uz(t)] != p)
+          add(Code::kScheduleInvalid,
+              "task in K_p of rank " + std::to_string(p) +
+                  " but mapped to rank " + std::to_string(sc.proc[uz(t)]),
+              t, kNone, kNone, p);
+      }
+    }
+    for (idx_t t = 0; t < ntask; ++t)
+      if (pos_[uz(t)] == kNone)
+        add(Code::kScheduleInvalid, "task missing from the K_p orders", t,
+            kNone, kNone, p_.sched.proc[uz(t)]);
+    return rep_.diagnostics.size() == before;
+  }
+
+  void check_candidates() {
+    const TaskGraph& tg = p_.tg;
+    const Schedule& sc = p_.sched;
+    for (idx_t t = 0; t < tg.ntask(); ++t) {
+      const Task& task = tg.tasks[uz(t)];
+      const idx_t proc = sc.proc[uz(t)];
+      if (task.type == TaskType::kBmod) {
+        // BMOD reads the BDIV(i) panel from local storage: its only valid
+        // placement is the rank of blok_task[task.blok].
+        const idx_t req = sc.proc[uz(tg.blok_task[uz(task.blok)])];
+        if (proc != req)
+          add(Code::kTaskOutsideCandidates,
+              "BMOD on rank " + std::to_string(proc) +
+                  " but its BDIV(i) panel lives on rank " +
+                  std::to_string(req),
+              t, task.cblk, task.blok, proc);
+      } else {
+        const auto& cand = p_.cand.cblk[uz(task.cblk)];
+        if (proc < cand.fproc || proc > cand.lproc)
+          add(Code::kTaskOutsideCandidates,
+              "task mapped to rank " + std::to_string(proc) +
+                  " outside candidates [" + std::to_string(cand.fproc) + "," +
+                  std::to_string(cand.lproc) + "]",
+              t, task.cblk, kNone, proc);
+      }
+    }
+  }
+
+  // ------------------------------------ phase 4: communication completeness --
+  // Rebuild the comm plan from (symbol, task graph, schedule) and diff.  An
+  // entry the plan has but the rebuild lacks is a message nobody consumes
+  // (orphan send); one the rebuild has but the plan lacks is a message a
+  // blocking receive waits for that is never produced (starved receive).
+  void check_comm_plan() {
+    const CommPlan rebuilt = build_comm_plan(p_.symbol, p_.tg, p_.sched,
+                                             p_.options.fanin.partial_chunk);
+    const CommPlan& cm = p_.comm;
+    const idx_t ntask = p_.tg.ntask();
+
+    // Scratch reused across every per-task list diff (see check_graph_edges).
+    std::vector<idx_t> ids_a, ids_b;
+    auto diff_ids = [&](const std::vector<idx_t>& plan_v,
+                        const std::vector<idx_t>& want_v, idx_t t,
+                        const char* what, const char* unit) {
+      if (plan_v.empty() && want_v.empty()) return;
+      ids_a.assign(plan_v.begin(), plan_v.end());
+      ids_b.assign(want_v.begin(), want_v.end());
+      std::sort(ids_a.begin(), ids_a.end());
+      std::sort(ids_b.begin(), ids_b.end());
+      auto& a = ids_a;
+      auto& b = ids_b;
+      if (a == b) return;
+      std::vector<idx_t> missing, extra;
+      std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                          std::back_inserter(missing));
+      std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(extra));
+      if (!missing.empty())
+        add(Code::kStarvedReceive,
+            std::string(what) + " misses " + unit + " " +
+                std::to_string(missing.front()) +
+                ": the expected message is never sent",
+            t, p_.tg.tasks[uz(t)].cblk, kNone, p_.sched.proc[uz(t)]);
+      if (!extra.empty())
+        add(Code::kOrphanSend,
+            std::string(what) + " lists " + unit + " " +
+                std::to_string(extra.front()) +
+                ": that message has no matching receive",
+            t, p_.tg.tasks[uz(t)].cblk, kNone, p_.sched.proc[uz(t)]);
+    };
+
+    for (idx_t t = 0; t < ntask; ++t) {
+      if (cm.expect_aub[uz(t)] != rebuilt.expect_aub[uz(t)])
+        add(Code::kAubCountMismatch,
+            "task expects " + std::to_string(cm.expect_aub[uz(t)]) +
+                " AUB message(s), the task graph produces " +
+                std::to_string(rebuilt.expect_aub[uz(t)]),
+            t, p_.tg.tasks[uz(t)].cblk, kNone, p_.sched.proc[uz(t)]);
+      if (!cm.aub_countdown[uz(t)].empty() ||
+          !rebuilt.aub_countdown[uz(t)].empty()) {
+        auto ca = cm.aub_countdown[uz(t)];
+        auto cb = rebuilt.aub_countdown[uz(t)];
+        std::sort(ca.begin(), ca.end());
+        std::sort(cb.begin(), cb.end());
+        if (ca != cb)
+          add(Code::kAubCountMismatch,
+              "per-rank AUB countdown disagrees with the contribution edges",
+              t, p_.tg.tasks[uz(t)].cblk, kNone, p_.sched.proc[uz(t)]);
+      }
+      diff_ids(cm.aub_after[uz(t)], rebuilt.aub_after[uz(t)], t, "aub_after",
+               "target task");
+      diff_ids(cm.diag_dests[uz(t)], rebuilt.diag_dests[uz(t)], t,
+               "diag_dests", "rank");
+      diff_ids(cm.panel_dests[uz(t)], rebuilt.panel_dests[uz(t)], t,
+               "panel_dests", "rank");
+    }
+
+    for (idx_t k = 0; k < p_.symbol.ncblk; ++k) {
+      if (cm.diag_owner[uz(k)] != rebuilt.diag_owner[uz(k)])
+        add(Code::kOwnerMismatch,
+            "diag_owner says rank " + std::to_string(cm.diag_owner[uz(k)]) +
+                ", the schedule puts the diagonal on rank " +
+                std::to_string(rebuilt.diag_owner[uz(k)]),
+            kNone, k, kNone, rebuilt.diag_owner[uz(k)]);
+      auto solve_set = [&](const std::vector<idx_t>& va,
+                           const std::vector<idx_t>& vb, const char* what) {
+        if (va.empty() && vb.empty()) return;
+        auto sa = va, sb = vb;
+        std::sort(sa.begin(), sa.end());
+        std::sort(sb.begin(), sb.end());
+        if (sa != sb)
+          add(Code::kOwnerMismatch,
+              std::string(what) +
+                  " disagrees with the schedule's block ownership",
+              kNone, k);
+      };
+      solve_set(cm.fwd_remote_bloks[uz(k)], rebuilt.fwd_remote_bloks[uz(k)],
+                "fwd_remote_bloks");
+      solve_set(cm.bwd_remote_bloks[uz(k)], rebuilt.bwd_remote_bloks[uz(k)],
+                "bwd_remote_bloks");
+      solve_set(cm.yseg_dests[uz(k)], rebuilt.yseg_dests[uz(k)], "yseg_dests");
+      solve_set(cm.xseg_dests[uz(k)], rebuilt.xseg_dests[uz(k)], "xseg_dests");
+    }
+    for (idx_t b = 0; b < p_.symbol.nblok(); ++b)
+      if (cm.blok_owner[uz(b)] != rebuilt.blok_owner[uz(b)])
+        add(Code::kOwnerMismatch,
+            "blok_owner says rank " + std::to_string(cm.blok_owner[uz(b)]) +
+                ", the schedule writes this blok on rank " +
+                std::to_string(rebuilt.blok_owner[uz(b)]),
+            kNone, p_.symbol.bloks[uz(b)].lcblknm, b,
+            rebuilt.blok_owner[uz(b)]);
+  }
+
+  // Tags carry (kind, id1, id2) with kTagIdBits bits per id; ids at or above
+  // 2^kTagIdBits would wrap into other streams.  Stream uniqueness (one
+  // FACTOR per cblk, one BDIV per blok, one task per AUB target) is enforced
+  // by check_task_list; here the id widths.
+  void check_tags() {
+    constexpr idx_t kMaxId = static_cast<idx_t>(1) << 28;
+    if (p_.tg.ntask() >= kMaxId)
+      add(Code::kTagCollision,
+          "task count exceeds the tag id width: AUB tags would alias");
+    if (p_.symbol.ncblk >= kMaxId || p_.symbol.nblok() >= kMaxId)
+      add(Code::kTagCollision,
+          "cblk/blok count exceeds the tag id width: diag/panel/solve tags "
+          "would alias");
+  }
+
+  // -------------------------- phase 5: ordering, races, and deadlock freedom
+  // Same-rank dependency edges must respect the K_p order (the producer's
+  // write to the consumer's storage must precede the consumer's compute —
+  // the block-granularity race check).  Cross-rank edges become message
+  // edges of a happens-before graph: sends never block (buffered mailboxes),
+  // receives block, so the schedule deadlocks iff that graph has a cycle.
+  void check_order_and_deadlock() {
+    const TaskGraph& tg = p_.tg;
+    const Schedule& sc = p_.sched;
+    const std::size_t n = uz(tg.ntask());
+
+    auto same_rank_ordered = [&](idx_t src, idx_t dst, const char* what) {
+      if (sc.proc[uz(src)] != sc.proc[uz(dst)]) return;
+      if (pos_[uz(src)] >= pos_[uz(dst)])
+        add(Code::kUnorderedWrite,
+            std::string(what) + " producer task " + std::to_string(src) +
+                " is scheduled at or after its consumer on rank " +
+                std::to_string(sc.proc[uz(dst)]) +
+                ": the update would race the factorization of its target "
+                "block",
+            dst, tg.tasks[uz(dst)].cblk, tg.tasks[uz(dst)].blok,
+            sc.proc[uz(dst)]);
+    };
+    for (idx_t t = 0; t < tg.ntask(); ++t) {
+      for (const auto& c : tg.inputs[uz(t)])
+        same_rank_ordered(c.source, t, "contribution");
+      for (const auto& c : tg.prec[uz(t)])
+        same_rank_ordered(c.source, t, "precedence");
+    }
+
+    // Happens-before graph: per-rank sequential edges + cross-rank message
+    // edges.  AUB: the receiver cannot start before every contributor on a
+    // sending rank ran (the last one triggers the final send).  Diag/panel:
+    // a remote BDIV blocks on the FACTOR's diagonal block, a remote BMOD on
+    // the BDIV(j) panel.
+    std::vector<std::vector<idx_t>> succ(n);
+    std::vector<idx_t> indeg(n, 0);
+    auto edge = [&](idx_t a, idx_t b) {
+      succ[uz(a)].push_back(b);
+      ++indeg[uz(b)];
+    };
+    for (const auto& order : sc.kp)
+      for (std::size_t i = 1; i < order.size(); ++i)
+        edge(order[i - 1], order[i]);
+    for (idx_t t = 0; t < tg.ntask(); ++t) {
+      for (const idx_t sigma : p_.comm.aub_after[uz(t)])
+        if (sc.proc[uz(t)] != sc.proc[uz(sigma)]) edge(t, sigma);
+      const Task& task = tg.tasks[uz(t)];
+      if (task.type == TaskType::kBdiv) {
+        const idx_t factor = tg.cblk_task[uz(task.cblk)];
+        if (sc.proc[uz(factor)] != sc.proc[uz(t)]) edge(factor, t);
+      } else if (task.type == TaskType::kBmod) {
+        const idx_t bdiv_j = tg.blok_task[uz(task.blok2)];
+        if (sc.proc[uz(bdiv_j)] != sc.proc[uz(t)]) edge(bdiv_j, t);
+      }
+    }
+    std::vector<idx_t> stack;
+    for (std::size_t t = 0; t < n; ++t)
+      if (indeg[t] == 0) stack.push_back(static_cast<idx_t>(t));
+    std::size_t seen = 0;
+    while (!stack.empty()) {
+      const idx_t t = stack.back();
+      stack.pop_back();
+      ++seen;
+      for (const idx_t nxt : succ[uz(t)])
+        if (--indeg[uz(nxt)] == 0) stack.push_back(nxt);
+    }
+    if (seen == n) return;
+
+    // Walk predecessors inside the trapped set until a node repeats; the
+    // tail of that walk is an actual waiting cycle worth printing.
+    std::vector<std::vector<idx_t>> pred(n);
+    for (std::size_t t = 0; t < n; ++t)
+      for (const idx_t nxt : succ[t])
+        if (indeg[uz(nxt)] > 0 && indeg[t] > 0)
+          pred[uz(nxt)].push_back(static_cast<idx_t>(t));
+    idx_t cur = kNone;
+    for (std::size_t t = 0; t < n; ++t)
+      if (indeg[t] > 0) { cur = static_cast<idx_t>(t); break; }
+    std::vector<idx_t> walk;
+    std::vector<idx_t> at(n, kNone);
+    while (cur != kNone && at[uz(cur)] == kNone) {
+      at[uz(cur)] = static_cast<idx_t>(walk.size());
+      walk.push_back(cur);
+      cur = pred[uz(cur)].empty() ? kNone : pred[uz(cur)].front();
+    }
+    std::ostringstream os;
+    os << (n - seen) << " task(s) wait on a cross-rank cycle";
+    if (cur != kNone) {
+      os << ":";
+      for (std::size_t i = uz(at[uz(cur)]); i < walk.size() && i < uz(at[uz(cur)]) + 8;
+           ++i)
+        os << " task " << walk[i] << " (rank " << sc.proc[uz(walk[i])] << ")"
+           << (i + 1 < walk.size() ? " <-" : "");
+      os << " ... the blocking receives can never all complete";
+    }
+    add(Code::kHappensBeforeCycle, os.str(), cur,
+        cur != kNone ? tg.tasks[uz(cur)].cblk : kNone, kNone,
+        cur != kNone ? sc.proc[uz(cur)] : kNone);
+  }
+
+  void check_stats() {
+    const AnalysisStats& st = p_.stats;
+    if (st.ncblk != p_.symbol.ncblk || st.nblok != p_.symbol.nblok() ||
+        st.ntask != p_.tg.ntask())
+      add(Code::kStatsStale,
+          "summary stats disagree with the structures (cosmetic: the runtime "
+          "never reads them)",
+          kNone, kNone, kNone, kNone, Severity::kWarning);
+  }
+
+  // ------------------------------------------- phase 6: AUB memory replay --
+  // Walk each rank's K_p exactly the way FaninSolver does: a task first
+  // gathers its expect_aub messages (transient += expect * region), its
+  // scatter lazily allocates one AUB buffer per remote target, and its
+  // flush frees a buffer on the final (or partial-chunk) send.  The running
+  // maximum reproduces the runtime's aub_peak_bytes / sizeof(T) per rank.
+  big_t region_entries(idx_t sigma) const {
+    const Task& t = p_.tg.tasks[uz(sigma)];
+    const auto& ck = p_.symbol.cblks[uz(t.cblk)];
+    switch (t.type) {
+      case TaskType::kComp1d:
+        return static_cast<big_t>(ck.width() + p_.symbol.cblk_below_rows(t.cblk)) *
+               ck.width();
+      case TaskType::kFactor:
+        return static_cast<big_t>(ck.width()) * ck.width();
+      case TaskType::kBdiv:
+        return static_cast<big_t>(p_.symbol.bloks[uz(t.blok)].nrows()) *
+               ck.width();
+      default:
+        return 0;  // a BMOD can never be an AUB target (phase 4 verified)
+    }
+  }
+
+  void replay_memory() {
+    const Schedule& sc = p_.sched;
+    const idx_t chunk = p_.comm.partial_chunk;
+    rep_.rank_peak_aub_entries.assign(uz(sc.nprocs), 0);
+    for (idx_t p = 0; p < sc.nprocs; ++p) {
+      std::unordered_map<idx_t, idx_t> initial, remaining;
+      for (const idx_t t : sc.kp[uz(p)])
+        for (const idx_t sigma : p_.comm.aub_after[uz(t)]) ++initial[sigma];
+      remaining = initial;
+      std::unordered_map<idx_t, big_t> live;
+      big_t live_total = 0, peak = 0;
+      for (const idx_t t : sc.kp[uz(p)]) {
+        const idx_t expect = p_.comm.expect_aub[uz(t)];
+        if (expect > 0)
+          peak = std::max(peak, live_total + static_cast<big_t>(expect) *
+                                                region_entries(t));
+        for (const idx_t sigma : p_.comm.aub_after[uz(t)]) {
+          if (!live.count(sigma)) {
+            const big_t re = region_entries(sigma);
+            live[sigma] = re;
+            live_total += re;
+            peak = std::max(peak, live_total);
+          }
+        }
+        for (const idx_t sigma : p_.comm.aub_after[uz(t)]) {
+          auto it = remaining.find(sigma);
+          if (it == remaining.end() || it->second <= 0) continue;
+          --it->second;
+          const idx_t done = initial.at(sigma) - it->second;
+          const bool final_send = it->second == 0;
+          const bool partial_send =
+              !final_send && chunk > 0 && done % chunk == 0;
+          if (!final_send && !partial_send) continue;
+          auto buf = live.find(sigma);
+          if (buf != live.end()) {
+            live_total -= buf->second;
+            live.erase(buf);
+          }
+        }
+      }
+      rep_.rank_peak_aub_entries[uz(p)] = peak;
+    }
+  }
+};
+
+} // namespace
+
+Report check_plan(const AnalysisPlan& plan, const VerifyOptions& opt) {
+  return Checker(plan, opt).run();
+}
+
+void require_valid(const AnalysisPlan& plan, const std::string& context) {
+  VerifyOptions opt;
+  const Report rep = check_plan(plan, opt);
+  if (!rep.ok())
+    throw Error(context + ": plan failed static verification — " +
+                rep.summary());
+}
+
+} // namespace pastix::verify

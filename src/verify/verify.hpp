@@ -1,0 +1,126 @@
+#pragma once
+//
+// Static plan verification: prove an AnalysisPlan safe to execute *before*
+// any numeric work starts.
+//
+// The whole parallel factorization is driven by precomputed state — the
+// per-rank task orders K_p plus the fan-in communication plan — so every
+// property that would be a nondeterministic hang or race in a dynamic
+// solver is here a statically decidable property of the plan.  check_plan
+// re-derives, from the block structure alone, everything the runtime will
+// rely on and cross-checks the plan against it:
+//
+//   (a) symbolic soundness — the supernode partition tiles [0,n) exactly,
+//       every off-diagonal blok fits inside its facing diagonal block,
+//       struct(L) contains struct(PAP^t) and is closed under the block
+//       updates the task graph will scatter;
+//   (b) task-graph integrity — the COMP1D/FACTOR/BDIV/BMOD task list
+//       matches the 1D/2D distribution decisions, the contribution and
+//       precedence edges equal an independent re-enumeration, the graph is
+//       acyclic, and every task is mapped onto one of its candidate ranks
+//       (a BMOD onto the rank of its BDIV(i), which it reads locally);
+//   (c) schedule safety — a happens-before construction over the K_p
+//       orders plus the cross-rank message edges is acyclic (the blocking
+//       receives cannot deadlock), every planned send has a consumer and
+//       every expected receive a producer, and message tags cannot alias;
+//   (d) block-level race freedom — no producer is ordered after its
+//       consumer inside a rank's K_p (the static analogue of a data race
+//       at block granularity);
+//   (e) a static replay of the per-rank aggregated-update-block memory
+//       accounting, reproducing the runtime's aub_peak_bytes exactly.
+//
+// All checks are pattern-level: no matrix values, no threads, no comm.
+// check_plan never throws — corrupt input yields diagnostics, not crashes —
+// so it is safe to run on untrusted bytes straight out of plan_io.
+//
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+
+namespace pastix::verify {
+
+/// Diagnostic classes, one per independent failure mode.  Stable names from
+/// code_name() are part of the reporting contract (tests match on them).
+enum class Code : unsigned char {
+  kShapeMismatch,          ///< array sizes disagree with n / ncblk / nblok / ntask
+  kPartitionGap,           ///< supernode partition leaves columns uncovered
+  kPartitionOverlap,       ///< supernode partition covers a column twice
+  kSymbolInvalid,          ///< block structure invariant broken
+  kBlokOutsideFacing,      ///< blok row range leaks outside its facing cblk
+  kStructMissing,          ///< struct(L) misses an entry of struct(PAP^t)
+  kStructNotClosed,        ///< an update's target rows have no covering bloks
+  kTaskInvalid,            ///< task fields out of range / wrong for its type
+  kTaskMapInconsistent,    ///< cblk_task / blok_task disagree with the tasks
+  kGraphCycle,             ///< dependency edges form a cycle
+  kDependencyMissing,      ///< a required input/precedence edge is absent
+  kDependencySpurious,     ///< an edge not derivable from the block structure
+  kScheduleInvalid,        ///< K_p orders are not a partition of the tasks
+  kTaskOutsideCandidates,  ///< task mapped off its candidate processor set
+  kUnorderedWrite,         ///< static race: producer after consumer in K_p
+  kHappensBeforeCycle,     ///< cross-rank waiting cycle: schedule can deadlock
+  kAubCountMismatch,       ///< expect_aub / countdowns contradict the graph
+  kOrphanSend,             ///< planned message that no receiver expects
+  kStarvedReceive,         ///< expected message that no sender produces
+  kOwnerMismatch,          ///< solve-phase ownership tables contradict K_p
+  kTagCollision,           ///< two message streams alias one (kind, ids) tag
+  kOptionsMismatch,        ///< plan contradicts the options it claims
+  kStatsStale,             ///< summary stats disagree (warning: cosmetic)
+};
+
+[[nodiscard]] const char* code_name(Code c);
+
+enum class Severity : unsigned char { kWarning, kError };
+
+/// One finding, with enough coordinates to locate it: the offending task
+/// and/or block, and the rank whose execution would go wrong.
+struct Diagnostic {
+  Code code = Code::kShapeMismatch;
+  Severity severity = Severity::kError;
+  idx_t task = kNone;
+  idx_t cblk = kNone;
+  idx_t blok = kNone;
+  idx_t rank = kNone;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct VerifyOptions {
+  /// Stop collecting after this many diagnostics (the report is flagged
+  /// truncated); a corrupt plan usually fails the same way many times.
+  std::size_t max_diagnostics = 64;
+  /// Check struct(L) ⊇ struct(PAP^t) and update closure — O(nnz·log b +
+  /// Σ nblok(k)²), the most expensive part of the analysis-shaped checks.
+  bool check_struct = true;
+  /// Replay the per-rank AUB memory accounting (fills rank_peak_aub_entries).
+  bool check_memory = true;
+};
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+  /// Per rank: statically derived peak of live AUB entries (allocation
+  /// granularity), mirroring FaninSolver's aub_peak_bytes / sizeof(T).
+  /// Filled only when the plan is clean enough to replay.
+  std::vector<big_t> rank_peak_aub_entries;
+  bool truncated = false;  ///< hit max_diagnostics; more findings exist
+
+  [[nodiscard]] bool ok() const;            ///< no error-severity findings
+  [[nodiscard]] std::size_t errors() const;
+  [[nodiscard]] std::size_t warnings() const;
+  [[nodiscard]] bool has(Code c) const;
+  [[nodiscard]] std::string summary() const;    ///< one line
+  [[nodiscard]] std::string to_string() const;  ///< full listing
+};
+
+/// Run every check against `plan`.  Never throws: malformed plans come back
+/// as diagnostics (shape errors gate the deeper checks that would need to
+/// index into the broken arrays).
+[[nodiscard]] Report check_plan(const AnalysisPlan& plan,
+                                const VerifyOptions& opt = {});
+
+/// Throw pastix::Error naming the first diagnostic if `plan` fails
+/// verification; used by plan_io and the strict analyze mode.
+void require_valid(const AnalysisPlan& plan, const std::string& context);
+
+} // namespace pastix::verify

@@ -1,0 +1,150 @@
+// Hostile-input tests for the plan file reader: truncation at every layer,
+// bad magic/version, oversized vector lengths, and a seeded byte-flip fuzz
+// loop.  The contract under test: load_plan on adversarial bytes always
+// fails with pastix::Error (often naming a verifier diagnostic) — it never
+// crashes, never loops, and never hands the runtime an unsound plan.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <sstream>
+
+#include "core/pastix.hpp"
+#include "core/plan_io.hpp"
+#include "sparse/gen.hpp"
+#include "verify/verify.hpp"
+
+namespace pastix {
+namespace {
+
+std::string serialized_plan() {
+  SolverOptions opt;
+  opt.nprocs = 4;
+  const PlanPtr plan = analyze(gen_fe_mesh({7, 7, 3, 2, 1, 11}).pattern, opt);
+  std::stringstream buf;
+  save_plan(*plan, buf);
+  return buf.str();
+}
+
+/// load_plan over an in-memory byte string; returns the error text, or ""
+/// when the load (legitimately) succeeded.
+std::string try_load(const std::string& bytes) {
+  std::istringstream in(bytes);
+  try {
+    const PlanPtr p = load_plan(in);
+    return p ? "" : "<null>";
+  } catch (const Error& e) {
+    return e.what();
+  }
+}
+
+TEST(PlanIoFuzz, EmptyStreamFails) {
+  EXPECT_FALSE(try_load("").empty());
+}
+
+TEST(PlanIoFuzz, BadMagicFails) {
+  std::string bytes = serialized_plan();
+  bytes[0] ^= 0x01;
+  const std::string err = try_load(bytes);
+  EXPECT_NE(err.find("magic"), std::string::npos) << err;
+}
+
+TEST(PlanIoFuzz, BadVersionFails) {
+  std::string bytes = serialized_plan();
+  bytes[8] = static_cast<char>(0x7f);  // version field follows the magic
+  const std::string err = try_load(bytes);
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+// Truncation at every prefix length across the file (stride keeps the test
+// fast; the first 256 offsets are covered exhaustively since the header and
+// layout checks all live there).
+TEST(PlanIoFuzz, TruncationAtAnyOffsetFailsCleanly) {
+  const std::string bytes = serialized_plan();
+  std::vector<std::size_t> cuts;
+  for (std::size_t i = 0; i < std::min<std::size_t>(bytes.size(), 256); ++i)
+    cuts.push_back(i);
+  for (std::size_t i = 256; i < bytes.size(); i += 997) cuts.push_back(i);
+  cuts.push_back(bytes.size() - 1);
+  for (const std::size_t cut : cuts) {
+    const std::string err = try_load(bytes.substr(0, cut));
+    EXPECT_FALSE(err.empty()) << "truncation to " << cut
+                              << " bytes loaded successfully";
+  }
+}
+
+// A vector length field rewritten to a huge value must be rejected by the
+// byte-budget check, not attempted as an allocation.
+TEST(PlanIoFuzz, OversizedLengthRejectedWithoutAllocation) {
+  std::string bytes = serialized_plan();
+  // Stamp a ~max length over every plausible 8-byte-aligned length slot in
+  // the first kilobyte after the header; at least one lands on a real
+  // vector length and must die on the budget check.
+  bool budget_hit = false;
+  for (std::size_t off = 16; off + 8 <= std::min<std::size_t>(
+                                            bytes.size(), 1024);
+       off += 8) {
+    std::string corrupt = bytes;
+    const std::uint64_t huge = (1ULL << 32);
+    std::memcpy(&corrupt[off], &huge, sizeof huge);
+    const std::string err = try_load(corrupt);
+    if (err.find("exceeds remaining bytes") != std::string::npos ||
+        err.find("unreasonable") != std::string::npos)
+      budget_hit = true;
+  }
+  EXPECT_TRUE(budget_hit);
+}
+
+// Seeded deterministic fuzz loop: random byte flips anywhere in the file.
+// Every outcome must be either a clean load (flip hit dead space and the
+// verifier still passed) or a pastix::Error — nothing else.
+TEST(PlanIoFuzz, RandomByteFlipsNeverCrash) {
+  const std::string bytes = serialized_plan();
+  std::mt19937_64 rng(0xC0FFEE);
+  std::uniform_int_distribution<std::size_t> pos(0, bytes.size() - 1);
+  std::uniform_int_distribution<int> bit(0, 7);
+  int rejected = 0, loaded = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string corrupt = bytes;
+    // 1–4 flips per iteration.
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f)
+      corrupt[pos(rng)] ^= static_cast<char>(1 << bit(rng));
+    std::istringstream in(corrupt);
+    try {
+      const PlanPtr p = load_plan(in);
+      ASSERT_NE(p, nullptr);
+      // Whatever loads must also stand up to the verifier: load_plan runs
+      // it internally, so a loaded plan re-verifies clean.
+      EXPECT_TRUE(verify::check_plan(*p).ok());
+      ++loaded;
+    } catch (const Error&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  EXPECT_GT(rejected, 0) << "no flip was ever rejected — reader too lax?";
+  // `loaded` may legitimately be zero: every byte might be load-bearing.
+  SUCCEED() << rejected << " rejected, " << loaded << " loaded clean";
+}
+
+// Flips constrained to the payload (past header/options/fingerprint) that
+// fail must, when they produce a structurally readable but unsound plan,
+// be rejected by the named static-verification path.
+TEST(PlanIoFuzz, DeepCorruptionRejectedByVerifier) {
+  const std::string bytes = serialized_plan();
+  bool named = false;
+  for (std::size_t off = bytes.size() / 2; off < bytes.size(); off += 61) {
+    std::string corrupt = bytes;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x55);
+    const std::string err = try_load(corrupt);
+    if (err.find("static verification") != std::string::npos) {
+      named = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(named)
+      << "no deep corruption reached the verifier rejection path";
+}
+
+} // namespace
+} // namespace pastix

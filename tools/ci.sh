@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally or from .github/workflows/ci.yml.
+#
+# Lanes (select with arguments; default runs all):
+#   tier1  — default preset build + the tier-1 regression suite, which now
+#            includes the `verify` label (static plan verifier mutation
+#            harness + plan-file hostile-input tests) in the default lane
+#   bench  — smoke-sized benchmark runs (includes the verifier <=5% budget)
+#   lint   — clang-tidy profile over src/support, src/rt, src/map,
+#            src/verify (skips cleanly when clang-tidy is absent)
+#   ubsan  — UndefinedBehaviorSanitizer preset + verifier/comm/solver tests
+#   asan   — Address+UB sanitizer preset, runtime-focused test filter
+#   tsan   — ThreadSanitizer preset, runtime-focused test filter
+#
+# Usage: tools/ci.sh [lane ...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+lanes=("$@")
+if [ ${#lanes[@]} -eq 0 ]; then
+  lanes=(tier1 bench lint ubsan asan tsan)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_lane() {
+  echo
+  echo "=== ci lane: $1 ==="
+  case "$1" in
+    tier1)
+      cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+      cmake --build build -j "${jobs}"
+      ctest --test-dir build -L tier1 -j "${jobs}" --output-on-failure
+      ;;
+    bench)
+      cmake --preset default
+      cmake --build build -j "${jobs}"
+      ctest --test-dir build -L bench --output-on-failure
+      ;;
+    lint)
+      cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+      tools/lint.sh build
+      ;;
+    ubsan)
+      cmake --preset ubsan
+      cmake --build build-ubsan -j "${jobs}"
+      ctest --preset ubsan -j "${jobs}" --output-on-failure
+      ;;
+    asan)
+      cmake --preset asan
+      cmake --build build-asan -j "${jobs}"
+      ctest --preset asan -j "${jobs}" --output-on-failure
+      ;;
+    tsan)
+      cmake --preset tsan
+      cmake --build build-tsan -j "${jobs}"
+      ctest --preset tsan -j "${jobs}" --output-on-failure
+      ;;
+    *)
+      echo "ci: unknown lane '$1' (tier1|bench|lint|ubsan|asan|tsan)" >&2
+      exit 2
+      ;;
+  esac
+}
+
+for lane in "${lanes[@]}"; do
+  run_lane "${lane}"
+done
+echo
+echo "ci: all lanes passed (${lanes[*]})"

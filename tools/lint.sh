@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over the analysis
+# and runtime layers.  Needs a compile database: configure with
+#   cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# Usage: tools/lint.sh [build-dir] [paths...]
+# Defaults: build dir ./build, paths = the layers the lint profile targets.
+# Exits 0 with a notice when clang-tidy is not installed (containers that
+# ship only gcc), so CI lanes can include it unconditionally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint: clang-tidy not found on PATH; skipping (install clang-tools to enable)"
+  exit 0
+fi
+
+build_dir="${1:-build}"
+shift || true
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "lint: ${build_dir}/compile_commands.json missing" >&2
+  echo "      configure with: cmake -B ${build_dir} -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+paths=("$@")
+if [ ${#paths[@]} -eq 0 ]; then
+  paths=(src/support src/rt src/map src/verify)
+fi
+
+files=()
+while IFS= read -r f; do files+=("$f"); done \
+  < <(find "${paths[@]}" -name '*.cpp' | sort)
+
+echo "lint: clang-tidy over ${#files[@]} file(s): ${paths[*]}"
+status=0
+for f in "${files[@]}"; do
+  clang-tidy -p "${build_dir}" --quiet "$f" || status=1
+done
+exit "$status"
