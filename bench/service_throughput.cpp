@@ -1,0 +1,145 @@
+// Service-layer throughput: jobs/sec and latency percentiles of the
+// multi-tenant SolverService across worker counts, a warm-cache vs
+// cold-cache comparison, and the overhead of the service machinery itself
+// (admission, tickets, stats) against a direct per-job solver loop with the
+// same cached plan — the target is under 2%.  Numbers land in
+// BENCH_service.json.
+//
+// Usage: service_throughput [nprocs] [jobs]
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+#include "sparse/gen.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pastix;
+  using namespace pastix::service;
+  const idx_t nprocs = argc > 1 ? std::stoi(argv[1]) : 2;
+  const int jobs = argc > 2 ? std::stoi(argv[2]) : 24;
+
+  const SymSparse<double> hot = gen_fe_mesh({12, 12, 4, 2, 1, 7});
+  const SymSparse<double> alt = gen_grid_laplacian(13, 11, 1);
+  const std::vector<double> b(static_cast<std::size_t>(hot.n()), 1.0);
+  const std::vector<double> alt_b(static_cast<std::size_t>(alt.n()), 1.0);
+
+  std::cout << "=== SolverService throughput ===\n\n";
+  std::cout << "n = " << hot.n() << ", nprocs = " << nprocs << ", " << jobs
+            << " jobs per configuration\n\n";
+
+  struct Row {
+    int workers;
+    bool warm;
+    double jobs_per_sec;
+    double hit_rate;
+    double p50_ms;
+    double p99_ms;
+  };
+  std::vector<Row> rows;
+
+  const auto run = [&](int workers, bool warm) {
+    ServiceOptions opt;
+    opt.solver.nprocs = nprocs;
+    opt.workers = workers;
+    opt.queue_capacity = static_cast<std::size_t>(jobs) + 1;
+    // Cold configuration: two fingerprints alternating through a cache
+    // whose budget holds only the newest plan, so every lookup misses and
+    // every job pays a fresh analysis.
+    if (!warm) opt.cache.budget_bytes = 1;
+    SolverService svc(opt);
+    if (warm) {  // populate the cache outside the timed window
+      svc.submit({hot, b}).ticket.wait();
+    }
+    Timer t;
+    for (int j = 0; j < jobs; ++j) {
+      if (warm || j % 2 == 0)
+        svc.submit({hot, b});
+      else
+        svc.submit({alt, alt_b});
+    }
+    svc.drain();
+    const double wall = t.seconds();
+    const ServiceStats st = svc.stats();
+    PASTIX_CHECK(st.total.failed + st.total.shed == 0,
+                 "bench jobs must all complete");
+    const LatencyStats& lat = st.latency.at("default");
+    rows.push_back({workers, warm, jobs / wall, st.cache.hit_rate(),
+                    lat.p50 * 1e3, lat.p99 * 1e3});
+  };
+
+  for (const int workers : {1, 2, 4}) {
+    run(workers, /*warm=*/true);
+    run(workers, /*warm=*/false);
+  }
+
+  TextTable table(
+      {"workers", "cache", "jobs/s", "hit rate", "p50 ms", "p99 ms"});
+  for (const Row& r : rows)
+    table.add_row({std::to_string(r.workers), r.warm ? "warm" : "cold",
+                   fmt_fixed(r.jobs_per_sec, 2),
+                   fmt_fixed(100.0 * r.hit_rate, 1) + "%",
+                   fmt_fixed(r.p50_ms, 2), fmt_fixed(r.p99_ms, 2)});
+  table.print();
+
+  // Service overhead vs a direct solver loop doing the identical work
+  // (adopt the cached plan, factorize, solve) single-threaded.
+  const PlanPtr plan = analyze(hot.pattern, [&] {
+    SolverOptions o;
+    o.nprocs = nprocs;
+    return o;
+  }());
+  Timer t_direct;
+  for (int j = 0; j < jobs; ++j) {
+    SolverOptions o;
+    o.nprocs = nprocs;
+    Solver<double> sv(o);
+    sv.analyze(hot, plan);
+    sv.factorize();
+    const auto x = sv.solve(b);
+    PASTIX_CHECK(!x.empty(), "direct solve");
+  }
+  const double direct_wall = t_direct.seconds();
+
+  ServiceOptions sopt;
+  sopt.solver.nprocs = nprocs;
+  sopt.workers = 1;
+  sopt.queue_capacity = static_cast<std::size_t>(jobs) + 1;
+  SolverService svc(sopt);
+  svc.submit({hot, b}).ticket.wait();  // warm the cache untimed
+  Timer t_svc;
+  for (int j = 0; j < jobs; ++j) svc.submit({hot, b});
+  svc.drain();
+  const double service_wall = t_svc.seconds();
+  const double overhead = service_wall / direct_wall - 1.0;
+
+  std::cout << "\nservice machinery overhead (1 worker, warm cache): "
+            << fmt_fixed(100.0 * overhead, 2) << "% vs direct loop ("
+            << fmt_fixed(direct_wall, 3) << " s direct, "
+            << fmt_fixed(service_wall, 3) << " s through the service; "
+            << "target < 2%)\n";
+
+  std::ofstream json("BENCH_service.json");
+  json << "{\n"
+       << "  \"n\": " << hot.n() << ",\n"
+       << "  \"nprocs\": " << nprocs << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"direct_loop_seconds\": " << direct_wall << ",\n"
+       << "  \"service_loop_seconds\": " << service_wall << ",\n"
+       << "  \"service_overhead\": " << overhead << ",\n"
+       << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"workers\": " << r.workers << ", \"cache\": \""
+         << (r.warm ? "warm" : "cold") << "\", \"jobs_per_sec\": "
+         << r.jobs_per_sec << ", \"hit_rate\": " << r.hit_rate
+         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote BENCH_service.json\n";
+  return 0;
+}

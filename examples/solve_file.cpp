@@ -22,6 +22,14 @@
 //
 // Without arguments, writes a demo matrix to ./demo.mtx and solves it, so
 // the example is runnable out of the box.
+//
+// Exit codes (distinct per failure stage, for scripting around the tool):
+//   0  solved
+//   1  I/O failure (unreadable matrix, unwritable plan file)
+//   2  analysis failure (ordering/symbolic/scheduling rejected the input)
+//   3  verification failure (--verify found the plan unsound)
+//   4  numeric failure (factorization blew up, or degraded and adaptive
+//      refinement stalled short of an acceptable backward error)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,6 +39,16 @@
 #include "sparse/gen.hpp"
 #include "sparse/io.hpp"
 #include "support/table.hpp"
+
+namespace {
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitIo = 1,
+  kExitAnalysis = 2,
+  kExitVerification = 3,
+  kExitNumeric = 4,
+};
+} // namespace
 
 int main(int argc, char** argv) {
   using namespace pastix;
@@ -71,7 +89,7 @@ int main(int argc, char** argv) {
     a = load_matrix_market(path);
   } catch (const Error& e) {
     std::cerr << "cannot read " << path << ": " << e.what() << "\n";
-    return 1;
+    return kExitIo;
   }
   std::cout << "matrix " << path << ": n = " << a.n() << ", nnz = "
             << a.nnz_offdiag() + a.n() << "\n";
@@ -97,10 +115,21 @@ int main(int argc, char** argv) {
     }
   }
   if (!plan_loaded) {
-    solver.analyze(a);
+    try {
+      solver.analyze(a);
+    } catch (const Error& e) {
+      std::cerr << "analysis failed: " << e.what() << "\n";
+      return kExitAnalysis;
+    }
     if (!plan_path.empty()) {
-      save_plan(*solver.plan(), plan_path);
-      std::cout << "analysis saved to " << plan_path << "\n";
+      try {
+        save_plan(*solver.plan(), plan_path);
+        std::cout << "analysis saved to " << plan_path << "\n";
+      } catch (const Error& e) {
+        std::cerr << "cannot write plan to " << plan_path << ": " << e.what()
+                  << "\n";
+        return kExitIo;
+      }
     }
   }
   const double analyze_s = t_analyze.seconds();
@@ -120,12 +149,18 @@ int main(int argc, char** argv) {
               << " bytes/rank max\n";
     if (!rep.ok()) {
       std::cerr << "plan is unsound; refusing to factorize\n";
-      return 1;
+      return kExitVerification;
     }
   }
 
   if (!trace_path.empty()) solver.enable_tracing(true);
-  const double factor_s = solver.factorize();
+  double factor_s = 0;
+  try {
+    factor_s = solver.factorize();
+  } catch (const Error& e) {
+    std::cerr << "factorization failed: " << e.what() << "\n";
+    return kExitNumeric;
+  }
 
   const auto& st = solver.stats();
   TextTable table({"phase / metric", "value"});
@@ -169,7 +204,12 @@ int main(int argc, char** argv) {
               << "\nrelative residual: " << relative_residual(a, res.x, b)
               << "\n";
     dump_trace();
-    return 0;
+    if (!res.converged) {
+      std::cerr << "numeric failure: adaptive refinement stalled at "
+                << "backward error " << res.backward_error << "\n";
+      return kExitNumeric;
+    }
+    return kExitOk;
   }
   const std::vector<double> x =
       refine ? solver.solve_refined(b, 2) : solver.solve(b);
@@ -177,5 +217,5 @@ int main(int argc, char** argv) {
             << ": " << relative_residual(a, x, b) << "\n";
 
   dump_trace();
-  return 0;
+  return kExitOk;
 }

@@ -3,9 +3,17 @@
 //
 #include "core/analysis.hpp"
 
+#include <sstream>
+
 #include "verify/verify.hpp"
 
 namespace pastix {
+
+std::string fingerprint_key(const PatternFingerprint& f) {
+  std::ostringstream os;
+  os << "fp_" << f.n << "_" << f.nnz << "_" << std::hex << f.hash;
+  return os.str();
+}
 
 PatternFingerprint fingerprint_pattern(const SparsePattern& p) {
   PatternFingerprint f;

@@ -16,6 +16,7 @@
 //
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "map/scheduler.hpp"
 #include "model/cost_model.hpp"
@@ -58,6 +59,23 @@ struct PatternFingerprint {
 };
 
 [[nodiscard]] PatternFingerprint fingerprint_pattern(const SparsePattern& p);
+
+/// Hash functor so PatternFingerprint can key unordered containers (the
+/// plan cache, the service's per-fingerprint tables).
+struct FingerprintHash {
+  [[nodiscard]] std::size_t operator()(
+      const PatternFingerprint& f) const noexcept {
+    std::uint64_t h = f.hash;
+    h ^= static_cast<std::uint64_t>(f.n) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::uint64_t>(f.nnz) * 0xc2b2ae3d27d4eb4fULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+/// Stable, filename-safe key of a fingerprint ("fp_<n>_<nnz>_<hash hex>") —
+/// the stem of the plan cache's disk-tier files and the identity quoted in
+/// quarantine reasons and service logs.
+[[nodiscard]] std::string fingerprint_key(const PatternFingerprint& f);
 
 /// Analysis-time summary numbers (the pattern-only part of SolverStats).
 struct AnalysisStats {

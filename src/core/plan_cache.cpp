@@ -1,0 +1,207 @@
+//
+// Two-tier verified plan cache with quarantine (see plan_cache.hpp).
+//
+#include "core/plan_cache.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <streambuf>
+
+#include "core/plan_io.hpp"
+
+namespace pastix {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Streambuf that counts bytes and discards them.
+class CountingBuf : public std::streambuf {
+public:
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+private:
+  int_type overflow(int_type c) override {
+    if (c != traits_type::eof()) ++count_;
+    return c;
+  }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    count_ += static_cast<std::size_t>(n);
+    return n;
+  }
+  std::size_t count_ = 0;
+};
+
+/// Move a failed disk-tier file aside with the given suffix so it is never
+/// retried, keeping the evidence for post-mortem.  Falls back to removal if
+/// the rename target already exists from an earlier incident.
+void move_aside(const std::string& path, const char* suffix) {
+  std::error_code ec;
+  const std::string target = path + suffix;
+  fs::remove(target, ec);
+  ec.clear();
+  fs::rename(path, target, ec);
+  if (ec) fs::remove(path, ec);
+}
+
+} // namespace
+
+std::size_t plan_footprint_bytes(const AnalysisPlan& plan) {
+  CountingBuf buf;
+  std::ostream os(&buf);
+  save_plan(plan, os);
+  return buf.count();
+}
+
+PlanCache::PlanCache(PlanCacheOptions opt) : opt_(std::move(opt)) {}
+
+std::string PlanCache::disk_path(const PatternFingerprint& fp) const {
+  if (opt_.disk_dir.empty()) return {};
+  return opt_.disk_dir + "/" + fingerprint_key(fp) + ".plan";
+}
+
+PlanPtr PlanCache::lookup(const PatternFingerprint& fp) {
+  const std::lock_guard lock(mu_);
+  if (quarantined_.count(fp)) {
+    stats_.quarantine_hits++;
+    return nullptr;
+  }
+  const auto it = index_.find(fp);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    stats_.hits++;
+    return it->second->plan;
+  }
+  if (PlanPtr plan = disk_lookup_locked(fp)) {
+    insert_locked(fp, plan);
+    stats_.disk_hits++;
+    return plan;
+  }
+  stats_.misses++;
+  return nullptr;
+}
+
+PlanPtr PlanCache::disk_lookup_locked(const PatternFingerprint& fp) {
+  const std::string path = disk_path(fp);
+  if (path.empty()) return nullptr;
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return nullptr;
+  try {
+    PlanPtr plan = load_plan(path);  // verifies; throws on anything unsound
+    if (plan->fingerprint != fp)
+      throw Error("disk-tier plan file holds a different pattern");
+    if (opt_.expect_nprocs != 0 && plan->nprocs() != opt_.expect_nprocs)
+      return nullptr;  // valid file, wrong world size: plain miss
+    return plan;
+  } catch (const Error&) {
+    // Corrupt / truncated / failed verification: quarantine the on-disk
+    // entry (rename to .corrupt) and miss — damage to the cache directory
+    // costs one re-analysis, never the service.
+    move_aside(path, ".corrupt");
+    stats_.disk_corrupt++;
+    return nullptr;
+  }
+}
+
+bool PlanCache::insert(const PlanPtr& plan) {
+  PASTIX_CHECK(plan != nullptr, "plan cache: null plan");
+  const PatternFingerprint fp = plan->fingerprint;
+  // Serialize outside the lock: the footprint measure and the disk write
+  // both walk the (immutable) plan and need no cache state.
+  const std::string path = [&] {
+    const std::lock_guard lock(mu_);
+    return quarantined_.count(fp) ? std::string("<quarantined>")
+                                  : disk_path(fp);
+  }();
+  if (path == "<quarantined>") return false;
+  bool disk_failed = false;
+  if (!path.empty()) {
+    try {
+      std::error_code ec;
+      fs::create_directories(opt_.disk_dir, ec);
+      save_plan(*plan, path);
+    } catch (const Error&) {
+      disk_failed = true;  // memory tier still works; count it
+    }
+  }
+  const std::size_t bytes = plan_footprint_bytes(*plan);
+
+  const std::lock_guard lock(mu_);
+  if (quarantined_.count(fp)) return false;
+  if (disk_failed) stats_.disk_write_failures++;
+  insert_locked(fp, plan);
+  lru_.front().bytes = bytes;
+  stats_.bytes_cached += bytes;
+  stats_.insertions++;
+  evict_locked();
+  return true;
+}
+
+void PlanCache::insert_locked(const PatternFingerprint& fp,
+                              const PlanPtr& plan) {
+  const auto it = index_.find(fp);
+  if (it != index_.end()) {
+    stats_.bytes_cached -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{fp, plan, 0});
+  index_[fp] = lru_.begin();
+  stats_.entries = index_.size();
+}
+
+void PlanCache::evict_locked() {
+  while (lru_.size() > 1 && stats_.bytes_cached > opt_.budget_bytes) {
+    const Entry& victim = lru_.back();
+    stats_.bytes_cached -= victim.bytes;
+    index_.erase(victim.fp);
+    lru_.pop_back();
+    stats_.evictions++;
+  }
+  stats_.entries = index_.size();
+}
+
+void PlanCache::quarantine(const PatternFingerprint& fp, std::string reason) {
+  std::string path;
+  {
+    const std::lock_guard lock(mu_);
+    quarantined_[fp] = std::move(reason);
+    const auto it = index_.find(fp);
+    if (it != index_.end()) {
+      stats_.bytes_cached -= it->second->bytes;
+      lru_.erase(it->second);
+      index_.erase(it);
+      stats_.entries = index_.size();
+    }
+    path = disk_path(fp);
+  }
+  if (!path.empty()) {
+    std::error_code ec;
+    if (fs::exists(path, ec)) move_aside(path, ".quarantined");
+  }
+}
+
+std::optional<std::string> PlanCache::quarantine_reason(
+    const PatternFingerprint& fp) const {
+  const std::lock_guard lock(mu_);
+  const auto it = quarantined_.find(fp);
+  if (it == quarantined_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PlanCache::release_quarantine(const PatternFingerprint& fp) {
+  const std::lock_guard lock(mu_);
+  quarantined_.erase(fp);
+}
+
+std::size_t PlanCache::quarantined_count() const {
+  const std::lock_guard lock(mu_);
+  return quarantined_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  const std::lock_guard lock(mu_);
+  return stats_;
+}
+
+} // namespace pastix

@@ -1,0 +1,132 @@
+#pragma once
+//
+// Verified plan cache — the reuse layer between a stream of jobs and the
+// expensive pattern-only analysis (DESIGN.md §12).
+//
+// Two tiers over one key (PatternFingerprint):
+//
+//   memory — an LRU of shared PlanPtr values under a byte budget.  Entry
+//     cost is the plan's serialized size (an exact, structure-proportional
+//     measure computed with the plan_io writer against a counting stream),
+//     so the budget means what it says across wildly different patterns.
+//
+//   disk — an optional directory of plan_io files named by fingerprint_key.
+//     A memory miss falls through to disk; a disk hit is promoted into the
+//     LRU.  Loading runs the full static verifier (plan_io always does), so
+//     nothing unsound is ever served.  A file that fails to load — corrupt,
+//     truncated, wrong version, failed verification — is renamed to
+//     "<name>.corrupt" and treated as a plain miss: on-disk damage costs
+//     one re-analysis, never the service.
+//
+// Quarantine: a fingerprint can be marked poisoned with a named reason
+// (failed verification, repeated factorization crashes — the service's
+// circuit breaker).  A quarantined fingerprint is never served or inserted,
+// and its disk entry is moved aside to "<name>.quarantined" so a restart
+// does not resurrect it.  Quarantine is explicit-release only.
+//
+// All operations are thread-safe behind one mutex; plans themselves are
+// immutable shared values, so concurrent readers need no further locking.
+//
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/analysis.hpp"
+
+namespace pastix {
+
+struct PlanCacheOptions {
+  /// Byte budget of the in-memory LRU tier.  Eviction keeps the newest
+  /// entry even when it alone exceeds the budget (a cache that cannot hold
+  /// the working plan would re-analyze every job).
+  std::size_t budget_bytes = 256ull << 20;
+  /// Directory of the disk tier; empty disables it.  Created on first use.
+  std::string disk_dir;
+  /// When nonzero, a disk-tier plan built for a different processor count
+  /// is treated as a miss (the service's solvers cannot adopt it).
+  idx_t expect_nprocs = 0;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;            ///< served from the memory LRU
+  std::uint64_t disk_hits = 0;       ///< served from the disk tier
+  std::uint64_t misses = 0;          ///< caller must analyze
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;       ///< LRU entries dropped for the budget
+  std::uint64_t disk_corrupt = 0;    ///< files quarantined to .corrupt
+  std::uint64_t disk_write_failures = 0;
+  std::uint64_t quarantine_hits = 0; ///< lookups refused by quarantine
+  std::size_t bytes_cached = 0;      ///< current LRU footprint
+  std::size_t entries = 0;           ///< current LRU entry count
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + disk_hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits + disk_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Exact serialized size of a plan (the LRU cost measure) — save_plan
+/// against a counting stream, no allocation proportional to the plan.
+[[nodiscard]] std::size_t plan_footprint_bytes(const AnalysisPlan& plan);
+
+class PlanCache {
+public:
+  explicit PlanCache(PlanCacheOptions opt = {});
+
+  /// Serve `fp` from memory or disk; nullptr on miss (including
+  /// quarantined fingerprints — check quarantine_reason first to
+  /// distinguish).  Never throws on corrupt disk state.
+  [[nodiscard]] PlanPtr lookup(const PatternFingerprint& fp);
+
+  /// Insert a freshly analyzed plan: into the LRU (evicting past the
+  /// budget) and, when the disk tier is on, onto disk.  Quarantined
+  /// fingerprints are refused (returns false).
+  bool insert(const PlanPtr& plan);
+
+  /// Mark `fp` poisoned with a human-readable reason: drop it from the
+  /// LRU, move its disk file aside, refuse future lookups/inserts.
+  void quarantine(const PatternFingerprint& fp, std::string reason);
+
+  /// The quarantine reason, or nullopt when `fp` is not quarantined.
+  [[nodiscard]] std::optional<std::string> quarantine_reason(
+      const PatternFingerprint& fp) const;
+
+  /// Explicit release (operator action — nothing expires automatically).
+  void release_quarantine(const PatternFingerprint& fp);
+
+  [[nodiscard]] std::size_t quarantined_count() const;
+  [[nodiscard]] PlanCacheStats stats() const;
+  [[nodiscard]] const PlanCacheOptions& options() const { return opt_; }
+
+  /// Disk-tier path of a fingerprint's plan file (valid whether or not the
+  /// file exists); empty when the disk tier is off.
+  [[nodiscard]] std::string disk_path(const PatternFingerprint& fp) const;
+
+private:
+  struct Entry {
+    PatternFingerprint fp;
+    PlanPtr plan;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] PlanPtr disk_lookup_locked(const PatternFingerprint& fp);
+  void insert_locked(const PatternFingerprint& fp, const PlanPtr& plan);
+  void evict_locked();
+
+  PlanCacheOptions opt_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<PatternFingerprint, std::list<Entry>::iterator,
+                     FingerprintHash>
+      index_;
+  std::unordered_map<PatternFingerprint, std::string, FingerprintHash>
+      quarantined_;
+  PlanCacheStats stats_;
+};
+
+} // namespace pastix

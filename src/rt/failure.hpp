@@ -1,0 +1,64 @@
+#pragma once
+//
+// Failure taxonomy of the runtime — the classification hook retry drivers
+// build on (DESIGN.md §12).
+//
+// Everything a factorization attempt can throw falls into one of two
+// classes, and the distinction decides the whole recovery policy:
+//
+//   transient — the *environment* failed, not the computation: a rank was
+//     killed (RankKilledError), a sibling's failure aborted the world
+//     (AbortError), or a message did not arrive within the receive deadline
+//     (TimeoutError, e.g. overload or injected delay).  The identical
+//     attempt can succeed when retried; a driver should back off and try
+//     again within a bounded attempt budget.
+//
+//   fatal — the computation or its inputs are wrong: a PASTIX_CHECK fired,
+//     plan validation failed, a buffer cap was exceeded by construction.
+//     Retrying re-executes the same deterministic failure; a driver should
+//     fail the job (and, on repetition against one input, quarantine that
+//     input — the circuit-breaker pattern in src/service).
+//
+// Numeric degradation (pivot perturbation, non-finite values) is *not* an
+// exception class: the factorization completes and reports it through
+// FactorStatus, and drivers escalate through solve_adaptive instead of
+// retrying.  See SolverService::classify_attempt for the three-way policy
+// (transient / numeric / poison) layered on top of this hook.
+//
+#include <exception>
+
+#include "rt/comm.hpp"
+
+namespace pastix::rt {
+
+enum class FailureClass : unsigned char {
+  kTransient,  ///< environmental; the same attempt may succeed on retry
+  kFatal,      ///< deterministic; retrying reproduces the failure
+};
+
+[[nodiscard]] inline const char* failure_class_name(FailureClass c) {
+  switch (c) {
+    case FailureClass::kTransient: return "transient";
+    case FailureClass::kFatal: return "fatal";
+  }
+  return "?";
+}
+
+/// Classify one failed attempt.  The transient set is exactly the
+/// exception types the comm layer reserves for environmental failures.
+[[nodiscard]] inline FailureClass classify_failure(const std::exception& e) {
+  if (dynamic_cast<const RankKilledError*>(&e) != nullptr ||
+      dynamic_cast<const AbortError*>(&e) != nullptr ||
+      dynamic_cast<const TimeoutError*>(&e) != nullptr)
+    return FailureClass::kTransient;
+  return FailureClass::kFatal;
+}
+
+/// True when the failure was a (simulated) rank crash — the signal the
+/// poison-input circuit breaker counts: repeated crashes pinned to one
+/// matrix fingerprint mark that fingerprint as poison.
+[[nodiscard]] inline bool is_crash(const std::exception& e) {
+  return dynamic_cast<const RankKilledError*>(&e) != nullptr;
+}
+
+} // namespace pastix::rt

@@ -1,0 +1,630 @@
+//
+// SolverService implementation — admission, cache, execute, retry
+// (see service.hpp and DESIGN.md §12).
+//
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "verify/verify.hpp"
+
+namespace pastix::service {
+
+namespace detail {
+
+struct Job {
+  JobRequest req;
+  PatternFingerprint fp;
+  std::uint64_t seq = 0;
+  Clock::time_point submitted;
+  bool displaced = false;  ///< shed by overflow, not deadline (under mu_)
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool ready = false;
+  JobResult res;
+};
+
+} // namespace detail
+
+using detail::Job;
+
+const char* job_error_name(JobError e) {
+  switch (e) {
+    case JobError::kNone: return "none";
+    case JobError::kQueueFull: return "queue-full";
+    case JobError::kTenantLimit: return "tenant-limit";
+    case JobError::kQuarantined: return "quarantined";
+    case JobError::kAnalysisFailed: return "analysis-failed";
+    case JobError::kNumericFailure: return "numeric-failure";
+    case JobError::kRetriesExhausted: return "retries-exhausted";
+    case JobError::kOverBudget: return "over-budget";
+    case JobError::kInternal: return "internal";
+    case JobError::kDeadlineExpired: return "deadline-expired";
+    case JobError::kQueueOverflow: return "queue-overflow";
+    case JobError::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+bool JobTicket::finished() const {
+  PASTIX_CHECK(job_ != nullptr, "empty job ticket");
+  const std::lock_guard lock(job_->m);
+  return job_->ready;
+}
+
+const JobResult& JobTicket::wait() const {
+  PASTIX_CHECK(job_ != nullptr, "empty job ticket");
+  std::unique_lock lock(job_->m);
+  job_->cv.wait(lock, [&] { return job_->ready; });
+  return job_->res;
+}
+
+// Pop order: highest priority first, then earliest deadline (the job with
+// the least slack), then submission order.  The multiset's *last* element
+// is therefore the displacement victim when the queue overflows.
+bool SolverService::QueueCmp::operator()(
+    const std::shared_ptr<Job>& a, const std::shared_ptr<Job>& b) const {
+  if (a->req.priority != b->req.priority)
+    return a->req.priority > b->req.priority;
+  if (a->req.deadline != b->req.deadline)
+    return a->req.deadline < b->req.deadline;
+  return a->seq < b->seq;
+}
+
+SolverService::SolverService(ServiceOptions opt)
+    : opt_(std::move(opt)),
+      exec_opt_(opt_.solver),
+      cache_([&] {
+        PlanCacheOptions c = opt_.cache;
+        if (c.expect_nprocs == 0) c.expect_nprocs = opt_.solver.nprocs;
+        return c;
+      }()),
+      backoff_rng_(opt_.backoff_seed) {
+  PASTIX_CHECK(opt_.workers >= 1, "service needs at least one worker");
+  PASTIX_CHECK(opt_.max_attempts >= 1, "max_attempts must be positive");
+  PASTIX_CHECK(opt_.queue_capacity >= 1, "queue_capacity must be positive");
+  // The cache path verifies fresh plans explicitly (so failures become
+  // quarantines, not exceptions) and plan_io verifies disk loads; a second
+  // verification per job execution would only burn latency.
+  exec_opt_.verify_plan = false;
+  workers_.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int w = 0; w < opt_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SolverService::~SolverService() { stop(); }
+
+SubmitResult SolverService::submit(JobRequest req) {
+  SubmitResult out;
+  auto job = std::make_shared<Job>();
+  job->req = std::move(req);
+  job->fp = fingerprint_pattern(job->req.a.pattern);
+  job->submitted = Clock::now();
+
+  std::vector<std::shared_ptr<Job>> displaced;
+  {
+    const std::lock_guard lock(mu_);
+    // Sequence before the displacement comparison below: a zero seq would
+    // wrongly win QueueCmp's FIFO tie-break against every queued job.
+    job->seq = next_seq_++;
+    TenantCounters& tc = tenants_[job->req.tenant];
+    tc.submitted++;
+    const auto reject = [&](JobError why) {
+      tc.rejected++;
+      out.admitted = false;
+      out.reject = why;
+    };
+    if (stopped_) {
+      reject(JobError::kShutdown);
+      return out;
+    }
+    if (inflight_[job->req.tenant] >= opt_.tenant_max_inflight) {
+      reject(JobError::kTenantLimit);
+      return out;
+    }
+    if (queue_.size() >= opt_.queue_capacity) {
+      // Load-shedding, cheapest victims first: queued jobs whose deadline
+      // already passed can never succeed — drop them all.
+      const Clock::time_point now = Clock::now();
+      for (auto it = queue_.begin(); it != queue_.end();) {
+        if ((*it)->req.deadline <= now) {
+          displaced.push_back(*it);
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (queue_.size() >= opt_.queue_capacity) {
+        // Still full of live work: displace the strictly worst queued job
+        // only if the incoming one outranks it; otherwise reject the
+        // newcomer — admitted work is never displaced by its equal.
+        const auto worst = std::prev(queue_.end());
+        if (QueueCmp{}(job, *worst)) {
+          (*worst)->displaced = true;
+          displaced.push_back(*worst);
+          queue_.erase(worst);
+        } else {
+          reject(JobError::kQueueFull);
+        }
+      }
+    }
+    if (!out.admitted && out.reject != JobError::kNone) {
+      // fallthrough: rejected above, but displaced expired jobs still need
+      // their terminal state outside the lock.
+    } else {
+      tc.admitted++;
+      inflight_[job->req.tenant]++;
+      queue_.insert(job);
+      out.admitted = true;
+      out.ticket = JobTicket(job);
+    }
+  }
+  cv_.notify_all();
+  for (auto& d : displaced)
+    finish(d, JobOutcome::kShed,
+           d->displaced ? JobError::kQueueOverflow
+                        : JobError::kDeadlineExpired,
+           d->displaced
+               ? "displaced from a full queue by higher-priority work"
+               : "deadline expired while queued");
+  return out;
+}
+
+void SolverService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+      if (stopped_) return;
+      job = *queue_.begin();
+      queue_.erase(queue_.begin());
+      running_++;
+    }
+    job->res.queue_seconds =
+        std::chrono::duration<double>(Clock::now() - job->submitted).count();
+    if (job->req.deadline <= Clock::now()) {
+      finish(job, JobOutcome::kShed, JobError::kDeadlineExpired,
+             "deadline expired before execution started");
+    } else {
+      run_job(job);
+    }
+    {
+      const std::lock_guard lock(mu_);
+      running_--;
+    }
+    cv_.notify_all();
+  }
+}
+
+void SolverService::run_job(const std::shared_ptr<Job>& job) {
+  // Circuit breaker: an open breaker fails the job fast, with the named
+  // quarantine reason and zero factorization attempts.
+  if (const auto q = cache_.quarantine_reason(job->fp)) {
+    {
+      const std::lock_guard lock(mu_);
+      tenants_[job->req.tenant].quarantine_hits++;
+    }
+    finish(job, JobOutcome::kFailed, JobError::kQuarantined,
+           "fingerprint " + fingerprint_key(job->fp) + " is quarantined: " +
+               *q);
+    return;
+  }
+  const PlanPtr plan = acquire_plan(job);
+  if (!plan) return;  // already finished (analysis / verification failure)
+
+  const std::size_t bound = memory_bound_for(job->fp, plan);
+  if (opt_.memory_budget_bytes > 0 && bound > opt_.memory_budget_bytes) {
+    finish(job, JobOutcome::kFailed, JobError::kOverBudget,
+           "static memory bound (" + std::to_string(bound) +
+               " bytes) exceeds the service budget (" +
+               std::to_string(opt_.memory_budget_bytes) + " bytes)");
+    return;
+  }
+  if (!reserve_memory(job, bound)) return;  // shed while waiting
+  try {
+    execute(job, plan);
+  } catch (...) {
+    release_memory(bound);
+    throw;  // defensive: execute() finishes the job itself
+  }
+  release_memory(bound);
+}
+
+PlanPtr SolverService::acquire_plan(const std::shared_ptr<Job>& job) {
+  // Singleflight: concurrent misses on one fingerprint analyze once — the
+  // latch serializes same-fingerprint acquisition only.
+  std::shared_ptr<std::mutex> latch;
+  {
+    const std::lock_guard lock(mu_);
+    auto& slot = analyze_latch_[job->fp];
+    if (!slot) slot = std::make_shared<std::mutex>();
+    latch = slot;
+  }
+  const std::lock_guard flight(*latch);
+
+  bool hit = true;
+  PlanPtr plan = cache_.lookup(job->fp);
+  if (!plan) {
+    hit = false;
+    try {
+      plan = pastix::analyze(job->req.a.pattern, exec_opt_);
+    } catch (const std::exception& e) {
+      cache_.quarantine(job->fp,
+                        std::string("analysis failed: ") + e.what());
+      finish(job, JobOutcome::kFailed, JobError::kAnalysisFailed, e.what());
+      return nullptr;
+    }
+    // Only verified plans enter the cache; an unsound analysis product is
+    // a poison pattern, not a retryable hiccup.
+    const verify::Report rep = verify::check_plan(*plan);
+    if (!rep.ok()) {
+      cache_.quarantine(job->fp, "static verification failed: " +
+                                     rep.summary());
+      finish(job, JobOutcome::kFailed, JobError::kAnalysisFailed,
+             "plan failed static verification: " + rep.summary());
+      return nullptr;
+    }
+    cache_.insert(plan);
+  }
+  {
+    const std::lock_guard lock(mu_);
+    TenantCounters& tc = tenants_[job->req.tenant];
+    (hit ? tc.cache_hits : tc.cache_misses)++;
+  }
+  job->res.cache_hit = hit;
+  return plan;
+}
+
+std::size_t SolverService::memory_bound_for(const PatternFingerprint& fp,
+                                            const PlanPtr& plan) {
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = bound_memo_.find(fp);
+    if (it != bound_memo_.end()) return it->second;
+  }
+  const verify::MemoryBound mb = verify::static_memory_bound(*plan);
+  const auto bound =
+      static_cast<std::size_t>(mb.total_bytes(sizeof(double)));
+  const std::lock_guard lock(mu_);
+  bound_memo_[fp] = bound;
+  return bound;
+}
+
+bool SolverService::reserve_memory(const std::shared_ptr<Job>& job,
+                                   std::size_t bound) {
+  if (opt_.memory_budget_bytes == 0 || bound == 0) return true;
+  std::unique_lock lock(mem_mu_);
+  for (;;) {
+    if (mem_reserved_ + bound <= opt_.memory_budget_bytes) {
+      mem_reserved_ += bound;
+      mem_peak_ = std::max(mem_peak_, mem_reserved_);
+      return true;
+    }
+    {
+      const std::lock_guard slock(mu_);
+      if (stopped_) {
+        lock.unlock();
+        finish(job, JobOutcome::kShed, JobError::kShutdown,
+               "service stopped while waiting for memory");
+        return false;
+      }
+    }
+    const Clock::time_point now = Clock::now();
+    if (job->req.deadline <= now) {
+      lock.unlock();
+      finish(job, JobOutcome::kShed, JobError::kDeadlineExpired,
+             "deadline expired while waiting for " + std::to_string(bound) +
+                 " bytes of budget");
+      return false;
+    }
+    // Bounded wait so stop() and deadline expiry are both noticed even
+    // without a release notification.
+    const auto wake = std::min(job->req.deadline,
+                               now + std::chrono::milliseconds(50));
+    mem_cv_.wait_until(lock, wake);
+  }
+}
+
+void SolverService::release_memory(std::size_t bound) {
+  if (opt_.memory_budget_bytes == 0 || bound == 0) return;
+  {
+    const std::lock_guard lock(mem_mu_);
+    PASTIX_ASSERT(mem_reserved_ >= bound);
+    mem_reserved_ -= bound;
+  }
+  mem_cv_.notify_all();
+}
+
+void SolverService::backoff_sleep(int attempt, Clock::time_point deadline) {
+  // Seeded exponential backoff with jitter: base * 2^(attempt-1), capped,
+  // scaled into [0.5, 1.0) so colliding retries decorrelate.
+  double ms = static_cast<double>(opt_.backoff_base.count()) *
+              std::ldexp(1.0, attempt - 1);
+  ms = std::min(ms, static_cast<double>(opt_.backoff_cap.count()));
+  std::uint64_t draw;
+  {
+    const std::lock_guard lock(mu_);
+    draw = splitmix64(backoff_rng_);
+  }
+  const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  const auto delay = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms * (0.5 + 0.5 * u)));
+  const auto until = std::min(deadline, Clock::now() + delay);
+  std::unique_lock lock(mu_);
+  cv_.wait_until(lock, until, [&] { return stopped_; });
+}
+
+bool SolverService::strike(const PatternFingerprint& fp,
+                           const std::string& cause) {
+  int strikes;
+  {
+    const std::lock_guard lock(mu_);
+    strikes = ++strikes_[fp];
+  }
+  if (strikes < opt_.poison_strike_limit) return false;
+  cache_.quarantine(fp, "circuit breaker open after " +
+                            std::to_string(strikes) +
+                            " crashes; last cause: " + cause);
+  return true;
+}
+
+void SolverService::execute(const std::shared_ptr<Job>& job,
+                            const PlanPtr& plan) {
+  Solver<double> sv(exec_opt_);
+  try {
+    sv.analyze(job->req.a, plan);
+  } catch (const std::exception& e) {
+    // Pattern/plan mismatch or invalid matrix values — deterministic.
+    finish(job, JobOutcome::kFailed, JobError::kAnalysisFailed, e.what());
+    return;
+  }
+  if (opt_.resilience.enabled) sv.set_resilience(opt_.resilience);
+  if (opt_.recv_deadline.count() > 0)
+    sv.comm().set_recv_deadline(opt_.recv_deadline);
+
+  for (int attempt = 1;; ++attempt) {
+    if (job->req.deadline <= Clock::now()) {
+      finish(job, JobOutcome::kShed, JobError::kDeadlineExpired,
+             "deadline expired after " + std::to_string(attempt - 1) +
+                 " attempt(s)");
+      return;
+    }
+    job->res.attempts = attempt;
+    if (opt_.before_attempt)
+      opt_.before_attempt(sv, AttemptContext{job->req.tenant, job->fp,
+                                             attempt});
+    try {
+      if (attempt == 1)
+        sv.factorize();
+      else
+        sv.refactorize(job->req.a);  // values-only refill + factorize
+
+      const FactorStatus& fs = sv.stats().factor_status;
+      if (fs.clean()) {
+        job->res.x = sv.solve(job->req.b);
+      } else {
+        // Numeric escalation: a perturbed factor preconditions the true
+        // matrix; drive refinement to the target before giving up.
+        const AdaptiveSolveResult<double> r =
+            sv.solve_adaptive(job->req.b, opt_.adaptive_target);
+        job->res.backward_error = r.backward_error;
+        if (!r.converged) {
+          finish(job, JobOutcome::kFailed, JobError::kNumericFailure,
+                 "pivot perturbation exhausted (" +
+                     std::to_string(fs.perturbations) +
+                     " perturbations); adaptive refinement stalled at "
+                     "backward error " +
+                     std::to_string(r.backward_error));
+          return;
+        }
+        job->res.degraded = true;
+        job->res.x = r.x;
+      }
+      {
+        const std::lock_guard lock(mu_);
+        strikes_.erase(job->fp);  // success closes the breaker window
+        if (job->res.degraded) tenants_[job->req.tenant].degraded++;
+      }
+      finish(job, JobOutcome::kDone, JobError::kNone, {});
+      return;
+    } catch (const std::exception& e) {
+      const rt::FailureClass cls = rt::classify_failure(e);
+      if (cls == rt::FailureClass::kTransient) {
+        if (rt::is_crash(e) && strike(job->fp, e.what())) {
+          const std::lock_guard lock(mu_);
+          tenants_[job->req.tenant].quarantine_hits++;
+          // finish() below re-locks; drop the guard first.
+        }
+        if (cache_.quarantine_reason(job->fp)) {
+          finish(job, JobOutcome::kFailed, JobError::kQuarantined,
+                 "circuit breaker opened for " + fingerprint_key(job->fp) +
+                     ": " + e.what());
+          return;
+        }
+        if (attempt >= opt_.max_attempts) {
+          finish(job, JobOutcome::kFailed, JobError::kRetriesExhausted,
+                 "transient failures persisted through " +
+                     std::to_string(attempt) + " attempts; last: " +
+                     e.what());
+          return;
+        }
+        {
+          const std::lock_guard lock(mu_);
+          tenants_[job->req.tenant].retried++;
+        }
+        job->res.retries++;
+        backoff_sleep(attempt, job->req.deadline);
+        continue;
+      }
+      // Fatal: deterministic.  A dirty factor status means the values blew
+      // up (numeric); anything else is an execution failure that counts
+      // toward the fingerprint's breaker.
+      const FactorStatus& fs = sv.stats().factor_status;
+      if (!fs.clean()) {
+        finish(job, JobOutcome::kFailed, JobError::kNumericFailure,
+               std::string("factorization failed numerically: ") + e.what());
+        return;
+      }
+      if (strike(job->fp, e.what())) {
+        const std::lock_guard lock(mu_);
+        tenants_[job->req.tenant].quarantine_hits++;
+      }
+      finish(job, JobOutcome::kFailed, JobError::kInternal, e.what());
+      return;
+    }
+  }
+}
+
+void SolverService::finish(const std::shared_ptr<Job>& job, JobOutcome oc,
+                           JobError err, std::string message) {
+  const double total =
+      std::chrono::duration<double>(Clock::now() - job->submitted).count();
+  {
+    const std::lock_guard lock(mu_);
+    TenantCounters& tc = tenants_[job->req.tenant];
+    switch (oc) {
+      case JobOutcome::kDone: tc.done++; break;
+      case JobOutcome::kFailed: tc.failed++; break;
+      case JobOutcome::kShed: tc.shed++; break;
+      case JobOutcome::kPending: PASTIX_ASSERT(false); break;
+    }
+    auto inflight = inflight_.find(job->req.tenant);
+    PASTIX_ASSERT(inflight != inflight_.end() && inflight->second > 0);
+    inflight->second--;
+    latency_[job->req.tenant].push_back(total);
+  }
+  {
+    const std::lock_guard lock(job->m);
+    job->res.outcome = oc;
+    job->res.error = err;
+    job->res.message = std::move(message);
+    job->res.total_seconds = total;
+    job->ready = true;
+  }
+  job->cv.notify_all();
+  cv_.notify_all();  // drain() watches inflight through these wakeups
+}
+
+void SolverService::drain() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+void SolverService::stop() {
+  std::vector<std::shared_ptr<Job>> orphans;
+  {
+    const std::lock_guard lock(mu_);
+    if (stopped_ && workers_.empty()) return;
+    stopped_ = true;
+    orphans.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+  }
+  cv_.notify_all();
+  mem_cv_.notify_all();
+  for (auto& job : orphans)
+    finish(job, JobOutcome::kShed, JobError::kShutdown,
+           "service stopped before the job ran");
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+ServiceStats SolverService::stats() const {
+  ServiceStats out;
+  {
+    const std::lock_guard lock(mu_);
+    for (const auto& [tenant, tc] : tenants_) {
+      out.tenants[tenant] = tc;
+      out.total.submitted += tc.submitted;
+      out.total.admitted += tc.admitted;
+      out.total.rejected += tc.rejected;
+      out.total.done += tc.done;
+      out.total.failed += tc.failed;
+      out.total.shed += tc.shed;
+      out.total.retried += tc.retried;
+      out.total.quarantine_hits += tc.quarantine_hits;
+      out.total.cache_hits += tc.cache_hits;
+      out.total.cache_misses += tc.cache_misses;
+      out.total.degraded += tc.degraded;
+    }
+    for (const auto& [tenant, samples] : latency_) {
+      if (samples.empty()) continue;
+      std::vector<double> s = samples;
+      std::sort(s.begin(), s.end());
+      LatencyStats ls;
+      ls.count = s.size();
+      double sum = 0;
+      for (const double v : s) sum += v;
+      ls.mean = sum / static_cast<double>(s.size());
+      const auto q = [&](double p) {
+        const auto i = static_cast<std::size_t>(
+            p * static_cast<double>(s.size() - 1) + 0.5);
+        return s[std::min(i, s.size() - 1)];
+      };
+      ls.p50 = q(0.50);
+      ls.p95 = q(0.95);
+      ls.p99 = q(0.99);
+      ls.max = s.back();
+      out.latency[tenant] = ls;
+    }
+    out.queue_depth = queue_.size();
+    out.jobs_running = running_;
+  }
+  {
+    const std::lock_guard lock(mem_mu_);
+    out.mem_reserved_bytes = mem_reserved_;
+    out.mem_reserved_peak_bytes = mem_peak_;
+  }
+  out.mem_budget_bytes = opt_.memory_budget_bytes;
+  out.cache = cache_.stats();
+  out.quarantined_fingerprints = cache_.quarantined_count();
+  return out;
+}
+
+std::string ServiceStats::to_string() const {
+  std::ostringstream os;
+  os << "## Service\n\n";
+  os << "jobs: " << total.submitted << " submitted = " << total.admitted
+     << " admitted + " << total.rejected << " rejected; " << total.admitted
+     << " admitted = " << total.done << " done + " << total.failed
+     << " failed + " << total.shed << " shed\n";
+  os << "cache: " << fmt_fixed(100.0 * cache.hit_rate(), 1) << "% hit rate ("
+     << cache.hits << " memory, " << cache.disk_hits << " disk, "
+     << cache.misses << " misses, " << cache.disk_corrupt
+     << " corrupt files quarantined), " << cache.entries << " plans / "
+     << cache.bytes_cached << " bytes cached\n";
+  os << "quarantine: " << quarantined_fingerprints
+     << " fingerprint(s) circuit-broken\n";
+  if (mem_budget_bytes > 0)
+    os << "memory: " << mem_reserved_peak_bytes << " / " << mem_budget_bytes
+       << " bytes peak reserved\n";
+  os << "\n";
+  TextTable table({"tenant", "submitted", "done", "failed", "shed",
+                   "rejected", "retried", "hit%", "p50 ms", "p99 ms"});
+  for (const auto& [tenant, tc] : tenants) {
+    const auto lat = latency.find(tenant);
+    const std::uint64_t reached = tc.cache_hits + tc.cache_misses;
+    table.add_row(
+        {tenant, std::to_string(tc.submitted), std::to_string(tc.done),
+         std::to_string(tc.failed), std::to_string(tc.shed),
+         std::to_string(tc.rejected), std::to_string(tc.retried),
+         reached == 0 ? "-"
+                      : fmt_fixed(100.0 * static_cast<double>(tc.cache_hits) /
+                                      static_cast<double>(reached),
+                                  1),
+         lat == latency.end() ? "-" : fmt_fixed(lat->second.p50 * 1e3, 2),
+         lat == latency.end() ? "-" : fmt_fixed(lat->second.p99 * 1e3, 2)});
+  }
+  std::ostringstream tbl;
+  table.print(tbl);
+  os << tbl.str();
+  return os.str();
+}
+
+} // namespace pastix::service

@@ -1,0 +1,301 @@
+#pragma once
+//
+// Multi-tenant solver service (DESIGN.md §12) — the production layer that
+// keeps the solver alive when traffic, memory and failures arrive at once.
+//
+// An in-process SolverService accepts a stream of (matrix, rhs, tenant,
+// deadline, priority) jobs and runs them over a pool of worker threads,
+// each job a full factorize+solve at the service's configured rank count.
+// The pipeline per job:
+//
+//   submit → admission (bounded priority queue, per-tenant inflight caps,
+//   expired-deadline shedding) → verified plan cache (memory LRU + plan_io
+//   disk tier, keyed by PatternFingerprint) → memory admission (the static
+//   bound from verify::static_memory_bound charged against a global
+//   budget) → execute (factorize + solve) → retry state machine.
+//
+// Failure taxonomy (rt/failure.hpp) drives the retry machine:
+//   transient (rank kill, abort wakeup, receive timeout) — seeded
+//     exponential backoff with jitter, bounded attempts;
+//   numeric (pivot perturbation / non-finite values) — escalate through
+//     solve_adaptive; if refinement cannot recover, the *job* fails with a
+//     structured reason, never the service;
+//   poison — repeated crashes pinned to one fingerprint trip a circuit
+//     breaker: the fingerprint is quarantined in the plan cache with a
+//     named reason and subsequent jobs on it fail fast.
+//
+// Overload degrades gracefully and observably: a full queue sheds
+// expired-deadline and lowest-priority work first, memory pressure queues
+// (and eventually sheds) rather than allocating past the budget, and
+// ServiceStats reconciles exactly — per tenant and in total,
+// submitted = admitted + rejected and admitted = done + failed + shed.
+//
+// Every admitted job terminates in exactly one of done / failed / shed,
+// reported through its JobTicket; nothing is silently lost, including on
+// stop() (queued jobs are shed with a named reason).
+//
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pastix.hpp"
+#include "core/plan_cache.hpp"
+#include "rt/failure.hpp"
+#include "rt/resilient.hpp"
+
+namespace pastix::service {
+
+using Clock = std::chrono::steady_clock;
+
+/// One unit of work: solve a x = b for a tenant, before a deadline.
+struct JobRequest {
+  SymSparse<double> a;
+  std::vector<double> b;
+  std::string tenant = "default";
+  int priority = 0;  ///< higher runs first
+  Clock::time_point deadline = Clock::time_point::max();
+};
+
+/// Terminal states.  Every admitted job reaches exactly one of
+/// kDone / kFailed / kShed; kPending is only observable before then.
+enum class JobOutcome : unsigned char { kPending, kDone, kFailed, kShed };
+
+/// Why a job did not succeed (kNone for kDone).  Submit-time rejections
+/// reuse the same vocabulary in SubmitResult::reject.
+enum class JobError : unsigned char {
+  kNone = 0,
+  // submit-time rejections (the job was never admitted):
+  kQueueFull,        ///< bounded queue full of equal-or-better work
+  kTenantLimit,      ///< per-tenant inflight cap reached
+  // failures (admitted; the job itself went wrong):
+  kQuarantined,      ///< fingerprint circuit breaker open — failed fast
+  kAnalysisFailed,   ///< analysis threw or static verification failed
+  kNumericFailure,   ///< perturbation/NaN and adaptive refinement stalled
+  kRetriesExhausted, ///< transient faults persisted past max_attempts
+  kOverBudget,       ///< static memory bound exceeds the whole budget
+  kInternal,         ///< unclassified execution failure
+  // shed (admitted; the service dropped it under load, by policy):
+  kDeadlineExpired,  ///< deadline passed while queued / waiting / retrying
+  kQueueOverflow,    ///< displaced from the full queue by better work
+  kShutdown,         ///< service stopped before the job ran
+};
+
+[[nodiscard]] const char* job_error_name(JobError e);
+
+/// What the caller gets back through the ticket.
+struct JobResult {
+  JobOutcome outcome = JobOutcome::kPending;
+  JobError error = JobError::kNone;
+  std::string message;          ///< human-readable detail (empty on kDone)
+  std::vector<double> x;        ///< solution (kDone only)
+  double backward_error =
+      std::numeric_limits<double>::quiet_NaN();  ///< set on adaptive path
+  bool degraded = false;   ///< solved via perturbation + adaptive refinement
+  bool cache_hit = false;  ///< plan served from memory or disk tier
+  int attempts = 0;        ///< factorization attempts executed
+  int retries = 0;         ///< transient retries among them
+  double queue_seconds = 0;  ///< submit → execution start
+  double total_seconds = 0;  ///< submit → terminal state
+};
+
+namespace detail { struct Job; }
+
+/// Handle to one admitted job; wait() blocks until the terminal state.
+class JobTicket {
+public:
+  JobTicket() = default;
+  [[nodiscard]] bool valid() const { return job_ != nullptr; }
+  [[nodiscard]] bool finished() const;
+  /// Block until the job reaches a terminal state and return it.
+  const JobResult& wait() const;
+
+private:
+  friend class SolverService;
+  explicit JobTicket(std::shared_ptr<detail::Job> j) : job_(std::move(j)) {}
+  std::shared_ptr<detail::Job> job_;
+};
+
+/// Synchronous answer to submit(): either admitted (ticket valid) or
+/// rejected with a reason — a rejected job was never queued and has no
+/// ticket, so admission counters reconcile exactly.
+struct SubmitResult {
+  bool admitted = false;
+  JobError reject = JobError::kNone;
+  JobTicket ticket;
+};
+
+/// Per-attempt context handed to the chaos/observability hook.
+struct AttemptContext {
+  std::string tenant;
+  PatternFingerprint fingerprint;
+  int attempt = 1;  ///< 1-based
+};
+
+struct ServiceOptions {
+  /// Options of every per-job Solver (nprocs = ranks per factorization)
+  /// and of the analyses run on cache misses.  verify_plan is ignored: the
+  /// cache path always verifies freshly analyzed plans explicitly and
+  /// quarantines the fingerprint on failure.
+  SolverOptions solver;
+  int workers = 2;                  ///< concurrent executor threads
+  std::size_t queue_capacity = 64;  ///< bounded admission queue
+  int tenant_max_inflight = 32;     ///< queued+running cap per tenant
+  /// Global execution-memory budget charged with each job's static bound
+  /// (verify::static_memory_bound × sizeof(double)); 0 = unlimited.
+  std::size_t memory_budget_bytes = 0;
+  PlanCacheOptions cache;
+  int max_attempts = 3;             ///< factorization attempts per job
+  std::chrono::milliseconds backoff_base{5};   ///< first retry delay
+  std::chrono::milliseconds backoff_cap{250};  ///< exponential ceiling
+  std::uint64_t backoff_seed = 0x5eed;         ///< jitter stream seed
+  /// Crashes pinned to one fingerprint before its circuit breaker opens.
+  int poison_strike_limit = 3;
+  double adaptive_target = 1e-10;   ///< solve_adaptive backward-error goal
+  /// Receive deadline armed on every job solver (0 = wait forever); turns
+  /// a lost-message hang into a transient, retryable failure.
+  std::chrono::milliseconds recv_deadline{0};
+  /// Rank-crash recovery armed on every job solver (DESIGN.md §10).
+  rt::ResilienceOptions resilience;
+  /// Test/chaos hook, called before every factorization attempt with the
+  /// job's solver (e.g. to arm rt fault injection per fingerprint).
+  std::function<void(Solver<double>&, const AttemptContext&)> before_attempt;
+};
+
+/// Per-tenant (and aggregate) counters.  Invariants, checked by the test
+/// suite: submitted = admitted + rejected; admitted = done + failed + shed;
+/// cache_hits + cache_misses = jobs that reached the cache.
+struct TenantCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t retried = 0;         ///< transient retry transitions
+  std::uint64_t quarantine_hits = 0; ///< jobs failed by an open breaker
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t degraded = 0;        ///< done via adaptive refinement
+};
+
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double mean = 0, p50 = 0, p95 = 0, p99 = 0, max = 0;  ///< seconds
+};
+
+struct ServiceStats {
+  TenantCounters total;
+  std::map<std::string, TenantCounters> tenants;
+  std::map<std::string, LatencyStats> latency;  ///< terminal admitted jobs
+  PlanCacheStats cache;
+  std::size_t quarantined_fingerprints = 0;
+  std::size_t mem_budget_bytes = 0;
+  std::size_t mem_reserved_bytes = 0;       ///< currently charged
+  std::size_t mem_reserved_peak_bytes = 0;  ///< high-water mark
+  std::size_t queue_depth = 0;
+  std::uint64_t jobs_running = 0;
+
+  /// Markdown report section ("## Service"), TextTable-formatted like the
+  /// analysis report.
+  [[nodiscard]] std::string to_string() const;
+};
+
+class SolverService {
+public:
+  explicit SolverService(ServiceOptions opt);
+  ~SolverService();  ///< stop(): queued jobs shed with kShutdown, workers joined
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Admit or reject one job.  Never blocks on execution; a full queue
+  /// first sheds expired-deadline entries, then displaces strictly worse
+  /// (lower-priority / later-deadline) queued work before rejecting.
+  SubmitResult submit(JobRequest req);
+
+  /// Block until every admitted job has reached a terminal state.
+  void drain();
+
+  /// Stop accepting work, shed the queue (kShutdown), join the workers.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// The plan cache (quarantine inspection, disk-tier paths for tests).
+  [[nodiscard]] PlanCache& cache() { return cache_; }
+  [[nodiscard]] std::optional<std::string> quarantine_reason(
+      const PatternFingerprint& fp) const {
+    return cache_.quarantine_reason(fp);
+  }
+  [[nodiscard]] const ServiceOptions& options() const { return opt_; }
+
+private:
+  struct QueueCmp {
+    bool operator()(const std::shared_ptr<detail::Job>& a,
+                    const std::shared_ptr<detail::Job>& b) const;
+  };
+
+  void worker_loop();
+  void run_job(const std::shared_ptr<detail::Job>& job);
+  /// Acquire (cache / disk / fresh analysis under a per-fingerprint
+  /// singleflight latch) the verified plan; null means the job was already
+  /// finished with a failure.
+  PlanPtr acquire_plan(const std::shared_ptr<detail::Job>& job);
+  /// Charge the job's static bound against the budget (waiting bounded by
+  /// the deadline); false means the job was finished (shed/failed).
+  bool reserve_memory(const std::shared_ptr<detail::Job>& job,
+                      std::size_t bound);
+  void release_memory(std::size_t bound);
+  [[nodiscard]] std::size_t memory_bound_for(const PatternFingerprint& fp,
+                                             const PlanPtr& plan);
+  void execute(const std::shared_ptr<detail::Job>& job, const PlanPtr& plan);
+  /// Record the terminal state + counters and wake the ticket.
+  void finish(const std::shared_ptr<detail::Job>& job, JobOutcome oc,
+              JobError err, std::string message);
+  void backoff_sleep(int attempt, Clock::time_point deadline);
+  /// Count one crash strike against a fingerprint; true when the circuit
+  /// breaker just opened (the fingerprint got quarantined).
+  bool strike(const PatternFingerprint& fp, const std::string& cause);
+
+  ServiceOptions opt_;
+  SolverOptions exec_opt_;  ///< per-job solver options (verify_plan off)
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< queue / drain / stop wakeups
+  std::multiset<std::shared_ptr<detail::Job>, QueueCmp> queue_;
+  std::unordered_map<std::string, int> inflight_;  ///< per tenant
+  std::unordered_map<std::string, TenantCounters> tenants_;
+  std::unordered_map<std::string, std::vector<double>> latency_;
+  std::unordered_map<PatternFingerprint, int, FingerprintHash> strikes_;
+  std::unordered_map<PatternFingerprint, std::shared_ptr<std::mutex>,
+                     FingerprintHash>
+      analyze_latch_;
+  std::unordered_map<PatternFingerprint, std::size_t, FingerprintHash>
+      bound_memo_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t running_ = 0;
+  std::uint64_t backoff_rng_;
+  bool stopped_ = false;
+
+  mutable std::mutex mem_mu_;
+  std::condition_variable mem_cv_;
+  std::size_t mem_reserved_ = 0;
+  std::size_t mem_peak_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+} // namespace pastix::service

@@ -1104,4 +1104,25 @@ void require_valid(const AnalysisPlan& plan, const std::string& context) {
                 rep.summary());
 }
 
+MemoryBound static_memory_bound(const AnalysisPlan& plan) {
+  MemoryBound b;
+  // The struct-containment pass is the expensive one and contributes
+  // nothing to the memory accounting; the shape/task/schedule checks that
+  // gate the AUB replay still run.
+  VerifyOptions opt;
+  opt.check_struct = false;
+  opt.check_memory = true;
+  const Report rep = check_plan(plan, opt);
+  for (const big_t e : rep.rank_peak_aub_entries) b.aub_peak_entries += e;
+  b.exact = !rep.rank_peak_aub_entries.empty();
+  // Factor storage: every stored block entry (incl. amalgamation fill)
+  // lives on exactly one rank, plus one diagonal entry per column.
+  b.factor_entries = plan.symbol.nnz_blocks() +
+                     static_cast<big_t>(plan.fingerprint.n);
+  // NumericFactor's permuted copy: off-diagonal values + diagonal.
+  b.matrix_entries = plan.fingerprint.nnz +
+                     static_cast<big_t>(plan.fingerprint.n);
+  return b;
+}
+
 } // namespace pastix::verify

@@ -123,4 +123,30 @@ struct Report {
 /// verification; used by plan_io and the strict analyze mode.
 void require_valid(const AnalysisPlan& plan, const std::string& context);
 
+/// Static peak-memory bound of executing a plan — what an admission
+/// controller charges a job against its budget *before* any allocation
+/// happens.  The AUB component is the same per-rank buffer-lifecycle replay
+/// check_plan runs (exact: it reproduces the runtime's aub_peak_bytes
+/// bit-for-bit); the factor and matrix components are the allocate-once
+/// storage sizes the plan's block structure dictates.
+struct MemoryBound {
+  big_t factor_entries = 0;    ///< block storage of L across all ranks
+  big_t matrix_entries = 0;    ///< permuted matrix copy (values + diagonal)
+  big_t aub_peak_entries = 0;  ///< Σ over ranks of the static AUB peak
+  /// The AUB replay ran (plan structurally sound); false means the plan
+  /// could not be replayed and aub_peak_entries is 0 — treat the plan as
+  /// unadmittable.
+  bool exact = false;
+
+  /// Total bound in bytes for an element type of `elem_bytes`.
+  [[nodiscard]] big_t total_bytes(std::size_t elem_bytes) const {
+    return (factor_entries + matrix_entries + aub_peak_entries) *
+           static_cast<big_t>(elem_bytes);
+  }
+};
+
+/// Derive the static memory bound of `plan` (runs the cheap shape checks
+/// plus the AUB replay; never throws — a broken plan yields exact=false).
+[[nodiscard]] MemoryBound static_memory_bound(const AnalysisPlan& plan);
+
 } // namespace pastix::verify

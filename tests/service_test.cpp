@@ -1,0 +1,615 @@
+// Multi-tenant solver service (DESIGN.md §12): admission control, the
+// two-tier verified plan cache with quarantine, the retry/backoff state
+// machine, the poison circuit breaker, and the end-to-end chaos property —
+// N worker threads × M tenants × mixed fingerprints under comm faults and
+// seeded rank kills, with no job silently lost and every solved answer
+// digest-identical to a serial baseline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rt/comm.hpp"
+#include "service/service.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix::service {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+// Blocked receives become diagnostic errors instead of hangs, service-wide.
+constexpr auto kDeadline = 10000ms;
+
+/// Distinct well-conditioned problems = distinct fingerprints.  FE meshes,
+/// not grid Laplacians: their supernode tree spreads tasks across every
+/// rank, so a kill injection on any rank has work to interrupt.
+SymSparse<double> problem(int variant) {
+  return gen_fe_mesh({10 + 2 * static_cast<idx_t>(variant), 10, 4, 1, 1,
+                      77u + static_cast<std::uint64_t>(variant)});
+}
+
+std::vector<double> ones_rhs(const SymSparse<double>& a) {
+  return std::vector<double>(static_cast<std::size_t>(a.n()), 1.0);
+}
+
+/// Fault-free serial reference at the service's rank count — the digest
+/// the service must reproduce bitwise (factorization and solve are
+/// deterministic per (plan, nprocs), even under delivery faults).
+std::vector<double> baseline(const SymSparse<double>& a, idx_t nprocs) {
+  SolverOptions opt;
+  opt.nprocs = nprocs;
+  Solver<double> sv(opt);
+  sv.analyze(a);
+  sv.factorize();
+  return sv.solve(ones_rhs(a));
+}
+
+ServiceOptions base_options(idx_t nprocs) {
+  ServiceOptions o;
+  o.solver.nprocs = nprocs;
+  o.recv_deadline = kDeadline;
+  return o;
+}
+
+/// Mid-stream K_p index on `rank` — a kill the rank is guaranteed to reach.
+std::uint64_t kill_index(const Solver<double>& sv, int rank) {
+  const auto& kp = sv.schedule().kp[static_cast<std::size_t>(rank)];
+  return kp.size() / 2;
+}
+
+/// Gate that stalls executions until released — makes queue states
+/// deterministic in the admission tests.
+struct Gate {
+  std::mutex m;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> waiting{0};
+  void wait() {
+    waiting++;
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return open; });
+  }
+  void release() {
+    {
+      const std::lock_guard lock(m);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void await_waiter() {
+    while (waiting.load() == 0) std::this_thread::sleep_for(1ms);
+  }
+};
+
+// ------------------------------------------------------------- happy path --
+
+TEST(ServiceBasic, SolvesBitwiseIdenticalToSerialBaseline) {
+  const SymSparse<double> a = problem(0);
+  const std::vector<double> ref = baseline(a, 2);
+
+  SolverService svc(base_options(2));
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    SubmitResult r =
+        svc.submit({a, ones_rhs(a), i % 2 ? "acme" : "globex"});
+    ASSERT_TRUE(r.admitted);
+    tickets.push_back(r.ticket);
+  }
+  svc.drain();
+  for (auto& t : tickets) {
+    const JobResult& res = t.wait();
+    ASSERT_EQ(res.outcome, JobOutcome::kDone) << res.message;
+    EXPECT_EQ(res.error, JobError::kNone);
+    EXPECT_EQ(res.x, ref);  // bitwise
+    EXPECT_EQ(res.attempts, 1);
+    EXPECT_FALSE(res.degraded);
+  }
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.total.submitted, 4u);
+  EXPECT_EQ(st.total.admitted, 4u);
+  EXPECT_EQ(st.total.done, 4u);
+  EXPECT_EQ(st.total.rejected + st.total.failed + st.total.shed, 0u);
+  // One analysis for the shared fingerprint; the rest hit the cache.
+  EXPECT_EQ(st.total.cache_misses, 1u);
+  EXPECT_EQ(st.total.cache_hits, 3u);
+  EXPECT_EQ(st.tenants.size(), 2u);
+  EXPECT_EQ(st.latency.at("acme").count, 2u);
+  const std::string report = st.to_string();
+  EXPECT_NE(report.find("## Service"), std::string::npos);
+  EXPECT_NE(report.find("acme"), std::string::npos);
+}
+
+TEST(ServiceBasic, StopShedsQueuedJobsWithNamedReason) {
+  Gate gate;
+  ServiceOptions opt = base_options(1);
+  opt.workers = 1;
+  opt.before_attempt = [&](Solver<double>&, const AttemptContext&) {
+    gate.wait();
+  };
+  const SymSparse<double> a = problem(0);
+
+  auto svc = std::make_unique<SolverService>(opt);
+  SubmitResult running = svc->submit({a, ones_rhs(a)});
+  ASSERT_TRUE(running.admitted);
+  gate.await_waiter();
+  SubmitResult queued = svc->submit({a, ones_rhs(a)});
+  ASSERT_TRUE(queued.admitted);
+
+  std::thread stopper([&] { svc->stop(); });
+  gate.release();
+  stopper.join();
+  EXPECT_EQ(queued.ticket.wait().outcome, JobOutcome::kShed);
+  EXPECT_EQ(queued.ticket.wait().error, JobError::kShutdown);
+  // The running job still terminated — nothing is silently lost on stop().
+  EXPECT_TRUE(running.ticket.finished());
+  // Post-stop submissions are rejected, not dropped.
+  SubmitResult late = svc->submit({a, ones_rhs(a)});
+  EXPECT_FALSE(late.admitted);
+  EXPECT_EQ(late.reject, JobError::kShutdown);
+}
+
+// -------------------------------------------------------------- plan cache --
+
+TEST(ServiceCache, DiskTierServesAcrossRestart) {
+  const fs::path dir = fs::temp_directory_path() / "pastix_svc_disk_test";
+  fs::remove_all(dir);
+  const SymSparse<double> a = problem(1);
+  ServiceOptions opt = base_options(2);
+  opt.cache.disk_dir = dir.string();
+
+  {
+    SolverService svc(opt);
+    SubmitResult r = svc.submit({a, ones_rhs(a)});
+    ASSERT_TRUE(r.admitted);
+    EXPECT_EQ(r.ticket.wait().outcome, JobOutcome::kDone);
+    EXPECT_FALSE(r.ticket.wait().cache_hit);
+    const std::string path =
+        svc.cache().disk_path(fingerprint_pattern(a.pattern));
+    EXPECT_TRUE(fs::exists(path));
+  }
+  {
+    // A fresh service instance (restart) warm-starts from the disk tier:
+    // no re-analysis, the job reports a cache hit.
+    SolverService svc(opt);
+    SubmitResult r = svc.submit({a, ones_rhs(a)});
+    ASSERT_TRUE(r.admitted);
+    EXPECT_EQ(r.ticket.wait().outcome, JobOutcome::kDone);
+    EXPECT_TRUE(r.ticket.wait().cache_hit);
+    EXPECT_EQ(svc.stats().cache.disk_hits, 1u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ServiceCache, CorruptDiskFileIsQuarantinedNeverFatal) {
+  const fs::path dir = fs::temp_directory_path() / "pastix_svc_corrupt_test";
+  fs::remove_all(dir);
+  const SymSparse<double> a = problem(1);
+  ServiceOptions opt = base_options(2);
+  opt.cache.disk_dir = dir.string();
+  const PatternFingerprint fp = fingerprint_pattern(a.pattern);
+
+  std::string path;
+  {
+    SolverService svc(opt);
+    SubmitResult r = svc.submit({a, ones_rhs(a)});
+    ASSERT_TRUE(r.admitted);
+    ASSERT_EQ(r.ticket.wait().outcome, JobOutcome::kDone);
+    path = svc.cache().disk_path(fp);
+  }
+  // Truncate the cached plan to garbage in place.
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "not a plan file";
+  }
+  {
+    SolverService svc(opt);
+    SubmitResult r = svc.submit({a, ones_rhs(a)});
+    ASSERT_TRUE(r.admitted);
+    const JobResult& res = r.ticket.wait();
+    // Damage costs one re-analysis — the job still succeeds.
+    EXPECT_EQ(res.outcome, JobOutcome::kDone) << res.message;
+    EXPECT_FALSE(res.cache_hit);
+    EXPECT_EQ(svc.stats().cache.disk_corrupt, 1u);
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));  // evidence kept aside
+    // The re-analysis rewrote a healthy entry for the next restart.
+    EXPECT_TRUE(fs::exists(path));
+  }
+  fs::remove_all(dir);
+}
+
+// --------------------------------------------------------------- admission --
+
+TEST(ServiceAdmission, TenantInflightCapRejectsSynchronously) {
+  Gate gate;
+  ServiceOptions opt = base_options(1);
+  opt.workers = 1;
+  opt.tenant_max_inflight = 2;
+  opt.before_attempt = [&](Solver<double>&, const AttemptContext&) {
+    gate.wait();
+  };
+  const SymSparse<double> a = problem(0);
+
+  SolverService svc(opt);
+  SubmitResult r1 = svc.submit({a, ones_rhs(a), "acme"});
+  ASSERT_TRUE(r1.admitted);
+  gate.await_waiter();
+  SubmitResult r2 = svc.submit({a, ones_rhs(a), "acme"});
+  ASSERT_TRUE(r2.admitted);
+  SubmitResult r3 = svc.submit({a, ones_rhs(a), "acme"});
+  EXPECT_FALSE(r3.admitted);
+  EXPECT_EQ(r3.reject, JobError::kTenantLimit);
+  EXPECT_FALSE(r3.ticket.valid());
+  // Another tenant is not starved by acme's cap.
+  SubmitResult other = svc.submit({a, ones_rhs(a), "globex"});
+  EXPECT_TRUE(other.admitted);
+
+  gate.release();
+  svc.drain();
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.tenants.at("acme").submitted, 3u);
+  EXPECT_EQ(st.tenants.at("acme").admitted, 2u);
+  EXPECT_EQ(st.tenants.at("acme").rejected, 1u);
+  EXPECT_EQ(st.tenants.at("acme").done, 2u);
+}
+
+TEST(ServiceAdmission, FullQueueDisplacesStrictlyWorseWork) {
+  Gate gate;
+  ServiceOptions opt = base_options(1);
+  opt.workers = 1;
+  opt.queue_capacity = 1;
+  opt.before_attempt = [&](Solver<double>&, const AttemptContext&) {
+    gate.wait();
+  };
+  const SymSparse<double> a = problem(0);
+
+  SolverService svc(opt);
+  JobRequest req{a, ones_rhs(a)};
+  SubmitResult running = svc.submit(req);
+  ASSERT_TRUE(running.admitted);
+  gate.await_waiter();
+
+  SubmitResult low = svc.submit(req);  // fills the queue at priority 0
+  ASSERT_TRUE(low.admitted);
+  JobRequest urgent{a, ones_rhs(a)};
+  urgent.priority = 5;
+  SubmitResult high = svc.submit(urgent);  // displaces `low`
+  ASSERT_TRUE(high.admitted);
+  EXPECT_EQ(low.ticket.wait().outcome, JobOutcome::kShed);
+  EXPECT_EQ(low.ticket.wait().error, JobError::kQueueOverflow);
+  SubmitResult equal = svc.submit(urgent);  // its equal — rejected instead
+  EXPECT_FALSE(equal.admitted);
+  EXPECT_EQ(equal.reject, JobError::kQueueFull);
+
+  gate.release();
+  svc.drain();
+  EXPECT_EQ(high.ticket.wait().outcome, JobOutcome::kDone);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.total.admitted, st.total.done + st.total.failed +
+                                   st.total.shed);
+}
+
+TEST(ServiceAdmission, ExpiredDeadlineIsShedNotRun) {
+  Gate gate;
+  ServiceOptions opt = base_options(1);
+  opt.workers = 1;
+  opt.before_attempt = [&](Solver<double>&, const AttemptContext&) {
+    gate.wait();
+  };
+  const SymSparse<double> a = problem(0);
+
+  SolverService svc(opt);
+  SubmitResult running = svc.submit({a, ones_rhs(a)});
+  ASSERT_TRUE(running.admitted);
+  gate.await_waiter();
+  JobRequest hasty{a, ones_rhs(a)};
+  hasty.deadline = Clock::now() + 20ms;
+  SubmitResult doomed = svc.submit(hasty);
+  ASSERT_TRUE(doomed.admitted);
+  std::this_thread::sleep_for(60ms);
+  gate.release();
+  svc.drain();
+
+  EXPECT_EQ(doomed.ticket.wait().outcome, JobOutcome::kShed);
+  EXPECT_EQ(doomed.ticket.wait().error, JobError::kDeadlineExpired);
+  EXPECT_EQ(running.ticket.wait().outcome, JobOutcome::kDone);
+}
+
+TEST(ServiceAdmission, MemoryBudgetFailsOversizedAndSerializesRest) {
+  const SymSparse<double> a = problem(2);
+  // The static bound, measured exactly as the service will charge it.
+  const PlanPtr plan = analyze(a.pattern, base_options(2).solver);
+  const auto bound = static_cast<std::size_t>(
+      verify::static_memory_bound(*plan).total_bytes(sizeof(double)));
+  ASSERT_GT(bound, 0u);
+
+  {
+    // Budget below one job's bound: deterministic kOverBudget, no attempt.
+    ServiceOptions opt = base_options(2);
+    opt.memory_budget_bytes = bound - 1;
+    SolverService svc(opt);
+    SubmitResult r = svc.submit({a, ones_rhs(a)});
+    ASSERT_TRUE(r.admitted);
+    EXPECT_EQ(r.ticket.wait().outcome, JobOutcome::kFailed);
+    EXPECT_EQ(r.ticket.wait().error, JobError::kOverBudget);
+    EXPECT_EQ(r.ticket.wait().attempts, 0);
+  }
+  {
+    // Budget for one job at a time with two workers: everything completes,
+    // and the reservation high-water mark never exceeds the budget.
+    ServiceOptions opt = base_options(2);
+    opt.workers = 2;
+    opt.memory_budget_bytes = bound + bound / 2;
+    SolverService svc(opt);
+    std::vector<JobTicket> tickets;
+    for (int i = 0; i < 4; ++i) {
+      SubmitResult r = svc.submit({a, ones_rhs(a)});
+      ASSERT_TRUE(r.admitted);
+      tickets.push_back(r.ticket);
+    }
+    svc.drain();
+    for (auto& t : tickets)
+      EXPECT_EQ(t.wait().outcome, JobOutcome::kDone) << t.wait().message;
+    const ServiceStats st = svc.stats();
+    EXPECT_LE(st.mem_reserved_peak_bytes, st.mem_budget_bytes);
+    EXPECT_EQ(st.mem_reserved_bytes, 0u);
+    EXPECT_EQ(st.mem_reserved_peak_bytes, bound);  // one at a time
+  }
+}
+
+// ----------------------------------------------------------------- retries --
+
+TEST(ServiceRetry, TransientKillIsRetriedToBitwiseCorrectness) {
+  const SymSparse<double> a = problem(0);
+  const std::vector<double> ref = baseline(a, 2);
+
+  ServiceOptions opt = base_options(2);
+  opt.max_attempts = 3;
+  opt.backoff_base = 1ms;
+  // Kill rank 1 mid-factorization on the first attempt only; later
+  // attempts explicitly disarm (Comm::reset() re-arms the kill budget, so
+  // a stale injection would fire again).
+  opt.before_attempt = [](Solver<double>& sv, const AttemptContext& ctx) {
+    rt::FaultInjection f;
+    if (ctx.attempt == 1) {
+      f.kill_rank = 1;
+      f.kill_at_task = kill_index(sv, 1);
+    }
+    sv.comm().set_fault_injection(f);
+  };
+
+  SolverService svc(opt);
+  SubmitResult r = svc.submit({a, ones_rhs(a)});
+  ASSERT_TRUE(r.admitted);
+  const JobResult& res = r.ticket.wait();
+  ASSERT_EQ(res.outcome, JobOutcome::kDone) << res.message;
+  EXPECT_EQ(res.attempts, 2);
+  EXPECT_EQ(res.retries, 1);
+  EXPECT_EQ(res.x, ref);  // the retried job is indistinguishable
+  EXPECT_EQ(svc.stats().total.retried, 1u);
+  EXPECT_EQ(svc.stats().quarantined_fingerprints, 0u);
+}
+
+TEST(ServiceRetry, ExhaustedTransientsFailTheJobNotTheService) {
+  const SymSparse<double> a = problem(0);
+  ServiceOptions opt = base_options(2);
+  opt.max_attempts = 2;
+  opt.backoff_base = 1ms;
+  opt.poison_strike_limit = 100;  // keep the breaker out of this test
+  opt.before_attempt = [](Solver<double>& sv, const AttemptContext&) {
+    rt::FaultInjection f;
+    f.kill_rank = 1;
+    f.kill_at_task = kill_index(sv, 1);
+    sv.comm().set_fault_injection(f);  // every attempt dies
+  };
+
+  SolverService svc(opt);
+  SubmitResult r = svc.submit({a, ones_rhs(a)});
+  ASSERT_TRUE(r.admitted);
+  const JobResult& res = r.ticket.wait();
+  EXPECT_EQ(res.outcome, JobOutcome::kFailed);
+  EXPECT_EQ(res.error, JobError::kRetriesExhausted);
+  EXPECT_EQ(res.attempts, 2);
+  // The service survives: the same pattern from a clean solver still works.
+  SubmitResult ok = svc.submit({a, ones_rhs(a)});
+  // (breaker disabled above, so the fingerprint is not quarantined)
+  ASSERT_TRUE(ok.admitted);
+}
+
+// ---------------------------------------------------------- poison breaker --
+
+TEST(ServicePoison, RepeatedCrashesTripTheBreakerWithinBound) {
+  const SymSparse<double> a = problem(3);
+  const SymSparse<double> healthy = problem(0);
+  const PatternFingerprint poison_fp = fingerprint_pattern(a.pattern);
+
+  ServiceOptions opt = base_options(2);
+  opt.max_attempts = 5;
+  opt.backoff_base = 1ms;
+  opt.poison_strike_limit = 2;
+  opt.before_attempt = [&](Solver<double>& sv, const AttemptContext& ctx) {
+    rt::FaultInjection f;
+    if (ctx.fingerprint == poison_fp) {  // this pattern always crashes
+      f.kill_rank = 1;
+      f.kill_at_task = kill_index(sv, 1);
+    }
+    sv.comm().set_fault_injection(f);
+  };
+
+  SolverService svc(opt);
+  SubmitResult first = svc.submit({a, ones_rhs(a)});
+  ASSERT_TRUE(first.admitted);
+  const JobResult& res = first.ticket.wait();
+  EXPECT_EQ(res.outcome, JobOutcome::kFailed);
+  EXPECT_EQ(res.error, JobError::kQuarantined);
+  // The breaker opened within the strike bound — not after max_attempts.
+  EXPECT_EQ(res.attempts, opt.poison_strike_limit);
+
+  // Subsequent jobs on the poisoned fingerprint fail fast: no attempts.
+  SubmitResult second = svc.submit({a, ones_rhs(a)});
+  ASSERT_TRUE(second.admitted);
+  EXPECT_EQ(second.ticket.wait().error, JobError::kQuarantined);
+  EXPECT_EQ(second.ticket.wait().attempts, 0);
+  const auto reason = svc.quarantine_reason(poison_fp);
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_NE(reason->find("circuit breaker"), std::string::npos);
+
+  // Other fingerprints are untouched by the breaker.
+  SubmitResult ok = svc.submit({healthy, ones_rhs(healthy)});
+  ASSERT_TRUE(ok.admitted);
+  EXPECT_EQ(ok.ticket.wait().outcome, JobOutcome::kDone);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.quarantined_fingerprints, 1u);
+  EXPECT_GE(st.total.quarantine_hits, 1u);
+  // Operator release closes the breaker again.
+  svc.cache().release_quarantine(poison_fp);
+  // (the hook above still crashes it — just verify admission works)
+  EXPECT_EQ(svc.stats().quarantined_fingerprints, 0u);
+}
+
+// ------------------------------------------------------------------- chaos --
+
+// The acceptance scenario: N workers × M tenants × mixed fingerprints,
+// delivery faults on some patterns, first-attempt rank kills on others,
+// a few impossible deadlines.  Every ticket reaches exactly one terminal
+// state, every solved answer is bitwise equal to the serial baseline,
+// counters reconcile exactly, and the memory high-water mark respects the
+// budget.
+void chaos_storm(idx_t nprocs) {
+  constexpr int kVariants = 3;
+  SymSparse<double> mats[kVariants];
+  std::vector<double> refs[kVariants];
+  PatternFingerprint fps[kVariants];
+  std::size_t max_bound = 0;
+  for (int v = 0; v < kVariants; ++v) {
+    mats[v] = problem(v);
+    refs[v] = baseline(mats[v], nprocs);
+    fps[v] = fingerprint_pattern(mats[v].pattern);
+    const PlanPtr plan = analyze(mats[v].pattern, base_options(nprocs).solver);
+    max_bound = std::max(
+        max_bound, static_cast<std::size_t>(
+                       verify::static_memory_bound(*plan).total_bytes(
+                           sizeof(double))));
+  }
+
+  ServiceOptions opt = base_options(nprocs);
+  opt.workers = 4;
+  opt.queue_capacity = 256;
+  opt.max_attempts = 4;
+  opt.backoff_base = 1ms;
+  opt.memory_budget_bytes = 3 * max_bound;
+  opt.before_attempt = [&](Solver<double>& sv, const AttemptContext& ctx) {
+    rt::FaultInjection f;
+    f.seed = ctx.fingerprint.hash ^ static_cast<std::uint64_t>(ctx.attempt);
+    if (ctx.fingerprint == fps[1]) {
+      // Hostile delivery on variant 1 — solve digests are protocol-
+      // determined, so correctness must survive this unchanged.
+      f.delay_prob = 0.15;
+      f.reorder_prob = 0.25;
+    }
+    if (ctx.fingerprint == fps[2] && ctx.attempt == 1 && nprocs > 1) {
+      // Variant 2 crashes a rank on every first attempt — exercised
+      // through the transient-retry path at full concurrency.
+      f.kill_rank = static_cast<int>(nprocs) - 1;
+      f.kill_at_task = kill_index(sv, static_cast<int>(nprocs) - 1);
+    }
+    sv.comm().set_fault_injection(f);
+  };
+
+  SolverService svc(opt);
+  struct Submitted {
+    JobTicket ticket;
+    int variant;
+    bool hasty;  ///< impossible deadline — must be shed
+  };
+  std::mutex agg_mu;
+  std::vector<Submitted> all;
+  std::atomic<std::uint64_t> rejected{0};
+
+  constexpr int kThreads = 6;
+  constexpr int kJobsPer = 8;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPer; ++j) {
+        const int v = (t + j) % kVariants;
+        JobRequest req{mats[v], ones_rhs(mats[v]),
+                       "tenant" + std::to_string(t % 3)};
+        const bool hasty = (t == 0 && j % 4 == 3);
+        if (hasty) req.deadline = Clock::now() - 1ms;  // already expired
+        SubmitResult r = svc.submit(std::move(req));
+        if (!r.admitted) {
+          rejected++;
+          continue;
+        }
+        const std::lock_guard lock(agg_mu);
+        all.push_back({r.ticket, v, hasty});
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  svc.drain();
+
+  std::uint64_t done = 0, failed = 0, shed = 0;
+  for (const Submitted& s : all) {
+    const JobResult& res = s.ticket.wait();
+    switch (res.outcome) {
+      case JobOutcome::kDone:
+        done++;
+        EXPECT_EQ(res.x, refs[s.variant]) << "variant " << s.variant;
+        EXPECT_FALSE(s.hasty);
+        break;
+      case JobOutcome::kFailed: failed++; break;
+      case JobOutcome::kShed:
+        shed++;
+        break;
+      case JobOutcome::kPending:
+        FAIL() << "ticket left pending after drain()";
+    }
+    if (s.hasty) {
+      EXPECT_EQ(res.outcome, JobOutcome::kShed);
+    }
+  }
+  EXPECT_EQ(failed, 0u);  // kills are transient and within max_attempts
+
+  // Exact reconciliation: nothing lost, nothing double-counted.
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.total.submitted,
+            static_cast<std::uint64_t>(kThreads * kJobsPer));
+  EXPECT_EQ(st.total.submitted, st.total.admitted + st.total.rejected);
+  EXPECT_EQ(st.total.rejected, rejected.load());
+  EXPECT_EQ(st.total.admitted, static_cast<std::uint64_t>(all.size()));
+  EXPECT_EQ(st.total.admitted,
+            st.total.done + st.total.failed + st.total.shed);
+  EXPECT_EQ(st.total.done, done);
+  EXPECT_EQ(st.total.failed, failed);
+  EXPECT_EQ(st.total.shed, shed);
+  // Every job that reached the cache is accounted a hit or a miss, and
+  // each variant was analyzed at most once per corruption-free run.
+  EXPECT_EQ(st.total.cache_hits + st.total.cache_misses, done + failed);
+  EXPECT_LE(st.total.cache_misses, static_cast<std::uint64_t>(kVariants));
+  if (nprocs > 1) {
+    EXPECT_GE(st.total.retried, 1u);
+  }
+  EXPECT_LE(st.mem_reserved_peak_bytes, st.mem_budget_bytes);
+  EXPECT_EQ(st.mem_reserved_bytes, 0u);
+  EXPECT_EQ(st.quarantined_fingerprints, 0u);
+  EXPECT_EQ(st.queue_depth, 0u);
+  EXPECT_EQ(st.jobs_running, 0u);
+}
+
+TEST(ServiceChaos, StormOneRank) { chaos_storm(1); }
+TEST(ServiceChaos, StormTwoRanks) { chaos_storm(2); }
+TEST(ServiceChaos, StormFourRanks) { chaos_storm(4); }
+
+} // namespace
+} // namespace pastix::service

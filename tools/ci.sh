@@ -8,9 +8,12 @@
 #   bench  — smoke-sized benchmark runs (includes the verifier <=5% budget)
 #   lint   — clang-tidy profile over src/support, src/rt, src/map,
 #            src/verify (skips cleanly when clang-tidy is absent)
+#   service— multi-tenant service suite (admission/cache/retry/chaos) on
+#            the default preset, plus the chaos storms under TSan
 #   ubsan  — UndefinedBehaviorSanitizer preset + verifier/comm/solver tests
 #   asan   — Address+UB sanitizer preset, runtime-focused test filter
-#   tsan   — ThreadSanitizer preset, runtime-focused test filter
+#   tsan   — ThreadSanitizer preset, runtime-focused test filter (includes
+#            the Service* suites)
 #
 # Usage: tools/ci.sh [lane ...]
 set -euo pipefail
@@ -19,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 lanes=("$@")
 if [ ${#lanes[@]} -eq 0 ]; then
-  lanes=(tier1 bench lint ubsan asan tsan)
+  lanes=(tier1 bench service lint ubsan asan tsan)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -37,6 +40,15 @@ run_lane() {
       cmake --preset default
       cmake --build build -j "${jobs}"
       ctest --test-dir build -L bench --output-on-failure
+      ;;
+    service)
+      cmake --preset default
+      cmake --build build -j "${jobs}"
+      ctest --test-dir build -L service -j "${jobs}" --output-on-failure
+      cmake --preset tsan
+      cmake --build build-tsan -j "${jobs}"
+      ctest --test-dir build-tsan -R "ServiceChaos" -j "${jobs}" \
+            --output-on-failure
       ;;
     lint)
       cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
@@ -58,7 +70,7 @@ run_lane() {
       ctest --preset tsan -j "${jobs}" --output-on-failure
       ;;
     *)
-      echo "ci: unknown lane '$1' (tier1|bench|lint|ubsan|asan|tsan)" >&2
+      echo "ci: unknown lane '$1' (tier1|bench|service|lint|ubsan|asan|tsan)" >&2
       exit 2
       ;;
   esac
