@@ -1,0 +1,119 @@
+// Multi-RHS solve throughput: the scheduled panel solve (solve_many, one
+// n x w panel through BLAS-3 trsm/gemm kernels) against the looped
+// single-RHS path (one scheduled gemv/trsv solve per side), across batch
+// widths and rank counts.  This is the number the ROADMAP's solve-phase
+// throughput item asks for; results land in BENCH_solve_throughput.json.
+//
+//   ./solve_throughput [mesh_nx] [repeats]
+//
+// The acceptance bar (ISSUE 7): at 32 right-hand sides on 1 rank the panel
+// path must deliver >= 2x the solves/sec of the looped path.
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/pastix.hpp"
+#include "sparse/gen.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pastix;
+  const idx_t nx = argc > 1 ? std::atoi(argv[1]) : 14;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  FeMeshSpec spec;
+  spec.nx = nx;
+  spec.ny = nx;
+  spec.nz = 4;
+  spec.dof = 2;
+  const auto a = gen_fe_mesh(spec);
+  std::cout << "=== Multi-RHS solve throughput (n = " << a.n() << ") ===\n\n";
+
+  const auto make_batch = [&](idx_t nrhs) {
+    std::vector<std::vector<double>> bs(static_cast<std::size_t>(nrhs));
+    for (std::size_t r = 0; r < bs.size(); ++r) {
+      bs[r].assign(static_cast<std::size_t>(a.n()), 1.0);
+      for (std::size_t i = r; i < bs[r].size(); i += bs.size())
+        bs[r][i] = 2.0;
+    }
+    return bs;
+  };
+
+  struct Row {
+    idx_t ranks, nrhs;
+    double panel_sps, looped_sps, speedup, worst_residual;
+  };
+  std::vector<Row> rows;
+  double accept_speedup = 0;
+
+  for (const idx_t ranks : {1, 2, 4}) {
+    SolverOptions opt;
+    opt.nprocs = ranks;
+    Solver<double> solver(opt);
+    solver.analyze(a);
+    solver.factorize();
+
+    TextTable table({"ranks", "#rhs", "panel solves/s", "looped solves/s",
+                     "speedup", "worst residual"});
+    std::vector<idx_t> widths = {1, 4, 16, 64};
+    if (ranks == 1) widths.push_back(32);  // the acceptance measurement
+    for (const idx_t nrhs : widths) {
+      const auto bs = make_batch(nrhs);
+
+      // Warm both paths once, then time the best of `repeats`.
+      auto xs = solver.solve_many(bs);
+      double panel_s = 1e300;
+      for (int it = 0; it < repeats; ++it) {
+        Timer t;
+        xs = solver.solve_many(bs);
+        panel_s = std::min(panel_s, t.seconds());
+      }
+      double worst = 0;
+      for (std::size_t r = 0; r < xs.size(); ++r)
+        worst = std::max(worst, relative_residual(a, xs[r], bs[r]));
+
+      double looped_s = 1e300;
+      for (int it = 0; it < repeats; ++it) {
+        Timer t;
+        for (const auto& b : bs) {
+          const auto x = solver.solve(b);
+          PASTIX_CHECK(x.size() == b.size(), "solve size");
+        }
+        looped_s = std::min(looped_s, t.seconds());
+      }
+
+      const double panel_sps = nrhs / std::max(panel_s, 1e-12);
+      const double looped_sps = nrhs / std::max(looped_s, 1e-12);
+      const double speedup = panel_sps / std::max(looped_sps, 1e-12);
+      if (ranks == 1 && nrhs == 32) accept_speedup = speedup;
+      if (nrhs != 32)
+        rows.push_back({ranks, nrhs, panel_sps, looped_sps, speedup, worst});
+      table.add_row({std::to_string(ranks), std::to_string(nrhs),
+                     fmt_fixed(panel_sps, 1), fmt_fixed(looped_sps, 1),
+                     fmt_fixed(speedup, 2) + "x", fmt_sci(worst)});
+    }
+    table.print();
+    std::cout << "\n";
+  }
+
+  std::cout << "acceptance: 32-RHS panel vs looped on 1 rank = "
+            << fmt_fixed(accept_speedup, 2) << "x (bar: >= 2x)\n";
+
+  std::ofstream json("BENCH_solve_throughput.json");
+  json << "{\n  \"n\": " << a.n() << ",\n  \"repeats\": " << repeats
+       << ",\n  \"accept_speedup_32rhs_1rank\": " << accept_speedup
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"ranks\": " << r.ranks << ", \"nrhs\": " << r.nrhs
+         << ", \"panel_solves_per_sec\": " << r.panel_sps
+         << ", \"looped_solves_per_sec\": " << r.looped_sps
+         << ", \"speedup\": " << r.speedup
+         << ", \"worst_residual\": " << r.worst_residual << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote BENCH_solve_throughput.json\n";
+  return accept_speedup >= 2.0 ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+#pragma once
+//
+// A thin consumer-facing wrapper shaped after the amgcl coarse-solver
+// interface (amgcl::mpi::PaStiX): a single template class that takes a
+// symmetric matrix in plain CRS arrays, runs analysis + factorization in
+// its constructor, and solves with operator().  This is the adoption path
+// for a host code that has its own matrix format and just wants a direct
+// solver object — no contact with the library's SymSparse / plan types.
+//
+//   std::vector<int>    ptr, col;   // CRS of the symmetric matrix
+//   std::vector<double> val;        // (both triangles or just the lower)
+//   PaStiXSolver<double> solve(n, ptr, col, val);
+//   solve(b, x);                    // x = A^{-1} b
+//   auto xs = solve.solve_batch(bs);// panel-batched multi-RHS solve
+//
+// Entries with column > row are ignored, so feeding a full symmetric CRS
+// and feeding only the lower triangle produce the same matrix; duplicate
+// entries are summed (finite-element assembly style).
+//
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "core/pastix.hpp"
+#include "sparse/coo_builder.hpp"
+
+namespace pastix {
+
+template <typename value_type>
+class PaStiXSolver {
+  static_assert(std::is_same<value_type, double>::value ||
+                    std::is_same<value_type, float>::value,
+                "unsupported value type for the PaStiX wrapper");
+
+public:
+  struct params {
+    idx_t nprocs = 0;      ///< solver ranks; 0 = pick from comm_size(n)
+    int refine_steps = 0;  ///< iterative-refinement sweeps per solve
+  };
+
+  /// Rank-count heuristic mirroring the amgcl wrapper's comm_size():
+  /// one rank per chunk of unknowns, at least one.
+  static idx_t comm_size(idx_t n_rows) {
+    const idx_t rows_per_rank = 5000;
+    return std::max<idx_t>(1, (n_rows + rows_per_rank - 1) / rows_per_rank);
+  }
+
+  /// Build, analyze and factorize from CRS ranges (any random-access
+  /// containers of integral ptr/col and value entries).
+  template <class PRng, class CRng, class VRng>
+  PaStiXSolver(idx_t n, const PRng& ptr, const CRng& col, const VRng& val,
+               const params& prm = params())
+      : solver_(make_options(n, prm)), prm_(prm) {
+    CooBuilder<value_type> builder(n);
+    for (idx_t i = 0; i < n; ++i)
+      for (auto q = static_cast<std::size_t>(ptr[static_cast<std::size_t>(i)]);
+           q < static_cast<std::size_t>(ptr[static_cast<std::size_t>(i) + 1]);
+           ++q) {
+        const auto j = static_cast<idx_t>(col[q]);
+        if (j <= i) builder.add(i, j, static_cast<value_type>(val[q]));
+      }
+    solver_.analyze(builder.build());
+    solver_.factorize();
+  }
+
+  /// x = A^{-1} rhs (sizes must equal the matrix order).
+  void operator()(const std::vector<value_type>& rhs,
+                  std::vector<value_type>& x) {
+    x = prm_.refine_steps > 0 ? solver_.solve_refined(rhs, prm_.refine_steps)
+                              : solver_.solve(rhs);
+  }
+
+  /// Batched multi-RHS solve through the scheduled panel path.
+  [[nodiscard]] std::vector<std::vector<value_type>> solve_batch(
+      const std::vector<std::vector<value_type>>& rhs) {
+    return solver_.solve_many(rhs);
+  }
+
+  [[nodiscard]] const SolverStats& stats() const { return solver_.stats(); }
+  [[nodiscard]] Solver<value_type>& solver() { return solver_; }
+
+private:
+  static SolverOptions make_options(idx_t n, const params& prm) {
+    SolverOptions opt;
+    opt.nprocs = prm.nprocs > 0 ? prm.nprocs : comm_size(n);
+    return opt;
+  }
+
+  Solver<value_type> solver_;
+  params prm_;
+};
+
+} // namespace pastix

@@ -52,6 +52,8 @@ PlanPtr analyze(const SparsePattern& pattern, const SolverOptions& opt) {
                             opt.scheduler);
   p.sim = simulate_schedule(p.tg, p.sched, opt.model);
   p.comm = build_comm_plan(p.symbol, p.tg, p.sched, opt.fanin.partial_chunk);
+  p.solve = build_solve_plan(p.symbol, p.tg, p.sched, opt.model);
+  p.solve.sim = simulate_schedule(p.solve.tg, p.solve.sched, opt.model);
 
   p.stats.nnz_l = p.order.scalar.nnz_l;
   p.stats.opc = p.order.scalar.opc;

@@ -24,6 +24,7 @@
 #include "simul/simulate.hpp"
 #include "solver/comm_plan.hpp"
 #include "solver/fanin.hpp"
+#include "solver/solve_model.hpp"
 #include "symbolic/split.hpp"
 
 namespace pastix {
@@ -101,6 +102,7 @@ struct AnalysisPlan {
   Schedule sched;                 ///< static mapping + per-proc orders K_p
   SimResult sim;                  ///< discrete-event replay of the schedule
   CommPlan comm;                  ///< precomputed message counts/destinations
+  SolvePlan solve;                ///< solve-phase task graph + K_p schedule
   AnalysisStats stats;            ///< summary numbers
 
   [[nodiscard]] idx_t nprocs() const { return sched.nprocs; }

@@ -30,7 +30,7 @@ public:
   explicit NumericFactor(PlanPtr plan, const FaninOptions& fopt = {})
       : plan_(std::move(plan)),
         fanin_(checked(plan_)->symbol, plan_->tg, plan_->sched, plan_->comm,
-               fopt),
+               fopt, &plan_->solve),
         comm_(std::make_unique<rt::Comm>(static_cast<int>(plan_->nprocs()))) {}
 
   NumericFactor(const NumericFactor&) = delete;
@@ -95,6 +95,13 @@ public:
 
   [[nodiscard]] const AnalysisPlan& plan() const { return *plan_; }
   [[nodiscard]] const PlanPtr& plan_ptr() const { return plan_; }
+
+  /// Allocate-once staging panels for the batched multi-RHS solve path
+  /// (Solver::solve_many): the permuted right-hand-side and solution
+  /// panels, reused across calls so a solve batch allocates at most once.
+  [[nodiscard]] std::vector<T>& rhs_panel() { return rhs_panel_; }
+  [[nodiscard]] std::vector<T>& sol_panel() { return sol_panel_; }
+
   [[nodiscard]] const SymSparse<T>& permuted() const { return permuted_; }
   [[nodiscard]] FaninSolver<T>& fanin() { return fanin_; }
   [[nodiscard]] const FaninSolver<T>& fanin() const { return fanin_; }
@@ -152,6 +159,7 @@ private:
   std::vector<idx_t> val_map_;  ///< original entry -> permuted entry
   bool permuted_built_ = false;
   FaninSolver<T> fanin_;
+  std::vector<T> rhs_panel_, sol_panel_;  ///< solve_many staging (see above)
   std::unique_ptr<rt::Comm> comm_;
   std::unique_ptr<rt::TraceRecorder> tracer_;  ///< lazily created
   std::unique_ptr<rt::Checkpoint> checkpoints_;  ///< lazily created

@@ -45,6 +45,12 @@ struct SolverStats {
   FactorStatus factor_status;  ///< structured outcome of the last factorize()
   idx_t solve_many_rhs = 0; ///< right-hand sides of the last solve_many()
   double solve_many_seconds = 0;  ///< wall time of the last solve_many()
+  idx_t solve_many_panel = 0;  ///< widest RHS panel of the last solve_many()
+  /// Throughput of the last solve_many() in solves per second (the panel
+  /// path's headline number; 0 until a solve_many ran).
+  [[nodiscard]] double solve_many_per_second() const {
+    return solve_many_seconds > 0 ? solve_many_rhs / solve_many_seconds : 0.0;
+  }
   bool traced = false;      ///< the last factorize() ran with tracing on
   TraceComparison trace;    ///< predicted-vs-actual report (when traced)
   // Crash-recovery cost of the last factorize() (zero when resilience was
@@ -232,20 +238,51 @@ public:
     return res;
   }
 
+  /// Right-hand sides batched into one solve panel (bounds the per-rank
+  /// working-panel memory; a full batch is chunked at this width).
+  static constexpr idx_t kSolvePanelWidth = 64;
+
   /// Solve for several right-hand sides, reusing the factorization and one
-  /// set of permutation/solve buffers across the whole batch.
+  /// set of staging panels across the whole batch.  The sides are blocked
+  /// into n x w column-major panels (w <= kSolvePanelWidth) and pushed
+  /// through the scheduled panel solve, so the triangular sweeps run on the
+  /// BLAS-3 kernels and the message count is independent of the batch size.
   [[nodiscard]] std::vector<std::vector<T>> solve_many(
       const std::vector<std::vector<T>>& rhs) {
     PASTIX_CHECK(analyzed_, "analyze() must run before solve()");
     Timer timer;
+    const auto n = static_cast<std::size_t>(symbol().n);
+    const auto& pm = perm().perm;
     std::vector<std::vector<T>> xs(rhs.size());
-    std::vector<T> pb, px;
-    for (std::size_t r = 0; r < rhs.size(); ++r) {
-      permute_vector_into(rhs[r], perm(), pb);
-      numeric_->fanin().solve(numeric_->comm(), pb, px);
-      unpermute_vector_into(px, perm(), xs[r]);
+    std::vector<T>& pb = numeric_->rhs_panel();
+    std::vector<T>& px = numeric_->sol_panel();
+    idx_t widest = 0;
+    for (std::size_t r0 = 0; r0 < rhs.size();
+         r0 += static_cast<std::size_t>(kSolvePanelWidth)) {
+      const auto w = static_cast<idx_t>(
+          std::min<std::size_t>(static_cast<std::size_t>(kSolvePanelWidth),
+                                rhs.size() - r0));
+      widest = std::max(widest, w);
+      pb.resize(n * static_cast<std::size_t>(w));
+      px.resize(n * static_cast<std::size_t>(w));
+      for (idx_t c = 0; c < w; ++c) {
+        const std::vector<T>& b = rhs[r0 + static_cast<std::size_t>(c)];
+        PASTIX_CHECK(b.size() == n, "rhs size mismatch");
+        T* col = pb.data() + static_cast<std::size_t>(c) * n;
+        for (std::size_t i = 0; i < n; ++i)
+          col[static_cast<std::size_t>(pm[i])] = b[i];
+      }
+      numeric_->fanin().solve_panel(numeric_->comm(), pb.data(), px.data(), w);
+      for (idx_t c = 0; c < w; ++c) {
+        std::vector<T>& x = xs[r0 + static_cast<std::size_t>(c)];
+        x.resize(n);
+        const T* col = px.data() + static_cast<std::size_t>(c) * n;
+        for (std::size_t i = 0; i < n; ++i)
+          x[i] = col[static_cast<std::size_t>(pm[i])];
+      }
     }
     stats_.solve_many_rhs = static_cast<idx_t>(rhs.size());
+    stats_.solve_many_panel = widest;
     stats_.solve_many_seconds = timer.seconds();
     return xs;
   }

@@ -17,7 +17,8 @@ namespace {
 
 constexpr char kMagic[8] = {'P', 'S', 'T', 'X', 'P', 'L', 'A', 'N'};
 // v2: SolverOptions grew the verify_plan strict-mode flag.
-constexpr std::uint32_t kVersion = 2;
+// v3: AnalysisPlan carries the solve-phase plan (tg + K_p schedule + sim).
+constexpr std::uint32_t kVersion = 3;
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -261,6 +262,27 @@ void save_plan(const AnalysisPlan& plan, std::ostream& out) {
   put_vecvec(out, plan.comm.yseg_dests);
   put_vecvec(out, plan.comm.xseg_dests);
 
+  // Solve-phase plan (v3): same tg/sched/sim layout as the factorization's.
+  put_vec(out, plan.solve.tg.tasks);
+  put_vecvec(out, plan.solve.tg.inputs);
+  put_vecvec(out, plan.solve.tg.prec);
+  put_vec(out, plan.solve.tg.cblk_task);
+  put_vec(out, plan.solve.tg.blok_task);
+  put_vec(out, plan.solve.tg.depth);
+  put_raw(out, plan.solve.sched.nprocs);
+  put_vec(out, plan.solve.sched.proc);
+  put_vec(out, plan.solve.sched.prio);
+  put_vec(out, plan.solve.sched.start);
+  put_vec(out, plan.solve.sched.end);
+  put_vecvec(out, plan.solve.sched.kp);
+  put_raw(out, plan.solve.sched.makespan);
+  put_raw(out, plan.solve.sim.makespan);
+  put_vec(out, plan.solve.sim.busy);
+  put_vec(out, plan.solve.sim.idle);
+  put_raw(out, plan.solve.sim.comm_entries);
+  put_raw(out, plan.solve.sim.messages);
+  put_raw(out, plan.solve.sim.aggregate_seconds);
+
   put_raw(out, plan.stats);
   out.flush();
   PASTIX_CHECK(out.good(), "plan write failed");
@@ -344,6 +366,26 @@ PlanPtr load_plan(std::istream& stream) {
   get_vecvec(in, p.comm.bwd_remote_bloks);
   get_vecvec(in, p.comm.yseg_dests);
   get_vecvec(in, p.comm.xseg_dests);
+
+  get_vec(in, p.solve.tg.tasks);
+  get_vecvec(in, p.solve.tg.inputs);
+  get_vecvec(in, p.solve.tg.prec);
+  get_vec(in, p.solve.tg.cblk_task);
+  get_vec(in, p.solve.tg.blok_task);
+  get_vec(in, p.solve.tg.depth);
+  get_raw(in, p.solve.sched.nprocs);
+  get_vec(in, p.solve.sched.proc);
+  get_vec(in, p.solve.sched.prio);
+  get_vec(in, p.solve.sched.start);
+  get_vec(in, p.solve.sched.end);
+  get_vecvec(in, p.solve.sched.kp);
+  get_raw(in, p.solve.sched.makespan);
+  get_raw(in, p.solve.sim.makespan);
+  get_vec(in, p.solve.sim.busy);
+  get_vec(in, p.solve.sim.idle);
+  get_raw(in, p.solve.sim.comm_entries);
+  get_raw(in, p.solve.sim.messages);
+  get_raw(in, p.solve.sim.aggregate_seconds);
 
   get_raw(in, p.stats);
 

@@ -81,16 +81,153 @@ void gemm_nt(idx_t m, idx_t n, idx_t k, T alpha, const T* a, idx_t lda,
 }
 
 /// C(m x n) += alpha * A(m x k) * B(k x n)   — plain GEMM (solve phase).
+/// Register-blocked over 4 columns of C so one load of an A column feeds
+/// four right-hand sides — this is where the multi-RHS panel solve beats
+/// the looped gemv path.  Each column's accumulation order matches the
+/// single-column tail loop exactly.
 template <class T>
 void gemm_nn(idx_t m, idx_t n, idx_t k, T alpha, const T* a, idx_t lda,
              const T* b, idx_t ldb, T* c, idx_t ldc) {
-  for (idx_t j = 0; j < n; ++j) {
+  idx_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    T* c0 = c + static_cast<std::size_t>(j) * ldc;
+    T* c1 = c0 + ldc;
+    T* c2 = c1 + ldc;
+    T* c3 = c2 + ldc;
+    const T* b0 = b + static_cast<std::size_t>(j) * ldb;
+    const T* b1 = b0 + ldb;
+    const T* b2 = b1 + ldb;
+    const T* b3 = b2 + ldb;
+    for (idx_t l = 0; l < k; ++l) {
+      const T* al = a + static_cast<std::size_t>(l) * lda;
+      const T w0 = alpha * b0[l];
+      const T w1 = alpha * b1[l];
+      const T w2 = alpha * b2[l];
+      const T w3 = alpha * b3[l];
+      for (idx_t i = 0; i < m; ++i) {
+        const T x = al[i];
+        c0[i] += x * w0;
+        c1[i] += x * w1;
+        c2[i] += x * w2;
+        c3[i] += x * w3;
+      }
+    }
+  }
+  for (; j < n; ++j) {
     T* cj = c + static_cast<std::size_t>(j) * ldc;
     const T* bj = b + static_cast<std::size_t>(j) * ldb;
     for (idx_t l = 0; l < k; ++l) {
       const T* al = a + static_cast<std::size_t>(l) * lda;
       const T blj = alpha * bj[l];
       for (idx_t i = 0; i < m; ++i) cj[i] += al[i] * blj;
+    }
+  }
+}
+
+/// C(n x w) += alpha * A(m x n)^t * B(m x w) — the backward panel-solve
+/// update: one transposed-matrix sweep applied to every right-hand-side
+/// column at once (the BLAS-3 form of gemv_t).
+template <class T>
+void gemm_tn(idx_t m, idx_t n, idx_t w, T alpha, const T* a, idx_t lda,
+             const T* b, idx_t ldb, T* c, idx_t ldc) {
+  idx_t r = 0;
+  for (; r + 4 <= w; r += 4) {
+    const T* b0 = b + static_cast<std::size_t>(r) * ldb;
+    const T* b1 = b0 + ldb;
+    const T* b2 = b1 + ldb;
+    const T* b3 = b2 + ldb;
+    T* c0 = c + static_cast<std::size_t>(r) * ldc;
+    T* c1 = c0 + ldc;
+    T* c2 = c1 + ldc;
+    T* c3 = c2 + ldc;
+    for (idx_t j = 0; j < n; ++j) {
+      const T* aj = a + static_cast<std::size_t>(j) * lda;
+      T a0{}, a1{}, a2{}, a3{};
+      for (idx_t i = 0; i < m; ++i) {
+        const T x = aj[i];
+        a0 += x * b0[i];
+        a1 += x * b1[i];
+        a2 += x * b2[i];
+        a3 += x * b3[i];
+      }
+      c0[j] += alpha * a0;
+      c1[j] += alpha * a1;
+      c2[j] += alpha * a2;
+      c3[j] += alpha * a3;
+    }
+  }
+  for (; r < w; ++r) {
+    const T* br = b + static_cast<std::size_t>(r) * ldb;
+    T* cr = c + static_cast<std::size_t>(r) * ldc;
+    for (idx_t j = 0; j < n; ++j) {
+      const T* aj = a + static_cast<std::size_t>(j) * lda;
+      T acc{};
+      for (idx_t i = 0; i < m; ++i) acc += aj[i] * br[i];
+      cr[j] += alpha * acc;
+    }
+  }
+}
+
+/// C(m x n) = alpha * A(m x k) * B(k x n) — overwrite variant of gemm_nn for
+/// the solve-phase contribution buffers.  Bitwise-identical to zero-filling C
+/// and accumulating (0 + x*y == x*y exactly), but skips the zero-fill pass:
+/// the first column of A seeds C, the rest accumulate through gemm_nn.
+template <class T>
+void gemm_nn_set(idx_t m, idx_t n, idx_t k, T alpha, const T* a, idx_t lda,
+                 const T* b, idx_t ldb, T* c, idx_t ldc) {
+  if (k == 0) {
+    for (idx_t j = 0; j < n; ++j)
+      for (idx_t i = 0; i < m; ++i) c[i + static_cast<std::size_t>(j) * ldc] = T{};
+    return;
+  }
+  for (idx_t j = 0; j < n; ++j) {
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
+    const T w0 = alpha * b[static_cast<std::size_t>(j) * ldb];
+    for (idx_t i = 0; i < m; ++i) cj[i] = a[i] * w0;
+  }
+  gemm_nn(m, n, k - 1, alpha, a + lda, lda, b + 1, ldb, c, ldc);
+}
+
+/// C(n x w) = alpha * A(m x n)^t * B(m x w) — overwrite variant of gemm_tn
+/// (each C entry is one full dot product, so writing instead of adding to a
+/// zeroed C is bitwise-identical).
+template <class T>
+void gemm_tn_set(idx_t m, idx_t n, idx_t w, T alpha, const T* a, idx_t lda,
+                 const T* b, idx_t ldb, T* c, idx_t ldc) {
+  idx_t r = 0;
+  for (; r + 4 <= w; r += 4) {
+    const T* b0 = b + static_cast<std::size_t>(r) * ldb;
+    const T* b1 = b0 + ldb;
+    const T* b2 = b1 + ldb;
+    const T* b3 = b2 + ldb;
+    T* c0 = c + static_cast<std::size_t>(r) * ldc;
+    T* c1 = c0 + ldc;
+    T* c2 = c1 + ldc;
+    T* c3 = c2 + ldc;
+    for (idx_t j = 0; j < n; ++j) {
+      const T* aj = a + static_cast<std::size_t>(j) * lda;
+      T a0{}, a1{}, a2{}, a3{};
+      for (idx_t i = 0; i < m; ++i) {
+        const T x = aj[i];
+        a0 += x * b0[i];
+        a1 += x * b1[i];
+        a2 += x * b2[i];
+        a3 += x * b3[i];
+      }
+      c0[j] = alpha * a0;
+      c1[j] = alpha * a1;
+      c2[j] = alpha * a2;
+      c3[j] = alpha * a3;
+    }
+  }
+  for (; r < w; ++r) {
+    const T* br = b + static_cast<std::size_t>(r) * ldb;
+    T* cr = c + static_cast<std::size_t>(r) * ldc;
+    for (idx_t j = 0; j < n; ++j) {
+      const T* aj = a + static_cast<std::size_t>(j) * lda;
+      T acc{};
+      for (idx_t i = 0; i < m; ++i) acc += aj[i] * br[i];
+      cr[j] = alpha * acc;
     }
   }
 }
@@ -264,6 +401,141 @@ void trsv_lower_t(idx_t n, const T* l, idx_t ldl, T* x) {
     T acc = x[j];
     for (idx_t i = j + 1; i < n; ++i) acc -= lj[i] * x[i];
     x[j] = acc / lj[j];
+  }
+}
+
+// --- left-side panel triangular solves (multi-RHS solve phase) --------------
+// X is an n x w column-major panel (one right-hand side per column); the
+// panel variants replace one trsv per RHS with a single sweep over L that
+// touches every column — same arithmetic per column as the trsv above, so
+// the w = 1 case is bitwise-identical to the vector kernels.
+
+/// X(n x w) := L^{-1} X, L unit lower triangular.
+template <class T>
+void trsm_left_lower_unit(idx_t n, idx_t w, const T* l, idx_t ldl, T* x,
+                          idx_t ldx) {
+  for (idx_t j = 0; j < n; ++j) {
+    const T* lj = l + static_cast<std::size_t>(j) * ldl;
+    idx_t r = 0;
+    for (; r + 4 <= w; r += 4) {
+      T* x0 = x + static_cast<std::size_t>(r) * ldx;
+      T* x1 = x0 + ldx;
+      T* x2 = x1 + ldx;
+      T* x3 = x2 + ldx;
+      const T w0 = x0[j], w1 = x1[j], w2 = x2[j], w3 = x3[j];
+      for (idx_t i = j + 1; i < n; ++i) {
+        const T lij = lj[i];
+        x0[i] -= lij * w0;
+        x1[i] -= lij * w1;
+        x2[i] -= lij * w2;
+        x3[i] -= lij * w3;
+      }
+    }
+    for (; r < w; ++r) {
+      T* xr = x + static_cast<std::size_t>(r) * ldx;
+      const T xj = xr[j];
+      for (idx_t i = j + 1; i < n; ++i) xr[i] -= lj[i] * xj;
+    }
+  }
+}
+
+/// X(n x w) := L^{-1} X, L non-unit lower triangular.
+template <class T>
+void trsm_left_lower(idx_t n, idx_t w, const T* l, idx_t ldl, T* x,
+                     idx_t ldx) {
+  for (idx_t j = 0; j < n; ++j) {
+    const T* lj = l + static_cast<std::size_t>(j) * ldl;
+    idx_t r = 0;
+    for (; r + 4 <= w; r += 4) {
+      T* x0 = x + static_cast<std::size_t>(r) * ldx;
+      T* x1 = x0 + ldx;
+      T* x2 = x1 + ldx;
+      T* x3 = x2 + ldx;
+      const T w0 = (x0[j] /= lj[j]);
+      const T w1 = (x1[j] /= lj[j]);
+      const T w2 = (x2[j] /= lj[j]);
+      const T w3 = (x3[j] /= lj[j]);
+      for (idx_t i = j + 1; i < n; ++i) {
+        const T lij = lj[i];
+        x0[i] -= lij * w0;
+        x1[i] -= lij * w1;
+        x2[i] -= lij * w2;
+        x3[i] -= lij * w3;
+      }
+    }
+    for (; r < w; ++r) {
+      T* xr = x + static_cast<std::size_t>(r) * ldx;
+      const T xj = (xr[j] /= lj[j]);
+      for (idx_t i = j + 1; i < n; ++i) xr[i] -= lj[i] * xj;
+    }
+  }
+}
+
+/// X(n x w) := L^{-t} X, L unit lower triangular.
+template <class T>
+void trsm_left_lower_unit_t(idx_t n, idx_t w, const T* l, idx_t ldl, T* x,
+                            idx_t ldx) {
+  for (idx_t j = n - 1; j >= 0; --j) {
+    const T* lj = l + static_cast<std::size_t>(j) * ldl;
+    idx_t r = 0;
+    for (; r + 4 <= w; r += 4) {
+      T* x0 = x + static_cast<std::size_t>(r) * ldx;
+      T* x1 = x0 + ldx;
+      T* x2 = x1 + ldx;
+      T* x3 = x2 + ldx;
+      T a0 = x0[j], a1 = x1[j], a2 = x2[j], a3 = x3[j];
+      for (idx_t i = j + 1; i < n; ++i) {
+        const T lij = lj[i];
+        a0 -= lij * x0[i];
+        a1 -= lij * x1[i];
+        a2 -= lij * x2[i];
+        a3 -= lij * x3[i];
+      }
+      x0[j] = a0;
+      x1[j] = a1;
+      x2[j] = a2;
+      x3[j] = a3;
+    }
+    for (; r < w; ++r) {
+      T* xr = x + static_cast<std::size_t>(r) * ldx;
+      T acc = xr[j];
+      for (idx_t i = j + 1; i < n; ++i) acc -= lj[i] * xr[i];
+      xr[j] = acc;
+    }
+  }
+}
+
+/// X(n x w) := L^{-t} X, L non-unit lower triangular.
+template <class T>
+void trsm_left_lower_t(idx_t n, idx_t w, const T* l, idx_t ldl, T* x,
+                       idx_t ldx) {
+  for (idx_t j = n - 1; j >= 0; --j) {
+    const T* lj = l + static_cast<std::size_t>(j) * ldl;
+    idx_t r = 0;
+    for (; r + 4 <= w; r += 4) {
+      T* x0 = x + static_cast<std::size_t>(r) * ldx;
+      T* x1 = x0 + ldx;
+      T* x2 = x1 + ldx;
+      T* x3 = x2 + ldx;
+      T a0 = x0[j], a1 = x1[j], a2 = x2[j], a3 = x3[j];
+      for (idx_t i = j + 1; i < n; ++i) {
+        const T lij = lj[i];
+        a0 -= lij * x0[i];
+        a1 -= lij * x1[i];
+        a2 -= lij * x2[i];
+        a3 -= lij * x3[i];
+      }
+      x0[j] = a0 / lj[j];
+      x1[j] = a1 / lj[j];
+      x2[j] = a2 / lj[j];
+      x3[j] = a3 / lj[j];
+    }
+    for (; r < w; ++r) {
+      T* xr = x + static_cast<std::size_t>(r) * ldx;
+      T acc = xr[j];
+      for (idx_t i = j + 1; i < n; ++i) acc -= lj[i] * xr[i];
+      xr[j] = acc / lj[j];
+    }
   }
 }
 

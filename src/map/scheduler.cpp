@@ -29,6 +29,44 @@ void Schedule::validate(idx_t ntask) const {
                  "task missing from the K_p orders");
 }
 
+Schedule fixed_order_schedule(const TaskGraph& tg, std::vector<idx_t> proc,
+                              const std::vector<idx_t>& order, idx_t nprocs) {
+  PASTIX_CHECK(nprocs >= 1, "need at least one processor");
+  const idx_t ntask = tg.ntask();
+  PASTIX_CHECK(static_cast<idx_t>(proc.size()) == ntask,
+               "fixed-order schedule: processor assignment size mismatch");
+  PASTIX_CHECK(static_cast<idx_t>(order.size()) == ntask,
+               "fixed-order schedule: placement order size mismatch");
+
+  Schedule sched;
+  sched.nprocs = nprocs;
+  sched.proc = std::move(proc);
+  sched.prio.assign(static_cast<std::size_t>(ntask), kNone);
+  sched.start.assign(static_cast<std::size_t>(ntask), 0.0);
+  sched.end.assign(static_cast<std::size_t>(ntask), 0.0);
+  sched.kp.assign(static_cast<std::size_t>(nprocs), {});
+
+  std::vector<double> timer(static_cast<std::size_t>(nprocs), 0.0);
+  idx_t prio = 0;
+  for (const idx_t t : order) {
+    PASTIX_CHECK(t >= 0 && t < ntask,
+                 "fixed-order schedule: task id out of range");
+    PASTIX_CHECK(sched.prio[static_cast<std::size_t>(t)] == kNone,
+                 "fixed-order schedule: task placed twice");
+    const idx_t p = sched.proc[static_cast<std::size_t>(t)];
+    PASTIX_CHECK(p >= 0 && p < nprocs,
+                 "fixed-order schedule: processor out of range");
+    sched.prio[static_cast<std::size_t>(t)] = prio++;
+    sched.kp[static_cast<std::size_t>(p)].push_back(t);
+    double& tm = timer[static_cast<std::size_t>(p)];
+    sched.start[static_cast<std::size_t>(t)] = tm;
+    tm += tg.tasks[static_cast<std::size_t>(t)].cost;
+    sched.end[static_cast<std::size_t>(t)] = tm;
+  }
+  sched.makespan = *std::max_element(timer.begin(), timer.end());
+  return sched;
+}
+
 namespace {
 
 struct HeapEntry {

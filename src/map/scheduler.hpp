@@ -59,4 +59,16 @@ Schedule static_schedule(const TaskGraph& tg, const CandidateMapping& cm,
                          const CostModel& m, idx_t nprocs,
                          const SchedulerOptions& opt = {});
 
+/// Phase-generic schedule finalizer.  Some phases have nothing to map: the
+/// solve reads every factor block where the factorization placed it, so the
+/// processor assignment and the execution order are both dictated up front.
+/// This realizes a Schedule from an explicit per-task processor assignment
+/// plus a topological placement order — prio is the order rank, K_p is the
+/// order restricted to each processor, and start/end serialize each
+/// processor's tasks by cost (message latencies are the discrete-event
+/// simulator's job).  The factorization keeps the greedy mapper above; any
+/// fixed-placement phase shares this finalizer.
+Schedule fixed_order_schedule(const TaskGraph& tg, std::vector<idx_t> proc,
+                              const std::vector<idx_t>& order, idx_t nprocs);
+
 } // namespace pastix

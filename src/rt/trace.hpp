@@ -28,6 +28,8 @@ enum class TraceKind : std::uint8_t {
   kRecv,    ///< Comm::recv — span covers the blocked wait; peer = source
   kPhase,   ///< solve-phase section (subtype: 0 fwd, 1 diag, 2 bwd)
   kRestart, ///< rank restarted from a checkpoint; id1 = resumed K_p index
+  kSolveTask, ///< one scheduled solve item (subtype = SolveItemKind);
+              ///< id1 = solve item id, id2 = cblk, id3 = blok (or -1)
 };
 
 /// One recorded span.  Interpretation of the id fields depends on `kind`:

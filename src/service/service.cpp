@@ -388,6 +388,13 @@ void SolverService::execute(const std::shared_ptr<Job>& job,
   if (opt_.recv_deadline.count() > 0)
     sv.comm().set_recv_deadline(opt_.recv_deadline);
 
+  // Consecutive transient crashes *within this job's attempt loop*.  The
+  // breaker must not conflate isolated first-attempt crashes of concurrent
+  // jobs on the same fingerprint: a crash whose retry then succeeds proves
+  // the pattern is not poison, so only an unbroken streak of crashes in one
+  // job opens the breaker.  (Deterministic fatal failures still accumulate
+  // across jobs through strike() — they never race with a success.)
+  int crash_streak = 0;
   for (int attempt = 1;; ++attempt) {
     if (job->req.deadline <= Clock::now()) {
       finish(job, JobOutcome::kShed, JobError::kDeadlineExpired,
@@ -436,7 +443,14 @@ void SolverService::execute(const std::shared_ptr<Job>& job,
     } catch (const std::exception& e) {
       const rt::FailureClass cls = rt::classify_failure(e);
       if (cls == rt::FailureClass::kTransient) {
-        if (rt::is_crash(e) && strike(job->fp, e.what())) {
+        if (!rt::is_crash(e)) {
+          crash_streak = 0;
+        } else if (++crash_streak >= opt_.poison_strike_limit) {
+          cache_.quarantine(job->fp,
+                            "circuit breaker open after " +
+                                std::to_string(crash_streak) +
+                                " consecutive crashes; last cause: " +
+                                e.what());
           const std::lock_guard lock(mu_);
           tenants_[job->req.tenant].quarantine_hits++;
           // finish() below re-locks; drop the guard first.

@@ -17,6 +17,9 @@ const char kTypeGlyphs[] = {'1', 'F', 'd', 'm'};
 const char* const kPhaseNames[] = {"forward-solve", "diagonal-solve",
                                    "backward-solve"};
 const char kPhaseGlyphs[] = {'f', 'D', 'b'};
+const char* const kSolveItemNames[] = {"fwd-diag", "fwd-upd", "bwd-upd",
+                                       "bwd-diag"};
+const char kSolveItemGlyphs[] = {'v', '>', '<', '^'};
 
 } // namespace
 
@@ -86,13 +89,29 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
           out.phases.push_back(
               {static_cast<idx_t>(rank), r.subtype, r.start, r.end});
           break;
+        case rt::TraceKind::kSolveTask: {
+          RuntimeSolveEvent e;
+          e.item = r.id1;
+          e.proc = rank;
+          e.kind = r.subtype;
+          e.cblk = r.id2 < 0 ? kNone : r.id2;
+          e.blok = r.id3 < 0 ? kNone : r.id3;
+          e.start = r.start;
+          e.end = r.end;
+          e.recv_wait_seconds = wait_acc;
+          out.solve_items.push_back(e);
+          wait_acc = 0;
+          break;
+        }
       }
     }
     out.tasks.insert(out.tasks.end(), lane.begin(), lane.end());
   }
 
-  // Shift the origin to the first task start so traces are comparable to
-  // the simulated timeline (which starts at 0).
+  // Shift the origin to the first task (or solve item, on a solve-only
+  // trace) start so traces are comparable to the simulated timeline (which
+  // starts at 0).  makespan stays a factorization-task quantity — that is
+  // what compare_traces measures against the simulated schedule.
   double origin = 0;
   bool have_origin = false;
   for (const auto& t : out.tasks)
@@ -100,11 +119,20 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
       origin = t.start;
       have_origin = true;
     }
+  for (const auto& s : out.solve_items)
+    if (!have_origin || s.start < origin) {
+      origin = s.start;
+      have_origin = true;
+    }
   if (have_origin) {
     for (auto& t : out.tasks) {
       t.start -= origin;
       t.end -= origin;
       out.makespan = std::max(out.makespan, t.end);
+    }
+    for (auto& s : out.solve_items) {
+      s.start -= origin;
+      s.end -= origin;
     }
     for (auto& c : out.comm) {
       c.start -= origin;
@@ -124,6 +152,7 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
   };
   std::sort(out.tasks.begin(), out.tasks.end(), by_proc_start);
   std::sort(out.comm.begin(), out.comm.end(), by_proc_start);
+  std::sort(out.solve_items.begin(), out.solve_items.end(), by_proc_start);
   return out;
 }
 
@@ -157,9 +186,45 @@ void RuntimeTrace::validate_against(const Schedule& sched) const {
                "runtime trace contains tasks not in the schedule");
 }
 
+void RuntimeTrace::validate_solve_against(const Schedule& solve_sched) const {
+  PASTIX_CHECK(nprocs == solve_sched.nprocs,
+               "runtime trace / solve schedule processor count mismatch");
+  // solve_items is sorted by (proc, start): per rank the executed item ids
+  // must be K_p repeated back to back, one repetition per scheduled solve,
+  // and every rank with work must have seen the same number of solves.
+  std::size_t cursor = 0;
+  idx_t repeats = kNone;
+  for (idx_t p = 0; p < solve_sched.nprocs; ++p) {
+    const auto& kp = solve_sched.kp[static_cast<std::size_t>(p)];
+    std::size_t pos = 0, executed = 0;
+    while (cursor < solve_items.size() && solve_items[cursor].proc == p) {
+      PASTIX_CHECK(!kp.empty() &&
+                       solve_items[cursor].item == kp[pos],
+                   "solve trace deviates from the solve schedule order "
+                   "(K_" + std::to_string(p) + ", position " +
+                       std::to_string(pos) + ")");
+      ++cursor;
+      ++executed;
+      if (++pos == kp.size()) pos = 0;
+    }
+    PASTIX_CHECK(pos == 0,
+                 "solve trace truncates K_" + std::to_string(p) +
+                     " mid-repetition");
+    if (kp.empty()) continue;
+    const auto reps = static_cast<idx_t>(executed / kp.size());
+    if (repeats == kNone)
+      repeats = reps;
+    else
+      PASTIX_CHECK(repeats == reps,
+                   "ranks executed differing numbers of scheduled solves");
+  }
+  PASTIX_CHECK(cursor == solve_items.size(),
+               "solve trace contains items not in the solve schedule");
+}
+
 std::vector<TimelineEvent> RuntimeTrace::to_timeline() const {
   std::vector<TimelineEvent> tl;
-  tl.reserve(tasks.size() + comm.size() + phases.size());
+  tl.reserve(tasks.size() + comm.size() + phases.size() + solve_items.size());
   for (const RuntimeTaskEvent& e : tasks) {
     TimelineEvent t;
     t.lane = e.proc;
@@ -210,6 +275,21 @@ std::vector<TimelineEvent> RuntimeTrace::to_timeline() const {
     t.glyph = kPhaseGlyphs[e.phase % 3];
     t.name = kPhaseNames[e.phase % 3];
     t.cat = "solve";
+    tl.push_back(std::move(t));
+  }
+  for (const RuntimeSolveEvent& e : solve_items) {
+    TimelineEvent t;
+    t.lane = e.proc;
+    t.start = e.start;
+    t.end = e.end;
+    t.glyph = kSolveItemGlyphs[e.kind & 3];
+    t.name = kSolveItemNames[e.kind & 3];
+    t.cat = "solve-task";
+    std::ostringstream args;
+    args << "\"item\":" << e.item << ",\"cblk\":" << e.cblk
+         << ",\"blok\":" << e.blok
+         << ",\"recv_wait_s\":" << e.recv_wait_seconds;
+    t.args = args.str();
     tl.push_back(std::move(t));
   }
   sort_timeline(tl);

@@ -54,6 +54,20 @@ struct RuntimePhaseEvent {
   double start = 0, end = 0;
 };
 
+/// One executed solve-plan item (scheduled triangular-solve work unit).
+/// `kind` is the solver's SolveItemKind stored as a plain int (0 = forward
+/// diagonal solve, 1 = forward update, 2 = backward update, 3 = backward
+/// diagonal solve) so this layer stays independent of the solver headers.
+struct RuntimeSolveEvent {
+  idx_t item = kNone;  ///< solve-plan task id (SolveIdLayout numbering)
+  idx_t proc = 0;
+  int kind = 0;
+  idx_t cblk = kNone;  ///< owning column block (kNone for update items)
+  idx_t blok = kNone;  ///< off-diagonal block (kNone for diagonal items)
+  double start = 0, end = 0;     ///< seconds since the trace origin
+  double recv_wait_seconds = 0;  ///< blocked in Comm::recv inside the item
+};
+
 /// One crash recovery: a rank restarted from its checkpoint (DESIGN.md §10).
 struct RuntimeRestartEvent {
   idx_t proc = 0;
@@ -74,6 +88,7 @@ struct RuntimeTrace {
   std::vector<RuntimeTaskEvent> tasks;   ///< sorted by (proc, start)
   std::vector<RuntimeCommEvent> comm;    ///< sorted by (proc, start)
   std::vector<RuntimePhaseEvent> phases; ///< solve sections, if any ran
+  std::vector<RuntimeSolveEvent> solve_items;  ///< sorted by (proc, start)
   std::vector<RuntimeRestartEvent> restarts;  ///< crash recoveries, if any
   KernelSampleSet kernels;               ///< measured spans for recalibration
   double makespan = 0;                   ///< last task end - first task start
@@ -93,6 +108,13 @@ struct RuntimeTrace {
   /// "every scheduled task of K_p appears exactly once and in schedule
   /// order" on every rank.
   void validate_against(const Schedule& sched) const;
+
+  /// Solve-phase counterpart of validate_against: on every rank the
+  /// executed solve items must be the solve schedule's K_p in order,
+  /// repeated a whole number of times (one repetition per scheduled solve
+  /// in the trace), with the same repetition count on every rank whose
+  /// K_p is nonempty.
+  void validate_solve_against(const Schedule& solve_sched) const;
 
   /// Lower tasks + comm + phases to the shared timeline representation.
   [[nodiscard]] std::vector<TimelineEvent> to_timeline() const;

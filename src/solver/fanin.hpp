@@ -28,6 +28,7 @@
 #include "rt/comm.hpp"
 #include "rt/resilient.hpp"
 #include "solver/comm_plan.hpp"
+#include "solver/solve_model.hpp"
 #include "sparse/sym_sparse.hpp"
 #include "support/timer.hpp"
 
@@ -73,15 +74,24 @@ public:
   /// communication plan — typically the one owned by an AnalysisPlan, so
   /// many solvers can share a single plan.  Values must be supplied with
   /// refill() before factorize().  The solver keeps references to all of
-  /// `s`, `tg`, `sched`, `plan` — keep them alive.
+  /// `s`, `tg`, `sched`, `plan` (and `solve`, when given) — keep them alive.
+  /// `solve` is the scheduled solve-phase plan run_solve executes; pass
+  /// null (or an absent plan) to have the solver derive its own lazily at
+  /// the first solve.
   FaninSolver(const SymbolMatrix& s, const TaskGraph& tg, const Schedule& sched,
-              const CommPlan& plan, const FaninOptions& fopt = {})
+              const CommPlan& plan, const FaninOptions& fopt = {},
+              const SolvePlan* solve = nullptr)
       : s_(s), tg_(tg), sched_(sched), kind_(fopt.kind), popt_(fopt.pivot),
         plan_(plan), ranks_(static_cast<std::size_t>(sched.nprocs)) {
     PASTIX_CHECK(static_cast<idx_t>(plan.blok_owner.size()) == s.nblok(),
                  "comm plan / symbol mismatch");
     PASTIX_CHECK(plan.partial_chunk == fopt.partial_chunk,
                  "comm plan was built for a different partial_chunk");
+    if (solve != nullptr && solve->present()) {
+      PASTIX_CHECK(solve->sched.nprocs == sched.nprocs,
+                   "solve plan / schedule processor count mismatch");
+      solve_ = solve;
+    }
     compute_stack_offsets();
     allocate_storage();
   }
@@ -221,12 +231,33 @@ public:
   /// Buffer-reusing variant: writes the solution into `x` (resized as
   /// needed), so batched solves do not re-allocate per right-hand side.
   void solve(rt::Comm& comm, const std::vector<T>& b, std::vector<T>& x) {
-    PASTIX_CHECK(factored_, "factorize() must run before solve()");
     PASTIX_CHECK(static_cast<idx_t>(b.size()) == s_.n, "rhs size mismatch");
     x.assign(b.size(), T{});
+    solve_panel(comm, b.data(), x.data(), 1);
+  }
+
+  /// Multi-RHS panel solve: `b` and `x` are n x nrhs column-major panels
+  /// (leading dimension n).  All right-hand sides move through one pass of
+  /// the scheduled forward/diagonal/backward item lists, so the per-blok
+  /// work runs on the BLAS-3 panel kernels (gemm/trsm) instead of nrhs
+  /// gemv/trsv sweeps and every solve message carries the whole panel.
+  /// nrhs == 1 executes the exact gemv/trsv path (bitwise identical to the
+  /// single-vector solve the refinement drivers depend on).
+  void solve_panel(rt::Comm& comm, const T* b, T* x, idx_t nrhs) {
+    PASTIX_CHECK(factored_, "factorize() must run before solve()");
+    PASTIX_CHECK(nrhs >= 1, "need at least one right-hand side");
+    ensure_solve_plan();
     rt::run_ranks(comm, sched_.nprocs, [&](int rank) {
-      run_solve(comm, static_cast<idx_t>(rank), b, x);
+      run_solve(comm, static_cast<idx_t>(rank), b, x, nrhs);
     });
+  }
+
+  /// The scheduled solve-phase plan run_solve executes — the external one
+  /// when the constructor got it, else the lazily self-built one (built on
+  /// first use; call after a solve, or after ensure_solve_plan()).
+  [[nodiscard]] const SolvePlan& solve_plan() {
+    ensure_solve_plan();
+    return *solve_;
   }
 
   /// Structured outcome of the last factorize() (merged across ranks).
@@ -315,6 +346,21 @@ private:
     }
   }
 
+  /// Allocate-once solve scratch of one rank, reused across every solve —
+  /// the working panel, the contribution buffer and the received-segment
+  /// slots keep their capacity, so a batched solve (refinement loop,
+  /// solve_many) allocates on the first call only.  `epoch` invalidates the
+  /// segment slots without freeing them: a slot is live for the current
+  /// solve iff its epoch matches.
+  struct SolveScratch {
+    std::vector<T> y;                      ///< n x nrhs working panel
+    std::vector<T> tmp;                    ///< contribution / packing buffer
+    std::vector<std::vector<T>> yseg;      ///< received y_k panels, per cblk
+    std::vector<std::vector<T>> xseg;      ///< received x_k panels, per cblk
+    std::vector<std::uint32_t> yseg_epoch, xseg_epoch;
+    std::uint32_t epoch = 0;
+  };
+
   struct Rank {
     std::unordered_map<idx_t, std::vector<T>> cblk_store;  ///< 1D trapezoids
     std::unordered_map<idx_t, std::vector<T>> blok_store;  ///< 2D bloks
@@ -323,7 +369,7 @@ private:
     std::unordered_map<idx_t, idx_t> aub_initial;          ///< initial counts
     std::unordered_map<idx_t, std::vector<T>> diag_cache;  ///< cblk -> (L,D)
     std::unordered_map<idx_t, std::vector<T>> panel_cache; ///< blok -> W
-    std::unordered_map<idx_t, std::vector<T>> seg_cache;   ///< solve segments
+    SolveScratch solve;        ///< triangular-solve working state
     big_t aub_bytes_now = 0;   ///< live AUB memory (partial-aggregation knob)
     big_t aub_peak_bytes = 0;
     RankTaskTimes task_times;  ///< measured per-task-type wall times
@@ -1061,8 +1107,21 @@ private:
   }
 
   // ------------------------------------------------------------- solves -----
-  void run_solve(rt::Comm& comm, idx_t rank, const std::vector<T>& b,
-                 std::vector<T>& x_out);
+  /// Make solve_ point at a usable plan: keep the externally supplied one,
+  /// else build (once) from the factorization structures.  The cost model
+  /// only prices the simulated timeline — the item list, mapping and K_p
+  /// orders are structure-determined — so the default model is fine here.
+  void ensure_solve_plan() {
+    if (solve_ != nullptr) return;
+    if (!owned_solve_)
+      owned_solve_ = std::make_unique<const SolvePlan>(
+          build_solve_plan(s_, tg_, sched_, default_cost_model()));
+    solve_ = owned_solve_.get();
+  }
+
+  /// One rank's walk of its scheduled solve item list (defined in
+  /// fanin_solve.hpp).  `b` / `x_out` are n x nrhs column-major panels.
+  void run_solve(rt::Comm& comm, idx_t rank, const T* b, T* x_out, idx_t nrhs);
 
   const SymbolMatrix& s_;
   const TaskGraph& tg_;
@@ -1072,6 +1131,8 @@ private:
   double pivot_threshold_ = 0;
   std::unique_ptr<const CommPlan> owned_plan_;  ///< convenience ctor only
   const CommPlan& plan_;  ///< shared (AnalysisPlan's) or owned_plan_
+  std::unique_ptr<const SolvePlan> owned_solve_;  ///< lazily self-built
+  const SolvePlan* solve_ = nullptr;  ///< scheduled solve items (see ctor)
   std::vector<Rank> ranks_;
   rt::TraceRecorder* tracer_ = nullptr;  ///< optional, not owned
   rt::ResilienceOptions ropt_;           ///< crash-recovery knobs

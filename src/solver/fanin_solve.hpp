@@ -1,13 +1,23 @@
 #pragma once
 //
 // Distributed triangular solves of the fan-in solver:
-//   forward  L y = b  (block forward substitution, fan-in of blok updates),
-//   diagonal D z = y  (local scaling at the diagonal owners),
-//   backward L^t x = z (block backward substitution).
+//   forward  L Y = B  (block forward substitution, fan-in of blok updates),
+//   diagonal D Z = Y  (local scaling at the diagonal owners),
+//   backward L^t X = Z (block backward substitution).
 //
-// Like the factorization, the solves are fully static: every rank walks its
-// own item list — (cblk, kind) pairs in a global topological order — and
-// all message counts are precomputed in the CommPlan.
+// Like the factorization, the solves are fully static — but unlike the
+// original hand-rolled sweep, the walk itself is now *scheduled*: each rank
+// executes its per-rank K_p list from the SolvePlan (forward FDIAG/FUPD and
+// backward BUPD/BDIAG items in a global topological order, decoded through
+// the dense SolveIdLayout), the same plan the static verifier proves
+// deadlock-free and communication-complete before any value moves.
+//
+// All right-hand sides travel together as an n x nrhs column-major panel:
+// the per-blok work is one gemm/trsm over the panel instead of nrhs
+// gemv/trsv sweeps, and every solve message carries the whole panel — the
+// message *count* is independent of nrhs.  nrhs == 1 runs the exact scalar
+// kernels, keeping the single-vector solve (and thus iterative refinement)
+// bitwise identical to the pre-panel implementation.
 //
 // This header is included at the end of fanin.hpp; it only defines the
 // run_solve member of FaninSolver.
@@ -17,102 +27,293 @@
 namespace pastix {
 
 template <class T>
-void FaninSolver<T>::run_solve(rt::Comm& comm, idx_t rank,
-                               const std::vector<T>& b, std::vector<T>& x_out) {
+void FaninSolver<T>::run_solve(rt::Comm& comm, idx_t rank, const T* b,
+                               T* x_out, idx_t nrhs) {
   const auto solve_tag = [](int phase, idx_t obj) {
     return rt::make_tag(rt::MsgKind::kSolve, static_cast<std::uint64_t>(phase),
                         static_cast<std::uint64_t>(obj));
   };
+  const SolvePlan& sp = *solve_;
+  const SolveIdLayout lay(s_);
+  const auto& kp = sp.sched.kp[static_cast<std::size_t>(rank)];
+  const idx_t n = s_.n;
 
-  std::vector<T> y(b);  // rank-local working vector (own segments are
-                        // authoritative; others are scratch)
-  std::vector<T> tmp;
-  std::unordered_map<idx_t, std::vector<T>> yseg, xseg;
+  Rank& me = ranks_[static_cast<std::size_t>(rank)];
+  SolveScratch& scr = me.solve;
+  // Rank-local working panel (own segments are authoritative; others are
+  // scratch), plus epoch-invalidated received-segment slots — all capacity
+  // survives across solves (allocate-once).
+  scr.y.assign(b, b + static_cast<std::size_t>(n) * nrhs);
+  if (scr.yseg.size() != static_cast<std::size_t>(s_.ncblk)) {
+    scr.yseg.resize(static_cast<std::size_t>(s_.ncblk));
+    scr.xseg.resize(static_cast<std::size_t>(s_.ncblk));
+    scr.yseg_epoch.assign(static_cast<std::size_t>(s_.ncblk), 0);
+    scr.xseg_epoch.assign(static_cast<std::size_t>(s_.ncblk), 0);
+    scr.epoch = 0;
+  }
+  ++scr.epoch;
+  T* y = scr.y.data();
 
   const auto diag_of = [&](idx_t k, idx_t* ld) {
     return blok_ptr(s_.cblks[static_cast<std::size_t>(k)].bloknum, ld);
   };
-
   const auto phase_span = [&](int phase) {
     rt::TraceRecord rec;
     rec.kind = rt::TraceKind::kPhase;
     rec.subtype = static_cast<std::uint8_t>(phase);
     return rt::ScopedSpan(tracer_, static_cast<int>(rank), rec);
   };
+  const auto item_span = [&](idx_t id, SolveItemKind kind, idx_t cblk,
+                             idx_t blok) {
+    rt::TraceRecord rec;
+    rec.kind = rt::TraceKind::kSolveTask;
+    rec.subtype = static_cast<std::uint8_t>(kind);
+    rec.id1 = static_cast<std::int32_t>(id);
+    rec.id2 = static_cast<std::int32_t>(cblk);
+    rec.id3 = blok == kNone ? -1 : static_cast<std::int32_t>(blok);
+    return rt::ScopedSpan(tracer_, static_cast<int>(rank), rec);
+  };
+  // C -= S over `rows` panel rows: C is rows of y starting at global row
+  // r0, S is a contiguous rows x nrhs buffer.
+  const auto subtract_panel = [&](idx_t r0, idx_t rows, const T* src) {
+    for (idx_t c = 0; c < nrhs; ++c) {
+      T* dst = y + r0 + static_cast<std::size_t>(c) * n;
+      const T* s = src + static_cast<std::size_t>(c) * rows;
+      for (idx_t i = 0; i < rows; ++i) dst[i] -= s[i];
+    }
+  };
+  // Pack `rows` panel rows of y starting at global row r0 into scr.tmp
+  // (contiguous rows x nrhs, the wire format of the segment messages).
+  const auto pack_segment = [&](idx_t r0, idx_t rows) {
+    scr.tmp.resize(static_cast<std::size_t>(rows) * nrhs);
+    for (idx_t c = 0; c < nrhs; ++c)
+      std::copy(y + r0 + static_cast<std::size_t>(c) * n,
+                y + r0 + rows + static_cast<std::size_t>(c) * n,
+                scr.tmp.data() + static_cast<std::size_t>(c) * rows);
+  };
 
-  // ---------------- forward: L y = b -----------------------------------------
-  {
-  const auto fwd_span = phase_span(0);
-  for (idx_t k = 0; k < s_.ncblk; ++k) {
+  // ---------------- item bodies ----------------------------------------------
+  const auto exec_fwd_diag = [&](idx_t k) {
     const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
     const idx_t w = ck.width();
-
-    if (plan_.diag_owner[static_cast<std::size_t>(k)] == rank) {
-      // Remote fan-in contributions to this cblk's rows.
-      for (const idx_t rb : plan_.fwd_remote_bloks[static_cast<std::size_t>(k)]) {
-        const rt::Message m =
-            comm.recv(static_cast<int>(rank), solve_tag(2, rb));
-        const auto& blok = s_.bloks[static_cast<std::size_t>(rb)];
-        PASTIX_CHECK(m.template count<T>() ==
-                         static_cast<std::size_t>(blok.nrows()),
-                     "forward contribution size mismatch");
-        const T* src = m.template as<T>();
-        for (idx_t i = 0; i < blok.nrows(); ++i)
-          y[static_cast<std::size_t>(blok.frownum + i)] -= src[i];
-      }
-      idx_t ld = 0;
-      const T* diag = diag_of(k, &ld);
+    // Remote fan-in contributions to this cblk's rows.
+    for (const idx_t rb : plan_.fwd_remote_bloks[static_cast<std::size_t>(k)]) {
+      const rt::Message m = comm.recv(static_cast<int>(rank), solve_tag(2, rb));
+      const auto& blok = s_.bloks[static_cast<std::size_t>(rb)];
+      PASTIX_CHECK(m.template count<T>() ==
+                       static_cast<std::size_t>(blok.nrows()) * nrhs,
+                   "forward contribution size mismatch");
+      subtract_panel(blok.frownum, blok.nrows(), m.template as<T>());
+    }
+    idx_t ld = 0;
+    const T* diag = diag_of(k, &ld);
+    if (nrhs == 1) {
       if (kind_ == FactorKind::kLdlt)
-        trsv_lower_unit(w, diag, ld, y.data() + ck.fcolnum);
+        trsv_lower_unit(w, diag, ld, y + ck.fcolnum);
       else
-        trsv_lower(w, diag, ld, y.data() + ck.fcolnum);
+        trsv_lower(w, diag, ld, y + ck.fcolnum);
+    } else {
+      if (kind_ == FactorKind::kLdlt)
+        trsm_left_lower_unit(w, nrhs, diag, ld, y + ck.fcolnum, n);
+      else
+        trsm_left_lower(w, nrhs, diag, ld, y + ck.fcolnum, n);
+    }
+    if (!plan_.yseg_dests[static_cast<std::size_t>(k)].empty()) {
+      pack_segment(ck.fcolnum, w);
       for (const idx_t q : plan_.yseg_dests[static_cast<std::size_t>(k)])
         comm.send_array(static_cast<int>(rank), static_cast<int>(q),
-                        solve_tag(1, k), y.data() + ck.fcolnum,
-                        static_cast<std::size_t>(w));
+                        solve_tag(1, k), scr.tmp.data(), scr.tmp.size());
+    }
+  };
+
+  const auto exec_fwd_upd = [&](idx_t bb) {
+    const auto& blok = s_.bloks[static_cast<std::size_t>(bb)];
+    const idx_t k = blok.lcblknm;
+    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+    const idx_t w = ck.width();
+    const T* seg = nullptr;
+    idx_t ldseg = 0;
+    if (plan_.diag_owner[static_cast<std::size_t>(k)] == rank) {
+      seg = y + ck.fcolnum;
+      ldseg = n;
+    } else {
+      if (scr.yseg_epoch[static_cast<std::size_t>(k)] != scr.epoch) {
+        const rt::Message m =
+            comm.recv(static_cast<int>(rank), solve_tag(1, k));
+        PASTIX_CHECK(m.template count<T>() ==
+                         static_cast<std::size_t>(w) * nrhs,
+                     "y segment size mismatch");
+        scr.yseg[static_cast<std::size_t>(k)].assign(
+            m.template as<T>(), m.template as<T>() + m.template count<T>());
+        scr.yseg_epoch[static_cast<std::size_t>(k)] = scr.epoch;
+      }
+      seg = scr.yseg[static_cast<std::size_t>(k)].data();
+      ldseg = w;
+    }
+    idx_t ld = 0;
+    const T* l = blok_ptr(bb, &ld);
+    const idx_t rows = blok.nrows();
+    const idx_t j = blok.fcblknm;
+    const bool local = plan_.diag_owner[static_cast<std::size_t>(j)] == rank;
+    // The contribution always lands in scr.tmp first (then local subtract or
+    // send): accumulating straight into the y panel would reorder the
+    // per-entry sums and break the bitwise guarantee that each panel column
+    // equals the single-RHS solve.
+    if (nrhs == 1) {
+      scr.tmp.assign(static_cast<std::size_t>(rows), T{});
+      gemv_n(rows, w, T(1), l, ld, seg, scr.tmp.data());
+    } else {
+      scr.tmp.resize(static_cast<std::size_t>(rows) * nrhs);
+      gemm_nn_set(rows, nrhs, w, T(1), l, ld, seg, ldseg, scr.tmp.data(),
+                  rows);
+    }
+    if (local) {
+      subtract_panel(blok.frownum, rows, scr.tmp.data());
+    } else {
+      comm.send_array(
+          static_cast<int>(rank),
+          static_cast<int>(plan_.diag_owner[static_cast<std::size_t>(j)]),
+          solve_tag(2, bb), scr.tmp.data(), scr.tmp.size());
+    }
+  };
+
+  const auto exec_bwd_upd = [&](idx_t bb) {
+    const auto& blok = s_.bloks[static_cast<std::size_t>(bb)];
+    const idx_t k = blok.lcblknm;
+    const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+    const idx_t j = blok.fcblknm;
+    const auto& cj = s_.cblks[static_cast<std::size_t>(j)];
+    const T* seg = nullptr;
+    idx_t ldseg = 0;
+    if (plan_.diag_owner[static_cast<std::size_t>(j)] == rank) {
+      seg = y + cj.fcolnum;
+      ldseg = n;
+    } else {
+      if (scr.xseg_epoch[static_cast<std::size_t>(j)] != scr.epoch) {
+        const rt::Message m =
+            comm.recv(static_cast<int>(rank), solve_tag(3, j));
+        PASTIX_CHECK(m.template count<T>() ==
+                         static_cast<std::size_t>(cj.width()) * nrhs,
+                     "x segment size mismatch");
+        scr.xseg[static_cast<std::size_t>(j)].assign(
+            m.template as<T>(), m.template as<T>() + m.template count<T>());
+        scr.xseg_epoch[static_cast<std::size_t>(j)] = scr.epoch;
+      }
+      seg = scr.xseg[static_cast<std::size_t>(j)].data();
+      ldseg = cj.width();
+    }
+    idx_t ld = 0;
+    const T* l = blok_ptr(bb, &ld);
+    const idx_t rows = blok.nrows();
+    const bool local = plan_.diag_owner[static_cast<std::size_t>(k)] == rank;
+    if (nrhs == 1) {
+      scr.tmp.assign(static_cast<std::size_t>(w), T{});
+      gemv_t(rows, w, T(1), l, ld, seg + (blok.frownum - cj.fcolnum),
+             scr.tmp.data());
+    } else {
+      scr.tmp.resize(static_cast<std::size_t>(w) * nrhs);
+      gemm_tn_set(rows, w, nrhs, T(1), l, ld,
+                  seg + (blok.frownum - cj.fcolnum), ldseg, scr.tmp.data(),
+                  w);
+    }
+    if (local) {
+      subtract_panel(s_.cblks[static_cast<std::size_t>(k)].fcolnum, w,
+                     scr.tmp.data());
+    } else {
+      comm.send_array(
+          static_cast<int>(rank),
+          static_cast<int>(plan_.diag_owner[static_cast<std::size_t>(k)]),
+          solve_tag(4, bb), scr.tmp.data(), scr.tmp.size());
+    }
+  };
+
+  const auto exec_bwd_diag = [&](idx_t k) {
+    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+    const idx_t w = ck.width();
+    for (const idx_t rb : plan_.bwd_remote_bloks[static_cast<std::size_t>(k)]) {
+      const rt::Message m = comm.recv(static_cast<int>(rank), solve_tag(4, rb));
+      PASTIX_CHECK(m.template count<T>() ==
+                       static_cast<std::size_t>(w) * nrhs,
+                   "backward contribution size mismatch");
+      subtract_panel(ck.fcolnum, w, m.template as<T>());
+    }
+    idx_t ld = 0;
+    const T* diag = diag_of(k, &ld);
+    if (nrhs == 1) {
+      if (kind_ == FactorKind::kLdlt)
+        trsv_lower_unit_t(w, diag, ld, y + ck.fcolnum);
+      else
+        trsv_lower_t(w, diag, ld, y + ck.fcolnum);
+    } else {
+      if (kind_ == FactorKind::kLdlt)
+        trsm_left_lower_unit_t(w, nrhs, diag, ld, y + ck.fcolnum, n);
+      else
+        trsm_left_lower_t(w, nrhs, diag, ld, y + ck.fcolnum, n);
+    }
+    if (!plan_.xseg_dests[static_cast<std::size_t>(k)].empty()) {
+      pack_segment(ck.fcolnum, w);
+      for (const idx_t q : plan_.xseg_dests[static_cast<std::size_t>(k)])
+        comm.send_array(static_cast<int>(rank), static_cast<int>(q),
+                        solve_tag(3, k), scr.tmp.data(), scr.tmp.size());
+    }
+    // Gather: each diagonal owner publishes its final segment (disjoint
+    // writes across ranks; this is the result collection step).
+    for (idx_t c = 0; c < nrhs; ++c)
+      std::copy(y + ck.fcolnum + static_cast<std::size_t>(c) * n,
+                y + ck.lcolnum + 1 + static_cast<std::size_t>(c) * n,
+                x_out + ck.fcolnum + static_cast<std::size_t>(c) * n);
+  };
+
+  // ---------------- scheduled walk -------------------------------------------
+  // The placement order is forward items then backward items globally, and
+  // K_p preserves it — so this rank's list splits cleanly at the first
+  // backward id, with the LDL^t diagonal scaling pass in between (the
+  // backward local subtractions must land on already-scaled segments).
+  const idx_t first_bwd_id = lay.ncblk + lay.nblok;
+  std::size_t split = kp.size();
+  for (std::size_t i = 0; i < kp.size(); ++i)
+    if (kp[i] >= first_bwd_id) {
+      split = i;
+      break;
     }
 
-    // Update items: bloks of k owned by this rank.
-    for (idx_t bb = ck.bloknum + 1;
-         bb < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++bb) {
-      if (plan_.blok_owner[static_cast<std::size_t>(bb)] != rank) continue;
-      const auto& blok = s_.bloks[static_cast<std::size_t>(bb)];
-      const T* seg = nullptr;
-      if (plan_.diag_owner[static_cast<std::size_t>(k)] == rank) {
-        seg = y.data() + ck.fcolnum;
-      } else {
-        auto it = yseg.find(k);
-        if (it == yseg.end()) {
-          const rt::Message m =
-              comm.recv(static_cast<int>(rank), solve_tag(1, k));
-          PASTIX_CHECK(m.template count<T>() == static_cast<std::size_t>(w),
-                       "y segment size mismatch");
-          it = yseg.emplace(k, std::vector<T>(m.template as<T>(),
-                                              m.template as<T>() +
-                                                  m.template count<T>()))
-                   .first;
-        }
-        seg = it->second.data();
+  const auto run_item = [&](idx_t id) {
+    const SolveItem it = lay.decode(id);
+    switch (it.kind) {
+      case SolveItemKind::kFwdDiag: {
+        const auto span = item_span(id, it.kind, it.cblk, kNone);
+        exec_fwd_diag(it.cblk);
+        break;
       }
-      idx_t ld = 0;
-      const T* l = blok_ptr(bb, &ld);
-      tmp.assign(static_cast<std::size_t>(blok.nrows()), T{});
-      gemv_n(blok.nrows(), w, T(1), l, ld, seg, tmp.data());
-      const idx_t j = blok.fcblknm;
-      if (plan_.diag_owner[static_cast<std::size_t>(j)] == rank) {
-        for (idx_t i = 0; i < blok.nrows(); ++i)
-          y[static_cast<std::size_t>(blok.frownum + i)] -= tmp[i];
-      } else {
-        comm.send_array(static_cast<int>(rank),
-                        static_cast<int>(
-                            plan_.diag_owner[static_cast<std::size_t>(j)]),
-                        solve_tag(2, bb), tmp.data(), tmp.size());
+      case SolveItemKind::kFwdUpd: {
+        const idx_t k = s_.bloks[static_cast<std::size_t>(it.blok)].lcblknm;
+        const auto span = item_span(id, it.kind, k, it.blok);
+        // The diagonal blok's slot is a zero-cost placeholder that keeps
+        // the id layout dense; its span is still recorded so the runtime
+        // trace replays the schedule exactly.
+        if (it.blok != s_.cblks[static_cast<std::size_t>(k)].bloknum)
+          exec_fwd_upd(it.blok);
+        break;
+      }
+      case SolveItemKind::kBwdUpd: {
+        const idx_t k = s_.bloks[static_cast<std::size_t>(it.blok)].lcblknm;
+        const auto span = item_span(id, it.kind, k, it.blok);
+        if (it.blok != s_.cblks[static_cast<std::size_t>(k)].bloknum)
+          exec_bwd_upd(it.blok);
+        break;
+      }
+      case SolveItemKind::kBwdDiag: {
+        const auto span = item_span(id, it.kind, it.cblk, kNone);
+        exec_bwd_diag(it.cblk);
+        break;
       }
     }
-  }
-  }
+  };
 
-  // ---------------- diagonal: z = D^{-1} y (LDL^t only) ----------------------
+  {
+    const auto fwd_span = phase_span(0);
+    for (std::size_t i = 0; i < split; ++i) run_item(kp[i]);
+  }
   if (kind_ == FactorKind::kLdlt) {
     const auto diag_span = phase_span(1);
     for (idx_t k = 0; k < s_.ncblk; ++k) {
@@ -120,87 +321,16 @@ void FaninSolver<T>::run_solve(rt::Comm& comm, idx_t rank,
       const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
       idx_t ld = 0;
       const T* diag = diag_of(k, &ld);
-      for (idx_t i = 0; i < ck.width(); ++i)
-        y[static_cast<std::size_t>(ck.fcolnum + i)] /=
-            diag[i + static_cast<std::size_t>(i) * ld];
+      for (idx_t i = 0; i < ck.width(); ++i) {
+        const T d = diag[i + static_cast<std::size_t>(i) * ld];
+        for (idx_t c = 0; c < nrhs; ++c)
+          y[ck.fcolnum + i + static_cast<std::size_t>(c) * n] /= d;
+      }
     }
   }
-
-  // ---------------- backward: L^t x = z --------------------------------------
   {
-  const auto bwd_span = phase_span(2);
-  for (idx_t k = s_.ncblk - 1; k >= 0; --k) {
-    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
-    const idx_t w = ck.width();
-
-    // Update items first: bloks of k owned by this rank pull x of their
-    // facing cblk (already final, it is higher in the tree).
-    for (idx_t bb = ck.bloknum + 1;
-         bb < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++bb) {
-      if (plan_.blok_owner[static_cast<std::size_t>(bb)] != rank) continue;
-      const auto& blok = s_.bloks[static_cast<std::size_t>(bb)];
-      const idx_t j = blok.fcblknm;
-      const auto& cj = s_.cblks[static_cast<std::size_t>(j)];
-      const T* seg = nullptr;
-      if (plan_.diag_owner[static_cast<std::size_t>(j)] == rank) {
-        seg = y.data() + cj.fcolnum;
-      } else {
-        auto it = xseg.find(j);
-        if (it == xseg.end()) {
-          const rt::Message m =
-              comm.recv(static_cast<int>(rank), solve_tag(3, j));
-          PASTIX_CHECK(m.template count<T>() ==
-                           static_cast<std::size_t>(cj.width()),
-                       "x segment size mismatch");
-          it = xseg.emplace(j, std::vector<T>(m.template as<T>(),
-                                              m.template as<T>() +
-                                                  m.template count<T>()))
-                   .first;
-        }
-        seg = it->second.data();
-      }
-      idx_t ld = 0;
-      const T* l = blok_ptr(bb, &ld);
-      tmp.assign(static_cast<std::size_t>(w), T{});
-      gemv_t(blok.nrows(), w, T(1), l, ld, seg + (blok.frownum - cj.fcolnum),
-             tmp.data());
-      if (plan_.diag_owner[static_cast<std::size_t>(k)] == rank) {
-        for (idx_t i = 0; i < w; ++i)
-          y[static_cast<std::size_t>(ck.fcolnum + i)] -= tmp[i];
-      } else {
-        comm.send_array(static_cast<int>(rank),
-                        static_cast<int>(
-                            plan_.diag_owner[static_cast<std::size_t>(k)]),
-                        solve_tag(4, bb), tmp.data(), tmp.size());
-      }
-    }
-
-    if (plan_.diag_owner[static_cast<std::size_t>(k)] == rank) {
-      for (const idx_t rb : plan_.bwd_remote_bloks[static_cast<std::size_t>(k)]) {
-        const rt::Message m =
-            comm.recv(static_cast<int>(rank), solve_tag(4, rb));
-        PASTIX_CHECK(m.template count<T>() == static_cast<std::size_t>(w),
-                     "backward contribution size mismatch");
-        const T* src = m.template as<T>();
-        for (idx_t i = 0; i < w; ++i)
-          y[static_cast<std::size_t>(ck.fcolnum + i)] -= src[i];
-      }
-      idx_t ld = 0;
-      const T* diag = diag_of(k, &ld);
-      if (kind_ == FactorKind::kLdlt)
-        trsv_lower_unit_t(w, diag, ld, y.data() + ck.fcolnum);
-      else
-        trsv_lower_t(w, diag, ld, y.data() + ck.fcolnum);
-      for (const idx_t q : plan_.xseg_dests[static_cast<std::size_t>(k)])
-        comm.send_array(static_cast<int>(rank), static_cast<int>(q),
-                        solve_tag(3, k), y.data() + ck.fcolnum,
-                        static_cast<std::size_t>(w));
-      // Gather: each diagonal owner publishes its final segment (disjoint
-      // writes; this is the result collection step).
-      std::copy(y.begin() + ck.fcolnum, y.begin() + ck.lcolnum + 1,
-                x_out.begin() + ck.fcolnum);
-    }
-  }
+    const auto bwd_span = phase_span(2);
+    for (std::size_t i = split; i < kp.size(); ++i) run_item(kp[i]);
   }
 }
 

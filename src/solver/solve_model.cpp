@@ -16,20 +16,21 @@ double solve_flops(const SymbolMatrix& s) {
   return flops;
 }
 
-SolveModel build_solve_model(const SymbolMatrix& s, const TaskGraph& factor_tg,
-                             const Schedule& factor_sched, const CostModel& m) {
+SolvePlan build_solve_plan(const SymbolMatrix& s, const TaskGraph& factor_tg,
+                           const Schedule& factor_sched, const CostModel& m) {
   const CommPlan plan = build_comm_plan(s, factor_tg, factor_sched);
-  SolveModel sm;
-  TaskGraph& tg = sm.tg;
+  SolvePlan sp;
+  TaskGraph& tg = sp.tg;
 
   // Task id layout: forward diag per cblk, forward update per blok,
   // backward update per blok, backward diag per cblk.
-  const idx_t nblok = s.nblok();
-  const auto fdiag_id = [&](idx_t k) { return k; };
-  const auto fupd_id = [&](idx_t b) { return s.ncblk + b; };
-  const auto bupd_id = [&](idx_t b) { return s.ncblk + nblok + b; };
-  const auto bdiag_id = [&](idx_t k) { return s.ncblk + 2 * nblok + k; };
-  const idx_t ntask = 2 * s.ncblk + 2 * nblok;
+  const SolveIdLayout lay(s);
+  const idx_t nblok = lay.nblok;
+  const auto fdiag_id = [&](idx_t k) { return lay.fdiag(k); };
+  const auto fupd_id = [&](idx_t b) { return lay.fupd(b); };
+  const auto bupd_id = [&](idx_t b) { return lay.bupd(b); };
+  const auto bdiag_id = [&](idx_t k) { return lay.bdiag(k); };
+  const idx_t ntask = lay.ntask();
 
   tg.tasks.assign(static_cast<std::size_t>(ntask), {});
   tg.inputs.assign(static_cast<std::size_t>(ntask), {});
@@ -38,12 +39,7 @@ SolveModel build_solve_model(const SymbolMatrix& s, const TaskGraph& factor_tg,
   tg.cblk_task.assign(static_cast<std::size_t>(s.ncblk), kNone);
   tg.blok_task.assign(static_cast<std::size_t>(nblok), kNone);
 
-  sm.sched.nprocs = factor_sched.nprocs;
-  sm.sched.proc.assign(static_cast<std::size_t>(ntask), 0);
-  sm.sched.prio.assign(static_cast<std::size_t>(ntask), kNone);
-  sm.sched.start.assign(static_cast<std::size_t>(ntask), 0.0);
-  sm.sched.end.assign(static_cast<std::size_t>(ntask), 0.0);
-  sm.sched.kp.assign(static_cast<std::size_t>(factor_sched.nprocs), {});
+  std::vector<idx_t> proc(static_cast<std::size_t>(ntask), 0);
 
   // Diagonal bloks (the first of each cblk) carry no solve task of their
   // own; keep their slots pointing at the diag task for completeness.
@@ -51,9 +47,9 @@ SolveModel build_solve_model(const SymbolMatrix& s, const TaskGraph& factor_tg,
     tg.cblk_task[static_cast<std::size_t>(k)] = fdiag_id(k);
 
   auto add_task = [&](idx_t id, TaskType type, idx_t k, idx_t blok, double cost,
-                      double flops, idx_t proc) {
+                      double flops, idx_t p) {
     tg.tasks[static_cast<std::size_t>(id)] = {type, k, blok, kNone, cost, flops};
-    sm.sched.proc[static_cast<std::size_t>(id)] = proc;
+    proc[static_cast<std::size_t>(id)] = p;
   };
 
   for (idx_t k = 0; k < s.ncblk; ++k) {
@@ -108,30 +104,35 @@ SolveModel build_solve_model(const SymbolMatrix& s, const TaskGraph& factor_tg,
         {fdiag_id(k), 0.0});
   }
 
-  // Priorities: forward ascending (diag before its updates), backward
+  // Placement order: forward ascending (diag before its updates), backward
   // descending (updates before the diag); this is a topological order and
-  // the per-processor execution order of the real solver.
-  idx_t prio = 0;
-  auto place = [&](idx_t id) {
-    sm.sched.prio[static_cast<std::size_t>(id)] = prio++;
-    sm.sched.kp[static_cast<std::size_t>(
-                    sm.sched.proc[static_cast<std::size_t>(id)])]
-        .push_back(id);
-  };
+  // the per-processor execution order of the real solver.  The map layer's
+  // phase-generic finalizer turns it into prio/K_p/start/end.
+  std::vector<idx_t> order;
+  order.reserve(static_cast<std::size_t>(ntask));
   for (idx_t k = 0; k < s.ncblk; ++k) {
-    place(fdiag_id(k));
+    order.push_back(fdiag_id(k));
     for (idx_t b = s.cblks[static_cast<std::size_t>(k)].bloknum;
          b < s.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
-      place(fupd_id(b));
+      order.push_back(fupd_id(b));
   }
   for (idx_t k = s.ncblk - 1; k >= 0; --k) {
     for (idx_t b = s.cblks[static_cast<std::size_t>(k)].bloknum;
          b < s.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
-      place(bupd_id(b));
-    place(bdiag_id(k));
+      order.push_back(bupd_id(b));
+    order.push_back(bdiag_id(k));
   }
-  PASTIX_CHECK(prio == ntask, "solve model priority assignment incomplete");
-  return sm;
+  PASTIX_CHECK(static_cast<idx_t>(order.size()) == ntask,
+               "solve plan placement order incomplete");
+  sp.sched =
+      fixed_order_schedule(tg, std::move(proc), order, factor_sched.nprocs);
+  return sp;
+}
+
+SolveModel build_solve_model(const SymbolMatrix& s, const TaskGraph& factor_tg,
+                             const Schedule& factor_sched, const CostModel& m) {
+  SolvePlan sp = build_solve_plan(s, factor_tg, factor_sched, m);
+  return {std::move(sp.tg), std::move(sp.sched)};
 }
 
 } // namespace pastix

@@ -1,32 +1,109 @@
 #pragma once
 //
-// Performance model of the distributed triangular solves.
+// Solve-phase plan: task graph, static schedule, and performance model of
+// the distributed triangular solves.
 //
 // The solve phase reuses the block mapping chosen for the factorization
 // (every factor block is read where it lives), so there is nothing to
 // schedule: the task order and processor assignment are fixed.  This module
 // builds the corresponding task graph (forward FDIAG/FUPD, backward
-// BUPD/BDIAG items, gemv/trsv costs, segment/contribution messages) and a
-// ready-made Schedule so the discrete-event simulator can predict solve
-// times for any processor count — the solve phase is memory-bound and far
-// less scalable than the factorization, which bench/solve_phase quantifies.
+// BUPD/BDIAG items, gemv/trsv costs, segment/contribution messages) and —
+// via the phase-generic map/fixed_order_schedule finalizer — a ready-made
+// per-rank K_p Schedule.  The result is a first-class SolvePlan carried on
+// AnalysisPlan: the runtime executes its K_p lists, the verifier proves it
+// deadlock-free and communication-complete, and the discrete-event
+// simulator predicts solve times for any processor count (the solve phase
+// is memory-bound and far less scalable than the factorization, which
+// bench/solve_phase quantifies).
 //
 #include "map/scheduler.hpp"
+#include "simul/simulate.hpp"
 #include "solver/comm_plan.hpp"
 
 namespace pastix {
 
+/// Kind of one solve-phase item, decoded from the dense task-id layout.
+enum class SolveItemKind : unsigned char {
+  kFwdDiag,  ///< forward trsv on the diagonal block of a cblk
+  kFwdUpd,   ///< forward gemv contribution of one off-diagonal blok
+  kBwdUpd,   ///< backward gemv^T contribution of one off-diagonal blok
+  kBwdDiag,  ///< backward trsv (+ diagonal scaling) on a cblk
+};
+
+/// One decoded solve item: its kind and the object it acts on (`cblk` is
+/// always set; `blok` is kNone for the diag items).
+struct SolveItem {
+  SolveItemKind kind;
+  idx_t cblk;
+  idx_t blok;
+};
+
+/// Dense solve task-id layout shared by the builder, the executor, and the
+/// verifier: [0, ncblk) forward diag, [ncblk, ncblk+nblok) forward update,
+/// [ncblk+nblok, ncblk+2*nblok) backward update, then backward diag.  The
+/// diagonal blok of each cblk holds zero-cost placeholder update items so
+/// the layout stays dense (and simulable) without a per-blok offset table.
+struct SolveIdLayout {
+  idx_t ncblk = 0;
+  idx_t nblok = 0;
+
+  SolveIdLayout() = default;
+  explicit SolveIdLayout(const SymbolMatrix& s)
+      : ncblk(s.ncblk), nblok(s.nblok()) {}
+
+  [[nodiscard]] idx_t ntask() const { return 2 * ncblk + 2 * nblok; }
+  [[nodiscard]] idx_t fdiag(idx_t k) const { return k; }
+  [[nodiscard]] idx_t fupd(idx_t b) const { return ncblk + b; }
+  [[nodiscard]] idx_t bupd(idx_t b) const { return ncblk + nblok + b; }
+  [[nodiscard]] idx_t bdiag(idx_t k) const { return ncblk + 2 * nblok + k; }
+
+  /// Decode a dense id back into (kind, object).  The cblk of an update
+  /// item is not derivable from the id alone — callers take it from the
+  /// task graph entry (tasks[id].cblk); decode fills it with kNone.
+  [[nodiscard]] SolveItem decode(idx_t id) const {
+    PASTIX_CHECK(id >= 0 && id < ntask(), "solve task id out of range");
+    if (id < ncblk) return {SolveItemKind::kFwdDiag, id, kNone};
+    if (id < ncblk + nblok)
+      return {SolveItemKind::kFwdUpd, kNone, id - ncblk};
+    if (id < ncblk + 2 * nblok)
+      return {SolveItemKind::kBwdUpd, kNone, id - ncblk - nblok};
+    return {SolveItemKind::kBwdDiag, id - ncblk - 2 * nblok, kNone};
+  }
+};
+
+/// A fully realized solve phase, carried on AnalysisPlan next to the
+/// factorization's tg/sched/sim triple.  `sim` is filled by analyze()
+/// (the solver library does not link the simulator); a default-constructed
+/// SolvePlan (empty task graph) means "no solve plan" — plans from older
+/// files or hand-built pipelines fall back to it and the verifier skips
+/// the solve-phase proof.
+struct SolvePlan {
+  TaskGraph tg;     ///< one task per solve item (dense SolveIdLayout ids)
+  Schedule sched;   ///< fixed mapping + topological priorities, per-rank K_p
+  SimResult sim;    ///< discrete-event prediction (analyze() fills this)
+
+  [[nodiscard]] bool present() const { return !tg.tasks.empty(); }
+};
+
+/// Legacy alias kept for the performance-model consumers (bench, tests):
+/// the tg/sched pair without the simulation result.
 struct SolveModel {
   TaskGraph tg;     ///< one task per solve item
   Schedule sched;   ///< fixed mapping + topological priorities
 };
 
-/// Build the solve-phase model for a factorization described by
-/// (symbol, factorization task graph, factorization schedule).
+/// Build the solve-phase plan for a factorization described by
+/// (symbol, factorization task graph, factorization schedule).  `sim` is
+/// left default — run simulate_schedule(plan.tg, plan.sched, m) to fill it.
+SolvePlan build_solve_plan(const SymbolMatrix& s, const TaskGraph& factor_tg,
+                           const Schedule& factor_sched, const CostModel& m);
+
+/// Build the solve-phase model (tg + sched only) — thin wrapper over
+/// build_solve_plan for the simulation-focused consumers.
 SolveModel build_solve_model(const SymbolMatrix& s, const TaskGraph& factor_tg,
                              const Schedule& factor_sched, const CostModel& m);
 
-/// Flops of one full solve (forward + diagonal + backward).
+/// Flops of one full solve (forward + diagonal + backward) per RHS.
 double solve_flops(const SymbolMatrix& s);
 
 } // namespace pastix

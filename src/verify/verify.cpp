@@ -121,6 +121,7 @@ public:
       check_comm_plan();
       check_tags();
       check_order_and_deadlock();
+      check_solve_plan();
       check_stats();
       if (opt_.check_memory && rep_.errors() == 0) replay_memory();
     } catch (const DiagnosticLimit&) {
@@ -1010,6 +1011,324 @@ private:
     add(Code::kHappensBeforeCycle, os.str(), cur,
         cur != kNone ? tg.tasks[uz(cur)].cblk : kNone, kNone,
         cur != kNone ? sc.proc[uz(cur)] : kNone);
+  }
+
+  // -------------------------------------------- phase 5b: solve-phase plan --
+  // The solve plan gets the same zero-execution guarantee as the
+  // factorization schedule: dense id-layout realization, K_p partition,
+  // ownership agreement with the comm plan's solve tables, a full edge
+  // re-derivation diff, per-tag send/receive completeness, and the
+  // happens-before/deadlock proof over the solve K_p orders plus the
+  // cross-rank message edges.  Plans without a solve phase (hand-built
+  // pipelines) skip this phase — the runtime falls back to building one.
+  void check_solve_plan() {
+    const SolvePlan& sp = p_.solve;
+    if (!sp.present()) return;
+    const SymbolMatrix& s = p_.symbol;
+    const TaskGraph& tg = sp.tg;
+    const Schedule& sc = sp.sched;
+    const CommPlan& cm = p_.comm;
+    const SolveIdLayout lay(s);
+
+    // Shapes first: everything below indexes through these arrays.
+    std::size_t before = rep_.diagnostics.size();
+    if (tg.ntask() != lay.ntask()) {
+      add(Code::kShapeMismatch,
+          "solve task count " + std::to_string(tg.ntask()) +
+              " does not match the dense solve id layout (" +
+              std::to_string(lay.ntask()) + " items)");
+      return;
+    }
+    const idx_t ntask = tg.ntask();
+    if (tg.inputs.size() != uz(ntask) || tg.prec.size() != uz(ntask))
+      add(Code::kShapeMismatch,
+          "solve task graph edge arrays do not match the task count");
+    if (sc.nprocs != p_.sched.nprocs)
+      add(Code::kScheduleInvalid,
+          "solve schedule nprocs does not match the factorization schedule");
+    if (sc.proc.size() != uz(ntask) ||
+        static_cast<idx_t>(sc.kp.size()) != sc.nprocs)
+      add(Code::kShapeMismatch,
+          "solve schedule arrays do not match the solve task count");
+    if (rep_.diagnostics.size() != before) return;
+    for (idx_t t = 0; t < ntask; ++t) {
+      if (sc.proc[uz(t)] < 0 || sc.proc[uz(t)] >= sc.nprocs)
+        add(Code::kScheduleInvalid, "solve task mapped to a rank out of range",
+            t);
+      for (const auto& c : tg.inputs[uz(t)])
+        if (c.source < 0 || c.source >= ntask)
+          add(Code::kShapeMismatch, "solve input edge source out of range", t);
+      for (const auto& c : tg.prec[uz(t)])
+        if (c.source < 0 || c.source >= ntask)
+          add(Code::kShapeMismatch,
+              "solve precedence edge source out of range", t);
+    }
+    if (rep_.diagnostics.size() != before) return;
+
+    // Dense id layout realization: every slot holds the item the executor
+    // will decode from it.
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      for (const idx_t id : {lay.fdiag(k), lay.bdiag(k)}) {
+        const Task& t = tg.tasks[uz(id)];
+        if (t.type != TaskType::kFactor || t.cblk != k || t.blok != kNone)
+          add(Code::kTaskInvalid,
+              "solve diag slot does not hold the trsv item of its cblk", id,
+              k);
+      }
+    }
+    for (idx_t b = 0; b < s.nblok(); ++b) {
+      const idx_t owning = s.bloks[uz(b)].lcblknm;
+      for (const idx_t id : {lay.fupd(b), lay.bupd(b)}) {
+        const Task& t = tg.tasks[uz(id)];
+        if (t.type != TaskType::kBdiv || t.blok != b || t.cblk != owning)
+          add(Code::kTaskInvalid,
+              "solve update slot does not hold the gemv item of its blok", id,
+              owning, b);
+      }
+    }
+    if (rep_.diagnostics.size() != before) return;
+
+    // K_p orders partition the solve items; fills spos (position in K_p).
+    std::vector<idx_t> spos(uz(ntask), kNone);
+    for (idx_t p = 0; p < sc.nprocs; ++p) {
+      const auto& order = sc.kp[uz(p)];
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const idx_t t = order[i];
+        if (t < 0 || t >= ntask) {
+          add(Code::kScheduleInvalid, "solve K_p task id out of range", kNone,
+              kNone, kNone, p);
+          return;
+        }
+        if (spos[uz(t)] != kNone) {
+          add(Code::kScheduleInvalid,
+              "solve task appears twice in the K_p orders", t, kNone, kNone,
+              p);
+          continue;
+        }
+        spos[uz(t)] = static_cast<idx_t>(i);
+        if (sc.proc[uz(t)] != p)
+          add(Code::kScheduleInvalid,
+              "solve task in K_p of rank " + std::to_string(p) +
+                  " but mapped to rank " + std::to_string(sc.proc[uz(t)]),
+              t, kNone, kNone, p);
+      }
+    }
+    for (idx_t t = 0; t < ntask; ++t)
+      if (spos[uz(t)] == kNone)
+        add(Code::kScheduleInvalid, "solve task missing from the K_p orders",
+            t, kNone, kNone, sc.proc[uz(t)]);
+    if (rep_.diagnostics.size() != before) return;
+
+    // Ownership: the executor sends/receives against the comm plan's solve
+    // tables, so the solve schedule must place every item exactly where
+    // those tables say its data lives.
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      const idx_t owner = cm.diag_owner[uz(k)];
+      for (const idx_t id : {lay.fdiag(k), lay.bdiag(k)})
+        if (sc.proc[uz(id)] != owner)
+          add(Code::kOwnerMismatch,
+              "solve diag item scheduled on rank " +
+                  std::to_string(sc.proc[uz(id)]) +
+                  " but diag_owner says rank " + std::to_string(owner),
+              id, k, kNone, sc.proc[uz(id)]);
+      const idx_t diag_blok = s.cblks[uz(k)].bloknum;
+      for (const idx_t id : {lay.fupd(diag_blok), lay.bupd(diag_blok)})
+        if (sc.proc[uz(id)] != owner)
+          add(Code::kOwnerMismatch,
+              "solve placeholder item of a diagonal blok scheduled off its "
+              "diag owner",
+              id, k, diag_blok, sc.proc[uz(id)]);
+      for (idx_t b = diag_blok + 1; b < s.cblks[uz(k) + 1].bloknum; ++b)
+        for (const idx_t id : {lay.fupd(b), lay.bupd(b)})
+          if (sc.proc[uz(id)] != cm.blok_owner[uz(b)])
+            add(Code::kOwnerMismatch,
+                "solve update item scheduled on rank " +
+                    std::to_string(sc.proc[uz(id)]) +
+                    " but blok_owner says rank " +
+                    std::to_string(cm.blok_owner[uz(b)]),
+                id, k, b, sc.proc[uz(id)]);
+    }
+
+    // Edge re-derivation: rebuild the solve graph from (symbol, factor tg,
+    // factor schedule) and diff every contribution/precedence list — the
+    // same guarantee check_graph_edges gives the factorization.
+    const SolvePlan rebuilt =
+        build_solve_plan(s, p_.tg, p_.sched, p_.options.model);
+    std::vector<std::pair<idx_t, double>> ea, eb;
+    auto diff_edges = [&](const std::vector<Contribution>& plan_edges,
+                          const std::vector<Contribution>& want_edges, idx_t t,
+                          const char* what) {
+      if (plan_edges.empty() && want_edges.empty()) return;
+      ea.clear();
+      eb.clear();
+      for (const auto& c : plan_edges) ea.emplace_back(c.source, c.entries);
+      for (const auto& c : want_edges) eb.emplace_back(c.source, c.entries);
+      std::sort(ea.begin(), ea.end());
+      std::sort(eb.begin(), eb.end());
+      if (ea == eb) return;
+      std::size_t i = 0, j = 0;
+      while (i < ea.size() && j < eb.size() && ea[i] == eb[j]) ++i, ++j;
+      if (j < eb.size() && (i >= ea.size() || eb[j] < ea[i]))
+        add(Code::kDependencyMissing,
+            std::string("solve ") + what + " edge from item " +
+                std::to_string(eb[j].first) + " is absent",
+            t, tg.tasks[uz(t)].cblk);
+      else
+        add(Code::kDependencySpurious,
+            std::string("solve ") + what + " edge from item " +
+                std::to_string(ea[i].first) +
+                " is not derivable from the block structure",
+            t, tg.tasks[uz(t)].cblk);
+    };
+    for (idx_t t = 0; t < ntask; ++t) {
+      diff_edges(tg.inputs[uz(t)], rebuilt.tg.inputs[uz(t)], t,
+                 "contribution");
+      diff_edges(tg.prec[uz(t)], rebuilt.tg.prec[uz(t)], t, "precedence");
+    }
+
+    // Per-tag send/receive completeness, derived from the solve schedule the
+    // executor will actually run: every (kSolve, phase, obj) message it
+    // sends must have a blocking receive in the comm tables and vice versa.
+    std::vector<idx_t> want;
+    auto diff_ranks = [&](const std::vector<idx_t>& table, idx_t k,
+                          const char* what) {
+      auto have = table;
+      std::sort(have.begin(), have.end());
+      std::sort(want.begin(), want.end());
+      want.erase(std::unique(want.begin(), want.end()), want.end());
+      if (have == want) return;
+      std::vector<idx_t> missing, extra;
+      std::set_difference(want.begin(), want.end(), have.begin(), have.end(),
+                          std::back_inserter(missing));
+      std::set_difference(have.begin(), have.end(), want.begin(), want.end(),
+                          std::back_inserter(extra));
+      if (!missing.empty())
+        add(Code::kStarvedReceive,
+            std::string(what) + " misses rank " +
+                std::to_string(missing.front()) +
+                ": a remote solve item would block on a segment never sent",
+            kNone, k, kNone, missing.front());
+      if (!extra.empty())
+        add(Code::kOrphanSend,
+            std::string(what) + " lists rank " + std::to_string(extra.front()) +
+                ": that solve segment has no matching receive",
+            kNone, k, kNone, extra.front());
+    };
+    auto diff_bloks = [&](const std::vector<idx_t>& table, idx_t k,
+                          const char* what) {
+      auto have = table;
+      std::sort(have.begin(), have.end());
+      std::sort(want.begin(), want.end());
+      if (have == want) return;
+      std::vector<idx_t> missing, extra;
+      std::set_difference(want.begin(), want.end(), have.begin(), have.end(),
+                          std::back_inserter(missing));
+      std::set_difference(have.begin(), have.end(), want.begin(), want.end(),
+                          std::back_inserter(extra));
+      if (!missing.empty())
+        add(Code::kOrphanSend,
+            std::string(what) + " misses blok " +
+                std::to_string(missing.front()) +
+                ": its remote solve contribution has no matching receive",
+            kNone, k, missing.front());
+      if (!extra.empty())
+        add(Code::kStarvedReceive,
+            std::string(what) + " lists blok " + std::to_string(extra.front()) +
+                ": the diag owner would block on a contribution never sent",
+            kNone, k, extra.front());
+    };
+    // The facing direction first: forward contributions into diag k come
+    // from remote bloks facing k, and those same bloks' backward items are
+    // the consumers of x_k (the xseg fan-out).
+    std::vector<std::vector<idx_t>> fwd(uz(s.ncblk));
+    std::vector<std::vector<idx_t>> xdest(uz(s.ncblk));
+    for (idx_t k = 0; k < s.ncblk; ++k)
+      for (idx_t b = s.cblks[uz(k)].bloknum + 1;
+           b < s.cblks[uz(k) + 1].bloknum; ++b) {
+        const idx_t target = s.bloks[uz(b)].fcblknm;
+        const idx_t towner = sc.proc[uz(lay.fdiag(target))];
+        if (sc.proc[uz(lay.fupd(b))] != towner)
+          fwd[uz(target)].push_back(b);
+        if (sc.proc[uz(lay.bupd(b))] != towner)
+          xdest[uz(target)].push_back(sc.proc[uz(lay.bupd(b))]);
+      }
+    for (idx_t k = 0; k < s.ncblk; ++k) {
+      const idx_t owner = sc.proc[uz(lay.fdiag(k))];
+      const idx_t first = s.cblks[uz(k)].bloknum + 1;
+      const idx_t last = s.cblks[uz(k) + 1].bloknum;
+      // yseg fan-out: one send per distinct remote rank owning a blok of k.
+      want.clear();
+      for (idx_t b = first; b < last; ++b)
+        if (sc.proc[uz(lay.fupd(b))] != owner)
+          want.push_back(sc.proc[uz(lay.fupd(b))]);
+      diff_ranks(cm.yseg_dests[uz(k)], k, "yseg_dests");
+      // xseg fan-out: remote ranks whose backward items read x_k.
+      want = std::move(xdest[uz(k)]);
+      diff_ranks(cm.xseg_dests[uz(k)], k, "xseg_dests");
+      // Backward contributions into y_k come from remote bloks of k itself.
+      want.clear();
+      for (idx_t b = first; b < last; ++b)
+        if (sc.proc[uz(lay.bupd(b))] != owner) want.push_back(b);
+      diff_bloks(cm.bwd_remote_bloks[uz(k)], k, "bwd_remote_bloks");
+      // Forward contributions into diag k come from remote bloks facing k.
+      want = std::move(fwd[uz(k)]);
+      diff_bloks(cm.fwd_remote_bloks[uz(k)], k, "fwd_remote_bloks");
+    }
+
+    // Same-rank ordering (race check) + happens-before/deadlock proof.  The
+    // executor's blocking receives are exactly the cross-rank dependency
+    // edges (yseg/xseg segments and fwd/bwd contributions), so the solve
+    // deadlocks iff per-rank K_p sequencing plus those edges has a cycle.
+    const std::size_t n = uz(ntask);
+    std::vector<std::vector<idx_t>> succ(n);
+    std::vector<idx_t> indeg(n, 0);
+    auto edge = [&](idx_t a, idx_t b) {
+      succ[uz(a)].push_back(b);
+      ++indeg[uz(b)];
+    };
+    for (const auto& order : sc.kp)
+      for (std::size_t i = 1; i < order.size(); ++i)
+        edge(order[i - 1], order[i]);
+    auto wire = [&](idx_t src, idx_t dst, const char* what) {
+      if (sc.proc[uz(src)] != sc.proc[uz(dst)]) {
+        edge(src, dst);
+        return;
+      }
+      if (spos[uz(src)] >= spos[uz(dst)])
+        add(Code::kUnorderedWrite,
+            std::string("solve ") + what + " producer item " +
+                std::to_string(src) +
+                " is scheduled at or after its consumer on rank " +
+                std::to_string(sc.proc[uz(dst)]),
+            dst, tg.tasks[uz(dst)].cblk, tg.tasks[uz(dst)].blok,
+            sc.proc[uz(dst)]);
+    };
+    for (idx_t t = 0; t < ntask; ++t) {
+      for (const auto& c : tg.inputs[uz(t)]) wire(c.source, t, "contribution");
+      for (const auto& c : tg.prec[uz(t)]) wire(c.source, t, "precedence");
+    }
+    std::vector<idx_t> stack;
+    for (std::size_t t = 0; t < n; ++t)
+      if (indeg[t] == 0) stack.push_back(static_cast<idx_t>(t));
+    std::size_t seen = 0;
+    while (!stack.empty()) {
+      const idx_t t = stack.back();
+      stack.pop_back();
+      ++seen;
+      for (const idx_t nxt : succ[uz(t)])
+        if (--indeg[uz(nxt)] == 0) stack.push_back(nxt);
+    }
+    if (seen != n) {
+      idx_t witness = kNone;
+      for (std::size_t t = 0; t < n; ++t)
+        if (indeg[t] > 0) { witness = static_cast<idx_t>(t); break; }
+      add(Code::kHappensBeforeCycle,
+          std::to_string(n - seen) +
+              " solve item(s) wait on a cross-rank cycle: the scheduled "
+              "solve's blocking receives can never all complete",
+          witness, witness != kNone ? tg.tasks[uz(witness)].cblk : kNone,
+          kNone, witness != kNone ? sc.proc[uz(witness)] : kNone);
+    }
   }
 
   void check_stats() {

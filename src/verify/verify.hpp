@@ -27,7 +27,13 @@
 //       consumer inside a rank's K_p (the static analogue of a data race
 //       at block granularity);
 //   (e) a static replay of the per-rank aggregated-update-block memory
-//       accounting, reproducing the runtime's aub_peak_bytes exactly.
+//       accounting, reproducing the runtime's aub_peak_bytes exactly;
+//   (f) when the plan carries a solve phase, the same guarantees for it —
+//       the dense solve id layout is realized, the solve K_p orders
+//       partition the items and agree with the comm plan's ownership
+//       tables, the edges equal an independent re-derivation, every solve
+//       segment/contribution send has a matching receive, and the solve's
+//       happens-before graph is acyclic (scheduled solves cannot deadlock).
 //
 // All checks are pattern-level: no matrix values, no threads, no comm.
 // check_plan never throws — corrupt input yields diagnostics, not crashes —

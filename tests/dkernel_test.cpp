@@ -90,6 +90,34 @@ TYPED_TEST(KernelsTyped, GemmNnMatchesNaive) {
   EXPECT_LT(max_abs_diff(c0, c1), 1e-12);
 }
 
+TYPED_TEST(KernelsTyped, GemmSetVariantsMatchZeroedAccumulateBitwise) {
+  using T = TypeParam;
+  for (const idx_t k : {idx_t{0}, idx_t{1}, idx_t{11}}) {
+    const idx_t m = 9, n = 7;
+    const auto a = random_matrix<T>(m, k, 4);
+    const auto b = random_matrix<T>(k, n, 5);
+    DenseMatrix<T> c0 = random_matrix<T>(m, n, 6);  // garbage: must be overwritten
+    DenseMatrix<T> c1(m, n);                        // zero-initialized
+    gemm_nn_set(m, n, k, T(2.0), a.data(), a.ld(), b.data(), b.ld(),
+                c0.data(), c0.ld());
+    gemm_nn(m, n, k, T(2.0), a.data(), a.ld(), b.data(), b.ld(), c1.data(),
+            c1.ld());
+    for (idx_t j = 0; j < n; ++j)
+      for (idx_t i = 0; i < m; ++i) EXPECT_EQ(c0(i, j), c1(i, j)) << k;
+
+    const auto at = random_matrix<T>(11, m, 7);
+    const auto bt = random_matrix<T>(11, n, 8);
+    DenseMatrix<T> d0 = random_matrix<T>(m, n, 9);
+    DenseMatrix<T> d1(m, n);
+    gemm_tn_set(11, m, n, T(-1.0), at.data(), at.ld(), bt.data(), bt.ld(),
+                d0.data(), d0.ld());
+    gemm_tn(11, m, n, T(-1.0), at.data(), at.ld(), bt.data(), bt.ld(),
+            d1.data(), d1.ld());
+    for (idx_t j = 0; j < n; ++j)
+      for (idx_t i = 0; i < m; ++i) EXPECT_EQ(d0(i, j), d1(i, j));
+  }
+}
+
 TYPED_TEST(KernelsTyped, SyrkMatchesGemmOnLowerTriangle) {
   using T = TypeParam;
   const idx_t n = 13, k = 8;

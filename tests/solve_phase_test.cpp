@@ -1,0 +1,379 @@
+// Solve-phase plan machinery (DESIGN.md §13): the scheduled panel solve
+// agrees with the looped single-RHS path and is bitwise-reproducible per
+// (width, ranks); the verifier proves clean solve plans and catches seeded
+// solve-plan corruption with named codes; the plan file round-trips the
+// solve plan; delivery faults flow through the scheduled solve; the traced
+// solve replays the solve schedule exactly; and the amgcl-shaped consumer
+// wrapper solves end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "../examples/pastix_solver.hpp"
+#include "core/pastix.hpp"
+#include "core/plan_io.hpp"
+#include "simul/runtime_trace.hpp"
+#include "solver/solve_model.hpp"
+#include "sparse/gen.hpp"
+#include "verify/verify.hpp"
+
+namespace pastix {
+namespace {
+
+using namespace std::chrono_literals;
+using verify::Code;
+
+/// Mesh wide enough that nprocs=4 splits the root 2D and every solve comm
+/// table (yseg/xseg destinations, remote contribution bloks) is nonempty.
+SymSparse<double> mesh() { return gen_fe_mesh({12, 12, 4, 2, 1, 1}); }
+
+PlanPtr analyze_mesh(idx_t nprocs) {
+  SolverOptions opt;
+  opt.nprocs = nprocs;
+  return analyze(mesh().pattern, opt);
+}
+
+AnalysisPlan mutate_copy(const PlanPtr& plan) { return *plan; }
+
+verify::Report check(const AnalysisPlan& p) { return verify::check_plan(p); }
+
+std::vector<std::vector<double>> make_batch(const SymSparse<double>& a,
+                                            idx_t nrhs) {
+  std::vector<std::vector<double>> bs(static_cast<std::size_t>(nrhs));
+  for (std::size_t r = 0; r < bs.size(); ++r) {
+    bs[r].assign(static_cast<std::size_t>(a.n()), 1.0);
+    for (std::size_t i = r; i < bs[r].size(); i += bs.size()) bs[r][i] = 2.0;
+  }
+  return bs;
+}
+
+// ------------------------------------------------------- panel vs looped --
+
+class SolvePanelRanks : public testing::TestWithParam<idx_t> {};
+
+TEST_P(SolvePanelRanks, PanelMatchesLoopedSingleRhs) {
+  const SymSparse<double> a = mesh();
+  SolverOptions opt;
+  opt.nprocs = GetParam();
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  ASSERT_TRUE(solver.stats().factor_status.clean());
+
+  const auto bs = make_batch(a, 7);
+  const auto xs = solver.solve_many(bs);
+  ASSERT_EQ(xs.size(), bs.size());
+  EXPECT_EQ(solver.stats().solve_many_panel, 7);
+  for (std::size_t r = 0; r < bs.size(); ++r) {
+    EXPECT_LT(relative_residual(a, xs[r], bs[r]), 1e-10) << "rhs " << r;
+    const auto single = solver.solve(bs[r]);
+    double diff = 0, norm = 0;
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      diff = std::max(diff, std::abs(single[i] - xs[r][i]));
+      norm = std::max(norm, std::abs(single[i]));
+    }
+    EXPECT_LT(diff, 1e-10 * std::max(norm, 1.0)) << "rhs " << r;
+  }
+}
+
+TEST_P(SolvePanelRanks, PanelSolveIsBitwiseReproducible) {
+  const SymSparse<double> a = mesh();
+  SolverOptions opt;
+  opt.nprocs = GetParam();
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+
+  const auto bs = make_batch(a, 5);
+  const auto first = solver.solve_many(bs);
+  const auto second = solver.solve_many(bs);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t r = 0; r < first.size(); ++r) {
+    ASSERT_EQ(first[r].size(), second[r].size());
+    EXPECT_EQ(0, std::memcmp(first[r].data(), second[r].data(),
+                             first[r].size() * sizeof(double)))
+        << "rhs " << r << " not bitwise reproducible";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SolvePanelRanks, testing::Values(1, 2, 4));
+
+TEST(SolvePanel, SingleRhsEntryPointsAgreeBitwise) {
+  // solve() is the nrhs == 1 panel walk; refine_driver numerics depend on
+  // it being deterministic, so two identical calls must agree exactly.
+  const SymSparse<double> a = mesh();
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  const std::vector<double> b = reference_rhs(a);
+  const auto x1 = solver.solve(b);
+  const auto x2 = solver.solve(b);
+  EXPECT_EQ(0,
+            std::memcmp(x1.data(), x2.data(), x1.size() * sizeof(double)));
+}
+
+// ------------------------------------------------- verifier, clean plans --
+
+TEST(SolveVerifyClean, AnalysisCarriesAProvenSolvePlan) {
+  for (const idx_t nprocs : {idx_t{1}, idx_t{2}, idx_t{4}}) {
+    const PlanPtr plan = analyze_mesh(nprocs);
+    ASSERT_TRUE(plan->solve.present());
+    EXPECT_EQ(plan->solve.sched.nprocs, nprocs);
+    EXPECT_GT(plan->solve.sim.makespan, 0.0);
+    const auto rep = check(*plan);
+    EXPECT_TRUE(rep.ok()) << "nprocs " << nprocs << ": " << rep.to_string();
+  }
+}
+
+TEST(SolveVerifyClean, AbsentSolvePlanIsStillSound) {
+  // Pre-v3 plans carry no solve plan; the verifier must not demand one.
+  AnalysisPlan m = mutate_copy(analyze_mesh(2));
+  m.solve = SolvePlan{};
+  EXPECT_TRUE(check(m).ok()) << check(m).to_string();
+}
+
+// --------------------------------------------------- verifier, mutations --
+
+TEST(SolveVerifyMutation, CorruptedDiagSlotDetected) {
+  AnalysisPlan m = mutate_copy(analyze_mesh(2));
+  const SolveIdLayout lay(m.symbol);
+  m.solve.tg.tasks[static_cast<std::size_t>(lay.fdiag(0))].cblk = 1;
+  EXPECT_TRUE(check(m).has(Code::kTaskInvalid)) << check(m).to_string();
+}
+
+TEST(SolveVerifyMutation, ItemDroppedFromKpDetected) {
+  AnalysisPlan m = mutate_copy(analyze_mesh(2));
+  for (auto& order : m.solve.sched.kp)
+    if (!order.empty()) {
+      order.pop_back();
+      break;
+    }
+  EXPECT_TRUE(check(m).has(Code::kScheduleInvalid)) << check(m).to_string();
+}
+
+TEST(SolveVerifyMutation, DiagItemMovedOffItsOwnerDetected) {
+  AnalysisPlan m = mutate_copy(analyze_mesh(2));
+  const SolveIdLayout lay(m.symbol);
+  const idx_t id = lay.fdiag(0);
+  auto& sc = m.solve.sched;
+  const idx_t from = sc.proc[static_cast<std::size_t>(id)];
+  const idx_t to = (from + 1) % sc.nprocs;
+  auto& old_order = sc.kp[static_cast<std::size_t>(from)];
+  old_order.erase(std::find(old_order.begin(), old_order.end(), id));
+  sc.kp[static_cast<std::size_t>(to)].insert(
+      sc.kp[static_cast<std::size_t>(to)].begin(), id);
+  sc.proc[static_cast<std::size_t>(id)] = to;
+  EXPECT_TRUE(check(m).has(Code::kOwnerMismatch)) << check(m).to_string();
+}
+
+TEST(SolveVerifyMutation, DroppedContributionEdgesDetected) {
+  AnalysisPlan m = mutate_copy(analyze_mesh(2));
+  bool cut = false;
+  for (auto& inputs : m.solve.tg.inputs)
+    if (!inputs.empty()) {
+      inputs.clear();
+      cut = true;
+      break;
+    }
+  ASSERT_TRUE(cut);
+  EXPECT_TRUE(check(m).has(Code::kDependencyMissing)) << check(m).to_string();
+}
+
+TEST(SolveVerifyMutation, SpuriousEdgeDetected) {
+  AnalysisPlan m = mutate_copy(analyze_mesh(2));
+  const SolveIdLayout lay(m.symbol);
+  m.solve.tg.inputs[static_cast<std::size_t>(lay.fdiag(0))].push_back(
+      {lay.bdiag(0), 1.0});
+  EXPECT_TRUE(check(m).has(Code::kDependencySpurious)) << check(m).to_string();
+}
+
+TEST(SolveVerifyMutation, ForwardAfterBackwardOrderDetected) {
+  // Swap fdiag(k) and bdiag(k) inside their rank's K_p: the direct
+  // fdiag -> bdiag dependency now runs against the execution order.
+  AnalysisPlan m = mutate_copy(analyze_mesh(2));
+  const SolveIdLayout lay(m.symbol);
+  auto& order = m.solve.sched.kp[static_cast<std::size_t>(
+      m.solve.sched.proc[static_cast<std::size_t>(lay.fdiag(0))])];
+  const auto fit = std::find(order.begin(), order.end(), lay.fdiag(0));
+  const auto bit = std::find(order.begin(), order.end(), lay.bdiag(0));
+  ASSERT_TRUE(fit != order.end() && bit != order.end());
+  std::iter_swap(fit, bit);
+  EXPECT_TRUE(check(m).has(Code::kUnorderedWrite)) << check(m).to_string();
+}
+
+TEST(SolveVerifyMutation, BogusYsegDestinationDetected) {
+  // An extra destination in the comm plan's solve table means the executor
+  // would send a y-segment nobody receives.
+  AnalysisPlan m = mutate_copy(analyze_mesh(4));
+  const idx_t owner = m.comm.diag_owner[0];
+  m.comm.yseg_dests[0].push_back((owner + 1) % 4);
+  EXPECT_TRUE(check(m).has(Code::kOrphanSend)) << check(m).to_string();
+}
+
+TEST(SolveVerifyMutation, DroppedXsegDestinationDetected) {
+  // Removing a destination from xseg_dests starves the remote backward
+  // updates facing that cblk: they block on an x-segment never sent.
+  AnalysisPlan m = mutate_copy(analyze_mesh(4));
+  bool cut = false;
+  for (auto& dests : m.comm.xseg_dests)
+    if (!dests.empty()) {
+      dests.pop_back();
+      cut = true;
+      break;
+    }
+  ASSERT_TRUE(cut) << "mesh must produce remote x-segment consumers";
+  EXPECT_TRUE(check(m).has(Code::kStarvedReceive)) << check(m).to_string();
+}
+
+TEST(SolveVerifyMutation, DroppedRemoteContributionBlokDetected) {
+  // Removing a blok from fwd_remote_bloks orphans that blok's remote
+  // forward update: it still sends its contribution, but the forward diag
+  // solve no longer posts the matching receive.
+  AnalysisPlan m = mutate_copy(analyze_mesh(4));
+  bool cut = false;
+  for (auto& bloks : m.comm.fwd_remote_bloks)
+    if (!bloks.empty()) {
+      bloks.pop_back();
+      cut = true;
+      break;
+    }
+  ASSERT_TRUE(cut) << "mesh must produce remote forward contributions";
+  EXPECT_TRUE(check(m).has(Code::kOrphanSend)) << check(m).to_string();
+}
+
+// ------------------------------------------------------ plan file round --
+
+TEST(SolvePlanIo, SaveLoadRoundTripsTheSolvePlan) {
+  const PlanPtr plan = analyze_mesh(2);
+  const std::string path = "solve_phase_plan_roundtrip.bin";
+  save_plan(*plan, path);
+  const PlanPtr loaded = load_plan(path);
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(loaded->solve.present());
+  EXPECT_EQ(loaded->solve.tg.ntask(), plan->solve.tg.ntask());
+  EXPECT_EQ(loaded->solve.sched.kp, plan->solve.sched.kp);
+  EXPECT_EQ(loaded->solve.sched.proc, plan->solve.sched.proc);
+  EXPECT_DOUBLE_EQ(loaded->solve.sim.makespan, plan->solve.sim.makespan);
+  EXPECT_TRUE(check(*loaded).ok()) << check(*loaded).to_string();
+
+  // The loaded plan must drive the scheduled solve end to end.
+  const SymSparse<double> a = mesh();
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(a, loaded);
+  solver.factorize();
+  const auto bs = make_batch(a, 3);
+  const auto xs = solver.solve_many(bs);
+  for (std::size_t r = 0; r < xs.size(); ++r)
+    EXPECT_LT(relative_residual(a, xs[r], bs[r]), 1e-10);
+}
+
+// ------------------------------------------------------------- chaos ----
+
+TEST(SolveChaos, ScheduledSolveSurvivesDeliveryFaults) {
+  const SymSparse<double> a = mesh();
+  SolverOptions opt;
+  opt.nprocs = 4;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.factorize();
+  ASSERT_TRUE(solver.stats().factor_status.clean());
+  solver.comm().set_recv_deadline(10000ms);
+  for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    rt::FaultInjection faults;
+    faults.seed = seed;
+    faults.delay_prob = 0.15;
+    faults.reorder_prob = 0.25;
+    solver.comm().set_fault_injection(faults);
+    const auto bs = make_batch(a, 6);
+    const auto xs = solver.solve_many(bs);
+    for (std::size_t r = 0; r < xs.size(); ++r)
+      EXPECT_LT(relative_residual(a, xs[r], bs[r]), 1e-10)
+          << "seed " << seed << " rhs " << r;
+  }
+}
+
+// ------------------------------------------------------------- tracing ---
+
+TEST(SolveTrace, TracedSolveReplaysTheSolveSchedule) {
+  const SymSparse<double> a = mesh();
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.enable_tracing(true);
+  solver.factorize();
+  const auto bs = make_batch(a, 3);
+  const auto xs = solver.solve_many(bs);
+  ASSERT_EQ(xs.size(), bs.size());
+
+  const RuntimeTrace tr = solver.runtime_trace();
+  ASSERT_FALSE(tr.solve_items.empty());
+  EXPECT_NO_THROW(tr.validate_against(solver.schedule()));
+  EXPECT_NO_THROW(tr.validate_solve_against(solver.plan()->solve.sched));
+
+  // The Chrome export carries the solve items as their own category.
+  const auto tl = tr.to_timeline();
+  EXPECT_TRUE(std::any_of(tl.begin(), tl.end(), [](const TimelineEvent& e) {
+    return e.cat == "solve-task";
+  }));
+}
+
+// ----------------------------------------------------- consumer wrapper --
+
+TEST(SolveWrapper, AmgclShapedWrapperSolvesFromCrs) {
+  const SymSparse<double> a = gen_fe_mesh({8, 8, 2, 1, 1, 5});
+  // Re-encode the matrix as plain lower-triangular CRS-by-column arrays,
+  // the shape a host code would hand over.
+  const idx_t n = a.n();
+  std::vector<int> ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> col;
+  std::vector<double> val;
+  for (idx_t j = 0; j < n; ++j) {
+    ptr[static_cast<std::size_t>(j)] = static_cast<int>(col.size());
+    col.push_back(static_cast<int>(j));
+    val.push_back(a.diag[static_cast<std::size_t>(j)]);
+  }
+  // Strict-lower entries appended per *row* via the column walk.
+  std::vector<std::vector<std::pair<int, double>>> rows(
+      static_cast<std::size_t>(n));
+  for (idx_t j = 0; j < n; ++j)
+    for (idx_t q = a.pattern.colptr[j]; q < a.pattern.colptr[j + 1]; ++q)
+      rows[static_cast<std::size_t>(a.pattern.rowind[q])].push_back(
+          {static_cast<int>(j), a.val[static_cast<std::size_t>(q)]});
+  ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  col.clear();
+  val.clear();
+  for (idx_t i = 0; i < n; ++i) {
+    for (const auto& [j, v] : rows[static_cast<std::size_t>(i)]) {
+      col.push_back(j);
+      val.push_back(v);
+    }
+    col.push_back(static_cast<int>(i));
+    val.push_back(a.diag[static_cast<std::size_t>(i)]);
+    ptr[static_cast<std::size_t>(i) + 1] = static_cast<int>(col.size());
+  }
+
+  PaStiXSolver<double>::params prm;
+  prm.nprocs = 2;
+  PaStiXSolver<double> direct(n, ptr, col, val, prm);
+
+  const std::vector<double> b = reference_rhs(a);
+  std::vector<double> x;
+  direct(b, x);
+  EXPECT_LT(relative_residual(a, x, b), 1e-10);
+
+  const auto xs = direct.solve_batch(make_batch(a, 4));
+  ASSERT_EQ(xs.size(), 4u);
+  EXPECT_EQ(direct.stats().solve_many_panel, 4);
+}
+
+} // namespace
+} // namespace pastix

@@ -10,6 +10,9 @@
 #            src/verify (skips cleanly when clang-tidy is absent)
 #   service— multi-tenant service suite (admission/cache/retry/chaos) on
 #            the default preset, plus the chaos storms under TSan
+#   solve  — solve-phase suite (panel solve, solve-plan verifier mutations,
+#            chaos delivery through the scheduled solve) plus the multi-RHS
+#            throughput bench with its >= 2x acceptance bar
 #   ubsan  — UndefinedBehaviorSanitizer preset + verifier/comm/solver tests
 #   asan   — Address+UB sanitizer preset, runtime-focused test filter
 #   tsan   — ThreadSanitizer preset, runtime-focused test filter (includes
@@ -22,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 lanes=("$@")
 if [ ${#lanes[@]} -eq 0 ]; then
-  lanes=(tier1 bench service lint ubsan asan tsan)
+  lanes=(tier1 bench service solve lint ubsan asan tsan)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -50,6 +53,11 @@ run_lane() {
       ctest --test-dir build-tsan -R "ServiceChaos" -j "${jobs}" \
             --output-on-failure
       ;;
+    solve)
+      cmake --preset default
+      cmake --build build -j "${jobs}"
+      ctest --test-dir build -L solve -j "${jobs}" --output-on-failure
+      ;;
     lint)
       cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
       tools/lint.sh build
@@ -70,7 +78,7 @@ run_lane() {
       ctest --preset tsan -j "${jobs}" --output-on-failure
       ;;
     *)
-      echo "ci: unknown lane '$1' (tier1|bench|service|lint|ubsan|asan|tsan)" >&2
+      echo "ci: unknown lane '$1' (tier1|bench|service|solve|lint|ubsan|asan|tsan)" >&2
       exit 2
       ;;
   esac
