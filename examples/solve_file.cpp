@@ -5,10 +5,19 @@
 //
 //   ./solve_file <matrix.mtx> [nprocs] [--refine] [--plan <file>]
 //                [--trace <out.json>] [--verify] [--nrhs N]
+//                [--hybrid] [--hybrid-tail F] [--hybrid-pool N]
 //
 // --nrhs N additionally solves a batch of N distinct right-hand sides
 // through the scheduled panel solve (Solver::solve_many) and reports the
 // batch throughput in solves/sec.
+//
+// --hybrid enables hybrid static/dynamic execution (DESIGN.md §14): the
+// analysis picks a per-rank prefix/tail split from the cost model and the
+// tail runs on an intra-rank work-stealing pool, bitwise identical to the
+// fully static schedule.  --hybrid-tail F overrides the tail work fraction
+// (default 0.25), --hybrid-pool N the pool workers per rank (default 2).
+// A plan loaded via --plan keeps its own split (empty = static) — delete
+// the plan file to re-analyze with hybrid settings.
 //
 // --plan <file> persists the analysis: if <file> exists and matches the
 // matrix pattern it is loaded (skipping ordering/symbolic/scheduling
@@ -63,6 +72,9 @@ int main(int argc, char** argv) {
   idx_t nrhs = 1;
   bool refine = false;
   bool verify_plan = false;
+  bool hybrid = false;
+  double hybrid_tail = -1.0;
+  int hybrid_pool = 0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--refine") == 0) {
@@ -75,6 +87,14 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--nrhs") == 0 && i + 1 < argc) {
       nrhs = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--hybrid") == 0) {
+      hybrid = true;
+    } else if (std::strcmp(argv[i], "--hybrid-tail") == 0 && i + 1 < argc) {
+      hybrid = true;
+      hybrid_tail = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hybrid-pool") == 0 && i + 1 < argc) {
+      hybrid = true;
+      hybrid_pool = std::max(1, std::atoi(argv[++i]));
     } else if (positional == 0) {
       path = argv[i];
       positional++;
@@ -103,6 +123,11 @@ int main(int argc, char** argv) {
 
   SolverOptions opt;
   opt.nprocs = nprocs;
+  if (hybrid) {
+    opt.fanin.hybrid.enabled = true;
+    if (hybrid_tail >= 0) opt.fanin.hybrid.tail_fraction = hybrid_tail;
+    if (hybrid_pool > 0) opt.fanin.hybrid.pool_size = hybrid_pool;
+  }
   Solver<double> solver(opt);
 
   // Warm-start from a saved plan when one is given and still valid for this
@@ -140,6 +165,23 @@ int main(int argc, char** argv) {
     }
   }
   const double analyze_s = t_analyze.seconds();
+
+  if (hybrid) {
+    const auto& sc = solver.plan()->sched;
+    if (sc.hybrid()) {
+      idx_t tail_tasks = 0;
+      for (idx_t p = 0; p < sc.nprocs; ++p)
+        tail_tasks += static_cast<idx_t>(
+                          sc.kp[static_cast<std::size_t>(p)].size()) -
+                      sc.split[static_cast<std::size_t>(p)];
+      std::cout << "hybrid scheduling: " << tail_tasks
+                << " tail tasks on a pool of "
+                << opt.fanin.hybrid.pool_size << " workers/rank\n";
+    } else {
+      std::cout << "hybrid scheduling requested, but the plan has no split "
+                   "points (loaded static plan?); running fully static\n";
+    }
+  }
 
   if (verify_plan) {
     Timer t_verify;

@@ -50,6 +50,8 @@ PlanPtr analyze(const SparsePattern& pattern, const SolverOptions& opt) {
   p.tg = build_task_graph(p.symbol, p.cand, opt.model);
   p.sched = static_schedule(p.tg, p.cand, opt.model, opt.nprocs,
                             opt.scheduler);
+  if (opt.fanin.hybrid.enabled)
+    compute_split(p.tg, p.sched, opt.fanin.hybrid.tail_fraction);
   p.sim = simulate_schedule(p.tg, p.sched, opt.model);
   p.comm = build_comm_plan(p.symbol, p.tg, p.sched, opt.fanin.partial_chunk);
   p.solve = build_solve_plan(p.symbol, p.tg, p.sched, opt.model);

@@ -64,8 +64,10 @@ public:
   /// the last run.  Disabled (the default) costs one branch per event site.
   void enable_tracing(bool on) {
     if (on && !tracer_) {
+      // Hybrid execution adds per-rank worker lanes so the pool records
+      // without breaking the single-writer-per-lane discipline.
       tracer_ = std::make_unique<rt::TraceRecorder>(
-          static_cast<int>(plan_->nprocs()));
+          static_cast<int>(plan_->nprocs()), fanin_.worker_lanes());
       fanin_.set_tracer(tracer_.get());
       comm_->set_tracer(tracer_.get());
     }

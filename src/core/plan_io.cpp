@@ -18,7 +18,10 @@ namespace {
 constexpr char kMagic[8] = {'P', 'S', 'T', 'X', 'P', 'L', 'A', 'N'};
 // v2: SolverOptions grew the verify_plan strict-mode flag.
 // v3: AnalysisPlan carries the solve-phase plan (tg + K_p schedule + sim).
-constexpr std::uint32_t kVersion = 3;
+// v4: Schedule carries the hybrid static-prefix/dynamic-tail split points,
+//     and FaninOptions (inside the raw-serialized SolverOptions) grew the
+//     HybridOptions block.
+constexpr std::uint32_t kVersion = 4;
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -238,6 +241,7 @@ void save_plan(const AnalysisPlan& plan, std::ostream& out) {
   put_vec(out, plan.sched.start);
   put_vec(out, plan.sched.end);
   put_vecvec(out, plan.sched.kp);
+  put_vec(out, plan.sched.split);  // v4: empty means fully static
   put_raw(out, plan.sched.makespan);
 
   // Simulation numbers.
@@ -275,6 +279,7 @@ void save_plan(const AnalysisPlan& plan, std::ostream& out) {
   put_vec(out, plan.solve.sched.start);
   put_vec(out, plan.solve.sched.end);
   put_vecvec(out, plan.solve.sched.kp);
+  put_vec(out, plan.solve.sched.split);  // v4: always empty today
   put_raw(out, plan.solve.sched.makespan);
   put_raw(out, plan.solve.sim.makespan);
   put_vec(out, plan.solve.sim.busy);
@@ -345,6 +350,7 @@ PlanPtr load_plan(std::istream& stream) {
   get_vec(in, p.sched.start);
   get_vec(in, p.sched.end);
   get_vecvec(in, p.sched.kp);
+  get_vec(in, p.sched.split);
   get_raw(in, p.sched.makespan);
 
   get_raw(in, p.sim.makespan);
@@ -379,6 +385,7 @@ PlanPtr load_plan(std::istream& stream) {
   get_vec(in, p.solve.sched.start);
   get_vec(in, p.solve.sched.end);
   get_vecvec(in, p.solve.sched.kp);
+  get_vec(in, p.solve.sched.split);
   get_raw(in, p.solve.sched.makespan);
   get_raw(in, p.solve.sim.makespan);
   get_vec(in, p.solve.sim.busy);

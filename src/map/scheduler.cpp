@@ -27,6 +27,16 @@ void Schedule::validate(idx_t ntask) const {
   for (idx_t t = 0; t < ntask; ++t)
     PASTIX_CHECK(seen[static_cast<std::size_t>(t)],
                  "task missing from the K_p orders");
+  if (!split.empty()) {
+    PASTIX_CHECK(static_cast<idx_t>(split.size()) == nprocs,
+                 "schedule split count does not match nprocs");
+    for (idx_t p = 0; p < nprocs; ++p)
+      PASTIX_CHECK(split[static_cast<std::size_t>(p)] >= 0 &&
+                       split[static_cast<std::size_t>(p)] <=
+                           static_cast<idx_t>(
+                               kp[static_cast<std::size_t>(p)].size()),
+                   "schedule split point outside its K_p");
+  }
 }
 
 Schedule fixed_order_schedule(const TaskGraph& tg, std::vector<idx_t> proc,
@@ -254,6 +264,92 @@ Schedule static_schedule(const TaskGraph& tg, const CandidateMapping& cm,
 
   sched.makespan = *std::max_element(timer.begin(), timer.end());
   return sched;
+}
+
+namespace {
+
+std::size_t uz(idx_t v) { return static_cast<std::size_t>(v); }
+
+} // namespace
+
+void compute_split(const TaskGraph& tg, Schedule& sched,
+                   const std::vector<double>& tail_fraction) {
+  PASTIX_CHECK(static_cast<idx_t>(tail_fraction.size()) == sched.nprocs,
+               "compute_split: one tail fraction per rank required");
+
+  // Per-rank cost-budget suffix: walk K_p backwards accumulating model cost
+  // until the tail holds ~fraction of the rank's total predicted work.
+  sched.split.assign(uz(sched.nprocs), 0);
+  for (idx_t p = 0; p < sched.nprocs; ++p) {
+    const auto& kp = sched.kp[uz(p)];
+    double total = 0;
+    for (const idx_t t : kp) total += tg.tasks[uz(t)].cost;
+    const double budget =
+        std::clamp(tail_fraction[uz(p)], 0.0, 1.0) * total;
+    double acc = 0;
+    std::size_t s = kp.size();
+    while (s > 0 && acc + tg.tasks[uz(kp[s - 1])].cost <= budget) {
+      acc += tg.tasks[uz(kp[s - 1])].cost;
+      --s;
+    }
+    sched.split[uz(p)] = static_cast<idx_t>(s);
+  }
+
+  // Boundary fixpoint: a message consumed by a prefix task must come from a
+  // prefix task on the producing rank, or the consumer's blocking receive
+  // could wait on a tail that its own rank's stalled prefix gates (a cross-
+  // rank prefix/tail cycle).  Grow producer prefixes until stable; splits
+  // only grow, so this terminates.
+  const idx_t ntask = tg.ntask();
+  std::vector<idx_t> pos(uz(ntask), 0);
+  for (idx_t p = 0; p < sched.nprocs; ++p)
+    for (std::size_t i = 0; i < sched.kp[uz(p)].size(); ++i)
+      pos[uz(sched.kp[uz(p)][i])] = static_cast<idx_t>(i);
+
+  const auto grow_for = [&](idx_t src, idx_t dst) {
+    const idx_t ps = sched.proc[uz(src)], pd = sched.proc[uz(dst)];
+    if (ps == pd) return false;  // suffix property orders same-rank pairs
+    if (pos[uz(dst)] >= sched.split[uz(pd)]) return false;  // tail consumer
+    if (pos[uz(src)] < sched.split[uz(ps)]) return false;   // already prefix
+    sched.split[uz(ps)] = pos[uz(src)] + 1;
+    return true;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (idx_t t = 0; t < ntask; ++t) {
+      for (const auto& c : tg.inputs[uz(t)]) changed |= grow_for(c.source, t);
+      for (const auto& c : tg.prec[uz(t)]) changed |= grow_for(c.source, t);
+    }
+  }
+}
+
+void compute_split(const TaskGraph& tg, Schedule& sched,
+                   double tail_fraction) {
+  compute_split(tg, sched,
+                std::vector<double>(uz(sched.nprocs), tail_fraction));
+}
+
+void recalibrate_split(const TaskGraph& tg, Schedule& sched,
+                       const std::vector<double>& busy_seconds,
+                       const std::vector<double>& wait_seconds,
+                       double base_fraction) {
+  PASTIX_CHECK(static_cast<idx_t>(busy_seconds.size()) == sched.nprocs &&
+                   static_cast<idx_t>(wait_seconds.size()) == sched.nprocs,
+               "recalibrate_split: one measurement per rank required");
+  std::vector<double> fractions(uz(sched.nprocs), base_fraction);
+  for (idx_t p = 0; p < sched.nprocs; ++p) {
+    const double busy = busy_seconds[uz(p)];
+    const double wait = std::max(wait_seconds[uz(p)], 0.0);
+    const double span = busy + wait;
+    // Share of the rank's wall time spent *not* computing: the measured
+    // symptom of a mispredicted static order.  0 keeps the base fraction,
+    // 100% waiting scales it 3x (still capped below a fully dynamic rank).
+    const double starved = span > 0 ? wait / span : 0.0;
+    fractions[uz(p)] =
+        std::min(base_fraction * (1.0 + 2.0 * starved), 0.9);
+  }
+  compute_split(tg, sched, fractions);
 }
 
 } // namespace pastix

@@ -40,7 +40,20 @@ struct Schedule {
   std::vector<double> start; ///< per task: simulated start time (s)
   std::vector<double> end;   ///< per task: simulated completion time (s)
   std::vector<std::vector<idx_t>> kp;  ///< per proc: tasks in priority order
+  /// Hybrid static/dynamic execution (DESIGN.md §14): per proc, the length
+  /// of the statically ordered *prefix* of K_p.  Tasks at positions
+  /// >= split[p] form the dynamic tail, executed by an intra-rank work-
+  /// stealing pool.  Empty means fully static (every plan before format v4,
+  /// and every plan with hybrid execution disabled).
+  std::vector<idx_t> split;
   double makespan = 0;
+
+  /// True when some rank has a non-empty dynamic tail.
+  [[nodiscard]] bool hybrid() const {
+    for (std::size_t p = 0; p < split.size(); ++p)
+      if (split[p] < static_cast<idx_t>(kp[p].size())) return true;
+    return false;
+  }
 
   /// Owner of a factor blok = processor of the task that writes it.
   [[nodiscard]] idx_t blok_owner(const TaskGraph& tg, idx_t blok) const {
@@ -70,5 +83,31 @@ Schedule static_schedule(const TaskGraph& tg, const CandidateMapping& cm,
 /// fixed-placement phase shares this finalizer.
 Schedule fixed_order_schedule(const TaskGraph& tg, std::vector<idx_t> proc,
                               const std::vector<idx_t>& order, idx_t nprocs);
+
+/// Pick the static-prefix / dynamic-tail split of every K_p (DESIGN.md §14).
+/// Per rank, the tail is the cost-model suffix worth ~`tail_fraction[p]` of
+/// that rank's total work — the near-root region where 2D tasks are large
+/// and static load prediction is least reliable.  A boundary fixpoint then
+/// grows prefixes until no message consumed by a *prefix* task is produced
+/// by a *tail* task on another rank (the condition that makes the prefix's
+/// blocking receives starvation-free, see verify's kTailStarvedReceive);
+/// within one rank the suffix property already guarantees it.  Writes
+/// sched.split.  A fraction of 0 yields empty tails (fully static).
+void compute_split(const TaskGraph& tg, Schedule& sched,
+                   const std::vector<double>& tail_fraction);
+
+/// Convenience overload: one fraction for every rank.
+void compute_split(const TaskGraph& tg, Schedule& sched, double tail_fraction);
+
+/// Recalibrate the split from a measured run (PR 3 tracing): ranks that
+/// spent a larger share of the makespan idle or blocked in recv get a
+/// proportionally larger dynamic tail (up to 3x the base fraction, capped
+/// at 90% of the rank's work), perfectly busy ranks keep the base.  Inputs
+/// are per-rank seconds, e.g. TraceComparison::per_rank busy and
+/// idle + recv_wait.  Re-runs compute_split with the adjusted fractions.
+void recalibrate_split(const TaskGraph& tg, Schedule& sched,
+                       const std::vector<double>& busy_seconds,
+                       const std::vector<double>& wait_seconds,
+                       double base_fraction);
 
 } // namespace pastix

@@ -30,6 +30,8 @@ enum class TraceKind : std::uint8_t {
   kRestart, ///< rank restarted from a checkpoint; id1 = resumed K_p index
   kSolveTask, ///< one scheduled solve item (subtype = SolveItemKind);
               ///< id1 = solve item id, id2 = cblk, id3 = blok (or -1)
+  kSteal,   ///< hybrid tail: a pool worker claimed a task (DESIGN.md §14);
+            ///< id1 = task, id2 = K_p position, id3 = worker index
 };
 
 /// One recorded span.  Interpretation of the id fields depends on `kind`:
@@ -45,15 +47,38 @@ struct TraceRecord {
 };
 
 /// Per-rank, single-writer event recorder.
+///
+/// Hybrid execution (DESIGN.md §14) adds `workers_per_rank` extra lanes per
+/// rank for the tail pool: a worker thread installs a LaneScope, and every
+/// record() issued from it — including the ones Comm's send/recv paths emit
+/// with the *rank* id — is rerouted to the worker's private lane.  That
+/// preserves the single-writer-per-lane discipline while rank thread and
+/// workers record concurrently.
 class TraceRecorder {
 public:
-  explicit TraceRecorder(int nranks)
-      : lanes_(static_cast<std::size_t>(nranks)) {
+  explicit TraceRecorder(int nranks, int workers_per_rank = 0)
+      : nranks_(nranks),
+        workers_per_rank_(workers_per_rank),
+        lanes_(static_cast<std::size_t>(nranks) *
+               (1 + static_cast<std::size_t>(workers_per_rank))) {
     PASTIX_CHECK(nranks >= 1, "tracer needs at least one rank");
+    PASTIX_CHECK(workers_per_rank >= 0, "negative worker lane count");
     clear();
   }
 
-  [[nodiscard]] int nranks() const { return static_cast<int>(lanes_.size()); }
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] int workers_per_rank() const { return workers_per_rank_; }
+  [[nodiscard]] int nlanes() const { return static_cast<int>(lanes_.size()); }
+
+  /// Lane of worker `w` of `rank`.  Lanes [0, nranks) are the rank lanes.
+  [[nodiscard]] int worker_lane(int rank, int w) const {
+    return nranks_ + rank * workers_per_rank_ + w;
+  }
+
+  /// The rank a lane belongs to (its own lane or one of its worker lanes).
+  [[nodiscard]] int lane_proc(int lane) const {
+    return lane < nranks_ ? lane : (lane - nranks_) / workers_per_rank_;
+  }
 
   /// Arm / disarm recording.  Call only while no rank is running.
   void set_enabled(bool on) { enabled_ = on; }
@@ -71,19 +96,38 @@ public:
     return std::chrono::duration<double>(Clock::now() - epoch_).count();
   }
 
-  /// Append a record to `rank`'s lane.  Must be called from the thread
-  /// that owns the rank (single-writer discipline).
+  /// Append a record to `rank`'s lane — or, when the calling thread holds a
+  /// LaneScope on this recorder, to that scope's worker lane.  Must be
+  /// called from the thread that owns the destination lane (single-writer
+  /// discipline).
   void record(int rank, const TraceRecord& r) {
-    lanes_[static_cast<std::size_t>(rank)].events.push_back(r);
+    lanes_[lane_for(rank)].events.push_back(r);
   }
 
-  /// Read a rank's lane (only after the rank threads joined).
-  [[nodiscard]] const std::vector<TraceRecord>& events(int rank) const {
-    return lanes_[static_cast<std::size_t>(rank)].events;
+  /// Read a lane (only after the rank threads joined).  Lanes [0, nranks)
+  /// are the rank lanes; use lane_proc() to attribute worker lanes.
+  [[nodiscard]] const std::vector<TraceRecord>& events(int lane) const {
+    return lanes_[static_cast<std::size_t>(lane)].events;
   }
 
 private:
+  friend class LaneScope;
   using Clock = std::chrono::steady_clock;
+
+  struct LaneOverride {
+    const TraceRecorder* rec = nullptr;
+    int lane = 0;
+  };
+  static LaneOverride& tls_override() {
+    static thread_local LaneOverride o;
+    return o;
+  }
+
+  [[nodiscard]] std::size_t lane_for(int rank) const {
+    const LaneOverride& o = tls_override();
+    if (o.rec == this) return static_cast<std::size_t>(o.lane);
+    return static_cast<std::size_t>(rank);
+  }
 
   /// Cache-line padded so concurrent appends on different lanes never
   /// false-share.
@@ -91,9 +135,35 @@ private:
     std::vector<TraceRecord> events;
   };
 
+  int nranks_;
+  int workers_per_rank_;
   std::vector<Lane> lanes_;
   Clock::time_point epoch_;
   bool enabled_ = false;
+};
+
+/// RAII thread-local lane override for hybrid pool workers: while alive,
+/// every record() this thread issues against `rec` lands in `lane` instead
+/// of the rank lane — so Comm's internal send/recv instrumentation keeps
+/// working unmodified from worker threads.  Null/disabled recorder: no-op.
+class LaneScope {
+public:
+  LaneScope(TraceRecorder* rec, int lane) {
+    if (rec && rec->enabled()) {
+      prev_ = TraceRecorder::tls_override();
+      TraceRecorder::tls_override() = {rec, lane};
+      armed_ = true;
+    }
+  }
+  LaneScope(const LaneScope&) = delete;
+  LaneScope& operator=(const LaneScope&) = delete;
+  ~LaneScope() {
+    if (armed_) TraceRecorder::tls_override() = prev_;
+  }
+
+private:
+  TraceRecorder::LaneOverride prev_;
+  bool armed_ = false;
 };
 
 /// RAII span: stamps `start` on construction and records the completed

@@ -26,6 +26,12 @@ const char kSolveItemGlyphs[] = {'v', '>', '<', '^'};
 RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
   RuntimeTrace out;
   out.nprocs = rec.nranks();
+  // Raw (pre-shift) time of each rank's *last* restart: worker-lane records
+  // of a dead hybrid attempt all end before it (the rank joins its pool
+  // before the crash propagates, and the restart marker is stamped when the
+  // rank comes back up), so it is the exact splice point for worker lanes.
+  std::vector<double> last_restart(static_cast<std::size_t>(rec.nranks()),
+                                   -1.0);
   for (int rank = 0; rank < rec.nranks(); ++rank) {
     // Inner spans (kernels, receive waits) are recorded *before* their
     // enclosing task span finishes, so a forward sweep with running
@@ -61,6 +67,8 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
           if (resume < lane.size()) lane.resize(resume);
           out.restarts.push_back(
               {static_cast<idx_t>(rank), static_cast<idx_t>(r.id1), r.start});
+          last_restart[static_cast<std::size_t>(rank)] =
+              std::max(last_restart[static_cast<std::size_t>(rank)], r.start);
           // The killed task never recorded its span; drop its orphaned
           // kernel/wait accumulation instead of billing the next task.
           kern_acc = wait_acc = 0;
@@ -103,9 +111,83 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
           wait_acc = 0;
           break;
         }
+        case rt::TraceKind::kSteal:
+          // Steals are claimed (and recorded) by pool workers; one landing
+          // on a rank lane is still attributed correctly.
+          out.steals.push_back({static_cast<idx_t>(r.id1),
+                                static_cast<idx_t>(r.id2), r.id3,
+                                static_cast<idx_t>(rank), r.start});
+          break;
       }
     }
     out.tasks.insert(out.tasks.end(), lane.begin(), lane.end());
+  }
+
+  // Hybrid pool-worker lanes (DESIGN.md §14): tail computes, their kernel
+  // and receive spans, and the steal markers.  Records of a dead attempt —
+  // everything ending at or before the owning rank's last restart — are
+  // dropped; what survives on a restarted rank is the recovery attempt's
+  // re-execution.
+  for (int lane_id = rec.nranks(); lane_id < rec.nlanes(); ++lane_id) {
+    const int rank = rec.lane_proc(lane_id);
+    const int worker = lane_id - rec.worker_lane(rank, 0);
+    const double cutoff = last_restart[static_cast<std::size_t>(rank)];
+    const bool restarted = cutoff >= 0;
+    double kern_acc = 0, wait_acc = 0;
+    for (const rt::TraceRecord& r : rec.events(lane_id)) {
+      if (r.end <= cutoff) {
+        // Dead attempt.  A task span resets the accumulators exactly as it
+        // would have consumed them, so nothing leaks into the recovery run.
+        if (r.kind == rt::TraceKind::kTask ||
+            r.kind == rt::TraceKind::kSolveTask)
+          kern_acc = wait_acc = 0;
+        continue;
+      }
+      switch (r.kind) {
+        case rt::TraceKind::kTask: {
+          RuntimeTaskEvent e;
+          e.task = r.id1;
+          e.proc = rank;
+          e.type = static_cast<TaskType>(r.subtype);
+          e.cblk = r.id2;
+          e.start = r.start;
+          e.end = r.end;
+          e.kernel_seconds = kern_acc;
+          e.recv_wait_seconds = wait_acc;
+          e.replayed = restarted;
+          e.worker = worker;
+          out.tasks.push_back(e);
+          kern_acc = wait_acc = 0;
+          break;
+        }
+        case rt::TraceKind::kKernel:
+          kern_acc += r.end - r.start;
+          out.kernels.add(static_cast<KernelOp>(r.subtype), r.id1, r.id2,
+                          r.id3, r.end - r.start);
+          break;
+        case rt::TraceKind::kSend:
+        case rt::TraceKind::kRecv: {
+          RuntimeCommEvent e;
+          e.proc = rank;
+          e.is_send = (r.kind == rt::TraceKind::kSend);
+          e.peer = r.peer;
+          e.tag = r.tag;
+          e.bytes = r.bytes;
+          e.start = r.start;
+          e.end = r.end;
+          out.comm.push_back(e);
+          if (!e.is_send) wait_acc += r.end - r.start;
+          break;
+        }
+        case rt::TraceKind::kSteal:
+          out.steals.push_back({static_cast<idx_t>(r.id1),
+                                static_cast<idx_t>(r.id2), r.id3,
+                                static_cast<idx_t>(rank), r.start});
+          break;
+        default:
+          break;  // phase/restart/solve markers never land on worker lanes
+      }
+    }
   }
 
   // Shift the origin to the first task (or solve item, on a solve-only
@@ -143,6 +225,7 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
       p.end -= origin;
     }
     for (auto& r : out.restarts) r.at -= origin;
+    for (auto& s : out.steals) s.at -= origin;
   }
 
   const auto by_proc_start = [](const auto& a, const auto& b) {
@@ -153,14 +236,30 @@ RuntimeTrace build_runtime_trace(const rt::TraceRecorder& rec) {
   std::sort(out.tasks.begin(), out.tasks.end(), by_proc_start);
   std::sort(out.comm.begin(), out.comm.end(), by_proc_start);
   std::sort(out.solve_items.begin(), out.solve_items.end(), by_proc_start);
+  std::sort(out.steals.begin(), out.steals.end(),
+            [](const RuntimeStealEvent& a, const RuntimeStealEvent& b) {
+              if (a.proc != b.proc) return a.proc < b.proc;
+              return a.at < b.at;
+            });
   return out;
 }
 
 void RuntimeTrace::validate() const {
+  // One validation lane per execution thread: the rank thread plus each
+  // pool worker of that rank.  Distinct workers overlap by design; within
+  // one thread, task spans must not.
+  int nworkers = 0;
+  for (const RuntimeTaskEvent& e : tasks)
+    nworkers = std::max(nworkers, e.worker + 1);
   std::vector<TimelineEvent> tl;
   tl.reserve(tasks.size());
   for (const RuntimeTaskEvent& e : tasks)
-    tl.push_back({e.proc, e.start, e.end, '.', {}, {}, {}});
+    tl.push_back({e.proc * (nworkers + 1) + static_cast<idx_t>(e.worker + 1),
+                  e.start, e.end, '.', {}, {}, {}});
+  // tasks is kept in (proc, start) order for validate_against's cursor, so
+  // rank-thread and worker events of one rank interleave; regroup by lane
+  // before checking the per-thread non-overlap invariant.
+  sort_timeline(tl);
   validate_timeline(tl, "runtime trace");
 }
 
@@ -169,21 +268,89 @@ void RuntimeTrace::validate_against(const Schedule& sched) const {
   PASTIX_CHECK(nprocs == sched.nprocs,
                "runtime trace / schedule processor count mismatch");
   // tasks is sorted by (proc, start): per rank the executed task ids must
-  // be exactly K_p, in K_p's order.
+  // be exactly K_p, in K_p's order — except that a hybrid schedule's tail
+  // (positions >= split[p], DESIGN.md §14) only promises the task *set*:
+  // computes overlap and finish in steal order, and any order consistent
+  // with the precedence graph is legal.  The prefix stays exact: it runs
+  // sequentially on the rank thread before the pool starts.
+  std::vector<idx_t> got, want;
   std::size_t cursor = 0;
   for (idx_t p = 0; p < sched.nprocs; ++p) {
     const auto& kp = sched.kp[static_cast<std::size_t>(p)];
-    for (const idx_t want : kp) {
-      PASTIX_CHECK(cursor < tasks.size() && tasks[cursor].proc == p &&
-                       tasks[cursor].task == want,
-                   "runtime trace deviates from the static schedule order "
-                   "(K_" + std::to_string(p) + ", task " +
-                       std::to_string(want) + ")");
-      ++cursor;
+    const std::size_t split =
+        sched.split.empty()
+            ? kp.size()
+            : static_cast<std::size_t>(
+                  sched.split[static_cast<std::size_t>(p)]);
+    PASTIX_CHECK(split <= kp.size(), "schedule split outside its K_p");
+    for (std::size_t i = 0; i < kp.size(); ++i, ++cursor) {
+      PASTIX_CHECK(cursor < tasks.size() && tasks[cursor].proc == p,
+                   "runtime trace is missing tasks of K_" + std::to_string(p));
+      if (i < split)
+        PASTIX_CHECK(tasks[cursor].task == kp[i] &&
+                         tasks[cursor].worker < 0,
+                     "runtime trace deviates from the static schedule order "
+                     "(K_" + std::to_string(p) + ", task " +
+                         std::to_string(kp[i]) + ")");
+    }
+    if (split < kp.size()) {
+      got.assign(kp.size() - split, kNone);
+      want.assign(kp.begin() + static_cast<std::ptrdiff_t>(split), kp.end());
+      for (std::size_t i = 0; i < got.size(); ++i)
+        got[i] = tasks[cursor - got.size() + i].task;
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      PASTIX_CHECK(got == want,
+                   "runtime trace tail of K_" + std::to_string(p) +
+                       " is not the scheduled task set");
     }
   }
   PASTIX_CHECK(cursor == tasks.size(),
                "runtime trace contains tasks not in the schedule");
+}
+
+void RuntimeTrace::validate_against(const Schedule& sched,
+                                    const TaskGraph& tg) const {
+  validate_against(sched);
+  if (sched.split.empty()) return;
+  // Same-rank precedence inside a tail must be realized in time: the pool
+  // releases a task only once its predecessors committed, and a commit
+  // happens after its compute — so consumer.start >= producer.end.
+  std::vector<const RuntimeTaskEvent*> by_task(
+      static_cast<std::size_t>(tg.ntask()), nullptr);
+  for (const RuntimeTaskEvent& e : tasks)
+    if (e.task >= 0 && e.task < tg.ntask())
+      by_task[static_cast<std::size_t>(e.task)] = &e;
+  std::vector<idx_t> rank_of(static_cast<std::size_t>(tg.ntask()), 0);
+  std::vector<unsigned char> tail(static_cast<std::size_t>(tg.ntask()), 0);
+  for (idx_t p = 0; p < sched.nprocs; ++p) {
+    const auto& kp = sched.kp[static_cast<std::size_t>(p)];
+    const auto split =
+        static_cast<std::size_t>(sched.split[static_cast<std::size_t>(p)]);
+    for (std::size_t i = 0; i < kp.size(); ++i) {
+      rank_of[static_cast<std::size_t>(kp[i])] = p;
+      tail[static_cast<std::size_t>(kp[i])] = i >= split ? 1 : 0;
+    }
+  }
+  const auto check_edge = [&](idx_t src, idx_t dst) {
+    if (!tail[static_cast<std::size_t>(src)] ||
+        !tail[static_cast<std::size_t>(dst)] ||
+        rank_of[static_cast<std::size_t>(src)] !=
+            rank_of[static_cast<std::size_t>(dst)])
+      return;
+    const auto* a = by_task[static_cast<std::size_t>(src)];
+    const auto* b = by_task[static_cast<std::size_t>(dst)];
+    PASTIX_CHECK(a != nullptr && b != nullptr && b->start >= a->end,
+                 "runtime trace tail order violates precedence: task " +
+                     std::to_string(dst) + " computed before its same-rank "
+                     "producer " + std::to_string(src) + " finished");
+  };
+  for (idx_t t = 0; t < tg.ntask(); ++t) {
+    for (const auto& c : tg.inputs[static_cast<std::size_t>(t)])
+      check_edge(c.source, t);
+    for (const auto& c : tg.prec[static_cast<std::size_t>(t)])
+      check_edge(c.source, t);
+  }
 }
 
 void RuntimeTrace::validate_solve_against(const Schedule& solve_sched) const {
@@ -250,6 +417,19 @@ std::vector<TimelineEvent> RuntimeTrace::to_timeline() const {
     t.cat = "recovery";
     std::ostringstream args;
     args << "\"resumed_at\":" << e.position;
+    t.args = args.str();
+    tl.push_back(std::move(t));
+  }
+  for (const RuntimeStealEvent& e : steals) {
+    TimelineEvent t;
+    t.lane = e.proc;
+    t.start = t.end = e.at;
+    t.glyph = 'S';
+    t.name = "steal";
+    t.cat = "steal";
+    std::ostringstream args;
+    args << "\"task\":" << e.task << ",\"position\":" << e.position
+         << ",\"worker\":" << e.worker;
     t.args = args.str();
     tl.push_back(std::move(t));
   }

@@ -29,6 +29,11 @@ struct RuntimeTaskEvent {
   double kernel_seconds = 0;       ///< dense kernel time inside the task
   double recv_wait_seconds = 0;    ///< blocked in Comm::recv inside the task
   bool replayed = false;           ///< re-executed after a crash recovery
+  /// Hybrid execution (DESIGN.md §14): pool worker whose lane recorded the
+  /// compute span, -1 for the rank thread (every prefix task, plus tail
+  /// tasks the committer computed inline).  Spans of different workers of
+  /// one rank may legitimately overlap.
+  int worker = -1;
 
   /// Task wall time with the receive waits removed — the number a
   /// cost-model prediction is comparable to.
@@ -75,6 +80,15 @@ struct RuntimeRestartEvent {
   double at = 0;       ///< when the restarted rank came back up
 };
 
+/// One work-steal: a hybrid pool worker claimed a tail task (DESIGN.md §14).
+struct RuntimeStealEvent {
+  idx_t task = kNone;
+  idx_t position = 0;  ///< K_p index of the stolen task
+  int worker = -1;     ///< claiming pool worker
+  idx_t proc = 0;
+  double at = 0;       ///< claim time, seconds since the trace origin
+};
+
 /// The merged, time-shifted (origin = first task start) runtime trace.
 ///
 /// Crash recovery and the merge: a restarted rank records a kRestart marker
@@ -84,12 +98,19 @@ struct RuntimeRestartEvent {
 /// the re-executions, marked `replayed`.  The merged task list is therefore
 /// exactly one execution of K_p per rank, and validate_against(Schedule)
 /// holds on a recovered run just as on a fault-free one.
+///
+/// Hybrid worker lanes: tail computes recorded on a rank's pool-worker
+/// lanes merge into the same per-rank task list (tagged with their worker).
+/// The kRestart marker lands on the rank lane *after* the dead attempt's
+/// workers joined, so every worker-lane record of a dead attempt ends
+/// before the restart time — build_runtime_trace drops exactly those.
 struct RuntimeTrace {
   std::vector<RuntimeTaskEvent> tasks;   ///< sorted by (proc, start)
   std::vector<RuntimeCommEvent> comm;    ///< sorted by (proc, start)
   std::vector<RuntimePhaseEvent> phases; ///< solve sections, if any ran
   std::vector<RuntimeSolveEvent> solve_items;  ///< sorted by (proc, start)
   std::vector<RuntimeRestartEvent> restarts;  ///< crash recoveries, if any
+  std::vector<RuntimeStealEvent> steals;  ///< hybrid pool claims, if any
   KernelSampleSet kernels;               ///< measured spans for recalibration
   double makespan = 0;                   ///< last task end - first task start
   idx_t nprocs = 0;
@@ -101,13 +122,34 @@ struct RuntimeTrace {
     return n;
   }
 
-  /// Shared-timeline invariant: task spans of one rank never overlap.
+  /// Tasks computed on pool workers rather than the rank thread.
+  [[nodiscard]] idx_t stolen_count() const {
+    idx_t n = 0;
+    for (const auto& t : tasks) n += t.worker >= 0 ? 1 : 0;
+    return n;
+  }
+
+  /// Shared-timeline invariant: task spans of one execution lane (a rank
+  /// thread, or one pool worker of a rank) never overlap.  Distinct workers
+  /// of one rank run concurrently by design.
   void validate() const;
 
-  /// Full property check against the plan: the overlap invariant, plus
-  /// "every scheduled task of K_p appears exactly once and in schedule
-  /// order" on every rank.
+  /// Full property check against the plan.  Fully static schedule (no
+  /// split): the overlap invariant, plus "every scheduled task of K_p
+  /// appears exactly once and in schedule order" on every rank.  Hybrid
+  /// schedule (split present, DESIGN.md §14): the prefix of each rank is
+  /// checked exactly as before, position by position; the tail must be the
+  /// same task *set* — any order a legal steal timing can produce is
+  /// accepted.
   void validate_against(const Schedule& sched) const;
+
+  /// Stricter hybrid acceptance: on top of validate_against(sched), every
+  /// same-rank dependency edge between two tail tasks must be realized in
+  /// time — the consumer's compute starts only after the producer's compute
+  /// ended (the pool releases a task only when its predecessors committed,
+  /// and a commit follows its compute).  Rejects traces whose tail order is
+  /// NOT a linearization of the precedence graph.
+  void validate_against(const Schedule& sched, const TaskGraph& tg) const;
 
   /// Solve-phase counterpart of validate_against: on every rank the
   /// executed solve items must be the solve schedule's K_p in order,

@@ -87,4 +87,136 @@ SimResult simulate_schedule(const TaskGraph& tg, const Schedule& sched,
   return res;
 }
 
+SimResult simulate_hybrid_schedule(const TaskGraph& tg, const Schedule& sched,
+                                   const CostModel& m, idx_t pool_size) {
+  if (sched.split.empty() || !sched.hybrid())
+    return simulate_schedule(tg, sched, m);
+  const idx_t ntask = tg.ntask();
+  const std::size_t workers =
+      static_cast<std::size_t>(pool_size < 1 ? 1 : pool_size);
+  SimResult res;
+  res.busy.assign(static_cast<std::size_t>(sched.nprocs), 0.0);
+  res.idle.assign(static_cast<std::size_t>(sched.nprocs), 0.0);
+
+  // Per task: the time its results become *visible* to consumers — task end
+  // for prefix tasks, commit time for tail tasks.
+  std::vector<double> visible(static_cast<std::size_t>(ntask), 0.0);
+  // Per rank: the rank thread's clock (prefix progress, then the serialized
+  // commit chain) and the tail pool's worker-unit clocks.
+  std::vector<double> rank_avail(static_cast<std::size_t>(sched.nprocs), 0.0);
+  std::vector<std::vector<double>> unit_avail(
+      static_cast<std::size_t>(sched.nprocs),
+      std::vector<double>(workers, 0.0));
+  // Lazily captured when a rank's first tail task is reached: the pool only
+  // starts once the whole prefix ran.
+  std::vector<double> pool_start(static_cast<std::size_t>(sched.nprocs), -1.0);
+
+  std::vector<unsigned char> tail(static_cast<std::size_t>(ntask), 0);
+  for (idx_t p = 0; p < sched.nprocs; ++p) {
+    const auto& kp = sched.kp[static_cast<std::size_t>(p)];
+    const auto split =
+        static_cast<std::size_t>(sched.split[static_cast<std::size_t>(p)]);
+    for (std::size_t i = split; i < kp.size(); ++i)
+      tail[static_cast<std::size_t>(kp[i])] = 1;
+  }
+
+  // Priority order is a valid event order here too: per rank, prefix tasks
+  // precede tail tasks (the split is a K_p position), the commit chain
+  // follows K_p order, and list-scheduling tail computes in priority order
+  // IS the pool's ready-preference.
+  std::vector<idx_t> order(static_cast<std::size_t>(ntask));
+  for (idx_t t = 0; t < ntask; ++t)
+    order[static_cast<std::size_t>(sched.prio[static_cast<std::size_t>(t)])] =
+        t;
+
+  std::vector<double> src_ready(static_cast<std::size_t>(sched.nprocs), 0.0);
+  std::vector<double> src_entries(static_cast<std::size_t>(sched.nprocs), 0.0);
+  std::vector<idx_t> src_stamp(static_cast<std::size_t>(sched.nprocs), -1);
+  idx_t stamp = 0;
+
+  for (const idx_t t : order) {
+    const idx_t p = sched.proc[static_cast<std::size_t>(t)];
+    double ready = 0;
+    double agg_entries = 0;
+
+    ++stamp;
+    std::vector<idx_t> sources;
+    for (const auto& c : tg.inputs[static_cast<std::size_t>(t)]) {
+      const idx_t q = sched.proc[static_cast<std::size_t>(c.source)];
+      if (src_stamp[static_cast<std::size_t>(q)] != stamp) {
+        src_stamp[static_cast<std::size_t>(q)] = stamp;
+        src_ready[static_cast<std::size_t>(q)] = 0;
+        src_entries[static_cast<std::size_t>(q)] = 0;
+        sources.push_back(q);
+      }
+      src_ready[static_cast<std::size_t>(q)] =
+          std::max(src_ready[static_cast<std::size_t>(q)],
+                   visible[static_cast<std::size_t>(c.source)]);
+      src_entries[static_cast<std::size_t>(q)] += c.entries;
+    }
+    for (const idx_t q : sources) {
+      if (q == p) {
+        ready = std::max(ready, src_ready[static_cast<std::size_t>(q)]);
+        agg_entries += src_entries[static_cast<std::size_t>(q)];
+      } else {
+        ready = std::max(
+            ready, src_ready[static_cast<std::size_t>(q)] +
+                       m.comm_time_between(
+                           q, p, src_entries[static_cast<std::size_t>(q)]));
+        agg_entries += 2 * src_entries[static_cast<std::size_t>(q)];
+        res.comm_entries += src_entries[static_cast<std::size_t>(q)];
+        res.messages++;
+      }
+    }
+    for (const auto& c : tg.prec[static_cast<std::size_t>(t)]) {
+      const idx_t q = sched.proc[static_cast<std::size_t>(c.source)];
+      const double e = visible[static_cast<std::size_t>(c.source)];
+      if (q == p || c.entries == 0) {
+        ready = std::max(ready, e);
+      } else {
+        ready = std::max(ready, e + m.comm_time_between(q, p, c.entries));
+        res.comm_entries += c.entries;
+        res.messages++;
+      }
+    }
+
+    const double agg = m.aggregate_time(agg_entries);
+    const double work = tg.tasks[static_cast<std::size_t>(t)].cost + agg;
+    res.busy[static_cast<std::size_t>(p)] += work;
+    res.aggregate_seconds += agg;
+
+    if (!tail[static_cast<std::size_t>(t)]) {
+      const double start =
+          std::max(ready, rank_avail[static_cast<std::size_t>(p)]);
+      visible[static_cast<std::size_t>(t)] = start + work;
+      rank_avail[static_cast<std::size_t>(p)] = start + work;
+      continue;
+    }
+    // Tail: compute on the earliest-free pool unit (never before the
+    // rank's prefix finished), then commit behind the rank's serialized
+    // commit chain — only the commit is visible to consumers.
+    if (pool_start[static_cast<std::size_t>(p)] < 0)
+      pool_start[static_cast<std::size_t>(p)] =
+          rank_avail[static_cast<std::size_t>(p)];
+    auto& units = unit_avail[static_cast<std::size_t>(p)];
+    std::size_t u = 0;
+    for (std::size_t w = 1; w < units.size(); ++w)
+      if (units[w] < units[u]) u = w;
+    const double start = std::max(
+        {ready, pool_start[static_cast<std::size_t>(p)], units[u]});
+    const double compute_end = start + work;
+    units[u] = compute_end;
+    const double commit =
+        std::max(compute_end, rank_avail[static_cast<std::size_t>(p)]);
+    rank_avail[static_cast<std::size_t>(p)] = commit;
+    visible[static_cast<std::size_t>(t)] = commit;
+  }
+
+  res.makespan = *std::max_element(rank_avail.begin(), rank_avail.end());
+  for (idx_t p = 0; p < sched.nprocs; ++p)
+    res.idle[static_cast<std::size_t>(p)] =
+        res.makespan - res.busy[static_cast<std::size_t>(p)];
+  return res;
+}
+
 } // namespace pastix

@@ -34,4 +34,16 @@ struct SimResult {
 SimResult simulate_schedule(const TaskGraph& tg, const Schedule& sched,
                             const CostModel& m);
 
+/// Replay `sched` under the hybrid prefix/tail execution model (DESIGN.md
+/// §14): per rank, positions [0, split[p]) run sequentially on the rank
+/// thread exactly as in simulate_schedule; the tail's *computes* are
+/// list-scheduled onto `pool_size` worker units (ready order = static K_p
+/// priority), while their *commits* — the point a task's results become
+/// visible to its consumers — stay serialized in K_p order on the rank
+/// thread.  A schedule without split points degenerates to
+/// simulate_schedule.  This is the model bench/hybrid_tail uses to compare
+/// hybrid against static makespans on a single-core host.
+SimResult simulate_hybrid_schedule(const TaskGraph& tg, const Schedule& sched,
+                                   const CostModel& m, idx_t pool_size);
+
 } // namespace pastix

@@ -28,6 +28,7 @@
 #include "rt/comm.hpp"
 #include "rt/resilient.hpp"
 #include "solver/comm_plan.hpp"
+#include "solver/hybrid_pool.hpp"
 #include "solver/solve_model.hpp"
 #include "sparse/sym_sparse.hpp"
 #include "support/timer.hpp"
@@ -40,6 +41,28 @@ namespace pastix {
 /// the two solvers can be cross-validated factor-by-factor.
 enum class FactorKind : unsigned char { kLdlt, kLlt };
 
+/// Hybrid static/dynamic execution (DESIGN.md §14): run each rank's K_p as
+/// a statically ordered prefix plus a dynamic tail executed by a small
+/// intra-rank work-stealing pool.  Tail task *computations* run out of
+/// order on the pool; all shared side effects (contribution scatters, AUB
+/// countdowns and sends, cache inserts) are committed by the rank thread
+/// strictly in K_p order, so the factor stays bitwise identical to the
+/// fully static run for every steal timing.  Kept trivially copyable: the
+/// struct is raw-serialized inside SolverOptions by plan_io.
+struct HybridOptions {
+  bool enabled = false;
+  /// Fraction of each rank's predicted work moved into the dynamic tail
+  /// (analysis feeds this to compute_split; the boundary fixpoint may
+  /// shrink tails below it).
+  double tail_fraction = 0.25;
+  /// Work-stealing pool threads per rank (in addition to the rank thread,
+  /// which commits and inlines the next uncommitted task when idle).
+  idx_t pool_size = 2;
+  /// Seeds the per-worker steal order — a pure chaos knob: any seed must
+  /// produce the same factor bits (the determinism sweep's axis).
+  std::uint64_t steal_seed = 0x57ea1;
+};
+
 /// Runtime knobs of the numerical solver.
 struct FaninOptions {
   FactorKind kind = FactorKind::kLdlt;
@@ -50,6 +73,8 @@ struct FaninOptions {
   /// Graceful degradation on indefinite / near-singular input: static pivot
   /// perturbation thresholds and breakdown recording (see dkernel/pivot.hpp).
   PivotOptions pivot;
+  /// Static prefix + work-stealing tail execution (DESIGN.md §14).
+  HybridOptions hybrid;
 };
 
 /// Per-rank memory footprint after a factorization.
@@ -82,7 +107,8 @@ public:
               const CommPlan& plan, const FaninOptions& fopt = {},
               const SolvePlan* solve = nullptr)
       : s_(s), tg_(tg), sched_(sched), kind_(fopt.kind), popt_(fopt.pivot),
-        plan_(plan), ranks_(static_cast<std::size_t>(sched.nprocs)) {
+        hybrid_(fopt.hybrid), plan_(plan),
+        ranks_(static_cast<std::size_t>(sched.nprocs)) {
     PASTIX_CHECK(static_cast<idx_t>(plan.blok_owner.size()) == s.nblok(),
                  "comm plan / symbol mismatch");
     PASTIX_CHECK(plan.partial_chunk == fopt.partial_chunk,
@@ -102,6 +128,7 @@ public:
   FaninSolver(const SymSparse<T>& a, const SymbolMatrix& s, const TaskGraph& tg,
               const Schedule& sched, const FaninOptions& fopt = {})
       : s_(s), tg_(tg), sched_(sched), kind_(fopt.kind), popt_(fopt.pivot),
+        hybrid_(fopt.hybrid),
         owned_plan_(std::make_unique<CommPlan>(
             build_comm_plan(s, tg, sched, fopt.partial_chunk))),
         plan_(*owned_plan_), ranks_(static_cast<std::size_t>(sched.nprocs)) {
@@ -319,6 +346,15 @@ public:
   /// while no factorize()/solve() is running.  With no recorder — or a
   /// disabled one — every instrumentation site is a single branch.
   void set_tracer(rt::TraceRecorder* tracer) { tracer_ = tracer; }
+
+  /// Trace lanes per rank the hybrid tail pool needs: size the
+  /// TraceRecorder with TraceRecorder(nprocs, worker_lanes()) so pool
+  /// workers get private lanes (single-writer discipline).  0 when hybrid
+  /// execution cannot run.
+  [[nodiscard]] int worker_lanes() const {
+    if (!hybrid_.enabled || sched_.split.empty() || !sched_.hybrid()) return 0;
+    return static_cast<int>(hybrid_.pool_size < 1 ? 1 : hybrid_.pool_size);
+  }
 
 private:
   // ---------------------------------------------------------------- layout --
@@ -605,8 +641,16 @@ private:
     }
   }
 
+  /// With `deferred_held` null (the static path), the held payload bytes
+  /// are accounted into the rank's live AUB memory for the duration of the
+  /// gather.  A hybrid tail compute passes non-null: the byte count is
+  /// *returned* instead of accounted — its commit replays the accounting in
+  /// K_p order, so the measured peak is bitwise that of the static run —
+  /// and the receives become cancellable through `cancel` so the pool can
+  /// always be joined.
   void recv_aubs(rt::Comm& comm, idx_t my_rank, idx_t t, T* dst,
-                 std::size_t count) {
+                 std::size_t count, big_t* deferred_held = nullptr,
+                 const std::atomic<bool>* cancel = nullptr) {
     const idx_t expect = plan_.expect_aub[static_cast<std::size_t>(t)];
     if (expect == 0) return;
     Rank& me = ranks_[static_cast<std::size_t>(my_rank)];
@@ -621,14 +665,19 @@ private:
     std::vector<rt::Message> msgs;
     msgs.reserve(static_cast<std::size_t>(expect));
     big_t held = 0;
+    const std::uint64_t tag =
+        rt::make_tag(rt::MsgKind::kAub, static_cast<std::uint64_t>(t));
     for (idx_t r = 0; r < expect; ++r) {
-      rt::Message m = comm.recv(
-          static_cast<int>(my_rank),
-          rt::make_tag(rt::MsgKind::kAub, static_cast<std::uint64_t>(t)));
+      rt::Message m =
+          cancel != nullptr
+              ? comm.recv_cancellable(static_cast<int>(my_rank), tag, *cancel)
+              : comm.recv(static_cast<int>(my_rank), tag);
       PASTIX_CHECK(m.template count<T>() == count, "AUB size mismatch");
       held += static_cast<big_t>(m.payload.size());
-      me.aub_bytes_now += static_cast<big_t>(m.payload.size());
-      me.aub_peak_bytes = std::max(me.aub_peak_bytes, me.aub_bytes_now);
+      if (deferred_held == nullptr) {
+        me.aub_bytes_now += static_cast<big_t>(m.payload.size());
+        me.aub_peak_bytes = std::max(me.aub_peak_bytes, me.aub_bytes_now);
+      }
       msgs.push_back(std::move(m));
     }
     std::stable_sort(
@@ -642,7 +691,10 @@ private:
           kernel_span(my_rank, KernelOp::kAxpy, static_cast<idx_t>(count));
       for (std::size_t i = 0; i < count; ++i) dst[i] -= src[i];
     }
-    me.aub_bytes_now -= held;
+    if (deferred_held != nullptr)
+      *deferred_held = held;
+    else
+      me.aub_bytes_now -= held;
   }
 
   // -------------------------------------------------------------- tracing --
@@ -668,6 +720,19 @@ private:
   void run_factorization(rt::Comm& comm, idx_t rank, bool restarted) {
     Rank& me = ranks_[static_cast<std::size_t>(rank)];
     const auto& kp = sched_.kp[static_cast<std::size_t>(rank)];
+    // Hybrid split (DESIGN.md §14): positions [0, split_pos) run as today —
+    // the statically ordered prefix; [split_pos, |K_p|) form the dynamic
+    // tail run by run_tail's work-stealing pool.  An absent/disabled split
+    // degenerates to split_pos = |K_p| and this function is byte-for-byte
+    // the static executor.
+    const bool hybrid_run =
+        hybrid_.enabled && !sched_.split.empty() &&
+        static_cast<std::size_t>(
+            sched_.split[static_cast<std::size_t>(rank)]) < kp.size();
+    const std::size_t split_pos =
+        hybrid_run ? static_cast<std::size_t>(
+                         sched_.split[static_cast<std::size_t>(rank)])
+                   : kp.size();
     const bool resilient = ropt_.enabled && checkpoints_ != nullptr;
     // interval <= 0 = auto: a few evenly spaced checkpoints across this
     // rank's K_p, so the (full-state) serialization cost stays a small
@@ -710,8 +775,13 @@ private:
             [](std::vector<std::byte>& out) { out.clear(); });
       }
     }
+    // Checkpoints are restricted to the prefix (the tail's commit loop is
+    // not a resumable per-position cursor), so a restart position can never
+    // land inside the tail.
+    PASTIX_CHECK(start <= split_pos,
+                 "restart position lands inside the dynamic tail");
     std::vector<T> wbuf, cbuf, dvec;
-    for (std::size_t pos = start; pos < kp.size(); ++pos) {
+    for (std::size_t pos = start; pos < split_pos; ++pos) {
       // The fault point sits at the task boundary, before the task's trace
       // span opens: a killed rank has fully applied `pos` tasks and records
       // no partial span.  It also heartbeats the rank's progress, armed or
@@ -741,6 +811,427 @@ private:
       if (resilient && pos + 1 < kp.size() && (pos + 1) % interval == 0)
         save_checkpoint(comm, rank, me, pos + 1);
     }
+    if (hybrid_run) run_tail(comm, me, rank, split_pos);
+  }
+
+  // -------------------------------------------- hybrid tail (DESIGN.md §14) --
+  // Tail tasks split into *compute* (kernels + blocking receives, writing
+  // only task-private storage — out of order, on pool workers) and *commit*
+  // (every shared side effect: contribution scatters, AUB accounting and
+  // countdown/sends, cache inserts, status/timing merges — rank thread, in
+  // strict K_p order).  Since all order-sensitive mutation happens in K_p
+  // order, the factor — and the AUB memory peak — are bitwise identical to
+  // the static run for every steal timing.
+
+  /// Per-task buffered compute results, applied at commit.
+  struct TailContrib {
+    idx_t bj = kNone;  ///< facing blok (COMP1D) / unused (BMOD)
+    idx_t m = 0;       ///< rows = leading dimension of buf
+    idx_t off = 0;     ///< stack row offset of buf's row 0 (COMP1D)
+    std::vector<T> buf;
+  };
+  struct TailResult {
+    FactorStatus status;            ///< pivot record, merged at commit
+    big_t held = 0;                 ///< recv_aubs bytes, accounted at commit
+    double seconds = 0;             ///< compute wall time
+    std::vector<TailContrib> contribs;
+    std::vector<T> panel;           ///< BDIV: W snapshot for the panel cache
+  };
+
+  /// Claim protocol for the diag/panel caches during the tail phase: pool
+  /// workers may miss the same key concurrently, but exactly one kDiag /
+  /// kPanel message exists per (rank, key) — so a miss *claims* the key,
+  /// receives outside the lock, and publishes; concurrent missers wait.
+  /// The rank thread's commit inserts take the same lock.
+  struct CacheGuard {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_set<idx_t> filling_diag;
+    std::unordered_set<idx_t> filling_panel;
+  };
+
+  const std::vector<T>& tail_fetch_cache(
+      rt::Comm& comm, idx_t rank, CacheGuard& guard,
+      std::unordered_map<idx_t, std::vector<T>>& cache,
+      std::unordered_set<idx_t>& filling, idx_t key, std::uint64_t tag,
+      std::size_t expect_count, const std::atomic<bool>& cancel,
+      const char* what) {
+    std::unique_lock lock(guard.mutex);
+    for (;;) {
+      const auto it = cache.find(key);
+      if (it != cache.end()) return it->second;
+      if (filling.count(key) != 0) {
+        // The claimer always notifies — on success *and* on its unwind — so
+        // this wait cannot be abandoned.
+        guard.cv.wait(lock);
+        continue;
+      }
+      filling.insert(key);
+      lock.unlock();
+      rt::Message m;
+      try {
+        m = comm.recv_cancellable(static_cast<int>(rank), tag, cancel);
+      } catch (...) {
+        lock.lock();
+        filling.erase(key);
+        guard.cv.notify_all();
+        throw;
+      }
+      lock.lock();
+      filling.erase(key);
+      guard.cv.notify_all();
+      PASTIX_CHECK(m.template count<T>() == expect_count,
+                   std::string(what) + " size mismatch");
+      auto& slot = cache[key];
+      slot.assign(m.template as<T>(), m.template as<T>() + m.template count<T>());
+      return slot;
+    }
+  }
+
+  void tail_compute_comp1d(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
+                           TailResult& res, const std::atomic<bool>& cancel) {
+    const idx_t k = tg_.tasks[static_cast<std::size_t>(t)].cblk;
+    const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
+    const idx_t w = ck.width();
+    const idx_t rows = stack_rows(k);
+    const idx_t below = rows - w;
+    T* a = me.cblk_store.at(k).data();
+
+    recv_aubs(comm, rank, t, a, static_cast<std::size_t>(rows) * w, &res.held,
+              &cancel);
+    PivotContext pctx{pivot_threshold_, ck.fcolnum, &res.status};
+    {
+      const auto span = kernel_span(rank, factor_op(), w);
+      if (kind_ == FactorKind::kLdlt)
+        dense_ldlt_auto(w, a, rows, &pctx);
+      else
+        dense_llt_auto(w, a, rows, &pctx);
+    }
+    check_block_finite(a, w, w, rows, ck.fcolnum, "COMP1D diagonal block",
+                       &res.status);
+
+    if (below > 0) {
+      T* sub = a + w;
+      const T* bmat = nullptr;
+      idx_t ldb = 0;
+      std::vector<T> wbuf, dvec;
+      if (kind_ == FactorKind::kLdlt) {
+        {
+          const auto span = kernel_span(rank, KernelOp::kTrsm, below, w);
+          trsm_right_lt_unit(below, w, a, rows, sub, rows);
+        }
+        wbuf.assign(static_cast<std::size_t>(below) * w, T{});
+        for (idx_t j = 0; j < w; ++j)
+          std::copy(sub + static_cast<std::size_t>(j) * rows,
+                    sub + static_cast<std::size_t>(j) * rows + below,
+                    wbuf.data() + static_cast<std::size_t>(j) * below);
+        dvec.assign(static_cast<std::size_t>(w), T{});
+        for (idx_t j = 0; j < w; ++j)
+          dvec[static_cast<std::size_t>(j)] =
+              a[j + static_cast<std::size_t>(j) * rows];
+        scale_columns(below, w, sub, rows, dvec.data(), /*invert=*/true);
+        bmat = wbuf.data();
+        ldb = below;
+      } else {
+        {
+          const auto span = kernel_span(rank, KernelOp::kTrsm, below, w);
+          trsm_right_lt(below, w, a, rows, sub, rows);
+        }
+        bmat = sub;
+        ldb = rows;
+      }
+      check_block_finite(a + w, below, w, rows, ck.fcolnum, "COMP1D panel",
+                         &res.status);
+
+      // Same contribution GEMMs as exec_comp1d, but buffered: the scatter
+      // into shared target storage happens at commit, in K_p order.
+      const idx_t first = ck.bloknum + 1;
+      const idx_t last = s_.cblks[static_cast<std::size_t>(k) + 1].bloknum;
+      for (idx_t bj = first; bj < last; ++bj) {
+        const idx_t off = stack_off_[static_cast<std::size_t>(bj)];
+        const idx_t m = rows - off;
+        const idx_t n = s_.bloks[static_cast<std::size_t>(bj)].nrows();
+        TailContrib c;
+        c.bj = bj;
+        c.m = m;
+        c.off = off;
+        c.buf.assign(static_cast<std::size_t>(m) * n, T{});
+        {
+          const auto span = kernel_span(rank, KernelOp::kGemm, m, n, w);
+          gemm_nt(m, n, w, T(1), a + off, rows, bmat + (off - w), ldb,
+                  c.buf.data(), m);
+        }
+        res.contribs.push_back(std::move(c));
+      }
+    }
+  }
+
+  void tail_compute_factor(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
+                           TailResult& res, const std::atomic<bool>& cancel) {
+    const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
+    const idx_t k = task.cblk;
+    const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+    T* a = me.blok_store.at(task.blok).data();
+    recv_aubs(comm, rank, t, a, static_cast<std::size_t>(w) * w, &res.held,
+              &cancel);
+    PivotContext pctx{pivot_threshold_,
+                      s_.cblks[static_cast<std::size_t>(k)].fcolnum,
+                      &res.status};
+    {
+      const auto span = kernel_span(rank, factor_op(), w);
+      if (kind_ == FactorKind::kLdlt)
+        dense_ldlt_auto(w, a, w, &pctx);
+      else
+        dense_llt_auto(w, a, w, &pctx);
+    }
+    check_block_finite(a, w, w, w, pctx.base_column, "FACTOR diagonal block",
+                       &res.status);
+  }
+
+  void tail_compute_bdiv(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
+                         TailResult& res, CacheGuard& guard,
+                         const std::atomic<bool>& cancel) {
+    const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
+    const idx_t k = task.cblk;
+    const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+    const std::vector<T>& diag = tail_fetch_cache(
+        comm, rank, guard, me.diag_cache, guard.filling_diag, k,
+        rt::make_tag(rt::MsgKind::kDiag, static_cast<std::uint64_t>(k)),
+        static_cast<std::size_t>(w) * w, cancel, "diag block");
+    const T* lkk = diag.data();
+
+    const idx_t m = s_.bloks[static_cast<std::size_t>(task.blok)].nrows();
+    T* a = me.blok_store.at(task.blok).data();
+    recv_aubs(comm, rank, t, a, static_cast<std::size_t>(m) * w, &res.held,
+              &cancel);
+    {
+      const auto span = kernel_span(rank, KernelOp::kTrsm, m, w);
+      if (kind_ == FactorKind::kLdlt)
+        trsm_right_lt_unit(m, w, lkk, w, a, m);
+      else
+        trsm_right_lt(m, w, lkk, w, a, m);
+    }
+    check_block_finite(a, m, w, m,
+                       s_.cblks[static_cast<std::size_t>(k)].fcolnum,
+                       "BDIV panel", &res.status);
+    // Snapshot W for the commit-side panel publish, then finish the blok in
+    // place — both writes touch only this task's own storage.
+    res.panel.assign(a, a + static_cast<std::size_t>(m) * w);
+    if (kind_ == FactorKind::kLdlt) {
+      std::vector<T> dvec(static_cast<std::size_t>(w), T{});
+      for (idx_t j = 0; j < w; ++j)
+        dvec[static_cast<std::size_t>(j)] =
+            lkk[j + static_cast<std::size_t>(j) * w];
+      scale_columns(m, w, a, m, dvec.data(), /*invert=*/true);
+    }
+  }
+
+  void tail_compute_bmod(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
+                         TailResult& res, CacheGuard& guard,
+                         const std::atomic<bool>& cancel) {
+    const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
+    const idx_t k = task.cblk;
+    const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+    const idx_t bi = task.blok, bj = task.blok2;
+    const idx_t mi = s_.bloks[static_cast<std::size_t>(bi)].nrows();
+    const idx_t nj = s_.bloks[static_cast<std::size_t>(bj)].nrows();
+    const std::vector<T>& panel = tail_fetch_cache(
+        comm, rank, guard, me.panel_cache, guard.filling_panel, bj,
+        rt::make_tag(rt::MsgKind::kPanel, static_cast<std::uint64_t>(k),
+                     static_cast<std::uint64_t>(bj)),
+        static_cast<std::size_t>(nj) * w, cancel, "panel");
+    const T* l_bi = me.blok_store.at(bi).data();
+    TailContrib c;
+    c.m = mi;
+    c.buf.assign(static_cast<std::size_t>(mi) * nj, T{});
+    {
+      const auto span = kernel_span(rank, KernelOp::kGemm, mi, nj, w);
+      gemm_nt(mi, nj, w, T(1), l_bi, mi, panel.data(), nj, c.buf.data(), mi);
+    }
+    res.contribs.push_back(std::move(c));
+  }
+
+  void run_tail(rt::Comm& comm, Rank& me, idx_t rank, std::size_t split_pos) {
+    const auto& kp = sched_.kp[static_cast<std::size_t>(rank)];
+    const std::size_t ntail = kp.size() - split_pos;
+    const idx_t workers = hybrid_.pool_size < 1 ? 1 : hybrid_.pool_size;
+    if (tracer_ != nullptr && tracer_->enabled())
+      PASTIX_CHECK(tracer_->workers_per_rank() >= static_cast<int>(workers),
+                   "tracer lacks worker lanes for the hybrid pool — size it "
+                   "with TraceRecorder(nprocs, worker_lanes())");
+
+    // Same-rank readiness edges: a tail task is computable once all of its
+    // same-rank predecessors have *committed*.  Predecessors in the prefix
+    // committed before the pool started; cross-rank predecessors are
+    // blocking receives inside compute.
+    std::unordered_map<idx_t, std::size_t> tail_of;
+    tail_of.reserve(ntail);
+    for (std::size_t i = 0; i < ntail; ++i)
+      tail_of[kp[split_pos + i]] = i;
+    std::vector<idx_t> waiting(ntail, 0);
+    std::vector<std::vector<std::size_t>> succ(ntail);
+    for (std::size_t i = 0; i < ntail; ++i) {
+      const idx_t t = kp[split_pos + i];
+      const auto add_dep = [&](idx_t src) {
+        if (sched_.proc[static_cast<std::size_t>(src)] != rank) return;
+        const auto it = tail_of.find(src);
+        if (it == tail_of.end()) return;  // prefix predecessor
+        succ[it->second].push_back(i);
+        ++waiting[i];
+      };
+      for (const Contribution& c : tg_.inputs[static_cast<std::size_t>(t)])
+        add_dep(c.source);
+      for (const Contribution& c : tg_.prec[static_cast<std::size_t>(t)])
+        add_dep(c.source);
+    }
+
+    std::vector<TailResult> results(ntail);
+    CacheGuard guard;
+    TailScheduler pool(ntail, std::move(waiting), std::move(succ), workers,
+                       hybrid_.steal_seed ^
+                           (0x9e3779b97f4a7c15ULL *
+                            static_cast<std::uint64_t>(rank + 1)));
+    const std::atomic<bool>& cancel = pool.cancel_flag();
+
+    const auto compute = [&](std::size_t i, int worker) {
+      // Worker threads record to their private lane; inline computes
+      // (worker == -1) stay on the rank lane.
+      rt::LaneScope lane(
+          worker >= 0 ? tracer_ : nullptr,
+          worker >= 0 && tracer_ != nullptr
+              ? tracer_->worker_lane(static_cast<int>(rank), worker)
+              : 0);
+      const idx_t t = kp[split_pos + i];
+      const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
+      TailResult& res = results[i];
+      res.status.max_recorded = popt_.max_recorded;
+      const Timer timer;
+      {
+        rt::TraceRecord rec;
+        rec.kind = rt::TraceKind::kTask;
+        rec.subtype = static_cast<std::uint8_t>(task.type);
+        rec.id1 = static_cast<std::int32_t>(t);
+        rec.id2 = static_cast<std::int32_t>(task.cblk);
+        const rt::ScopedSpan span(tracer_, static_cast<int>(rank), rec);
+        switch (task.type) {
+          case TaskType::kComp1d:
+            tail_compute_comp1d(comm, me, rank, t, res, cancel);
+            break;
+          case TaskType::kFactor:
+            tail_compute_factor(comm, me, rank, t, res, cancel);
+            break;
+          case TaskType::kBdiv:
+            tail_compute_bdiv(comm, me, rank, t, res, guard, cancel);
+            break;
+          case TaskType::kBmod:
+            tail_compute_bmod(comm, me, rank, t, res, guard, cancel);
+            break;
+        }
+      }
+      res.seconds = timer.seconds();
+    };
+
+    const auto commit = [&](std::size_t i) {
+      const std::size_t pos = split_pos + i;
+      // Same fault-point placement as the static loop: a rank killed here
+      // has fully committed `pos` tasks.
+      comm.fault_point(static_cast<int>(rank),
+                       static_cast<std::uint64_t>(pos));
+      const idx_t t = kp[pos];
+      const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
+      TailResult& res = results[i];
+      if (res.held > 0) {
+        // Replay of the gather's transient AUB accounting, in K_p order —
+        // bitwise the static peak.
+        me.aub_bytes_now += res.held;
+        me.aub_peak_bytes = std::max(me.aub_peak_bytes, me.aub_bytes_now);
+        me.aub_bytes_now -= res.held;
+      }
+      switch (task.type) {
+        case TaskType::kComp1d:
+          for (const TailContrib& c : res.contribs)
+            scatter_update(me, rank, task.cblk, c.bj, c.bj, c.buf.data(), c.m,
+                           c.off);
+          flush_aubs(comm, me, rank, t);
+          break;
+        case TaskType::kFactor: {
+          const idx_t k = task.cblk;
+          const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+          const T* a = me.blok_store.at(task.blok).data();
+          for (const idx_t q : plan_.diag_dests[static_cast<std::size_t>(t)])
+            comm.send_array(static_cast<int>(rank), static_cast<int>(q),
+                            rt::make_tag(rt::MsgKind::kDiag,
+                                         static_cast<std::uint64_t>(k)),
+                            a, static_cast<std::size_t>(w) * w);
+          {
+            const std::lock_guard lock(guard.mutex);
+            me.diag_cache[k].assign(a, a + static_cast<std::size_t>(w) * w);
+          }
+          guard.cv.notify_all();
+          break;
+        }
+        case TaskType::kBdiv: {
+          const T* pdata = nullptr;
+          std::size_t psize = 0;
+          {
+            const std::lock_guard lock(guard.mutex);
+            auto& slot = me.panel_cache[task.blok];
+            slot = std::move(res.panel);
+            pdata = slot.data();
+            psize = slot.size();
+          }
+          guard.cv.notify_all();
+          for (const idx_t q : plan_.panel_dests[static_cast<std::size_t>(t)])
+            comm.send_array(
+                static_cast<int>(rank), static_cast<int>(q),
+                rt::make_tag(rt::MsgKind::kPanel,
+                             static_cast<std::uint64_t>(task.cblk),
+                             static_cast<std::uint64_t>(task.blok)),
+                pdata, psize);
+          break;
+        }
+        case TaskType::kBmod: {
+          const TailContrib& c = res.contribs.at(0);
+          const auto& src_i = s_.bloks[static_cast<std::size_t>(task.blok)];
+          const auto& src_j = s_.bloks[static_cast<std::size_t>(task.blok2)];
+          const auto targets = s_.find_facing_bloks(
+              src_j.fcblknm, src_i.frownum, src_i.lrownum);
+          for (const idx_t tb : targets) {
+            const auto& tgt = s_.bloks[static_cast<std::size_t>(tb)];
+            const idx_t r0 = std::max(tgt.frownum, src_i.frownum);
+            const idx_t r1 = std::min(tgt.lrownum, src_i.lrownum);
+            apply_contribution(me, rank, tb,
+                               c.buf.data() + (r0 - src_i.frownum), c.m,
+                               r1 - r0 + 1, src_j.nrows(), r0, src_j.frownum,
+                               task.blok == task.blok2);
+          }
+          flush_aubs(comm, me, rank, t);
+          break;
+        }
+      }
+      me.status.merge(res.status);
+      me.task_times.seconds[static_cast<int>(task.type)] += res.seconds;
+      me.task_times.count[static_cast<int>(task.type)]++;
+      // Free the buffered compute results eagerly — the tail's transient
+      // footprint should track the in-flight window, not the whole tail.
+      res.contribs.clear();
+      res.contribs.shrink_to_fit();
+    };
+
+    const auto on_steal = [&](std::size_t i, int worker) {
+      if (tracer_ == nullptr || !tracer_->enabled()) return;
+      rt::TraceRecord rec;
+      rec.kind = rt::TraceKind::kSteal;
+      rec.id1 = static_cast<std::int32_t>(kp[split_pos + i]);
+      rec.id2 = static_cast<std::int32_t>(split_pos + i);
+      rec.id3 = worker;
+      rec.start = rec.end = tracer_->now();
+      rt::LaneScope lane(tracer_,
+                         tracer_->worker_lane(static_cast<int>(rank), worker));
+      tracer_->record(static_cast<int>(rank), rec);
+    };
+
+    pool.run(compute, commit, on_steal);
   }
 
   // ------------------------------------------------ checkpoint (de)serialize --
@@ -1128,6 +1619,7 @@ private:
   const Schedule& sched_;
   FactorKind kind_;
   PivotOptions popt_;
+  HybridOptions hybrid_;  ///< static-prefix/dynamic-tail knobs (§14)
   double pivot_threshold_ = 0;
   std::unique_ptr<const CommPlan> owned_plan_;  ///< convenience ctor only
   const CommPlan& plan_;  ///< shared (AnalysisPlan's) or owned_plan_

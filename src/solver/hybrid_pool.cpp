@@ -1,0 +1,168 @@
+//
+// Work-stealing tail executor — see hybrid_pool.hpp and DESIGN.md §14.
+//
+#include "solver/hybrid_pool.hpp"
+
+#include "rt/comm.hpp"
+#include "support/check.hpp"
+
+namespace pastix {
+
+TailScheduler::TailScheduler(std::size_t ntail, std::vector<idx_t> waiting,
+                             std::vector<std::vector<std::size_t>> succ,
+                             idx_t workers, std::uint64_t seed)
+    : ntail_(ntail),
+      waiting_(std::move(waiting)),
+      succ_(std::move(succ)),
+      workers_(workers < 1 ? 1 : workers),
+      seed_(seed),
+      state_(ntail, St::kBlocked) {
+  PASTIX_CHECK(waiting_.size() == ntail_ && succ_.size() == ntail_,
+               "tail dependency arrays do not match the tail size");
+  for (std::size_t i = 0; i < ntail_; ++i) {
+    if (waiting_[i] == 0) {
+      state_[i] = St::kReady;
+      ready_.push_back(i);
+    }
+  }
+}
+
+void TailScheduler::fail_locked(std::exception_ptr e) {
+  if (!error_) error_ = std::move(e);
+  stop_ = true;
+  cancel_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+}
+
+std::size_t TailScheduler::pick_ready_locked(std::uint64_t& rng) {
+  // splitmix64 step: cheap, seeded, and deliberately *not* part of the
+  // numeric contract — any pick order must yield identical factor bits.
+  rng += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = rng;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const std::size_t at = static_cast<std::size_t>(z % ready_.size());
+  const std::size_t idx = ready_[at];
+  ready_[at] = ready_.back();
+  ready_.pop_back();
+  return idx;
+}
+
+void TailScheduler::worker_body(int w, const ComputeFn& compute,
+                                const StealFn& on_steal) {
+  std::uint64_t rng = seed_ + 0x2545f4914f6cdd1dULL * static_cast<std::uint64_t>(w + 1);
+  for (;;) {
+    std::size_t idx;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !ready_.empty(); });
+      if (stop_) return;
+      idx = pick_ready_locked(rng);
+      state_[idx] = St::kClaimed;
+    }
+    on_steal(idx, w);
+    try {
+      compute(idx, w);
+    } catch (const rt::CancelledError&) {
+      return;  // teardown in progress; the committer owns the real error
+    } catch (...) {
+      const std::lock_guard lock(mutex_);
+      fail_locked(std::current_exception());
+      return;
+    }
+    const std::lock_guard lock(mutex_);
+    state_[idx] = St::kComputed;
+    cv_.notify_all();
+  }
+}
+
+void TailScheduler::run(const ComputeFn& compute, const CommitFn& commit,
+                        const StealFn& on_steal) {
+  if (ntail_ == 0) return;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers_));
+  for (idx_t w = 0; w < workers_; ++w)
+    pool.emplace_back([this, w, &compute, &on_steal] {
+      worker_body(static_cast<int>(w), compute, on_steal);
+    });
+
+  const auto teardown = [&] {
+    {
+      const std::lock_guard lock(mutex_);
+      stop_ = true;
+      cancel_.store(true, std::memory_order_relaxed);
+      cv_.notify_all();
+    }
+    for (auto& t : pool) t.join();
+  };
+
+  try {
+    for (std::size_t i = 0; i < ntail_; ++i) {
+      bool inline_compute = false;
+      {
+        std::unique_lock lock(mutex_);
+        if (error_) break;
+        PASTIX_CHECK(state_[i] != St::kBlocked,
+                     "tail commit reached a task with uncommitted same-rank "
+                     "predecessors — the static order violates precedence");
+        if (state_[i] == St::kReady) {
+          // Unclaimed: the committer computes it inline instead of waiting
+          // for a steal — this is the deadlock-freedom argument: the
+          // committer's waits are a subset of the static schedule's.
+          for (std::size_t at = 0; at < ready_.size(); ++at) {
+            if (ready_[at] == i) {
+              ready_[at] = ready_.back();
+              ready_.pop_back();
+              break;
+            }
+          }
+          state_[i] = St::kClaimed;
+          inline_compute = true;
+        } else {
+          cv_.wait(lock,
+                   [&] { return error_ || state_[i] == St::kComputed; });
+          if (error_) break;
+        }
+      }
+      if (inline_compute) {
+        compute(i, -1);
+        const std::lock_guard lock(mutex_);
+        state_[i] = St::kComputed;
+      }
+      commit(i);
+      {
+        const std::lock_guard lock(mutex_);
+        state_[i] = St::kCommitted;
+        for (const std::size_t s : succ_[i]) {
+          if (--waiting_[s] == 0 && state_[s] == St::kBlocked) {
+            state_[s] = St::kReady;
+            ready_.push_back(s);
+          }
+        }
+        cv_.notify_all();
+      }
+    }
+  } catch (...) {
+    const std::exception_ptr mine = std::current_exception();
+    teardown();
+    // A worker failure cancels in-flight receives, so an inline compute can
+    // unwind with a secondary CancelledError — prefer the root cause.
+    std::exception_ptr err;
+    {
+      const std::lock_guard lock(mutex_);
+      err = error_;
+    }
+    if (err) std::rethrow_exception(err);
+    std::rethrow_exception(mine);
+  }
+  teardown();
+  std::exception_ptr err;
+  {
+    const std::lock_guard lock(mutex_);
+    err = error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+} // namespace pastix

@@ -1,0 +1,103 @@
+#pragma once
+//
+// Hybrid static/dynamic tail executor (DESIGN.md §14): a small intra-rank
+// work-stealing pool that runs the *computations* of a rank's dynamic tail
+// out of order, while the rank thread commits their shared side effects
+// strictly in K_p order.
+//
+// The scheduler is deliberately numeric-type agnostic — the solver hands it
+// three callbacks:
+//
+//   compute(i, worker)  heavy work of tail task i: kernels plus blocking
+//                       receives, writing only task-private storage.  Runs
+//                       concurrently on pool workers (worker >= 0) or inline
+//                       on the rank thread (worker == -1) when the committer
+//                       reaches an unclaimed task.
+//   commit(i)           all shared side effects of task i: contribution
+//                       scatters, AUB countdowns and sends, cache inserts.
+//                       Called only by the rank thread, in index order —
+//                       which is exactly K_p order, so the factorization is
+//                       bitwise identical to the fully static run for every
+//                       steal timing.
+//   on_steal(i, worker) tracing hook, invoked by the claiming worker thread
+//                       right after it claimed task i.
+//
+// Readiness is same-rank: task i becomes computable once all of its
+// same-rank predecessors have *committed* (`waiting` counts them, `succ`
+// lists dependents).  Cross-rank dependencies are blocking receives inside
+// compute(); they are cancellable (rt::CancelledError) so the pool can
+// always be joined, even mid-receive.
+//
+// Deadlock-freedom: the committer never waits on a task nobody is running —
+// if the next task to commit is still unclaimed it computes it inline, so
+// the set of waits is a subset of the fully static schedule's waits.
+//
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace pastix {
+
+class TailScheduler {
+public:
+  using ComputeFn = std::function<void(std::size_t idx, int worker)>;
+  using CommitFn = std::function<void(std::size_t idx)>;
+  using StealFn = std::function<void(std::size_t idx, int worker)>;
+
+  /// `waiting[i]` = number of same-rank tail predecessors of tail task i;
+  /// `succ[i]` = tail indices unlocked when i commits.  `workers` pool
+  /// threads are spawned (clamped to >= 1); `seed` drives each worker's
+  /// steal order — a pure chaos knob, never an output-affecting one.
+  TailScheduler(std::size_t ntail, std::vector<idx_t> waiting,
+                std::vector<std::vector<std::size_t>> succ, idx_t workers,
+                std::uint64_t seed);
+
+  /// Flag handed to compute() closures for rt::Comm::recv_cancellable —
+  /// raised on teardown (error or completion) to unpark blocked workers.
+  [[nodiscard]] const std::atomic<bool>& cancel_flag() const {
+    return cancel_;
+  }
+
+  /// Run the whole tail: computes on the pool + inline, commits in index
+  /// order on the calling thread.  Rethrows the first failure (from a
+  /// worker compute, an inline compute, or a commit) after joining every
+  /// worker, so no pool thread outlives this call.
+  void run(const ComputeFn& compute, const CommitFn& commit,
+           const StealFn& on_steal);
+
+private:
+  enum class St : std::uint8_t {
+    kBlocked,   ///< same-rank predecessors not all committed
+    kReady,     ///< computable, waiting to be claimed
+    kClaimed,   ///< a worker (or the committer, inline) is computing it
+    kComputed,  ///< compute done, awaiting its commit slot
+    kCommitted,
+  };
+
+  void worker_body(int w, const ComputeFn& compute, const StealFn& on_steal);
+  void fail_locked(std::exception_ptr e);
+  std::size_t pick_ready_locked(std::uint64_t& rng);
+
+  std::size_t ntail_;
+  std::vector<idx_t> waiting_;
+  std::vector<std::vector<std::size_t>> succ_;
+  idx_t workers_;
+  std::uint64_t seed_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<St> state_;
+  std::vector<std::size_t> ready_;
+  std::exception_ptr error_;
+  bool stop_ = false;
+  std::atomic<bool> cancel_{false};
+};
+
+} // namespace pastix

@@ -43,6 +43,11 @@ const char* code_name(Code c) {
     case Code::kTagCollision: return "tag-collision";
     case Code::kOptionsMismatch: return "options-mismatch";
     case Code::kStatsStale: return "stats-stale";
+    case Code::kSplitInvalid: return "split-invalid";
+    case Code::kTailDependencyMissing: return "tail-dependency-missing";
+    case Code::kTailRace: return "tail-race";
+    case Code::kTailStarvedReceive: return "tail-starved-receive";
+    case Code::kTailHappensBeforeCycle: return "tail-happens-before-cycle";
   }
   return "unknown";
 }
@@ -121,6 +126,7 @@ public:
       check_comm_plan();
       check_tags();
       check_order_and_deadlock();
+      check_hybrid_tail();
       check_solve_plan();
       check_stats();
       if (opt_.check_memory && rep_.errors() == 0) replay_memory();
@@ -1011,6 +1017,272 @@ private:
     add(Code::kHappensBeforeCycle, os.str(), cur,
         cur != kNone ? tg.tasks[uz(cur)].cblk : kNone, kNone,
         cur != kNone ? sc.proc[uz(cur)] : kNone);
+  }
+
+  // ------------------------------ phase 5a: hybrid prefix/tail relaxation --
+  // When the schedule carries split points (DESIGN.md §14), the runtime no
+  // longer promises K_p order for the *computes* of tail tasks — only their
+  // commits stay serialized.  Model that relaxation exactly, with two nodes
+  // per task:
+  //
+  //   compute(t) -> commit(t)                       (a task commits after it
+  //                                                  computes)
+  //   commit(u)  -> compute(v)   prefix chain       (the prefix is strictly
+  //                                                  sequential)
+  //   commit(last prefix) -> compute(every tail t)  (the pool starts after
+  //                                                  the prefix)
+  //   commit(u)  -> commit(v)    K_p order          (the committer walks the
+  //                                                  tail in K_p order)
+  //   commit(s)  -> compute(t)   same-rank tail edge (pool readiness: t is
+  //                                                  claimable once s
+  //                                                  committed)
+  //   commit(u)  -> compute(v)   cross-rank message (sends fire at the
+  //                                                  producer's commit, the
+  //                                                  blocking recv sits at
+  //                                                  the consumer's compute)
+  //
+  // Everything the relaxed executor can do is a linearization of this graph,
+  // so safety under ANY steal timing is decidable on it: (a) no receive a
+  // *prefix* task blocks on may be fed by a tail producer (the pool that
+  // would send it has not even started on the producer's rank — the
+  // split-point fixpoint promises this); (b) every re-derived same-rank
+  // dependency of a tail compute is ordered behind its producer's commit;
+  // (c) no two unordered tail computes of one rank touch the same factor
+  // block with a write involved (a steal would race the access); (d) the
+  // graph is acyclic (no interleaving deadlocks).  The fully static checks above remain in force K_p-wide:
+  // hybrid commit order *is* K_p order, and the committer's waits are a
+  // subset of the static schedule's.
+  void check_hybrid_tail() {
+    const Schedule& sc = p_.sched;
+    const TaskGraph& tg = p_.tg;
+    if (p_.options.fanin.hybrid.enabled && sc.split.empty())
+      add(Code::kOptionsMismatch,
+          "options enable hybrid execution but the schedule carries no split "
+          "points");
+    if (sc.split.empty()) return;
+    if (static_cast<idx_t>(sc.split.size()) != sc.nprocs) {
+      add(Code::kSplitInvalid,
+          "schedule has " + std::to_string(sc.split.size()) +
+              " split point(s) for " + std::to_string(sc.nprocs) + " rank(s)");
+      return;
+    }
+    for (idx_t p = 0; p < sc.nprocs; ++p)
+      if (sc.split[uz(p)] < 0 ||
+          sc.split[uz(p)] > static_cast<idx_t>(sc.kp[uz(p)].size())) {
+        add(Code::kSplitInvalid,
+            "split point " + std::to_string(sc.split[uz(p)]) +
+                " lands outside K_p (size " +
+                std::to_string(sc.kp[uz(p)].size()) + ")",
+            kNone, kNone, kNone, p);
+        return;
+      }
+
+    const auto in_tail = [&](idx_t t) {
+      return pos_[uz(t)] >= sc.split[uz(sc.proc[uz(t)])];
+    };
+
+    // Cross-rank message edges of the factorization executor: sender task ->
+    // receiver task (AUB fan-in, remote diag for a BDIV, remote panel for a
+    // BMOD) — the same edges the static happens-before phase wires.
+    std::vector<std::pair<idx_t, idx_t>> msg;
+    for (idx_t t = 0; t < tg.ntask(); ++t) {
+      for (const idx_t sigma : p_.comm.aub_after[uz(t)])
+        if (sc.proc[uz(t)] != sc.proc[uz(sigma)]) msg.emplace_back(t, sigma);
+      const Task& task = tg.tasks[uz(t)];
+      if (task.type == TaskType::kBdiv) {
+        const idx_t factor = tg.cblk_task[uz(task.cblk)];
+        if (sc.proc[uz(factor)] != sc.proc[uz(t)]) msg.emplace_back(factor, t);
+      } else if (task.type == TaskType::kBmod) {
+        const idx_t bdiv_j = tg.blok_task[uz(task.blok2)];
+        if (sc.proc[uz(bdiv_j)] != sc.proc[uz(t)]) msg.emplace_back(bdiv_j, t);
+      }
+    }
+
+    // (a) Starvation across the prefix/tail boundary: a prefix task blocks
+    // in recv before its rank's pool starts; if the producer sits in another
+    // rank's tail the send may be arbitrarily late — and if that tail in
+    // turn waits on this rank, never happen.
+    for (const auto& [u, v] : msg)
+      if (in_tail(u) && !in_tail(v))
+        add(Code::kTailStarvedReceive,
+            "prefix task blocks on a message produced by tail task " +
+                std::to_string(u) + " of rank " +
+                std::to_string(sc.proc[uz(u)]) +
+                ": the split must keep producers of prefix-consumed messages "
+                "in their sender's prefix",
+            v, tg.tasks[uz(v)].cblk, tg.tasks[uz(v)].blok, sc.proc[uz(v)]);
+
+    // Relaxed happens-before graph: node t = compute(t), node ntask + t =
+    // commit(t).
+    const std::size_t n = uz(tg.ntask());
+    const auto compute_node = [](idx_t t) { return uz(t); };
+    const auto commit_node = [n](idx_t t) { return n + uz(t); };
+    std::vector<std::vector<std::size_t>> succ(2 * n);
+    for (idx_t t = 0; t < tg.ntask(); ++t)
+      succ[compute_node(t)].push_back(commit_node(t));
+    for (idx_t p = 0; p < sc.nprocs; ++p) {
+      const auto& order = sc.kp[uz(p)];
+      const std::size_t split = uz(sc.split[uz(p)]);
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        if (i <= split)
+          succ[commit_node(order[i - 1])].push_back(compute_node(order[i]));
+        succ[commit_node(order[i - 1])].push_back(commit_node(order[i]));
+      }
+      // The pool starts only after the whole prefix ran.
+      if (split > 0)
+        for (std::size_t i = split + 1; i < order.size(); ++i)
+          succ[commit_node(order[split - 1])].push_back(
+              compute_node(order[i]));
+    }
+    for (idx_t t = 0; t < tg.ntask(); ++t) {
+      if (!in_tail(t)) continue;
+      const auto same_rank_tail_edge = [&](idx_t s) {
+        if (sc.proc[uz(s)] == sc.proc[uz(t)] && in_tail(s))
+          succ[commit_node(s)].push_back(compute_node(t));
+      };
+      for (const auto& c : tg.inputs[uz(t)]) same_rank_tail_edge(c.source);
+      for (const auto& c : tg.prec[uz(t)]) same_rank_tail_edge(c.source);
+    }
+    for (const auto& [u, v] : msg)
+      succ[commit_node(u)].push_back(compute_node(v));
+
+    // (d) Acyclicity under any linearization (Kahn over the 2n nodes).
+    {
+      std::vector<idx_t> indeg(2 * n, 0);
+      for (const auto& out : succ)
+        for (const std::size_t v : out) ++indeg[v];
+      std::vector<std::size_t> stack;
+      for (std::size_t v = 0; v < 2 * n; ++v)
+        if (indeg[v] == 0) stack.push_back(v);
+      std::size_t seen = 0;
+      while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        stack.pop_back();
+        ++seen;
+        for (const std::size_t w : succ[v])
+          if (--indeg[w] == 0) stack.push_back(w);
+      }
+      if (seen != 2 * n) {
+        idx_t witness = kNone;
+        for (std::size_t v = 0; v < 2 * n; ++v)
+          if (indeg[v] > 0) { witness = static_cast<idx_t>(v % n); break; }
+        add(Code::kTailHappensBeforeCycle,
+            "the relaxed prefix/tail happens-before graph has a cycle: some "
+            "steal interleavings deadlock between tail computes and ordered "
+            "commits",
+            witness, witness != kNone ? tg.tasks[uz(witness)].cblk : kNone,
+            kNone, witness != kNone ? sc.proc[uz(witness)] : kNone);
+        return;  // reachability below is meaningless on a cyclic graph
+      }
+    }
+
+    // On-demand reachability (DFS); only suspicious pairs ever query it, so
+    // clean plans pay nothing beyond the direct-edge scan.
+    std::vector<unsigned char> mark(2 * n, 0);
+    std::vector<std::size_t> dfs;
+    const auto reaches = [&](std::size_t from, std::size_t to) {
+      std::fill(mark.begin(), mark.end(), 0);
+      dfs.assign(1, from);
+      mark[from] = 1;
+      while (!dfs.empty()) {
+        const std::size_t v = dfs.back();
+        dfs.pop_back();
+        if (v == to) return true;
+        for (const std::size_t w : succ[v])
+          if (!mark[w]) {
+            mark[w] = 1;
+            dfs.push_back(w);
+          }
+      }
+      return false;
+    };
+
+    // (b) Dependency closure: every same-rank dependency the block structure
+    // *implies* for a tail compute must be ordered behind its producer's
+    // commit — re-derive the edges independently so a corrupted task graph
+    // cannot vouch for itself.
+    const TaskGraph want = build_task_graph(p_.symbol, p_.cand,
+                                            p_.options.model);
+    if (want.ntask() == tg.ntask()) {
+      std::vector<unsigned char> direct(n, 0);
+      for (idx_t t = 0; t < tg.ntask(); ++t) {
+        if (!in_tail(t)) continue;
+        for (const auto& c : tg.inputs[uz(t)]) direct[uz(c.source)] = 1;
+        for (const auto& c : tg.prec[uz(t)]) direct[uz(c.source)] = 1;
+        const auto closed = [&](idx_t s) {
+          if (sc.proc[uz(s)] != sc.proc[uz(t)] || !in_tail(s)) return;
+          if (direct[uz(s)]) return;  // a pool readiness edge orders the pair
+          if (reaches(commit_node(s), compute_node(t))) return;
+          add(Code::kTailDependencyMissing,
+              "tail task depends on same-rank task " + std::to_string(s) +
+                  " but no precedence path orders its compute after that "
+                  "producer's commit: a steal could run it on stale blocks",
+              t, tg.tasks[uz(t)].cblk, tg.tasks[uz(t)].blok,
+              sc.proc[uz(t)]);
+        };
+        for (const auto& c : want.inputs[uz(t)]) closed(c.source);
+        for (const auto& c : want.prec[uz(t)]) closed(c.source);
+        for (const auto& c : tg.inputs[uz(t)]) direct[uz(c.source)] = 0;
+        for (const auto& c : tg.prec[uz(t)]) direct[uz(c.source)] = 0;
+      }
+    }
+
+    // (c) Compute-side access exclusivity over factor blocks.  Writers: a
+    // COMP1D writes its whole cblk, a FACTOR its diagonal block, a BDIV its
+    // panel (BMOD computes buffer privately).  Readers: a BDIV reads its
+    // cblk's freshly factored diagonal block, a BMOD reads the two panels
+    // it multiplies.  Two tail computes of one rank touching the same blok
+    // — at least one writing — with no precedence path either way can be
+    // stolen concurrently: an unordered read/write the ordered commits
+    // cannot repair (the stale read already happened in the pool).
+    std::unordered_map<idx_t, std::vector<idx_t>> writer;
+    std::unordered_map<idx_t, std::vector<idx_t>> reader;
+    for (idx_t t = 0; t < tg.ntask(); ++t) {
+      if (!in_tail(t)) continue;
+      const Task& task = tg.tasks[uz(t)];
+      if (task.type == TaskType::kComp1d) {
+        for (idx_t b = p_.symbol.cblks[uz(task.cblk)].bloknum;
+             b < p_.symbol.cblks[uz(task.cblk) + 1].bloknum; ++b)
+          writer[b].push_back(t);
+      } else if (task.type == TaskType::kFactor) {
+        writer[task.blok].push_back(t);
+      } else if (task.type == TaskType::kBdiv) {
+        writer[task.blok].push_back(t);
+        reader[p_.symbol.cblks[uz(task.cblk)].bloknum].push_back(t);
+      } else if (task.type == TaskType::kBmod) {
+        reader[task.blok].push_back(t);
+        if (task.blok2 != task.blok) reader[task.blok2].push_back(t);
+      }
+    }
+    const auto unordered_pair = [&](idx_t a, idx_t c) {
+      return sc.proc[uz(a)] == sc.proc[uz(c)] &&
+             !reaches(commit_node(a), compute_node(c)) &&
+             !reaches(commit_node(c), compute_node(a));
+    };
+    for (const auto& [b, ws] : writer) {
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        for (std::size_t j = i + 1; j < ws.size(); ++j)
+          if (unordered_pair(ws[i], ws[j]))
+            add(Code::kTailRace,
+                "tail tasks " + std::to_string(ws[i]) + " and " +
+                    std::to_string(ws[j]) + " both write blok " +
+                    std::to_string(b) +
+                    " with no precedence path between them: a steal could "
+                    "race the write",
+                ws[i], tg.tasks[uz(ws[i])].cblk, b, sc.proc[uz(ws[i])]);
+        const auto rit = reader.find(b);
+        if (rit == reader.end()) continue;
+        for (const idx_t c : rit->second)
+          if (c != ws[i] && unordered_pair(ws[i], c))
+            add(Code::kTailRace,
+                "tail task " + std::to_string(c) + " reads blok " +
+                    std::to_string(b) + " that tail task " +
+                    std::to_string(ws[i]) +
+                    " writes, with no precedence path between them: a steal "
+                    "could read the block mid-update",
+                c, tg.tasks[uz(c)].cblk, b, sc.proc[uz(c)]);
+      }
+    }
   }
 
   // -------------------------------------------- phase 5b: solve-phase plan --

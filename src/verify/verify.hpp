@@ -33,7 +33,13 @@
 //       partition the items and agree with the comm plan's ownership
 //       tables, the edges equal an independent re-derivation, every solve
 //       segment/contribution send has a matching receive, and the solve's
-//       happens-before graph is acyclic (scheduled solves cannot deadlock).
+//       happens-before graph is acyclic (scheduled solves cannot deadlock);
+//   (g) when the schedule carries hybrid split points (DESIGN.md §14), the
+//       relaxed execution is proven safe under ANY tail linearization
+//       consistent with the precedence graph: tail computes are
+//       dependency-closed, no two unordered tail computes write the same
+//       block, no prefix receive waits on a tail producer, and the relaxed
+//       compute/commit happens-before graph is acyclic.
 //
 // All checks are pattern-level: no matrix values, no threads, no comm.
 // check_plan never throws — corrupt input yields diagnostics, not crashes —
@@ -72,6 +78,11 @@ enum class Code : unsigned char {
   kTagCollision,           ///< two message streams alias one (kind, ids) tag
   kOptionsMismatch,        ///< plan contradicts the options it claims
   kStatsStale,             ///< summary stats disagree (warning: cosmetic)
+  kSplitInvalid,           ///< hybrid split points malformed (count/bounds)
+  kTailDependencyMissing,  ///< tail compute not ordered after a producer's commit
+  kTailRace,               ///< a steal could race an unordered same-rank write
+  kTailStarvedReceive,     ///< prefix receive fed by a tail task: can starve
+  kTailHappensBeforeCycle, ///< relaxed compute/commit HB graph has a cycle
 };
 
 [[nodiscard]] const char* code_name(Code c);

@@ -1,0 +1,308 @@
+// Hybrid static/dynamic execution battery (DESIGN.md §14): the static
+// prefix + verified work-stealing tail must be *bitwise* identical to the
+// fully static schedule for every steal timing — across rank counts, steal
+// seeds, Fan-Both partial aggregation, and LL^t — and must stay identical
+// under adversarial message delivery and a mid-factorization rank kill.
+// Runtime traces record steal events on pool-worker lanes and replay
+// validation accepts any legal tail order while checking the prefix
+// exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/pastix.hpp"
+#include "simul/runtime_trace.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Backstop: a protocol bug fails the test with a diagnostic instead of a
+// hang.
+constexpr auto kDeadline = 10000ms;
+
+/// Mesh with a wide root separator: 2D supernodes at 4 ranks and a tail
+/// with real steal opportunities.
+SymSparse<double> mesh() { return gen_fe_mesh({12, 12, 4, 2, 1, 1}); }
+
+struct RunConfig {
+  idx_t nprocs = 4;
+  bool hybrid = false;
+  std::uint64_t steal_seed = 0x57ea1;
+  double tail_fraction = 0.35;
+  idx_t pool_size = 2;
+  idx_t partial_chunk = 0;
+  FactorKind kind = FactorKind::kLdlt;
+};
+
+SolverOptions make_options(const RunConfig& cfg) {
+  SolverOptions opt;
+  opt.nprocs = cfg.nprocs;
+  opt.fanin.partial_chunk = cfg.partial_chunk;
+  opt.fanin.kind = cfg.kind;
+  opt.fanin.hybrid.enabled = cfg.hybrid;
+  opt.fanin.hybrid.steal_seed = cfg.steal_seed;
+  opt.fanin.hybrid.tail_fraction = cfg.tail_fraction;
+  opt.fanin.hybrid.pool_size = cfg.pool_size;
+  return opt;
+}
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  std::vector<double> x;
+};
+
+/// Factorize + solve under `cfg`, optionally adopting a shared plan (the
+/// sweep re-analyzes once per rank count, not once per seed).
+RunResult run_once(const SymSparse<double>& a, const RunConfig& cfg,
+                   PlanPtr plan = nullptr) {
+  Solver<double> solver(make_options(cfg));
+  if (plan)
+    solver.analyze(a, std::move(plan));
+  else
+    solver.analyze(a);
+  solver.comm().set_recv_deadline(kDeadline);
+  solver.factorize();
+  RunResult r;
+  r.digest = solver.numeric().factor_digest();
+  r.x = solver.solve(reference_rhs(a));
+  return r;
+}
+
+// --------------------------------------------------- determinism sweep ---
+
+TEST(HybridDeterminism, SweepBitwiseIdenticalAcrossSeedsAndRanks) {
+  const auto a = mesh();
+  for (const idx_t nprocs : {1, 2, 4}) {
+    RunConfig st;
+    st.nprocs = nprocs;
+    const RunResult want = run_once(a, st);
+
+    RunConfig hy = st;
+    hy.hybrid = true;
+    PlanPtr plan = analyze(a.pattern, make_options(hy));
+    ASSERT_TRUE(plan->sched.hybrid())
+        << "nprocs " << nprocs << ": analysis produced no dynamic tail";
+
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      hy.steal_seed = seed * 0x9e3779b97f4a7c15ull;
+      const RunResult got = run_once(a, hy, plan);
+      EXPECT_EQ(got.digest, want.digest)
+          << "nprocs " << nprocs << " seed " << seed
+          << ": hybrid factor differs from the static schedule";
+      EXPECT_EQ(got.x, want.x)
+          << "nprocs " << nprocs << " seed " << seed
+          << ": hybrid solve differs bitwise from the static schedule";
+    }
+  }
+}
+
+TEST(HybridDeterminism, FanBothPartialAggregationIdentical) {
+  const auto a = mesh();
+  for (const idx_t chunk : {1, 2}) {
+    RunConfig st;
+    st.partial_chunk = chunk;
+    const RunResult want = run_once(a, st);
+    RunConfig hy = st;
+    hy.hybrid = true;
+    PlanPtr plan = analyze(a.pattern, make_options(hy));
+    for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+      hy.steal_seed = seed;
+      const RunResult got = run_once(a, hy, plan);
+      EXPECT_EQ(got.digest, want.digest)
+          << "partial_chunk " << chunk << " seed " << seed;
+      EXPECT_EQ(got.x, want.x) << "partial_chunk " << chunk << " seed "
+                               << seed;
+    }
+  }
+}
+
+TEST(HybridDeterminism, LltFactorizationIdentical) {
+  const auto a = mesh();
+  RunConfig st;
+  st.kind = FactorKind::kLlt;
+  const RunResult want = run_once(a, st);
+  RunConfig hy = st;
+  hy.hybrid = true;
+  PlanPtr plan = analyze(a.pattern, make_options(hy));
+  for (std::uint64_t seed = 31; seed <= 34; ++seed) {
+    hy.steal_seed = seed;
+    const RunResult got = run_once(a, hy, plan);
+    EXPECT_EQ(got.digest, want.digest) << "LL^t seed " << seed;
+    EXPECT_EQ(got.x, want.x) << "LL^t seed " << seed;
+  }
+}
+
+TEST(HybridDeterminism, PoolSizeDoesNotChangeTheBits) {
+  const auto a = mesh();
+  RunConfig st;
+  const RunResult want = run_once(a, st);
+  RunConfig hy = st;
+  hy.hybrid = true;
+  hy.tail_fraction = 0.5;
+  PlanPtr plan = analyze(a.pattern, make_options(hy));
+  for (const idx_t pool : {1, 2, 4}) {
+    hy.pool_size = pool;
+    const RunResult got = run_once(a, hy, plan);
+    EXPECT_EQ(got.digest, want.digest) << "pool " << pool;
+    EXPECT_EQ(got.x, want.x) << "pool " << pool;
+  }
+}
+
+// ------------------------------------------------------ trace validation ---
+
+TEST(HybridTrace, StealsRecordedAndRelaxedReplayValidates) {
+  const auto a = mesh();
+  RunConfig hy;
+  hy.hybrid = true;
+  hy.tail_fraction = 0.5;  // a tail big enough that workers really steal
+  Solver<double> solver(make_options(hy));
+  solver.analyze(a);
+  ASSERT_TRUE(solver.schedule().hybrid());
+  solver.comm().set_recv_deadline(kDeadline);
+  solver.enable_tracing(true);
+  solver.factorize();
+
+  const RuntimeTrace tr = solver.runtime_trace();
+  EXPECT_NO_THROW(tr.validate());
+  // Prefix positions exact, tail as an order-free set.
+  EXPECT_NO_THROW(tr.validate_against(solver.schedule()));
+  // Stricter: every same-rank tail dependency realized in time.
+  EXPECT_NO_THROW(
+      tr.validate_against(solver.schedule(), solver.task_graph()));
+
+  EXPECT_GT(tr.stolen_count(), 0) << "no pool worker ever claimed a task";
+  const Schedule& sc = solver.schedule();
+  idx_t pool_computed = 0;
+  for (const auto& e : tr.tasks) {
+    if (e.worker < 0) continue;
+    ++pool_computed;
+    // Pool computes only ever run tail tasks.
+    const auto& order = sc.kp[static_cast<std::size_t>(e.proc)];
+    const auto it = std::find(order.begin(), order.end(), e.task);
+    ASSERT_NE(it, order.end());
+    EXPECT_GE(static_cast<idx_t>(it - order.begin()),
+              sc.split[static_cast<std::size_t>(e.proc)])
+        << "task " << e.task << " computed on a worker but sits in the "
+        << "static prefix of rank " << e.proc;
+  }
+  EXPECT_EQ(pool_computed, tr.stolen_count());
+  for (const auto& s : tr.steals) {
+    EXPECT_GE(s.worker, 0);
+    EXPECT_GE(s.position, sc.split[static_cast<std::size_t>(s.proc)]);
+  }
+}
+
+TEST(HybridTrace, StaticScheduleStillValidatesExactly) {
+  const auto a = mesh();
+  RunConfig st;
+  Solver<double> solver(make_options(st));
+  solver.analyze(a);
+  solver.comm().set_recv_deadline(kDeadline);
+  solver.enable_tracing(true);
+  solver.factorize();
+  const RuntimeTrace tr = solver.runtime_trace();
+  EXPECT_EQ(tr.stolen_count(), 0);
+  EXPECT_NO_THROW(tr.validate_against(solver.schedule()));
+  EXPECT_NO_THROW(
+      tr.validate_against(solver.schedule(), solver.task_graph()));
+}
+
+// -------------------------------------------------------- chaos battery ---
+
+// Duplicate injection is only transparent when messages carry sequence
+// numbers (resilient mode dedups them; unsequenced traffic would consume
+// both copies — see the resilience suite, which disarms injection before
+// the unsequenced solve for the same reason).  Delay and reorder need no
+// sequencing: tagged blocking recv fixes the consumption order.
+TEST(HybridChaos, AdversarialDeliveryIsBitwiseIdentical) {
+  const auto a = mesh();
+  for (const idx_t nprocs : {2, 4}) {
+    RunConfig st;
+    st.nprocs = nprocs;
+    const RunResult want = run_once(a, st);
+
+    RunConfig hy = st;
+    hy.hybrid = true;
+    PlanPtr plan = analyze(a.pattern, make_options(hy));
+    for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+      hy.steal_seed = seed;
+      Solver<double> solver(make_options(hy));
+      solver.analyze(a, plan);
+      solver.comm().set_recv_deadline(kDeadline);
+      rt::ResilienceOptions ropt;
+      ropt.enabled = true;  // sequence numbers: duplicates are suppressed
+      ropt.checkpoint_interval = 4;
+      solver.set_resilience(ropt);
+      rt::FaultInjection faults;
+      faults.seed = seed;
+      faults.delay_prob = 0.15;
+      faults.reorder_prob = 0.25;
+      faults.duplicate_prob = 0.10;
+      solver.comm().set_fault_injection(faults);
+      solver.factorize();
+      EXPECT_EQ(solver.numeric().factor_digest(), want.digest)
+          << "nprocs " << nprocs << " seed " << seed;
+      // Solve traffic is unsequenced — disarm before solving.
+      solver.comm().set_fault_injection(rt::FaultInjection{});
+      const std::vector<double> b = reference_rhs(a);
+      const std::vector<double> x = solver.solve(b);
+      EXPECT_EQ(x, want.x) << "nprocs " << nprocs << " seed " << seed;
+    }
+  }
+}
+
+TEST(HybridChaos, RankKillRecoversBitwiseIdenticalWithValidTrace) {
+  const auto a = mesh();
+  RunConfig st;
+  const RunResult want = run_once(a, st);
+
+  RunConfig hy = st;
+  hy.hybrid = true;
+  Solver<double> solver(make_options(hy));
+  solver.analyze(a);
+  ASSERT_TRUE(solver.schedule().hybrid());
+  solver.comm().set_recv_deadline(kDeadline);
+  solver.enable_tracing(true);
+
+  rt::ResilienceOptions ropt;
+  ropt.enabled = true;
+  ropt.checkpoint_interval = 4;
+  solver.set_resilience(ropt);
+
+  const int victim = 1;
+  const std::size_t kp_len =
+      solver.schedule().kp[static_cast<std::size_t>(victim)].size();
+  ASSERT_GE(kp_len, 3u);
+  std::uint64_t kill_at = kp_len / 2;
+  if (kill_at % static_cast<std::uint64_t>(ropt.checkpoint_interval) == 0 &&
+      kill_at + 1 < kp_len)
+    ++kill_at;  // off the checkpoint grid, so the restart replays work
+
+  rt::FaultInjection faults;
+  faults.seed = 42;
+  faults.kill_rank = victim;
+  faults.kill_at_task = kill_at;
+  solver.comm().set_fault_injection(faults);
+
+  solver.factorize();
+  EXPECT_GE(solver.stats().restarts, 1);
+  EXPECT_EQ(solver.numeric().factor_digest(), want.digest)
+      << "recovered hybrid factor is not bitwise identical to static";
+
+  // Replay validation passes on every rank, the restarted one included:
+  // dead-attempt worker spans are spliced out, surviving lanes must still
+  // form an exact prefix + legal tail per rank.
+  const RuntimeTrace tr = solver.runtime_trace();
+  EXPECT_NO_THROW(tr.validate());
+  EXPECT_NO_THROW(tr.validate_against(solver.schedule()));
+
+  const std::vector<double> b = reference_rhs(a);
+  EXPECT_EQ(solver.solve(b), want.x);
+}
+
+} // namespace
+} // namespace pastix

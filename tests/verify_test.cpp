@@ -587,6 +587,246 @@ TEST_F(VerifyMutation, StrictAdoptionRejectsCorruptPlan) {
   EXPECT_NO_THROW(lax.analyze(mesh(), plan_));
 }
 
+// ------------------------------------- hybrid prefix/tail mutations ----
+//
+// The relaxed-verification phase (DESIGN.md §14) must prove the hybrid
+// schedule safe under ANY linearization the work-stealing pool can produce.
+// Each engineered corruption below breaks exactly one of its guarantees
+// and must be caught with the named diagnostic code.
+
+std::size_t z(idx_t v) { return static_cast<std::size_t>(v); }
+
+PlanPtr analyze_hybrid(idx_t nprocs, idx_t partial_chunk = 0,
+                       double tail_fraction = 0.35) {
+  SolverOptions opt;
+  opt.nprocs = nprocs;
+  opt.fanin.partial_chunk = partial_chunk;
+  opt.fanin.hybrid.enabled = true;
+  opt.fanin.hybrid.tail_fraction = tail_fraction;
+  return analyze(mesh().pattern, opt);
+}
+
+/// Per task: its position in its rank's K_p.
+std::vector<idx_t> kp_positions(const Schedule& sc) {
+  std::vector<idx_t> pos(sc.proc.size(), 0);
+  for (const auto& order : sc.kp)
+    for (std::size_t i = 0; i < order.size(); ++i)
+      pos[z(order[i])] = static_cast<idx_t>(i);
+  return pos;
+}
+
+/// Drop every direct edge source -> t from the plan's task graph.
+void erase_edges(AnalysisPlan& m, idx_t t, idx_t source) {
+  const auto drop = [&](std::vector<Contribution>& v) {
+    std::erase_if(v, [&](const Contribution& c) { return c.source == source; });
+  };
+  drop(m.tg.inputs[z(t)]);
+  drop(m.tg.prec[z(t)]);
+}
+
+class HybridVerifyMutation : public testing::Test {
+protected:
+  void SetUp() override {
+    plan_ = analyze_hybrid(4);
+    ASSERT_TRUE(plan_->sched.hybrid()) << "mesh produced no dynamic tail";
+  }
+  PlanPtr plan_;
+};
+
+TEST(HybridVerifyClean, FaultFreeHybridPlanVerifiesClean) {
+  for (const idx_t nprocs : {1, 2, 4}) {
+    const PlanPtr plan = analyze_hybrid(nprocs);
+    const auto rep = check(*plan);
+    EXPECT_TRUE(rep.ok()) << "nprocs " << nprocs << "\n" << rep.to_string();
+    EXPECT_TRUE(rep.diagnostics.empty()) << rep.to_string();
+  }
+  // Fan-Both partial aggregation under a hybrid schedule.
+  const PlanPtr fb = analyze_hybrid(4, /*partial_chunk=*/2);
+  EXPECT_TRUE(check(*fb).ok()) << check(*fb).to_string();
+}
+
+TEST(HybridVerifyClean, PlanFileRoundtripPreservesSplitPoints) {
+  const PlanPtr plan = analyze_hybrid(4);
+  std::stringstream buf;
+  save_plan(*plan, buf);
+  const PlanPtr back = load_plan(buf);
+  EXPECT_EQ(back->sched.split, plan->sched.split);
+  EXPECT_TRUE(back->sched.hybrid());
+  EXPECT_TRUE(check(*back).ok()) << check(*back).to_string();
+}
+
+// H1. Split vector of the wrong length.
+TEST_F(HybridVerifyMutation, SplitCountMismatchDetected) {
+  AnalysisPlan m = mutate_copy(plan_);
+  m.sched.split.pop_back();
+  EXPECT_TRUE(check(m).has(Code::kSplitInvalid)) << check(m).to_string();
+}
+
+// H2. Split point outside its rank's K_p.
+TEST_F(HybridVerifyMutation, SplitOutOfBoundsDetected) {
+  AnalysisPlan m = mutate_copy(plan_);
+  m.sched.split[0] = static_cast<idx_t>(m.sched.kp[0].size()) + 3;
+  EXPECT_TRUE(check(m).has(Code::kSplitInvalid));
+  AnalysisPlan neg = mutate_copy(plan_);
+  neg.sched.split[1] = -1;
+  EXPECT_TRUE(check(neg).has(Code::kSplitInvalid));
+}
+
+// H3. Options promise hybrid execution but the schedule carries no split.
+TEST_F(HybridVerifyMutation, HybridOptionsWithoutSplitDetected) {
+  AnalysisPlan m = mutate_copy(plan_);
+  m.sched.split.clear();
+  EXPECT_TRUE(check(m).has(Code::kOptionsMismatch)) << check(m).to_string();
+}
+
+// H4. Tail task with a missing dependency edge: a steal may run the
+// consumer's compute before its producer committed.
+TEST_F(HybridVerifyMutation, MissingTailDependencyEdgeDetected) {
+  const Schedule& sc = plan_->sched;
+  const auto pos = kp_positions(sc);
+  bool detected = false;
+  int attempts = 0;
+  for (idx_t p = 0; p < sc.nprocs && !detected; ++p) {
+    const auto& order = sc.kp[z(p)];
+    for (std::size_t i = z(sc.split[z(p)]);
+         i < order.size() && !detected && attempts < 12; ++i) {
+      const idx_t t = order[i];
+      // The *latest* same-rank tail producer: erasing it leaves no
+      // alternative commit-chain path into this compute.
+      idx_t s = kNone;
+      idx_t best = -1;
+      const auto consider = [&](idx_t src) {
+        if (sc.proc[z(src)] != p || pos[z(src)] < sc.split[z(p)]) return;
+        if (pos[z(src)] > best) {
+          best = pos[z(src)];
+          s = src;
+        }
+      };
+      for (const auto& c : plan_->tg.inputs[z(t)]) consider(c.source);
+      for (const auto& c : plan_->tg.prec[z(t)]) consider(c.source);
+      if (s == kNone) continue;
+      ++attempts;
+      AnalysisPlan m = mutate_copy(plan_);
+      erase_edges(m, t, s);
+      if (check(m).has(Code::kTailDependencyMissing)) detected = true;
+    }
+  }
+  EXPECT_TRUE(detected)
+      << "no erased tail dependency was caught as tail-dependency-missing";
+}
+
+// H5. Steal crossing an unordered read/write: drop the ordering between a
+// tail BMOD and the tail BDIV whose panel it reads.
+TEST_F(HybridVerifyMutation, StolenReadWriteRaceDetected) {
+  const Schedule& sc = plan_->sched;
+  const TaskGraph& tg = plan_->tg;
+  const auto pos = kp_positions(sc);
+  const auto in_tail = [&](idx_t t) {
+    return pos[z(t)] >= sc.split[z(sc.proc[z(t)])];
+  };
+  bool detected = false;
+  int attempts = 0;
+  for (idx_t t = 0; t < tg.ntask() && !detected && attempts < 12; ++t) {
+    const Task& task = tg.tasks[z(t)];
+    if (task.type != TaskType::kBmod || !in_tail(t)) continue;
+    for (const idx_t b : {task.blok, task.blok2}) {
+      const idx_t w = tg.blok_task[z(b)];
+      if (sc.proc[z(w)] != sc.proc[z(t)] || !in_tail(w)) continue;
+      ++attempts;
+      AnalysisPlan m = mutate_copy(plan_);
+      erase_edges(m, t, w);
+      if (check(m).has(Code::kTailRace)) {
+        detected = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(detected) << "no unordered tail read/write was caught as "
+                           "tail-race";
+}
+
+// H6. Starved receive at the prefix/tail boundary: shrink a sender's split
+// so a message consumed by another rank's *prefix* is produced by a tail.
+TEST_F(HybridVerifyMutation, StarvedPrefixReceiveDetected) {
+  const Schedule& sc = plan_->sched;
+  const TaskGraph& tg = plan_->tg;
+  const auto pos = kp_positions(sc);
+  idx_t u = kNone, v = kNone;
+  const auto consider = [&](idx_t src, idx_t dst) {
+    if (u != kNone || sc.proc[z(src)] == sc.proc[z(dst)]) return;
+    if (pos[z(dst)] < sc.split[z(sc.proc[z(dst)])]) {
+      u = src;
+      v = dst;
+    }
+  };
+  for (idx_t t = 0; t < tg.ntask() && u == kNone; ++t) {
+    for (const idx_t sigma : plan_->comm.aub_after[z(t)]) consider(t, sigma);
+    const Task& task = tg.tasks[z(t)];
+    if (task.type == TaskType::kBdiv)
+      consider(tg.cblk_task[z(task.cblk)], t);
+    else if (task.type == TaskType::kBmod)
+      consider(tg.blok_task[z(task.blok2)], t);
+  }
+  ASSERT_NE(u, kNone) << "no cross-rank message with a prefix consumer";
+  AnalysisPlan m = mutate_copy(plan_);
+  auto& split = m.sched.split[z(sc.proc[z(u)])];
+  split = std::min(split, pos[z(u)]);
+  EXPECT_TRUE(check(m).has(Code::kTailStarvedReceive))
+      << "producer " << u << " consumer " << v << "\n" << check(m).to_string();
+}
+
+// H7. Cyclic tail precedence: a backward edge between two same-rank tail
+// tasks deadlocks some steal interleavings (compute waits on a commit that
+// waits, through the K_p commit chain, on that compute).
+TEST_F(HybridVerifyMutation, CyclicTailPrecedenceDetected) {
+  const Schedule& sc = plan_->sched;
+  bool detected = false;
+  int attempts = 0;
+  for (idx_t p = 0; p < sc.nprocs && !detected; ++p) {
+    const auto& order = sc.kp[z(p)];
+    const std::size_t split = z(sc.split[z(p)]);
+    for (std::size_t j = split + 1;
+         j < order.size() && !detected && attempts < 8; ++j) {
+      ++attempts;
+      AnalysisPlan m = mutate_copy(plan_);
+      // order[j] becomes a producer of the *earlier* tail task order[split].
+      m.tg.prec[z(order[split])].push_back({order[j], 0.0});
+      if (check(m).has(Code::kTailHappensBeforeCycle)) detected = true;
+    }
+  }
+  EXPECT_TRUE(detected)
+      << "no cyclic tail precedence was caught as tail-happens-before-cycle";
+}
+
+// H8. Dependent tail tasks swapped in K_p: the commit chain now runs
+// against the dependency, so the relaxed happens-before graph is cyclic.
+TEST_F(HybridVerifyMutation, SwappedDependentTailTasksDetected) {
+  const Schedule& sc = plan_->sched;
+  const auto pos = kp_positions(sc);
+  bool detected = false;
+  int attempts = 0;
+  for (idx_t p = 0; p < sc.nprocs && !detected; ++p) {
+    const auto& order = sc.kp[z(p)];
+    for (std::size_t j = z(sc.split[z(p)]);
+         j < order.size() && !detected && attempts < 8; ++j) {
+      const idx_t t = order[j];
+      const auto try_swap = [&](idx_t s) {
+        if (detected || sc.proc[z(s)] != p) return;
+        const idx_t i = pos[z(s)];
+        if (i < sc.split[z(p)] || i >= static_cast<idx_t>(j)) return;
+        ++attempts;
+        AnalysisPlan m = mutate_copy(plan_);
+        std::swap(m.sched.kp[z(p)][z(i)], m.sched.kp[z(p)][j]);
+        if (check(m).has(Code::kTailHappensBeforeCycle)) detected = true;
+      };
+      for (const auto& c : plan_->tg.inputs[z(t)]) try_swap(c.source);
+      for (const auto& c : plan_->tg.prec[z(t)]) try_swap(c.source);
+    }
+  }
+  EXPECT_TRUE(detected)
+      << "no swapped dependent tail pair was caught as a relaxed HB cycle";
+}
+
 TEST_F(VerifyMutation, LoadPlanRejectsCorruptPayloadWithDiagnostic) {
   std::stringstream buf;
   save_plan(*plan_, buf);

@@ -13,6 +13,10 @@
 #   solve  — solve-phase suite (panel solve, solve-plan verifier mutations,
 #            chaos delivery through the scheduled solve) plus the multi-RHS
 #            throughput bench with its >= 2x acceptance bar
+#   hybrid — hybrid static/dynamic execution suite (determinism sweep,
+#            relaxed trace replay, chaos + rank-kill recovery) plus the
+#            tail-vs-static makespan bench with its never-slower / >= 10%
+#            acceptance bar, then the Hybrid* suites again under TSan
 #   ubsan  — UndefinedBehaviorSanitizer preset + verifier/comm/solver tests
 #   asan   — Address+UB sanitizer preset, runtime-focused test filter
 #   tsan   — ThreadSanitizer preset, runtime-focused test filter (includes
@@ -25,7 +29,7 @@ cd "$(dirname "$0")/.."
 
 lanes=("$@")
 if [ ${#lanes[@]} -eq 0 ]; then
-  lanes=(tier1 bench service solve lint ubsan asan tsan)
+  lanes=(tier1 bench service solve hybrid lint ubsan asan tsan)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -58,6 +62,15 @@ run_lane() {
       cmake --build build -j "${jobs}"
       ctest --test-dir build -L solve -j "${jobs}" --output-on-failure
       ;;
+    hybrid)
+      cmake --preset default
+      cmake --build build -j "${jobs}"
+      ctest --test-dir build -L hybrid -j "${jobs}" --output-on-failure
+      cmake --preset tsan
+      cmake --build build-tsan -j "${jobs}"
+      ctest --test-dir build-tsan -R "Hybrid" -j "${jobs}" \
+            --output-on-failure
+      ;;
     lint)
       cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
       tools/lint.sh build
@@ -78,7 +91,7 @@ run_lane() {
       ctest --preset tsan -j "${jobs}" --output-on-failure
       ;;
     *)
-      echo "ci: unknown lane '$1' (tier1|bench|service|solve|lint|ubsan|asan|tsan)" >&2
+      echo "ci: unknown lane '$1' (tier1|bench|service|solve|hybrid|lint|ubsan|asan|tsan)" >&2
       exit 2
       ;;
   esac
