@@ -4,8 +4,13 @@
 // user with their own matrices.
 //
 //   ./solve_file <matrix.mtx> [nprocs] [--refine] [--plan <file>]
-//                [--trace <out.json>] [--verify] [--nrhs N]
+//                [--trace <out.json>] [--verify] [--scrub] [--nrhs N]
 //                [--hybrid] [--hybrid-tail F] [--hybrid-pool N]
+//
+// --scrub re-verifies every committed factor block against its CRC32C seal
+// after the factorization (DESIGN.md §15) and reports the count; a mismatch
+// means silent data corruption (bad RAM, a rogue DMA) and exits with a
+// dedicated code instead of solving against a poisoned factor.
 //
 // --nrhs N additionally solves a batch of N distinct right-hand sides
 // through the scheduled panel solve (Solver::solve_many) and reports the
@@ -43,6 +48,8 @@
 //   3  verification failure (--verify found the plan unsound)
 //   4  numeric failure (factorization blew up, or degraded and adaptive
 //      refinement stalled short of an acceptable backward error)
+//   5  integrity failure (--scrub found a factor block whose bytes no
+//      longer match the checksum sealed at commit time)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -60,6 +67,7 @@ enum ExitCode : int {
   kExitAnalysis = 2,
   kExitVerification = 3,
   kExitNumeric = 4,
+  kExitIntegrity = 5,
 };
 } // namespace
 
@@ -72,6 +80,7 @@ int main(int argc, char** argv) {
   idx_t nrhs = 1;
   bool refine = false;
   bool verify_plan = false;
+  bool scrub = false;
   bool hybrid = false;
   double hybrid_tail = -1.0;
   int hybrid_pool = 0;
@@ -81,6 +90,8 @@ int main(int argc, char** argv) {
       refine = true;
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       verify_plan = true;
+    } else if (std::strcmp(argv[i], "--scrub") == 0) {
+      scrub = true;
     } else if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
       plan_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -209,6 +220,17 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::cerr << "factorization failed: " << e.what() << "\n";
     return kExitNumeric;
+  }
+
+  if (scrub) {
+    try {
+      const std::uint64_t n = solver.scrub();
+      std::cout << "integrity scrub: " << n
+                << " factor blocks verified against their CRC32C seals\n";
+    } catch (const rt::IntegrityError& e) {
+      std::cerr << "integrity failure: " << e.what() << "\n";
+      return kExitIntegrity;
+    }
   }
 
   const auto& st = solver.stats();

@@ -90,9 +90,22 @@ public:
   /// (DESIGN.md §10).  The checkpoint store is owned here and kept across
   /// factorizations — the per-rank entries are overwritten each run.
   void set_resilience(const rt::ResilienceOptions& opt) {
-    if (opt.enabled && !checkpoints_)
+    if (opt.enabled && !checkpoints_) {
       checkpoints_ = std::make_unique<rt::Checkpoint>();
+      checkpoints_->set_sdc_injection(sdc_);
+    }
     fanin_.set_resilience(opt, checkpoints_.get());
+  }
+
+  /// Arm seeded silent-data-corruption injection across the whole numeric
+  /// pipeline (DESIGN.md §15): in-flight message bit flips on the
+  /// communicator, checkpoint byte flips on the store, and factor-block
+  /// flips between checkpoints in the fan-in executor.  Chaos testing only.
+  void set_sdc(const rt::SdcInjection& s) {
+    sdc_ = s;
+    fanin_.set_sdc(s);
+    comm_->set_sdc_injection(s);
+    if (checkpoints_) checkpoints_->set_sdc_injection(s);
   }
 
   [[nodiscard]] const AnalysisPlan& plan() const { return *plan_; }
@@ -165,6 +178,7 @@ private:
   std::unique_ptr<rt::Comm> comm_;
   std::unique_ptr<rt::TraceRecorder> tracer_;  ///< lazily created
   std::unique_ptr<rt::Checkpoint> checkpoints_;  ///< lazily created
+  rt::SdcInjection sdc_;  ///< re-armed on a lazily created checkpoint store
 };
 
 } // namespace pastix

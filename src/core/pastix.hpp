@@ -60,6 +60,11 @@ struct SolverStats {
   big_t replayed_messages = 0;   ///< messages re-delivered from sender logs
   big_t checkpoint_bytes = 0;    ///< live checkpoint footprint at end of run
   std::vector<rt::RestartRecord> restart_events;  ///< per-restart detail
+  // Data-integrity layer of the last factorize() (DESIGN.md §15).
+  big_t integrity_detected = 0;     ///< message checksum mismatches caught
+  big_t integrity_redelivered = 0;  ///< messages repaired from sender logs
+  big_t checkpoint_fallbacks = 0;   ///< corrupt-checkpoint ladder descents
+  big_t scrubbed_bloks = 0;         ///< factor blocks verified by scrubs
 };
 
 /// Outcome of Solver::solve_adaptive — the solution plus how refinement
@@ -132,6 +137,30 @@ public:
   void set_resilience(const rt::ResilienceOptions& opt) {
     PASTIX_CHECK(analyzed_, "analyze() must run before set_resilience()");
     numeric_->set_resilience(opt);
+  }
+
+  /// Arm seeded silent-data-corruption injection (message / checkpoint /
+  /// factor-block bit flips — DESIGN.md §15).  Chaos testing only.
+  void set_sdc(const rt::SdcInjection& s) {
+    PASTIX_CHECK(analyzed_, "analyze() must run before set_sdc()");
+    numeric_->set_sdc(s);
+  }
+
+  /// Toggle the data-integrity layer (message checksums + factor scrubs)
+  /// independently of resilience — the overhead bench's baseline axis.
+  void set_integrity(bool on) {
+    PASTIX_CHECK(analyzed_, "analyze() must run before set_integrity()");
+    numeric_->fanin().set_integrity(on);
+    numeric_->comm().set_message_checksums(on);
+  }
+
+  /// On-demand factor scrub (`solve_file --scrub`): verify every committed
+  /// factor block against its commit-time CRC32C.  Returns the number of
+  /// blocks verified; throws rt::IntegrityError naming the first corrupt
+  /// block.
+  std::uint64_t scrub() {
+    PASTIX_CHECK(analyzed_, "analyze() must run before scrub()");
+    return numeric_->fanin().scrub();
   }
 
   /// Toggle runtime execution tracing (DESIGN.md §9).  While enabled, every
@@ -426,6 +455,13 @@ private:
     stats_.replayed_messages = static_cast<big_t>(rec.replayed_messages);
     stats_.checkpoint_bytes = static_cast<big_t>(rec.checkpoint_bytes);
     stats_.restart_events = rec.events;
+    stats_.integrity_detected = static_cast<big_t>(rec.integrity_detected);
+    stats_.integrity_redelivered =
+        static_cast<big_t>(rec.integrity_redelivered);
+    stats_.checkpoint_fallbacks =
+        static_cast<big_t>(rec.checkpoint_fallbacks);
+    stats_.scrubbed_bloks =
+        static_cast<big_t>(numeric_->fanin().scrubbed_bloks());
   }
 
   /// Refresh the predicted-vs-actual report after a factorize().  Runs only

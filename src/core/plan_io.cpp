@@ -6,9 +6,13 @@
 
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <limits>
+#include <sstream>
 #include <type_traits>
 
+#include "rt/comm.hpp"
+#include "support/checksum.hpp"
 #include "verify/verify.hpp"
 
 namespace pastix {
@@ -21,7 +25,42 @@ constexpr char kMagic[8] = {'P', 'S', 'T', 'X', 'P', 'L', 'A', 'N'};
 // v4: Schedule carries the hybrid static-prefix/dynamic-tail split points,
 //     and FaninOptions (inside the raw-serialized SolverOptions) grew the
 //     HybridOptions block.
-constexpr std::uint32_t kVersion = 4;
+// v5: the stream ends with a CRC32C integrity footer over everything before
+//     it, verified by load_plan *before* any field is parsed (DESIGN.md §15).
+constexpr std::uint32_t kVersion = 5;
+
+/// Footer encoding: the CRC and its complement packed into one u64, so a
+/// zeroed (or otherwise constant) footer can never verify.
+constexpr std::uint64_t footer_word(std::uint32_t crc) {
+  return (static_cast<std::uint64_t>(~crc) << 32) | crc;
+}
+
+/// Tees every byte to `sink` while accumulating the running CRC32C — the
+/// writer-side half of the v5 integrity footer.
+class CrcTeeBuf final : public std::streambuf {
+public:
+  explicit CrcTeeBuf(std::ostream& sink) : sink_(sink) {}
+  [[nodiscard]] std::uint32_t crc() const { return crc_.value(); }
+
+protected:
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof()))
+      return traits_type::not_eof(ch);
+    const char c = traits_type::to_char_type(ch);
+    crc_.update(&c, 1);
+    sink_.put(c);
+    return sink_.good() ? ch : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    crc_.update(s, static_cast<std::size_t>(n));
+    sink_.write(s, n);
+    return sink_.good() ? n : 0;
+  }
+
+private:
+  std::ostream& sink_;
+  Crc32c crc_;
+};
 
 // ---- primitive writers/readers --------------------------------------------
 
@@ -196,9 +235,9 @@ void get_pattern(Reader& in, SparsePattern& p) {
   get_vec(in, p.rowind);
 }
 
-} // namespace
-
-void save_plan(const AnalysisPlan& plan, std::ostream& out) {
+/// Everything between the magic and the v5 footer — written through the
+/// CRC-accumulating tee by save_plan.
+void save_payload(const AnalysisPlan& plan, std::ostream& out) {
   put_bytes(out, kMagic, sizeof kMagic);
   put_raw(out, LayoutHeader{});
 
@@ -289,6 +328,18 @@ void save_plan(const AnalysisPlan& plan, std::ostream& out) {
   put_raw(out, plan.solve.sim.aggregate_seconds);
 
   put_raw(out, plan.stats);
+}
+
+} // namespace
+
+void save_plan(const AnalysisPlan& plan, std::ostream& out) {
+  CrcTeeBuf tee(out);
+  std::ostream crc_out(&tee);
+  save_payload(plan, crc_out);
+  crc_out.flush();
+  // v5 integrity footer, written to the sink directly — the CRC covers
+  // everything before it.
+  put_raw(out, footer_word(tee.crc()));
   out.flush();
   PASTIX_CHECK(out.good(), "plan write failed");
 }
@@ -300,15 +351,41 @@ void save_plan(const AnalysisPlan& plan, const std::string& path) {
 }
 
 PlanPtr load_plan(std::istream& stream) {
-  Reader in(stream);
+  // Slurp the whole stream first: the v5 CRC32C footer is verified over the
+  // raw bytes before the parser — or the static verifier — trusts a single
+  // field of the payload (DESIGN.md §15).
+  std::string buf{std::istreambuf_iterator<char>(stream),
+                  std::istreambuf_iterator<char>()};
+  PASTIX_CHECK(!stream.bad(), "plan file unreadable");
+  PASTIX_CHECK(
+      buf.size() >= sizeof kMagic + sizeof(std::uint32_t) + sizeof(std::uint64_t),
+      "plan file truncated: shorter than its fixed header and footer");
+  PASTIX_CHECK(std::memcmp(buf.data(), kMagic, sizeof kMagic) == 0,
+               "not a pastix plan file (bad magic)");
+  // The version is the first header field after the magic; check it before
+  // the CRC so a pre-v5 (footer-less) file reports a version mismatch, not
+  // a corruption.
+  std::uint32_t version = 0;
+  std::memcpy(&version, buf.data() + sizeof kMagic, sizeof version);
+  PASTIX_CHECK(version == kVersion, "plan file format version mismatch");
+  const std::size_t body = buf.size() - sizeof(std::uint64_t);
+  std::uint64_t footer = 0;
+  std::memcpy(&footer, buf.data() + body, sizeof footer);
+  const std::uint32_t crc = crc32c(buf.data(), body);
+  if (footer != footer_word(crc))
+    throw rt::IntegrityError(
+        "plan file corruption: CRC32C footer mismatch over " +
+        std::to_string(body) + " bytes (recomputed " + std::to_string(crc) +
+        ")");
+  buf.resize(body);
+  std::istringstream verified(std::move(buf),
+                              std::ios::binary | std::ios::in);
+
+  Reader in(verified);
   char magic[sizeof kMagic];
   in.bytes(magic, sizeof magic);
-  PASTIX_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
-               "not a pastix plan file (bad magic)");
   LayoutHeader header;
   get_raw(in, header);
-  PASTIX_CHECK(header.version == kVersion,
-               "plan file format version mismatch");
   PASTIX_CHECK(header == LayoutHeader{},
                "plan file was written by an incompatible build "
                "(struct layout mismatch)");

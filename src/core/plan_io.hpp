@@ -12,9 +12,13 @@
 // options, fingerprint, ordering, symbol structure, candidate mapping, task
 // graph, schedule, simulation numbers and the communication plan — so a
 // loaded plan is bit-identical to the analyze() product, including task
-// numbering.  load_plan() re-validates the structural invariants
-// (symbol.validate(), Schedule::validate()) so a corrupted file fails with
-// a diagnostic instead of corrupting a factorization.
+// numbering.  Since v5 the stream ends with a CRC32C integrity footer over
+// everything before it; load_plan() verifies it before parsing a single
+// payload field (throwing rt::IntegrityError on mismatch), then re-validates
+// the structural invariants (symbol.validate(), Schedule::validate()) so a
+// corrupted file fails with a diagnostic instead of corrupting a
+// factorization.  Defense ordering: magic -> version -> checksum -> parse ->
+// static verifier (DESIGN.md §15).
 //
 #include <iosfwd>
 #include <string>

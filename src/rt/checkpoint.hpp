@@ -1,6 +1,6 @@
 #pragma once
 //
-// Checkpoint store for rank-failure recovery (DESIGN.md §10).
+// Checkpoint store for rank-failure recovery (DESIGN.md §10, §15).
 //
 // A checkpoint is everything a restarted rank needs to resume its fully
 // static schedule K_p mid-stream and still produce a factor bitwise
@@ -16,9 +16,20 @@
 //     sends reuse their original sequence numbers and replayed deliveries
 //     are duplicate-suppressed (rt/comm.hpp).
 //
+// Integrity: every slot stores a CRC32C over (position, payload, comm),
+// computed at save time and verified on load()/load_previous()/read_file()
+// — a corrupted checkpoint is an IntegrityError, never a garbage restore.
+// Each rank keeps *two* generations (current + previous), so the resilient
+// supervisor's recovery ladder is: current slot → previous slot → clean
+// restart from position 0 (the pristine marker is re-synthesizable: empty
+// payload, empty comm state).
+//
 // The store is in-memory by default; set_directory() additionally mirrors
 // every save to one binary file per rank, surviving the Checkpoint object
-// itself (a process-level restart could reload from disk).  Each rank gets
+// itself (a process-level restart could reload from disk).  The mirror
+// write is atomic — serialize to `<path>.tmp`, fsync, rename — so a crash
+// mid-write leaves the previous complete file, never a torn one; the file
+// carries a checksum footer verified by read_file().  Each rank gets
 // its own slot with its own mutex: saves happen concurrently from rank
 // threads (and a global lock would serialize full-state serialization,
 // stalling healthy ranks); loads happen from the recovery supervisor while
@@ -31,8 +42,12 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>  // fsync
+
 #include "rt/comm.hpp"
 #include "support/check.hpp"
+#include "support/checksum.hpp"
+#include "support/rng.hpp"
 
 namespace pastix::rt {
 
@@ -41,6 +56,7 @@ public:
   struct Entry {
     bool valid = false;
     std::uint64_t position = 0;       ///< next K_p index to execute
+    std::uint32_t checksum = 0;       ///< CRC32C over (position, payload, comm)
     std::vector<std::byte> payload;   ///< opaque solver state
     CommSeqState comm;                ///< message-sequencing state
 
@@ -48,6 +64,21 @@ public:
       return payload.size() + comm.bytes() + sizeof(position);
     }
   };
+
+  /// CRC32C binding a slot's position, payload and comm state together —
+  /// a flip in any of the three fails verification.
+  [[nodiscard]] static std::uint32_t entry_checksum(const Entry& e) {
+    std::uint32_t c = crc32c(&e.position, sizeof(e.position));
+    c = crc32c(e.payload.data(), e.payload.size(), c);
+    c = crc32c(e.comm.next_seq.data(),
+               e.comm.next_seq.size() * sizeof(std::uint64_t), c);
+    for (const auto& v : e.comm.consumed) {
+      const std::uint64_t n = v.size();
+      c = crc32c(&n, sizeof(n), c);
+      c = crc32c(v.data(), v.size() * sizeof(std::uint64_t), c);
+    }
+    return c;
+  }
 
   /// Mirror every save to `<dir>/rank<r>.ckpt` (empty string disables).
   /// The directory must already exist; file errors surface as pastix::Error
@@ -58,27 +89,67 @@ public:
     dir_ = std::move(dir);
   }
 
-  /// Store `rank`'s checkpoint, replacing any previous one.  `fill(payload)`
-  /// serializes the opaque solver state directly into the slot's buffer,
-  /// whose capacity is reused across saves — periodic checkpoints sit on the
-  /// rank's critical path, so neither an extra payload copy nor a fresh
-  /// allocation per save is affordable.
+  /// Arm seeded checkpoint-byte-flip injection (the SDC chaos mode): after
+  /// each save, with probability checkpoint_flip_prob, one byte of the
+  /// just-saved slot payload is flipped — *after* the checksum was
+  /// computed, so a later load must detect it.
+  void set_sdc_injection(const SdcInjection& s) {
+    const std::lock_guard lock(mutex_);
+    sdc_ = s;
+  }
+
+  /// Test/chaos hook: flip one seeded byte of `rank`'s *current* slot
+  /// payload, leaving the previous generation clean — drives the
+  /// "fall back to an older slot" rung of the recovery ladder.
+  void corrupt_latest(int rank, std::uint64_t seed = 1) {
+    Slot& s = slot(rank);
+    const std::lock_guard lock(s.m);
+    PASTIX_CHECK(s.entry.valid && !s.entry.payload.empty(),
+                 "no checkpoint payload to corrupt for rank " +
+                     std::to_string(rank));
+    std::uint64_t x = seed;
+    const std::uint64_t i = splitmix64(x) % s.entry.payload.size();
+    s.entry.payload[i] ^= std::byte{0x40};
+  }
+
+  /// Store `rank`'s checkpoint.  The slot's former current entry becomes
+  /// the *previous* generation (the fallback for corrupt-checkpoint
+  /// recovery); the generation it displaces donates its buffer to
+  /// `fill(payload)`, which serializes the opaque solver state directly
+  /// into it — periodic checkpoints sit on the rank's critical path, so
+  /// neither an extra payload copy nor a fresh allocation per save is
+  /// affordable.
   template <class Fn>
   void save_with(int rank, std::uint64_t position, CommSeqState comm,
                  Fn&& fill) {
     Slot& s = slot(rank);
     std::string dir;
+    SdcInjection sdc;
     {
       const std::lock_guard lock(mutex_);
       dir = dir_;
+      sdc = sdc_;
       saves_++;
     }
     const std::lock_guard lock(s.m);
+    std::swap(s.entry, s.prev);  // current → fallback; reuse the older buffer
     fill(s.entry.payload);
     s.entry.position = position;
     s.entry.comm = std::move(comm);
+    s.entry.checksum = entry_checksum(s.entry);
     s.entry.valid = true;
     if (!dir.empty()) write_file(rank, s.entry, dir);
+    if (sdc.checkpoint_flip_prob > 0 && !s.entry.payload.empty()) {
+      if (s.rng == 0)
+        s.rng = splitmix64(sdc.seed) +
+                0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(rank) + 1);
+      const double u =
+          static_cast<double>(splitmix64(s.rng) >> 11) * 0x1.0p-53;
+      if (u < sdc.checkpoint_flip_prob) {
+        const std::uint64_t i = splitmix64(s.rng) % s.entry.payload.size();
+        s.entry.payload[i] ^= std::byte{0x01};
+      }
+    }
   }
 
   /// Copy-in convenience over save_with (tests, callers with a ready buffer).
@@ -95,14 +166,43 @@ public:
     return s->entry.valid;
   }
 
-  /// Copy out `rank`'s checkpoint (throws if none was saved).
+  /// Copy out `rank`'s checkpoint (throws Error if none was saved,
+  /// IntegrityError if the slot fails checksum verification).
   [[nodiscard]] Entry load(int rank) const {
     const Slot* s = find(rank);
     if (s != nullptr) {
       const std::lock_guard lock(s->m);
-      if (s->entry.valid) return s->entry;
+      if (s->entry.valid) return verified(s->entry, rank, "slot");
     }
     throw Error("no checkpoint saved for rank " + std::to_string(rank));
+  }
+
+  /// Copy out `rank`'s *previous*-generation checkpoint — the fallback the
+  /// supervisor tries when the current slot is corrupt.  Same error
+  /// contract as load().
+  [[nodiscard]] Entry load_previous(int rank) const {
+    const Slot* s = find(rank);
+    if (s != nullptr) {
+      const std::lock_guard lock(s->m);
+      if (s->prev.valid) return verified(s->prev, rank, "previous slot");
+    }
+    throw Error("no previous-generation checkpoint for rank " +
+                std::to_string(rank));
+  }
+
+  /// Install `e` as `rank`'s *current* generation with a freshly computed
+  /// checksum — the supervisor's write-back after walking the recovery
+  /// ladder.  The relaunched rank re-loads its own checkpoint to restore
+  /// numeric state; repairing the slot with the ladder's verified choice
+  /// keeps that load coherent with the comm rollback the supervisor already
+  /// performed (and stops a corrupt current slot from killing every
+  /// relaunch until the restart budget runs out).
+  void repair(int rank, Entry e) {
+    Slot& s = slot(rank);
+    const std::lock_guard lock(s.m);
+    e.checksum = entry_checksum(e);
+    e.valid = true;
+    s.entry = std::move(e);
   }
 
   /// Drop every checkpoint (call at the start of a factorization so a stale
@@ -116,14 +216,18 @@ public:
     for (auto& p : slots_) {
       if (!p) continue;
       const std::lock_guard slot_lock(p->m);
-      p->entry.valid = false;
-      p->entry.payload.clear();
-      p->entry.comm = CommSeqState{};
+      for (Entry* e : {&p->entry, &p->prev}) {
+        e->valid = false;
+        e->payload.clear();
+        e->comm = CommSeqState{};
+        e->checksum = 0;
+      }
     }
     saves_ = 0;
   }
 
-  /// Total bytes currently held across all ranks' checkpoints.
+  /// Total bytes currently held across all ranks' checkpoints (both
+  /// generations).
   [[nodiscard]] std::uint64_t total_bytes() const {
     std::vector<const Slot*> all;
     {
@@ -135,6 +239,7 @@ public:
     for (const Slot* s : all) {
       const std::lock_guard lock(s->m);
       if (s->entry.valid) b += s->entry.bytes();
+      if (s->prev.valid) b += s->prev.bytes();
     }
     return b;
   }
@@ -146,14 +251,35 @@ public:
   }
 
   /// Read one rank's file-backed checkpoint back in (process-restart path;
-  /// also the round-trip check used by tests).
+  /// also the round-trip check used by tests).  The file's checksum footer
+  /// is verified — a flipped or torn file is an IntegrityError, not a
+  /// garbage Entry.
   [[nodiscard]] static Entry read_file(const std::string& path) {
     std::FILE* f = std::fopen(path.c_str(), "rb");
     PASTIX_CHECK(f != nullptr, "cannot open checkpoint file " + path);
-    bool ok = true;
+    // Byte budget: every length field is checked against the bytes actually
+    // left in the file *before* any allocation, so a flipped length can
+    // never turn into a multi-gigabyte resize (or a std::length_error that
+    // bypasses the structured-error contract) — it reads as truncation.
+    std::uint64_t remaining = 0;
+    if (std::fseek(f, 0, SEEK_END) == 0) {
+      const long sz = std::ftell(f);
+      if (sz > 0) remaining = static_cast<std::uint64_t>(sz);
+    }
+    bool ok = std::fseek(f, 0, SEEK_SET) == 0 && remaining > 0;
+    Crc32c crc;
+    const auto take = [&](std::uint64_t n) {
+      if (n > remaining) {
+        ok = false;
+        return false;
+      }
+      remaining -= n;
+      return ok;
+    };
     const auto get_u64 = [&]() -> std::uint64_t {
       std::uint64_t v = 0;
-      ok = ok && std::fread(&v, sizeof(v), 1, f) == 1;
+      ok = take(sizeof v) && std::fread(&v, sizeof(v), 1, f) == 1;
+      if (ok) crc.update(&v, sizeof(v));
       return v;
     };
     Entry e;
@@ -161,30 +287,84 @@ public:
     PASTIX_CHECK(!ok || magic == 0x70617374636b7031ULL,
                  "not a checkpoint file: " + path);
     e.position = get_u64();
-    e.payload.resize(get_u64());
-    if (!e.payload.empty())
-      ok = ok && std::fread(e.payload.data(), 1, e.payload.size(), f) ==
-                     e.payload.size();
-    e.comm.next_seq.resize(get_u64());
-    for (auto& v : e.comm.next_seq) v = get_u64();
-    e.comm.consumed.resize(get_u64());
-    for (auto& c : e.comm.consumed) {
-      c.resize(get_u64());
-      for (auto& v : c) v = get_u64();
+    const std::uint64_t payload_bytes = get_u64();
+    if (take(payload_bytes) && payload_bytes > 0) {
+      e.payload.resize(payload_bytes);
+      ok = std::fread(e.payload.data(), 1, e.payload.size(), f) ==
+           e.payload.size();
+      if (ok) crc.update(e.payload.data(), e.payload.size());
     }
+    // Element counts: overflow-safe pre-check only — get_u64 itself draws
+    // each element from the budget.
+    const auto fits = [&](std::uint64_t count) {
+      if (count > remaining / sizeof(std::uint64_t)) ok = false;
+      return ok;
+    };
+    const std::uint64_t nseq = get_u64();
+    if (fits(nseq)) {
+      e.comm.next_seq.resize(nseq);
+      for (auto& v : e.comm.next_seq) v = get_u64();
+    }
+    const std::uint64_t nsrc = get_u64();
+    if (fits(nsrc)) {
+      e.comm.consumed.resize(nsrc);
+      for (auto& c : e.comm.consumed) {
+        const std::uint64_t n = get_u64();
+        if (!fits(n)) break;
+        c.resize(n);
+        for (auto& v : c) v = get_u64();
+      }
+    }
+    const std::uint32_t expect = crc.value();
+    std::uint64_t footer = 0;
+    ok = ok && std::fread(&footer, sizeof(footer), 1, f) == 1;
     std::fclose(f);
     PASTIX_CHECK(ok, "truncated checkpoint file " + path);
+    if (footer != footer_word(expect))
+      throw IntegrityError("checkpoint file corruption: " + path +
+                           " failed CRC32C footer verification (stored 0x" +
+                           hex64(footer) + ", recomputed 0x" +
+                           hex64(footer_word(expect)) + ")");
+    e.checksum = entry_checksum(e);
     e.valid = true;
     return e;
   }
 
 private:
-  // One rank's checkpoint plus the mutex that covers it.  Held by pointer so
-  // growing slots_ never moves (or re-creates) a mutex another thread holds.
+  // One rank's checkpoint generations plus the mutex that covers them.
+  // Held by pointer so growing slots_ never moves (or re-creates) a mutex
+  // another thread holds.
   struct Slot {
     mutable std::mutex m;
-    Entry entry;
+    Entry entry;            ///< current generation
+    Entry prev;             ///< previous generation (corruption fallback)
+    std::uint64_t rng = 0;  ///< SDC flip stream (lazily seeded)
   };
+
+  /// The file footer stores the CRC and its complement in one u64 so a
+  /// zeroed footer (a common torn-write artifact) can never verify.
+  [[nodiscard]] static std::uint64_t footer_word(std::uint32_t crc) {
+    return (static_cast<std::uint64_t>(~crc) << 32) | crc;
+  }
+
+  [[nodiscard]] static std::string hex64(std::uint64_t v) {
+    static const char* d = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i, v >>= 4) s[static_cast<std::size_t>(i)] = d[v & 0xF];
+    return s;
+  }
+
+  [[nodiscard]] static Entry verified(const Entry& e, int rank,
+                                      const char* which) {
+    const std::uint32_t expect = entry_checksum(e);
+    if (expect != e.checksum)
+      throw IntegrityError(
+          "checkpoint corruption: rank " + std::to_string(rank) + " " +
+          which + " at position " + std::to_string(e.position) + " (" +
+          std::to_string(e.payload.size()) +
+          " payload bytes) failed CRC32C verification");
+    return e;
+  }
 
   Slot& slot(int rank) {
     const std::lock_guard lock(mutex_);
@@ -204,18 +384,26 @@ private:
 
   static void write_file(int rank, const Entry& e, const std::string& dir) {
     const std::string path = dir + "/rank" + std::to_string(rank) + ".ckpt";
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    PASTIX_CHECK(f != nullptr, "cannot open checkpoint file " + path);
+    // Atomic mirror: serialize to a sibling temp file, fsync, rename.  A
+    // crash at any point leaves either the previous complete file or a
+    // stray .tmp — never a torn .ckpt that later restores garbage.
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    PASTIX_CHECK(f != nullptr, "cannot open checkpoint file " + tmp);
     bool ok = true;
+    Crc32c crc;
     const auto put_u64 = [&](std::uint64_t v) {
       ok = ok && std::fwrite(&v, sizeof(v), 1, f) == 1;
+      crc.update(&v, sizeof(v));
     };
     put_u64(0x70617374636b7031ULL);  // "pastckp1"
     put_u64(e.position);
     put_u64(e.payload.size());
-    if (!e.payload.empty())
+    if (!e.payload.empty()) {
       ok = ok && std::fwrite(e.payload.data(), 1, e.payload.size(), f) ==
                      e.payload.size();
+      crc.update(e.payload.data(), e.payload.size());
+    }
     put_u64(e.comm.next_seq.size());
     for (const std::uint64_t v : e.comm.next_seq) put_u64(v);
     put_u64(e.comm.consumed.size());
@@ -223,13 +411,19 @@ private:
       put_u64(c.size());
       for (const std::uint64_t v : c) put_u64(v);
     }
+    const std::uint64_t footer = footer_word(crc.value());
+    ok = ok && std::fwrite(&footer, sizeof(footer), 1, f) == 1;
+    ok = ok && std::fflush(f) == 0 && fsync(fileno(f)) == 0;
     ok = std::fclose(f) == 0 && ok;
-    PASTIX_CHECK(ok, "short write to checkpoint file " + path);
+    PASTIX_CHECK(ok, "short write to checkpoint file " + tmp);
+    PASTIX_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot rename checkpoint file " + tmp + " into place");
   }
 
-  mutable std::mutex mutex_;  ///< guards slots_'s shape, dir_, saves_
+  mutable std::mutex mutex_;  ///< guards slots_'s shape, dir_, sdc_, saves_
   std::vector<std::unique_ptr<Slot>> slots_;
   std::string dir_;
+  SdcInjection sdc_;
   std::uint64_t saves_ = 0;
 };
 

@@ -8,8 +8,10 @@
 //
 //   transient — the *environment* failed, not the computation: a rank was
 //     killed (RankKilledError), a sibling's failure aborted the world
-//     (AbortError), or a message did not arrive within the receive deadline
-//     (TimeoutError, e.g. overload or injected delay).  The identical
+//     (AbortError), a message did not arrive within the receive deadline
+//     (TimeoutError, e.g. overload or injected delay), or a checksum caught
+//     silent data corruption (IntegrityError — the bits went bad, not the
+//     algorithm; a clean retry recomputes them correctly).  The identical
 //     attempt can succeed when retried; a driver should back off and try
 //     again within a bounded attempt budget.
 //
@@ -49,9 +51,17 @@ enum class FailureClass : unsigned char {
 [[nodiscard]] inline FailureClass classify_failure(const std::exception& e) {
   if (dynamic_cast<const RankKilledError*>(&e) != nullptr ||
       dynamic_cast<const AbortError*>(&e) != nullptr ||
-      dynamic_cast<const TimeoutError*>(&e) != nullptr)
+      dynamic_cast<const TimeoutError*>(&e) != nullptr ||
+      dynamic_cast<const IntegrityError*>(&e) != nullptr)
     return FailureClass::kTransient;
   return FailureClass::kFatal;
+}
+
+/// True when the failure was detected data corruption — drivers keep a
+/// distinct counter (and quarantine reason) for these so a flaky host is
+/// distinguishable from a poison input in the stats.
+[[nodiscard]] inline bool is_integrity(const std::exception& e) {
+  return dynamic_cast<const IntegrityError*>(&e) != nullptr;
 }
 
 /// True when the failure was a (simulated) rank crash — the signal the

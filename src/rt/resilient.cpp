@@ -44,6 +44,7 @@ RecoveryReport run_ranks_resilient(
   comm.clear_resilience();
   comm.set_resilient_mode(true);
   comm.set_message_log_limit(opt.message_log_bytes);
+  comm.set_message_checksums(opt.integrity);
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -64,6 +65,13 @@ RecoveryReport run_ranks_resilient(
       try {
         body(r, restarted);
       } catch (const RankKilledError& e) {
+        next = SlotState::kDead;
+        err = std::current_exception();
+        cause = e.what();
+      } catch (const IntegrityError& e) {
+        // Detected corruption: the rank's state is untrustworthy but the
+        // pristine data is recoverable — quarantine and restart it from
+        // its last verified checkpoint, exactly like a crash.
         next = SlotState::kDead;
         err = std::current_exception();
         cause = e.what();
@@ -132,8 +140,32 @@ RecoveryReport run_ranks_resilient(
                                   : cause;
           }
         } else {
+          // Recovery ladder for the restore source: the current slot, then
+          // the previous generation, then a clean restart from position 0 —
+          // an empty payload with fresh comm state is exactly the pristine
+          // marker every body saves before its first task, so the ladder
+          // always bottoms out in a valid restore, never in garbage.
+          const auto load_with_fallback = [&](int rank) -> Checkpoint::Entry {
+            try {
+              return store.load(rank);
+            } catch (const IntegrityError&) {
+              report.checkpoint_fallbacks++;
+            }
+            try {
+              return store.load_previous(rank);
+            } catch (...) {
+              report.checkpoint_fallbacks++;
+            }
+            Checkpoint::Entry clean;
+            clean.valid = true;
+            return clean;
+          };
           try {
-            const Checkpoint::Entry entry = store.load(dead);
+            const Checkpoint::Entry entry = load_with_fallback(dead);
+            // Write the ladder's verified choice back into the current slot:
+            // the relaunched body restores from store.load(rank), which must
+            // agree with the comm rollback below.
+            store.repair(dead, entry);
             const std::uint64_t at_death = comm.progress(dead);
             comm.rollback_rank(dead, entry.comm);
             const std::size_t redelivered = comm.replay_log_to(dead);
@@ -184,6 +216,8 @@ RecoveryReport run_ranks_resilient(
   report.duplicates_suppressed = comm.duplicates_suppressed();
   report.checkpoints_saved = store.saves();
   report.checkpoint_bytes = store.total_bytes();
+  report.integrity_detected = comm.integrity_detected();
+  report.integrity_redelivered = comm.integrity_redelivered();
   comm.set_resilient_mode(false);
 
   if (recovery_error) std::rethrow_exception(recovery_error);

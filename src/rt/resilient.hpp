@@ -15,9 +15,17 @@
 // consumed), and re-receives the same messages in a canonical order, so
 // the recovered factor is bitwise identical to a fault-free run.
 //
-// Non-recoverable failures (any exception other than RankKilledError)
-// abort exactly like run_ranks — resilience narrows the blast radius of
-// crashes, it does not mask genuine numerical or logic errors.
+// Detected silent corruption (IntegrityError, DESIGN.md §15) is treated
+// exactly like a crash: the corrupted rank's state cannot be trusted, so
+// it is rolled back to its last *verified* checkpoint and replayed.  When
+// the checkpoint itself fails verification, the supervisor walks the
+// recovery ladder — current slot → previous-generation slot → clean
+// restart from position 0 — instead of restoring garbage.
+//
+// Non-recoverable failures (any exception other than RankKilledError /
+// IntegrityError) abort exactly like run_ranks — resilience narrows the
+// blast radius of crashes and corruption, it does not mask genuine
+// numerical or logic errors.
 //
 #include <chrono>
 #include <functional>
@@ -38,6 +46,8 @@ struct ResilienceOptions {
   std::chrono::milliseconds restart_backoff{0};  ///< pause before relaunch
   std::string checkpoint_dir;   ///< non-empty: mirror checkpoints to files
   std::size_t message_log_bytes = 0;  ///< sender-log soft cap (0 = unbounded)
+  bool integrity = true;  ///< checksum resilient messages + scrub committed
+                          ///< factor panels (off = overhead baseline only)
 };
 
 /// One restart, as it happened.
@@ -57,6 +67,9 @@ struct RecoveryReport {
   std::uint64_t duplicates_suppressed = 0;  ///< dropped by sequence dedup
   std::uint64_t checkpoints_saved = 0;
   std::uint64_t checkpoint_bytes = 0;   ///< live bytes at end of run
+  std::uint64_t integrity_detected = 0;     ///< message checksum mismatches
+  std::uint64_t integrity_redelivered = 0;  ///< repaired from sender logs
+  std::uint64_t checkpoint_fallbacks = 0;   ///< corrupt-slot ladder descents
   std::vector<RestartRecord> events;
 };
 

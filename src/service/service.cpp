@@ -395,6 +395,11 @@ void SolverService::execute(const std::shared_ptr<Job>& job,
   // job opens the breaker.  (Deterministic fatal failures still accumulate
   // across jobs through strike() — they never race with a success.)
   int crash_streak = 0;
+  // Detected data corruption gets its own streak: a host flipping bits on
+  // every attempt is as poisonous as one that crashes on every attempt, but
+  // the operator needs to see "corruption" in the breaker reason — the
+  // remediation (pull the host / check ECC) differs from a crash loop.
+  int integrity_streak = 0;
   for (int attempt = 1;; ++attempt) {
     if (job->req.deadline <= Clock::now()) {
       finish(job, JobOutcome::kShed, JobError::kDeadlineExpired,
@@ -443,17 +448,37 @@ void SolverService::execute(const std::shared_ptr<Job>& job,
     } catch (const std::exception& e) {
       const rt::FailureClass cls = rt::classify_failure(e);
       if (cls == rt::FailureClass::kTransient) {
-        if (!rt::is_crash(e)) {
+        if (rt::is_integrity(e)) {
           crash_streak = 0;
-        } else if (++crash_streak >= opt_.poison_strike_limit) {
-          cache_.quarantine(job->fp,
-                            "circuit breaker open after " +
-                                std::to_string(crash_streak) +
-                                " consecutive crashes; last cause: " +
-                                e.what());
-          const std::lock_guard lock(mu_);
-          tenants_[job->req.tenant].quarantine_hits++;
-          // finish() below re-locks; drop the guard first.
+          {
+            const std::lock_guard lock(mu_);
+            tenants_[job->req.tenant].integrity_faults++;
+          }
+          if (++integrity_streak >= opt_.poison_strike_limit) {
+            cache_.quarantine(job->fp,
+                              "circuit breaker open after " +
+                                  std::to_string(integrity_streak) +
+                                  " consecutive data-corruption detections; "
+                                  "last cause: " +
+                                  e.what());
+            const std::lock_guard lock(mu_);
+            tenants_[job->req.tenant].quarantine_hits++;
+          }
+        } else if (!rt::is_crash(e)) {
+          crash_streak = 0;
+          integrity_streak = 0;
+        } else {
+          integrity_streak = 0;
+          if (++crash_streak >= opt_.poison_strike_limit) {
+            cache_.quarantine(job->fp,
+                              "circuit breaker open after " +
+                                  std::to_string(crash_streak) +
+                                  " consecutive crashes; last cause: " +
+                                  e.what());
+            const std::lock_guard lock(mu_);
+            tenants_[job->req.tenant].quarantine_hits++;
+            // finish() below re-locks; drop the guard first.
+          }
         }
         if (cache_.quarantine_reason(job->fp)) {
           finish(job, JobOutcome::kFailed, JobError::kQuarantined,
@@ -562,6 +587,7 @@ ServiceStats SolverService::stats() const {
       out.total.failed += tc.failed;
       out.total.shed += tc.shed;
       out.total.retried += tc.retried;
+      out.total.integrity_faults += tc.integrity_faults;
       out.total.quarantine_hits += tc.quarantine_hits;
       out.total.cache_hits += tc.cache_hits;
       out.total.cache_misses += tc.cache_misses;
@@ -620,7 +646,8 @@ std::string ServiceStats::to_string() const {
        << " bytes peak reserved\n";
   os << "\n";
   TextTable table({"tenant", "submitted", "done", "failed", "shed",
-                   "rejected", "retried", "hit%", "p50 ms", "p99 ms"});
+                   "rejected", "retried", "integ", "hit%", "p50 ms",
+                   "p99 ms"});
   for (const auto& [tenant, tc] : tenants) {
     const auto lat = latency.find(tenant);
     const std::uint64_t reached = tc.cache_hits + tc.cache_misses;
@@ -628,6 +655,7 @@ std::string ServiceStats::to_string() const {
         {tenant, std::to_string(tc.submitted), std::to_string(tc.done),
          std::to_string(tc.failed), std::to_string(tc.shed),
          std::to_string(tc.rejected), std::to_string(tc.retried),
+         std::to_string(tc.integrity_faults),
          reached == 0 ? "-"
                       : fmt_fixed(100.0 * static_cast<double>(tc.cache_hits) /
                                       static_cast<double>(reached),

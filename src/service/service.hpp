@@ -15,8 +15,11 @@
 //   budget) → execute (factorize + solve) → retry state machine.
 //
 // Failure taxonomy (rt/failure.hpp) drives the retry machine:
-//   transient (rank kill, abort wakeup, receive timeout) — seeded
-//     exponential backoff with jitter, bounded attempts;
+//   transient (rank kill, abort wakeup, receive timeout, detected data
+//     corruption) — seeded exponential backoff with jitter, bounded
+//     attempts; IntegrityError keeps a distinct counter (integrity_faults)
+//     and its own quarantine reason, so a corrupting host is
+//     distinguishable from a crashing one in the stats;
 //   numeric (pivot perturbation / non-finite values) — escalate through
 //     solve_adaptive; if refinement cannot recover, the *job* fails with a
 //     structured reason, never the service;
@@ -183,6 +186,7 @@ struct TenantCounters {
   std::uint64_t failed = 0;
   std::uint64_t shed = 0;
   std::uint64_t retried = 0;         ///< transient retry transitions
+  std::uint64_t integrity_faults = 0; ///< attempts lost to detected corruption
   std::uint64_t quarantine_hits = 0; ///< jobs failed by an open breaker
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;

@@ -31,6 +31,8 @@
 #include "solver/hybrid_pool.hpp"
 #include "solver/solve_model.hpp"
 #include "sparse/sym_sparse.hpp"
+#include "support/checksum.hpp"
+#include "support/rng.hpp"
 #include "support/timer.hpp"
 
 namespace pastix {
@@ -180,9 +182,21 @@ public:
     init_countdowns();
     status_ = FactorStatus{};
     recovery_ = rt::RecoveryReport{};
+    // Fresh seal state (DESIGN.md §15): every blok starts unsealed, its
+    // commit-time CRC32C is recorded when its finalizing task commits.
+    blok_sealed_.assign(static_cast<std::size_t>(s_.nblok()), 0);
+    blok_crc_.assign(static_cast<std::size_t>(s_.nblok()), 0);
+    scrubbed_ = false;
+    sdc_rng_.assign(ranks_.size(), 0);
+    std::uint64_t seed_state = sdc_.seed ^ 0xfac70fULL;
+    const std::uint64_t base = splitmix64(seed_state);
+    for (std::size_t r = 0; r < sdc_rng_.size(); ++r)
+      sdc_rng_[r] = base + 0x9e3779b97f4a7c15ULL * (r + 1);
     for (auto& r : ranks_) {
       r.status = FactorStatus{};
       r.status.max_recorded = popt_.max_recorded;
+      r.scrubbed_bloks = 0;
+      r.sdc_flips = 0;
     }
     Timer timer;
     try {
@@ -215,12 +229,55 @@ public:
                       rt::Checkpoint* store) {
     ropt_ = opt;
     checkpoints_ = store;
+    integrity_ = opt.integrity;
   }
 
   /// What the last factorize() spent on crash recovery (zeroed when no
   /// restart happened or resilience was off).
   [[nodiscard]] const rt::RecoveryReport& recovery() const {
     return recovery_;
+  }
+
+  /// Standalone toggle for the factor-integrity layer (DESIGN.md §15):
+  /// per-blok commit CRCs plus the checkpoint-boundary / pre-solve scrubs.
+  /// set_resilience() also sets this from ResilienceOptions::integrity;
+  /// call afterwards to override (the overhead bench's baseline axis).
+  void set_integrity(bool on) { integrity_ = on; }
+
+  /// Arm seeded silent-data-corruption injection (factor-block bit flips
+  /// between checkpoints; message/checkpoint flips are armed on the Comm
+  /// and Checkpoint directly).  Chaos testing only.
+  void set_sdc(const rt::SdcInjection& s) { sdc_ = s; }
+
+  /// Verify every committed (sealed) factor block against the CRC32C
+  /// recorded at its commit; throws rt::IntegrityError naming the first
+  /// corrupt block.  Returns the number of blocks verified.  solve_panel()
+  /// runs this automatically once per factorization; call it directly for
+  /// an on-demand sweep (`solve_file --scrub`).
+  std::uint64_t scrub() {
+    PASTIX_CHECK(factored_, "no factor yet");
+    std::uint64_t n = 0;
+    for (idx_t b = 0; b < s_.nblok(); ++b) {
+      if (blok_sealed_[static_cast<std::size_t>(b)] == 0) continue;
+      verify_blok(b, entry_owner(cblk_of_blok(b), b));
+      ++n;
+    }
+    if (!ranks_.empty()) ranks_[0].scrubbed_bloks += n;
+    return n;
+  }
+
+  /// Factor blocks verified by all scrubs of the last factorize()/solve().
+  [[nodiscard]] std::uint64_t scrubbed_bloks() const {
+    std::uint64_t n = 0;
+    for (const auto& r : ranks_) n += r.scrubbed_bloks;
+    return n;
+  }
+
+  /// Factor-block bit flips injected by the armed SdcInjection so far.
+  [[nodiscard]] std::uint64_t sdc_factor_flips() const {
+    std::uint64_t n = 0;
+    for (const auto& r : ranks_) n += r.sdc_flips;
+    return n;
   }
 
   /// Order-independent FNV-1a digest of the full factor (every blok's
@@ -273,6 +330,13 @@ public:
   void solve_panel(rt::Comm& comm, const T* b, T* x, idx_t nrhs) {
     PASTIX_CHECK(factored_, "factorize() must run before solve()");
     PASTIX_CHECK(nrhs >= 1, "need at least one right-hand side");
+    // One scrub per factorization before the factor is first *used*: the
+    // time between the terminal factorization scrub and the solve is the
+    // last window silent corruption could slip through (DESIGN.md §15).
+    if (integrity_ && !scrubbed_) {
+      scrub();
+      scrubbed_ = true;
+    }
     ensure_solve_plan();
     rt::run_ranks(comm, sched_.nprocs, [&](int rank) {
       run_solve(comm, static_cast<idx_t>(rank), b, x, nrhs);
@@ -410,6 +474,8 @@ private:
     big_t aub_peak_bytes = 0;
     RankTaskTimes task_times;  ///< measured per-task-type wall times
     FactorStatus status;       ///< this rank's pivot/breakdown record
+    std::uint64_t scrubbed_bloks = 0;  ///< factor blocks this rank verified
+    std::uint64_t sdc_flips = 0;       ///< injected factor bit flips
   };
 
   /// Pointer to the top-left of blok b inside its owner's storage.
@@ -697,6 +763,113 @@ private:
       me.aub_bytes_now -= held;
   }
 
+  // ---------------------------------------- factor integrity (DESIGN.md §15) --
+  // A blok's bytes only change before its finalizing task commits (COMP1D
+  // for a 1D cblk, FACTOR/BDIV for 2D bloks; BMOD only touches *later*,
+  // still-unsealed cblks).  That commit "seals" the blok: its CRC32C is
+  // recorded, and scrubs — at every checkpoint boundary, at the end of the
+  // factorization, and once before the first solve — recompute and compare
+  // it, so silent corruption of committed factor data is detected at the
+  // next choke point instead of leaking into the solution.  Each blok is
+  // sealed and scrubbed only by the rank that owns its storage, so the
+  // shared seal vectors are written at disjoint indices.
+
+  [[nodiscard]] std::uint32_t blok_checksum(idx_t b) const {
+    const idx_t k = cblk_of_blok(b);
+    const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
+    const idx_t rows = s_.bloks[static_cast<std::size_t>(b)].nrows();
+    idx_t ld = 0;
+    const T* p = blok_ptr_const(b, &ld);
+    std::uint32_t crc = 0;
+    for (idx_t j = 0; j < w; ++j)
+      crc = crc32c(p + static_cast<std::size_t>(j) * ld,
+                   static_cast<std::size_t>(rows) * sizeof(T), crc);
+    return crc;
+  }
+
+  void seal_blok(idx_t b) {
+    if (!integrity_) return;
+    blok_crc_[static_cast<std::size_t>(b)] = blok_checksum(b);
+    blok_sealed_[static_cast<std::size_t>(b)] = 1;
+  }
+
+  void seal_cblk(idx_t k) {
+    if (!integrity_) return;
+    for (idx_t b = s_.cblks[static_cast<std::size_t>(k)].bloknum;
+         b < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+      seal_blok(b);
+  }
+
+  void verify_blok(idx_t b, idx_t rank) const {
+    const std::uint32_t got = blok_checksum(b);
+    const std::uint32_t want = blok_crc_[static_cast<std::size_t>(b)];
+    if (got == want) return;
+    throw rt::IntegrityError(
+        "factor corruption: rank " + std::to_string(rank) + " blok " +
+        std::to_string(b) + " of cblk " +
+        std::to_string(cblk_of_blok(b)) + " (" +
+        std::to_string(s_.bloks[static_cast<std::size_t>(b)].nrows()) + " x " +
+        std::to_string(
+            s_.cblks[static_cast<std::size_t>(cblk_of_blok(b))].width()) +
+        ") failed its CRC32C scrub — committed " + std::to_string(want) +
+        ", recomputed " + std::to_string(got));
+  }
+
+  /// Scrub every sealed blok this rank owns.  Runs at checkpoint boundaries
+  /// (before the state is serialized — a checkpoint must never launder
+  /// corruption into the recovery path) and after the rank's last task.
+  void scrub_rank(Rank& me, idx_t rank) const {
+    std::uint64_t n = 0;
+    const auto check = [&](idx_t b) {
+      if (blok_sealed_[static_cast<std::size_t>(b)] == 0) return;
+      verify_blok(b, rank);
+      ++n;
+    };
+    for (const auto& [k, store] : me.cblk_store)
+      for (idx_t b = s_.cblks[static_cast<std::size_t>(k)].bloknum;
+           b < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+        check(b);
+    for (const auto& [b, store] : me.blok_store) check(b);
+    me.scrubbed_bloks += n;
+  }
+
+  /// SDC chaos hook: with factor_flip_prob armed, maybe flip one random bit
+  /// of one sealed blok this rank owns — the next scrub must detect it and
+  /// the supervisor must recover from the (clean, just-saved) checkpoint.
+  void maybe_flip_factor(Rank& me, idx_t rank) {
+    if (sdc_.factor_flip_prob <= 0) return;
+    std::uint64_t& st = sdc_rng_[static_cast<std::size_t>(rank)];
+    const double u = static_cast<double>(splitmix64(st) >> 11) * 0x1.0p-53;
+    if (u >= sdc_.factor_flip_prob) return;
+    std::vector<idx_t> sealed;
+    for (const auto& [k, store] : me.cblk_store)
+      for (idx_t b = s_.cblks[static_cast<std::size_t>(k)].bloknum;
+           b < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+        if (blok_sealed_[static_cast<std::size_t>(b)] != 0)
+          sealed.push_back(b);
+    for (const auto& [b, store] : me.blok_store)
+      if (blok_sealed_[static_cast<std::size_t>(b)] != 0) sealed.push_back(b);
+    if (sealed.empty()) return;
+    // Map iteration order is unspecified — sort so a seed reproduces the
+    // same victim blok run after run.
+    std::sort(sealed.begin(), sealed.end());
+    const idx_t b = sealed[static_cast<std::size_t>(splitmix64(st) %
+                                                    sealed.size())];
+    const idx_t w =
+        s_.cblks[static_cast<std::size_t>(cblk_of_blok(b))].width();
+    const idx_t rows = s_.bloks[static_cast<std::size_t>(b)].nrows();
+    idx_t ld = 0;
+    T* p = blok_ptr(b, &ld);
+    const std::uint64_t col_bytes =
+        static_cast<std::uint64_t>(rows) * sizeof(T);
+    const std::uint64_t bit =
+        splitmix64(st) % (col_bytes * static_cast<std::uint64_t>(w) * 8);
+    auto* col = reinterpret_cast<unsigned char*>(
+        p + (bit / 8 / col_bytes) * static_cast<std::size_t>(ld));
+    col[(bit / 8) % col_bytes] ^= static_cast<unsigned char>(1u << (bit % 8));
+    me.sdc_flips++;
+  }
+
   // -------------------------------------------------------------- tracing --
   /// Span for one dense kernel call; id1/id2/id3 carry the operand dims so
   /// the span doubles as a cost-model calibration sample.
@@ -808,10 +981,16 @@ private:
       }
       me.task_times.seconds[static_cast<int>(task.type)] += timer.seconds();
       me.task_times.count[static_cast<int>(task.type)]++;
-      if (resilient && pos + 1 < kp.size() && (pos + 1) % interval == 0)
+      if (resilient && pos + 1 < kp.size() && (pos + 1) % interval == 0) {
         save_checkpoint(comm, rank, me, pos + 1);
+        maybe_flip_factor(me, rank);
+      }
     }
     if (hybrid_run) run_tail(comm, me, rank, split_pos);
+    // Terminal scrub: factorize() only ever returns a verified factor —
+    // a flip injected (or suffered) after the last checkpoint is caught
+    // here, not at the first solve.
+    if (integrity_) scrub_rank(me, rank);
   }
 
   // -------------------------------------------- hybrid tail (DESIGN.md §14) --
@@ -1153,6 +1332,7 @@ private:
             scatter_update(me, rank, task.cblk, c.bj, c.bj, c.buf.data(), c.m,
                            c.off);
           flush_aubs(comm, me, rank, t);
+          seal_cblk(task.cblk);
           break;
         case TaskType::kFactor: {
           const idx_t k = task.cblk;
@@ -1168,6 +1348,7 @@ private:
             me.diag_cache[k].assign(a, a + static_cast<std::size_t>(w) * w);
           }
           guard.cv.notify_all();
+          seal_blok(task.blok);
           break;
         }
         case TaskType::kBdiv: {
@@ -1188,6 +1369,7 @@ private:
                              static_cast<std::uint64_t>(task.cblk),
                              static_cast<std::uint64_t>(task.blok)),
                 pdata, psize);
+          seal_blok(task.blok);
           break;
         }
         case TaskType::kBmod: {
@@ -1331,6 +1513,28 @@ private:
       put_u64(out, static_cast<std::uint64_t>(e.column));
       put_raw(out, &e.before_abs, sizeof(e.before_abs));
     }
+    // Seal state of the owned bloks: a restore must resurrect the commit
+    // CRCs alongside the factor values they certify, or the post-restart
+    // scrubs would compare fresh bytes against stale (or missing) seals.
+    std::uint64_t nseal = me.blok_store.size();
+    for (const auto& [k, store] : me.cblk_store)
+      nseal += static_cast<std::uint64_t>(
+          s_.cblks[static_cast<std::size_t>(k) + 1].bloknum -
+          s_.cblks[static_cast<std::size_t>(k)].bloknum);
+    put_u64(out, nseal);
+    const auto put_seal = [&](idx_t b) {
+      put_u64(out, static_cast<std::uint64_t>(b));
+      put_u64(out,
+              (static_cast<std::uint64_t>(
+                   blok_sealed_[static_cast<std::size_t>(b)])
+               << 32) |
+                  blok_crc_[static_cast<std::size_t>(b)]);
+    };
+    for (const auto& [k, store] : me.cblk_store)
+      for (idx_t b = s_.cblks[static_cast<std::size_t>(k)].bloknum;
+           b < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+        put_seal(b);
+    for (const auto& [b, store] : me.blok_store) put_seal(b);
   }
 
   void restore_rank(Rank& me, const std::vector<std::byte>& payload) {
@@ -1360,6 +1564,14 @@ private:
       e.column = static_cast<idx_t>(c.u64());
       c.raw(&e.before_abs, sizeof(e.before_abs));
     }
+    const std::uint64_t nseal = c.u64();
+    for (std::uint64_t i = 0; i < nseal; ++i) {
+      const auto b = static_cast<std::size_t>(c.u64());
+      const std::uint64_t word = c.u64();
+      PASTIX_CHECK(b < blok_sealed_.size(), "checkpoint seals unknown blok");
+      blok_sealed_[b] = static_cast<std::uint8_t>(word >> 32);
+      blok_crc_[b] = static_cast<std::uint32_t>(word);
+    }
     PASTIX_CHECK(c.p == c.end, "checkpoint payload has trailing bytes");
   }
 
@@ -1383,10 +1595,22 @@ private:
     me.task_times = RankTaskTimes{};
     me.status = FactorStatus{};
     me.status.max_recorded = popt_.max_recorded;
+    const auto unseal = [&](idx_t b) {
+      blok_sealed_[static_cast<std::size_t>(b)] = 0;
+      blok_crc_[static_cast<std::size_t>(b)] = 0;
+    };
+    for (const auto& [k, store] : me.cblk_store)
+      for (idx_t b = s_.cblks[static_cast<std::size_t>(k)].bloknum;
+           b < s_.cblks[static_cast<std::size_t>(k) + 1].bloknum; ++b)
+        unseal(b);
+    for (const auto& [b, store] : me.blok_store) unseal(b);
   }
 
-  void save_checkpoint(rt::Comm& comm, idx_t rank, const Rank& me,
+  void save_checkpoint(rt::Comm& comm, idx_t rank, Rank& me,
                        std::size_t position) {
+    // Scrub before serializing: a checkpoint must capture verified state,
+    // never launder silent corruption into the recovery path.
+    if (integrity_) scrub_rank(me, rank);
     checkpoints_->save_with(
         static_cast<int>(rank), static_cast<std::uint64_t>(position),
         comm.snapshot_seq_state(static_cast<int>(rank)),
@@ -1470,6 +1694,7 @@ private:
       }
     }
     flush_aubs(comm, me, rank, t);
+    seal_cblk(k);  // the whole trapezoid is final — record its commit CRCs
   }
 
   void exec_factor(rt::Comm& comm, Rank& me, idx_t rank, idx_t t) {
@@ -1496,6 +1721,7 @@ private:
                                    static_cast<std::uint64_t>(k)),
                       a, static_cast<std::size_t>(w) * w);
     me.diag_cache[k].assign(a, a + static_cast<std::size_t>(w) * w);
+    seal_blok(task.blok);
   }
 
   void exec_bdiv(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
@@ -1549,6 +1775,7 @@ private:
             lkk[j + static_cast<std::size_t>(j) * w];
       scale_columns(m, w, a, m, dvec.data(), /*invert=*/true);  // a := L
     }
+    seal_blok(task.blok);
   }
 
   void exec_bmod(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
@@ -1636,6 +1863,14 @@ private:
   rt::RecoveryReport recovery_;          ///< cost of the last recovery
   std::vector<idx_t> stack_off_;
   FactorStatus status_;
+  // Factor-integrity layer (DESIGN.md §15): per-blok commit CRCs.  Indexed
+  // by blok id; each entry is written only by the owning rank's thread.
+  std::vector<std::uint32_t> blok_crc_;
+  std::vector<std::uint8_t> blok_sealed_;
+  std::vector<std::uint64_t> sdc_rng_;  ///< per-rank factor-flip streams
+  rt::SdcInjection sdc_;                ///< armed corruption injection
+  bool integrity_ = true;               ///< seal + scrub master switch
+  bool scrubbed_ = false;               ///< pre-solve scrub done for this factor
   bool filled_ = false;
   bool factored_ = false;
 };

@@ -1,0 +1,145 @@
+#pragma once
+//
+// CRC32C (Castagnoli) — the shared data-integrity primitive.
+//
+// Every integrity choke point in the system (resilient messages in rt::Comm,
+// checkpoint slots and files in rt::Checkpoint, committed factor panels in
+// the fan-in executor, the plan-file footer) uses this one checksum so a
+// corruption diagnostic always means the same thing: "these bytes are not
+// the bytes that were written".
+//
+// Two implementations behind one entry point, dispatched once at runtime:
+// the SSE4.2 `crc32` instruction on x86-64 (the polynomial it implements is
+// exactly CRC-32C, so results are bit-identical), and a software slice-by-8
+// fallback — eight 256-entry tables generated at first use, 8 bytes per
+// iteration.  The hardware path is what keeps bulk checksumming (factor
+// seals and scrubs over megabytes of panels) inside the <5% integrity
+// overhead budget (bench/integrity_overhead); identical results across
+// paths matter because checksums are persisted (checkpoint files, the plan
+// footer), and support_test cross-checks the two on every build.
+//
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PASTIX_CRC32C_X86 1
+#include <cpuid.h>
+#endif
+
+namespace pastix {
+
+namespace detail {
+
+// Reflected Castagnoli polynomial (CRC-32C, as used by iSCSI / SSE4.2 crc32).
+inline constexpr uint32_t kCrc32cPoly = 0x82F63B78u;
+
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (c >> 1) ^ kCrc32cPoly : (c >> 1);
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i)
+      for (size_t s = 1; s < 8; ++s)
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFFu];
+  }
+};
+
+inline const Crc32cTables& crc32c_tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+#ifdef PASTIX_CRC32C_X86
+/// Raw (pre/post-inversion handled by the caller) CRC-32C via the SSE4.2
+/// `crc32` instruction — one 8-byte step per cycle on every x86-64 core of
+/// the last decade.  The target attribute lets this compile without
+/// -msse4.2 on the whole translation unit; it is only ever called behind
+/// the cpuid check below.
+__attribute__((target("sse4.2"))) inline uint32_t crc32c_hw(
+    const unsigned char* p, size_t n, uint32_t crc) {
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof word);  // alignment-safe load
+    c = __builtin_ia32_crc32di(c, word);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n--) c32 = __builtin_ia32_crc32qi(c32, *p++);
+  return c32;
+}
+
+inline bool crc32c_hw_available() {
+  static const bool ok = [] {
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    return __get_cpuid(1, &a, &b, &c, &d) && (c & bit_SSE4_2) != 0;
+  }();
+  return ok;
+}
+#endif
+
+} // namespace detail
+
+/// Portable slice-by-8 CRC32C — the reference implementation the hardware
+/// path must agree with bit-for-bit (support_test cross-checks them).
+/// `seed` chains: `crc32c(b, nb, crc32c(a, na))` == `crc32c(ab, na + nb)`.
+inline uint32_t crc32c_portable(const void* data, size_t n,
+                                uint32_t seed = 0) {
+  const auto& t = detail::crc32c_tables().t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  while (n >= 8) {
+    // Byte-wise loads: alignment-safe and free of endianness assumptions.
+    const uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                               static_cast<uint32_t>(p[1]) << 8 |
+                               static_cast<uint32_t>(p[2]) << 16 |
+                               static_cast<uint32_t>(p[3]) << 24);
+    const uint32_t hi = static_cast<uint32_t>(p[4]) |
+                        static_cast<uint32_t>(p[5]) << 8 |
+                        static_cast<uint32_t>(p[6]) << 16 |
+                        static_cast<uint32_t>(p[7]) << 24;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^
+          t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+          t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+/// One-shot CRC32C over a byte range; hardware-accelerated where the CPU
+/// supports it, identical results either way.  `seed` is a previously
+/// returned checksum, so `crc32c(b, nb, crc32c(a, na))` ==
+/// `crc32c(ab, na + nb)`; the default seed 0 is the empty-message checksum.
+inline uint32_t crc32c(const void* data, size_t n, uint32_t seed = 0) {
+#ifdef PASTIX_CRC32C_X86
+  if (detail::crc32c_hw_available())
+    return ~detail::crc32c_hw(static_cast<const unsigned char*>(data), n,
+                              ~seed);
+#endif
+  return crc32c_portable(data, n, seed);
+}
+
+/// Incremental accumulator for streamed data (plan-file writer/reader wrap
+/// their byte streams in one of these and compare at the footer).
+class Crc32c {
+public:
+  void update(const void* data, size_t n) { crc_ = crc32c(data, n, crc_); }
+  uint32_t value() const { return crc_; }
+  void reset() { crc_ = 0; }
+
+private:
+  uint32_t crc_ = 0;
+};
+
+} // namespace pastix

@@ -1,0 +1,460 @@
+// End-to-end data-integrity layer (DESIGN.md §15): CRC32C framing on
+// resilient messages, checkpoint checksums with the fallback ladder, factor
+// seal/scrub, the plan-file footer, and the SDC chaos battery — seeded
+// silent-corruption injection into messages, checkpoints and committed
+// factor blocks at 1/2/4 ranks, asserting every corruption class is
+// *detected* with a named diagnostic and *recovered* to a factor bitwise
+// identical to a fault-free run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/pastix.hpp"
+#include "core/report.hpp"
+#include "rt/checkpoint.hpp"
+#include "service/service.hpp"
+#include "sparse/gen.hpp"
+
+namespace pastix {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Any blocked recv becomes a diagnostic error instead of a hang.
+constexpr auto kDeadline = 10000ms;
+
+std::uint64_t tag_of(int id) {
+  return rt::make_tag(rt::MsgKind::kAub, static_cast<std::uint64_t>(id));
+}
+
+// ------------------------------------------------ message-frame checksums --
+
+TEST(MessageIntegrity, FlippedMessageIsRepairedFromSenderLog) {
+  rt::Comm comm(2);
+  comm.set_resilient_mode(true);  // sender log = the clean re-delivery source
+  rt::SdcInjection sdc;
+  sdc.seed = 7;
+  sdc.message_flip_prob = 1.0;  // every delivery takes a bit flip
+  comm.set_sdc_injection(sdc);
+
+  const double v = 42.5;
+  comm.send_array(0, 1, tag_of(1), &v, 1);
+  // The mailbox copy is corrupt, the log copy is not: recv() must detect
+  // the mismatch and hand back the logged bytes, not the flipped ones.
+  const rt::Message m = comm.recv(1, tag_of(1));
+  EXPECT_EQ(*m.as<double>(), 42.5);
+  EXPECT_GE(comm.integrity_detected(), 1u);
+  EXPECT_GE(comm.integrity_redelivered(), 1u);
+}
+
+TEST(MessageIntegrity, UnrepairableCorruptionIsANamedError) {
+  rt::Comm comm(2);  // non-resilient: no sender log, nothing to repair from
+  rt::SdcInjection sdc;
+  sdc.seed = 7;
+  sdc.message_flip_prob = 1.0;
+  comm.set_sdc_injection(sdc);
+
+  const double v = 1.0;
+  comm.send_array(0, 1, tag_of(2), &v, 1);
+  try {
+    (void)comm.recv(1, tag_of(2));
+    FAIL() << "corrupt payload with no clean copy must not be delivered";
+  } catch (const rt::IntegrityError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("corrupt"), std::string::npos) << what;
+    EXPECT_NE(what.find("CRC32C"), std::string::npos) << what;
+  }
+  EXPECT_GE(comm.integrity_detected(), 1u);
+  EXPECT_EQ(comm.integrity_redelivered(), 0u);
+}
+
+TEST(MessageIntegrity, ChecksumsOffDeliversVerbatim) {
+  // The overhead-baseline mode: no framing, no verification — the flipped
+  // payload goes through, which is exactly why the default is on.
+  rt::Comm comm(2);
+  comm.set_message_checksums(false);
+  rt::SdcInjection sdc;
+  sdc.seed = 7;
+  sdc.message_flip_prob = 1.0;
+  comm.set_sdc_injection(sdc);
+  const double v = 1.0;
+  comm.send_array(0, 1, tag_of(3), &v, 1);
+  EXPECT_NO_THROW((void)comm.recv(1, tag_of(3)));
+  EXPECT_EQ(comm.integrity_detected(), 0u);
+}
+
+// ------------------------------------------------ checkpoint verification --
+
+rt::CommSeqState seq2() {
+  rt::CommSeqState s;
+  s.next_seq = {1, 2};
+  s.consumed = {{1}, {}};
+  return s;
+}
+
+TEST(CheckpointIntegrity, CorruptSlotFailsLoudAndFallsBackAGeneration) {
+  rt::Checkpoint store;
+  std::vector<std::byte> gen1(48, std::byte{0x11});
+  std::vector<std::byte> gen2(48, std::byte{0x22});
+  store.save(0, 5, gen1, seq2());
+  store.save(0, 9, gen2, seq2());
+  store.corrupt_latest(0);
+
+  try {
+    (void)store.load(0);
+    FAIL() << "a corrupt slot must never restore silently";
+  } catch (const rt::IntegrityError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checkpoint corruption"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+  }
+  // The previous generation is the fallback rung of the ladder.
+  const rt::Checkpoint::Entry prev = store.load_previous(0);
+  EXPECT_TRUE(prev.valid);
+  EXPECT_EQ(prev.position, 5u);
+  EXPECT_EQ(prev.payload, gen1);
+}
+
+TEST(CheckpointIntegrity, FileByteFlipSweepIsAlwaysANamedError) {
+  const std::string dir = ::testing::TempDir() + "pastix_ckpt_flip";
+  std::filesystem::create_directories(dir);
+  rt::Checkpoint store;
+  store.set_directory(dir);
+  std::vector<std::byte> payload(40);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::byte>(i * 13);
+  store.save(0, 3, payload, seq2());
+
+  const std::string path = dir + "/rank0.ckpt";
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  // Every single-byte corruption anywhere in the file — header, payload,
+  // comm state, footer — must surface as a structured error, never as a
+  // silently different checkpoint.
+  for (std::size_t off = 0; off < bytes.size(); ++off) {
+    std::string corrupt = bytes;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x20);
+    const std::string cpath = dir + "/corrupt.ckpt";
+    std::ofstream(cpath, std::ios::binary).write(corrupt.data(),
+                                                 corrupt.size());
+    try {
+      const rt::Checkpoint::Entry e = rt::Checkpoint::read_file(cpath);
+      FAIL() << "flip at offset " << off << " loaded a checkpoint with "
+             << e.payload.size() << " payload bytes";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("checkpoint file"),
+                std::string::npos)
+          << "offset " << off << ": " << e.what();
+    }
+  }
+}
+
+TEST(CheckpointIntegrity, FileMirrorWritesAtomically) {
+  const std::string dir = ::testing::TempDir() + "pastix_ckpt_atomic";
+  std::filesystem::create_directories(dir);
+  rt::Checkpoint store;
+  store.set_directory(dir);
+  std::vector<std::byte> payload(16, std::byte{0x5a});
+  store.save(2, 1, payload, seq2());
+  store.save(2, 2, payload, seq2());
+
+  EXPECT_TRUE(std::filesystem::exists(dir + "/rank2.ckpt"));
+  // tmp + fsync + rename: no half-written temporary may survive a save.
+  for (const auto& f : std::filesystem::directory_iterator(dir))
+    EXPECT_EQ(f.path().extension(), ".ckpt") << f.path();
+}
+
+// --------------------------------------------------- factor verification ---
+
+/// Digest of a fault-free factorization — the bitwise-identity reference.
+std::uint64_t fault_free_digest(const SymSparse<double>& a, idx_t nprocs) {
+  SolverOptions opt;
+  opt.nprocs = nprocs;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.comm().set_recv_deadline(kDeadline);
+  solver.factorize();
+  return solver.numeric().factor_digest();
+}
+
+TEST(FactorIntegrity, ScrubCountsEveryCommittedBlok) {
+  const SymSparse<double> a = gen_fe_mesh({10, 10, 3, 1, 1, 5});
+  for (const idx_t nprocs : {idx_t{1}, idx_t{3}}) {
+    SolverOptions opt;
+    opt.nprocs = nprocs;
+    Solver<double> solver(opt);
+    solver.analyze(a);
+    solver.comm().set_recv_deadline(kDeadline);
+    solver.factorize();
+    const std::uint64_t n = solver.scrub();
+    EXPECT_GT(n, 0u) << "nprocs " << nprocs;
+    // A second scrub re-verifies the same seal set.
+    EXPECT_EQ(solver.scrub(), n) << "nprocs " << nprocs;
+  }
+}
+
+TEST(FactorIntegrity, IntegrityLayerDoesNotChangeTheFactor) {
+  const SymSparse<double> a = gen_fe_mesh({10, 10, 3, 1, 1, 5});
+  const std::uint64_t want = fault_free_digest(a, 2);
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.comm().set_recv_deadline(kDeadline);
+  solver.set_integrity(false);  // the overhead-baseline configuration
+  solver.factorize();
+  EXPECT_EQ(solver.numeric().factor_digest(), want);
+  EXPECT_EQ(solver.stats().scrubbed_bloks, 0u);
+}
+
+// -------------------------------------------------------- chaos battery ----
+
+enum class SdcClass { kMessage, kCheckpoint, kFactor };
+
+const char* sdc_name(SdcClass c) {
+  switch (c) {
+    case SdcClass::kMessage: return "message";
+    case SdcClass::kCheckpoint: return "checkpoint";
+    case SdcClass::kFactor: return "factor";
+  }
+  return "?";
+}
+
+struct SdcCase {
+  const char* name;
+  SdcClass cls;
+  idx_t nprocs;
+  std::uint64_t seed;
+};
+
+class SdcBattery : public ::testing::TestWithParam<SdcCase> {};
+
+// One injected-corruption run: arm the class-specific flip stream plus (for
+// the checkpoint class) a rank kill so a restore actually happens, factor
+// under resilience, and require the end state to be bitwise identical to
+// the fault-free reference with the detection surfaced in the stats.
+TEST_P(SdcBattery, DetectedAndRecoveredBitwiseIdentical) {
+  const SdcCase& sc = GetParam();
+  const SymSparse<double> a = gen_fe_mesh({12, 12, 4, 1, 1, 77});
+  const std::vector<double> b = reference_rhs(a);
+  const std::uint64_t want = fault_free_digest(a, sc.nprocs);
+
+  SolverOptions opt;
+  opt.nprocs = sc.nprocs;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.comm().set_recv_deadline(kDeadline);
+
+  rt::ResilienceOptions ropt;
+  ropt.enabled = true;
+  ropt.checkpoint_interval = 4;
+  ropt.max_restarts = 100;  // SDC streams can strike many times per run
+  solver.set_resilience(ropt);
+
+  rt::SdcInjection sdc;
+  sdc.seed = sc.seed;
+  switch (sc.cls) {
+    case SdcClass::kMessage:
+      // Small meshes exchange only a handful of payload messages per run —
+      // at p < 1 the seeded stream can legally draw zero flips.  Flip every
+      // delivery so detection *and* sender-log repair are exercised
+      // deterministically at every rank count.
+      sdc.message_flip_prob = 1.0;
+      break;
+    case SdcClass::kCheckpoint:
+      sdc.checkpoint_flip_prob = 1.0;  // every saved slot is corrupted
+      break;
+    case SdcClass::kFactor:
+      sdc.factor_flip_prob = 0.5;
+      break;
+  }
+  solver.set_sdc(sdc);
+
+  if (sc.cls == SdcClass::kCheckpoint) {
+    // Checkpoint corruption is only observable at restore time: kill a rank
+    // mid-stream so the supervisor walks the ladder over the flipped slots.
+    rt::FaultInjection faults;
+    faults.seed = sc.seed;
+    faults.kill_rank = static_cast<int>(sc.nprocs) - 1;
+    const auto& kp =
+        solver.schedule().kp[static_cast<std::size_t>(faults.kill_rank)];
+    faults.kill_at_task = kp.size() / 2;
+    if (faults.kill_at_task % 4 == 0) faults.kill_at_task++;
+    solver.comm().set_fault_injection(faults);
+  }
+
+  solver.factorize();
+  const std::string ctx = std::string(sdc_name(sc.cls)) + " nprocs " +
+                          std::to_string(sc.nprocs) + " seed " +
+                          std::to_string(sc.seed);
+
+  // Detection must be on the record for the class that was armed.
+  const SolverStats& st = solver.stats();
+  switch (sc.cls) {
+    case SdcClass::kMessage:
+      if (sc.nprocs > 1) {
+        EXPECT_GE(st.integrity_detected, 1u) << ctx;
+        EXPECT_GE(st.integrity_redelivered, 1u) << ctx;
+      }
+      break;
+    case SdcClass::kCheckpoint:
+      EXPECT_GE(st.checkpoint_fallbacks, 1u) << ctx;
+      EXPECT_GE(st.restarts, 1) << ctx;
+      break;
+    case SdcClass::kFactor:
+      EXPECT_GE(solver.numeric().sdc_factor_flips(), 1u) << ctx;
+      EXPECT_GE(st.restarts, 1) << ctx;
+      break;
+  }
+  EXPECT_GT(st.scrubbed_bloks, 0u) << ctx;
+
+  // The whole point: after detect-and-recover the factor is *bitwise*
+  // identical to a run that never saw a flipped bit.
+  EXPECT_EQ(solver.numeric().factor_digest(), want) << ctx;
+
+  // And the numbers behave downstream of it.
+  solver.comm().set_fault_injection(rt::FaultInjection{});
+  solver.set_sdc(rt::SdcInjection{});
+  const std::vector<double> x = solver.solve(b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-10) << ctx;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sdc, SdcBattery,
+    ::testing::Values(
+        SdcCase{"message_p1", SdcClass::kMessage, 1, 101},
+        SdcCase{"message_p2", SdcClass::kMessage, 2, 102},
+        SdcCase{"message_p4", SdcClass::kMessage, 4, 103},
+        SdcCase{"checkpoint_p1", SdcClass::kCheckpoint, 1, 201},
+        SdcCase{"checkpoint_p2", SdcClass::kCheckpoint, 2, 202},
+        SdcCase{"checkpoint_p4", SdcClass::kCheckpoint, 4, 203},
+        SdcCase{"factor_p1", SdcClass::kFactor, 1, 301},
+        SdcCase{"factor_p2", SdcClass::kFactor, 2, 302},
+        SdcCase{"factor_p4", SdcClass::kFactor, 4, 303}),
+    [](const auto& info) { return info.param.name; });
+
+// Recovery report plumbing: an SDC run surfaces the integrity section of
+// the analysis report.
+TEST(FactorIntegrity, ReportSurfacesIntegrityCounters) {
+  const SymSparse<double> a = gen_fe_mesh({12, 12, 4, 1, 1, 77});
+  SolverOptions opt;
+  opt.nprocs = 2;
+  Solver<double> solver(opt);
+  solver.analyze(a);
+  solver.comm().set_recv_deadline(kDeadline);
+  rt::ResilienceOptions ropt;
+  ropt.enabled = true;
+  ropt.checkpoint_interval = 4;
+  solver.set_resilience(ropt);
+  rt::SdcInjection sdc;
+  sdc.seed = 11;
+  sdc.message_flip_prob = 0.3;
+  solver.set_sdc(sdc);
+  solver.factorize();
+  EXPECT_GE(solver.stats().integrity_detected, 1u);
+  EXPECT_EQ(solver.stats().integrity_detected,
+            solver.comm().integrity_detected());
+  EXPECT_GT(solver.stats().scrubbed_bloks, 0u);
+}
+
+// ------------------------------------------------------- service mapping ---
+
+using service::AttemptContext;
+using service::JobError;
+using service::JobOutcome;
+using service::JobResult;
+using service::ServiceOptions;
+using service::ServiceStats;
+using service::SolverService;
+using service::SubmitResult;
+
+std::vector<double> ones_rhs(const SymSparse<double>& a) {
+  return std::vector<double>(static_cast<std::size_t>(a.n()), 1.0);
+}
+
+TEST(ServiceIntegrity, IntegrityErrorRetriesToACorrectAnswer) {
+  const SymSparse<double> a = gen_fe_mesh({8, 8, 3, 1, 1, 7});
+  ServiceOptions opt;
+  opt.solver.nprocs = 2;
+  opt.recv_deadline = kDeadline;
+  opt.max_attempts = 3;
+  // First attempt runs on a "host" with flipping memory, no sender log to
+  // repair from — the recv raises IntegrityError.  Second attempt is clean.
+  opt.before_attempt = [](Solver<double>& sv, const AttemptContext& ctx) {
+    rt::SdcInjection sdc;
+    if (ctx.attempt == 1) {
+      sdc.seed = 77;
+      sdc.message_flip_prob = 1.0;
+    }
+    sv.set_sdc(sdc);
+  };
+  SolverService svc(opt);
+  SubmitResult r = svc.submit({a, ones_rhs(a), "acme"});
+  ASSERT_TRUE(r.admitted);
+  const JobResult res = r.ticket.wait();
+  EXPECT_EQ(res.outcome, JobOutcome::kDone) << res.message;
+  EXPECT_EQ(res.retries, 1);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.total.integrity_faults, 1u);
+  EXPECT_EQ(st.tenants.at("acme").integrity_faults, 1u);
+  EXPECT_EQ(st.total.retried, 1u);
+  EXPECT_EQ(st.total.done, 1u);
+  EXPECT_NE(st.to_string().find("integ"), std::string::npos);
+
+  // The retried answer is the fault-free answer.
+  SolverOptions ref;
+  ref.nprocs = 2;
+  Solver<double> sv(ref);
+  sv.analyze(a);
+  sv.factorize();
+  EXPECT_EQ(res.x, sv.solve(ones_rhs(a)));
+}
+
+TEST(ServiceIntegrity, PersistentCorruptionOpensTheBreakerWithItsOwnReason) {
+  const SymSparse<double> a = gen_fe_mesh({8, 8, 3, 1, 1, 7});
+  ServiceOptions opt;
+  opt.solver.nprocs = 2;
+  opt.recv_deadline = kDeadline;
+  opt.max_attempts = 5;
+  opt.poison_strike_limit = 2;
+  opt.before_attempt = [](Solver<double>& sv, const AttemptContext&) {
+    rt::SdcInjection sdc;
+    sdc.seed = 78;
+    sdc.message_flip_prob = 1.0;  // every attempt corrupts
+    sv.set_sdc(sdc);
+  };
+  SolverService svc(opt);
+  SubmitResult r = svc.submit({a, ones_rhs(a), "acme"});
+  ASSERT_TRUE(r.admitted);
+  const JobResult res = r.ticket.wait();
+  EXPECT_EQ(res.outcome, JobOutcome::kFailed);
+  EXPECT_EQ(res.error, JobError::kQuarantined) << res.message;
+
+  // A follow-up job on the same fingerprint fails fast with the
+  // corruption-flavored breaker reason — not the generic crash one.
+  SubmitResult again = svc.submit({a, ones_rhs(a), "acme"});
+  ASSERT_TRUE(again.admitted);
+  const JobResult res2 = again.ticket.wait();
+  EXPECT_EQ(res2.error, JobError::kQuarantined);
+  EXPECT_NE(res2.message.find("data-corruption"), std::string::npos)
+      << res2.message;
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.total.integrity_faults, 2u);
+  EXPECT_GE(st.total.quarantine_hits, 2u);
+  EXPECT_EQ(st.quarantined_fingerprints, 1u);
+}
+
+} // namespace
+} // namespace pastix

@@ -12,10 +12,25 @@
 #include "core/pastix.hpp"
 #include "core/plan_io.hpp"
 #include "sparse/gen.hpp"
+#include "support/checksum.hpp"
 #include "verify/verify.hpp"
 
 namespace pastix {
 namespace {
+
+/// Rewrite the v5 CRC32C footer so it matches the (possibly corrupted)
+/// bytes before it.  Tests that target the *parser* or the *static
+/// verifier* need this: without it every deliberate corruption dies at the
+/// checksum gate first, which is the point of the footer but not of those
+/// tests.
+std::string refooter(std::string bytes) {
+  const std::size_t body = bytes.size() - sizeof(std::uint64_t);
+  const std::uint32_t crc = crc32c(bytes.data(), body);
+  const std::uint64_t word =
+      (static_cast<std::uint64_t>(~crc) << 32) | crc;
+  std::memcpy(&bytes[body], &word, sizeof word);
+  return bytes;
+}
 
 std::string serialized_plan() {
   SolverOptions opt;
@@ -50,10 +65,27 @@ TEST(PlanIoFuzz, BadMagicFails) {
 }
 
 TEST(PlanIoFuzz, BadVersionFails) {
+  // The version check runs before the checksum, so a pre-v5 file (or a
+  // corrupted version field) reports a version mismatch, not corruption.
   std::string bytes = serialized_plan();
   bytes[8] = static_cast<char>(0x7f);  // version field follows the magic
   const std::string err = try_load(bytes);
   EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST(PlanIoFuzz, PayloadFlipDiesAtTheChecksumGate) {
+  std::string bytes = serialized_plan();
+  bytes[bytes.size() / 2] ^= 0x10;  // deep in the payload, footer untouched
+  const std::string err = try_load(bytes);
+  EXPECT_NE(err.find("plan file corruption"), std::string::npos) << err;
+  EXPECT_NE(err.find("CRC32C"), std::string::npos) << err;
+}
+
+TEST(PlanIoFuzz, FooterFlipIsItselfDetected) {
+  std::string bytes = serialized_plan();
+  bytes[bytes.size() - 3] ^= 0x04;  // inside the footer word
+  const std::string err = try_load(bytes);
+  EXPECT_NE(err.find("plan file corruption"), std::string::npos) << err;
 }
 
 // Truncation at every prefix length across the file (stride keeps the test
@@ -87,7 +119,7 @@ TEST(PlanIoFuzz, OversizedLengthRejectedWithoutAllocation) {
     std::string corrupt = bytes;
     const std::uint64_t huge = (1ULL << 32);
     std::memcpy(&corrupt[off], &huge, sizeof huge);
-    const std::string err = try_load(corrupt);
+    const std::string err = try_load(refooter(std::move(corrupt)));
     if (err.find("exceeds remaining bytes") != std::string::npos ||
         err.find("unreasonable") != std::string::npos)
       budget_hit = true;
@@ -131,12 +163,16 @@ TEST(PlanIoFuzz, RandomByteFlipsNeverCrash) {
 // fail must, when they produce a structurally readable but unsound plan,
 // be rejected by the named static-verification path.
 TEST(PlanIoFuzz, DeepCorruptionRejectedByVerifier) {
+  // Re-footered corruption sails past the checksum by construction — the
+  // defense in depth behind it (parser byte budgets, then the static
+  // verifier) must still catch structurally unsound plans.
   const std::string bytes = serialized_plan();
   bool named = false;
-  for (std::size_t off = bytes.size() / 2; off < bytes.size(); off += 61) {
+  for (std::size_t off = bytes.size() / 2; off < bytes.size() - 8;
+       off += 61) {
     std::string corrupt = bytes;
     corrupt[off] = static_cast<char>(corrupt[off] ^ 0x55);
-    const std::string err = try_load(corrupt);
+    const std::string err = try_load(refooter(std::move(corrupt)));
     if (err.find("static verification") != std::string::npos) {
       named = true;
       break;

@@ -3,12 +3,16 @@
 // sparse_test).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "sparse/gen.hpp"
 #include "sparse/io.hpp"
 #include "support/check.hpp"
+#include "support/checksum.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -73,6 +77,59 @@ TEST(TextTable, AlignsAndValidatesArity) {
 TEST(Formatting, FixedAndScientific) {
   EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // RFC 3720 / iSCSI test vector for the Castagnoli polynomial.
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(crc32c("", 0), 0u);
+  const std::vector<unsigned char> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShotAtEverySplit) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t want = crc32c(msg.data(), msg.size());
+  for (std::size_t cut = 0; cut <= msg.size(); ++cut) {
+    // Seed chaining: crc(b, seed=crc(a)) == crc(ab).
+    EXPECT_EQ(crc32c(msg.data() + cut, msg.size() - cut,
+                     crc32c(msg.data(), cut)),
+              want)
+        << "split at " << cut;
+    Crc32c inc;
+    inc.update(msg.data(), cut);
+    inc.update(msg.data() + cut, msg.size() - cut);
+    EXPECT_EQ(inc.value(), want) << "split at " << cut;
+  }
+}
+
+TEST(Crc32c, HardwareAndPortablePathsAgree) {
+  // The dispatched entry point may use the SSE4.2 crc32 instruction; the
+  // persisted-checksum contract requires it to be bit-identical to the
+  // portable slice-by-8 path at every length, alignment and seed.
+  std::vector<unsigned char> buf(257);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<unsigned char>(i * 151 + 3);
+  for (std::size_t off = 0; off < 8; ++off)
+    for (std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{8}, std::size_t{9}, std::size_t{63},
+                            std::size_t{64}, std::size_t{200}})
+      for (std::uint32_t seed : {0u, 0xDEADBEEFu})
+        EXPECT_EQ(crc32c(buf.data() + off, len, seed),
+                  crc32c_portable(buf.data() + off, len, seed))
+            << "off " << off << " len " << len << " seed " << seed;
+}
+
+TEST(Crc32c, EverySingleBitFlipChangesTheChecksum) {
+  std::vector<unsigned char> buf(64);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<unsigned char>(i * 37 + 11);
+  const std::uint32_t clean = crc32c(buf.data(), buf.size());
+  for (std::size_t bit = 0; bit < buf.size() * 8; ++bit) {
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    EXPECT_NE(crc32c(buf.data(), buf.size()), clean) << "bit " << bit;
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
 }
 
 TEST(MatrixMarketFiles, SaveAndLoadByPath) {

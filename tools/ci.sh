@@ -17,6 +17,9 @@
 #            relaxed trace replay, chaos + rank-kill recovery) plus the
 #            tail-vs-static makespan bench with its never-slower / >= 10%
 #            acceptance bar, then the Hybrid* suites again under TSan
+#   integrity — data-integrity suite (message/checkpoint/factor/plan
+#            checksums, the seeded SDC chaos battery at 1/2/4 ranks) on
+#            the default preset, then the SDC battery again under ASan
 #   ubsan  — UndefinedBehaviorSanitizer preset + verifier/comm/solver tests
 #   asan   — Address+UB sanitizer preset, runtime-focused test filter
 #   tsan   — ThreadSanitizer preset, runtime-focused test filter (includes
@@ -29,7 +32,7 @@ cd "$(dirname "$0")/.."
 
 lanes=("$@")
 if [ ${#lanes[@]} -eq 0 ]; then
-  lanes=(tier1 bench service solve hybrid lint ubsan asan tsan)
+  lanes=(tier1 bench service solve hybrid integrity lint ubsan asan tsan)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -71,6 +74,15 @@ run_lane() {
       ctest --test-dir build-tsan -R "Hybrid" -j "${jobs}" \
             --output-on-failure
       ;;
+    integrity)
+      cmake --preset default
+      cmake --build build -j "${jobs}"
+      ctest --test-dir build -L integrity -j "${jobs}" --output-on-failure
+      cmake --preset asan
+      cmake --build build-asan -j "${jobs}"
+      ctest --test-dir build-asan -R "Sdc|Integrity" -j "${jobs}" \
+            --output-on-failure
+      ;;
     lint)
       cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
       tools/lint.sh build
@@ -91,7 +103,7 @@ run_lane() {
       ctest --preset tsan -j "${jobs}" --output-on-failure
       ;;
     *)
-      echo "ci: unknown lane '$1' (tier1|bench|service|solve|hybrid|lint|ubsan|asan|tsan)" >&2
+      echo "ci: unknown lane '$1' (tier1|bench|service|solve|hybrid|integrity|lint|ubsan|asan|tsan)" >&2
       exit 2
       ;;
   esac
