@@ -126,7 +126,7 @@ bool PlanCache::insert(const PlanPtr& plan) {
   }
   const std::size_t bytes = plan_footprint_bytes(*plan);
 
-  const std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
   if (quarantined_.count(fp)) return false;
   if (disk_failed) stats_.disk_write_failures++;
   insert_locked(fp, plan);
@@ -134,6 +134,10 @@ bool PlanCache::insert(const PlanPtr& plan) {
   stats_.bytes_cached += bytes;
   stats_.insertions++;
   evict_locked();
+  lock.unlock();
+  // Mutation hook (mc battery): release the cache mutex a second time —
+  // the unbalanced unlock the shim reports as kDoubleRelease.
+  if (PASTIX_MC_MUTATION(cache_double_unlock)) mu_.unlock();
   return true;
 }
 

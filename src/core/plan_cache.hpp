@@ -28,15 +28,72 @@
 // immutable shared values, so concurrent readers need no further locking.
 //
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/analysis.hpp"
+#include "mc/sync.hpp"
 
 namespace pastix {
+
+/// Keyed single-flight latch: while one thread holds a key, every other
+/// enter on the same key blocks until it leaves — the "miss → compute once
+/// → publish" discipline of the plan cache (concurrent misses on one
+/// fingerprint must run exactly one analysis; distinct keys never wait on
+/// each other).  Keys are caller-hashed u64s: a hash collision merely
+/// over-serializes two unrelated computations, it can never corrupt
+/// anything, so the cheap key beats storing the fingerprints themselves.
+class Singleflight {
+public:
+  /// RAII key hold: blocks in the constructor until the key is free.
+  class Guard {
+  public:
+    Guard(Singleflight& sf, std::uint64_t key) : sf_(sf), key_(key) {
+      sf_.enter(key_);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { sf_.leave(key_); }
+
+  private:
+    Singleflight& sf_;
+    std::uint64_t key_;
+  };
+
+  /// Keys currently held (diagnostics / tests).
+  [[nodiscard]] std::size_t inflight() const {
+    const std::lock_guard lock(mu_);
+    return inflight_.size();
+  }
+
+private:
+  void enter(std::uint64_t key) {
+    // Mutation hook (mc battery): no latch at all — concurrent misses on
+    // one key all compute and publish, the duplicated-work race the
+    // explorer must catch on the guarded section's shared state.
+    if (PASTIX_MC_MUTATION(singleflight_skip_latch)) return;
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return inflight_.insert(key).second; });
+  }
+
+  void leave(std::uint64_t key) {
+    if (PASTIX_MC_MUTATION(singleflight_skip_latch)) return;
+    {
+      const std::lock_guard lock(mu_);
+      inflight_.erase(key);
+    }
+    cv_.notify_all();
+  }
+
+  mutable mc::mutex mu_;
+  mc::condition_variable cv_;
+  std::unordered_set<std::uint64_t> inflight_;
+};
 
 struct PlanCacheOptions {
   /// Byte budget of the in-memory LRU tier.  Eviction keeps the newest
@@ -119,7 +176,7 @@ private:
   void evict_locked();
 
   PlanCacheOptions opt_;
-  mutable std::mutex mu_;
+  mutable mc::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<PatternFingerprint, std::list<Entry>::iterator,
                      FingerprintHash>

@@ -1,0 +1,115 @@
+#pragma once
+//
+// Systematic concurrency exploration — the public API of the in-repo model
+// checker (DESIGN.md §16).
+//
+// explore() runs a test body many times under a cooperative scheduler that
+// controls every synchronization operation performed through the mc:: shim
+// (src/mc/sync.hpp) and the instrumented sim types (src/mc/sim.hpp).  Exactly
+// one checked thread is runnable at a time; each schedule is a sequence of
+// thread choices at the synchronization points.  Two exploration modes:
+//
+//   kExhaustive — depth-first enumeration of all schedules with sleep-set
+//                 partial-order reduction: independent operations (different
+//                 objects, or read/read on the same object) are not permuted
+//                 against each other, which shrinks small protocol state
+//                 spaces by orders of magnitude while staying sound for
+//                 safety properties.
+//   kPct        — seeded PCT-style randomized priority schedules: each run
+//                 assigns random thread priorities plus (depth-1) priority
+//                 change points; good probabilistic bug-depth guarantees for
+//                 state spaces too large to exhaust.
+//
+// Any failing schedule is reproducible: Failure::replay_token() prints a
+// stable "mc:v1:<choices>" token and replay() re-executes exactly that
+// interleaving.
+//
+// The explorer and sim types are compiled in every build configuration (the
+// default-build smoke test explores sim primitives directly); the PASTIX_MC
+// option only switches which types the mc:: aliases in sync.hpp name.
+//
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pastix::mc {
+
+/// Named diagnostics.  Every failure the explorer reports carries exactly one
+/// of these codes plus a site label and the interleaving that produced it.
+enum class Diag : std::uint8_t {
+  kNone = 0,
+  kDataRace,        ///< unordered conflicting accesses to an annotated location
+  kDeadlock,        ///< every live thread blocked; a wait-for cycle exists
+  kLostWakeup,      ///< every live thread blocked; a cv waiter can never wake
+  kDoubleRelease,   ///< unlock (or cv wait) on a mutex the thread does not hold
+  kInvalidJoin,     ///< join of a default-constructed or already-joined thread
+  kAssertFailed,    ///< mc::require(...) violated under some schedule
+  kException,       ///< uncaught exception escaped a checked thread
+  kStepLimit,       ///< a schedule exceeded max_steps (possible livelock)
+  kReplayMismatch,  ///< replay token does not match this body/binary
+};
+
+[[nodiscard]] const char* diag_name(Diag d);
+
+struct Options {
+  enum class Mode { kExhaustive, kPct };
+  Mode mode = Mode::kExhaustive;
+  /// Schedule budget.  Exhaustive mode stops early (Result::complete false)
+  /// when the reduced space is larger; PCT runs exactly this many schedules.
+  int max_schedules = 10000;
+  /// Per-schedule step budget; exceeding it reports kStepLimit.
+  int max_steps = 20000;
+  /// PCT seed: priorities and change points derive from seed + schedule index.
+  std::uint64_t seed = 0x5eedULL;
+  /// PCT depth bound d: d-1 priority change points per schedule.
+  int pct_depth = 3;
+  /// Stop at the first failure (default).  When false, keeps exploring and
+  /// reports the first failure found anyway, with full schedule counts.
+  bool stop_on_first = true;
+  /// When non-empty, run exactly one schedule following this choice list
+  /// (produced by Failure::choices / parse_replay_token).
+  std::vector<std::uint16_t> replay;
+};
+
+struct Failure {
+  Diag diag = Diag::kNone;
+  std::string label;    ///< short site name, e.g. "comm mailbox"
+  std::string message;  ///< human-readable description
+  int schedule = 0;     ///< index of the failing schedule within the run
+  std::uint64_t seed = 0;
+  std::vector<std::uint16_t> choices;  ///< thread picked at each step
+  std::vector<std::string> trace;      ///< formatted tail of the interleaving
+  [[nodiscard]] std::string replay_token() const;
+  [[nodiscard]] std::string format() const;
+};
+
+struct Result {
+  bool ok = true;
+  bool complete = false;  ///< exhaustive mode: the whole reduced space ran
+  int schedules = 0;
+  std::uint64_t steps = 0;
+  std::optional<Failure> failure;
+};
+
+/// Explore `body` under many schedules.  The body runs on a checked thread;
+/// any mc:: primitives (and sim:: types) it touches are scheduled.  Not
+/// reentrant: one exploration at a time per process.
+Result explore(const Options& opt, const std::function<void()>& body);
+
+/// Re-run one exact interleaving from a token printed by a previous failure.
+Result replay(const std::string& token, const std::function<void()>& body);
+
+[[nodiscard]] std::optional<std::vector<std::uint16_t>> parse_replay_token(
+    const std::string& token);
+
+/// Model-checked assertion.  Under exploration a violation halts the schedule
+/// with Diag::kAssertFailed and `label`; outside exploration it throws
+/// pastix::Error so plain unit tests still fail loudly.
+void require(bool cond, const char* label);
+
+/// True while the calling thread executes under an active explorer.
+[[nodiscard]] bool under_exploration();
+
+} // namespace pastix::mc

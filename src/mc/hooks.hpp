@@ -1,0 +1,38 @@
+#pragma once
+//
+// Mutation test hooks for the model-checker battery (tests/mc_test.cpp).
+//
+// Each flag deletes or weakens exactly one lock / ordering edge in a runtime
+// protocol so the battery can assert the explorer finds the resulting race,
+// deadlock or protocol violation with its named diagnostic.  In production
+// builds PASTIX_MC_MUTATION(x) expands to a compile-time `false`, so every
+// mutated branch is dead code with zero overhead; only MC builds read the
+// (single-threaded, set-before-explore) flag table.
+//
+namespace pastix::mc::hooks {
+
+struct Mutations {
+  bool comm_drop_mailbox_lock = false;   ///< send() delivers without the box lock
+  bool comm_skip_notify = false;         ///< send() forgets cv.notify_all()
+  bool pool_commit_before_compute = false;  ///< tail commit drops the compute wait
+  bool pool_join_unstarted = false;      ///< tail run() joins a never-started thread
+  bool cache_double_unlock = false;      ///< PlanCache::insert releases mu_ twice
+  bool singleflight_skip_latch = false;  ///< Singleflight::Guard acquires nothing
+  bool breaker_unlocked_strike = false;  ///< PoisonBreaker::strike RMW outside mu_
+  bool resilient_skip_rollback = false;  ///< supervisor skips comm.rollback_rank
+};
+
+/// The global flag table (all false by default).  Only mc_test mutates it,
+/// strictly outside explore() runs.
+Mutations& mutations();
+
+/// Reset every flag to false.
+void reset_mutations();
+
+} // namespace pastix::mc::hooks
+
+#ifdef PASTIX_MC
+#define PASTIX_MC_MUTATION(flag) (::pastix::mc::hooks::mutations().flag)
+#else
+#define PASTIX_MC_MUTATION(flag) false
+#endif

@@ -1,0 +1,1324 @@
+//
+// The cooperative scheduler, schedule explorer and vector-clock race
+// detector behind mc::explore (DESIGN.md §16).
+//
+// Execution model: checked virtual threads run on pooled OS threads, but the
+// scheduler enforces that exactly one is ever unparked.  Every operation on a
+// sim:: primitive announces itself (a PendingOp) and parks; the scheduler
+// picks one announced operation at a time, applies its semantics against the
+// virtual object states (mutex ownership, cv wait queues, vector clocks),
+// and resumes the chosen thread until it announces its next operation.  A
+// schedule is therefore exactly the sequence of thread indices chosen at
+// each step — which is what replay tokens record.
+//
+// Failure teardown: the first diagnostic halts the schedule.  Parked threads
+// are then drained one at a time; operations that would block (cv waits,
+// sleeps, joins of unfinished threads) throw ExecutionHalted — deliberately
+// NOT derived from std::exception so library catch blocks pass it through —
+// while operations that run inside destructors (unlock, notify) complete
+// benignly so unwinding never double-throws.
+//
+#include "mc/explore.hpp"
+#include "mc/hooks.hpp"
+#include "mc/sim.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+namespace pastix::mc {
+
+namespace hooks {
+Mutations& mutations() {
+  static Mutations m;
+  return m;
+}
+void reset_mutations() { mutations() = Mutations{}; }
+} // namespace hooks
+
+namespace {
+
+/// Thrown into checked threads to unwind them after a schedule halts.
+/// Intentionally not a std::exception so `catch (const std::exception&)`
+/// in library code cannot swallow it.
+struct ExecutionHalted {};
+
+struct VectorClock {
+  std::vector<std::uint32_t> c;
+  [[nodiscard]] std::uint32_t at(std::size_t i) const {
+    return i < c.size() ? c[i] : 0;
+  }
+  void grow(std::size_t n) {
+    if (c.size() < n) c.resize(n, 0);
+  }
+  void bump(std::size_t i) {
+    grow(i + 1);
+    c[i]++;
+  }
+  void join(const VectorClock& o) {
+    grow(o.c.size());
+    for (std::size_t i = 0; i < o.c.size(); ++i) c[i] = std::max(c[i], o.c[i]);
+  }
+  /// True when every entry of *this is visible to (<=) `o` — happens-before.
+  [[nodiscard]] bool leq(const VectorClock& o) const {
+    for (std::size_t i = 0; i < c.size(); ++i)
+      if (c[i] > o.at(i)) return false;
+    return true;
+  }
+  void clear() { c.clear(); }
+};
+
+enum class OpKind : std::uint8_t {
+  kStart,        ///< first scheduling of a fresh thread
+  kSpawn,
+  kJoin,
+  kLock,
+  kTryLock,
+  kUnlock,
+  kCvWait,       ///< announce: release mutex + park on the cv
+  kCvReacquire,  ///< woken waiter re-acquiring the mutex
+  kCvNotify,
+  kAtomic,
+  kPlain,
+  kSleep,
+  kSleepDone,
+};
+
+struct PendingOp {
+  OpKind kind = OpKind::kStart;
+  const void* a = nullptr;  ///< primary object (mutex / cv / atomic / var)
+  const void* b = nullptr;  ///< the mutex of a cv operation
+  std::size_t target = 0;   ///< join target cell index
+  bool write = false;       ///< atomic/plain access direction
+  bool all = false;         ///< notify_all
+  bool timed = false;
+  std::int64_t deadline = 0;
+  const char* what = nullptr;
+};
+
+enum class Directive : std::uint8_t { kProceed, kThrowHalt };
+enum class WaitKind : std::uint8_t { kNone, kCv, kSleep };
+
+struct OpResult {
+  bool flag = false;  ///< try_lock success / cv timed-out
+};
+
+struct Cell {
+  std::thread sys;
+  // Handshake (all fields below guarded by Global::mx).
+  bool busy = false;    ///< hosting a virtual thread this run
+  bool parked = false;  ///< announced an op, waiting for the scheduler
+  bool done = false;    ///< body finished this run
+  int go = 0, gone = 0;
+  std::function<void()> body;
+  PendingOp op;
+  WaitKind waitkind = WaitKind::kNone;
+  bool wake_timeout = false;
+  Directive directive = Directive::kProceed;
+  OpResult result;
+  VectorClock clk;
+  std::exception_ptr uncaught;
+  std::size_t index = 0;
+};
+
+struct MutexState {
+  int owner = -1;
+  VectorClock clk;
+};
+struct CvState {
+  VectorClock clk;
+};
+struct VarState {
+  VectorClock rd, wr;
+  int last_writer = -1;
+  const char* what = nullptr;
+};
+
+struct ObjName {
+  const char* prefix;
+  int idx;
+};
+
+struct Frame {
+  std::vector<std::uint16_t> enabled;
+  std::uint16_t chosen = 0;
+  std::set<std::uint16_t> sleep;
+};
+
+struct TraceEv {
+  std::uint16_t tid;
+  PendingOp op;
+};
+
+constexpr std::size_t kMaxCells = 64;
+constexpr std::size_t kTraceTail = 64;
+constexpr std::uint64_t kHaltOpBudget = 2'000'000;
+
+void cell_main(struct Cell* c);
+
+struct Global {
+  ~Global();
+
+  std::mutex mx;
+  std::condition_variable cv;
+  std::atomic<bool> active{false};
+  bool shutdown = false;
+
+  std::vector<std::unique_ptr<Cell>> cells;
+  std::size_t nused = 0;
+
+  // Per-run virtual object state.
+  std::unordered_map<const void*, MutexState> mutexes;
+  std::unordered_map<const void*, CvState> cvs;
+  std::unordered_map<const void*, VectorClock> atomics;
+  std::unordered_map<const void*, VarState> vars;
+  std::unordered_map<const void*, ObjName> names;
+  int name_counts[4] = {0, 0, 0, 0};  // mutex, cv, atomic, var
+
+  bool halting = false;
+  bool pruned = false;
+  std::uint64_t halt_ops = 0;
+  std::int64_t vt_ns = 0;
+  std::uint64_t steps = 0;
+  int max_steps = 0;
+  std::vector<std::uint16_t> choices;
+  std::deque<TraceEv> trace;
+  std::optional<Failure> failure;
+  int cur_schedule = 0;
+  std::uint64_t cur_seed = 0;
+
+  // Exploration strategy state (exhaustive stack persists across runs).
+  Options::Mode mode = Options::Mode::kExhaustive;
+  std::vector<Frame> stack;
+  std::size_t depth = 0;
+  std::set<std::uint16_t> cur_sleep;
+  const std::vector<std::uint16_t>* replay_script = nullptr;
+  double pri[kMaxCells] = {};
+  double min_pri = 0.0;
+  std::set<std::uint64_t> change_points;
+  Rng rng{0};
+};
+
+Global& global() {
+  static Global g;
+  return g;
+}
+
+Global::~Global() {
+  {
+    const std::lock_guard lk(mx);
+    shutdown = true;
+  }
+  cv.notify_all();
+  for (auto& c : cells)
+    if (c->sys.joinable()) c->sys.join();
+}
+
+thread_local Cell* tls_cell = nullptr;
+
+void cell_main(Cell* c) {
+  Global& g = global();
+  tls_cell = c;
+  std::unique_lock lk(g.mx);
+  for (;;) {
+    g.cv.wait(lk, [&] { return g.shutdown || (c->busy && c->go != c->gone); });
+    if (g.shutdown) return;
+    c->gone = c->go;
+    if (c->directive == Directive::kThrowHalt) c->directive = Directive::kProceed;
+    auto body = std::move(c->body);
+    c->body = nullptr;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      body();
+    } catch (const ExecutionHalted&) {
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    c->done = true;
+    c->parked = false;
+    c->uncaught = err;
+    g.cv.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Naming and trace formatting
+// ---------------------------------------------------------------------------
+
+const char* kind_word(OpKind k) {
+  switch (k) {
+    case OpKind::kStart: return "start";
+    case OpKind::kSpawn: return "spawn";
+    case OpKind::kJoin: return "join";
+    case OpKind::kLock: return "lock";
+    case OpKind::kTryLock: return "try_lock";
+    case OpKind::kUnlock: return "unlock";
+    case OpKind::kCvWait: return "cv-wait";
+    case OpKind::kCvReacquire: return "cv-wake";
+    case OpKind::kCvNotify: return "notify";
+    case OpKind::kAtomic: return "atomic";
+    case OpKind::kPlain: return "access";
+    case OpKind::kSleep: return "sleep";
+    case OpKind::kSleepDone: return "sleep-done";
+  }
+  return "?";
+}
+
+std::string obj_name_locked(Global& g, const void* obj, int family,
+                            const char* what) {
+  static const char* kPrefix[4] = {"mutex", "cv", "atomic", "var"};
+  auto it = g.names.find(obj);
+  if (it == g.names.end()) {
+    it = g.names.emplace(obj, ObjName{kPrefix[family], g.name_counts[family]++})
+             .first;
+  }
+  std::string s = it->second.prefix;
+  s += '#';
+  s += std::to_string(it->second.idx);
+  if (what != nullptr) {
+    s += " (";
+    s += what;
+    s += ')';
+  }
+  return s;
+}
+
+int obj_family(OpKind k) {
+  switch (k) {
+    case OpKind::kLock:
+    case OpKind::kTryLock:
+    case OpKind::kUnlock: return 0;
+    case OpKind::kCvWait:
+    case OpKind::kCvReacquire:
+    case OpKind::kCvNotify: return 1;
+    case OpKind::kAtomic: return 2;
+    case OpKind::kPlain: return 3;
+    default: return -1;
+  }
+}
+
+std::string describe_locked(Global& g, std::uint16_t tid, const PendingOp& op) {
+  std::string s = "thread " + std::to_string(tid) + ": ";
+  switch (op.kind) {
+    case OpKind::kJoin:
+      s += "join thread " + std::to_string(op.target);
+      break;
+    case OpKind::kAtomic:
+      s += op.write ? "atomic-store " : "atomic-load ";
+      s += obj_name_locked(g, op.a, 2, op.what);
+      break;
+    case OpKind::kPlain:
+      s += op.write ? "write " : "read ";
+      s += obj_name_locked(g, op.a, 3, op.what);
+      break;
+    case OpKind::kCvNotify:
+      s += op.all ? "notify_all " : "notify_one ";
+      s += obj_name_locked(g, op.a, 1, op.what);
+      break;
+    case OpKind::kCvWait:
+    case OpKind::kCvReacquire:
+      s += kind_word(op.kind);
+      s += ' ';
+      s += obj_name_locked(g, op.a, 1, nullptr);
+      s += " / ";
+      s += obj_name_locked(g, op.b, 0, nullptr);
+      break;
+    default: {
+      s += kind_word(op.kind);
+      const int fam = obj_family(op.kind);
+      if (fam >= 0 && op.a != nullptr) {
+        s += ' ';
+        s += obj_name_locked(g, op.a, fam, op.what);
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Failure recording
+// ---------------------------------------------------------------------------
+
+void record_failure_locked(Global& g, Diag diag, std::string label,
+                           std::string message) {
+  g.halting = true;
+  if (g.failure) return;  // first diagnostic wins
+  Failure f;
+  f.diag = diag;
+  f.label = std::move(label);
+  f.message = std::move(message);
+  f.schedule = g.cur_schedule;
+  f.seed = g.cur_seed;
+  f.choices = g.choices;
+  for (const auto& ev : g.trace)
+    f.trace.push_back(describe_locked(g, ev.tid, ev.op));
+  g.failure = std::move(f);
+}
+
+// ---------------------------------------------------------------------------
+// Op application (scheduler side, Global::mx held)
+// ---------------------------------------------------------------------------
+
+bool op_enabled_locked(Global& g, const Cell& c) {
+  switch (c.op.kind) {
+    case OpKind::kLock: {
+      auto it = g.mutexes.find(c.op.a);
+      return it == g.mutexes.end() || it->second.owner < 0;
+    }
+    case OpKind::kCvReacquire: {
+      auto it = g.mutexes.find(c.op.b);
+      return it == g.mutexes.end() || it->second.owner < 0;
+    }
+    case OpKind::kJoin:
+      return c.op.target < g.nused && g.cells[c.op.target]->done;
+    default:
+      return true;
+  }
+}
+
+void resume_and_wait_locked(Global& g, Cell& c, std::unique_lock<std::mutex>& lk) {
+  c.parked = false;
+  c.waitkind = WaitKind::kNone;
+  c.go++;
+  g.cv.notify_all();
+  g.cv.wait(lk, [&] { return c.parked || c.done; });
+}
+
+void check_plain_access_locked(Global& g, Cell& c, const PendingOp& op) {
+  auto& v = g.vars[op.a];
+  if (op.what != nullptr) v.what = op.what;
+  const std::size_t me = c.index;
+  const auto conflict = [&](const VectorClock& prior) -> int {
+    for (std::size_t u = 0; u < prior.c.size(); ++u)
+      if (u != me && prior.c[u] > c.clk.at(u)) return static_cast<int>(u);
+    return -1;
+  };
+  int other = conflict(v.wr);
+  if (other < 0 && op.write) other = conflict(v.rd);
+  if (other >= 0) {
+    std::ostringstream msg;
+    msg << "unordered " << (op.write ? "write" : "read") << " of "
+        << obj_name_locked(g, op.a, 3, v.what) << " by thread " << me
+        << " conflicts with an earlier access by thread " << other
+        << " (no happens-before edge orders them)";
+    record_failure_locked(g, Diag::kDataRace,
+                          v.what != nullptr ? v.what : "unnamed location",
+                          msg.str());
+    return;
+  }
+  if (op.write) {
+    v.wr.grow(me + 1);
+    v.wr.c[me] = c.clk.at(me);
+    v.last_writer = static_cast<int>(me);
+  } else {
+    v.rd.grow(me + 1);
+    v.rd.c[me] = c.clk.at(me);
+  }
+}
+
+/// Apply the semantics of the chosen cell's announced op.  Returns true when
+/// the thread should be resumed afterwards (everything except parking waits).
+bool apply_locked(Global& g, Cell& c) {
+  const std::size_t me = c.index;
+  c.clk.bump(me);
+  switch (c.op.kind) {
+    case OpKind::kStart:
+    case OpKind::kSpawn:     // registration happened at announce time
+    case OpKind::kSleepDone:
+      return true;
+    case OpKind::kJoin: {
+      Cell& t = *g.cells[c.op.target];
+      c.clk.join(t.clk);
+      return true;
+    }
+    case OpKind::kLock: {
+      auto& m = g.mutexes[c.op.a];
+      m.owner = static_cast<int>(me);
+      c.clk.join(m.clk);
+      return true;
+    }
+    case OpKind::kTryLock: {
+      auto& m = g.mutexes[c.op.a];
+      if (m.owner < 0) {
+        m.owner = static_cast<int>(me);
+        c.clk.join(m.clk);
+        c.result.flag = true;
+      } else {
+        c.result.flag = false;
+      }
+      return true;
+    }
+    case OpKind::kUnlock: {
+      auto& m = g.mutexes[c.op.a];
+      if (m.owner != static_cast<int>(me)) {
+        record_failure_locked(
+            g, Diag::kDoubleRelease, obj_name_locked(g, c.op.a, 0, nullptr),
+            "thread " + std::to_string(me) + " released " +
+                obj_name_locked(g, c.op.a, 0, nullptr) +
+                (m.owner < 0 ? " which is not held (double release)"
+                             : " held by thread " + std::to_string(m.owner)));
+        return true;
+      }
+      m.owner = -1;
+      m.clk = c.clk;
+      return true;
+    }
+    case OpKind::kCvWait: {
+      auto& m = g.mutexes[c.op.b];
+      if (m.owner != static_cast<int>(me)) {
+        record_failure_locked(
+            g, Diag::kDoubleRelease, obj_name_locked(g, c.op.a, 1, nullptr),
+            "thread " + std::to_string(me) + " waited on " +
+                obj_name_locked(g, c.op.a, 1, nullptr) +
+                " without holding " + obj_name_locked(g, c.op.b, 0, nullptr));
+        return true;
+      }
+      m.owner = -1;
+      m.clk = c.clk;
+      (void)g.cvs[c.op.a];  // register the cv object
+      c.waitkind = WaitKind::kCv;
+      c.wake_timeout = false;
+      return false;  // stays parked until notified or timed out
+    }
+    case OpKind::kCvReacquire: {
+      auto& m = g.mutexes[c.op.b];
+      m.owner = static_cast<int>(me);
+      c.clk.join(m.clk);
+      if (!c.wake_timeout) c.clk.join(g.cvs[c.op.a].clk);
+      c.result.flag = c.wake_timeout;
+      return true;
+    }
+    case OpKind::kCvNotify: {
+      auto& cvs = g.cvs[c.op.a];
+      cvs.clk.join(c.clk);
+      for (std::size_t i = 0; i < g.nused; ++i) {
+        Cell& w = *g.cells[i];
+        if (!w.busy || w.done || w.waitkind != WaitKind::kCv) continue;
+        if (w.op.a != c.op.a) continue;
+        w.waitkind = WaitKind::kNone;
+        w.op.kind = OpKind::kCvReacquire;
+        w.wake_timeout = false;
+        if (!c.op.all) break;  // notify_one wakes the lowest-index waiter
+      }
+      return true;
+    }
+    case OpKind::kAtomic: {
+      auto& a = g.atomics[c.op.a];
+      // Model every atomic as seq_cst: each access is totally ordered and
+      // synchronizes-with prior accesses through the object's clock.
+      c.clk.join(a);
+      a.join(c.clk);
+      return true;
+    }
+    case OpKind::kPlain:
+      check_plain_access_locked(g, c, c.op);
+      return true;
+    case OpKind::kSleep:
+      c.waitkind = WaitKind::kSleep;
+      return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Blocked-state classification, time advance
+// ---------------------------------------------------------------------------
+
+void wake_expired_locked(Global& g) {
+  for (std::size_t i = 0; i < g.nused; ++i) {
+    Cell& c = *g.cells[i];
+    if (!c.busy || c.done || c.waitkind == WaitKind::kNone) continue;
+    const bool timed = c.waitkind == WaitKind::kSleep || c.op.timed;
+    if (!timed || c.op.deadline > g.vt_ns) continue;
+    if (c.waitkind == WaitKind::kSleep) {
+      c.op.kind = OpKind::kSleepDone;
+    } else {
+      c.op.kind = OpKind::kCvReacquire;
+      c.wake_timeout = true;
+    }
+    c.waitkind = WaitKind::kNone;
+  }
+}
+
+bool advance_time_locked(Global& g) {
+  std::int64_t earliest = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < g.nused; ++i) {
+    Cell& c = *g.cells[i];
+    if (!c.busy || c.done || c.waitkind == WaitKind::kNone) continue;
+    const bool timed = c.waitkind == WaitKind::kSleep || c.op.timed;
+    if (!timed) continue;
+    if (!found || c.op.deadline < earliest) earliest = c.op.deadline;
+    found = true;
+  }
+  if (!found) return false;
+  g.vt_ns = std::max(g.vt_ns, earliest);
+  wake_expired_locked(g);
+  return true;
+}
+
+void classify_blocked_locked(Global& g) {
+  // Every live thread is blocked and no timed wait can fire.  Wait-for
+  // edges: lock/reacquire -> mutex owner, join -> target.  A cycle (or a
+  // dependence on a finished thread) is a deadlock; otherwise some untimed
+  // cv waiter can never be woken — a lost wakeup.
+  std::vector<int> waits_on(g.nused, -1);
+  bool any_cv_waiter = false;
+  for (std::size_t i = 0; i < g.nused; ++i) {
+    Cell& c = *g.cells[i];
+    if (!c.busy || c.done) continue;
+    if (c.waitkind == WaitKind::kCv) {
+      any_cv_waiter = true;
+      continue;
+    }
+    switch (c.op.kind) {
+      case OpKind::kLock:
+        waits_on[i] = g.mutexes[c.op.a].owner;
+        break;
+      case OpKind::kCvReacquire:
+        waits_on[i] = g.mutexes[c.op.b].owner;
+        break;
+      case OpKind::kJoin:
+        waits_on[i] = static_cast<int>(c.op.target);
+        break;
+      default:
+        break;
+    }
+  }
+  bool cycle = false;
+  for (std::size_t s = 0; s < g.nused && !cycle; ++s) {
+    std::vector<bool> seen(g.nused, false);
+    int u = static_cast<int>(s);
+    while (u >= 0 && !seen[static_cast<std::size_t>(u)]) {
+      seen[static_cast<std::size_t>(u)] = true;
+      const std::size_t ui = static_cast<std::size_t>(u);
+      if (g.cells[ui]->done) {
+        u = -1;  // blocked on a finished thread: hopeless but acyclic
+        break;
+      }
+      u = waits_on[ui];
+    }
+    if (u >= 0) cycle = true;
+  }
+  std::ostringstream msg;
+  msg << "every live thread is blocked:";
+  for (std::size_t i = 0; i < g.nused; ++i) {
+    Cell& c = *g.cells[i];
+    if (!c.busy || c.done) continue;
+    msg << "\n  " << describe_locked(g, static_cast<std::uint16_t>(i), c.op);
+    if (waits_on[i] >= 0) msg << " [waiting on thread " << waits_on[i] << "]";
+  }
+  if (cycle) {
+    record_failure_locked(g, Diag::kDeadlock, "wait cycle", msg.str());
+  } else if (any_cv_waiter) {
+    record_failure_locked(g, Diag::kLostWakeup,
+                          "condition variable waiter never notified",
+                          msg.str());
+  } else {
+    record_failure_locked(g, Diag::kDeadlock, "unwakeable block", msg.str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Choosers
+// ---------------------------------------------------------------------------
+
+bool read_only_op(const PendingOp& op) {
+  return (op.kind == OpKind::kAtomic || op.kind == OpKind::kPlain) && !op.write;
+}
+
+void op_footprint(const PendingOp& op, const void* out[2]) {
+  out[0] = out[1] = nullptr;
+  switch (op.kind) {
+    case OpKind::kLock:
+    case OpKind::kTryLock:
+    case OpKind::kUnlock:
+    case OpKind::kCvNotify:
+    case OpKind::kAtomic:
+    case OpKind::kPlain:
+      out[0] = op.a;
+      break;
+    case OpKind::kCvWait:
+    case OpKind::kCvReacquire:
+      out[0] = op.a;
+      out[1] = op.b;
+      break;
+    case OpKind::kJoin:
+      out[0] = reinterpret_cast<const void*>(op.target + 1);
+      break;
+    case OpKind::kSpawn:
+      out[0] = reinterpret_cast<const void*>(std::uintptr_t{1});  // spawn slot order
+      break;
+    default:
+      break;
+  }
+}
+
+bool ops_independent(const PendingOp& p, const PendingOp& q) {
+  const void* fp[2];
+  const void* fq[2];
+  op_footprint(p, fp);
+  op_footprint(q, fq);
+  bool share = false;
+  for (const void* x : fp) {
+    if (x == nullptr) continue;
+    for (const void* y : fq)
+      if (x == y) share = true;
+  }
+  if (!share) return true;
+  return read_only_op(p) && read_only_op(q);
+}
+
+/// Exhaustive chooser with sleep-set reduction.  Returns the chosen cell
+/// index, or -1 when this branch is fully covered (prune the run).
+int choose_exhaustive_locked(Global& g, const std::vector<std::uint16_t>& en) {
+  if (g.depth < g.stack.size()) {
+    // Replaying the prefix of the current DFS path.
+    Frame& f = g.stack[g.depth];
+    if (std::find(en.begin(), en.end(), f.chosen) == en.end()) {
+      record_failure_locked(
+          g, Diag::kReplayMismatch, "nondeterministic body",
+          "the DFS prefix diverged: the body must make identical scheduling "
+          "announcements on every run (avoid real time and real randomness)");
+      return -1;
+    }
+    const std::uint16_t chosen = f.chosen;
+    g.cur_sleep.clear();
+    for (const std::uint16_t q : f.sleep)
+      if (ops_independent(g.cells[q]->op, g.cells[chosen]->op))
+        g.cur_sleep.insert(q);
+    g.depth++;
+    return chosen;
+  }
+  std::uint16_t chosen = 0;
+  bool have = false;
+  for (const std::uint16_t t : en) {
+    if (g.cur_sleep.count(t) != 0) continue;
+    chosen = t;
+    have = true;
+    break;
+  }
+  if (!have) {
+    // Every enabled move is in the sleep set: this state is fully explored
+    // through other interleavings.  Abandon the schedule silently.
+    g.pruned = true;
+    g.halting = true;
+    return -1;
+  }
+  Frame f;
+  f.enabled = en;
+  f.chosen = chosen;
+  f.sleep = g.cur_sleep;
+  g.stack.push_back(std::move(f));
+  std::set<std::uint16_t> next_sleep;
+  for (const std::uint16_t q : g.cur_sleep)
+    if (ops_independent(g.cells[q]->op, g.cells[chosen]->op))
+      next_sleep.insert(q);
+  g.cur_sleep = std::move(next_sleep);
+  g.depth++;
+  return chosen;
+}
+
+int choose_pct_locked(Global& g, const std::vector<std::uint16_t>& en) {
+  const auto highest = [&]() {
+    std::uint16_t best = en[0];
+    for (const std::uint16_t t : en)
+      if (g.pri[t] > g.pri[best]) best = t;
+    return best;
+  };
+  if (g.change_points.count(g.steps) != 0) {
+    const std::uint16_t demoted = highest();
+    g.min_pri -= 1.0;
+    g.pri[demoted] = g.min_pri;
+  }
+  return highest();
+}
+
+int choose_replay_locked(Global& g, const std::vector<std::uint16_t>& en) {
+  const std::size_t step = g.choices.size();
+  if (step >= g.replay_script->size()) return en[0];  // past the recorded tail
+  const std::uint16_t want = (*g.replay_script)[step];
+  if (std::find(en.begin(), en.end(), want) == en.end()) {
+    record_failure_locked(
+        g, Diag::kReplayMismatch, "stale replay token",
+        "replay step " + std::to_string(step) + " wants thread " +
+            std::to_string(want) +
+            " but it is not schedulable here; the token was produced by a "
+            "different body or binary");
+    return -1;
+  }
+  return want;
+}
+
+// ---------------------------------------------------------------------------
+// Halt drain
+// ---------------------------------------------------------------------------
+
+void drain_locked(Global& g, std::unique_lock<std::mutex>& lk) {
+  g.halting = true;
+  for (;;) {
+    // Reverse spawn order: children before parents.  A checked thread's
+    // closure typically references state on its spawner's stack (a Comm, a
+    // pool, a results vector), so the spawner must stay parked — its frame
+    // alive — until every thread spawned after it has drained.  Cell
+    // indices are allocated monotonically, so highest-index-first is
+    // exactly youngest-first; a parent's join then always finds its target
+    // done and completes (or unwinds) with no live reader of its stack.
+    Cell* next = nullptr;
+    for (std::size_t i = g.nused; i-- > 0;) {
+      Cell& c = *g.cells[i];
+      if (c.busy && !c.done) {
+        next = &c;
+        break;
+      }
+    }
+    if (next == nullptr) break;
+    Cell& c = *next;
+    // Threads parked at a blocking point must unwind; everything else
+    // completes benignly (halt-mode ops never park again).
+    switch (c.op.kind) {
+      case OpKind::kCvWait:
+      case OpKind::kCvReacquire:
+      case OpKind::kSleep:
+        c.directive = Directive::kThrowHalt;
+        break;
+      case OpKind::kJoin:
+        c.directive = (c.op.target < g.nused && g.cells[c.op.target]->done)
+                          ? Directive::kProceed
+                          : Directive::kThrowHalt;
+        break;
+      case OpKind::kLock: {
+        auto& m = g.mutexes[c.op.a];
+        if (m.owner < 0) m.owner = static_cast<int>(c.index);
+        c.directive = Directive::kProceed;
+        break;
+      }
+      case OpKind::kTryLock:
+        c.result.flag = false;
+        c.directive = Directive::kProceed;
+        break;
+      case OpKind::kUnlock:
+        g.mutexes[c.op.a].owner = -1;
+        c.directive = Directive::kProceed;
+        break;
+      default:
+        c.directive = Directive::kProceed;
+        break;
+    }
+    resume_and_wait_locked(g, c, lk);
+  }
+}
+
+/// Thread-side op handling once the schedule has halted: never park, never
+/// fail, throw only at points that are safe (no destructor ever blocks).
+OpResult halt_inline_locked(Global& g, Cell& c, const PendingOp& op) {
+  if (++g.halt_ops > kHaltOpBudget) {
+    std::fprintf(stderr,
+                 "mc: halt-drain budget exhausted (livelock while unwinding a "
+                 "failed schedule)\n");
+    if (g.failure)
+      std::fprintf(stderr, "%s\n", g.failure->format().c_str());
+    std::abort();
+  }
+  switch (op.kind) {
+    case OpKind::kLock: {
+      auto& m = g.mutexes[op.a];
+      if (m.owner < 0) m.owner = static_cast<int>(c.index);
+      return {};
+    }
+    case OpKind::kTryLock:
+      return {false};
+    case OpKind::kUnlock:
+      g.mutexes[op.a].owner = -1;
+      return {};
+    case OpKind::kCvWait:
+    case OpKind::kSleep:
+      throw ExecutionHalted{};
+    case OpKind::kJoin:
+      if (op.target < g.nused && g.cells[op.target]->done) return {};
+      throw ExecutionHalted{};
+    default:
+      return {};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Announce (thread side)
+// ---------------------------------------------------------------------------
+
+OpResult perform(PendingOp op) {
+  Global& g = global();
+  Cell* c = tls_cell;
+  std::unique_lock lk(g.mx);
+  if (g.halting) {
+    // A join of a still-live thread cannot complete inline and must not
+    // unwind either: the joiner's stack frame typically owns state the
+    // target is executing against, so throwing here would destroy it under
+    // the target's feet.  Park instead — the drain loop runs threads
+    // youngest-first, so the target reaches `done` before the joiner is
+    // resumed and the join then completes normally.
+    const bool join_live = op.kind == OpKind::kJoin && op.target < g.nused &&
+                           g.cells[op.target]->busy &&
+                           !g.cells[op.target]->done;
+    if (!join_live) return halt_inline_locked(g, *c, op);
+  }
+  c->op = op;
+  c->parked = true;
+  g.cv.notify_all();
+  g.cv.wait(lk, [&] { return c->go != c->gone; });
+  c->gone = c->go;
+  if (c->directive == Directive::kThrowHalt) {
+    c->directive = Directive::kProceed;
+    throw ExecutionHalted{};
+  }
+  return c->result;
+}
+
+std::size_t alloc_cell_locked(Global& g, std::function<void()> body) {
+  PASTIX_CHECK(g.nused < kMaxCells, "mc: too many threads in one exploration");
+  if (g.nused == g.cells.size()) {
+    auto cell = std::make_unique<Cell>();
+    cell->index = g.cells.size();
+    cell->sys = std::thread(cell_main, cell.get());
+    g.cells.push_back(std::move(cell));
+  }
+  Cell& c = *g.cells[g.nused];
+  c.busy = true;
+  c.parked = true;
+  c.done = false;
+  c.body = std::move(body);
+  c.op = PendingOp{};
+  c.op.kind = OpKind::kStart;
+  c.waitkind = WaitKind::kNone;
+  c.wake_timeout = false;
+  c.directive = Directive::kProceed;
+  c.result = OpResult{};
+  c.clk.clear();
+  c.uncaught = nullptr;
+  return g.nused++;
+}
+
+// ---------------------------------------------------------------------------
+// One schedule
+// ---------------------------------------------------------------------------
+
+struct RunOutcome {
+  bool pruned = false;
+  std::uint64_t steps = 0;
+};
+
+RunOutcome run_schedule(Global& g, const std::function<void()>& body,
+                        const Options& opt) {
+  std::unique_lock lk(g.mx);
+  // Reset per-run state.
+  for (std::size_t i = 0; i < g.cells.size(); ++i) g.cells[i]->busy = false;
+  g.nused = 0;
+  g.mutexes.clear();
+  g.cvs.clear();
+  g.atomics.clear();
+  g.vars.clear();
+  g.names.clear();
+  for (int& n : g.name_counts) n = 0;
+  g.halting = false;
+  g.pruned = false;
+  g.halt_ops = 0;
+  g.vt_ns = 0;
+  g.steps = 0;
+  g.max_steps = opt.max_steps;
+  g.choices.clear();
+  g.trace.clear();
+  g.depth = 0;
+  g.cur_sleep.clear();
+  if (g.mode == Options::Mode::kPct) {
+    g.rng = Rng(g.cur_seed);
+    g.min_pri = 0.0;
+    for (double& p : g.pri) p = g.rng.next_double();
+    g.change_points.clear();
+    const auto horizon =
+        static_cast<std::uint64_t>(std::max(opt.max_steps / 4, 64));
+    for (int i = 0; i + 1 < opt.pct_depth; ++i)
+      g.change_points.insert(1 + g.rng.next_below(horizon));
+  }
+
+  alloc_cell_locked(g, body);
+
+  for (;;) {
+    if (g.halting) break;
+    wake_expired_locked(g);
+    std::vector<std::uint16_t> en;
+    bool any_live = false;
+    for (std::size_t i = 0; i < g.nused; ++i) {
+      Cell& c = *g.cells[i];
+      if (!c.busy || c.done) continue;
+      any_live = true;
+      if (c.parked && c.waitkind == WaitKind::kNone && op_enabled_locked(g, c))
+        en.push_back(static_cast<std::uint16_t>(i));
+    }
+    if (en.empty()) {
+      if (!any_live) break;  // schedule ran to completion
+      if (advance_time_locked(g)) continue;
+      classify_blocked_locked(g);
+      break;
+    }
+    if (g.steps >= static_cast<std::uint64_t>(g.max_steps)) {
+      record_failure_locked(
+          g, Diag::kStepLimit, "schedule budget",
+          "schedule exceeded max_steps=" + std::to_string(g.max_steps) +
+              " synchronization operations (possible livelock, or raise "
+              "Options::max_steps)");
+      break;
+    }
+    int chosen;
+    if (g.replay_script != nullptr)
+      chosen = choose_replay_locked(g, en);
+    else if (g.mode == Options::Mode::kExhaustive)
+      chosen = choose_exhaustive_locked(g, en);
+    else
+      chosen = choose_pct_locked(g, en);
+    if (chosen < 0) break;
+    g.steps++;
+    Cell& c = *g.cells[static_cast<std::size_t>(chosen)];
+    g.choices.push_back(static_cast<std::uint16_t>(chosen));
+    g.trace.push_back({static_cast<std::uint16_t>(chosen), c.op});
+    if (g.trace.size() > kTraceTail) g.trace.pop_front();
+    if (apply_locked(g, c)) resume_and_wait_locked(g, c, lk);
+  }
+
+  drain_locked(g, lk);
+
+  if (!g.failure) {
+    for (std::size_t i = 0; i < g.nused; ++i) {
+      if (g.cells[i]->uncaught == nullptr) continue;
+      std::string what = "unknown exception";
+      try {
+        std::rethrow_exception(g.cells[i]->uncaught);
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
+      }
+      record_failure_locked(g, Diag::kException, "uncaught exception",
+                            "thread " + std::to_string(i) +
+                                " terminated with: " + what);
+      break;
+    }
+  }
+  RunOutcome out;
+  out.pruned = g.pruned;
+  out.steps = g.steps;
+  return out;
+}
+
+/// Advance the DFS stack to the next unexplored sibling.  Returns false when
+/// the whole reduced schedule space is covered.
+bool backtrack_locked(Global& g) {
+  while (!g.stack.empty()) {
+    Frame& f = g.stack.back();
+    f.sleep.insert(f.chosen);
+    bool advanced = false;
+    for (const std::uint16_t t : f.enabled) {
+      if (f.sleep.count(t) != 0) continue;
+      f.chosen = t;
+      advanced = true;
+      break;
+    }
+    if (advanced) return true;
+    g.stack.pop_back();
+  }
+  return false;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// sim::detail — the shim entry points
+// ---------------------------------------------------------------------------
+
+namespace sim::detail {
+
+bool scheduled() {
+  return global().active.load(std::memory_order_acquire) && tls_cell != nullptr;
+}
+
+void mutex_lock(const void* m) {
+  PendingOp op;
+  op.kind = OpKind::kLock;
+  op.a = m;
+  perform(op);
+}
+
+bool mutex_try_lock(const void* m) {
+  PendingOp op;
+  op.kind = OpKind::kTryLock;
+  op.a = m;
+  return perform(op).flag;
+}
+
+void mutex_unlock(const void* m) {
+  PendingOp op;
+  op.kind = OpKind::kUnlock;
+  op.a = m;
+  perform(op);
+}
+
+bool cv_wait(const void* cv, const void* m, bool timed,
+             std::int64_t deadline_ns) {
+  PendingOp op;
+  op.kind = OpKind::kCvWait;
+  op.a = cv;
+  op.b = m;
+  op.timed = timed;
+  op.deadline = deadline_ns;
+  return perform(op).flag;
+}
+
+void cv_notify(const void* cv, bool all) {
+  PendingOp op;
+  op.kind = OpKind::kCvNotify;
+  op.a = cv;
+  op.all = all;
+  perform(op);
+}
+
+void atomic_access(const void* obj, bool write) {
+  PendingOp op;
+  op.kind = OpKind::kAtomic;
+  op.a = obj;
+  op.write = write;
+  perform(op);
+}
+
+void plain_access(const void* obj, bool write, const char* what) {
+  PendingOp op;
+  op.kind = OpKind::kPlain;
+  op.a = obj;
+  op.write = write;
+  op.what = what;
+  perform(op);
+}
+
+std::uint64_t thread_spawn(std::function<void()> body) {
+  Global& g = global();
+  Cell* parent = tls_cell;
+  std::size_t child;
+  {
+    std::unique_lock lk(g.mx);
+    child = alloc_cell_locked(g, std::move(body));
+    // The child inherits the parent's clock: spawn is a happens-before edge.
+    g.cells[child]->clk = parent->clk;
+    g.cells[child]->clk.bump(child);
+  }
+  PendingOp op;
+  op.kind = OpKind::kSpawn;
+  op.target = child;
+  perform(op);
+  return child + 1;
+}
+
+void thread_join(std::uint64_t id) {
+  PendingOp op;
+  op.kind = OpKind::kJoin;
+  op.target = static_cast<std::size_t>(id - 1);
+  perform(op);
+}
+
+void invalid_join(const char* what) {
+  Global& g = global();
+  std::unique_lock lk(g.mx);
+  if (!g.halting)
+    record_failure_locked(g, Diag::kInvalidJoin, "invalid join", what);
+  throw ExecutionHalted{};
+}
+
+std::int64_t virtual_now_ns() {
+  Global& g = global();
+  if (scheduled()) {
+    const std::lock_guard lk(g.mx);
+    return g.vt_ns;
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_ns(std::int64_t ns) {
+  PendingOp op;
+  op.kind = OpKind::kSleep;
+  op.timed = true;
+  op.deadline = virtual_now_ns() + std::max<std::int64_t>(ns, 0);
+  perform(op);
+}
+
+} // namespace sim::detail
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const char* diag_name(Diag d) {
+  switch (d) {
+    case Diag::kNone: return "none";
+    case Diag::kDataRace: return "data-race";
+    case Diag::kDeadlock: return "deadlock";
+    case Diag::kLostWakeup: return "lost-wakeup";
+    case Diag::kDoubleRelease: return "double-release";
+    case Diag::kInvalidJoin: return "invalid-join";
+    case Diag::kAssertFailed: return "assert-failed";
+    case Diag::kException: return "exception";
+    case Diag::kStepLimit: return "step-limit";
+    case Diag::kReplayMismatch: return "replay-mismatch";
+  }
+  return "?";
+}
+
+std::string Failure::replay_token() const {
+  std::string s = "mc:v1:";
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) s += '.';
+    s += std::to_string(choices[i]);
+  }
+  return s;
+}
+
+std::string Failure::format() const {
+  std::ostringstream os;
+  os << "MC FAILURE [" << diag_name(diag) << "] " << label << "\n  "
+     << message << "\n  schedule " << schedule << " (seed " << seed
+     << ")\n  replay: " << replay_token() << "\n  interleaving tail:";
+  for (const auto& line : trace) os << "\n    " << line;
+  return os.str();
+}
+
+std::optional<std::vector<std::uint16_t>> parse_replay_token(
+    const std::string& token) {
+  const std::string prefix = "mc:v1:";
+  if (token.rfind(prefix, 0) != 0) return std::nullopt;
+  std::vector<std::uint16_t> out;
+  std::size_t pos = prefix.size();
+  while (pos < token.size()) {
+    std::size_t end = token.find('.', pos);
+    if (end == std::string::npos) end = token.size();
+    if (end == pos) return std::nullopt;
+    unsigned long v = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      if (token[i] < '0' || token[i] > '9') return std::nullopt;
+      v = v * 10 + static_cast<unsigned long>(token[i] - '0');
+    }
+    if (v >= kMaxCells) return std::nullopt;
+    out.push_back(static_cast<std::uint16_t>(v));
+    pos = end + 1;
+  }
+  return out;
+}
+
+bool under_exploration() { return sim::detail::scheduled(); }
+
+void require(bool cond, const char* label) {
+  if (cond) return;
+  if (!sim::detail::scheduled()) {
+    PASTIX_CHECK(cond, std::string("mc::require failed: ") + label);
+    return;
+  }
+  Global& g = global();
+  {
+    std::unique_lock lk(g.mx);
+    if (g.halting) {
+      // A diagnostic already halted this schedule; just keep unwinding.
+    } else {
+      record_failure_locked(g, Diag::kAssertFailed, label,
+                            std::string("mc::require(") + label +
+                                ") failed on this schedule");
+    }
+  }
+  throw ExecutionHalted{};
+}
+
+Result explore(const Options& opt, const std::function<void()>& body) {
+  Global& g = global();
+  PASTIX_CHECK(!g.active.load(), "mc::explore is not reentrant");
+  PASTIX_CHECK(tls_cell == nullptr,
+               "mc::explore must not be called from a checked thread");
+  g.mode = opt.mode;
+  g.stack.clear();
+  g.replay_script = opt.replay.empty() ? nullptr : &opt.replay;
+  g.failure.reset();
+  g.active.store(true, std::memory_order_release);
+
+  Result res;
+  if (g.replay_script != nullptr) {
+    g.cur_schedule = 0;
+    g.cur_seed = opt.seed;
+    const RunOutcome out = run_schedule(g, body, opt);
+    res.schedules = 1;
+    res.steps = out.steps;
+  } else if (opt.mode == Options::Mode::kExhaustive) {
+    for (;;) {
+      g.cur_schedule = res.schedules;
+      g.cur_seed = opt.seed;
+      const RunOutcome out = run_schedule(g, body, opt);
+      res.schedules++;
+      res.steps += out.steps;
+      if (g.failure && opt.stop_on_first) break;
+      bool more;
+      {
+        const std::lock_guard lk(g.mx);
+        more = backtrack_locked(g);
+      }
+      if (!more) {
+        res.complete = true;
+        break;
+      }
+      if (res.schedules >= opt.max_schedules) break;
+    }
+  } else {
+    for (int i = 0; i < opt.max_schedules; ++i) {
+      g.cur_schedule = i;
+      std::uint64_t mix = opt.seed + static_cast<std::uint64_t>(i);
+      g.cur_seed = splitmix64(mix);
+      const RunOutcome out = run_schedule(g, body, opt);
+      res.schedules++;
+      res.steps += out.steps;
+      if (g.failure && opt.stop_on_first) break;
+    }
+  }
+
+  res.failure = g.failure;
+  res.ok = !g.failure.has_value();
+  if (!res.ok) res.complete = false;
+  g.replay_script = nullptr;
+  g.active.store(false, std::memory_order_release);
+  return res;
+}
+
+Result replay(const std::string& token, const std::function<void()>& body) {
+  const auto choices = parse_replay_token(token);
+  if (!choices) {
+    Result res;
+    res.ok = false;
+    Failure f;
+    f.diag = Diag::kReplayMismatch;
+    f.label = "unparseable replay token";
+    f.message = "expected mc:v1:<n>.<n>... , got: " + token;
+    res.failure = std::move(f);
+    return res;
+  }
+  Options opt;
+  opt.replay = *choices;
+  return explore(opt, body);
+}
+
+} // namespace pastix::mc

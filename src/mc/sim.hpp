@@ -1,0 +1,348 @@
+#pragma once
+//
+// Instrumented synchronization primitives for the model checker.
+//
+// Each type below has two personalities:
+//
+//   * Under an active explorer (mc::explore), every operation first announces
+//     itself to the cooperative scheduler and parks until the scheduler picks
+//     this thread.  The scheduler interleaves announced operations one at a
+//     time, drives the vector-clock race detector, and classifies blocked
+//     states (deadlock / lost wakeup).  Mutex and condition-variable blocking
+//     is purely virtual — no real wait ever happens on the fallback objects.
+//
+//   * Outside exploration (library code in an MC build running ordinary unit
+//     tests, or setup code on unmanaged threads), each type degrades to a
+//     plain std-backed primitive with identical semantics.
+//
+// These types are compiled in every build; the PASTIX_MC option only decides
+// whether the mc:: aliases in sync.hpp point here or at the std:: types.
+//
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+namespace pastix::mc::sim {
+
+namespace detail {
+
+/// True when the calling thread is managed by an active explorer.
+[[nodiscard]] bool scheduled();
+
+void mutex_lock(const void* m);
+[[nodiscard]] bool mutex_try_lock(const void* m);
+void mutex_unlock(const void* m);
+
+/// Returns true when the wait ended by timeout (timed waits only).
+bool cv_wait(const void* cv, const void* m, bool timed,
+             std::int64_t deadline_ns);
+void cv_notify(const void* cv, bool all);
+
+void atomic_access(const void* obj, bool write);
+void plain_access(const void* obj, bool write, const char* what);
+
+[[nodiscard]] std::uint64_t thread_spawn(std::function<void()> body);
+void thread_join(std::uint64_t id);
+/// Report a join on a thread object that owns nothing (kInvalidJoin).
+void invalid_join(const char* what);
+
+[[nodiscard]] std::int64_t virtual_now_ns();
+void sleep_ns(std::int64_t ns);
+
+} // namespace detail
+
+/// Virtual time source.  Under exploration, time only advances when every
+/// live thread is blocked on a timed wait (the scheduler jumps to the
+/// earliest deadline); outside exploration it mirrors steady_clock.
+struct VirtualClock {
+  using rep = std::int64_t;
+  using period = std::nano;
+  using duration = std::chrono::nanoseconds;
+  using time_point = std::chrono::time_point<VirtualClock, duration>;
+  static constexpr bool is_steady = true;
+  static time_point now() {
+    return time_point(duration(detail::virtual_now_ns()));
+  }
+};
+
+class CondVar;
+
+class Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    if (detail::scheduled()) {
+      detail::mutex_lock(this);
+      return;
+    }
+    fallback_.lock();
+  }
+  bool try_lock() {
+    if (detail::scheduled()) return detail::mutex_try_lock(this);
+    return fallback_.try_lock();
+  }
+  void unlock() {
+    if (detail::scheduled()) {
+      detail::mutex_unlock(this);
+      return;
+    }
+    fallback_.unlock();
+  }
+
+private:
+  friend class CondVar;
+  std::mutex fallback_;
+};
+
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { notify(false); }
+  void notify_all() { notify(true); }
+
+  void wait(std::unique_lock<Mutex>& lock) {
+    if (detail::scheduled()) {
+      detail::cv_wait(this, lock.mutex(), /*timed=*/false, 0);
+      return;
+    }
+    fallback_.wait(lock);
+  }
+  template <class Pred>
+  void wait(std::unique_lock<Mutex>& lock, Pred pred) {
+    while (!pred()) wait(lock);
+  }
+
+  template <class Clock2, class Dur>
+  std::cv_status wait_until(std::unique_lock<Mutex>& lock,
+                            const std::chrono::time_point<Clock2, Dur>& tp) {
+    if (detail::scheduled()) {
+      const std::int64_t deadline = to_virtual_ns(tp);
+      const bool timed_out =
+          detail::cv_wait(this, lock.mutex(), /*timed=*/true, deadline);
+      return timed_out ? std::cv_status::timeout : std::cv_status::no_timeout;
+    }
+    return fallback_.wait_until(lock, tp);
+  }
+  template <class Clock2, class Dur, class Pred>
+  bool wait_until(std::unique_lock<Mutex>& lock,
+                  const std::chrono::time_point<Clock2, Dur>& tp, Pred pred) {
+    while (!pred()) {
+      if (wait_until(lock, tp) == std::cv_status::timeout) return pred();
+    }
+    return true;
+  }
+
+  template <class Rep, class Per>
+  std::cv_status wait_for(std::unique_lock<Mutex>& lock,
+                          const std::chrono::duration<Rep, Per>& d) {
+    return wait_until(lock, VirtualClock::now() + clamp_duration(d));
+  }
+  template <class Rep, class Per, class Pred>
+  bool wait_for(std::unique_lock<Mutex>& lock,
+                const std::chrono::duration<Rep, Per>& d, Pred pred) {
+    return wait_until(lock, VirtualClock::now() + clamp_duration(d),
+                      std::move(pred));
+  }
+
+private:
+  void notify(bool all) {
+    if (detail::scheduled()) {
+      detail::cv_notify(this, all);
+      return;
+    }
+    if (all)
+      fallback_.notify_all();
+    else
+      fallback_.notify_one();
+  }
+
+  /// Convert any clock's time_point into virtual nanoseconds, clamping the
+  /// far future (e.g. time_point::max() sentinels) so arithmetic can't
+  /// overflow.  Foreign clocks convert via their remaining duration — under
+  /// exploration real clocks barely advance, so the offset is faithful.
+  template <class Clock2, class Dur>
+  static std::int64_t to_virtual_ns(
+      const std::chrono::time_point<Clock2, Dur>& tp) {
+    if constexpr (std::is_same_v<Clock2, VirtualClock>) {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 tp.time_since_epoch())
+          .count();
+    } else {
+      const auto remain = clamp_duration(tp - Clock2::now());
+      return (VirtualClock::now() + remain).time_since_epoch().count();
+    }
+  }
+
+  template <class Rep, class Per>
+  static std::chrono::nanoseconds clamp_duration(
+      const std::chrono::duration<Rep, Per>& d) {
+    // ~29 years of virtual headroom; anything longer is a "never" sentinel.
+    constexpr std::int64_t kMaxNs = std::int64_t{1} << 60;
+    if (d <= std::chrono::duration<Rep, Per>::zero())
+      return std::chrono::nanoseconds(0);
+    const auto capped =
+        std::chrono::duration_cast<std::chrono::duration<double>>(d);
+    if (capped.count() * 1e9 >= static_cast<double>(kMaxNs))
+      return std::chrono::nanoseconds(kMaxNs);
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(d);
+  }
+
+  std::condition_variable_any fallback_;
+};
+
+template <class T>
+class Atomic {
+public:
+  Atomic() noexcept = default;
+  constexpr Atomic(T v) noexcept : v_(v) {}  // NOLINT(google-explicit-constructor)
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order = std::memory_order_seq_cst) const noexcept {
+    touch(/*write=*/false);
+    return v_.load(std::memory_order_seq_cst);
+  }
+  void store(T v, std::memory_order = std::memory_order_seq_cst) noexcept {
+    touch(/*write=*/true);
+    v_.store(v, std::memory_order_seq_cst);
+  }
+  T exchange(T v, std::memory_order = std::memory_order_seq_cst) noexcept {
+    touch(/*write=*/true);
+    return v_.exchange(v, std::memory_order_seq_cst);
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order = std::memory_order_seq_cst) noexcept {
+    touch(/*write=*/true);
+    return v_.compare_exchange_strong(expected, desired,
+                                      std::memory_order_seq_cst);
+  }
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order = std::memory_order_seq_cst) noexcept {
+    return compare_exchange_strong(expected, desired);
+  }
+
+  template <class U = T,
+            class = std::enable_if_t<std::is_integral_v<U> &&
+                                     !std::is_same_v<U, bool>>>
+  T fetch_add(T v, std::memory_order = std::memory_order_seq_cst) noexcept {
+    touch(/*write=*/true);
+    return v_.fetch_add(v, std::memory_order_seq_cst);
+  }
+  template <class U = T,
+            class = std::enable_if_t<std::is_integral_v<U> &&
+                                     !std::is_same_v<U, bool>>>
+  T fetch_sub(T v, std::memory_order = std::memory_order_seq_cst) noexcept {
+    touch(/*write=*/true);
+    return v_.fetch_sub(v, std::memory_order_seq_cst);
+  }
+
+  operator T() const noexcept { return load(); }  // NOLINT
+  T operator=(T v) noexcept {
+    store(v);
+    return v;
+  }
+
+private:
+  void touch(bool write) const noexcept {
+    if (detail::scheduled()) detail::atomic_access(this, write);
+  }
+  std::atomic<T> v_{};
+};
+
+/// Drop-in std::thread replacement.  Under exploration the body becomes a
+/// scheduler-managed virtual thread; otherwise it is a real std::thread.
+class Thread {
+public:
+  Thread() noexcept = default;
+  template <class F, class... Args,
+            class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Thread>>>
+  explicit Thread(F&& f, Args&&... args) {
+    if (detail::scheduled()) {
+      vid_ = detail::thread_spawn(
+          [fn = std::bind(std::forward<F>(f), std::forward<Args>(args)...)]()
+              mutable { fn(); });
+    } else {
+      sys_ = std::thread(std::forward<F>(f), std::forward<Args>(args)...);
+    }
+  }
+  Thread(Thread&& other) noexcept
+      : sys_(std::move(other.sys_)), vid_(other.vid_) {
+    other.vid_ = 0;
+  }
+  Thread& operator=(Thread&& other) noexcept {
+    if (this != &other) {
+      if (joinable()) std::terminate();  // mirror std::thread
+      sys_ = std::move(other.sys_);
+      vid_ = other.vid_;
+      other.vid_ = 0;
+    }
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  ~Thread() {
+    // std::thread terminates here; under exploration the explorer reports a
+    // leak diagnostic instead (the real thread is pooled and reclaimed).
+    if (sys_.joinable()) std::terminate();
+  }
+
+  [[nodiscard]] bool joinable() const noexcept {
+    return vid_ != 0 || sys_.joinable();
+  }
+  void join() {
+    if (vid_ != 0) {
+      const std::uint64_t id = vid_;
+      vid_ = 0;
+      detail::thread_join(id);
+      return;
+    }
+    if (detail::scheduled() && !sys_.joinable()) {
+      detail::invalid_join("join of a thread that was never started");
+      return;
+    }
+    sys_.join();
+  }
+  [[nodiscard]] std::thread::id get_id() const noexcept {
+    return sys_.get_id();
+  }
+
+private:
+  std::thread sys_;
+  std::uint64_t vid_ = 0;
+};
+
+template <class Rep, class Per>
+inline void sleep_for(const std::chrono::duration<Rep, Per>& d) {
+  if (detail::scheduled()) {
+    detail::sleep_ns(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+    return;
+  }
+  std::this_thread::sleep_for(d);
+}
+
+/// Race-detector annotations for plain (non-atomic) shared state.  Call with
+/// the address of the guarded structure just before reading/writing it; the
+/// vector-clock detector flags any pair of unordered conflicting accesses.
+inline void race_read(const void* obj, const char* what) {
+  if (detail::scheduled()) detail::plain_access(obj, /*write=*/false, what);
+}
+inline void race_write(const void* obj, const char* what) {
+  if (detail::scheduled()) detail::plain_access(obj, /*write=*/true, what);
+}
+
+} // namespace pastix::mc::sim

@@ -1,0 +1,93 @@
+#pragma once
+//
+// The mc:: synchronization shim (DESIGN.md §16).
+//
+// Concurrency-bearing layers (rt/comm, rt/checkpoint, rt/resilient,
+// solver/hybrid_pool, solver/fanin, service, core/plan_cache) declare their
+// primitives through these aliases instead of naming std:: types directly:
+//
+//   mc::mutex, mc::condition_variable, mc::atomic<T>, mc::thread, mc::clock,
+//   mc::sleep_for, mc::race_read/race_write
+//
+// In a normal build the aliases ARE the std:: types — zero overhead, checked
+// by the static_asserts below — and the race annotations are empty inlines.
+// Under -DPASTIX_MC=ON they become the instrumented sim types (sim.hpp),
+// which route every operation through the cooperative explorer when one is
+// active and degrade to plain std-backed behavior otherwise.
+//
+#include "mc/hooks.hpp"
+
+#ifdef PASTIX_MC
+
+#include "mc/sim.hpp"
+
+namespace pastix::mc {
+
+using mutex = sim::Mutex;
+using condition_variable = sim::CondVar;
+template <class T>
+using atomic = sim::Atomic<T>;
+using thread = sim::Thread;
+using clock = sim::VirtualClock;
+
+template <class Rep, class Per>
+inline void sleep_for(const std::chrono::duration<Rep, Per>& d) {
+  sim::sleep_for(d);
+}
+
+inline void race_read(const void* obj, const char* what) {
+  sim::race_read(obj, what);
+}
+inline void race_write(const void* obj, const char* what) {
+  sim::race_write(obj, what);
+}
+
+} // namespace pastix::mc
+
+#else  // production: the shim compiles to the std:: types
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+
+namespace pastix::mc {
+
+using mutex = std::mutex;
+using condition_variable = std::condition_variable;
+template <class T>
+using atomic = std::atomic<T>;
+using thread = std::thread;
+using clock = std::chrono::steady_clock;
+
+template <class Rep, class Per>
+inline void sleep_for(const std::chrono::duration<Rep, Per>& d) {
+  std::this_thread::sleep_for(d);
+}
+
+inline void race_read(const void* obj, const char* what) {
+  (void)obj;
+  (void)what;
+}
+inline void race_write(const void* obj, const char* what) {
+  (void)obj;
+  (void)what;
+}
+
+// Zero-overhead parity checks: in production the aliases must BE the std::
+// types (same layout, same API), so migrated code compiles to exactly what
+// it compiled to before the shim existed.
+static_assert(std::is_same_v<mutex, std::mutex>);
+static_assert(std::is_same_v<condition_variable, std::condition_variable>);
+static_assert(std::is_same_v<atomic<bool>, std::atomic<bool>>);
+static_assert(std::is_same_v<atomic<std::uint64_t>, std::atomic<std::uint64_t>>);
+static_assert(std::is_same_v<thread, std::thread>);
+static_assert(std::is_same_v<clock, std::chrono::steady_clock>);
+static_assert(sizeof(mutex) == sizeof(std::mutex));
+static_assert(sizeof(atomic<long>) == sizeof(std::atomic<long>));
+
+} // namespace pastix::mc
+
+#endif // PASTIX_MC

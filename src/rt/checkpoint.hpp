@@ -335,7 +335,7 @@ private:
   // Held by pointer so growing slots_ never moves (or re-creates) a mutex
   // another thread holds.
   struct Slot {
-    mutable std::mutex m;
+    mutable mc::mutex m;
     Entry entry;            ///< current generation
     Entry prev;             ///< previous generation (corruption fallback)
     std::uint64_t rng = 0;  ///< SDC flip stream (lazily seeded)
@@ -420,7 +420,7 @@ private:
                  "cannot rename checkpoint file " + tmp + " into place");
   }
 
-  mutable std::mutex mutex_;  ///< guards slots_'s shape, dir_, sdc_, saves_
+  mutable mc::mutex mutex_;  ///< guards slots_'s shape, dir_, sdc_, saves_
   std::vector<std::unique_ptr<Slot>> slots_;
   std::string dir_;
   SdcInjection sdc_;

@@ -333,7 +333,7 @@ void run_ranks_impl(int nprocs, const std::function<void(int)>& body,
   }
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
   std::vector<char> secondary(static_cast<std::size_t>(nprocs), 0);
-  std::vector<std::thread> threads;
+  std::vector<mc::thread> threads;
   threads.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r) {
     threads.emplace_back([&, r] {

@@ -1,9 +1,9 @@
 #include "rt/resilient.hpp"
 
-#include <condition_variable>
 #include <exception>
 #include <mutex>
-#include <thread>
+
+#include "mc/sync.hpp"
 
 namespace pastix::rt {
 
@@ -18,7 +18,7 @@ enum class SlotState {
 };
 
 struct Slot {
-  std::thread thread;
+  mc::thread thread;
   SlotState state = SlotState::kRunning;
   std::exception_ptr error;
   std::string cause;
@@ -46,8 +46,8 @@ RecoveryReport run_ranks_resilient(
   comm.set_message_log_limit(opt.message_log_bytes);
   comm.set_message_checksums(opt.integrity);
 
-  std::mutex mutex;
-  std::condition_variable cv;
+  mc::mutex mutex;
+  mc::condition_variable cv;
   std::vector<Slot> slots(static_cast<std::size_t>(nprocs));
   RecoveryReport report;
 
@@ -58,7 +58,7 @@ RecoveryReport run_ranks_resilient(
     auto& slot = slots[static_cast<std::size_t>(r)];
     slot.state = SlotState::kRunning;
     slot.error = nullptr;
-    slot.thread = std::thread([&, r, restarted] {
+    slot.thread = mc::thread([&, r, restarted] {
       SlotState next = SlotState::kDone;
       std::exception_ptr err;
       std::string cause;
@@ -167,10 +167,15 @@ RecoveryReport run_ranks_resilient(
             // agree with the comm rollback below.
             store.repair(dead, entry);
             const std::uint64_t at_death = comm.progress(dead);
-            comm.rollback_rank(dead, entry.comm);
+            // Mutation hook (mc battery): relaunch without rewinding the
+            // dead rank's send counters — its re-sent messages carry fresh
+            // sequence numbers, dodge duplicate suppression, and arrive
+            // twice (exactly-once delivery broken).
+            if (!PASTIX_MC_MUTATION(resilient_skip_rollback))
+              comm.rollback_rank(dead, entry.comm);
             const std::size_t redelivered = comm.replay_log_to(dead);
             if (opt.restart_backoff.count() > 0)
-              std::this_thread::sleep_for(opt.restart_backoff);
+              mc::sleep_for(opt.restart_backoff);
             report.restarts++;
             if (at_death > entry.position)
               report.replayed_tasks += at_death - entry.position;

@@ -14,6 +14,7 @@
 //
 #include <chrono>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "support/check.hpp"
@@ -87,7 +88,12 @@ public:
   /// Drop every recorded event and restart the clock epoch.  Call only
   /// while no rank is running (e.g. at the start of a factorization).
   void clear() {
-    for (auto& lane : lanes_) lane.events.clear();
+    for (auto& lane : lanes_) {
+      lane.events.clear();
+#ifndef NDEBUG
+      lane.writer = std::thread::id{};  // next run may re-own the lane
+#endif
+    }
     epoch_ = Clock::now();
   }
 
@@ -97,11 +103,23 @@ public:
   }
 
   /// Append a record to `rank`'s lane — or, when the calling thread holds a
-  /// LaneScope on this recorder, to that scope's worker lane.  Must be
-  /// called from the thread that owns the destination lane (single-writer
-  /// discipline).
+  /// LaneScope on this recorder, to that scope's worker lane.
+  ///
+  /// INVARIANT (one writer per lane): every lane has exactly one writer
+  /// thread for the lifetime of a run — the rank thread for lanes
+  /// [0, nranks), the LaneScope-holding pool worker for its worker lane.
+  /// This is what lets record() run with no locks and no atomics; a second
+  /// writer on the same lane is a data race on the events vector.  Debug
+  /// builds pin the first writer's thread id to the lane and assert every
+  /// later append comes from it (clear() resets the pins between runs).
   void record(int rank, const TraceRecord& r) {
-    lanes_[lane_for(rank)].events.push_back(r);
+    Lane& lane = lanes_[lane_for(rank)];
+#ifndef NDEBUG
+    const std::thread::id me = std::this_thread::get_id();
+    if (lane.writer == std::thread::id{}) lane.writer = me;
+    PASTIX_ASSERT(lane.writer == me);  // one-writer-per-lane violated
+#endif
+    lane.events.push_back(r);
   }
 
   /// Read a lane (only after the rank threads joined).  Lanes [0, nranks)
@@ -133,6 +151,9 @@ private:
   /// false-share.
   struct alignas(64) Lane {
     std::vector<TraceRecord> events;
+#ifndef NDEBUG
+    std::thread::id writer;  ///< first writer this run (single-writer check)
+#endif
   };
 
   int nranks_;

@@ -23,8 +23,8 @@ struct Job {
   Clock::time_point submitted;
   bool displaced = false;  ///< shed by overflow, not deadline (under mu_)
 
-  std::mutex m;
-  std::condition_variable cv;
+  mc::mutex m;
+  mc::condition_variable cv;
   bool ready = false;
   JobResult res;
 };
@@ -238,15 +238,9 @@ void SolverService::run_job(const std::shared_ptr<Job>& job) {
 
 PlanPtr SolverService::acquire_plan(const std::shared_ptr<Job>& job) {
   // Singleflight: concurrent misses on one fingerprint analyze once — the
-  // latch serializes same-fingerprint acquisition only.
-  std::shared_ptr<std::mutex> latch;
-  {
-    const std::lock_guard lock(mu_);
-    auto& slot = analyze_latch_[job->fp];
-    if (!slot) slot = std::make_shared<std::mutex>();
-    latch = slot;
-  }
-  const std::lock_guard flight(*latch);
+  // keyed latch serializes same-fingerprint acquisition only.
+  const Singleflight::Guard flight(analyze_flight_,
+                                   FingerprintHash{}(job->fp));
 
   bool hit = true;
   PlanPtr plan = cache_.lookup(job->fp);
@@ -362,11 +356,7 @@ void SolverService::backoff_sleep(int attempt, Clock::time_point deadline) {
 
 bool SolverService::strike(const PatternFingerprint& fp,
                            const std::string& cause) {
-  int strikes;
-  {
-    const std::lock_guard lock(mu_);
-    strikes = ++strikes_[fp];
-  }
+  const int strikes = breaker_.strike(fp);
   if (strikes < opt_.poison_strike_limit) return false;
   cache_.quarantine(fp, "circuit breaker open after " +
                             std::to_string(strikes) +
@@ -438,10 +428,10 @@ void SolverService::execute(const std::shared_ptr<Job>& job,
         job->res.degraded = true;
         job->res.x = r.x;
       }
-      {
+      breaker_.reset(job->fp);  // success closes the breaker window
+      if (job->res.degraded) {
         const std::lock_guard lock(mu_);
-        strikes_.erase(job->fp);  // success closes the breaker window
-        if (job->res.degraded) tenants_[job->req.tenant].degraded++;
+        tenants_[job->req.tenant].degraded++;
       }
       finish(job, JobOutcome::kDone, JobError::kNone, {});
       return;

@@ -38,7 +38,6 @@
 // stop() (queued jobs are shed with a named reason).
 //
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -48,18 +47,21 @@
 #include <optional>
 #include <set>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/pastix.hpp"
 #include "core/plan_cache.hpp"
+#include "mc/sync.hpp"
 #include "rt/failure.hpp"
 #include "rt/resilient.hpp"
 
 namespace pastix::service {
 
-using Clock = std::chrono::steady_clock;
+/// Service time base: std::chrono::steady_clock in production, the
+/// explorer's virtual clock under -DPASTIX_MC=ON (so deadline and backoff
+/// waits terminate deterministically during schedule exploration).
+using Clock = mc::clock;
 
 /// One unit of work: solve a x = b for a tenant, before a deadline.
 struct JobRequest {
@@ -113,6 +115,45 @@ struct JobResult {
 };
 
 namespace detail { struct Job; }
+
+/// Per-fingerprint crash-strike accounting behind the poison circuit
+/// breaker: deterministic fatal failures accumulate through strike() until
+/// the limit opens the breaker; a success calls reset() and closes the
+/// window.  Extracted from SolverService so the strike table has one
+/// obvious lock — and so the model-checked battery can drive the protocol
+/// (and its unlocked mutation) in isolation.
+class PoisonBreaker {
+public:
+  /// Count one strike against `fp`; returns the new consecutive total.
+  [[nodiscard]] int strike(const PatternFingerprint& fp) {
+    // Mutation hook (mc battery): bump the table without its lock — the
+    // read-modify-write two striking workers interleave is exactly the
+    // lost-strike race the vector-clock detector must flag.
+    std::unique_lock lock(mu_, std::defer_lock);
+    if (!PASTIX_MC_MUTATION(breaker_unlocked_strike)) lock.lock();
+    mc::race_write(&strikes_, "breaker strike table");
+    return ++strikes_[fp];
+  }
+
+  /// A success closes the breaker window for `fp`.
+  void reset(const PatternFingerprint& fp) {
+    const std::lock_guard lock(mu_);
+    mc::race_write(&strikes_, "breaker strike table");
+    strikes_.erase(fp);
+  }
+
+  /// Current consecutive strike count for `fp` (0 when clean).
+  [[nodiscard]] int count(const PatternFingerprint& fp) const {
+    const std::lock_guard lock(mu_);
+    mc::race_read(&strikes_, "breaker strike table");
+    const auto it = strikes_.find(fp);
+    return it == strikes_.end() ? 0 : it->second;
+  }
+
+private:
+  mutable mc::mutex mu_;
+  std::unordered_map<PatternFingerprint, int, FingerprintHash> strikes_;
+};
 
 /// Handle to one admitted job; wait() blocks until the terminal state.
 class JobTicket {
@@ -277,16 +318,14 @@ private:
   SolverOptions exec_opt_;  ///< per-job solver options (verify_plan off)
   PlanCache cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        ///< queue / drain / stop wakeups
+  mutable mc::mutex mu_;
+  mc::condition_variable cv_;         ///< queue / drain / stop wakeups
   std::multiset<std::shared_ptr<detail::Job>, QueueCmp> queue_;
   std::unordered_map<std::string, int> inflight_;  ///< per tenant
   std::unordered_map<std::string, TenantCounters> tenants_;
   std::unordered_map<std::string, std::vector<double>> latency_;
-  std::unordered_map<PatternFingerprint, int, FingerprintHash> strikes_;
-  std::unordered_map<PatternFingerprint, std::shared_ptr<std::mutex>,
-                     FingerprintHash>
-      analyze_latch_;
+  PoisonBreaker breaker_;
+  Singleflight analyze_flight_;  ///< one analysis per missed fingerprint
   std::unordered_map<PatternFingerprint, std::size_t, FingerprintHash>
       bound_memo_;
   std::uint64_t next_seq_ = 0;
@@ -294,12 +333,12 @@ private:
   std::uint64_t backoff_rng_;
   bool stopped_ = false;
 
-  mutable std::mutex mem_mu_;
-  std::condition_variable mem_cv_;
+  mutable mc::mutex mem_mu_;
+  mc::condition_variable mem_cv_;
   std::size_t mem_reserved_ = 0;
   std::size_t mem_peak_ = 0;
 
-  std::vector<std::thread> workers_;
+  std::vector<mc::thread> workers_;
 };
 
 } // namespace pastix::service

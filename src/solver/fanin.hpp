@@ -716,7 +716,7 @@ private:
   /// always be joined.
   void recv_aubs(rt::Comm& comm, idx_t my_rank, idx_t t, T* dst,
                  std::size_t count, big_t* deferred_held = nullptr,
-                 const std::atomic<bool>* cancel = nullptr) {
+                 const mc::atomic<bool>* cancel = nullptr) {
     const idx_t expect = plan_.expect_aub[static_cast<std::size_t>(t)];
     if (expect == 0) return;
     Rank& me = ranks_[static_cast<std::size_t>(my_rank)];
@@ -1023,8 +1023,8 @@ private:
   /// receives outside the lock, and publishes; concurrent missers wait.
   /// The rank thread's commit inserts take the same lock.
   struct CacheGuard {
-    std::mutex mutex;
-    std::condition_variable cv;
+    mc::mutex mutex;
+    mc::condition_variable cv;
     std::unordered_set<idx_t> filling_diag;
     std::unordered_set<idx_t> filling_panel;
   };
@@ -1033,7 +1033,7 @@ private:
       rt::Comm& comm, idx_t rank, CacheGuard& guard,
       std::unordered_map<idx_t, std::vector<T>>& cache,
       std::unordered_set<idx_t>& filling, idx_t key, std::uint64_t tag,
-      std::size_t expect_count, const std::atomic<bool>& cancel,
+      std::size_t expect_count, const mc::atomic<bool>& cancel,
       const char* what) {
     std::unique_lock lock(guard.mutex);
     for (;;) {
@@ -1068,7 +1068,7 @@ private:
   }
 
   void tail_compute_comp1d(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
-                           TailResult& res, const std::atomic<bool>& cancel) {
+                           TailResult& res, const mc::atomic<bool>& cancel) {
     const idx_t k = tg_.tasks[static_cast<std::size_t>(t)].cblk;
     const auto& ck = s_.cblks[static_cast<std::size_t>(k)];
     const idx_t w = ck.width();
@@ -1146,7 +1146,7 @@ private:
   }
 
   void tail_compute_factor(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
-                           TailResult& res, const std::atomic<bool>& cancel) {
+                           TailResult& res, const mc::atomic<bool>& cancel) {
     const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
     const idx_t k = task.cblk;
     const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
@@ -1169,7 +1169,7 @@ private:
 
   void tail_compute_bdiv(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
                          TailResult& res, CacheGuard& guard,
-                         const std::atomic<bool>& cancel) {
+                         const mc::atomic<bool>& cancel) {
     const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
     const idx_t k = task.cblk;
     const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
@@ -1207,7 +1207,7 @@ private:
 
   void tail_compute_bmod(rt::Comm& comm, Rank& me, idx_t rank, idx_t t,
                          TailResult& res, CacheGuard& guard,
-                         const std::atomic<bool>& cancel) {
+                         const mc::atomic<bool>& cancel) {
     const Task& task = tg_.tasks[static_cast<std::size_t>(t)];
     const idx_t k = task.cblk;
     const idx_t w = s_.cblks[static_cast<std::size_t>(k)].width();
@@ -1270,7 +1270,7 @@ private:
                        hybrid_.steal_seed ^
                            (0x9e3779b97f4a7c15ULL *
                             static_cast<std::uint64_t>(rank + 1)));
-    const std::atomic<bool>& cancel = pool.cancel_flag();
+    const mc::atomic<bool>& cancel = pool.cancel_flag();
 
     const auto compute = [&](std::size_t i, int worker) {
       // Worker threads record to their private lane; inline computes

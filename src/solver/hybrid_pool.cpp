@@ -80,7 +80,13 @@ void TailScheduler::worker_body(int w, const ComputeFn& compute,
 void TailScheduler::run(const ComputeFn& compute, const CommitFn& commit,
                         const StealFn& on_steal) {
   if (ntail_ == 0) return;
-  std::vector<std::thread> pool;
+  // Mutation hook (mc battery): join a worker that was never spawned —
+  // the lifecycle misuse the explorer reports as kInvalidJoin.
+  if (PASTIX_MC_MUTATION(pool_join_unstarted)) {
+    mc::thread never_started;
+    never_started.join();
+  }
+  std::vector<mc::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers_));
   for (idx_t w = 0; w < workers_; ++w)
     pool.emplace_back([this, w, &compute, &on_steal] {
@@ -120,8 +126,13 @@ void TailScheduler::run(const ComputeFn& compute, const CommitFn& commit,
           state_[i] = St::kClaimed;
           inline_compute = true;
         } else {
-          cv_.wait(lock,
-                   [&] { return error_ || state_[i] == St::kComputed; });
+          // Mutation hook (mc battery): commit without waiting for the
+          // claimed compute to finish — commit(i) then reads task state a
+          // worker is still writing, the ordering bug the race detector
+          // must pin on the tail commit protocol.
+          if (!PASTIX_MC_MUTATION(pool_commit_before_compute))
+            cv_.wait(lock,
+                     [&] { return error_ || state_[i] == St::kComputed; });
           if (error_) break;
         }
       }

@@ -32,15 +32,12 @@
 // if the next task to commit is still unclaimed it computes it inline, so
 // the set of waits is a subset of the fully static schedule's waits.
 //
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "mc/sync.hpp"
 #include "support/types.hpp"
 
 namespace pastix {
@@ -61,7 +58,7 @@ public:
 
   /// Flag handed to compute() closures for rt::Comm::recv_cancellable —
   /// raised on teardown (error or completion) to unpark blocked workers.
-  [[nodiscard]] const std::atomic<bool>& cancel_flag() const {
+  [[nodiscard]] const mc::atomic<bool>& cancel_flag() const {
     return cancel_;
   }
 
@@ -91,13 +88,13 @@ private:
   idx_t workers_;
   std::uint64_t seed_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  mc::mutex mutex_;
+  mc::condition_variable cv_;
   std::vector<St> state_;
   std::vector<std::size_t> ready_;
   std::exception_ptr error_;
   bool stop_ = false;
-  std::atomic<bool> cancel_{false};
+  mc::atomic<bool> cancel_{false};
 };
 
 } // namespace pastix

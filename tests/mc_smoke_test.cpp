@@ -1,0 +1,329 @@
+//
+// Model-checker smoke suite (ctest label `mc`, RUN_SERIAL).
+//
+// Explores the instrumented sim:: primitives directly, so it validates the
+// scheduler, the sleep-set and PCT explorers, the vector-clock race detector
+// and the blocked-state classifier in EVERY build configuration — the
+// PASTIX_MC option only changes what the mc:: aliases in sync.hpp name, not
+// whether these types exist.
+//
+#include "mc/explore.hpp"
+#include "mc/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+
+namespace sim = pastix::mc::sim;
+using pastix::mc::Diag;
+using pastix::mc::Options;
+using pastix::mc::Result;
+
+namespace {
+
+Options exhaustive() {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  return opt;
+}
+
+Options pct(int schedules, std::uint64_t seed = 0x5eedULL) {
+  Options opt;
+  opt.mode = Options::Mode::kPct;
+  opt.max_schedules = schedules;
+  opt.seed = seed;
+  return opt;
+}
+
+} // namespace
+
+// The satellite smoke pair: one exhaustive and one seeded-PCT exploration of
+// a clean two-thread protocol, both race-free.
+TEST(McSmoke, ExhaustiveCleanCounterIsRaceFree) {
+  sim::Mutex mu;
+  int counter = 0;
+  const Result res = pastix::mc::explore(exhaustive(), [&] {
+    counter = 0;
+    auto inc = [&] {
+      std::unique_lock<sim::Mutex> lock(mu);
+      sim::race_write(&counter, "smoke counter");
+      ++counter;
+    };
+    sim::Thread a(inc);
+    sim::Thread b(inc);
+    a.join();
+    b.join();
+    pastix::mc::require(counter == 2, "smoke.counter-total");
+  });
+  ASSERT_TRUE(res.ok) << res.failure->format();
+  EXPECT_TRUE(res.complete);
+  EXPECT_GE(res.schedules, 2);  // the two lock orders at minimum
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(McSmoke, SeededPctCleanCounterIsRaceFree) {
+  sim::Mutex mu;
+  int counter = 0;
+  const Result res = pastix::mc::explore(pct(25), [&] {
+    counter = 0;
+    auto inc = [&] {
+      std::unique_lock<sim::Mutex> lock(mu);
+      sim::race_write(&counter, "smoke counter");
+      ++counter;
+    };
+    sim::Thread a(inc);
+    sim::Thread b(inc);
+    a.join();
+    b.join();
+  });
+  ASSERT_TRUE(res.ok) << res.failure->format();
+  EXPECT_EQ(res.schedules, 25);
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(McSmoke, UnlockedCounterIsADataRaceAndReplays) {
+  int counter = 0;
+  auto body = [&] {
+    counter = 0;
+    auto inc = [&] {
+      sim::race_write(&counter, "smoke counter");
+      ++counter;
+    };
+    sim::Thread a(inc);
+    sim::Thread b(inc);
+    a.join();
+    b.join();
+  };
+  const Result res = pastix::mc::explore(exhaustive(), body);
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure->diag, Diag::kDataRace);
+  EXPECT_EQ(res.failure->label, "smoke counter");
+  EXPECT_FALSE(res.failure->trace.empty());
+
+  // The printed token replays the exact interleaving deterministically.
+  const Result again = pastix::mc::replay(res.failure->replay_token(), body);
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.failure->diag, Diag::kDataRace);
+  EXPECT_EQ(again.failure->label, "smoke counter");
+  EXPECT_EQ(again.schedules, 1);
+}
+
+TEST(McSmoke, AtomicCounterIsRaceFree) {
+  sim::Atomic<int> counter{0};
+  const Result res = pastix::mc::explore(exhaustive(), [&] {
+    counter.store(0);
+    auto inc = [&] { counter.fetch_add(1); };
+    sim::Thread a(inc);
+    sim::Thread b(inc);
+    a.join();
+    b.join();
+    pastix::mc::require(counter.load() == 2, "smoke.atomic-total");
+  });
+  ASSERT_TRUE(res.ok) << res.failure->format();
+  EXPECT_TRUE(res.complete);
+}
+
+TEST(McSmoke, AbbaLockOrderIsADeadlock) {
+  sim::Mutex a, b;
+  const Result res = pastix::mc::explore(exhaustive(), [&] {
+    sim::Thread t1([&] {
+      std::unique_lock<sim::Mutex> la(a);
+      std::unique_lock<sim::Mutex> lb(b);
+    });
+    sim::Thread t2([&] {
+      std::unique_lock<sim::Mutex> lb(b);
+      std::unique_lock<sim::Mutex> la(a);
+    });
+    t1.join();
+    t2.join();
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure->diag, Diag::kDeadlock);
+  EXPECT_NE(res.failure->message.find("blocked"), std::string::npos);
+}
+
+TEST(McSmoke, ForgottenNotifyIsALostWakeup) {
+  sim::Mutex mu;
+  sim::CondVar cv;
+  bool flag = false;
+  const Result res = pastix::mc::explore(exhaustive(), [&] {
+    flag = false;
+    sim::Thread waiter([&] {
+      std::unique_lock<sim::Mutex> lock(mu);
+      cv.wait(lock, [&] { return flag; });
+    });
+    sim::Thread setter([&] {
+      std::unique_lock<sim::Mutex> lock(mu);
+      flag = true;
+      // BUG under test: no cv.notify_all() after publishing the state.
+    });
+    waiter.join();
+    setter.join();
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure->diag, Diag::kLostWakeup);
+}
+
+TEST(McSmoke, TimedWaitRescuesTheForgottenNotify) {
+  // Same protocol, but the waiter polls with a timeout: virtual time
+  // advances when everything blocks, so every schedule terminates cleanly.
+  sim::Mutex mu;
+  sim::CondVar cv;
+  bool flag = false;
+  const Result res = pastix::mc::explore(exhaustive(), [&] {
+    flag = false;
+    sim::Thread waiter([&] {
+      std::unique_lock<sim::Mutex> lock(mu);
+      while (!flag)
+        cv.wait_for(lock, std::chrono::milliseconds(1));
+    });
+    sim::Thread setter([&] {
+      std::unique_lock<sim::Mutex> lock(mu);
+      flag = true;
+    });
+    waiter.join();
+    setter.join();
+  });
+  ASSERT_TRUE(res.ok) << res.failure->format();
+}
+
+TEST(McSmoke, SleepersWakeThroughVirtualTime) {
+  int done = 0;
+  const Result res = pastix::mc::explore(exhaustive(), [&] {
+    done = 0;
+    sim::Thread t([&] {
+      sim::sleep_for(std::chrono::milliseconds(5));
+      done = 1;
+    });
+    t.join();
+    pastix::mc::require(done == 1, "smoke.sleeper-finished");
+  });
+  ASSERT_TRUE(res.ok) << res.failure->format();
+}
+
+TEST(McSmoke, UnpairedUnlockIsADoubleRelease) {
+  sim::Mutex mu;
+  const Result res = pastix::mc::explore(exhaustive(), [&] { mu.unlock(); });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure->diag, Diag::kDoubleRelease);
+}
+
+TEST(McSmoke, JoinOfUnstartedThreadIsInvalid) {
+  const Result res = pastix::mc::explore(exhaustive(), [] {
+    sim::Thread never_started;
+    never_started.join();
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure->diag, Diag::kInvalidJoin);
+}
+
+TEST(McSmoke, OrderSensitiveAssertIsFoundWithItsLabel) {
+  sim::Mutex mu;
+  int last = 0;
+  const Result res = pastix::mc::explore(exhaustive(), [&] {
+    last = 0;
+    auto write = [&](int v) {
+      return [&, v] {
+        std::unique_lock<sim::Mutex> lock(mu);
+        sim::race_write(&last, "smoke last-writer");
+        last = v;
+      };
+    };
+    sim::Thread a(write(1));
+    sim::Thread b(write(2));
+    a.join();
+    b.join();
+    pastix::mc::require(last == 2, "smoke.lost-update");
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure->diag, Diag::kAssertFailed);
+  EXPECT_EQ(res.failure->label, "smoke.lost-update");
+  // ...and the failing interleaving replays to the same verdict.
+  const Result again = pastix::mc::replay(res.failure->replay_token(), [&] {
+    last = 0;
+    auto write = [&](int v) {
+      return [&, v] {
+        std::unique_lock<sim::Mutex> lock(mu);
+        sim::race_write(&last, "smoke last-writer");
+        last = v;
+      };
+    };
+    sim::Thread a(write(1));
+    sim::Thread b(write(2));
+    a.join();
+    b.join();
+    pastix::mc::require(last == 2, "smoke.lost-update");
+  });
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.failure->diag, Diag::kAssertFailed);
+}
+
+TEST(McSmoke, UncaughtExceptionIsReported) {
+  const Result res = pastix::mc::explore(exhaustive(), [] {
+    sim::Thread t([] { throw std::runtime_error("boom in a checked thread"); });
+    t.join();
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure->diag, Diag::kException);
+  EXPECT_NE(res.failure->message.find("boom"), std::string::npos);
+}
+
+TEST(McSmoke, ReplayTokenRoundTrip) {
+  const auto ok = pastix::mc::parse_replay_token("mc:v1:0.1.0.2");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->size(), 4u);
+  EXPECT_EQ((*ok)[3], 2);
+  EXPECT_FALSE(pastix::mc::parse_replay_token("mc:v2:0.1").has_value());
+  EXPECT_FALSE(pastix::mc::parse_replay_token("mc:v1:0..1").has_value());
+  EXPECT_FALSE(pastix::mc::parse_replay_token("nonsense").has_value());
+}
+
+TEST(McSmoke, SleepSetReductionPrunesCommutingSchedules) {
+  // Two threads touching DIFFERENT mutexes commute everywhere: the reduced
+  // exhaustive space must be much smaller than the unreduced interleaving
+  // count, and still complete.
+  sim::Mutex ma, mb;
+  int a = 0, b = 0;
+  const Result res = pastix::mc::explore(exhaustive(), [&] {
+    a = b = 0;
+    sim::Thread ta([&] {
+      std::unique_lock<sim::Mutex> lock(ma);
+      sim::race_write(&a, "independent a");
+      ++a;
+    });
+    sim::Thread tb([&] {
+      std::unique_lock<sim::Mutex> lock(mb);
+      sim::race_write(&b, "independent b");
+      ++b;
+    });
+    ta.join();
+    tb.join();
+  });
+  ASSERT_TRUE(res.ok) << res.failure->format();
+  EXPECT_TRUE(res.complete);
+  // Unreduced, two 4-op threads interleave in C(8,4) = 70 ways; sleep sets
+  // collapse independent permutations to a handful of schedules.
+  EXPECT_LE(res.schedules, 16);
+}
+
+TEST(McSmoke, FallbackModeWorksWithoutAnExplorer) {
+  // Outside explore() the sim types degrade to plain std-backed primitives.
+  sim::Mutex mu;
+  sim::CondVar cv;
+  sim::Atomic<int> ticket{0};
+  bool ready = false;
+  sim::Thread t([&] {
+    std::unique_lock<sim::Mutex> lock(mu);
+    ready = true;
+    ticket.fetch_add(1);
+    cv.notify_all();
+  });
+  {
+    std::unique_lock<sim::Mutex> lock(mu);
+    cv.wait(lock, [&] { return ready; });
+  }
+  t.join();
+  EXPECT_EQ(ticket.load(), 1);
+  EXPECT_FALSE(pastix::mc::under_exploration());
+}

@@ -1,0 +1,356 @@
+//
+// Model-checked runtime-protocol battery (ctest label `mc`, RUN_SERIAL).
+//
+// Only built under -DPASTIX_MC=ON (see tests/CMakeLists.txt): the mc::
+// aliases must name the instrumented sim:: types so the explorer controls
+// every thread the runtime spawns.  Two halves:
+//
+//   Clean harnesses — real runtime protocols (comm send/recv handoff, the
+//   hybrid tail commit pipeline, the resilient supervisor's exactly-once
+//   replay, the service poison breaker, the plan-cache singleflight latch)
+//   explored across schedules and shown race/deadlock-free.
+//
+//   Mutation battery — each PASTIX_MC_MUTATION hook (src/mc/hooks.hpp)
+//   deletes one lock / ordering edge from exactly one of those protocols;
+//   the battery asserts the explorer finds the resulting bug with its named
+//   diagnostic inside a bounded schedule budget, and that the printed
+//   replay token reproduces the exact failing interleaving.
+//
+#include "mc/explore.hpp"
+#include "mc/hooks.hpp"
+#include "mc/sync.hpp"
+
+#include "core/analysis.hpp"
+#include "core/plan_cache.hpp"
+#include "rt/checkpoint.hpp"
+#include "rt/comm.hpp"
+#include "rt/resilient.hpp"
+#include "service/service.hpp"
+#include "solver/hybrid_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#ifndef PASTIX_MC
+#error "mc_test.cpp requires -DPASTIX_MC=ON (the mc:: shim must be simulated)"
+#endif
+
+namespace rt = pastix::rt;
+namespace mc = pastix::mc;
+namespace hooks = pastix::mc::hooks;
+using pastix::AnalysisPlan;
+using pastix::PatternFingerprint;
+using pastix::PlanCache;
+using pastix::PlanCacheOptions;
+using pastix::Singleflight;
+using pastix::TailScheduler;
+using pastix::idx_t;
+using pastix::mc::Diag;
+using pastix::mc::Options;
+using pastix::mc::Result;
+using pastix::service::PoisonBreaker;
+
+namespace {
+
+Options exhaustive(int max_schedules = 10000) {
+  Options opt;
+  opt.mode = Options::Mode::kExhaustive;
+  opt.max_schedules = max_schedules;
+  return opt;
+}
+
+Options pct(int schedules, std::uint64_t seed = 0x5eedULL) {
+  Options opt;
+  opt.mode = Options::Mode::kPct;
+  opt.max_schedules = schedules;
+  opt.seed = seed;
+  return opt;
+}
+
+/// Every battery test starts and ends with a clean mutation table — a
+/// leaked flag would silently poison every later harness in the binary.
+class McBattery : public ::testing::Test {
+protected:
+  void SetUp() override { hooks::reset_mutations(); }
+  void TearDown() override { hooks::reset_mutations(); }
+};
+
+/// Assert that the token printed for `failure` replays the exact same
+/// diagnostic in a single schedule — the debugging contract of DESIGN.md
+/// §16 (paste the token from CI, get the same interleaving locally).
+void expect_replays(const pastix::mc::Failure& failure,
+                    const std::function<void()>& body) {
+  const Result again = mc::replay(failure.replay_token(), body);
+  ASSERT_FALSE(again.ok) << "replay token did not reproduce the failure";
+  EXPECT_EQ(again.failure->diag, failure.diag) << again.failure->format();
+  EXPECT_EQ(again.failure->label, failure.label);
+  EXPECT_EQ(again.schedules, 1);
+}
+
+// ---------------------------------------------------------------- comm ----
+
+/// One sender, one receiver, one mailbox: the smallest real slice of
+/// rt::Comm.  Both arrival orders exist (receiver parks first and is woken,
+/// or the message is already queued), and the mailbox lock orders the
+/// queue accesses in every schedule.
+std::function<void()> comm_handoff_body() {
+  return [] {
+    rt::Comm comm(2);
+    mc::thread receiver([&] {
+      const rt::Message m = comm.recv(0, 7);
+      mc::require(m.payload.size() == sizeof(double), "mc.comm-payload");
+      mc::require(m.source == 1, "mc.comm-source");
+    });
+    const double v = 3.5;
+    comm.send(1, 0, 7, &v, sizeof v);
+    receiver.join();
+    mc::require(comm.pending(0) == 0, "mc.comm-drained");
+  };
+}
+
+TEST_F(McBattery, CommSendRecvHandoffIsRaceFree) {
+  const Result res = mc::explore(exhaustive(), comm_handoff_body());
+  ASSERT_TRUE(res.ok) << res.failure->format();
+  EXPECT_TRUE(res.complete);
+  EXPECT_GE(res.schedules, 2);  // park-then-wake and already-queued orders
+}
+
+TEST_F(McBattery, MutationDropMailboxLockIsADataRace) {
+  hooks::mutations().comm_drop_mailbox_lock = true;
+  const auto body = comm_handoff_body();
+  const Result res = mc::explore(exhaustive(), body);
+  ASSERT_FALSE(res.ok) << "explorer missed the unlocked mailbox delivery";
+  EXPECT_EQ(res.failure->diag, Diag::kDataRace) << res.failure->format();
+  EXPECT_EQ(res.failure->label, "comm mailbox queue");
+  EXPECT_LE(res.schedules, 50);
+  expect_replays(*res.failure, body);
+}
+
+TEST_F(McBattery, MutationSkipNotifyIsALostWakeup) {
+  hooks::mutations().comm_skip_notify = true;
+  const auto body = comm_handoff_body();
+  const Result res = mc::explore(exhaustive(), body);
+  ASSERT_FALSE(res.ok) << "explorer missed the forgotten notify_all";
+  EXPECT_EQ(res.failure->diag, Diag::kLostWakeup) << res.failure->format();
+  EXPECT_LE(res.schedules, 50);
+  expect_replays(*res.failure, body);
+}
+
+// -------------------------------------------------------- hybrid tail ----
+
+/// Two-task tail chain on one pool worker.  compute() writes task-private
+/// storage, commit() reads it on the rank thread; the schedulers's
+/// computed→commit ordering (cv wait on kComputed) is the only thing
+/// keeping those accesses ordered when a worker claims the task.
+std::function<void()> tail_commit_body() {
+  return [] {
+    std::array<int, 2> slot{};
+    std::vector<std::size_t> order;
+    TailScheduler sched(2, {0, 1}, {{1}, {}}, 1, 42);
+    sched.run(
+        [&](std::size_t i, int) {
+          mc::race_write(&slot[i], "tail task slot");
+          slot[i] = static_cast<int>(i) + 1;
+        },
+        [&](std::size_t i) {
+          mc::race_read(&slot[i], "tail task slot");
+          mc::require(slot[i] == static_cast<int>(i) + 1,
+                      "mc.tail-computed-before-commit");
+          order.push_back(i);
+        },
+        [](std::size_t, int) {});
+    mc::require(order.size() == 2 && order[0] == 0 && order[1] == 1,
+                "mc.tail-commit-order");
+  };
+}
+
+TEST_F(McBattery, TailCommitPipelineIsRaceFreeAndOrdered) {
+  const Result res = mc::explore(pct(40, 0xc0ffee), tail_commit_body());
+  ASSERT_TRUE(res.ok) << res.failure->format();
+  EXPECT_EQ(res.schedules, 40);
+}
+
+TEST_F(McBattery, MutationCommitBeforeComputeIsADataRace) {
+  hooks::mutations().pool_commit_before_compute = true;
+  const auto body = tail_commit_body();
+  // PCT rather than exhaustive: the pool's worker wait loops make the full
+  // DFS space impractically deep, and the bug needs no exhaustiveness —
+  // any schedule where a worker wins the claim race exhibits it.
+  const Result res = mc::explore(pct(200, 0xc0ffee), body);
+  ASSERT_FALSE(res.ok) << "explorer missed the dropped computed-wait";
+  // The committer either reads the slot while the worker is still writing
+  // it (kDataRace) or observes the stale value (kAssertFailed) — both are
+  // the same deleted ordering edge, and the race is what a schedule where
+  // the accesses abut reports.
+  EXPECT_EQ(res.failure->diag, Diag::kDataRace) << res.failure->format();
+  EXPECT_EQ(res.failure->label, "tail task slot");
+  EXPECT_LE(res.schedules, 200);
+  expect_replays(*res.failure, body);
+}
+
+TEST_F(McBattery, MutationJoinUnstartedThreadIsInvalidJoin) {
+  hooks::mutations().pool_join_unstarted = true;
+  const auto body = [] {
+    TailScheduler sched(1, {0}, {{}}, 1, 7);
+    sched.run([](std::size_t, int) {}, [](std::size_t) {},
+              [](std::size_t, int) {});
+  };
+  const Result res = mc::explore(exhaustive(), body);
+  ASSERT_FALSE(res.ok) << "explorer missed the join of an unstarted thread";
+  EXPECT_EQ(res.failure->diag, Diag::kInvalidJoin) << res.failure->format();
+  EXPECT_EQ(res.schedules, 1);  // fails before the first scheduling choice
+}
+
+// ---------------------------------------------------------- resilient ----
+
+/// The exactly-once delivery protocol: rank 1 checkpoints at position 0,
+/// sends one sequenced message, and dies on its first life.  The
+/// supervisor must roll rank 1's send counters back to the checkpoint so
+/// the restarted life's re-send reuses the same sequence number and is
+/// suppressed as a duplicate — rank 0 sees the payload exactly once.
+std::function<void()> resilient_exactly_once_body() {
+  return [] {
+    rt::Comm comm(2);
+    rt::Checkpoint store;
+    rt::ResilienceOptions opt;
+    opt.enabled = true;
+    const rt::RecoveryReport report = rt::run_ranks_resilient(
+        comm, 2,
+        [&](int rank, bool restarted) {
+          store.save(rank, 0, {}, comm.snapshot_seq_state(rank));
+          if (rank == 1) {
+            const double v = 42.0;
+            comm.send_array(1, 0, 11, &v, 1);
+            if (!restarted) throw rt::RankKilledError("mc kill rank 1");
+          } else {
+            (void)comm.recv(0, 11);
+          }
+        },
+        store, opt);
+    mc::require(report.restarts == 1, "mc.restart-count");
+    mc::require(report.duplicates_suppressed == 1, "mc.dup-suppressed");
+    mc::require(comm.pending(0) == 0, "mc.exactly-once");
+  };
+}
+
+TEST_F(McBattery, ResilientReplayDeliversExactlyOnce) {
+  const Result res =
+      mc::explore(pct(6, 0xdead), resilient_exactly_once_body());
+  ASSERT_TRUE(res.ok) << res.failure->format();
+  EXPECT_EQ(res.schedules, 6);
+}
+
+TEST_F(McBattery, MutationSkipRollbackBreaksExactlyOnce) {
+  hooks::mutations().resilient_skip_rollback = true;
+  const auto body = resilient_exactly_once_body();
+  const Result res = mc::explore(pct(4, 0xdead), body);
+  ASSERT_FALSE(res.ok) << "explorer missed the duplicated re-send";
+  // Without the rollback the re-send carries a fresh sequence number,
+  // dodges duplicate suppression, and lands twice: no duplicate is
+  // counted and the extra message sits in rank 0's mailbox.
+  EXPECT_EQ(res.failure->diag, Diag::kAssertFailed) << res.failure->format();
+  EXPECT_EQ(res.failure->label, "mc.dup-suppressed");
+  EXPECT_EQ(res.schedules, 1);  // every schedule violates the invariant
+  expect_replays(*res.failure, body);
+}
+
+// ------------------------------------------------------------ service ----
+
+/// Two tenants striking the same poisoned fingerprint concurrently: the
+/// breaker's mutex makes the read-modify-write strikes atomic.
+std::function<void()> breaker_body() {
+  return [] {
+    PoisonBreaker breaker;
+    const PatternFingerprint fp{8, 20, 0xfeedULL};
+    auto strike = [&] { (void)breaker.strike(fp); };
+    mc::thread a(strike);
+    mc::thread b(strike);
+    a.join();
+    b.join();
+    mc::require(breaker.count(fp) == 2, "mc.breaker-strike-count");
+    breaker.reset(fp);
+    mc::require(breaker.count(fp) == 0, "mc.breaker-reset");
+  };
+}
+
+TEST_F(McBattery, BreakerStrikesSerializeUnderContention) {
+  const Result res = mc::explore(exhaustive(), breaker_body());
+  ASSERT_TRUE(res.ok) << res.failure->format();
+  EXPECT_TRUE(res.complete);
+  EXPECT_GE(res.schedules, 2);  // both strike orders
+}
+
+TEST_F(McBattery, MutationUnlockedStrikeIsADataRace) {
+  hooks::mutations().breaker_unlocked_strike = true;
+  const auto body = breaker_body();
+  const Result res = mc::explore(exhaustive(), body);
+  ASSERT_FALSE(res.ok) << "explorer missed the unlocked strike RMW";
+  EXPECT_EQ(res.failure->diag, Diag::kDataRace) << res.failure->format();
+  EXPECT_EQ(res.failure->label, "breaker strike table");
+  EXPECT_LE(res.schedules, 50);
+  expect_replays(*res.failure, body);
+}
+
+// --------------------------------------------------------- plan cache ----
+
+/// Two workers racing to analyze the same fingerprint: the singleflight
+/// latch admits one at a time, so the (annotated) analysis section is
+/// mutually exclusive and the second flight observes the first's result.
+std::function<void()> singleflight_body() {
+  return [] {
+    Singleflight flights;
+    int analyses = 0;
+    auto analyze = [&] {
+      const Singleflight::Guard flight(flights, 0xabcdULL);
+      mc::race_write(&analyses, "singleflight analysis section");
+      ++analyses;
+    };
+    mc::thread a(analyze);
+    mc::thread b(analyze);
+    a.join();
+    b.join();
+    mc::require(analyses == 2, "mc.singleflight-count");
+    mc::require(flights.inflight() == 0, "mc.singleflight-drained");
+  };
+}
+
+TEST_F(McBattery, SingleflightExcludesConcurrentAnalyzes) {
+  const Result res = mc::explore(exhaustive(), singleflight_body());
+  ASSERT_TRUE(res.ok) << res.failure->format();
+  EXPECT_TRUE(res.complete);
+  EXPECT_GE(res.schedules, 2);  // both admission orders
+}
+
+TEST_F(McBattery, MutationSkipLatchIsADataRace) {
+  hooks::mutations().singleflight_skip_latch = true;
+  const auto body = singleflight_body();
+  const Result res = mc::explore(exhaustive(), body);
+  ASSERT_FALSE(res.ok) << "explorer missed the unlatched analysis section";
+  EXPECT_EQ(res.failure->diag, Diag::kDataRace) << res.failure->format();
+  EXPECT_EQ(res.failure->label, "singleflight analysis section");
+  EXPECT_LE(res.schedules, 50);
+  expect_replays(*res.failure, body);
+}
+
+TEST_F(McBattery, MutationCacheDoubleUnlockIsADoubleRelease) {
+  hooks::mutations().cache_double_unlock = true;
+  // The plan itself is trivial — the bug is in insert()'s lock discipline,
+  // not the payload.  Memory tier only (no disk_dir): the explored body
+  // must not touch the filesystem.
+  const auto plan = std::make_shared<AnalysisPlan>();
+  plan->fingerprint = PatternFingerprint{4, 8, 0xabcULL};
+  const auto body = [&] {
+    PlanCache cache(PlanCacheOptions{1 << 20, "", 0});
+    mc::require(cache.insert(plan), "mc.cache-insert");
+  };
+  const Result res = mc::explore(exhaustive(), body);
+  ASSERT_FALSE(res.ok) << "explorer missed the double mutex release";
+  EXPECT_EQ(res.failure->diag, Diag::kDoubleRelease) << res.failure->format();
+  EXPECT_EQ(res.schedules, 1);  // single-threaded: the very first schedule
+}
+
+} // namespace

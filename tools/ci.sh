@@ -7,7 +7,8 @@
 #            harness + plan-file hostile-input tests) in the default lane
 #   bench  — smoke-sized benchmark runs (includes the verifier <=5% budget)
 #   lint   — clang-tidy profile over src/support, src/rt, src/map,
-#            src/verify (skips cleanly when clang-tidy is absent)
+#            src/verify, src/solver, src/simul, src/service, src/core
+#            (skips cleanly when clang-tidy is absent)
 #   service— multi-tenant service suite (admission/cache/retry/chaos) on
 #            the default preset, plus the chaos storms under TSan
 #   solve  — solve-phase suite (panel solve, solve-plan verifier mutations,
@@ -20,6 +21,9 @@
 #   integrity — data-integrity suite (message/checkpoint/factor/plan
 #            checksums, the seeded SDC chaos battery at 1/2/4 ranks) on
 #            the default preset, then the SDC battery again under ASan
+#   mc     — concurrency model checker: -DPASTIX_MC=ON preset build, then
+#            the `mc` ctest label (schedule-exploration smoke suite plus
+#            the full runtime-protocol battery; DESIGN.md §16)
 #   ubsan  — UndefinedBehaviorSanitizer preset + verifier/comm/solver tests
 #   asan   — Address+UB sanitizer preset, runtime-focused test filter
 #   tsan   — ThreadSanitizer preset, runtime-focused test filter (includes
@@ -32,7 +36,7 @@ cd "$(dirname "$0")/.."
 
 lanes=("$@")
 if [ ${#lanes[@]} -eq 0 ]; then
-  lanes=(tier1 bench service solve hybrid integrity lint ubsan asan tsan)
+  lanes=(tier1 bench service solve hybrid integrity mc lint ubsan asan tsan)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -83,6 +87,13 @@ run_lane() {
       ctest --test-dir build-asan -R "Sdc|Integrity" -j "${jobs}" \
             --output-on-failure
       ;;
+    mc)
+      cmake --preset mc
+      cmake --build build-mc -j "${jobs}"
+      # The mc tests are RUN_SERIAL (the explorer is a process-wide
+      # singleton); -j only parallelizes discovery around them.
+      ctest --test-dir build-mc -L mc -j "${jobs}" --output-on-failure
+      ;;
     lint)
       cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
       tools/lint.sh build
@@ -103,7 +114,7 @@ run_lane() {
       ctest --preset tsan -j "${jobs}" --output-on-failure
       ;;
     *)
-      echo "ci: unknown lane '$1' (tier1|bench|service|solve|hybrid|integrity|lint|ubsan|asan|tsan)" >&2
+      echo "ci: unknown lane '$1' (tier1|bench|service|solve|hybrid|integrity|mc|lint|ubsan|asan|tsan)" >&2
       exit 2
       ;;
   esac

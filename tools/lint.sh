@@ -2,8 +2,9 @@
 # Run clang-tidy (config: .clang-tidy at the repo root) over the analysis
 # and runtime layers.  Needs a compile database: configure with
 #   cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-# Usage: tools/lint.sh [build-dir] [paths...]
+# Usage: tools/lint.sh [--fix] [build-dir] [paths...]
 # Defaults: build dir ./build, paths = the layers the lint profile targets.
+# --fix is passed through to clang-tidy (apply suggested fixes in place).
 # Exits 0 with a notice when clang-tidy is not installed (containers that
 # ship only gcc), so CI lanes can include it unconditionally — the notice
 # lists exactly which checks and files the lane skipped, so a green run
@@ -12,12 +13,20 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-build_dir="${1:-build}"
-shift || true
+tidy_args=()
+args=()
+for a in "$@"; do
+  case "$a" in
+    --fix) tidy_args+=(--fix) ;;
+    *) args+=("$a") ;;
+  esac
+done
 
-paths=("$@")
+build_dir="${args[0]:-build}"
+paths=("${args[@]:1}")
 if [ ${#paths[@]} -eq 0 ]; then
-  paths=(src/support src/rt src/map src/verify src/solver src/simul)
+  paths=(src/support src/rt src/map src/verify src/solver src/simul
+         src/service src/core)
 fi
 
 files=()
@@ -49,6 +58,6 @@ fi
 echo "lint: clang-tidy over ${#files[@]} file(s): ${paths[*]}"
 status=0
 for f in "${files[@]}"; do
-  clang-tidy -p "${build_dir}" --quiet "$f" || status=1
+  clang-tidy -p "${build_dir}" --quiet "${tidy_args[@]}" "$f" || status=1
 done
 exit "$status"
